@@ -1,0 +1,124 @@
+// E6 — shared coins vs. local coins: the exponential/constant separation
+// (claim C14).
+//
+// The paper (§1): "Our agreement subroutine is a modification of Ben-Or's
+// asynchronous agreement protocol. The modification lowers the expected
+// running time from exponential to constant." We drive both variants with
+// the omniscient split-vote adversary (strictly stronger than the paper's
+// content-oblivious adversary — see src/adversary/omniscient.h), which holds
+// every stage's first-phase messages and releases value-balanced quorums so
+// no processor ever sees a majority. The only escape is a unanimous coin
+// round: probability 2^(1-n) per stage for independent local coins (expected
+// stages ~ 2^(n-1)), probability 1 for the shared coin list (constant).
+#include <algorithm>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/omniscient.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "metrics/report.h"
+#include "protocol/agreement.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+struct CompareResult {
+  Samples stages;
+  int64_t censored = 0;  ///< runs stopped by the event budget
+};
+
+CompareResult run_variant(int n, bool shared_coins, int runs, int64_t max_events) {
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 1};
+  CompareResult out;
+  for (int run = 0; run < runs; ++run) {
+    const auto seed = static_cast<uint64_t>(run * 104729 + n * 7 + (shared_coins ? 1 : 0));
+    auto spy = std::make_shared<adversary::BroadcastSpy>();
+
+    RandomTape coin_rng(seed ^ 0xc0135);
+    std::vector<uint8_t> coins;
+    if (shared_coins) coins = coin_rng.flip_bits(4096);  // enough for any run
+
+    std::vector<std::unique_ptr<sim::Process>> fleet;
+    for (int i = 0; i < n; ++i) {
+      protocol::AgreementProcess::Options options;
+      options.params = params;
+      options.initial_value = i % 2;  // maximally split inputs
+      options.coins = coins;
+      options.observer = [spy, i](Tick clock, int phase, int stage, int value) {
+        spy->record(i, clock, adversary::SpiedSend{phase, stage, value});
+      };
+      fleet.push_back(std::make_unique<protocol::AgreementProcess>(std::move(options)));
+    }
+    auto adv = std::make_unique<adversary::SplitVoteAdversary>(spy, params.t);
+    sim::Simulator sim({.seed = seed, .max_events = max_events}, std::move(fleet),
+                       std::move(adv));
+    const auto result = sim.run();
+    if (result.status != sim::RunStatus::kAllDecided) {
+      ++out.censored;
+      continue;
+    }
+    int max_stage = 0;
+    for (const auto& proc : sim.processes()) {
+      const auto& core = dynamic_cast<const protocol::AgreementProcess&>(*proc).core();
+      max_stage = std::max(max_stage, core.decision_stage());
+    }
+    out.stages.add(max_stage);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using rcommit::Table;
+
+  std::cout << "E6: local-coin Ben-Or vs shared-coin Protocol 1 under the\n"
+               "omniscient split-vote adversary (worst-case scheduler;\n"
+               "stronger than the paper's model — see DESIGN.md D4)\n\n";
+
+  Table table({"n", "variant", "runs", "mean stages", "max stages", "censored",
+               "theory E[stages]"});
+  double shared_worst_mean = 0.0;
+  bool exponential_growth = true;
+  double prev_local_mean = 0.0;
+  for (int n : {4, 6, 8, 10}) {
+    // Fewer runs for large n: each local-coin run costs ~2^(n-1) stages.
+    const int runs = n <= 6 ? 200 : (n == 8 ? 80 : 30);
+    const int64_t budget = 400'000 + (static_cast<int64_t>(1) << (n + 12));
+
+    const auto local = run_variant(n, /*shared_coins=*/false, runs, budget);
+    const auto shared = run_variant(n, /*shared_coins=*/true, runs, budget);
+
+    const double theory = std::pow(2.0, n - 1);
+    table.row({Table::num(static_cast<int64_t>(n)), "local coins (Ben-Or)",
+               Table::num(static_cast<int64_t>(runs)), Table::num(local.stages.mean()),
+               Table::num(local.stages.max(), 0), Table::num(local.censored),
+               "~" + Table::num(theory, 0)});
+    table.row({Table::num(static_cast<int64_t>(n)), "shared coins (paper)",
+               Table::num(static_cast<int64_t>(runs)), Table::num(shared.stages.mean()),
+               Table::num(shared.stages.max(), 0), Table::num(shared.censored), "<= 4"});
+
+    shared_worst_mean = std::max(shared_worst_mean, shared.stages.mean());
+    if (n > 4 && local.stages.mean() < 1.5 * prev_local_mean) {
+      exponential_growth = false;
+    }
+    prev_local_mean = local.stages.mean();
+  }
+  table.print(std::cout);
+
+  rcommit::metrics::print_claim_report(
+      std::cout, "E6 claims",
+      {
+          {"C14a", "shared coins: constant expected stages vs the adversary",
+           "worst mean = " + Table::num(shared_worst_mean), shared_worst_mean <= 4.0},
+          {"C14b", "local coins: expected stages grow exponentially in n",
+           exponential_growth ? "mean stages grow >= 1.5x per +2 processors"
+                              : "growth slower than exponential",
+           exponential_growth},
+      });
+  return 0;
+}

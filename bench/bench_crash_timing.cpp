@@ -1,0 +1,98 @@
+// E13 — outcome vs. crash timing (phase-boundary ablation).
+//
+// Sweeps the instant a single crash strikes — from before the GO broadcast,
+// through the GO/vote collection windows, into the agreement stages — for
+// both the coordinator and a participant, and reports how the fleet
+// responds. The paper's structure is directly visible in the rows: a
+// coordinator that dies mute leaves the protocol unstarted (the §2.4
+// exemption); any later crash is absorbed, with the outcome drifting from
+// abort (vote windows poisoned by the missing processor) to commit (crash
+// after the votes are in).
+#include <iostream>
+#include <memory>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "common/stats.h"
+#include "metrics/report.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+struct TimingRow {
+  int commits = 0;
+  int aborts = 0;
+  int blocked = 0;
+  int conflicts = 0;
+};
+
+TimingRow run_crash_at(ProcId victim, Tick at_clock, int runs) {
+  const SystemParams params{.n = 5, .t = 2, .k = 2};
+  TimingRow row;
+  for (int run = 0; run < runs; ++run) {
+    const auto seed = static_cast<uint64_t>(run * 37 + victim * 5 + at_clock);
+    std::vector<int> votes(5, 1);
+    adversary::CrashPlan plan;
+    plan.victim = victim;
+    plan.at_clock = at_clock;
+    auto adv = std::make_unique<adversary::CrashAdversary>(
+        adversary::make_random_adversary(seed, 2),
+        std::vector<adversary::CrashPlan>{plan});
+    sim::Simulator sim({.seed = seed, .max_events = 40'000},
+                       protocol::make_commit_fleet(params, votes), std::move(adv));
+    const auto result = sim.run();
+    if (!protocol::agreement_holds(result)) ++row.conflicts;
+    if (result.status != sim::RunStatus::kAllDecided) {
+      ++row.blocked;
+      continue;
+    }
+    if (result.agreed_decision() == Decision::kCommit) {
+      ++row.commits;
+    } else {
+      ++row.aborts;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using rcommit::Table;
+  constexpr int kRuns = 300;
+
+  std::cout << "E13: one crash at a controlled clock, n = 5, t = 2, K = 2, "
+            << kRuns << " runs per row (random admissible timing)\n\n";
+
+  bool no_conflicts = true;
+  for (ProcId victim : {0, 2}) {
+    std::cout << (victim == 0 ? "victim: coordinator (p0)\n" : "victim: participant (p2)\n");
+    Table table({"crash at clock", "commits", "aborts", "blocked", "conflicts"});
+    for (Tick at : {1, 2, 3, 4, 6, 8, 12}) {
+      const auto row = run_crash_at(victim, at, kRuns);
+      table.row({Table::num(static_cast<int64_t>(at)),
+                 Table::num(static_cast<int64_t>(row.commits)),
+                 Table::num(static_cast<int64_t>(row.aborts)),
+                 Table::num(static_cast<int64_t>(row.blocked)),
+                 Table::num(static_cast<int64_t>(row.conflicts))});
+      no_conflicts = no_conflicts && row.conflicts == 0;
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "(coordinator at clock 1 = the mute-coordinator exemption of "
+               "§2.4: no processor ever receives a message)\n";
+
+  metrics::print_claim_report(
+      std::cout, "E13 claims",
+      {
+          {"Thm9/11", "no crash instant produces conflicting decisions",
+           no_conflicts ? "0 conflicts over all rows" : "CONFLICT", no_conflicts},
+      });
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E3 — the fast path in clock ticks (claims C4, C5).
+//
+// Remark (1) §3.2: in failure-free on-time runs, all processors decide within
+// 8K clock ticks (4K for Protocol 2's GO and vote exchanges, at most 2K per
+// agreement stage). Remark (2): on-time runs that are *not* failure-free
+// still decide in a constant expected number of ticks. We sweep K and n for
+// the failure-free bound and inject up to t crashes for the constant-expected
+// claim.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "common/stats.h"
+#include "metrics/report.h"
+#include "protocol/commit.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+Tick max_decide_clock(const sim::RunResult& result) {
+  Tick max_clock = 0;
+  for (size_t p = 0; p < result.trace.decide_clock.size(); ++p) {
+    if (result.trace.crashed[p]) continue;
+    if (const auto& c = result.trace.decide_clock[p]; c.has_value()) {
+      max_clock = std::max(max_clock, *c);
+    }
+  }
+  return max_clock;
+}
+
+}  // namespace
+
+int main() {
+  using rcommit::Table;
+  constexpr int kRuns = 400;
+
+  std::cout << "E3: decision time in clock ticks on the fast path\n\n";
+
+  // --- failure-free, on-time: the 8K bound ---------------------------------
+  Table ff({"K", "n", "mean ticks", "max ticks", "bound 8K", "within"});
+  bool all_within = true;
+  for (Tick k : {2, 5, 10}) {
+    for (int n : {3, 5, 9}) {
+      SystemParams params{.n = n, .t = (n - 1) / 2, .k = k};
+      Samples ticks;
+      for (int run = 0; run < kRuns; ++run) {
+        const auto seed = static_cast<uint64_t>(run * 31 + n + k);
+        std::vector<int> votes(static_cast<size_t>(n), 1);
+        sim::Simulator sim({.seed = seed}, protocol::make_commit_fleet(params, votes),
+                           adversary::make_on_time_adversary());
+        const auto result = sim.run();
+        ticks.add(static_cast<double>(max_decide_clock(result)));
+      }
+      const bool within = ticks.max() <= static_cast<double>(8 * k);
+      all_within = all_within && within;
+      ff.row({Table::num(static_cast<int64_t>(k)), Table::num(static_cast<int64_t>(n)),
+              Table::num(ticks.mean()), Table::num(ticks.max(), 0),
+              Table::num(static_cast<int64_t>(8 * k)), within ? "yes" : "NO"});
+    }
+  }
+  std::cout << "failure-free on-time runs (remark 1):\n";
+  ff.print(std::cout);
+
+  // --- on-time with up to t crashes: constant expected ticks ----------------
+  std::cout << "\non-time runs with up to t crashes (remark 2):\n";
+  Table crash_table({"K", "crashes", "mean ticks", "max ticks", "mean/K"});
+  double worst_ratio = 0.0;
+  for (Tick k : {2, 5, 10}) {
+    SystemParams params{.n = 7, .t = 3, .k = k};
+    for (int crashes : {1, 2, 3}) {
+      Samples ticks;
+      for (int run = 0; run < kRuns; ++run) {
+        const auto seed = static_cast<uint64_t>(run * 131 + k * 7 + crashes);
+        std::vector<int> votes(7, 1);
+        auto plans = adversary::random_crash_plans(seed, 7, crashes, 6 * k);
+        // Keep the coordinator alive for its GO broadcast (§2.4 exemption).
+        for (auto& p : plans) {
+          if (p.victim == 0 && p.at_clock == 1 && p.suppress_sends_to.empty()) {
+            p.at_clock = 2;
+          }
+        }
+        auto adv = std::make_unique<adversary::CrashAdversary>(
+            adversary::make_on_time_adversary(), std::move(plans));
+        sim::Simulator sim({.seed = seed}, protocol::make_commit_fleet(params, votes),
+                           std::move(adv));
+        const auto result = sim.run();
+        if (result.status == sim::RunStatus::kAllDecided) {
+          ticks.add(static_cast<double>(max_decide_clock(result)));
+        }
+      }
+      const double ratio = ticks.mean() / static_cast<double>(k);
+      worst_ratio = std::max(worst_ratio, ratio);
+      crash_table.row({Table::num(static_cast<int64_t>(k)),
+                       Table::num(static_cast<int64_t>(crashes)),
+                       Table::num(ticks.mean()), Table::num(ticks.max(), 0),
+                       Table::num(ratio)});
+    }
+  }
+  crash_table.print(std::cout);
+
+  rcommit::metrics::print_claim_report(
+      std::cout, "E3 claims",
+      {
+          {"C4", "failure-free on-time runs decide within 8K ticks",
+           all_within ? "every run within 8K" : "bound exceeded", all_within},
+          {"C5", "on-time runs decide in constant expected ticks (O(K))",
+           "worst mean/K ratio = " + Table::num(worst_ratio),
+           worst_ratio <= 16.0},
+      });
+  return 0;
+}

@@ -1,0 +1,275 @@
+// E7 — one late message: synchronous commit protocols err, Protocol 2 does
+// not (claim C13).
+//
+// The paper (§1): "The main difficulty in using these [synchronous] protocols
+// in real systems is that a single violation of the timing assumptions (i.e.,
+// a late message) can cause the protocol to produce the wrong answer."
+// We run 2PC (both timeout policies), 3PC, and Protocol 2 through schedules
+// that are perfectly on-time except for one targeted late message, and count
+// conflicting decisions (two processors deciding differently) and blocked
+// runs.
+//
+//   2PC / presume-abort : the coordinator's COMMIT to one participant is
+//                         late; the participant times out and aborts a
+//                         committed transaction — inconsistency.
+//   2PC / block         : the same participant simply blocks forever — safe
+//                         but unavailable (the classic blocking problem).
+//   3PC                 : one PRECOMMIT is late; the prepared participant's
+//                         timeout rule says abort while the precommitted rest
+//                         commit — inconsistency.
+//   Protocol 2          : late messages only ever delay or flip the outcome
+//                         toward abort; all processors still agree.
+#include <iostream>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "baselines/q3pc.h"
+#include "baselines/threepc.h"
+#include "baselines/twopc.h"
+#include "common/stats.h"
+#include "metrics/report.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+struct Tally {
+  int conflicts = 0;
+  int blocked = 0;
+  int commits = 0;
+  int aborts = 0;
+};
+
+enum class Proto { kTwoPcPresume, kTwoPcBlock, kThreePc, kQ3pc, kOurs };
+
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kTwoPcPresume: return "2PC (presume-abort)";
+    case Proto::kTwoPcBlock: return "2PC (block)";
+    case Proto::kThreePc: return "3PC";
+    case Proto::kQ3pc: return "3PC + termination protocol";
+    default: return "Protocol 2 (ours)";
+  }
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_fleet(Proto proto,
+                                                      const SystemParams& params) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int i = 0; i < params.n; ++i) {
+    switch (proto) {
+      case Proto::kTwoPcPresume:
+      case Proto::kTwoPcBlock: {
+        baselines::TwoPcProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        options.policy = proto == Proto::kTwoPcBlock
+                             ? baselines::TwoPcTimeoutPolicy::kBlock
+                             : baselines::TwoPcTimeoutPolicy::kPresumeAbort;
+        fleet.push_back(std::make_unique<baselines::TwoPcProcess>(options));
+        break;
+      }
+      case Proto::kThreePc: {
+        baselines::ThreePcProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<baselines::ThreePcProcess>(options));
+        break;
+      }
+      case Proto::kQ3pc: {
+        baselines::Q3pcProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<baselines::Q3pcProcess>(options));
+        break;
+      }
+      case Proto::kOurs: {
+        protocol::CommitProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<protocol::CommitProcess>(options));
+        break;
+      }
+    }
+  }
+  return fleet;
+}
+
+/// Which message on the coordinator->victim link to delay, per protocol:
+/// the one whose lateness splits the timeout rules.
+int late_ordinal(Proto proto) {
+  switch (proto) {
+    case Proto::kTwoPcPresume:
+    case Proto::kTwoPcBlock:
+      return 1;  // 0 = PREPARE, 1 = COMMIT/ABORT decision
+    case Proto::kThreePc:
+    case Proto::kQ3pc:
+      return 1;  // 0 = CANCOMMIT, 1 = PRECOMMIT
+    default:
+      return 1;  // for ours: second coordinator message, arbitrary
+  }
+}
+
+enum class Scenario {
+  kLateMessage,      ///< one message delayed 60 ticks, otherwise on-time
+  kCoordinatorDies,  ///< coordinator crashes mid-outcome-broadcast
+  kLeaderIsolated,   ///< every link INTO processor 1 is late (no failures)
+};
+
+Tally run_protocol(Proto proto, Scenario scenario, int runs) {
+  const SystemParams params{.n = 5, .t = 2, .k = 2};
+  Tally tally;
+  for (int run = 0; run < runs; ++run) {
+    const auto seed = static_cast<uint64_t>(run * 41 + 7);
+    const ProcId victim = 1 + static_cast<ProcId>(run % (params.n - 1));
+    std::unique_ptr<sim::Adversary> adv;
+    if (scenario == Scenario::kLeaderIsolated) {
+      // Processor 1 — Q3PC's recovery leader — is cut off *after* the first
+      // message on each incoming link (so it joins the protocol normally and
+      // votes), then sees everything else 120 ticks late. Nobody crashes.
+      std::vector<adversary::LateRule> rules;
+      for (ProcId p = 0; p < params.n; ++p) {
+        if (p == 1) continue;
+        for (int nth = 1; nth <= 8; ++nth) {
+          rules.push_back({.from = p, .to = 1, .nth = nth, .extra_delay = 120});
+        }
+      }
+      adv = std::make_unique<adversary::LateMessageAdversary>(std::move(rules));
+    } else if (scenario == Scenario::kLateMessage) {
+      adversary::LateRule rule;
+      rule.from = 0;
+      rule.to = victim;
+      rule.nth = late_ordinal(proto);
+      rule.extra_delay = 60;  // far beyond every timeout (4K = 8)
+      adv = std::make_unique<adversary::LateMessageAdversary>(
+          std::vector<adversary::LateRule>{rule});
+    } else {
+      // In the delay-1 round-robin schedule the coordinator's second step
+      // (clock 2) is its 2PC decision broadcast — respectively its 3PC
+      // PRECOMMIT broadcast. It executes that step, but the copy to `victim`
+      // is lost and the coordinator then crashes: the mid-broadcast failure
+      // the paper's guaranteed-message machinery models.
+      adversary::CrashPlan plan;
+      plan.victim = 0;
+      plan.at_clock = 2;
+      plan.suppress_sends_to = {victim};
+      adv = std::make_unique<adversary::CrashAdversary>(
+          adversary::make_on_time_adversary(),
+          std::vector<adversary::CrashPlan>{plan});
+    }
+    sim::Simulator sim({.seed = seed, .max_events = 30'000},
+                       make_fleet(proto, params), std::move(adv));
+    const auto result = sim.run();
+    if (result.has_conflicting_decisions()) ++tally.conflicts;
+    if (result.status != sim::RunStatus::kAllDecided) ++tally.blocked;
+    int commit_count = 0;
+    int abort_count = 0;
+    for (const auto& d : result.decisions) {
+      if (!d.has_value()) continue;
+      (*d == Decision::kCommit ? commit_count : abort_count) += 1;
+    }
+    if (commit_count > 0) ++tally.commits;
+    if (abort_count > 0) ++tally.aborts;
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  using rcommit::Table;
+  constexpr int kRuns = 500;
+
+  std::cout << "E7: timing violations vs commit protocols, n = 5, all votes "
+               "commit, K = 2, "
+            << kRuns << " runs per cell\n";
+
+  std::map<std::pair<Proto, Scenario>, Tally> tallies;
+  for (auto scenario : {Scenario::kLateMessage, Scenario::kCoordinatorDies,
+                        Scenario::kLeaderIsolated}) {
+    switch (scenario) {
+      case Scenario::kLateMessage:
+        std::cout << "\nscenario A: one message delayed by 60 ticks "
+                     "(timeouts are 4K = 8), no failures\n";
+        break;
+      case Scenario::kCoordinatorDies:
+        std::cout << "\nscenario B: coordinator crashes in the middle of "
+                     "its outcome broadcast\n";
+        break;
+      case Scenario::kLeaderIsolated:
+        std::cout << "\nscenario C: every message into processor 1 (the "
+                     "termination-protocol leader) is late, no failures\n";
+        break;
+    }
+    Table table({"protocol", "conflicting runs", "blocked runs",
+                 "runs w/ commit", "runs w/ abort"});
+    for (auto proto : {Proto::kTwoPcPresume, Proto::kTwoPcBlock, Proto::kThreePc,
+                       Proto::kQ3pc, Proto::kOurs}) {
+      const auto tally = run_protocol(proto, scenario, kRuns);
+      table.row({proto_name(proto), Table::num(static_cast<int64_t>(tally.conflicts)),
+                 Table::num(static_cast<int64_t>(tally.blocked)),
+                 Table::num(static_cast<int64_t>(tally.commits)),
+                 Table::num(static_cast<int64_t>(tally.aborts))});
+      tallies[{proto, scenario}] = tally;
+    }
+    table.print(std::cout);
+  }
+
+  const auto& presume_late = tallies[{Proto::kTwoPcPresume, Scenario::kLateMessage}];
+  const auto& threepc_late = tallies[{Proto::kThreePc, Scenario::kLateMessage}];
+  const auto& block_crash = tallies[{Proto::kTwoPcBlock, Scenario::kCoordinatorDies}];
+  const auto& q3pc_late = tallies[{Proto::kQ3pc, Scenario::kLateMessage}];
+  const auto& q3pc_crash = tallies[{Proto::kQ3pc, Scenario::kCoordinatorDies}];
+  const auto& q3pc_isolated = tallies[{Proto::kQ3pc, Scenario::kLeaderIsolated}];
+  const auto& ours_late = tallies[{Proto::kOurs, Scenario::kLateMessage}];
+  const auto& ours_crash = tallies[{Proto::kOurs, Scenario::kCoordinatorDies}];
+  const auto& ours_isolated = tallies[{Proto::kOurs, Scenario::kLeaderIsolated}];
+
+  rcommit::metrics::print_claim_report(
+      std::cout, "E7 claims",
+      {
+          {"C13a", "a single late message drives 2PC/3PC to a wrong answer",
+           "2PC-presume conflicts: " +
+               Table::num(static_cast<int64_t>(presume_late.conflicts)) +
+               ", 3PC conflicts: " +
+               Table::num(static_cast<int64_t>(threepc_late.conflicts)),
+           presume_late.conflicts > 0 && threepc_late.conflicts > 0},
+          {"C13b",
+           "the safe 2PC variant escapes wrong answers only by blocking "
+           "(coordinator-crash scenario)",
+           "2PC-block: conflicts " +
+               Table::num(static_cast<int64_t>(block_crash.conflicts)) +
+               ", blocked " + Table::num(static_cast<int64_t>(block_crash.blocked)),
+           block_crash.conflicts == 0 && block_crash.blocked > 0},
+          {"C13c",
+           "the termination protocol fixes A and B but falls to leader "
+           "isolation (C): the synchrony assumption, not the rule set, is "
+           "the flaw",
+           "Q3PC conflicts A/B/C: " +
+               Table::num(static_cast<int64_t>(q3pc_late.conflicts)) + "/" +
+               Table::num(static_cast<int64_t>(q3pc_crash.conflicts)) + "/" +
+               Table::num(static_cast<int64_t>(q3pc_isolated.conflicts)),
+           q3pc_late.conflicts == 0 && q3pc_crash.conflicts == 0 &&
+               q3pc_isolated.conflicts > 0},
+          {"C13d", "Protocol 2 neither conflicts nor blocks in any scenario",
+           "conflicts: " +
+               Table::num(static_cast<int64_t>(ours_late.conflicts +
+                                               ours_crash.conflicts +
+                                               ours_isolated.conflicts)) +
+               ", blocked: " +
+               Table::num(static_cast<int64_t>(ours_late.blocked +
+                                               ours_crash.blocked +
+                                               ours_isolated.blocked)),
+           ours_late.conflicts + ours_crash.conflicts + ours_isolated.conflicts ==
+                   0 &&
+               ours_late.blocked + ours_crash.blocked + ours_isolated.blocked ==
+                   0},
+      });
+  return 0;
+}

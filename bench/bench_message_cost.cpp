@@ -1,0 +1,106 @@
+// E9 — message cost per decision across protocols.
+//
+// Not a numbered claim in the paper, but the natural cost-side companion to
+// its comparison: Protocol 2 buys timing-robustness with O(n^2) messages per
+// stage (everyone broadcasts), where coordinator-based 2PC/3PC spend O(n) —
+// and pay for it with late-message fragility (see E7).
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "baselines/benor.h"
+#include "baselines/threepc.h"
+#include "baselines/twopc.h"
+#include "common/stats.h"
+#include "protocol/commit.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+enum class Proto { kOurs, kAgreementOnly, kTwoPc, kThreePc };
+
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kOurs: return "Protocol 2 (commit)";
+    case Proto::kAgreementOnly: return "Protocol 1 (agreement)";
+    case Proto::kTwoPc: return "2PC";
+    default: return "3PC";
+  }
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_fleet(Proto proto,
+                                                      const SystemParams& params,
+                                                      uint64_t seed) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  RandomTape coin_rng(seed);
+  const auto coins = coin_rng.flip_bits(params.n);
+  for (int i = 0; i < params.n; ++i) {
+    switch (proto) {
+      case Proto::kOurs: {
+        protocol::CommitProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<protocol::CommitProcess>(options));
+        break;
+      }
+      case Proto::kAgreementOnly:
+        fleet.push_back(baselines::make_shared_coin_process(params, 1, coins));
+        break;
+      case Proto::kTwoPc: {
+        baselines::TwoPcProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<baselines::TwoPcProcess>(options));
+        break;
+      }
+      case Proto::kThreePc: {
+        baselines::ThreePcProcess::Options options;
+        options.params = params;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<baselines::ThreePcProcess>(options));
+        break;
+      }
+    }
+  }
+  return fleet;
+}
+
+}  // namespace
+
+int main() {
+  using rcommit::Table;
+  constexpr int kRuns = 300;
+
+  std::cout << "E9: messages sent per decided instance (failure-free, on-time)\n"
+            << kRuns << " runs per cell\n\n";
+
+  Table table({"protocol", "n=3", "n=5", "n=9", "n=13"});
+  for (auto proto : {Proto::kOurs, Proto::kAgreementOnly, Proto::kTwoPc,
+                     Proto::kThreePc}) {
+    std::vector<std::string> row{proto_name(proto)};
+    for (int n : {3, 5, 9, 13}) {
+      SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+      Samples messages;
+      for (int run = 0; run < kRuns; ++run) {
+        const auto seed = static_cast<uint64_t>(run * 29 + n);
+        sim::Simulator sim({.seed = seed, .record_trace = false},
+                           make_fleet(proto, params, seed),
+                           adversary::make_on_time_adversary());
+        const auto result = sim.run();
+        if (result.status == sim::RunStatus::kAllDecided) {
+          messages.add(static_cast<double>(result.messages_sent));
+        }
+      }
+      row.push_back(Table::num(messages.mean(), 0));
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nProtocol 2 pays O(n^2) messages per stage for coordinator-free "
+               "timing robustness;\n2PC/3PC are O(n) but fail under one late "
+               "message (see bench_late_messages).\n";
+  return 0;
+}

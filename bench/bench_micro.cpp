@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark): the hot paths under the experiments —
+// codec round-trips, wire encode/decode, CRC, WAL appends, and raw simulator
+// event throughput. These quantify the substrate costs so the protocol-level
+// numbers in E1-E14 can be read with the constant factors in mind.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "adversary/basic.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "db/wal.h"
+#include "protocol/commit.h"
+#include "protocol/messages.h"
+#include "sim/simulator.h"
+#include "transport/wire.h"
+
+namespace {
+
+using namespace rcommit;
+
+void BM_CodecVarintRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    BufWriter w;
+    for (uint64_t v = 1; v < 1u << 20; v <<= 1) w.varint(v * 2654435761u);
+    BufReader r(w.data());
+    uint64_t sum = 0;
+    while (!r.exhausted()) sum += r.varint();
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_CodecVarintRoundTrip);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  RandomTape rng(1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next_below(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+void BM_WireEncodeDecodePiggybacked(benchmark::State& state) {
+  const auto msg = sim::make_message<protocol::PiggybackedMsg>(
+      std::vector<uint8_t>(16, 1),
+      sim::make_message<protocol::AgreementR2>(3, 1));
+  const auto& registry = transport::WireRegistry::instance();
+  for (auto _ : state) {
+    const auto bytes = registry.encode(*msg);
+    benchmark::DoNotOptimize(registry.decode(bytes));
+  }
+}
+BENCHMARK(BM_WireEncodeDecodePiggybacked);
+
+void BM_WalAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::temp_directory_path() /
+                        ("rcommit_bm_wal_" + std::to_string(::getpid()) + ".wal");
+  fs::remove(path);
+  db::WriteAheadLog wal(path);
+  int64_t txn = 0;
+  for (auto _ : state) {
+    wal.append({db::WalRecordType::kWrite, ++txn, "some-key", "some-value"});
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove(path);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_SimulatorCommitRun(benchmark::State& state) {
+  const auto n = static_cast<int32_t>(state.range(0));
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  uint64_t seed = 1;
+  int64_t events = 0;
+  for (auto _ : state) {
+    std::vector<int> votes(static_cast<size_t>(n), 1);
+    sim::Simulator sim({.seed = ++seed, .record_trace = false},
+                       protocol::make_commit_fleet(params, votes),
+                       adversary::make_random_adversary(seed, 3));
+    const auto result = sim.run();
+    events += result.events;
+    benchmark::DoNotOptimize(result.decisions.front());
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel("events/iteration ~" + std::to_string(events / state.iterations()));
+}
+BENCHMARK(BM_SimulatorCommitRun)->Arg(5)->Arg(9)->Arg(13);
+
+void BM_RandomTape(benchmark::State& state) {
+  RandomTape tape(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tape.next_real());
+  }
+}
+BENCHMARK(BM_RandomTape);
+
+}  // namespace
+
+BENCHMARK_MAIN();

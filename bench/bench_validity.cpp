@@ -1,0 +1,127 @@
+// E5 — validity conditions under hostile timing (claims C9, C10).
+//
+// Abort validity (Theorem 9): if any processor initially wants to abort, the
+// decision is abort "no matter what the timing behavior of the system is".
+// Commit validity: all-commit + failure-free + on-time forces commit. We
+// hammer the first across four adversary families and verify the second on
+// the on-time family.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/adaptive.h"
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/stretch.h"
+#include "common/stats.h"
+#include "metrics/report.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+std::unique_ptr<sim::Adversary> make_adversary(int family, const SystemParams& params,
+                                               uint64_t seed) {
+  switch (family) {
+    case 0:
+      return adversary::make_on_time_adversary();
+    case 1:
+      return adversary::make_random_adversary(seed, 6);
+    case 2:
+      return std::make_unique<adversary::DelayStretchAdversary>(9);
+    default: {
+      auto plans = adversary::random_crash_plans(seed, params.n, params.t, 20);
+      for (auto& p : plans) {
+        if (p.victim == 0 && p.at_clock == 1 && p.suppress_sends_to.empty()) {
+          p.at_clock = 2;
+        }
+      }
+      return std::make_unique<adversary::CrashAdversary>(
+          adversary::make_random_adversary(seed, 4), std::move(plans));
+    }
+  }
+}
+
+const char* family_name(int family) {
+  switch (family) {
+    case 0: return "on-time";
+    case 1: return "random";
+    case 2: return "stretch x9 (all late)";
+    default: return "crash(t)+random";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using rcommit::Table;
+  constexpr int kRuns = 500;
+  const SystemParams params{.n = 7, .t = 3, .k = 2};
+
+  std::cout << "E5: validity conditions, n = 7, t = 3, K = 2, " << kRuns
+            << " runs per row\n\n";
+
+  // --- abort validity: one aborter, the rest want commit --------------------
+  Table abort_table({"adversary", "decided runs", "aborts", "commits (violations)"});
+  bool abort_ok = true;
+  for (int family = 0; family < 4; ++family) {
+    int decided = 0;
+    int aborts = 0;
+    int commits = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto seed = static_cast<uint64_t>(run * 53 + family + 1);
+      std::vector<int> votes(7, 1);
+      votes[static_cast<size_t>(run % 7)] = 0;
+      // Aborter must survive for the crash family: abort validity is about
+      // a live processor's wish.
+      sim::Simulator sim({.seed = seed, .max_events = 100'000},
+                         protocol::make_commit_fleet(params, votes),
+                         make_adversary(family, params, seed));
+      const auto result = sim.run();
+      if (!protocol::abort_validity_holds(result, votes)) ++commits;
+      if (result.status == sim::RunStatus::kAllDecided) {
+        ++decided;
+        if (result.agreed_decision() == Decision::kAbort) ++aborts;
+      }
+    }
+    abort_ok = abort_ok && commits == 0;
+    abort_table.row({family_name(family), Table::num(static_cast<int64_t>(decided)),
+                     Table::num(static_cast<int64_t>(aborts)),
+                     Table::num(static_cast<int64_t>(commits))});
+  }
+  std::cout << "abort validity (one initial abort):\n";
+  abort_table.print(std::cout);
+
+  // --- commit validity: all-commit, failure-free, on-time -------------------
+  int commit_ok_runs = 0;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto seed = static_cast<uint64_t>(run * 97 + 11);
+    std::vector<int> votes(7, 1);
+    sim::Simulator sim({.seed = seed}, protocol::make_commit_fleet(params, votes),
+                       adversary::make_on_time_adversary());
+    const auto result = sim.run();
+    if (result.status == sim::RunStatus::kAllDecided &&
+        result.agreed_decision() == Decision::kCommit) {
+      ++commit_ok_runs;
+    }
+  }
+  const bool commit_ok = commit_ok_runs == kRuns;
+  std::cout << "\ncommit validity: " << commit_ok_runs << "/" << kRuns
+            << " all-commit failure-free on-time runs committed\n";
+
+  metrics::print_claim_report(
+      std::cout, "E5 claims",
+      {
+          {"C9", "any initial abort forces abort, under ANY timing",
+           abort_ok ? "0 violations across 4 adversary families" : "VIOLATION",
+           abort_ok},
+          {"C10", "all-commit failure-free on-time runs commit",
+           Table::num(static_cast<int64_t>(commit_ok_runs)) + "/" +
+               Table::num(static_cast<int64_t>(kRuns)) + " committed",
+           commit_ok},
+      });
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Fault injection demo: watch a synchronous commit protocol break, and the
+// randomized protocol shrug.
+//
+// Reproduces the paper's core argument interactively on the deterministic
+// simulator: the same three scenarios (clean run, one late message, crashes
+// within the fault bound) are fed to 2PC, 3PC, and Protocol 2, and each
+// processor's decision is printed so the inconsistency is visible processor
+// by processor.
+//
+//   $ fault_injection_demo
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "baselines/threepc.h"
+#include "baselines/twopc.h"
+#include "protocol/commit.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace rcommit;
+
+constexpr int kN = 5;
+const SystemParams kParams{.n = kN, .t = 2, .k = 2};
+
+enum class Proto { kTwoPc, kThreePc, kOurs };
+
+std::vector<std::unique_ptr<sim::Process>> make_fleet(Proto proto) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int i = 0; i < kN; ++i) {
+    switch (proto) {
+      case Proto::kTwoPc: {
+        baselines::TwoPcProcess::Options options;
+        options.params = kParams;
+        options.initial_vote = 1;
+        options.policy = baselines::TwoPcTimeoutPolicy::kPresumeAbort;
+        fleet.push_back(std::make_unique<baselines::TwoPcProcess>(options));
+        break;
+      }
+      case Proto::kThreePc: {
+        baselines::ThreePcProcess::Options options;
+        options.params = kParams;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<baselines::ThreePcProcess>(options));
+        break;
+      }
+      case Proto::kOurs: {
+        protocol::CommitProcess::Options options;
+        options.params = kParams;
+        options.initial_vote = 1;
+        fleet.push_back(std::make_unique<protocol::CommitProcess>(options));
+        break;
+      }
+    }
+  }
+  return fleet;
+}
+
+std::unique_ptr<sim::Adversary> make_scenario(int scenario) {
+  switch (scenario) {
+    case 0:  // clean
+      return adversary::make_on_time_adversary();
+    case 1: {  // one late message: coordinator's 2nd message to processor 3
+      adversary::LateRule rule{.from = 0, .to = 3, .nth = 1, .extra_delay = 60};
+      return std::make_unique<adversary::LateMessageAdversary>(
+          std::vector<adversary::LateRule>{rule});
+    }
+    default: {  // two crashes (within t = 2), mid-broadcast
+      std::vector<adversary::CrashPlan> plans;
+      plans.push_back({.victim = 1, .at_clock = 2, .suppress_sends_to = {3, 4}});
+      plans.push_back({.victim = 4, .at_clock = 4, .suppress_sends_to = {2}});
+      return std::make_unique<adversary::CrashAdversary>(
+          adversary::make_on_time_adversary(), std::move(plans));
+    }
+  }
+}
+
+const char* scenario_name(int scenario) {
+  switch (scenario) {
+    case 0: return "clean run (on-time, failure-free)";
+    case 1: return "ONE LATE MESSAGE (coordinator -> p3 delayed 60 ticks)";
+    default: return "two mid-broadcast crashes (within the fault bound)";
+  }
+}
+
+const char* proto_name(Proto proto) {
+  switch (proto) {
+    case Proto::kTwoPc: return "2PC   ";
+    case Proto::kThreePc: return "3PC   ";
+    default: return "ours  ";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "n = 5 processors, all initially voting COMMIT; timeouts 4K = 8 "
+               "ticks\n";
+  for (int scenario = 0; scenario < 3; ++scenario) {
+    std::cout << "\n--- scenario: " << scenario_name(scenario) << " ---\n";
+    for (auto proto : {Proto::kTwoPc, Proto::kThreePc, Proto::kOurs}) {
+      sim::Simulator sim({.seed = 1, .max_events = 30'000}, make_fleet(proto),
+                         make_scenario(scenario));
+      const auto result = sim.run();
+      std::cout << proto_name(proto) << " decisions: ";
+      for (int p = 0; p < kN; ++p) {
+        if (result.crashed[static_cast<size_t>(p)]) {
+          std::cout << "[crashed] ";
+        } else if (const auto& d = result.decisions[static_cast<size_t>(p)]) {
+          std::cout << (*d == Decision::kCommit ? "COMMIT " : "ABORT  ");
+        } else {
+          std::cout << "-blocked- ";
+        }
+      }
+      if (result.has_conflicting_decisions()) {
+        std::cout << "  <<< INCONSISTENT: database diverges!";
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "\nThe randomized protocol (Coan & Lundelius 1986) never "
+               "diverges: late messages\nand crashes can only delay it or "
+               "steer it toward a unanimous abort.\n";
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Scenario runner: compose a protocol, an adversary, and fault injection from
+// the command line, run it on the deterministic simulator, and inspect the
+// result — optionally as a full step-by-step trace.
+//
+//   $ scenario_cli --protocol=commit --n=5 --k=2 --adversary=random \
+//                  --max-delay=4 --crashes=2 --seed=7 --votes=11011 --trace
+//
+// Flags:
+//   --protocol   commit | agreement | twopc | threepc        (default commit)
+//   --n          processors                                   (default 5)
+//   --t          fault bound                                  (default (n-1)/2)
+//   --k          on-time bound K in ticks                     (default 2)
+//   --adversary  ontime | random | mostly | stretch | staller (default ontime)
+//   --max-delay  random adversary's max delay                 (default 4)
+//   --stretch    stretch adversary's uniform delay            (default 8)
+//   --crashes    number of random crash victims               (default 0)
+//   --votes      bit string of initial votes, MSB = proc 0    (default all 1)
+//   --seed       master seed                                  (default 1)
+//   --trace      dump the full event narrative
+//   --rounds     print the asynchronous-round analysis
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "adversary/adaptive.h"
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/stretch.h"
+#include "baselines/threepc.h"
+#include "baselines/twopc.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "metrics/counters.h"
+#include "protocol/agreement.h"
+#include "protocol/commit.h"
+#include "sim/rounds.h"
+#include "sim/simulator.h"
+#include "sim/tracedump.h"
+
+namespace {
+
+using namespace rcommit;
+
+std::vector<int> parse_votes(const std::string& bits, int n) {
+  std::vector<int> votes(static_cast<size_t>(n), 1);
+  for (size_t i = 0; i < bits.size() && i < votes.size(); ++i) {
+    votes[i] = bits[i] == '0' ? 0 : 1;
+  }
+  return votes;
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_fleet(const std::string& protocol,
+                                                      const SystemParams& params,
+                                                      const std::vector<int>& votes,
+                                                      uint64_t seed) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  if (protocol == "commit") {
+    return protocol::make_commit_fleet(params, votes);
+  }
+  for (int i = 0; i < params.n; ++i) {
+    if (protocol == "agreement") {
+      protocol::AgreementProcess::Options options;
+      options.params = params;
+      options.initial_value = votes[static_cast<size_t>(i)];
+      RandomTape coin_rng(seed ^ 0xc01);
+      options.coins = coin_rng.flip_bits(params.n);
+      fleet.push_back(std::make_unique<protocol::AgreementProcess>(std::move(options)));
+    } else if (protocol == "twopc") {
+      baselines::TwoPcProcess::Options options;
+      options.params = params;
+      options.initial_vote = votes[static_cast<size_t>(i)];
+      options.policy = baselines::TwoPcTimeoutPolicy::kPresumeAbort;
+      fleet.push_back(std::make_unique<baselines::TwoPcProcess>(options));
+    } else if (protocol == "threepc") {
+      baselines::ThreePcProcess::Options options;
+      options.params = params;
+      options.initial_vote = votes[static_cast<size_t>(i)];
+      fleet.push_back(std::make_unique<baselines::ThreePcProcess>(options));
+    } else {
+      RCOMMIT_CHECK_MSG(false, "unknown --protocol: " << protocol);
+    }
+  }
+  return fleet;
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(const Flags& flags,
+                                               const SystemParams& params,
+                                               uint64_t seed) {
+  const auto kind = flags.get_string("adversary", "ontime");
+  std::unique_ptr<sim::Adversary> base;
+  if (kind == "ontime") {
+    base = adversary::make_on_time_adversary();
+  } else if (kind == "random") {
+    base = adversary::make_random_adversary(seed + 1,
+                                            flags.get_int("max-delay", 4));
+  } else if (kind == "mostly") {
+    base = adversary::make_mostly_on_time_adversary(seed + 1, params.k, 0.1,
+                                                    4 * params.k);
+  } else if (kind == "stretch") {
+    base = std::make_unique<adversary::DelayStretchAdversary>(
+        flags.get_int("stretch", 8));
+  } else if (kind == "staller") {
+    base = std::make_unique<adversary::QuorumStallAdversary>(params.t, 64, seed + 1);
+  } else {
+    RCOMMIT_CHECK_MSG(false, "unknown --adversary: " << kind);
+  }
+
+  const auto crashes = static_cast<int>(flags.get_int("crashes", 0));
+  if (crashes > 0) {
+    auto plans = adversary::random_crash_plans(seed + 2, params.n, crashes,
+                                               /*max_clock=*/10 * params.k);
+    base = std::make_unique<adversary::CrashAdversary>(std::move(base),
+                                                       std::move(plans));
+  }
+  return base;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = Flags::parse(argc, argv);
+
+  const auto n = static_cast<int32_t>(flags.get_int("n", 5));
+  SystemParams params;
+  params.n = n;
+  params.t = static_cast<int32_t>(flags.get_int("t", (n - 1) / 2));
+  params.k = flags.get_int("k", 2);
+  const auto seed = static_cast<uint64_t>(flags.get_int("seed", 1));
+  const auto protocol = flags.get_string("protocol", "commit");
+  const auto votes = parse_votes(flags.get_string("votes", ""), n);
+  const bool want_trace = flags.get_bool("trace", false);
+  const bool want_rounds = flags.get_bool("rounds", false);
+
+  sim::Simulator sim({.seed = seed, .max_events = flags.get_int("max-events", 200'000)},
+                     make_fleet(protocol, params, votes, seed),
+                     make_adversary(flags, params, seed));
+
+  for (const auto& unknown : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << unknown << "\n";
+  }
+
+  const auto result = sim.run();
+
+  std::cout << protocol << " n=" << params.n << " t=" << params.t
+            << " K=" << params.k << " seed=" << seed << "\n";
+  std::cout << "status: "
+            << (result.status == sim::RunStatus::kAllDecided ? "all decided"
+                                                             : "did not terminate")
+            << " after " << result.events << " events, " << result.messages_sent
+            << " messages\n";
+  for (ProcId p = 0; p < params.n; ++p) {
+    std::cout << "  p" << p << " vote=" << votes[static_cast<size_t>(p)] << " -> ";
+    if (result.crashed[static_cast<size_t>(p)]) {
+      std::cout << "crashed";
+    } else if (const auto& d = result.decisions[static_cast<size_t>(p)]) {
+      std::cout << to_string(*d);
+    } else {
+      std::cout << "undecided";
+    }
+    std::cout << "\n";
+  }
+  if (result.has_conflicting_decisions()) {
+    std::cout << "!! CONFLICTING DECISIONS (expected only for baselines under "
+                 "timing violations)\n";
+  }
+
+  if (want_rounds && result.status == sim::RunStatus::kAllDecided) {
+    const auto m = metrics::measure_run(result, params.k);
+    std::cout << "asynchronous rounds to decision: " << m.max_decision_round
+              << ", max decide clock: " << m.max_decision_clock
+              << ", late messages: " << m.late_messages << "\n";
+  }
+  if (want_trace) {
+    sim::dump_trace(std::cout, result.trace, {.show_messages = true, .k = params.k});
+  }
+  return 0;
+}

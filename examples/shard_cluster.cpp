@@ -1,0 +1,79 @@
+// Shard cluster over real TCP sockets.
+//
+// The fully message-driven deployment: shard servers own WAL-backed stores
+// and talk to each other and to the client exclusively through the TCP
+// loopback network — prepare requests, tunnelled commit-protocol rounds, and
+// reads all cross real sockets. Demonstrates that the exact protocol state
+// machines proven in the simulator drive a working distributed database.
+//
+//   $ shard_cluster [txns]
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "db/kv.h"
+#include "db/rpc.h"
+#include "transport/tcp.h"
+
+int main(int argc, char** argv) {
+  using namespace rcommit;
+  using namespace std::chrono_literals;
+  namespace fs = std::filesystem;
+
+  const int txns = argc > 1 ? std::stoi(argv[1]) : 8;
+  constexpr int kShards = 3;
+  const ProcId kClient = kShards;
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("rcommit_cluster_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  transport::TcpNetwork net(kShards + 1);
+
+  std::vector<std::unique_ptr<db::KvStore>> stores;
+  std::vector<std::unique_ptr<db::ShardServer>> servers;
+  for (int i = 0; i < kShards; ++i) {
+    stores.push_back(std::make_unique<db::KvStore>(
+        dir / ("shard-" + std::to_string(i) + ".wal")));
+    servers.push_back(std::make_unique<db::ShardServer>(
+        db::ShardServer::Options{.node_id = i, .seed = 1000 + static_cast<uint64_t>(i)},
+        *stores.back(), net));
+  }
+  net.start();
+  for (auto& server : servers) server->start();
+
+  std::cout << "3 shard servers listening on 127.0.0.1 ports";
+  for (int i = 0; i < kShards; ++i) std::cout << ' ' << net.port(i);
+  std::cout << "\n\n";
+
+  db::DbTxnClient client(kClient, net);
+  int committed = 0;
+  for (int i = 0; i < txns; ++i) {
+    const int a = i % kShards;
+    const int b = (i + 1) % kShards;
+    const std::string key = "order:" + std::to_string(i);
+    const auto outcome = client.execute(
+        i + 1,
+        {{a, {{key, "placed"}}}, {b, {{"mirror:" + key, "placed"}}}},
+        5000ms);
+    std::cout << "txn " << i + 1 << " [shards " << a << "," << b << "] -> "
+              << (outcome ? to_string(*outcome) : "IN DOUBT") << "\n";
+    if (outcome == Decision::kCommit) ++committed;
+  }
+
+  // Verify over the wire.
+  int verified = 0;
+  for (int i = 0; i < txns; ++i) {
+    const int a = i % kShards;
+    if (client.get(a, "order:" + std::to_string(i), 2000ms) == "placed") ++verified;
+  }
+  std::cout << "\n" << committed << "/" << txns << " committed, " << verified
+            << " verified by TCP reads\n";
+
+  for (auto& server : servers) server->stop();
+  net.stop();
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return committed == verified ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+#include "adversary/adaptive.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+QuorumStallAdversary::QuorumStallAdversary(int32_t t, Tick slow_lag, uint64_t seed)
+    : t_(t), slow_lag_(slow_lag), rng_(seed) {
+  RCOMMIT_CHECK(t >= 0);
+  RCOMMIT_CHECK(slow_lag >= 1);
+}
+
+const std::vector<bool>& QuorumStallAdversary::fast_set(const sim::PatternView& view,
+                                                        ProcId p) {
+  auto it = fast_.find(p);
+  if (it != fast_.end()) return it->second;
+
+  const int32_t n = view.n();
+  std::vector<ProcId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int32_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<int32_t>(rng_.next_below(static_cast<uint64_t>(i + 1)));
+    std::swap(order[static_cast<size_t>(i)], order[static_cast<size_t>(j)]);
+  }
+
+  std::vector<bool> fast(static_cast<size_t>(n), false);
+  fast[static_cast<size_t>(p)] = true;  // self is always fast
+  int32_t chosen = 1;
+  for (ProcId q : order) {
+    if (chosen >= n - t_) break;
+    if (!fast[static_cast<size_t>(q)]) {
+      fast[static_cast<size_t>(q)] = true;
+      ++chosen;
+    }
+  }
+  return fast_.emplace(p, std::move(fast)).first->second;
+}
+
+sim::Action QuorumStallAdversary::next(const sim::PatternView& view) {
+  const int32_t n = view.n();
+  sim::Action action;
+  for (int32_t i = 0; i < n; ++i) {
+    const ProcId p = (rr_next_ + i) % n;
+    if (view.schedulable(p)) {
+      action.proc = p;
+      rr_next_ = (p + 1) % n;
+      break;
+    }
+  }
+  RCOMMIT_CHECK(action.proc != kNoProc);
+
+  const auto& fast = fast_set(view, action.proc);
+  const Tick clock_at_step = view.clock(action.proc) + 1;
+  for (const auto& msg : view.pending(action.proc)) {
+    auto it = due_.find(msg.id);
+    if (it == due_.end()) {
+      const Tick delay = fast[static_cast<size_t>(msg.from)] ? 1 : slow_lag_;
+      it = due_.emplace(msg.id, view.clock(msg.to) + delay - 1).first;
+    }
+    if (it->second < clock_at_step) action.deliver.push_back(msg.id);
+  }
+  return action;
+}
+
+}  // namespace rcommit::adversary

@@ -1,0 +1,44 @@
+// Adaptive quorum-staller.
+//
+// A hostile but admissible adversary: for each recipient it fixes a "fast
+// set" of n - t senders whose messages arrive promptly and delays everyone
+// else's by a long (but finite) lag. Protocol 1's waits fill up with exactly
+// a quorum, always from the same biased subset — the hardest admissible
+// delivery pattern for quorum-based protocols. Because the lag is finite and
+// every processor keeps being scheduled, the adversary remains t-admissible,
+// so Protocol 2 must still terminate in constant expected asynchronous
+// rounds against it (Theorem 10).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/adversary.h"
+
+namespace rcommit::adversary {
+
+class QuorumStallAdversary final : public sim::Adversary {
+ public:
+  /// `t` controls the fast-set size (n - t); `slow_lag` is the extra delay
+  /// (in recipient steps) on messages from outside the fast set.
+  QuorumStallAdversary(int32_t t, Tick slow_lag, uint64_t seed);
+
+  sim::Action next(const sim::PatternView& view) override;
+
+ private:
+  /// Lazily picks the fast set for a recipient: a random subset of n - t
+  /// senders (always containing the recipient itself, since self-messages
+  /// cannot plausibly be slow).
+  const std::vector<bool>& fast_set(const sim::PatternView& view, ProcId p);
+
+  int32_t t_;
+  Tick slow_lag_;
+  RandomTape rng_;
+  std::unordered_map<ProcId, std::vector<bool>> fast_;
+  std::unordered_map<MsgId, Tick> due_;
+  ProcId rr_next_ = 0;
+};
+
+}  // namespace rcommit::adversary

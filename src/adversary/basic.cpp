@@ -1,0 +1,132 @@
+#include "adversary/basic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+FixedDelay::FixedDelay(Tick delay) : delay_(delay) { RCOMMIT_CHECK(delay >= 0); }
+
+Tick FixedDelay::delay_for(const sim::PendingInfo& msg, RandomTape& rng) {
+  (void)msg;
+  (void)rng;
+  return delay_;
+}
+
+UniformDelay::UniformDelay(Tick min_delay, Tick max_delay)
+    : min_delay_(min_delay), max_delay_(max_delay) {
+  RCOMMIT_CHECK(min_delay >= 0);
+  RCOMMIT_CHECK(max_delay >= min_delay);
+}
+
+Tick UniformDelay::delay_for(const sim::PendingInfo& msg, RandomTape& rng) {
+  (void)msg;
+  const auto span = static_cast<uint64_t>(max_delay_ - min_delay_ + 1);
+  return min_delay_ + static_cast<Tick>(rng.next_below(span));
+}
+
+MostlyOnTimeDelay::MostlyOnTimeDelay(Tick k, double p_late, Tick max_late)
+    : k_(k), p_late_(p_late), max_late_(max_late) {
+  RCOMMIT_CHECK(k >= 1);
+  RCOMMIT_CHECK(p_late >= 0.0 && p_late <= 1.0);
+  RCOMMIT_CHECK(max_late > k);
+}
+
+Tick MostlyOnTimeDelay::delay_for(const sim::PendingInfo& msg, RandomTape& rng) {
+  (void)msg;
+  if (rng.next_real() < p_late_) {
+    const auto span = static_cast<uint64_t>(max_late_ - k_);
+    return k_ + 1 + static_cast<Tick>(rng.next_below(std::max<uint64_t>(span, 1)));
+  }
+  return 1 + static_cast<Tick>(rng.next_below(static_cast<uint64_t>(k_)));
+}
+
+ScheduleAdversary::ScheduleAdversary(SchedulingOrder order,
+                                     std::unique_ptr<DelayModel> delays, uint64_t seed)
+    : order_(order), delays_(std::move(delays)), rng_(seed) {
+  RCOMMIT_CHECK(delays_ != nullptr);
+}
+
+ProcId ScheduleAdversary::pick_processor(const sim::PatternView& view) {
+  const int32_t n = view.n();
+  RCOMMIT_CHECK_MSG(view.schedulable_count() > 0, "no schedulable processor");
+  if (order_ == SchedulingOrder::kRoundRobin) {
+    for (int32_t i = 0; i < n; ++i) {
+      const ProcId p = (rr_next_ + i) % n;
+      if (view.schedulable(p)) {
+        rr_next_ = (p + 1) % n;
+        return p;
+      }
+    }
+  } else {
+    for (int32_t attempts = 0; attempts < 2 * n + 2; ++attempts) {
+      if (perm_pos_ >= permutation_.size()) {
+        permutation_.resize(static_cast<size_t>(n));
+        std::iota(permutation_.begin(), permutation_.end(), 0);
+        // Fisher–Yates with the adversary's own tape.
+        for (int32_t i = n - 1; i > 0; --i) {
+          const auto j = static_cast<int32_t>(rng_.next_below(static_cast<uint64_t>(i + 1)));
+          std::swap(permutation_[static_cast<size_t>(i)],
+                    permutation_[static_cast<size_t>(j)]);
+        }
+        perm_pos_ = 0;
+      }
+      const ProcId p = permutation_[perm_pos_++];
+      if (view.schedulable(p)) return p;
+    }
+  }
+  RCOMMIT_CHECK_MSG(false, "scheduler failed to find schedulable processor");
+  return kNoProc;
+}
+
+Tick ScheduleAdversary::due_clock(const sim::PatternView& view,
+                                  const sim::PendingInfo& msg) {
+  auto it = due_.find(msg.id);
+  if (it != due_.end()) return it->second;
+  const Tick due = view.clock(msg.to) + delays_->delay_for(msg, rng_) - 1;
+  due_.emplace(msg.id, due);
+  return due;
+}
+
+std::vector<MsgId> ScheduleAdversary::due_messages(const sim::PatternView& view,
+                                                   ProcId p) {
+  std::vector<MsgId> out;
+  // The step about to happen will advance p's clock to clock(p) + 1; a
+  // message is delivered at that step when its due clock has been reached.
+  const Tick clock_at_step = view.clock(p) + 1;
+  for (const auto& msg : view.pending(p)) {
+    if (due_clock(view, msg) < clock_at_step) out.push_back(msg.id);
+  }
+  return out;
+}
+
+sim::Action ScheduleAdversary::next(const sim::PatternView& view) {
+  sim::Action action;
+  action.proc = pick_processor(view);
+  action.deliver = due_messages(view, action.proc);
+  return action;
+}
+
+std::unique_ptr<sim::Adversary> make_on_time_adversary() {
+  return std::make_unique<ScheduleAdversary>(SchedulingOrder::kRoundRobin,
+                                             std::make_unique<FixedDelay>(1),
+                                             /*seed=*/0);
+}
+
+std::unique_ptr<sim::Adversary> make_random_adversary(uint64_t seed, Tick max_delay) {
+  return std::make_unique<ScheduleAdversary>(
+      SchedulingOrder::kRandomPermutation,
+      std::make_unique<UniformDelay>(1, max_delay), seed);
+}
+
+std::unique_ptr<sim::Adversary> make_mostly_on_time_adversary(uint64_t seed, Tick k,
+                                                              double p_late,
+                                                              Tick max_late) {
+  return std::make_unique<ScheduleAdversary>(
+      SchedulingOrder::kRandomPermutation,
+      std::make_unique<MostlyOnTimeDelay>(k, p_late, max_late), seed);
+}
+
+}  // namespace rcommit::adversary

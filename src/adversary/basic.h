@@ -1,0 +1,123 @@
+// Basic admissible adversaries: fair schedulers with pluggable delay models.
+//
+// These adversaries are t-admissible by construction: they schedule every
+// non-halted, non-crashed processor infinitely often (round-robin or random
+// permutation cycles) and assign every message a finite delivery delay, so
+// every guaranteed message is eventually received.
+//
+// Delays are measured in *recipient steps*: a message becomes deliverable
+// once its recipient has taken `delay` steps since the adversary first saw
+// the message. Under cycle-based scheduling every processor steps once per
+// cycle, so a delay of d recipient steps means every processor takes about d
+// steps between send and receipt — i.e. the message is on time iff d <= K.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/adversary.h"
+
+namespace rcommit::adversary {
+
+/// How the next processor to step is chosen.
+enum class SchedulingOrder {
+  kRoundRobin,         ///< p1, p2, ..., pn, p1, ... (skipping unschedulable)
+  kRandomPermutation,  ///< a fresh random permutation each cycle
+};
+
+/// Chooses a delivery delay (in recipient steps) for each message, decided
+/// once per message when the adversary first observes it.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual Tick delay_for(const sim::PendingInfo& msg, RandomTape& rng) = 0;
+};
+
+/// Every message takes exactly `delay` recipient steps.
+class FixedDelay final : public DelayModel {
+ public:
+  explicit FixedDelay(Tick delay);
+  Tick delay_for(const sim::PendingInfo& msg, RandomTape& rng) override;
+
+ private:
+  Tick delay_;
+};
+
+/// Uniform delay in [min_delay, max_delay].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Tick min_delay, Tick max_delay);
+  Tick delay_for(const sim::PendingInfo& msg, RandomTape& rng) override;
+
+ private:
+  Tick min_delay_;
+  Tick max_delay_;
+};
+
+/// Mostly-fast delays with occasional stragglers: delay 1..k with probability
+/// 1 - p_late, and k+1..max_late otherwise. This is the paper's motivating
+/// network: "messages are usually delivered within some known time bound but
+/// sometimes come late" (§1).
+class MostlyOnTimeDelay final : public DelayModel {
+ public:
+  MostlyOnTimeDelay(Tick k, double p_late, Tick max_late);
+  Tick delay_for(const sim::PendingInfo& msg, RandomTape& rng) override;
+
+ private:
+  Tick k_;
+  double p_late_;
+  Tick max_late_;
+};
+
+/// Fair scheduler + delay model. The workhorse adversary behind most
+/// experiments; specialized adversaries (crash, partition, late-message)
+/// either wrap or extend it.
+class ScheduleAdversary : public sim::Adversary {
+ public:
+  ScheduleAdversary(SchedulingOrder order, std::unique_ptr<DelayModel> delays,
+                    uint64_t seed);
+
+  sim::Action next(const sim::PatternView& view) override;
+
+ protected:
+  /// Picks the next processor in the configured order.
+  ProcId pick_processor(const sim::PatternView& view);
+
+  /// Messages pending for `p` whose delay has elapsed.
+  std::vector<MsgId> due_messages(const sim::PatternView& view, ProcId p);
+
+  RandomTape& rng() { return rng_; }
+
+ private:
+  /// Due clock (on the recipient's clock) for a message, assigned at first
+  /// sighting.
+  Tick due_clock(const sim::PatternView& view, const sim::PendingInfo& msg);
+
+  SchedulingOrder order_;
+  std::unique_ptr<DelayModel> delays_;
+  RandomTape rng_;
+  ProcId rr_next_ = 0;
+  std::vector<ProcId> permutation_;
+  size_t perm_pos_ = 0;
+  std::unordered_map<MsgId, Tick> due_;
+};
+
+/// Convenience: the well-behaved network. Round-robin, fixed delay 1 —
+/// every run it produces is failure-free (no crashes) and on-time for any
+/// K >= 1. This is the adversary of the Theorem 9 commit-validity condition.
+std::unique_ptr<sim::Adversary> make_on_time_adversary();
+
+/// Convenience: random but admissible timing. Random permutation scheduling
+/// with uniform delays in [1, max_delay].
+std::unique_ptr<sim::Adversary> make_random_adversary(uint64_t seed, Tick max_delay);
+
+/// Convenience: the paper's "realistic" network — usually within K, late with
+/// probability p_late up to max_late.
+std::unique_ptr<sim::Adversary> make_mostly_on_time_adversary(uint64_t seed, Tick k,
+                                                              double p_late,
+                                                              Tick max_late);
+
+}  // namespace rcommit::adversary

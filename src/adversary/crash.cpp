@@ -1,0 +1,65 @@
+#include "adversary/crash.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+CrashAdversary::CrashAdversary(std::unique_ptr<sim::Adversary> inner,
+                               std::vector<CrashPlan> plans)
+    : inner_(std::move(inner)), plans_(std::move(plans)) {
+  RCOMMIT_CHECK(inner_ != nullptr);
+  for (const auto& plan : plans_) {
+    RCOMMIT_CHECK(plan.victim != kNoProc);
+    RCOMMIT_CHECK(plan.at_clock >= 1);
+  }
+}
+
+sim::Action CrashAdversary::next(const sim::PatternView& view) {
+  sim::Action action = inner_->next(view);
+  for (const auto& plan : plans_) {
+    if (plan.victim != action.proc) continue;
+    if (view.clock(action.proc) + 1 < plan.at_clock) continue;
+    action.crash = true;
+    action.suppress_sends_to = plan.suppress_sends_to;
+    break;
+  }
+  return action;
+}
+
+bool CrashAdversary::done(const sim::PatternView& view) { return inner_->done(view); }
+
+std::vector<CrashPlan> random_crash_plans(uint64_t seed, int32_t n, int count,
+                                          Tick max_clock) {
+  RCOMMIT_CHECK(count >= 0 && count <= n);
+  RCOMMIT_CHECK(max_clock >= 1);
+  RandomTape rng(seed);
+  std::vector<ProcId> victims(static_cast<size_t>(n));
+  for (ProcId p = 0; p < n; ++p) victims[static_cast<size_t>(p)] = p;
+  // Partial Fisher–Yates: the first `count` entries become the victims.
+  for (int i = 0; i < count; ++i) {
+    const auto j =
+        i + static_cast<int>(rng.next_below(static_cast<uint64_t>(n - i)));
+    std::swap(victims[static_cast<size_t>(i)], victims[static_cast<size_t>(j)]);
+  }
+
+  std::vector<CrashPlan> plans;
+  plans.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    CrashPlan plan;
+    plan.victim = victims[static_cast<size_t>(i)];
+    plan.at_clock = 1 + static_cast<Tick>(rng.next_below(static_cast<uint64_t>(max_clock)));
+    if (rng.flip() == 1) {
+      // Mid-broadcast failure: drop sends to a random nonempty subset.
+      for (ProcId p = 0; p < n; ++p) {
+        if (rng.flip() == 1) plan.suppress_sends_to.push_back(p);
+      }
+      if (plan.suppress_sends_to.empty()) plan.suppress_sends_to.push_back(0);
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace rcommit::adversary

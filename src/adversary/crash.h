@@ -1,0 +1,52 @@
+// Crash (fail-stop) fault injection.
+//
+// Wraps any inner adversary and turns selected steps into failure steps.
+// A crash plan can name the victims up front (deterministic experiments) or
+// be drawn at random (property tests). Crashing in the middle of a broadcast
+// — the situation the paper's "guaranteed message" machinery exists for — is
+// expressed by suppressing the dying processor's sends to a subset of
+// destinations at its final step.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/adversary.h"
+
+namespace rcommit::adversary {
+
+/// One scheduled crash.
+struct CrashPlan {
+  ProcId victim = kNoProc;
+  /// The crash fires at the victim's step that would advance its clock to
+  /// this value (i.e. after it has taken at_clock - 1 steps).
+  Tick at_clock = 1;
+  /// Destinations whose messages from the victim's final step are dropped.
+  /// Empty = pure failure step (the victim does not execute the step at all).
+  std::vector<ProcId> suppress_sends_to;
+};
+
+/// Applies CrashPlans on top of an inner adversary's schedule.
+class CrashAdversary final : public sim::Adversary {
+ public:
+  CrashAdversary(std::unique_ptr<sim::Adversary> inner, std::vector<CrashPlan> plans);
+
+  sim::Action next(const sim::PatternView& view) override;
+  bool done(const sim::PatternView& view) override;
+
+ private:
+  std::unique_ptr<sim::Adversary> inner_;
+  std::vector<CrashPlan> plans_;
+};
+
+/// Builds a random crash plan: `count` distinct victims, each crashing at a
+/// uniformly random clock in [1, max_clock], each suppressing sends to a
+/// random subset of destinations at its final step (modelling mid-broadcast
+/// failure) with probability 1/2.
+std::vector<CrashPlan> random_crash_plans(uint64_t seed, int32_t n, int count,
+                                          Tick max_clock);
+
+}  // namespace rcommit::adversary

@@ -1,0 +1,53 @@
+#include "adversary/latemsg.h"
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+namespace {
+int64_t link_key(ProcId from, ProcId to) {
+  return (static_cast<int64_t>(from) << 32) | static_cast<uint32_t>(to);
+}
+}  // namespace
+
+LateMessageAdversary::LateMessageAdversary(std::vector<LateRule> rules)
+    : rules_(std::move(rules)) {}
+
+Tick LateMessageAdversary::delay_for(const sim::PendingInfo& msg) {
+  const int ordinal = link_counts_[link_key(msg.from, msg.to)]++;
+  Tick delay = 1;
+  for (const auto& rule : rules_) {
+    if (rule.from == msg.from && rule.to == msg.to &&
+        (rule.nth == LateRule::kEveryMessage || rule.nth == ordinal)) {
+      delay += rule.extra_delay;
+    }
+  }
+  return delay;
+}
+
+sim::Action LateMessageAdversary::next(const sim::PatternView& view) {
+  const int32_t n = view.n();
+  sim::Action action;
+  for (int32_t i = 0; i < n; ++i) {
+    const ProcId p = (rr_next_ + i) % n;
+    if (view.schedulable(p)) {
+      action.proc = p;
+      rr_next_ = (p + 1) % n;
+      break;
+    }
+  }
+  RCOMMIT_CHECK(action.proc != kNoProc);
+
+  const Tick clock_at_step = view.clock(action.proc) + 1;
+  for (const auto& msg : view.pending(action.proc)) {
+    auto it = due_.find(msg.id);
+    if (it == due_.end()) {
+      const Tick due = view.clock(msg.to) + delay_for(msg) - 1;
+      it = due_.emplace(msg.id, due).first;
+    }
+    if (it->second < clock_at_step) action.deliver.push_back(msg.id);
+  }
+  return action;
+}
+
+}  // namespace rcommit::adversary

@@ -1,0 +1,166 @@
+#include "adversary/omniscient.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+void BroadcastSpy::record(ProcId sender, Tick clock, SpiedSend info) {
+  sends_[std::make_pair(sender, clock)].push_back(info);
+}
+
+const std::vector<SpiedSend>& BroadcastSpy::lookup_all(ProcId sender,
+                                                       Tick clock) const {
+  static const std::vector<SpiedSend> kEmpty;
+  auto it = sends_.find(std::make_pair(sender, clock));
+  return it == sends_.end() ? kEmpty : it->second;
+}
+
+SplitVoteAdversary::SplitVoteAdversary(std::shared_ptr<const BroadcastSpy> spy,
+                                       int32_t t)
+    : spy_(std::move(spy)), t_(t) {
+  RCOMMIT_CHECK(spy_ != nullptr);
+  RCOMMIT_CHECK(t_ >= 0);
+}
+
+std::vector<MsgId> SplitVoteAdversary::choose_deliveries(const sim::PatternView& view,
+                                                         ProcId p) {
+  if (endgame_) {
+    std::vector<MsgId> all;
+    for (const auto& m : view.pending(p)) all.push_back(m.id);
+    return all;
+  }
+
+  const int32_t n = view.n();
+  std::vector<MsgId> deliver;
+
+  // First, flush leftovers released at an earlier step.
+  auto lo = leftovers_.find(p);
+  if (lo != leftovers_.end()) {
+    deliver = std::move(lo->second);
+    leftovers_.erase(lo);
+  }
+
+  // Assign each newly-seen message its spied content. All siblings of a
+  // (sender, clock) key enter the buffer at the same event, and message ids
+  // ascend in send order, so sorting the key's pending ids and zipping them
+  // with the spy's send-ordered list is an exact match.
+  std::map<std::pair<ProcId, Tick>, std::vector<MsgId>> unclassified;
+  for (const auto& m : view.pending(p)) {
+    if (classified_.count(m.id) == 0) {
+      unclassified[{m.from, m.sender_clock}].push_back(m.id);
+    }
+  }
+  for (auto& [key, ids] : unclassified) {
+    std::sort(ids.begin(), ids.end());
+    const auto& sends = spy_->lookup_all(key.first, key.second);
+    RCOMMIT_CHECK_MSG(sends.size() == ids.size(),
+                      "spy record mismatch for sender " << key.first << " clock "
+                                                        << key.second);
+    for (size_t i = 0; i < ids.size(); ++i) classified_.emplace(ids[i], sends[i]);
+  }
+
+  // Group pending messages by (stage, phase).
+  struct Classified {
+    MsgId id;
+    ProcId from;
+    SpiedSend info;
+  };
+  std::map<std::pair<int, int>, std::vector<Classified>> groups;  // (stage, phase)
+  for (const auto& m : view.pending(p)) {
+    if (released_.count(m.id) > 0) continue;  // already in `deliver` or leftovers
+    const SpiedSend info = classified_.at(m.id);
+    if (info.phase == 0) {
+      // DECIDED: the stall is over.
+      endgame_ = true;
+      std::vector<MsgId> all;
+      for (const auto& msg : view.pending(p)) all.push_back(msg.id);
+      return all;
+    }
+    groups[{info.stage, info.phase}].push_back({m.id, m.from, info});
+  }
+
+  // How many senders can still produce messages (crashless experiment: all
+  // non-halted processors participate).
+  int32_t live_senders = 0;
+  for (ProcId q = 0; q < n; ++q) {
+    if (!view.crashed(q) && !view.halted(q)) ++live_senders;
+  }
+
+  for (auto& [key, msgs] : groups) {
+    const auto [stage, phase] = key;
+    (void)stage;
+    if (static_cast<int32_t>(msgs.size()) < live_senders) continue;  // keep waiting
+
+    if (phase == 2) {
+      // Deliver the complete second-phase pool.
+      for (const auto& c : msgs) {
+        deliver.push_back(c.id);
+        released_.insert(c.id);
+      }
+      continue;
+    }
+
+    // Phase 1: balance values so that neither exceeds n/2.
+    std::vector<const Classified*> zeros;
+    std::vector<const Classified*> ones;
+    for (const auto& c : msgs) (c.info.value == 0 ? zeros : ones).push_back(&c);
+    if (zeros.empty() || ones.empty()) {
+      // Unanimous — the stall has failed (the 2^(1-n) escape). Deliver all;
+      // the protocol will now march to a decision.
+      endgame_ = true;
+      for (const auto& c : msgs) {
+        deliver.push_back(c.id);
+        released_.insert(c.id);
+      }
+      continue;
+    }
+    auto* minority = zeros.size() <= ones.size() ? &zeros : &ones;
+    auto* majority = zeros.size() <= ones.size() ? &ones : &zeros;
+    const auto quorum = static_cast<size_t>(n - t_);
+    RCOMMIT_CHECK(minority->size() + majority->size() >= quorum);
+    std::vector<MsgId> batch;
+    for (const auto* c : *minority) batch.push_back(c->id);
+    for (const auto* c : *majority) {
+      if (batch.size() >= quorum) break;
+      batch.push_back(c->id);
+    }
+    // Sanity: the majority slice handed over must not itself exceed n/2.
+    RCOMMIT_CHECK_MSG(batch.size() - minority->size() <= static_cast<size_t>(n) / 2,
+                      "balanced batch leaks a majority");
+    std::vector<MsgId> withheld;
+    for (const auto& c : msgs) {
+      if (std::find(batch.begin(), batch.end(), c.id) == batch.end()) {
+        withheld.push_back(c.id);
+      }
+    }
+    for (MsgId id : batch) {
+      deliver.push_back(id);
+      released_.insert(id);
+    }
+    for (MsgId id : withheld) released_.insert(id);
+    auto& pending_leftovers = leftovers_[p];
+    pending_leftovers.insert(pending_leftovers.end(), withheld.begin(), withheld.end());
+  }
+
+  return deliver;
+}
+
+sim::Action SplitVoteAdversary::next(const sim::PatternView& view) {
+  const int32_t n = view.n();
+  sim::Action action;
+  for (int32_t i = 0; i < n; ++i) {
+    const ProcId p = (rr_next_ + i) % n;
+    if (view.schedulable(p)) {
+      action.proc = p;
+      rr_next_ = (p + 1) % n;
+      break;
+    }
+  }
+  RCOMMIT_CHECK(action.proc != kNoProc);
+  action.deliver = choose_deliveries(view, action.proc);
+  return action;
+}
+
+}  // namespace rcommit::adversary

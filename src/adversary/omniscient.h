@@ -1,0 +1,86 @@
+// Omniscient split-vote adversary — the Ben-Or worst case, made schedulable.
+//
+// *** This adversary is deliberately STRONGER than the paper's model. ***
+// The paper's adversary cannot read message contents (§2.3), which is exactly
+// why supplying identical coin flips defeats it. To *measure* the separation
+// the paper claims against local-coin Ben-Or ("expected running time from
+// exponential to constant", §1), we need a scheduler that actually drives
+// Ben-Or to its worst case, and that requires reading the values in phase-1
+// messages. The side channel is the BroadcastSpy: protocol instances built
+// for this experiment record what they broadcast, keyed by (sender, clock),
+// and the adversary looks the metadata up by the (sender, sender_clock) pair
+// visible in the message pattern.
+//
+// Strategy: run processors in lockstep; hold each stage's phase-1 messages
+// until all have arrived, then deliver a quorum-sized subset balanced so that
+// neither value exceeds n/2 — no processor sends an S-message, everyone falls
+// through to its coin. With independent local coins the values re-split with
+// probability 1 - 2^(1-n) and the protocol stalls for an expected 2^(n-1)
+// stages; with the paper's shared coin list the post-coin values are
+// unanimous immediately and the protocol decides in the next stage. The same
+// adversary, run against both variants, exhibits the exponential-vs-constant
+// separation. Used only by the comparison bench and its tests — never by
+// correctness experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/adversary.h"
+
+namespace rcommit::adversary {
+
+/// What a spied broadcast contained.
+struct SpiedSend {
+  int phase = 0;   ///< 1 or 2 for agreement messages; 0 = other (e.g. DECIDED)
+  int stage = 0;   ///< agreement stage s
+  int value = -1;  ///< 0/1, or -1 for ⊥ / not applicable
+};
+
+/// Out-of-model side channel: protocol instances record their broadcasts here
+/// so the omniscient adversary can classify in-flight messages. A processor
+/// may broadcast several payloads in one step (finish phase 2, immediately
+/// open the next stage); they are recorded in send order, which matches the
+/// ascending message-id order the adversary observes, so the k-th pending
+/// message from a given (sender, clock) is the k-th recorded send.
+class BroadcastSpy {
+ public:
+  void record(ProcId sender, Tick clock, SpiedSend info);
+  /// All broadcasts by `sender` at `clock`, in send order (possibly empty).
+  [[nodiscard]] const std::vector<SpiedSend>& lookup_all(ProcId sender,
+                                                         Tick clock) const;
+
+ private:
+  std::map<std::pair<ProcId, Tick>, std::vector<SpiedSend>> sends_;
+};
+
+class SplitVoteAdversary final : public sim::Adversary {
+ public:
+  /// `t` determines the quorum size n - t the protocol waits for.
+  SplitVoteAdversary(std::shared_ptr<const BroadcastSpy> spy, int32_t t);
+
+  sim::Action next(const sim::PatternView& view) override;
+
+ private:
+  std::vector<MsgId> choose_deliveries(const sim::PatternView& view, ProcId p);
+
+  std::shared_ptr<const BroadcastSpy> spy_;
+  int32_t t_;
+  bool endgame_ = false;  ///< once set, deliver everything immediately
+  /// Message id -> spied content, assigned at first sighting.
+  std::unordered_map<MsgId, SpiedSend> classified_;
+  /// Messages already released to a recipient in a balanced batch or as
+  /// stale leftovers, pending actual delivery ordering.
+  std::set<MsgId> released_;
+  /// Leftover (withheld) message ids per recipient, released one step after
+  /// the balanced batch so the bulletin board has moved past the stage.
+  std::unordered_map<ProcId, std::vector<MsgId>> leftovers_;
+  ProcId rr_next_ = 0;
+};
+
+}  // namespace rcommit::adversary

@@ -1,0 +1,40 @@
+#include "adversary/partition.h"
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+PartitionAdversary::PartitionAdversary(std::vector<ProcId> group_a,
+                                       EventIndex heal_at_event)
+    : group_a_(group_a.begin(), group_a.end()), heal_at_event_(heal_at_event) {}
+
+bool PartitionAdversary::intergroup(ProcId from, ProcId to) const {
+  return (group_a_.count(from) > 0) != (group_a_.count(to) > 0);
+}
+
+bool PartitionAdversary::healed(const sim::PatternView& view) const {
+  return heal_at_event_ != kNever && view.now() >= heal_at_event_;
+}
+
+sim::Action PartitionAdversary::next(const sim::PatternView& view) {
+  const int32_t n = view.n();
+  sim::Action action;
+  for (int32_t i = 0; i < n; ++i) {
+    const ProcId p = (rr_next_ + i) % n;
+    if (view.schedulable(p)) {
+      action.proc = p;
+      rr_next_ = (p + 1) % n;
+      break;
+    }
+  }
+  RCOMMIT_CHECK(action.proc != kNoProc);
+
+  const bool partition_open = !healed(view);
+  for (const auto& msg : view.pending(action.proc)) {
+    if (partition_open && intergroup(msg.from, msg.to)) continue;
+    action.deliver.push_back(msg.id);
+  }
+  return action;
+}
+
+}  // namespace rcommit::adversary

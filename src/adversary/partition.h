@@ -1,0 +1,41 @@
+// Network partition adversary.
+//
+// Splits the processors into two groups and withholds intergroup messages
+// for a window of events — the communication pattern at the heart of the
+// Theorem 14 lower-bound proof (A-semicycles and B-semicycles with intergroup
+// messages flowing in one direction per phase). A partition that never heals
+// is *inadmissible* (it violates eventual delivery); the blocking experiments
+// use it deliberately to show that Protocol 2 stalls rather than erring.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/adversary.h"
+
+namespace rcommit::adversary {
+
+class PartitionAdversary final : public sim::Adversary {
+ public:
+  /// `group_a` lists the processors on one side; everyone else is in B.
+  /// Intergroup messages sent before `heal_at_event` are withheld until the
+  /// partition heals; heal_at_event = kNever means the partition is permanent
+  /// (inadmissible on purpose).
+  PartitionAdversary(std::vector<ProcId> group_a, EventIndex heal_at_event);
+
+  static constexpr EventIndex kNever = -1;
+
+  sim::Action next(const sim::PatternView& view) override;
+
+ private:
+  [[nodiscard]] bool intergroup(ProcId from, ProcId to) const;
+  [[nodiscard]] bool healed(const sim::PatternView& view) const;
+
+  std::unordered_set<ProcId> group_a_;
+  EventIndex heal_at_event_;
+  ProcId rr_next_ = 0;
+};
+
+}  // namespace rcommit::adversary

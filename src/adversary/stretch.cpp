@@ -1,0 +1,35 @@
+#include "adversary/stretch.h"
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+DelayStretchAdversary::DelayStretchAdversary(Tick delay) : delay_(delay) {
+  RCOMMIT_CHECK(delay >= 1);
+}
+
+sim::Action DelayStretchAdversary::next(const sim::PatternView& view) {
+  const int32_t n = view.n();
+  sim::Action action;
+  for (int32_t i = 0; i < n; ++i) {
+    const ProcId p = (rr_next_ + i) % n;
+    if (view.schedulable(p)) {
+      action.proc = p;
+      rr_next_ = (p + 1) % n;
+      break;
+    }
+  }
+  RCOMMIT_CHECK(action.proc != kNoProc);
+
+  const Tick clock_at_step = view.clock(action.proc) + 1;
+  for (const auto& msg : view.pending(action.proc)) {
+    auto it = due_.find(msg.id);
+    if (it == due_.end()) {
+      it = due_.emplace(msg.id, view.clock(msg.to) + delay_ - 1).first;
+    }
+    if (it->second < clock_at_step) action.deliver.push_back(msg.id);
+  }
+  return action;
+}
+
+}  // namespace rcommit::adversary

@@ -1,0 +1,30 @@
+// Delay-stretch adversary (Theorem 17 scenario).
+//
+// Delivers every message with the same uniform delay x. As x grows past K,
+// every message is late, each asynchronous round simply dilates, and the
+// number of clock ticks to decision grows without bound — while the number
+// of asynchronous rounds stays constant. This is the executable version of
+// the paper's Section 5 argument that clock ticks are the wrong unit and
+// asynchronous rounds the right one.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.h"
+#include "sim/adversary.h"
+
+namespace rcommit::adversary {
+
+class DelayStretchAdversary final : public sim::Adversary {
+ public:
+  explicit DelayStretchAdversary(Tick delay);
+
+  sim::Action next(const sim::PatternView& view) override;
+
+ private:
+  Tick delay_;
+  std::unordered_map<MsgId, Tick> due_;
+  ProcId rr_next_ = 0;
+};
+
+}  // namespace rcommit::adversary

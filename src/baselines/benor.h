@@ -1,0 +1,50 @@
+// Local-coin Ben-Or baseline [Be].
+//
+// The paper's agreement subroutine *is* Ben-Or's protocol with the local
+// coin flip replaced by a shared coin list for the first |coins| stages
+// (paper §3.1: "our agreement subroutine is a modification of Ben-Or's
+// asynchronous agreement protocol [Be]; the modification lowers the expected
+// running time from exponential to constant"). Running AgreementProcess with
+// an *empty* coin list therefore recovers the original local-coin protocol
+// exactly — every undecided stage falls through to flip(1). This header
+// packages that configuration as the named baseline the comparison
+// experiments (E6/C14) run against.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocol/agreement.h"
+
+namespace rcommit::baselines {
+
+/// One local-coin Ben-Or participant.
+inline std::unique_ptr<protocol::AgreementProcess> make_benor_process(
+    const SystemParams& params, int initial_value,
+    protocol::SendObserver observer = nullptr,
+    protocol::HaltPolicy halt = protocol::HaltPolicy::kDecidedBroadcast) {
+  protocol::AgreementProcess::Options options;
+  options.params = params;
+  options.initial_value = initial_value;
+  options.coins = {};  // no shared coins: the original Ben-Or protocol
+  options.halt = halt;
+  options.observer = std::move(observer);
+  return std::make_unique<protocol::AgreementProcess>(std::move(options));
+}
+
+/// One shared-coin participant (the paper's modification), with a caller-
+/// provided common coin list — identical for all participants in the fleet.
+inline std::unique_ptr<protocol::AgreementProcess> make_shared_coin_process(
+    const SystemParams& params, int initial_value, std::vector<uint8_t> coins,
+    protocol::SendObserver observer = nullptr,
+    protocol::HaltPolicy halt = protocol::HaltPolicy::kDecidedBroadcast) {
+  protocol::AgreementProcess::Options options;
+  options.params = params;
+  options.initial_value = initial_value;
+  options.coins = std::move(coins);
+  options.halt = halt;
+  options.observer = std::move(observer);
+  return std::make_unique<protocol::AgreementProcess>(std::move(options));
+}
+
+}  // namespace rcommit::baselines

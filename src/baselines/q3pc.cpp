@@ -1,0 +1,215 @@
+#include "baselines/q3pc.h"
+
+#include "baselines/threepc.h"
+#include "common/check.h"
+
+namespace rcommit::baselines {
+
+Q3pcProcess::Q3pcProcess(Options options) : options_(std::move(options)) {
+  RCOMMIT_CHECK(options_.params.n >= 2);
+  RCOMMIT_CHECK(options_.initial_vote == 0 || options_.initial_vote == 1);
+  if (options_.timeout == 0) options_.timeout = 4 * options_.params.k;
+}
+
+Q3pcState Q3pcProcess::my_state() const {
+  if (decision_.has_value()) {
+    return *decision_ == Decision::kCommit ? Q3pcState::kCommitted
+                                           : Q3pcState::kAborted;
+  }
+  switch (phase_) {
+    case Phase::kPartPrecommitted:
+      return Q3pcState::kPrecommitted;
+    case Phase::kPartPrepared:
+    case Phase::kAwaitRecovery:
+      return Q3pcState::kPrepared;
+    case Phase::kCoordCollectAcks:
+      return Q3pcState::kPrecommitted;  // the coordinator issued PRECOMMITs
+    default:
+      return Q3pcState::kUnvoted;
+  }
+}
+
+void Q3pcProcess::decide(sim::StepContext& ctx, Decision d, bool announce_recovery) {
+  if (decision_.has_value()) return;
+  decision_ = d;
+  if (announce_recovery) {
+    ctx.broadcast(sim::make_message<Q3pcRecoveryDecision>(
+        d == Decision::kCommit ? uint8_t{1} : uint8_t{0}));
+  }
+  phase_ = Phase::kDone;
+}
+
+void Q3pcProcess::enter_termination(sim::StepContext& ctx) {
+  // Report the current state to the recovery leader and await its verdict.
+  // The leader counts its own state too.
+  if (is_leader()) {
+    if (!recovery_active_) {
+      recovery_active_ = true;
+      recovery_start_ = ctx.clock();
+      reports_received_.insert(id_);
+      const auto state = my_state();
+      any_precommit_reported_ |= state == Q3pcState::kPrecommitted;
+      any_commit_reported_ |= state == Q3pcState::kCommitted;
+      any_abort_reported_ |= state == Q3pcState::kAborted;
+    }
+    phase_ = Phase::kAwaitRecovery;
+    return;
+  }
+  ctx.send(kLeader, sim::make_message<Q3pcStateReport>(my_state()));
+  phase_ = Phase::kAwaitRecovery;
+  window_start_ = ctx.clock();
+}
+
+void Q3pcProcess::on_step(sim::StepContext& ctx,
+                          std::span<const sim::Envelope> delivered) {
+  if (phase_ == Phase::kStart) {
+    id_ = ctx.self();
+    window_start_ = ctx.clock();
+    if (is_coordinator()) {
+      ctx.broadcast(sim::make_message<ThreePcCanCommit>());
+      votes_received_.insert(id_);
+      if (options_.initial_vote != 0) ++yes_votes_;
+      phase_ = Phase::kCoordCollectVotes;
+    } else {
+      phase_ = Phase::kPartAwaitCanCommit;
+    }
+  }
+
+  for (const auto& env : delivered) {
+    if (sim::msg_cast<ThreePcCanCommit>(env.payload) != nullptr) {
+      if (phase_ == Phase::kPartAwaitCanCommit) {
+        ctx.send(0, sim::make_message<ThreePcVote>(
+                        static_cast<uint8_t>(options_.initial_vote)));
+        if (options_.initial_vote == 0) {
+          decide(ctx, Decision::kAbort, /*announce_recovery=*/false);
+        } else {
+          phase_ = Phase::kPartPrepared;
+          window_start_ = ctx.clock();
+        }
+      }
+      continue;
+    }
+    if (const auto* vote = sim::msg_cast<ThreePcVote>(env.payload)) {
+      if (phase_ == Phase::kCoordCollectVotes &&
+          votes_received_.insert(env.from).second && vote->vote() != 0) {
+        ++yes_votes_;
+      }
+      continue;
+    }
+    if (sim::msg_cast<ThreePcPreCommit>(env.payload) != nullptr) {
+      if (phase_ == Phase::kPartPrepared) {
+        ctx.send(0, sim::make_message<ThreePcAck>());
+        phase_ = Phase::kPartPrecommitted;
+        window_start_ = ctx.clock();
+      }
+      continue;
+    }
+    if (sim::msg_cast<ThreePcAck>(env.payload) != nullptr) {
+      if (phase_ == Phase::kCoordCollectAcks) acks_received_.insert(env.from);
+      continue;
+    }
+    if (const auto* outcome = sim::msg_cast<ThreePcOutcome>(env.payload)) {
+      if (phase_ != Phase::kDone) {
+        decide(ctx, outcome->commit() ? Decision::kCommit : Decision::kAbort,
+               /*announce_recovery=*/false);
+      }
+      continue;
+    }
+    if (const auto* report = sim::msg_cast<Q3pcStateReport>(env.payload)) {
+      if (!is_leader()) continue;
+      if (recovery_decided_ || decision_.has_value()) {
+        // Straggler: re-announce the verdict so it can finish.
+        if (decision_.has_value()) {
+          ctx.send(env.from,
+                   sim::make_message<Q3pcRecoveryDecision>(
+                       *decision_ == Decision::kCommit ? uint8_t{1} : uint8_t{0}));
+        }
+        continue;
+      }
+      if (!recovery_active_) {
+        // A peer's timeout starts recovery even before the leader's own.
+        recovery_active_ = true;
+        recovery_start_ = ctx.clock();
+        reports_received_.insert(id_);
+        const auto own = my_state();
+        any_precommit_reported_ |= own == Q3pcState::kPrecommitted;
+        any_commit_reported_ |= own == Q3pcState::kCommitted;
+        any_abort_reported_ |= own == Q3pcState::kAborted;
+      }
+      reports_received_.insert(env.from);
+      any_precommit_reported_ |= report->state() == Q3pcState::kPrecommitted;
+      any_commit_reported_ |= report->state() == Q3pcState::kCommitted;
+      any_abort_reported_ |= report->state() == Q3pcState::kAborted;
+      continue;
+    }
+    if (const auto* verdict = sim::msg_cast<Q3pcRecoveryDecision>(env.payload)) {
+      if (phase_ != Phase::kDone) {
+        decide(ctx, verdict->commit() ? Decision::kCommit : Decision::kAbort,
+               /*announce_recovery=*/false);
+      }
+      continue;
+    }
+  }
+
+  const Tick elapsed = ctx.clock() - window_start_;
+  switch (phase_) {
+    case Phase::kCoordCollectVotes: {
+      const bool all_votes =
+          static_cast<int32_t>(votes_received_.size()) >= options_.params.n;
+      if (all_votes && yes_votes_ >= options_.params.n) {
+        ctx.broadcast(sim::make_message<ThreePcPreCommit>());
+        acks_received_.insert(id_);
+        phase_ = Phase::kCoordCollectAcks;
+        window_start_ = ctx.clock();
+      } else if (all_votes || elapsed >= options_.timeout) {
+        ctx.broadcast(sim::make_message<ThreePcOutcome>(0));
+        decide(ctx, Decision::kAbort, /*announce_recovery=*/false);
+      }
+      break;
+    }
+    case Phase::kCoordCollectAcks: {
+      const bool all_acks =
+          static_cast<int32_t>(acks_received_.size()) >= options_.params.n;
+      if (all_acks || elapsed >= options_.timeout) {
+        ctx.broadcast(sim::make_message<ThreePcOutcome>(1));
+        decide(ctx, Decision::kCommit, /*announce_recovery=*/false);
+      }
+      break;
+    }
+    case Phase::kPartAwaitCanCommit:
+      if (elapsed >= options_.timeout) {
+        // Never voted: cannot have enabled a commit. Still report, so the
+        // leader learns this participant is unvoted.
+        enter_termination(ctx);
+      }
+      break;
+    case Phase::kPartPrepared:
+    case Phase::kPartPrecommitted:
+      if (elapsed >= options_.timeout) enter_termination(ctx);
+      break;
+    case Phase::kAwaitRecovery:
+      if (is_leader() && recovery_active_ && !recovery_decided_) {
+        // Give reports one timeout window to arrive, then rule: COMMIT iff a
+        // PRECOMMIT (or COMMIT) is visible — then no one can have aborted —
+        // else ABORT. Sound under synchrony; wrong when reports are late.
+        const bool all_reported =
+            static_cast<int32_t>(reports_received_.size()) >= options_.params.n;
+        if (all_reported || ctx.clock() - recovery_start_ >= options_.timeout) {
+          recovery_decided_ = true;
+          const bool commit = any_precommit_reported_ || any_commit_reported_;
+          RCOMMIT_CHECK_MSG(!(commit && any_abort_reported_),
+                            "Q3PC saw both PRECOMMIT and ABORT states");
+          decide(ctx, commit ? Decision::kCommit : Decision::kAbort,
+                 /*announce_recovery=*/true);
+        }
+      }
+      // Non-leaders wait for the verdict indefinitely; re-reporting would not
+      // help if the leader is dead (single-recovery-round scope, see header).
+      break;
+    case Phase::kStart:
+    case Phase::kDone:
+      break;
+  }
+}
+
+}  // namespace rcommit::baselines

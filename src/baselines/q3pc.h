@@ -1,0 +1,124 @@
+// Three-phase commit with a termination (recovery) protocol — the
+// Dwork–Skeen [DS] nonblocking-commit family.
+//
+// Plain 3PC (threepc.h) resolves timeouts with local rules (prepared ⇒
+// abort, precommitted ⇒ commit), which is exactly what one late message
+// breaks. The nonblocking-commitment line of work replaces the local rules
+// with a *termination protocol*: on timeout, participants report their
+// states to a recovery leader, which decides COMMIT iff any reachable
+// participant holds a PRECOMMIT (then nobody can have aborted) and ABORT
+// otherwise, and disseminates the decision.
+//
+// Under synchronous timing this tolerates coordinator failure without
+// blocking or diverging — the property [S]/[DS] prove. Under a *late*
+// message the state reports race the live coordinator and the recovery
+// leader can decide differently from it: the paper's §1 criticism applies to
+// the whole synchronous family, not just the simple timeout rules, and
+// experiment E7 shows it against this protocol too.
+//
+// Scope: one recovery round led by processor 1 (the paper's adversary kills
+// at most the coordinator in the scenarios we reproduce). If the leader also
+// fails, the protocol blocks — implementing full leader rotation would not
+// change the late-message story this baseline exists to tell.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace rcommit::baselines {
+
+/// Participant states reported during termination.
+enum class Q3pcState : uint8_t {
+  kUnvoted = 0,      ///< has not voted yes (cannot have enabled a commit)
+  kPrepared = 1,     ///< voted yes, no precommit
+  kPrecommitted = 2, ///< holds a PRECOMMIT
+  kCommitted = 3,
+  kAborted = 4,
+};
+
+/// Timeout-triggered report to the recovery leader.
+class Q3pcStateReport final : public sim::MessageBase {
+ public:
+  explicit Q3pcStateReport(Q3pcState state) : state_(state) {}
+  [[nodiscard]] Q3pcState state() const { return state_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "Q3PC-STATE(" + std::to_string(static_cast<int>(state_)) + ")";
+  }
+
+ private:
+  Q3pcState state_;
+};
+
+/// The recovery leader's verdict.
+class Q3pcRecoveryDecision final : public sim::MessageBase {
+ public:
+  explicit Q3pcRecoveryDecision(uint8_t commit) : commit_(commit) {}
+  [[nodiscard]] bool commit() const { return commit_ != 0; }
+  [[nodiscard]] std::string debug_string() const override {
+    return commit_ ? "Q3PC-RECOVER-COMMIT" : "Q3PC-RECOVER-ABORT";
+  }
+
+ private:
+  uint8_t commit_;
+};
+
+class Q3pcProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    int initial_vote = 1;
+    Tick timeout = 0;  ///< per-wait timeout; 0 = default to 4 * params.k
+  };
+
+  explicit Q3pcProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+ private:
+  static constexpr ProcId kLeader = 1;  ///< recovery leader
+
+  [[nodiscard]] bool is_coordinator() const { return id_ == 0; }
+  [[nodiscard]] bool is_leader() const { return id_ == kLeader; }
+  void decide(sim::StepContext& ctx, Decision d, bool announce_recovery);
+  void enter_termination(sim::StepContext& ctx);
+  [[nodiscard]] Q3pcState my_state() const;
+
+  enum class Phase {
+    kStart,
+    kCoordCollectVotes,
+    kCoordCollectAcks,
+    kPartAwaitCanCommit,
+    kPartPrepared,
+    kPartPrecommitted,
+    kAwaitRecovery,  ///< reported to the leader, awaiting its verdict
+    kDone,
+  };
+
+  Options options_;
+  ProcId id_ = kNoProc;
+  Phase phase_ = Phase::kStart;
+  Tick window_start_ = 0;
+  std::set<ProcId> votes_received_;
+  int yes_votes_ = 0;
+  std::set<ProcId> acks_received_;
+  std::optional<Decision> decision_;
+
+  // Recovery-leader bookkeeping.
+  bool recovery_active_ = false;
+  Tick recovery_start_ = 0;
+  std::set<ProcId> reports_received_;
+  bool any_precommit_reported_ = false;
+  bool any_commit_reported_ = false;
+  bool any_abort_reported_ = false;
+  bool recovery_decided_ = false;
+};
+
+}  // namespace rcommit::baselines

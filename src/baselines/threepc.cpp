@@ -1,0 +1,130 @@
+#include "baselines/threepc.h"
+
+#include "common/check.h"
+
+namespace rcommit::baselines {
+
+ThreePcProcess::ThreePcProcess(Options options) : options_(std::move(options)) {
+  RCOMMIT_CHECK(options_.params.n >= 1);
+  RCOMMIT_CHECK(options_.initial_vote == 0 || options_.initial_vote == 1);
+  if (options_.timeout == 0) options_.timeout = 4 * options_.params.k;
+}
+
+void ThreePcProcess::on_step(sim::StepContext& ctx,
+                             std::span<const sim::Envelope> delivered) {
+  if (state_ == State::kStart) {
+    id_ = ctx.self();
+    window_start_ = ctx.clock();
+    if (is_coordinator()) {
+      ctx.broadcast(sim::make_message<ThreePcCanCommit>());
+      votes_received_.insert(id_);
+      if (options_.initial_vote != 0) ++yes_votes_;
+      state_ = State::kCoordCollectVotes;
+    } else {
+      state_ = State::kPartAwaitCanCommit;
+    }
+  }
+
+  for (const auto& env : delivered) {
+    if (sim::msg_cast<ThreePcCanCommit>(env.payload) != nullptr) {
+      if (state_ == State::kPartAwaitCanCommit) {
+        ctx.send(0, sim::make_message<ThreePcVote>(
+                        static_cast<uint8_t>(options_.initial_vote)));
+        if (options_.initial_vote == 0) {
+          decide(Decision::kAbort);
+          state_ = State::kDone;
+        } else {
+          state_ = State::kPartPrepared;
+          window_start_ = ctx.clock();
+        }
+      }
+      continue;
+    }
+    if (const auto* vote = sim::msg_cast<ThreePcVote>(env.payload)) {
+      if (state_ == State::kCoordCollectVotes &&
+          votes_received_.insert(env.from).second && vote->vote() != 0) {
+        ++yes_votes_;
+      }
+      continue;
+    }
+    if (sim::msg_cast<ThreePcPreCommit>(env.payload) != nullptr) {
+      if (state_ == State::kPartPrepared) {
+        ctx.send(0, sim::make_message<ThreePcAck>());
+        state_ = State::kPartPreCommitted;
+        window_start_ = ctx.clock();
+      }
+      continue;
+    }
+    if (sim::msg_cast<ThreePcAck>(env.payload) != nullptr) {
+      if (state_ == State::kCoordCollectAcks) acks_received_.insert(env.from);
+      continue;
+    }
+    if (const auto* outcome = sim::msg_cast<ThreePcOutcome>(env.payload)) {
+      if (state_ != State::kDone) {
+        decide(outcome->commit() ? Decision::kCommit : Decision::kAbort);
+        state_ = State::kDone;
+      }
+      continue;
+    }
+  }
+
+  const Tick elapsed = ctx.clock() - window_start_;
+  switch (state_) {
+    case State::kCoordCollectVotes: {
+      const bool all_votes =
+          static_cast<int32_t>(votes_received_.size()) >= options_.params.n;
+      if (all_votes && yes_votes_ >= options_.params.n) {
+        ctx.broadcast(sim::make_message<ThreePcPreCommit>());
+        acks_received_.insert(id_);
+        state_ = State::kCoordCollectAcks;
+        window_start_ = ctx.clock();
+      } else if (all_votes || elapsed >= options_.timeout) {
+        ctx.broadcast(sim::make_message<ThreePcOutcome>(0));
+        decide(Decision::kAbort);
+        state_ = State::kDone;
+      }
+      break;
+    }
+    case State::kCoordCollectAcks: {
+      const bool all_acks =
+          static_cast<int32_t>(acks_received_.size()) >= options_.params.n;
+      if (all_acks || elapsed >= options_.timeout) {
+        // Having issued PRECOMMIT, the coordinator presses on to commit even
+        // without every ack — non-acking participants are presumed crashed
+        // and expected to recover to commit. (Sound under synchrony only.)
+        ctx.broadcast(sim::make_message<ThreePcOutcome>(1));
+        decide(Decision::kCommit);
+        state_ = State::kDone;
+      }
+      break;
+    }
+    case State::kPartAwaitCanCommit:
+      if (elapsed >= options_.timeout) {
+        decide(Decision::kAbort);  // never voted: safe
+        state_ = State::kDone;
+      }
+      break;
+    case State::kPartPrepared:
+      if (elapsed >= options_.timeout) {
+        // Termination rule: prepared without PRECOMMIT => assume failure
+        // before precommit, abort. Wrong when the PRECOMMIT is merely late.
+        decide(Decision::kAbort);
+        state_ = State::kDone;
+      }
+      break;
+    case State::kPartPreCommitted:
+      if (elapsed >= options_.timeout) {
+        // Termination rule: PRECOMMIT in hand => everyone was prepared,
+        // commit. Conflicts with a prepared peer's timeout-abort when timing
+        // misbehaves.
+        decide(Decision::kCommit);
+        state_ = State::kDone;
+      }
+      break;
+    case State::kStart:
+    case State::kDone:
+      break;
+  }
+}
+
+}  // namespace rcommit::baselines

@@ -1,0 +1,101 @@
+// Three-phase commit baseline (Skeen's nonblocking commit [S]).
+//
+// 3PC removes 2PC's blocking window by inserting a PRECOMMIT phase between
+// voting and committing, and pairs it with timeout-based termination rules:
+// a participant that is prepared but has no PRECOMMIT aborts on timeout,
+// while a participant holding a PRECOMMIT commits on timeout. Those rules
+// are sound *only* under the synchronous timing assumption. A single late
+// PRECOMMIT splits the participants across the abort/commit timeout rules
+// and yields conflicting decisions — the failure mode the paper's model is
+// designed to rule out, reproduced by experiment E7.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace rcommit::baselines {
+
+class ThreePcCanCommit final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "3PC-CANCOMMIT"; }
+};
+
+class ThreePcVote final : public sim::MessageBase {
+ public:
+  explicit ThreePcVote(uint8_t vote) : vote_(vote) {}
+  [[nodiscard]] uint8_t vote() const { return vote_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "3PC-VOTE(" + std::to_string(int(vote_)) + ")";
+  }
+
+ private:
+  uint8_t vote_;
+};
+
+class ThreePcPreCommit final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "3PC-PRECOMMIT"; }
+};
+
+class ThreePcAck final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "3PC-ACK"; }
+};
+
+class ThreePcOutcome final : public sim::MessageBase {
+ public:
+  explicit ThreePcOutcome(uint8_t commit) : commit_(commit) {}
+  [[nodiscard]] bool commit() const { return commit_ != 0; }
+  [[nodiscard]] std::string debug_string() const override {
+    return commit_ ? "3PC-DOCOMMIT" : "3PC-ABORT";
+  }
+
+ private:
+  uint8_t commit_;
+};
+
+class ThreePcProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    int initial_vote = 1;
+    Tick timeout = 0;  ///< per-wait timeout; 0 = default to 4 * params.k
+  };
+
+  explicit ThreePcProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+ private:
+  [[nodiscard]] bool is_coordinator() const { return id_ == kNoProc ? false : id_ == 0; }
+  void decide(Decision d) { if (!decision_.has_value()) decision_ = d; }
+
+  enum class State {
+    kStart,
+    kCoordCollectVotes,
+    kCoordCollectAcks,
+    kPartAwaitCanCommit,
+    kPartPrepared,    ///< voted yes; timeout rule: abort
+    kPartPreCommitted,  ///< has PRECOMMIT; timeout rule: commit
+    kDone,
+  };
+
+  Options options_;
+  ProcId id_ = kNoProc;
+  State state_ = State::kStart;
+  Tick window_start_ = 0;
+  std::set<ProcId> votes_received_;
+  int yes_votes_ = 0;
+  std::set<ProcId> acks_received_;
+  std::optional<Decision> decision_;
+};
+
+}  // namespace rcommit::baselines

@@ -1,0 +1,97 @@
+#include "baselines/twopc.h"
+
+#include "common/check.h"
+
+namespace rcommit::baselines {
+
+TwoPcProcess::TwoPcProcess(Options options) : options_(std::move(options)) {
+  RCOMMIT_CHECK(options_.params.n >= 1);
+  RCOMMIT_CHECK(options_.initial_vote == 0 || options_.initial_vote == 1);
+  if (options_.timeout == 0) options_.timeout = 4 * options_.params.k;
+}
+
+void TwoPcProcess::on_step(sim::StepContext& ctx,
+                           std::span<const sim::Envelope> delivered) {
+  if (state_ == State::kStart) {
+    id_ = ctx.self();
+    window_start_ = ctx.clock();
+    if (is_coordinator()) {
+      ctx.broadcast(sim::make_message<TpcPrepare>());
+      votes_received_.insert(id_);
+      if (options_.initial_vote != 0) ++yes_votes_;
+      state_ = State::kCoordCollectVotes;
+    } else {
+      state_ = State::kPartAwaitPrepare;
+    }
+  }
+
+  for (const auto& env : delivered) {
+    if (sim::msg_cast<TpcPrepare>(env.payload) != nullptr) {
+      if (state_ == State::kPartAwaitPrepare) {
+        ctx.send(0, sim::make_message<TpcVote>(static_cast<uint8_t>(options_.initial_vote)));
+        if (options_.initial_vote == 0) {
+          // A no-voter can abort immediately: the coordinator cannot commit
+          // without its yes.
+          decide(Decision::kAbort);
+          state_ = State::kDone;
+        } else {
+          state_ = State::kPartPrepared;
+          window_start_ = ctx.clock();
+        }
+      }
+      // A prepare arriving after a local timeout-abort is stale; the vote was
+      // never sent, so the coordinator can only abort. Ignore it.
+      continue;
+    }
+    if (const auto* vote = sim::msg_cast<TpcVote>(env.payload)) {
+      if (state_ == State::kCoordCollectVotes &&
+          votes_received_.insert(env.from).second && vote->vote() != 0) {
+        ++yes_votes_;
+      }
+      continue;
+    }
+    if (const auto* outcome = sim::msg_cast<TpcDecision>(env.payload)) {
+      if (state_ == State::kPartPrepared || state_ == State::kPartAwaitPrepare) {
+        decide(outcome->commit() ? Decision::kCommit : Decision::kAbort);
+        state_ = State::kDone;
+      }
+      continue;
+    }
+  }
+
+  const Tick elapsed = ctx.clock() - window_start_;
+  switch (state_) {
+    case State::kCoordCollectVotes: {
+      const bool all_votes =
+          static_cast<int32_t>(votes_received_.size()) >= options_.params.n;
+      if (all_votes || elapsed >= options_.timeout) {
+        const bool commit = all_votes && yes_votes_ >= options_.params.n;
+        ctx.broadcast(sim::make_message<TpcDecision>(commit ? 1 : 0));
+        decide(commit ? Decision::kCommit : Decision::kAbort);
+        state_ = State::kDone;
+      }
+      break;
+    }
+    case State::kPartAwaitPrepare:
+      if (elapsed >= options_.timeout) {
+        // Safe unilateral abort: we never voted, so nobody can commit.
+        decide(Decision::kAbort);
+        state_ = State::kDone;
+      }
+      break;
+    case State::kPartPrepared:
+      if (elapsed >= options_.timeout &&
+          options_.policy == TwoPcTimeoutPolicy::kPresumeAbort) {
+        // UNSAFE: the coordinator may have committed; its COMMIT being late
+        // is exactly the single timing violation the paper warns about.
+        decide(Decision::kAbort);
+        state_ = State::kDone;
+      }
+      break;
+    case State::kStart:
+    case State::kDone:
+      break;
+  }
+}
+
+}  // namespace rcommit::baselines

@@ -1,0 +1,106 @@
+// Two-phase commit baseline (Skeen-style [S]).
+//
+// The classic synchronous-model commit protocol the paper contrasts with:
+// a coordinator collects votes and disseminates the outcome. Its safety rests
+// on the timing assumptions holding. We implement two participant timeout
+// policies for the prepared state (voted yes, awaiting the outcome):
+//
+//   kBlock         — wait forever. Safe under any timing, but a crashed (or
+//                    slow) coordinator blocks the participant indefinitely —
+//                    the blocking problem that motivated [S] and [DS].
+//   kPresumeAbort  — unilaterally abort on timeout. Live, but one late
+//                    COMMIT message makes a participant abort a transaction
+//                    the rest of the system committed — the paper's "a single
+//                    violation of the timing assumptions can cause the
+//                    protocol to produce the wrong answer" (§1), reproduced
+//                    by experiment E7.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace rcommit::baselines {
+
+/// Coordinator's vote request.
+class TpcPrepare final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "2PC-PREPARE"; }
+};
+
+/// Participant's vote.
+class TpcVote final : public sim::MessageBase {
+ public:
+  explicit TpcVote(uint8_t vote) : vote_(vote) {}
+  [[nodiscard]] uint8_t vote() const { return vote_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "2PC-VOTE(" + std::to_string(int(vote_)) + ")";
+  }
+
+ private:
+  uint8_t vote_;
+};
+
+/// Coordinator's outcome broadcast.
+class TpcDecision final : public sim::MessageBase {
+ public:
+  explicit TpcDecision(uint8_t commit) : commit_(commit) {}
+  [[nodiscard]] bool commit() const { return commit_ != 0; }
+  [[nodiscard]] std::string debug_string() const override {
+    return commit_ ? "2PC-COMMIT" : "2PC-ABORT";
+  }
+
+ private:
+  uint8_t commit_;
+};
+
+/// Timeout behaviour of a prepared participant.
+enum class TwoPcTimeoutPolicy {
+  kBlock,
+  kPresumeAbort,
+};
+
+class TwoPcProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    int initial_vote = 1;
+    TwoPcTimeoutPolicy policy = TwoPcTimeoutPolicy::kBlock;
+    /// Per-wait timeout in own clock ticks. Must exceed the normal
+    /// request-response latency (2 message delays); default 4K.
+    Tick timeout = 0;  ///< 0 = default to 4 * params.k
+  };
+
+  explicit TwoPcProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+ private:
+  [[nodiscard]] bool is_coordinator() const { return id_ == 0; }
+  void decide(Decision d) { if (!decision_.has_value()) decision_ = d; }
+
+  enum class State {
+    kStart,
+    kCoordCollectVotes,
+    kPartAwaitPrepare,
+    kPartPrepared,  ///< voted yes, awaiting the outcome
+    kDone,
+  };
+
+  Options options_;
+  ProcId id_ = kNoProc;
+  State state_ = State::kStart;
+  Tick window_start_ = 0;
+  std::set<ProcId> votes_received_;
+  int yes_votes_ = 0;
+  std::optional<Decision> decision_;
+};
+
+}  // namespace rcommit::baselines

@@ -1,0 +1,48 @@
+// Precondition / invariant checking helpers.
+//
+// RCOMMIT_CHECK is always on (benchmarks included): a violated invariant in a
+// consensus protocol is a correctness bug and must never be silently ignored.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rcommit {
+
+/// Thrown when a CHECK fails. Deliberately distinct from std::logic_error so
+/// tests can assert on the specific failure class.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace rcommit
+
+/// Aborts (by throwing CheckFailure) if `cond` is false.
+#define RCOMMIT_CHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) ::rcommit::detail::check_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like RCOMMIT_CHECK but with a streamed message, e.g.
+/// RCOMMIT_CHECK_MSG(x > 0, "x=" << x).
+#define RCOMMIT_CHECK_MSG(cond, stream_expr)                         \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream rcommit_check_os_;                          \
+      rcommit_check_os_ << stream_expr;                              \
+      ::rcommit::detail::check_fail(#cond, __FILE__, __LINE__,       \
+                                    rcommit_check_os_.str());        \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,33 @@
+#include "common/codec.h"
+
+#include <array>
+
+namespace rcommit {
+
+namespace {
+
+std::array<uint32_t, 256> make_crc32c_table() {
+  constexpr uint32_t kPoly = 0x82f63b78;  // reflected Castagnoli polynomial
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t crc32c(std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> table = make_crc32c_table();
+  uint32_t crc = 0xffffffff;
+  for (uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffff;
+}
+
+}  // namespace rcommit

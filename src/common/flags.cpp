@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rcommit {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  if (argc > 0) flags.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    RCOMMIT_CHECK_MSG(arg.rfind("--", 0) == 0,
+                      "unexpected positional argument: " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --name value, or bare --name (boolean true).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[arg] = argv[++i];
+    } else {
+      flags.values_[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::get_int(const std::string& name, int64_t fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  RCOMMIT_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                    "flag --" << name << " is not an integer: " << it->second);
+  return value;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  RCOMMIT_CHECK_MSG(end != nullptr && *end == '\0' && !it->second.empty(),
+                    "flag --" << name << " is not a number: " << it->second);
+  return value;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  RCOMMIT_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << v);
+  return fallback;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (queried_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace rcommit

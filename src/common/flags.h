@@ -1,0 +1,44 @@
+// Minimal command-line flag parsing for the examples and the scenario CLI.
+//
+// Supports --name=value and --name value forms, typed lookups with defaults,
+// and --help text assembly. Deliberately tiny: no subcommands, no
+// repetition, no abbreviations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcommit {
+
+class Flags {
+ public:
+  /// Parses argv. Throws CheckFailure on malformed input (missing value,
+  /// unexpected positional argument).
+  static Flags parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when the flag is absent. Throw
+  /// CheckFailure when present but unparsable.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] int64_t get_int(const std::string& name, int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Flags seen but never queried — typo detection for the CLI.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace rcommit

@@ -1,0 +1,15 @@
+#include "common/log.h"
+
+namespace rcommit {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (level == LogLevel::kError ? std::cerr : std::clog) << line << '\n';
+}
+
+}  // namespace rcommit

@@ -1,0 +1,64 @@
+// Minimal leveled logging.
+//
+// Logging is off by default so that benchmark numbers are not polluted by
+// I/O; tests and examples flip the level when tracing a scenario.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rcommit {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Process-wide log configuration.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Writes one line atomically (the threaded runtime logs concurrently).
+  void write(LogLevel level, const std::string& line);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+  std::mutex mu_;
+};
+
+namespace detail {
+inline const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+}  // namespace detail
+
+}  // namespace rcommit
+
+#define RCOMMIT_LOG(level, stream_expr)                                      \
+  do {                                                                       \
+    if (static_cast<int>(::rcommit::Logger::instance().level()) >=           \
+        static_cast<int>(level)) {                                           \
+      std::ostringstream rcommit_log_os_;                                    \
+      rcommit_log_os_ << "[" << ::rcommit::detail::level_tag(level) << "] "  \
+                      << stream_expr;                                        \
+      ::rcommit::Logger::instance().write(level, rcommit_log_os_.str());     \
+    }                                                                        \
+  } while (0)
+
+#define RCOMMIT_LOG_INFO(stream_expr) RCOMMIT_LOG(::rcommit::LogLevel::kInfo, stream_expr)
+#define RCOMMIT_LOG_DEBUG(stream_expr) RCOMMIT_LOG(::rcommit::LogLevel::kDebug, stream_expr)
+#define RCOMMIT_LOG_ERROR(stream_expr) RCOMMIT_LOG(::rcommit::LogLevel::kError, stream_expr)

@@ -1,0 +1,13 @@
+#include "common/rng.h"
+
+namespace rcommit {
+
+std::vector<uint64_t> derive_seeds(uint64_t master_seed, int count) {
+  RCOMMIT_CHECK(count >= 0);
+  SplitMix64 sm(master_seed);
+  std::vector<uint64_t> seeds(static_cast<size_t>(count));
+  for (auto& s : seeds) s = sm.next();
+  return seeds;
+}
+
+}  // namespace rcommit

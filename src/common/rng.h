@@ -1,0 +1,109 @@
+// Deterministic random number generation.
+//
+// The paper gives each processor a private random tape: "The random number
+// generator supplies an infinite sequence of real numbers, distributed
+// uniformly over the interval [0,1)" (§2.1), and processors draw bits via
+// flip(i). RandomTape reproduces that interface deterministically: a run is a
+// pure function of (adversary, initial configuration, seeds), which the
+// simulator exploits for replayable experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rcommit {
+
+/// SplitMix64: used to derive independent stream seeds from one master seed.
+/// Reference: Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
+/// Generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** — small, fast, high-quality generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4]{};
+};
+
+/// A processor's private random tape (paper §2.1).
+///
+/// Supplies uniform reals in [0,1), single coin flips, and flip(i) bit
+/// strings. Tracks how many draws have been consumed so analyses like the
+/// paper's random(p, s) bookkeeping (Lemma 4 machinery) can be reproduced.
+class RandomTape {
+ public:
+  explicit RandomTape(uint64_t seed) : gen_(seed) {}
+
+  /// Next uniform real in [0,1).
+  double next_real() {
+    ++draws_;
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// One fair coin flip in {0,1}.
+  int flip() { return next_real() < 0.5 ? 0 : 1; }
+
+  /// The paper's flip(i): i independent random bits.
+  std::vector<uint8_t> flip_bits(int count) {
+    RCOMMIT_CHECK(count >= 0);
+    std::vector<uint8_t> bits(static_cast<size_t>(count));
+    for (auto& b : bits) b = static_cast<uint8_t>(flip());
+    return bits;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t next_below(uint64_t bound) {
+    RCOMMIT_CHECK(bound > 0);
+    ++draws_;
+    // Rejection-free Lemire-style bounded draw is overkill here; the modulo
+    // bias at 64 bits is negligible for simulation scheduling.
+    return gen_.next() % bound;
+  }
+
+  /// Number of random draws consumed so far.
+  [[nodiscard]] int64_t draws() const { return draws_; }
+
+ private:
+  Xoshiro256 gen_;
+  int64_t draws_ = 0;
+};
+
+/// Derives per-processor tape seeds from a single master seed, so an entire
+/// run is reproducible from one integer.
+std::vector<uint64_t> derive_seeds(uint64_t master_seed, int count);
+
+}  // namespace rcommit

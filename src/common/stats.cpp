@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rcommit {
+
+void RunningStat::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double q) const {
+  RCOMMIT_CHECK(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  auto rank = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+Histogram::Histogram(int bucket_count) {
+  RCOMMIT_CHECK(bucket_count >= 1);
+  buckets_.assign(static_cast<size_t>(bucket_count), 0);
+}
+
+void Histogram::add(double value) {
+  RCOMMIT_CHECK(value >= 0.0);
+  auto index = static_cast<size_t>(value);
+  if (index >= buckets_.size()) index = buckets_.size() - 1;
+  ++buckets_[index];
+  ++total_;
+}
+
+int64_t Histogram::bucket(int index) const {
+  RCOMMIT_CHECK(index >= 0 && static_cast<size_t>(index) < buckets_.size());
+  return buckets_[static_cast<size_t>(index)];
+}
+
+void Histogram::print(std::ostream& os, int max_bar_width) const {
+  RCOMMIT_CHECK(max_bar_width >= 1);
+  int64_t max_count = 1;
+  for (int64_t c : buckets_) max_count = std::max(max_count, c);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto width = static_cast<int>(
+        (buckets_[i] * max_bar_width + max_count - 1) / max_count);
+    os << std::setw(4) << i << (i + 1 == buckets_.size() ? "+" : " ") << " | "
+       << std::string(static_cast<size_t>(width), '#') << ' ' << buckets_[i]
+       << '\n';
+  }
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  RCOMMIT_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << std::setw(static_cast<int>(widths[i])) << std::left << cells[i] << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::num(int64_t v) { return std::to_string(v); }
+
+}  // namespace rcommit

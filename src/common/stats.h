@@ -1,0 +1,91 @@
+// Statistics utilities for the benchmark harness.
+//
+// The paper's performance claims are expectations (expected stages, expected
+// asynchronous rounds), so benches aggregate many seeded runs and report
+// mean / max / percentiles via these helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcommit {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples for percentile queries.
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+
+  [[nodiscard]] int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double min() const;
+  /// q in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Fixed-bucket histogram over non-negative integer-ish measurements
+/// (stages, rounds, ticks). Values at or above the top bucket accumulate in
+/// the overflow bucket. Renders as an ASCII bar chart for bench output.
+class Histogram {
+ public:
+  /// Buckets [0,1), [1,2), ..., [bucket_count-1, inf).
+  explicit Histogram(int bucket_count);
+
+  void add(double value);
+
+  [[nodiscard]] int64_t count() const { return total_; }
+  [[nodiscard]] int64_t bucket(int index) const;
+  /// Renders one line per non-empty bucket: "label | #### count".
+  void print(std::ostream& os, int max_bar_width = 40) const;
+
+ private:
+  std::vector<int64_t> buckets_;
+  int64_t total_ = 0;
+};
+
+/// Fixed-width text table used by every bench binary to print
+/// claim-vs-measured rows in a uniform format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(int64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcommit

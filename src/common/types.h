@@ -1,0 +1,67 @@
+// Core identifier and value types shared across the library.
+//
+// The paper models a protocol as a set of n processors identified by small
+// integers; processor 0 is the distinguished coordinator of Protocol 2.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rcommit {
+
+/// Identifies one of the n processors in a protocol instance.
+/// Valid ids are 0..n-1; kNoProc marks "no processor".
+using ProcId = int32_t;
+inline constexpr ProcId kNoProc = -1;
+
+/// A processor's clock value: the number of steps it has taken (paper §2.1,
+/// "there is an integer in each processor's state, called its clock").
+using Tick = int64_t;
+
+/// Global event index within a run (position in the schedule).
+using EventIndex = int64_t;
+
+/// Identifies a message instance within a run (assigned at send time).
+using MsgId = int64_t;
+inline constexpr MsgId kNoMsg = -1;
+
+/// The binary values exchanged by the agreement subroutine.
+/// The transaction-commit mapping is 0 = abort, 1 = commit (paper §1).
+enum class Decision : uint8_t {
+  kAbort = 0,
+  kCommit = 1,
+};
+
+/// Human-readable name for a decision value.
+inline const char* to_string(Decision d) {
+  return d == Decision::kCommit ? "COMMIT" : "ABORT";
+}
+
+/// Converts the paper's {0,1} value encoding to a Decision.
+inline Decision decision_from_bit(int bit) {
+  return bit == 0 ? Decision::kAbort : Decision::kCommit;
+}
+
+/// Converts a Decision to the paper's {0,1} encoding.
+inline int bit_from_decision(Decision d) { return d == Decision::kCommit ? 1 : 0; }
+
+/// Parameters common to every protocol instance.
+///
+/// Invariant: 0 <= t and n >= 1. The paper's protocols additionally require
+/// n > 2t for liveness (Theorem 14 proves this is necessary); we permit
+/// constructing instances with n <= 2t so the graceful-degradation
+/// experiments (Theorem 11) can demonstrate blocking.
+struct SystemParams {
+  int32_t n = 0;         ///< number of processors
+  int32_t t = 0;         ///< maximum number of crash faults tolerated
+  Tick k = 1;            ///< K, the on-time message delivery bound (paper §2.2)
+
+  /// True iff the fault bound permits a live protocol (Theorem 14).
+  [[nodiscard]] bool majority_correct() const { return n > 2 * t; }
+
+  /// The quorum size n - t used throughout Protocol 1.
+  [[nodiscard]] int32_t quorum() const { return n - t; }
+};
+
+}  // namespace rcommit

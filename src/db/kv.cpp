@@ -1,0 +1,128 @@
+#include "db/kv.h"
+
+#include "common/check.h"
+
+namespace rcommit::db {
+
+KvStore::KvStore(const std::filesystem::path& wal_path)
+    : wal_(std::make_unique<WriteAheadLog>(wal_path)) {
+  for (const auto& record : wal_->replay()) {
+    switch (record.type) {
+      case WalRecordType::kBegin:
+        staged_[record.txn_id];  // ensure the entry exists
+        break;
+      case WalRecordType::kWrite:
+        staged_[record.txn_id].writes.push_back({record.key, record.value});
+        break;
+      case WalRecordType::kPrepared:
+        staged_[record.txn_id].prepared = true;
+        break;
+      case WalRecordType::kCommit: {
+        auto it = staged_.find(record.txn_id);
+        if (it != staged_.end()) {
+          apply(it->second);
+          staged_.erase(it);
+        }
+        break;
+      }
+      case WalRecordType::kAbort:
+        staged_.erase(record.txn_id);
+        break;
+      case WalRecordType::kSnapshot:
+        data_[record.key] = record.value;
+        break;
+    }
+  }
+  // Unprepared leftovers died before voting: they can only abort.
+  std::erase_if(staged_, [](const auto& entry) { return !entry.second.prepared; });
+  // Re-acquire locks for in-doubt transactions: their outcome is pending and
+  // their keys must stay protected.
+  for (const auto& [txn, staged] : staged_) {
+    for (const auto& write : staged.writes) {
+      RCOMMIT_CHECK_MSG(locks_.try_lock(write.key, txn),
+                        "conflicting in-doubt transactions in WAL");
+    }
+  }
+}
+
+void KvStore::apply(const Staged& staged) {
+  for (const auto& write : staged.writes) data_[write.key] = write.value;
+}
+
+bool KvStore::prepare(TxnId txn, const std::vector<KvWrite>& writes) {
+  RCOMMIT_CHECK_MSG(staged_.find(txn) == staged_.end(),
+                    "transaction " << txn << " already staged");
+  // Lock every key first; on any conflict, release and vote abort.
+  for (const auto& write : writes) {
+    if (!locks_.try_lock(write.key, txn)) {
+      locks_.unlock_all(txn);
+      return false;
+    }
+  }
+  wal_->append({WalRecordType::kBegin, txn, "", ""});
+  for (const auto& write : writes) {
+    wal_->append({WalRecordType::kWrite, txn, write.key, write.value});
+  }
+  wal_->append({WalRecordType::kPrepared, txn, "", ""});
+  staged_[txn] = Staged{writes, /*prepared=*/true};
+  return true;
+}
+
+void KvStore::commit(TxnId txn) {
+  auto it = staged_.find(txn);
+  RCOMMIT_CHECK_MSG(it != staged_.end() && it->second.prepared,
+                    "commit of unprepared transaction " << txn);
+  wal_->append({WalRecordType::kCommit, txn, "", ""});
+  apply(it->second);
+  staged_.erase(it);
+  locks_.unlock_all(txn);
+}
+
+void KvStore::abort(TxnId txn) {
+  if (staged_.erase(txn) > 0) {
+    wal_->append({WalRecordType::kAbort, txn, "", ""});
+  }
+  locks_.unlock_all(txn);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TxnId> KvStore::in_doubt() const {
+  std::vector<TxnId> out;
+  for (const auto& [txn, staged] : staged_) {
+    if (staged.prepared) out.push_back(txn);
+  }
+  return out;
+}
+
+void KvStore::checkpoint() {
+  namespace fs = std::filesystem;
+  const fs::path live_path = wal_->path();
+  const fs::path tmp_path = live_path.string() + ".compact";
+  fs::remove(tmp_path);
+  {
+    WriteAheadLog fresh(tmp_path);
+    for (const auto& [key, value] : data_) {
+      fresh.append({WalRecordType::kSnapshot, 0, key, value});
+    }
+    // Carry pending (prepared, undecided) transactions forward so recovery
+    // still surfaces them as in-doubt.
+    for (const auto& [txn, staged] : staged_) {
+      fresh.append({WalRecordType::kBegin, txn, "", ""});
+      for (const auto& write : staged.writes) {
+        fresh.append({WalRecordType::kWrite, txn, write.key, write.value});
+      }
+      if (staged.prepared) fresh.append({WalRecordType::kPrepared, txn, "", ""});
+    }
+  }
+  // The rename is the commit point of the compaction.
+  wal_.reset();  // release the append handle to the old log
+  fs::rename(tmp_path, live_path);
+  wal_ = std::make_unique<WriteAheadLog>(live_path);
+}
+
+}  // namespace rcommit::db

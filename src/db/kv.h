@@ -1,0 +1,75 @@
+// WAL-backed key-value store with two-phase local transactions.
+//
+// One shard's storage engine: writes are staged under a transaction, made
+// durable by a PREPARED record (the shard's commit vote), and installed or
+// discarded by the global outcome. Recovery replays the WAL; transactions
+// that were prepared but have no recorded outcome surface as "in doubt" —
+// the state whose resolution is exactly the transaction commit problem.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/locks.h"
+#include "db/wal.h"
+
+namespace rcommit::db {
+
+struct KvWrite {
+  std::string key;
+  std::string value;
+};
+
+class KvStore {
+ public:
+  /// Opens the store, replaying any existing WAL at `wal_path`.
+  explicit KvStore(const std::filesystem::path& wal_path);
+
+  /// Stages `writes` under `txn` and durably records the prepare. Returns
+  /// false (voting abort) when a key is locked by another transaction; in
+  /// that case nothing is staged and no locks are retained.
+  bool prepare(TxnId txn, const std::vector<KvWrite>& writes);
+
+  /// Installs the staged writes of a prepared transaction.
+  void commit(TxnId txn);
+
+  /// Discards the staged writes; also legal for transactions that never
+  /// prepared (making a global abort idempotent per shard).
+  void abort(TxnId txn);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+  [[nodiscard]] size_t size() const { return data_.size(); }
+
+  /// Transactions recovered from the WAL as prepared-but-undecided. The
+  /// owner must resolve each with commit() or abort().
+  [[nodiscard]] std::vector<TxnId> in_doubt() const;
+
+  /// Compacts the WAL: rewrites it as a snapshot of the committed state plus
+  /// the records of still-pending (prepared, undecided) transactions,
+  /// atomically replacing the old log. Shrinks an append-only log that has
+  /// accumulated many resolved transactions; crash-safe (the rename is the
+  /// commit point — before it the old log is intact, after it the new one is
+  /// complete).
+  void checkpoint();
+
+  [[nodiscard]] const WriteAheadLog& wal() const { return *wal_; }
+
+ private:
+  struct Staged {
+    std::vector<KvWrite> writes;
+    bool prepared = false;
+  };
+
+  void apply(const Staged& staged);
+
+  std::unique_ptr<WriteAheadLog> wal_;
+  LockManager locks_;
+  std::map<std::string, std::string> data_;
+  std::map<TxnId, Staged> staged_;
+};
+
+}  // namespace rcommit::db

@@ -1,0 +1,40 @@
+// Per-key exclusive lock manager (strict two-phase locking, no-wait).
+//
+// Conflicting lock requests fail immediately rather than queueing — a shard
+// whose prepare cannot lock its keys votes abort, which exercises the commit
+// protocol's abort-validity path instead of hiding the conflict behind a
+// wait queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rcommit::db {
+
+using TxnId = int64_t;
+
+class LockManager {
+ public:
+  /// Acquires an exclusive lock on `key` for `txn`. Re-acquiring a lock the
+  /// transaction already holds succeeds. Returns false if another
+  /// transaction holds it (no-wait policy).
+  bool try_lock(const std::string& key, TxnId txn);
+
+  /// Releases every lock held by `txn` (end of its strict-2PL lifetime).
+  void unlock_all(TxnId txn);
+
+  /// Current holder of `key`, if locked.
+  [[nodiscard]] std::optional<TxnId> holder(const std::string& key) const;
+
+  /// Number of keys currently locked.
+  [[nodiscard]] size_t locked_count() const { return holders_.size(); }
+
+ private:
+  std::unordered_map<std::string, TxnId> holders_;
+  std::unordered_map<TxnId, std::unordered_set<std::string>> keys_of_;
+};
+
+}  // namespace rcommit::db

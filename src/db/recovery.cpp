@@ -1,0 +1,127 @@
+#include "db/recovery.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "protocol/commit.h"
+#include "transport/node.h"
+
+namespace rcommit::db {
+
+RecoveryManager::RecoveryManager(std::vector<KvStore*> shards, Options options)
+    : shards_(std::move(shards)), options_(options) {
+  RCOMMIT_CHECK(!shards_.empty());
+  for (const auto* shard : shards_) RCOMMIT_CHECK(shard != nullptr);
+}
+
+std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
+  std::map<int32_t, ShardTxnStatus> statuses;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Replay the shard's WAL fresh; the live KvStore only retains staged
+    // state, but recovery needs the full outcome history.
+    WriteAheadLog wal(shards_[i]->wal().path());
+    ShardTxnStatus status = ShardTxnStatus::kUnknown;
+    for (const auto& record : wal.replay()) {
+      if (record.txn_id != txn) continue;
+      switch (record.type) {
+        case WalRecordType::kBegin:
+        case WalRecordType::kWrite:
+          if (status == ShardTxnStatus::kUnknown) status = ShardTxnStatus::kStagedOnly;
+          break;
+        case WalRecordType::kPrepared:
+          status = ShardTxnStatus::kPrepared;
+          break;
+        case WalRecordType::kCommit:
+          status = ShardTxnStatus::kCommitted;
+          break;
+        case WalRecordType::kAbort:
+          status = ShardTxnStatus::kAborted;
+          break;
+      }
+    }
+    statuses[static_cast<int32_t>(i)] = status;
+  }
+  return statuses;
+}
+
+void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
+  const auto statuses = survey(txn);
+
+  bool any_commit = false;
+  bool any_abort = false;
+  bool any_staged_only = false;
+  std::vector<int32_t> prepared_shards;
+  for (const auto& [shard, status] : statuses) {
+    switch (status) {
+      case ShardTxnStatus::kCommitted: any_commit = true; break;
+      case ShardTxnStatus::kAborted: any_abort = true; break;
+      case ShardTxnStatus::kStagedOnly: any_staged_only = true; break;
+      case ShardTxnStatus::kPrepared: prepared_shards.push_back(shard); break;
+      case ShardTxnStatus::kUnknown: break;
+    }
+  }
+  // Rule 1: a recorded outcome is authoritative — decisions were unanimous.
+  RCOMMIT_CHECK_MSG(!(any_commit && any_abort),
+                    "WALs record conflicting outcomes for txn " << txn);
+
+  Decision decision;
+  if (any_commit) {
+    decision = Decision::kCommit;
+  } else if (any_abort || any_staged_only) {
+    // Rule 2: an un-prepared participant can never have enabled a commit.
+    decision = Decision::kAbort;
+  } else {
+    // Rule 3: everyone prepared, nobody decided — run the commit protocol
+    // again among the prepared shards, all voting commit.
+    RCOMMIT_CHECK(!prepared_shards.empty());
+    ++report.reran_protocol;
+    if (prepared_shards.size() == 1) {
+      decision = Decision::kCommit;  // a lone prepared shard may commit
+    } else {
+      const auto n = static_cast<int32_t>(prepared_shards.size());
+      const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
+      std::vector<std::unique_ptr<sim::Process>> fleet;
+      for (int32_t i = 0; i < n; ++i) {
+        protocol::CommitProcess::Options popts;
+        popts.params = params;
+        popts.initial_vote = 1;
+        fleet.push_back(std::make_unique<protocol::CommitProcess>(popts));
+      }
+      transport::InMemoryNetwork network(n, options_.seed ^ static_cast<uint64_t>(txn));
+      const auto result =
+          transport::run_fleet(std::move(fleet), network,
+                               options_.seed + static_cast<uint64_t>(txn),
+                               options_.timeout);
+      decision = Decision::kAbort;
+      for (const auto& d : result.decisions) {
+        if (d.has_value() && *d == Decision::kCommit) decision = Decision::kCommit;
+      }
+    }
+  }
+
+  // Apply to every shard still holding the transaction in doubt.
+  for (int32_t shard : prepared_shards) {
+    auto& store = *shards_[static_cast<size_t>(shard)];
+    bool still_in_doubt = false;
+    for (TxnId t : store.in_doubt()) still_in_doubt |= (t == txn);
+    if (!still_in_doubt) continue;
+    if (decision == Decision::kCommit) {
+      store.commit(txn);
+    } else {
+      store.abort(txn);
+    }
+  }
+  (decision == Decision::kCommit ? report.resolved_commit : report.resolved_abort) += 1;
+}
+
+RecoveryReport RecoveryManager::resolve_all() {
+  RecoveryReport report;
+  std::set<TxnId> pending;
+  for (const auto* shard : shards_) {
+    for (TxnId txn : shard->in_doubt()) pending.insert(txn);
+  }
+  for (TxnId txn : pending) resolve(txn, report);
+  return report;
+}
+
+}  // namespace rcommit::db

@@ -1,0 +1,72 @@
+// In-doubt transaction resolution (cooperative termination).
+//
+// The paper's graceful-degradation guarantee (Theorem 11) is precisely what
+// makes recovery possible: "instead of producing a wrong answer, the protocol
+// simply fails to terminate. By not producing a wrong answer, we leave open
+// the opportunity to recover" (§1). After crashes, a shard can hold prepared
+// transactions with no recorded outcome. The RecoveryManager resolves them:
+//
+//   1. If any shard's WAL recorded COMMIT or ABORT for the transaction, that
+//      outcome is adopted everywhere (decisions are unanimous under
+//      Protocol 2, so one record is authoritative).
+//   2. If some involved shard began but never durably prepared, it can never
+//      have voted commit, so no participant can have decided commit: ABORT
+//      is safe.
+//   3. If every involved shard is prepared with no outcome anywhere (all
+//      participants crashed between voting and deciding), the shards simply
+//      run the commit protocol again, voting commit — each shard still holds
+//      its staged writes and locks, so either outcome is applicable and all
+//      shards apply the same one.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "db/kv.h"
+
+namespace rcommit::db {
+
+/// What recovery saw in the WALs for one transaction on one shard.
+enum class ShardTxnStatus {
+  kUnknown,     ///< no record of the transaction
+  kStagedOnly,  ///< BEGIN/WRITE records but no PREPARED
+  kPrepared,    ///< PREPARED, no outcome
+  kCommitted,
+  kAborted,
+};
+
+struct RecoveryReport {
+  int64_t resolved_commit = 0;
+  int64_t resolved_abort = 0;
+  int64_t reran_protocol = 0;  ///< resolutions that needed a fresh protocol run
+};
+
+class RecoveryManager {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    Tick k = 25;
+    std::chrono::milliseconds timeout{2000};
+  };
+
+  /// `shards` are the recovered stores (non-owning; must outlive the call).
+  RecoveryManager(std::vector<KvStore*> shards, Options options);
+
+  /// Scans every shard's WAL for the given transaction.
+  [[nodiscard]] std::map<int32_t, ShardTxnStatus> survey(TxnId txn) const;
+
+  /// Resolves every in-doubt transaction on every shard. Idempotent.
+  RecoveryReport resolve_all();
+
+ private:
+  /// Decides the fate of one in-doubt transaction and applies it.
+  void resolve(TxnId txn, RecoveryReport& report);
+
+  std::vector<KvStore*> shards_;
+  Options options_;
+};
+
+}  // namespace rcommit::db

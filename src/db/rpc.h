@@ -1,0 +1,209 @@
+// Message-driven shard service and transactional client.
+//
+// The fully distributed deployment of the database substrate: shard servers
+// and clients share nothing but the network. A client sends each involved
+// shard a PrepareRequest naming the whole participant group; every shard
+// votes by preparing locally and then joins a per-transaction *commit
+// session* — an embedded Protocol 2 instance whose messages are tunnelled in
+// SessionMsg frames between the shard servers. When a shard's session
+// decides, the shard applies the outcome to its store and notifies the
+// client. Everything, including the randomized agreement rounds, crosses the
+// wire.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "db/kv.h"
+#include "protocol/commit.h"
+#include "sim/message.h"
+#include "transport/network.h"
+
+namespace rcommit::db {
+
+/// Registers the db RPC payloads with the process-wide WireRegistry.
+/// Idempotent; called automatically by ShardServer and DbTxnClient.
+void register_db_wire_types();
+
+// --- RPC payloads ------------------------------------------------------------
+
+/// Client -> shard: stage these writes under `txn` and join the commit
+/// session whose participants (shard node ids, in rank order) are listed.
+class PrepareRequest final : public sim::MessageBase {
+ public:
+  PrepareRequest(TxnId txn, ProcId client, std::vector<ProcId> participants,
+                 std::vector<KvWrite> writes)
+      : txn_(txn),
+        client_(client),
+        participants_(std::move(participants)),
+        writes_(std::move(writes)) {}
+
+  [[nodiscard]] TxnId txn() const { return txn_; }
+  [[nodiscard]] ProcId client() const { return client_; }
+  [[nodiscard]] const std::vector<ProcId>& participants() const { return participants_; }
+  [[nodiscard]] const std::vector<KvWrite>& writes() const { return writes_; }
+  [[nodiscard]] std::string debug_string() const override;
+
+ private:
+  TxnId txn_;
+  ProcId client_;
+  std::vector<ProcId> participants_;
+  std::vector<KvWrite> writes_;
+};
+
+/// Shard -> shard: one commit-protocol payload of transaction `txn`,
+/// tunnelled between session ranks.
+class SessionMsg final : public sim::MessageBase {
+ public:
+  SessionMsg(TxnId txn, int32_t from_rank, std::vector<uint8_t> inner)
+      : txn_(txn), from_rank_(from_rank), inner_(std::move(inner)) {}
+
+  [[nodiscard]] TxnId txn() const { return txn_; }
+  [[nodiscard]] int32_t from_rank() const { return from_rank_; }
+  /// Wire-encoded inner protocol payload.
+  [[nodiscard]] const std::vector<uint8_t>& inner() const { return inner_; }
+  [[nodiscard]] std::string debug_string() const override;
+
+ private:
+  TxnId txn_;
+  int32_t from_rank_;
+  std::vector<uint8_t> inner_;
+};
+
+/// Shard -> client: this shard's transaction outcome.
+class TxnOutcomeMsg final : public sim::MessageBase {
+ public:
+  TxnOutcomeMsg(TxnId txn, uint8_t commit) : txn_(txn), commit_(commit) {}
+
+  [[nodiscard]] TxnId txn() const { return txn_; }
+  [[nodiscard]] bool commit() const { return commit_ != 0; }
+  [[nodiscard]] std::string debug_string() const override;
+
+ private:
+  TxnId txn_;
+  uint8_t commit_;
+};
+
+/// Client -> shard: read one key.
+class GetRequest final : public sim::MessageBase {
+ public:
+  GetRequest(int64_t request_id, std::string key)
+      : request_id_(request_id), key_(std::move(key)) {}
+
+  [[nodiscard]] int64_t request_id() const { return request_id_; }
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] std::string debug_string() const override;
+
+ private:
+  int64_t request_id_;
+  std::string key_;
+};
+
+/// Shard -> client: the read result.
+class GetResponse final : public sim::MessageBase {
+ public:
+  GetResponse(int64_t request_id, bool found, std::string value)
+      : request_id_(request_id), found_(found), value_(std::move(value)) {}
+
+  [[nodiscard]] int64_t request_id() const { return request_id_; }
+  [[nodiscard]] bool found() const { return found_; }
+  [[nodiscard]] const std::string& value() const { return value_; }
+  [[nodiscard]] std::string debug_string() const override;
+
+ private:
+  int64_t request_id_;
+  bool found_;
+  std::string value_;
+};
+
+// --- shard server --------------------------------------------------------------
+
+class ShardServer {
+ public:
+  struct Options {
+    ProcId node_id = kNoProc;  ///< this shard's address on the network
+    uint64_t seed = 1;
+    Tick k = 25;  ///< Protocol 2's K, in session steps
+    std::chrono::microseconds step_period{200};
+  };
+
+  ShardServer(Options options, KvStore& store, transport::Network& network);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] int64_t sessions_completed() const { return sessions_completed_.load(); }
+
+ private:
+  /// One in-flight transaction's commit-protocol instance.
+  struct Session {
+    TxnId txn = 0;
+    ProcId client = kNoProc;
+    std::vector<ProcId> participants;  ///< node ids by rank
+    int32_t my_rank = -1;
+    std::unique_ptr<protocol::CommitProcess> process;
+    std::unique_ptr<RandomTape> tape;
+    Tick clock = 0;
+    std::vector<sim::Envelope> pending;
+    bool outcome_applied = false;
+  };
+
+  void loop();
+  void handle_frame(const transport::WireFrame& frame);
+  void open_session(const PrepareRequest& request);
+  void step_sessions();
+  void finalize(Session& session);
+
+  Options options_;
+  KvStore& store_;
+  transport::Network& network_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<int64_t> sessions_completed_{0};
+  bool running_ = false;
+
+  std::map<TxnId, Session> sessions_;
+  /// Session messages that arrived before their PrepareRequest.
+  std::map<TxnId, std::vector<sim::Envelope>> early_;
+  /// Transactions whose sessions have finished; stray messages are dropped.
+  std::set<TxnId> finished_;
+};
+
+// --- client ---------------------------------------------------------------------
+
+class DbTxnClient {
+ public:
+  /// `node_id` is the client's own address on the network.
+  DbTxnClient(ProcId node_id, transport::Network& network);
+
+  /// Runs one distributed transaction; returns the outcome, or nullopt if
+  /// not every shard reported within the timeout (in doubt).
+  std::optional<Decision> execute(TxnId txn,
+                                  const std::map<ProcId, std::vector<KvWrite>>& writes,
+                                  std::chrono::milliseconds timeout);
+
+  /// Reads a key from a shard; nullopt on timeout or missing key.
+  std::optional<std::string> get(ProcId shard, const std::string& key,
+                                 std::chrono::milliseconds timeout);
+
+ private:
+  ProcId node_id_;
+  transport::Network& network_;
+  int64_t next_request_ = 1;
+};
+
+}  // namespace rcommit::db

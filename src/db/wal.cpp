@@ -1,0 +1,77 @@
+#include "db/wal.h"
+
+#include "common/check.h"
+#include "common/codec.h"
+
+namespace rcommit::db {
+
+namespace {
+
+std::vector<uint8_t> encode_record(const WalRecord& record) {
+  BufWriter w;
+  w.u8(static_cast<uint8_t>(record.type));
+  w.svarint(record.txn_id);
+  w.str(record.key);
+  w.str(record.value);
+  return w.take();
+}
+
+WalRecord decode_record(std::span<const uint8_t> body) {
+  BufReader r(body);
+  WalRecord record;
+  record.type = static_cast<WalRecordType>(r.u8());
+  record.txn_id = r.svarint();
+  record.key = r.str();
+  record.value = r.str();
+  if (!r.exhausted()) throw CodecError("trailing bytes in WAL record");
+  return record;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::filesystem::path path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  RCOMMIT_CHECK_MSG(out_.is_open(), "cannot open WAL at " << path_.string());
+}
+
+void WriteAheadLog::append(const WalRecord& record) {
+  const auto body = encode_record(record);
+  BufWriter frame;
+  frame.u32(static_cast<uint32_t>(body.size()));
+  frame.u32(crc32c(body));
+  const auto& header = frame.data();
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(reinterpret_cast<const char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+  out_.flush();
+  RCOMMIT_CHECK_MSG(out_.good(), "WAL append failed at " << path_.string());
+  ++records_appended_;
+}
+
+std::vector<WalRecord> WriteAheadLog::replay() const {
+  std::vector<WalRecord> records;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in.is_open()) return records;
+
+  std::vector<uint8_t> file_bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  while (pos + 8 <= file_bytes.size()) {
+    BufReader header(std::span<const uint8_t>(file_bytes.data() + pos, 8));
+    const uint32_t length = header.u32();
+    const uint32_t crc = header.u32();
+    if (pos + 8 + length > file_bytes.size()) break;  // torn final record
+    const std::span<const uint8_t> body(file_bytes.data() + pos + 8, length);
+    if (crc32c(body) != crc) break;  // corrupt record: trust nothing after it
+    try {
+      records.push_back(decode_record(body));
+    } catch (const CodecError&) {
+      break;  // structurally invalid despite matching CRC — stop here
+    }
+    pos += 8 + length;
+  }
+  return records;
+}
+
+}  // namespace rcommit::db

@@ -1,0 +1,60 @@
+// Write-ahead log.
+//
+// The durability substrate of the motivating application (§1: "the results of
+// the transaction are installed in the database at all processors ... or at
+// no processor"). Each record is framed [length][crc32c][body] and flushed on
+// append; replay stops cleanly at the first torn or corrupted record, so a
+// crash mid-append loses at most the record being written.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rcommit::db {
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,     ///< transaction started on this shard
+  kWrite = 2,     ///< staged write (key, value)
+  kPrepared = 3,  ///< shard voted commit; writes are staged durably
+  kCommit = 4,    ///< outcome: install the staged writes
+  kAbort = 5,     ///< outcome: discard the staged writes
+  kSnapshot = 6,  ///< checkpointed committed state (key, value), txn_id = 0
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  int64_t txn_id = 0;
+  std::string key;    ///< kWrite only
+  std::string value;  ///< kWrite only
+
+  bool operator==(const WalRecord&) const = default;
+};
+
+class WriteAheadLog {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending.
+  explicit WriteAheadLog(std::filesystem::path path);
+
+  /// Appends one record, framed and checksummed, and flushes it.
+  void append(const WalRecord& record);
+
+  /// Reads every intact record from the start of the log. Stops (without
+  /// throwing) at the first torn or corrupt frame — everything before it is
+  /// trustworthy, everything after is garbage from an interrupted append.
+  [[nodiscard]] std::vector<WalRecord> replay() const;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] int64_t records_appended() const { return records_appended_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+  int64_t records_appended_ = 0;
+};
+
+}  // namespace rcommit::db

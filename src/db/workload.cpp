@@ -1,0 +1,46 @@
+#include "db/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rcommit::db {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  RCOMMIT_CHECK(options_.shard_count >= 1);
+  RCOMMIT_CHECK(options_.keys_per_shard >= 1);
+  RCOMMIT_CHECK(options_.fanout >= 1);
+  RCOMMIT_CHECK(options_.writes_per_shard >= 1);
+  RCOMMIT_CHECK(options_.skew >= 0.0);
+  options_.fanout = std::min(options_.fanout, options_.shard_count);
+}
+
+int32_t WorkloadGenerator::draw_key() {
+  // Inverse power transform: rank = N * u^(1+skew). skew = 0 is uniform;
+  // growing skew concentrates mass on the low ranks (rank 0 = hottest key).
+  const double u = rng_.next_real();
+  const auto rank = static_cast<int32_t>(
+      std::pow(u, 1.0 + options_.skew) * options_.keys_per_shard);
+  return std::clamp(rank, 0, options_.keys_per_shard - 1);
+}
+
+GeneratedTxn WorkloadGenerator::next() {
+  ++counter_;
+  GeneratedTxn txn;
+  // Choose `fanout` distinct shards, starting from a random one.
+  const auto first =
+      static_cast<int32_t>(rng_.next_below(static_cast<uint64_t>(options_.shard_count)));
+  for (int32_t i = 0; i < options_.fanout; ++i) {
+    const int32_t shard = (first + i) % options_.shard_count;
+    auto& writes = txn[shard];
+    for (int32_t w = 0; w < options_.writes_per_shard; ++w) {
+      writes.push_back(KvWrite{"key:" + std::to_string(draw_key()),
+                               "txn-" + std::to_string(counter_)});
+    }
+  }
+  return txn;
+}
+
+}  // namespace rcommit::db

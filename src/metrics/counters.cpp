@@ -1,0 +1,30 @@
+#include "metrics/counters.h"
+
+#include <algorithm>
+
+#include "sim/ontime.h"
+#include "sim/rounds.h"
+
+namespace rcommit::metrics {
+
+RunMeasurements measure_run(const sim::RunResult& result, Tick k) {
+  RunMeasurements m;
+  m.all_decided = result.all_nonfaulty_decided();
+  m.outcome = result.agreed_decision();
+  m.events = result.events;
+  m.messages_sent = result.messages_sent;
+  m.late_messages = sim::late_message_count(result.trace, k);
+
+  sim::RoundAnalyzer rounds(result.trace, k);
+  if (auto r = rounds.max_decision_round(); r.has_value()) m.max_decision_round = *r;
+
+  for (size_t p = 0; p < result.trace.decide_clock.size(); ++p) {
+    if (result.trace.crashed[p]) continue;
+    if (const auto& c = result.trace.decide_clock[p]; c.has_value()) {
+      m.max_decision_clock = std::max(m.max_decision_clock, *c);
+    }
+  }
+  return m;
+}
+
+}  // namespace rcommit::metrics

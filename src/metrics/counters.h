@@ -1,0 +1,30 @@
+// Per-run measurement extraction.
+//
+// Bridges finished runs to the quantities the paper's claims are stated in:
+// stages (Lemma 8), asynchronous rounds (Theorem 10), clock ticks to decision
+// (the remarks of §3.2), and message cost.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace rcommit::metrics {
+
+/// The standard measurements of one run.
+struct RunMeasurements {
+  bool all_decided = false;
+  std::optional<Decision> outcome;        ///< agreed decision (CHECKs agreement)
+  int max_decision_round = 0;             ///< asynchronous rounds (0 = none decided)
+  Tick max_decision_clock = 0;            ///< largest decide clock over nonfaulty
+  int64_t events = 0;
+  int64_t messages_sent = 0;
+  int64_t late_messages = 0;
+};
+
+/// Computes the measurements; `k` is the on-time bound used for both the
+/// round analysis and the lateness count. Requires the run to have a trace.
+RunMeasurements measure_run(const sim::RunResult& result, Tick k);
+
+}  // namespace rcommit::metrics

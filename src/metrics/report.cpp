@@ -1,0 +1,22 @@
+#include "metrics/report.h"
+
+#include <ostream>
+
+#include "common/stats.h"
+
+namespace rcommit::metrics {
+
+void print_claim_report(std::ostream& os, const std::string& title,
+                        const std::vector<ClaimRow>& rows) {
+  os << "\n=== " << title << " ===\n";
+  Table table({"claim", "paper says", "measured", "verdict"});
+  int held = 0;
+  for (const auto& row : rows) {
+    table.row({row.claim_id, row.paper, row.measured, row.holds ? "OK" : "MISMATCH"});
+    if (row.holds) ++held;
+  }
+  table.print(os);
+  os << held << "/" << rows.size() << " claims hold\n";
+}
+
+}  // namespace rcommit::metrics

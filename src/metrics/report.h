@@ -1,0 +1,25 @@
+// Claim-vs-measured reporting for the benchmark harness.
+//
+// Every bench binary prints rows through this helper so EXPERIMENTS.md can be
+// assembled from uniform output: experiment id, the paper's claim, the
+// measured value, and a pass/note column.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcommit::metrics {
+
+struct ClaimRow {
+  std::string claim_id;   ///< e.g. "C1"
+  std::string paper;      ///< the paper's statement of the bound
+  std::string measured;   ///< what this run of the bench observed
+  bool holds = false;     ///< measured value consistent with the claim
+};
+
+/// Prints a "=== <title> ===" header, the rows, and a summary line.
+void print_claim_report(std::ostream& os, const std::string& title,
+                        const std::vector<ClaimRow>& rows);
+
+}  // namespace rcommit::metrics

@@ -1,0 +1,189 @@
+#include "protocol/agreement.h"
+
+#include "common/check.h"
+
+namespace rcommit::protocol {
+
+AgreementCore::AgreementCore(Config config) : config_(std::move(config)) {
+  RCOMMIT_CHECK(config_.params.n >= 1);
+  RCOMMIT_CHECK(config_.params.t >= 0);
+  RCOMMIT_CHECK_MSG(config_.broadcast != nullptr, "AgreementCore needs a broadcast hook");
+}
+
+void AgreementCore::broadcast_r1(sim::StepContext& ctx, int stage, int value) {
+  if (config_.observer) config_.observer(ctx.clock(), 1, stage, value);
+  config_.broadcast(ctx, sim::make_message<AgreementR1>(stage, static_cast<uint8_t>(value)));
+}
+
+void AgreementCore::broadcast_r2(sim::StepContext& ctx, int stage, int value) {
+  if (config_.observer) config_.observer(ctx.clock(), 2, stage, value);
+  config_.broadcast(ctx, sim::make_message<AgreementR2>(stage, static_cast<int8_t>(value)));
+}
+
+void AgreementCore::broadcast_decided(sim::StepContext& ctx, int value) {
+  if (sent_decided_) return;
+  sent_decided_ = true;
+  if (config_.observer) config_.observer(ctx.clock(), 0, 0, value);
+  config_.broadcast(ctx, sim::make_message<DecidedMsg>(static_cast<uint8_t>(value)));
+}
+
+int AgreementCore::coin_for_stage(sim::StepContext& ctx, int stage) {
+  // Line 8: xp <- coins[s] if s <= |coins|, else flip(1).
+  if (stage >= 1 && static_cast<size_t>(stage) <= coins_.size()) {
+    return coins_[static_cast<size_t>(stage - 1)] != 0 ? 1 : 0;
+  }
+  return ctx.random().flip();
+}
+
+void AgreementCore::start(sim::StepContext& ctx, int initial_value,
+                          std::vector<uint8_t> coins) {
+  RCOMMIT_CHECK(!started_);
+  RCOMMIT_CHECK(initial_value == 0 || initial_value == 1);
+  started_ = true;
+  x_ = initial_value;
+  coins_ = std::move(coins);
+  // Line 1 of stage 1: broadcast (1, s, xp).
+  broadcast_r1(ctx, stage_, x_);
+  advance(ctx);
+}
+
+void AgreementCore::on_message(sim::StepContext& ctx, ProcId from,
+                               const sim::MessageBase& msg) {
+  if (returned_) return;
+  if (const auto* r1 = dynamic_cast<const AgreementR1*>(&msg)) {
+    auto& b = board(r1->stage());
+    if (b.r1_senders.insert(from).second) {
+      RCOMMIT_CHECK(r1->value() == 0 || r1->value() == 1);
+      ++b.r1_count[r1->value()];
+    }
+    return;
+  }
+  if (const auto* r2 = dynamic_cast<const AgreementR2*>(&msg)) {
+    auto& b = board(r2->stage());
+    if (b.r2_senders.insert(from).second) {
+      if (r2->value() == kBottom) {
+        ++b.r2_bottom;
+      } else {
+        RCOMMIT_CHECK(r2->value() == 0 || r2->value() == 1);
+        ++b.r2_count[r2->value()];
+      }
+    }
+    return;
+  }
+  if (const auto* dec = dynamic_cast<const DecidedMsg*>(&msg)) {
+    if (config_.halt == HaltPolicy::kRunForever) return;  // helper disabled
+    const int v = dec->value() != 0 ? 1 : 0;
+    if (!decided_) {
+      decided_ = true;
+      decision_value_ = v;
+      decision_stage_ = stage_;
+    }
+    // Safe: the sender assembled n - t matching S-messages for v.
+    RCOMMIT_CHECK_MSG(decision_value_ == v, "DECIDED conflicts with own decision");
+    broadcast_decided(ctx, decision_value_);
+    returned_ = true;
+    return;
+  }
+  // Other message types (e.g. commit-layer traffic) are not ours to handle.
+}
+
+void AgreementCore::advance(sim::StepContext& ctx) {
+  if (!started_) return;
+  const int n = config_.params.n;
+  const int quorum = config_.params.quorum();
+
+  for (;;) {
+    if (returned_) return;
+    auto& b = board(stage_);
+    if (phase_ == 1) {
+      // Line 2: wait to receive n - t messages of the form (1, s, *). Per the
+      // bulletin-board semantics the condition and the majority test below
+      // look at *all* messages received so far, which can exceed n - t.
+      if (b.r1_total() < quorum) return;
+      // Lines 3-5: if more than n/2 messages are (1, s, v) for some v then
+      // broadcast (2, s, v) else broadcast (2, s, ⊥).
+      int v = kBottom;
+      if (2 * b.r1_count[0] > n) v = 0;
+      if (2 * b.r1_count[1] > n) v = 1;
+      broadcast_r2(ctx, stage_, v);
+      phase_ = 2;
+      continue;
+    }
+
+    // Line 6: wait to receive n - t messages of the form (2, s, *).
+    if (b.r2_total() < quorum) return;
+    ++stages_completed_;
+
+    // Lemma 2: at most one value is carried by S-messages per stage.
+    RCOMMIT_CHECK_MSG(b.r2_count[0] == 0 || b.r2_count[1] == 0,
+                      "two distinct S-message values in stage " << stage_);
+
+    // Lines 7-8: if there are no (2, s, v) messages for any v, draw the coin.
+    if (b.r2_count[0] == 0 && b.r2_count[1] == 0) {
+      x_ = coin_for_stage(ctx, stage_);
+    } else {
+      // Lines 9-10: if there is a (2, s, v) message, adopt v.
+      x_ = b.r2_count[1] > 0 ? 1 : 0;
+    }
+
+    // Lines 11-14: with at least n - t matching S-messages, decide v — or, if
+    // already decided in an earlier stage, return.
+    const int s_value = b.r2_count[1] > 0 ? 1 : (b.r2_count[0] > 0 ? 0 : -1);
+    if (s_value >= 0 && b.r2_count[s_value] >= quorum) {
+      if (decided_) {
+        RCOMMIT_CHECK_MSG(decision_value_ == s_value,
+                          "quorum S-value conflicts with earlier decision");
+        if (config_.halt == HaltPolicy::kDecidedBroadcast) {
+          broadcast_decided(ctx, decision_value_);
+          returned_ = true;
+          return;
+        }
+        // kRunForever: keep assisting; fall through to the next stage.
+      } else {
+        decided_ = true;
+        decision_value_ = s_value;
+        decision_stage_ = stage_;
+        if (config_.halt == HaltPolicy::kDecidedBroadcast) {
+          // Deviation from literal line 14 in service of termination (D1):
+          // announce the decision immediately rather than waiting to
+          // re-assemble a second quorum; the announcement carries the same
+          // value the quorum certified, so safety is untouched, and it saves
+          // the paper's extra wind-down stage.
+          broadcast_decided(ctx, decision_value_);
+          returned_ = true;
+          return;
+        }
+      }
+    }
+
+    // Start stage s + 1 (line 1 again).
+    ++stage_;
+    phase_ = 1;
+    broadcast_r1(ctx, stage_, x_);
+  }
+}
+
+AgreementProcess::AgreementProcess(Options options) : options_(std::move(options)) {
+  AgreementCore::Config config;
+  config.params = options_.params;
+  config.halt = options_.halt;
+  config.observer = options_.observer;
+  config.broadcast = [](sim::StepContext& ctx, sim::MessageRef msg) {
+    ctx.broadcast(std::move(msg));
+  };
+  core_ = std::make_unique<AgreementCore>(std::move(config));
+}
+
+void AgreementProcess::on_step(sim::StepContext& ctx,
+                               std::span<const sim::Envelope> delivered) {
+  if (first_step_) {
+    first_step_ = false;
+    core_->start(ctx, options_.initial_value, options_.coins);
+  }
+  for (const auto& env : delivered) {
+    core_->on_message(ctx, env.from, *env.payload);
+  }
+  core_->advance(ctx);
+}
+
+}  // namespace rcommit::protocol

@@ -1,0 +1,155 @@
+// Protocol 1: the randomized asynchronous agreement subroutine.
+//
+// A modification of Ben-Or's asynchronous agreement protocol in which the
+// local coin flip of an undecided stage is replaced, for the first |coins|
+// stages, by a pre-distributed list of *identical* coin flips (the
+// coordinator's, in Protocol 2). Matching coins collapse Ben-Or's expected
+// exponential stage count to a constant: Pr[MATCH(s)] = 1/2 per early stage,
+// so all processors decide within 4 expected stages (Lemma 8). With an empty
+// coin list this class *is* the local-coin Ben-Or baseline.
+//
+// AgreementCore is the embeddable state machine (used by Protocol 2);
+// AgreementProcess wraps it as a standalone sim::Process solving the
+// agreement problem of §2.4.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "protocol/messages.h"
+#include "sim/process.h"
+
+namespace rcommit::protocol {
+
+/// What a processor does after its Protocol 1 invocation returns
+/// (design decision D1 in DESIGN.md).
+enum class HaltPolicy {
+  /// On return, broadcast DECIDED(v) and halt; on receiving DECIDED(v),
+  /// decide v, rebroadcast, and halt. Default: terminating executable.
+  kDecidedBroadcast,
+  /// Never return: a decided processor keeps participating in stages
+  /// forever. Paper-literal stage behaviour; runs end when the simulator
+  /// observes that every nonfaulty processor has decided.
+  kRunForever,
+};
+
+/// Out-of-model instrumentation hook (used only by the omniscient Ben-Or
+/// worst-case bench): called for each broadcast with (clock, phase, stage,
+/// value); phase 0 = DECIDED, value kBottom for ⊥.
+using SendObserver = std::function<void(Tick clock, int phase, int stage, int value)>;
+
+/// The Protocol 1 state machine, faithful to the paper's line numbering
+/// (comments cite lines). Embeddable: the owner forwards messages and calls
+/// advance() once per step; sends go through a caller-supplied broadcast
+/// function so Protocol 2 can piggyback the GO on them.
+class AgreementCore {
+ public:
+  struct Config {
+    SystemParams params;
+    HaltPolicy halt = HaltPolicy::kDecidedBroadcast;
+    /// Broadcast hook; required. Protocol 2 wraps payloads in PiggybackedMsg.
+    std::function<void(sim::StepContext&, sim::MessageRef)> broadcast;
+    /// Optional spy hook (see SendObserver).
+    SendObserver observer;
+  };
+
+  explicit AgreementCore(Config config);
+
+  /// Starts the subroutine with input xp = initial_value and the coin list
+  /// (paper: "input parameters are xp and coins"). Broadcasts (1, 1, xp).
+  void start(sim::StepContext& ctx, int initial_value, std::vector<uint8_t> coins);
+
+  /// Feeds one received message (AgreementR1 / AgreementR2 / DecidedMsg;
+  /// anything else is ignored). Call advance() after the step's batch.
+  void on_message(sim::StepContext& ctx, ProcId from, const sim::MessageBase& msg);
+
+  /// Re-evaluates the wait conditions over everything received so far (the
+  /// paper's bulletin-board semantics) and performs any enabled transitions.
+  void advance(sim::StepContext& ctx);
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool decided() const { return decided_; }
+  /// The agreement value; only meaningful when decided().
+  [[nodiscard]] int decision_value() const { return decision_value_; }
+  /// True once the subroutine has returned (kDecidedBroadcast only).
+  [[nodiscard]] bool returned() const { return returned_; }
+  /// Current stage s (1-based).
+  [[nodiscard]] int stage() const { return stage_; }
+  /// Number of stages fully completed (phase-2 quorum reached) — the paper's
+  /// performance unit for Lemma 8.
+  [[nodiscard]] int stages_completed() const { return stages_completed_; }
+  /// Stage at which this processor first decided (0 = not yet).
+  [[nodiscard]] int decision_stage() const { return decision_stage_; }
+
+ private:
+  struct StageBoard {
+    std::set<ProcId> r1_senders;
+    int r1_count[2] = {0, 0};
+    std::set<ProcId> r2_senders;
+    int r2_count[2] = {0, 0};
+    int r2_bottom = 0;
+    [[nodiscard]] int r1_total() const {
+      return static_cast<int>(r1_senders.size());
+    }
+    [[nodiscard]] int r2_total() const {
+      return static_cast<int>(r2_senders.size());
+    }
+  };
+
+  StageBoard& board(int stage) { return boards_[stage]; }
+  void broadcast_r1(sim::StepContext& ctx, int stage, int value);
+  void broadcast_r2(sim::StepContext& ctx, int stage, int value);
+  void broadcast_decided(sim::StepContext& ctx, int value);
+  /// Coin for an undecided stage: coins[s] when s <= |coins|, else flip(1)
+  /// (paper line 8).
+  int coin_for_stage(sim::StepContext& ctx, int stage);
+
+  Config config_;
+  bool started_ = false;
+  int x_ = 0;                        ///< local value xp
+  std::vector<uint8_t> coins_;
+  int stage_ = 1;
+  int phase_ = 1;                    ///< 1 = waiting at line 2, 2 = line 6
+  bool decided_ = false;
+  int decision_value_ = -1;
+  int decision_stage_ = 0;
+  bool returned_ = false;
+  bool sent_decided_ = false;
+  int stages_completed_ = 0;
+  std::map<int, StageBoard> boards_;
+};
+
+/// Standalone agreement protocol participant (the §2.4 agreement problem):
+/// begins with `initial_value`, optionally seeded with a shared coin list.
+class AgreementProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    int initial_value = 0;
+    std::vector<uint8_t> coins;  ///< empty = local-coin Ben-Or baseline
+    HaltPolicy halt = HaltPolicy::kDecidedBroadcast;
+    SendObserver observer;
+  };
+
+  explicit AgreementProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return core_->decided(); }
+  [[nodiscard]] Decision decision() const override {
+    return decision_from_bit(core_->decision_value());
+  }
+  [[nodiscard]] bool halted() const override { return core_->returned(); }
+
+  [[nodiscard]] const AgreementCore& core() const { return *core_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<AgreementCore> core_;
+  bool first_step_ = true;
+};
+
+}  // namespace rcommit::protocol

@@ -1,0 +1,154 @@
+#include "protocol/commit.h"
+
+#include "common/check.h"
+
+namespace rcommit::protocol {
+
+CommitProcess::CommitProcess(Options options) : options_(std::move(options)) {
+  RCOMMIT_CHECK(options_.params.n >= 1);
+  RCOMMIT_CHECK(options_.initial_vote == 0 || options_.initial_vote == 1);
+  if (options_.coin_count == 0) options_.coin_count = options_.params.n;
+  RCOMMIT_CHECK(options_.coin_count >= options_.params.n);
+  vote_ = options_.initial_vote;
+}
+
+void CommitProcess::broadcast_piggybacked(sim::StepContext& ctx, sim::MessageRef inner) {
+  RCOMMIT_CHECK_MSG(have_coins_, "cannot piggyback before the GO is known");
+  ctx.broadcast(sim::make_message<PiggybackedMsg>(coins_, std::move(inner)));
+}
+
+void CommitProcess::on_step(sim::StepContext& ctx,
+                            std::span<const sim::Envelope> delivered) {
+  if (first_step_) {
+    first_step_ = false;
+    id_ = ctx.self();
+    if (is_coordinator()) {
+      // Line 1: call flip(n) and broadcast the results in a GO message.
+      coins_ = ctx.random().flip_bits(options_.coin_count);
+      have_coins_ = true;
+      go_senders_.insert(id_);
+      broadcast_piggybacked(ctx, sim::make_message<GoMsg>());
+      phase_ = Phase::kCollectGo;
+      window_start_ = ctx.clock();
+    }
+    // Non-coordinators: line 2, wait for a GO message (no timeout — if no
+    // processor ever receives a message, blocking is the specified outcome).
+  }
+
+  for (const auto& env : delivered) handle_message(ctx, env);
+  maybe_transition(ctx);
+}
+
+void CommitProcess::handle_message(sim::StepContext& ctx, const sim::Envelope& env) {
+  const auto* pb = sim::msg_cast<PiggybackedMsg>(env.payload);
+  // Every Protocol 2 message is piggybacked; anything else is foreign traffic.
+  if (pb == nullptr) return;
+
+  if (!have_coins_) {
+    // "As soon as a processor receives a message, it has received a GO."
+    coins_ = pb->coins();
+    have_coins_ = true;
+  }
+  // Any piggybacked message from q doubles as q's GO: q is participating.
+  go_senders_.insert(env.from);
+
+  const sim::MessageRef& inner = pb->inner();
+  if (sim::msg_cast<GoMsg>(inner) != nullptr) {
+    return;  // participation already recorded above
+  }
+  if (const auto* vote = sim::msg_cast<VoteMsg>(inner)) {
+    if (vote_senders_.insert(env.from).second && vote->vote() != 0) ++commit_votes_;
+    return;
+  }
+  // Agreement-layer message (R1/R2/DECIDED). Feed the core if it is running;
+  // otherwise stash for replay at line 12.
+  if (core_ != nullptr) {
+    core_->on_message(ctx, env.from, *inner);
+  } else {
+    stash_.push_back(Stashed{env.from, inner});
+  }
+}
+
+void CommitProcess::maybe_transition(sim::StepContext& ctx) {
+  const int32_t n = options_.params.n;
+  const Tick two_k = 2 * options_.params.k;
+
+  if (phase_ == Phase::kAwaitGo && have_coins_) {
+    // Line 3: broadcast GO ("I am participating in the protocol").
+    go_senders_.insert(ctx.self());
+    broadcast_piggybacked(ctx, sim::make_message<GoMsg>());
+    phase_ = Phase::kCollectGo;
+    window_start_ = ctx.clock();
+  }
+
+  if (phase_ == Phase::kCollectGo) {
+    const bool all_go = static_cast<int32_t>(go_senders_.size()) >= n;
+    const bool timed_out = ctx.clock() - window_start_ >= two_k;
+    if (all_go || timed_out) {
+      // Lines 5-6: without n GO messages in time, switch the vote to abort.
+      if (!all_go) vote_ = 0;
+      enter_collect_votes(ctx);
+    }
+  }
+
+  if (phase_ == Phase::kCollectVotes) {
+    const bool all_votes = static_cast<int32_t>(vote_senders_.size()) >= n;
+    const bool timed_out = ctx.clock() - window_start_ >= two_k;
+    if (all_votes || timed_out) {
+      // Lines 9-11: xp = 1 iff n commit votes arrived in time.
+      agreement_input_ = (all_votes && commit_votes_ >= n) ? 1 : 0;
+      enter_agreement(ctx);
+    }
+  }
+
+  if (phase_ == Phase::kAgreement) {
+    core_->advance(ctx);
+  }
+}
+
+void CommitProcess::enter_collect_votes(sim::StepContext& ctx) {
+  // Line 7: broadcast vote. Our own vote counts toward the n (the broadcast
+  // includes self, but counting it directly avoids a needless wait on the
+  // self-delivery).
+  phase_ = Phase::kCollectVotes;
+  window_start_ = ctx.clock();
+  if (vote_senders_.insert(ctx.self()).second && vote_ != 0) ++commit_votes_;
+  broadcast_piggybacked(ctx, sim::make_message<VoteMsg>(static_cast<uint8_t>(vote_)));
+}
+
+void CommitProcess::enter_agreement(sim::StepContext& ctx) {
+  phase_ = Phase::kAgreement;
+  AgreementCore::Config config;
+  config.params = options_.params;
+  config.halt = options_.halt;
+  config.broadcast = [this](sim::StepContext& c, sim::MessageRef msg) {
+    broadcast_piggybacked(c, std::move(msg));
+  };
+  core_ = std::make_unique<AgreementCore>(std::move(config));
+  // Line 12: call Protocol 1 with xp and the GO coins. The coin list spans
+  // coin_count >= n stages; stages beyond it fall back to local flips.
+  core_->start(ctx, agreement_input_, coins_);
+  for (const auto& s : stash_) core_->on_message(ctx, s.from, *s.payload);
+  stash_.clear();
+  stash_.shrink_to_fit();
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_commit_fleet(
+    const SystemParams& params, const std::vector<int>& votes, HaltPolicy halt,
+    int32_t coin_count) {
+  RCOMMIT_CHECK_MSG(static_cast<int32_t>(votes.size()) == params.n,
+                    "need one vote per processor");
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  fleet.reserve(votes.size());
+  for (int32_t i = 0; i < params.n; ++i) {
+    CommitProcess::Options options;
+    options.params = params;
+    options.initial_vote = votes[static_cast<size_t>(i)];
+    options.halt = halt;
+    options.coin_count = coin_count;
+    fleet.push_back(std::make_unique<CommitProcess>(options));
+  }
+  return fleet;
+}
+
+}  // namespace rcommit::protocol

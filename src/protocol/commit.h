@@ -1,0 +1,115 @@
+// Protocol 2: the randomized transaction commit protocol.
+//
+// The paper's flow (§3.2), with line references in the implementation:
+//   1. The coordinator (id 0) flips coins and broadcasts them in a GO message.
+//   2. Everyone else waits for a GO (which rides piggybacked on *every*
+//      message) and relays it: "I am participating."
+//   3. Wait for n GO messages or 2K clock ticks; on timeout, switch the vote
+//      to abort.
+//   4. Broadcast the vote; wait for n vote messages or 2K clock ticks.
+//   5. Input to Protocol 1: 1 iff n commit votes arrived in time, else 0.
+//   6. Run Protocol 1 with the shared coins; COMMIT iff it returns 1.
+//
+// Correctness (Theorem 9): agreement always; abort validity under any timing;
+// commit validity in failure-free on-time runs. Graceful degradation
+// (Theorem 11): with more than t failures the protocol may block but never
+// produces conflicting decisions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "protocol/agreement.h"
+#include "protocol/messages.h"
+#include "sim/process.h"
+
+namespace rcommit::protocol {
+
+class CommitProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    /// This processor's initial vote: 1 = wants to commit, 0 = abort.
+    int initial_vote = 1;
+    /// Number of coins the coordinator flips. The paper uses n; flipping
+    /// more lowers the expected stage count toward 3 (remark (3), §3.2).
+    int32_t coin_count = 0;  ///< 0 = default to params.n
+    HaltPolicy halt = HaltPolicy::kDecidedBroadcast;
+  };
+
+  explicit CommitProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+
+  [[nodiscard]] bool decided() const override { return core_ && core_->decided(); }
+  [[nodiscard]] Decision decision() const override {
+    return decision_from_bit(core_->decision_value());
+  }
+  [[nodiscard]] bool halted() const override { return core_ && core_->returned(); }
+
+  /// Phase of the commit protocol, for tests and metrics.
+  enum class Phase {
+    kAwaitGo,       ///< line 2: waiting for a GO message
+    kCollectGo,     ///< line 4: waiting for n GOs or 2K ticks
+    kCollectVotes,  ///< line 8: waiting for n votes or 2K ticks
+    kAgreement,     ///< line 12: inside Protocol 1
+  };
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  /// The vote this processor carried into the protocol (may have been
+  /// switched to abort by the GO timeout, line 6).
+  [[nodiscard]] int current_vote() const { return vote_; }
+
+  /// The value fed to Protocol 1 (lines 9-11); meaningful in kAgreement.
+  [[nodiscard]] int agreement_input() const { return agreement_input_; }
+
+  /// Protocol 1 instance (valid once phase() == kAgreement).
+  [[nodiscard]] const AgreementCore* agreement_core() const { return core_.get(); }
+
+  [[nodiscard]] bool is_coordinator() const { return id_ == 0; }
+
+ private:
+  void handle_message(sim::StepContext& ctx, const sim::Envelope& env);
+  void maybe_transition(sim::StepContext& ctx);
+  void enter_collect_go(sim::StepContext& ctx);
+  void enter_collect_votes(sim::StepContext& ctx);
+  void enter_agreement(sim::StepContext& ctx);
+  /// Sends `inner` to everyone with the GO piggybacked (§3.2: "GO messages
+  /// are piggybacked on every message sent, including those of Protocol 1").
+  void broadcast_piggybacked(sim::StepContext& ctx, sim::MessageRef inner);
+
+  Options options_;
+  ProcId id_ = kNoProc;  ///< learned at the first step
+  bool first_step_ = true;
+
+  Phase phase_ = Phase::kAwaitGo;
+  int vote_ = 1;
+  bool have_coins_ = false;
+  std::vector<uint8_t> coins_;
+  std::set<ProcId> go_senders_;
+  std::set<ProcId> vote_senders_;
+  int commit_votes_ = 0;
+  Tick window_start_ = 0;  ///< anchor of the current 2K timeout window (D3)
+
+  int agreement_input_ = -1;
+  std::unique_ptr<AgreementCore> core_;
+  /// Agreement-layer messages that arrived before this processor reached
+  /// line 12 (a fast peer can start Protocol 1 while we are still collecting
+  /// votes); replayed into the core on entry.
+  struct Stashed {
+    ProcId from;
+    sim::MessageRef payload;
+  };
+  std::vector<Stashed> stash_;
+};
+
+/// Builds the n processes of one Protocol 2 instance, one per processor id in
+/// order, with the given initial votes (votes.size() == params.n).
+std::vector<std::unique_ptr<sim::Process>> make_commit_fleet(
+    const SystemParams& params, const std::vector<int>& votes,
+    HaltPolicy halt = HaltPolicy::kDecidedBroadcast, int32_t coin_count = 0);
+
+}  // namespace rcommit::protocol

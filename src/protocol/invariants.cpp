@@ -1,0 +1,60 @@
+#include "protocol/invariants.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/ontime.h"
+
+namespace rcommit::protocol {
+
+bool agreement_holds(const sim::RunResult& result) {
+  return !result.has_conflicting_decisions();
+}
+
+bool abort_validity_holds(const sim::RunResult& result, const std::vector<int>& votes) {
+  const bool any_abort = std::any_of(votes.begin(), votes.end(),
+                                     [](int v) { return v == 0; });
+  if (!any_abort) return true;
+  for (const auto& d : result.decisions) {
+    if (d.has_value() && *d == Decision::kCommit) return false;
+  }
+  return true;
+}
+
+bool commit_validity_holds(const sim::RunResult& result, const std::vector<int>& votes,
+                           Tick k) {
+  const bool all_commit = std::all_of(votes.begin(), votes.end(),
+                                      [](int v) { return v == 1; });
+  if (!all_commit) return true;
+  const bool failure_free = std::none_of(result.crashed.begin(), result.crashed.end(),
+                                         [](bool c) { return c; });
+  if (!failure_free) return true;
+  if (!sim::is_on_time(result.trace, k)) return true;
+  for (const auto& d : result.decisions) {
+    if (!d.has_value() || *d != Decision::kCommit) return false;
+  }
+  return true;
+}
+
+bool agreement_validity_holds(const sim::RunResult& result,
+                              const std::vector<int>& inputs) {
+  const bool all_same = std::all_of(inputs.begin(), inputs.end(),
+                                    [&](int v) { return v == inputs.front(); });
+  if (!all_same || inputs.empty()) return true;
+  const Decision expected = decision_from_bit(inputs.front());
+  for (const auto& d : result.decisions) {
+    if (d.has_value() && *d != expected) return false;
+  }
+  return true;
+}
+
+void check_commit_conditions(const sim::RunResult& result, const std::vector<int>& votes,
+                             Tick k) {
+  RCOMMIT_CHECK_MSG(agreement_holds(result), "agreement condition violated");
+  RCOMMIT_CHECK_MSG(abort_validity_holds(result, votes),
+                    "abort validity condition violated");
+  RCOMMIT_CHECK_MSG(commit_validity_holds(result, votes, k),
+                    "commit validity condition violated");
+}
+
+}  // namespace rcommit::protocol

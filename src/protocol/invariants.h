@@ -1,0 +1,42 @@
+// Executable correctness conditions (paper §2.4).
+//
+// These checkers turn the paper's three transaction-commit conditions — and
+// the agreement problem's validity condition — into predicates over finished
+// runs, shared by the test suite and the benchmark harness.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace rcommit::protocol {
+
+/// Agreement Condition: every configuration has at most one decision value.
+/// (Checked on the final configuration; decisions are absorbing, so a
+/// conflict at any earlier point persists to the end.)
+bool agreement_holds(const sim::RunResult& result);
+
+/// Abort Validity Condition: whenever the initial value of any processor is
+/// 0, the nonfaulty processors decide 0. We check the stronger statement the
+/// protocol actually guarantees: *no* processor (faulty or not) ever decides
+/// 1 in such a run, whether or not the run is deciding.
+bool abort_validity_holds(const sim::RunResult& result, const std::vector<int>& votes);
+
+/// Commit Validity Condition: if all initial values are 1 and the run is
+/// failure-free and on-time, the nonfaulty processors decide 1. Returns true
+/// vacuously when the precondition does not hold (mixed votes, crashes, or a
+/// late message).
+bool commit_validity_holds(const sim::RunResult& result, const std::vector<int>& votes,
+                           Tick k);
+
+/// Agreement-problem validity (§2.4): if every initial value is v, deciders
+/// decided v. Vacuously true for mixed inputs.
+bool agreement_validity_holds(const sim::RunResult& result, const std::vector<int>& inputs);
+
+/// All three commit conditions at once; CHECK-fails with a description on
+/// violation (used as a hard gate inside property tests).
+void check_commit_conditions(const sim::RunResult& result, const std::vector<int>& votes,
+                             Tick k);
+
+}  // namespace rcommit::protocol

@@ -1,0 +1,132 @@
+// Message vocabulary of Protocols 1 and 2.
+//
+// Protocol 1 (the agreement subroutine) exchanges two message forms per
+// stage: (1, s, v) first-phase reports and (2, s, v/⊥) second-phase votes —
+// the paper calls a (2, s, v) with v ≠ ⊥ an "S-message". Protocol 2 adds GO
+// messages carrying the coordinator's coin string and vote messages, and
+// piggybacks the GO on *every* message it sends ("an important part of the
+// protocol is that GO messages are piggybacked on every message sent,
+// including those of Protocol 1", §3.2).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace rcommit::protocol {
+
+/// Sentinel for the second-phase "I don't know" marker ⊥.
+inline constexpr int8_t kBottom = -1;
+
+/// First-phase stage message (1, s, v).
+class AgreementR1 final : public sim::MessageBase {
+ public:
+  AgreementR1(int32_t stage, uint8_t value) : stage_(stage), value_(value) {}
+
+  [[nodiscard]] int32_t stage() const { return stage_; }
+  [[nodiscard]] uint8_t value() const { return value_; }
+
+  [[nodiscard]] std::string debug_string() const override {
+    std::ostringstream os;
+    os << "(1," << stage_ << "," << int(value_) << ")";
+    return os.str();
+  }
+
+ private:
+  int32_t stage_;
+  uint8_t value_;
+};
+
+/// Second-phase stage message (2, s, v) or (2, s, ⊥).
+class AgreementR2 final : public sim::MessageBase {
+ public:
+  AgreementR2(int32_t stage, int8_t value) : stage_(stage), value_(value) {}
+
+  [[nodiscard]] int32_t stage() const { return stage_; }
+  /// 0, 1, or kBottom.
+  [[nodiscard]] int8_t value() const { return value_; }
+  [[nodiscard]] bool is_s_message() const { return value_ != kBottom; }
+
+  [[nodiscard]] std::string debug_string() const override {
+    std::ostringstream os;
+    os << "(2," << stage_ << ",";
+    if (value_ == kBottom) {
+      os << "⊥";
+    } else {
+      os << int(value_);
+    }
+    os << ")";
+    return os.str();
+  }
+
+ private:
+  int32_t stage_;
+  int8_t value_;
+};
+
+/// Termination helper (design decision D1): broadcast by a processor when its
+/// Protocol 1 invocation returns, so that slow processors need not assemble
+/// their own n - t quorum after fast ones have stopped sending. Carried value
+/// is always backed by n - t matching S-messages at the sender, so acting on
+/// it preserves the agreement and validity conditions.
+class DecidedMsg final : public sim::MessageBase {
+ public:
+  explicit DecidedMsg(uint8_t value) : value_(value) {}
+
+  [[nodiscard]] uint8_t value() const { return value_; }
+
+  [[nodiscard]] std::string debug_string() const override {
+    return std::string("DECIDED(") + std::to_string(int(value_)) + ")";
+  }
+
+ private:
+  uint8_t value_;
+};
+
+/// GO announcement / relay: "I am participating in the protocol." The coin
+/// string itself rides on the piggyback envelope below.
+class GoMsg final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "GO"; }
+};
+
+/// A processor's vote: 1 = commit, 0 = abort.
+class VoteMsg final : public sim::MessageBase {
+ public:
+  explicit VoteMsg(uint8_t vote) : vote_(vote) {}
+
+  [[nodiscard]] uint8_t vote() const { return vote_; }
+
+  [[nodiscard]] std::string debug_string() const override {
+    return std::string("VOTE(") + std::to_string(int(vote_)) + ")";
+  }
+
+ private:
+  uint8_t vote_;
+};
+
+/// Envelope wrapper adding the GO piggyback (the coordinator's coin string)
+/// to an inner message. Every message Protocol 2 sends is wrapped in one of
+/// these, so receiving *any* message hands a processor the GO.
+class PiggybackedMsg final : public sim::MessageBase {
+ public:
+  PiggybackedMsg(std::vector<uint8_t> coins, sim::MessageRef inner)
+      : coins_(std::move(coins)), inner_(std::move(inner)) {}
+
+  [[nodiscard]] const std::vector<uint8_t>& coins() const { return coins_; }
+  [[nodiscard]] const sim::MessageRef& inner() const { return inner_; }
+
+  [[nodiscard]] std::string debug_string() const override {
+    return "GO+" + inner_->debug_string();
+  }
+
+ private:
+  std::vector<uint8_t> coins_;
+  sim::MessageRef inner_;
+};
+
+}  // namespace rcommit::protocol

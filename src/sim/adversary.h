@@ -1,0 +1,61 @@
+// The adversary interface (paper §2.3).
+//
+// "The adversary can be considered a scheduler — it decides which processor
+// takes a step next and what messages are received." It also decides which
+// processors fail and when (fail-stop). It sees only the message pattern
+// (PatternView), never message contents, local states, or coin flips.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/pattern.h"
+
+namespace rcommit::sim {
+
+/// One scheduling decision: which processor steps and what it receives.
+struct Action {
+  /// The processor that takes the next step.
+  ProcId proc = kNoProc;
+
+  /// Subset of proc's buffered messages to deliver at this step (ids must be
+  /// pending for proc). Empty set is a legal step (paper: "which can be
+  /// empty").
+  std::vector<MsgId> deliver;
+
+  /// If true, this is a failure step: the processor crashes. If
+  /// suppress_sends_to is empty the processor crashes *before* executing its
+  /// transition (pure failure step). If non-empty, the processor executes the
+  /// step but its sends to the listed destinations are discarded and it then
+  /// crashes — this models the paper's "processor failing in the middle of a
+  /// broadcast" (messages sent at a processor's last step are not
+  /// guaranteed).
+  bool crash = false;
+  std::vector<ProcId> suppress_sends_to;
+};
+
+/// A scheduling strategy. Implementations must be *t-admissible* for the
+/// experiments that assume it: crash at most t processors, eventually deliver
+/// every guaranteed message to a nonfaulty processor, and keep scheduling
+/// every nonfaulty processor. The simulator validates actions (ids pending,
+/// processor schedulable) and reports — but does not repair — unfair
+/// schedules, because some experiments (Theorem 11, Theorem 14) deliberately
+/// run inadmissible adversaries to demonstrate blocking.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Produces the next event. Must return a schedulable processor; if none
+  /// exists the simulator stops before calling this.
+  virtual Action next(const PatternView& view) = 0;
+
+  /// Optional early-stop hook: return true to end the run (e.g. an
+  /// experiment that only cares about a prefix).
+  virtual bool done(const PatternView& view) {
+    (void)view;
+    return false;
+  }
+};
+
+}  // namespace rcommit::sim

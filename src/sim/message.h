@@ -1,0 +1,54 @@
+// Message payloads and envelopes.
+//
+// The simulator is protocol-agnostic: payloads are immutable objects derived
+// from MessageBase and are carried by shared_ptr<const ...> so delivering a
+// broadcast to n recipients never copies the payload. The adversary never
+// sees payloads (see pattern.h) — only the protocol code that receives an
+// Envelope may downcast it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+
+namespace rcommit::sim {
+
+/// Base class of every message payload exchanged by protocol code.
+class MessageBase {
+ public:
+  virtual ~MessageBase() = default;
+
+  /// Human-readable rendering for traces and test failure messages.
+  [[nodiscard]] virtual std::string debug_string() const = 0;
+};
+
+/// Immutable shared handle to a payload.
+using MessageRef = std::shared_ptr<const MessageBase>;
+
+/// Constructs a payload of concrete type T in place.
+template <typename T, typename... Args>
+MessageRef make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+/// Downcasts a payload; returns nullptr when the payload is a different type.
+template <typename T>
+const T* msg_cast(const MessageRef& m) {
+  return dynamic_cast<const T*>(m.get());
+}
+
+/// A message instance: payload plus routing and timing metadata. Envelopes
+/// are created by the simulator (or the transport runtime) at send time and
+/// handed to the recipient at delivery time.
+struct Envelope {
+  MsgId id = kNoMsg;
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  EventIndex sent_at_event = -1;  ///< global index of the sending event
+  Tick sender_clock = 0;          ///< sender's clock when the message was sent
+  MessageRef payload;
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,79 @@
+#include "sim/ontime.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::sim {
+
+namespace {
+
+/// Per-processor cumulative step counts indexed by event position, so the
+/// steps a processor took inside any global event window can be answered in
+/// O(1) per query after O(events) setup.
+class StepPrefix {
+ public:
+  explicit StepPrefix(const Trace& trace) : n_(trace.n) {
+    const auto num_events = trace.events.size();
+    prefix_.assign(static_cast<size_t>(n_), std::vector<int64_t>(num_events + 1, 0));
+    for (size_t i = 0; i < num_events; ++i) {
+      const auto& ev = trace.events[i];
+      for (ProcId p = 0; p < n_; ++p) {
+        prefix_[static_cast<size_t>(p)][i + 1] =
+            prefix_[static_cast<size_t>(p)][i] +
+            ((ev.proc == p && !ev.crash) ? 1 : 0);
+      }
+    }
+  }
+
+  /// Steps by p in the window of event indices (from, to].
+  [[nodiscard]] int64_t steps(ProcId p, EventIndex from, EventIndex to) const {
+    const auto& row = prefix_[static_cast<size_t>(p)];
+    return row[static_cast<size_t>(to) + 1] - row[static_cast<size_t>(from) + 1];
+  }
+
+  [[nodiscard]] int32_t n() const { return n_; }
+
+ private:
+  int32_t n_;
+  std::vector<std::vector<int64_t>> prefix_;
+};
+
+}  // namespace
+
+std::vector<MessageTiming> classify_messages(const Trace& trace, Tick k) {
+  RCOMMIT_CHECK(k >= 1);
+  StepPrefix prefix(trace);
+  std::vector<MessageTiming> out;
+  out.reserve(trace.messages.size());
+  const auto last_event =
+      static_cast<EventIndex>(trace.events.empty() ? 0 : trace.events.size() - 1);
+  for (const auto& m : trace.messages) {
+    MessageTiming timing;
+    timing.id = m.id;
+    timing.received = m.received();
+    // For a pending message, measure against the end of the trace: once K
+    // steps have passed, no extension of this run can deliver it on time.
+    const EventIndex until = m.received() ? m.recv_event : last_event;
+    int64_t max_steps = 0;
+    for (ProcId p = 0; p < prefix.n(); ++p) {
+      max_steps = std::max(max_steps, prefix.steps(p, m.sent_event, until));
+    }
+    timing.max_steps_between = max_steps;
+    timing.late = max_steps > k;
+    out.push_back(timing);
+  }
+  return out;
+}
+
+bool is_on_time(const Trace& trace, Tick k) { return late_message_count(trace, k) == 0; }
+
+int64_t late_message_count(const Trace& trace, Tick k) {
+  int64_t late = 0;
+  for (const auto& t : classify_messages(trace, k)) {
+    if (t.late) ++late;
+  }
+  return late;
+}
+
+}  // namespace rcommit::sim

@@ -1,0 +1,42 @@
+// Lateness and on-time checking (paper §2.2).
+//
+// "A message m from p to q is late in run R if any processor takes more than
+// K steps between the event when m is sent and the event when m is received.
+// A run is on-time if it contains no late messages."
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+namespace rcommit::sim {
+
+/// Verdict for one message.
+struct MessageTiming {
+  MsgId id = kNoMsg;
+  bool received = false;
+  bool late = false;
+  /// Maximum number of steps any single processor took between send and
+  /// receipt — or, for a message still pending at the end of the trace,
+  /// between send and the end of the trace.
+  int64_t max_steps_between = 0;
+};
+
+/// Classifies every message in the trace against the bound K. A message
+/// received more than K steps (on any processor's clock) after its send is
+/// late, per the paper's definition. A message still *pending* at the end of
+/// the trace is also marked late once more than K steps have already elapsed
+/// since its send: the paper's correctness conditions quantify over infinite
+/// runs, and such a message can never be received on time in any extension
+/// of this prefix. (A pending message within the K window is not late — the
+/// run ended before its fate was determined.)
+std::vector<MessageTiming> classify_messages(const Trace& trace, Tick k);
+
+/// True iff the run contains no (actually or inevitably) late message.
+bool is_on_time(const Trace& trace, Tick k);
+
+/// Number of late messages in the run.
+int64_t late_message_count(const Trace& trace, Tick k);
+
+}  // namespace rcommit::sim

@@ -1,0 +1,66 @@
+// The adversary's view of a run: the message *pattern* only (paper §2.3).
+//
+// "The point of making this definition is to isolate the pattern of message
+// sending and receiving while hiding the contents of the messages." The
+// PatternView type enforces that structurally: there is no way to reach a
+// payload through it, so every Adversary written against this interface is
+// content-oblivious by construction. (The one deliberate exception, the
+// omniscient Ben-Or worst-case adversary, is handed side-channel accessors by
+// its bench and is documented as strictly stronger than the model.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rcommit::sim {
+
+/// Metadata for one in-flight message.
+struct PendingInfo {
+  MsgId id = kNoMsg;
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  EventIndex sent_at_event = -1;  ///< global event index of the send
+  Tick sender_clock = 0;          ///< sender's clock at send time
+};
+
+/// Read-only, contents-free view of the run so far.
+class PatternView {
+ public:
+  virtual ~PatternView() = default;
+
+  /// Number of processors.
+  [[nodiscard]] virtual int32_t n() const = 0;
+
+  /// Global event count so far (the index the next event will get).
+  [[nodiscard]] virtual EventIndex now() const = 0;
+
+  /// Processor p's clock (steps taken so far).
+  [[nodiscard]] virtual Tick clock(ProcId p) const = 0;
+
+  /// True if p has taken a failure step.
+  [[nodiscard]] virtual bool crashed(ProcId p) const = 0;
+
+  /// True if p has halted (needs no more steps). Halting is externally
+  /// observable — a halted processor stops sending — so exposing it does not
+  /// leak state beyond the message pattern.
+  [[nodiscard]] virtual bool halted(ProcId p) const = 0;
+
+  /// Messages currently in p's buffer (sent to p, not yet received).
+  [[nodiscard]] virtual const std::vector<PendingInfo>& pending(ProcId p) const = 0;
+
+  /// Convenience: true if p can still be scheduled for a step.
+  [[nodiscard]] bool schedulable(ProcId p) const { return !crashed(p) && !halted(p); }
+
+  /// Convenience: number of schedulable processors.
+  [[nodiscard]] int32_t schedulable_count() const {
+    int32_t c = 0;
+    for (ProcId p = 0; p < n(); ++p) {
+      if (schedulable(p)) ++c;
+    }
+    return c;
+  }
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,71 @@
+// The processor abstraction (paper §2.1).
+//
+// A processor is a state machine with a message buffer and a private random
+// tape. Each event (p, M, f) is one call to Process::on_step: the processor
+// receives the (possibly empty) message set M chosen by the adversary, draws
+// randomness f from its tape, changes state, and sends messages. Its clock is
+// its step count. The same Process implementations run unchanged on the
+// deterministic simulator and on the threaded transport runtime.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace rcommit::sim {
+
+/// Capabilities available to a processor during one step.
+class StepContext {
+ public:
+  virtual ~StepContext() = default;
+
+  /// Sends one message to processor `to` (0 <= to < n). Sending to self is
+  /// allowed; the message goes through the buffer like any other.
+  virtual void send(ProcId to, MessageRef payload) = 0;
+
+  /// The paper's "broadcast": send to all n processors, self included.
+  /// Not atomic — a processor can crash part-way through (the adversary's
+  /// suppress_sends_to models exactly that, see sim/simulator.h).
+  virtual void broadcast(MessageRef payload) = 0;
+
+  /// This processor's clock: the number of steps taken, counting this one.
+  [[nodiscard]] virtual Tick clock() const = 0;
+
+  /// This processor's id.
+  [[nodiscard]] virtual ProcId self() const = 0;
+
+  /// Number of processors in the protocol.
+  [[nodiscard]] virtual int32_t n() const = 0;
+
+  /// The processor's private random tape.
+  virtual RandomTape& random() = 0;
+};
+
+/// A protocol participant.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// One step: `delivered` is the message set M chosen by the adversary
+  /// (possibly empty — a step with no deliveries still advances the clock,
+  /// which is what makes timeouts expressible).
+  virtual void on_step(StepContext& ctx, std::span<const Envelope> delivered) = 0;
+
+  /// True once this processor has entered a decision state Y0 or Y1.
+  /// Deciding is irreversible (checked by the simulator).
+  [[nodiscard]] virtual bool decided() const = 0;
+
+  /// The decision value; only meaningful when decided().
+  [[nodiscard]] virtual Decision decision() const = 0;
+
+  /// True once the processor needs no further steps (e.g. its commit
+  /// subroutine returned). A halted processor is excluded from scheduling.
+  /// Halting is about termination of the executable, not correctness: the
+  /// paper's correctness conditions are phrased in terms of deciding.
+  [[nodiscard]] virtual bool halted() const { return false; }
+};
+
+}  // namespace rcommit::sim

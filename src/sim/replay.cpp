@@ -1,0 +1,85 @@
+#include "sim/replay.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rcommit::sim {
+
+std::string RecordedSchedule::serialize() const {
+  std::ostringstream os;
+  for (const auto& action : actions) {
+    os << action.proc;
+    if (action.crash) os << " X";
+    os << " d";
+    for (MsgId id : action.deliver) os << ' ' << id;
+    os << " s";
+    for (ProcId p : action.suppress_sends_to) os << ' ' << p;
+    os << '\n';
+  }
+  return os.str();
+}
+
+RecordedSchedule RecordedSchedule::deserialize(const std::string& text) {
+  RecordedSchedule schedule;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    Action action;
+    ls >> action.proc;
+    std::string token;
+    enum { kNone, kDeliver, kSuppress } mode = kNone;
+    while (ls >> token) {
+      if (token == "X") {
+        action.crash = true;
+      } else if (token == "d") {
+        mode = kDeliver;
+      } else if (token == "s") {
+        mode = kSuppress;
+      } else if (mode == kDeliver) {
+        action.deliver.push_back(std::stoll(token));
+      } else if (mode == kSuppress) {
+        action.suppress_sends_to.push_back(static_cast<ProcId>(std::stol(token)));
+      } else {
+        throw CheckFailure("malformed schedule line: " + line);
+      }
+    }
+    // A non-empty suppress list implies a crash-during-send action.
+    if (!action.suppress_sends_to.empty()) action.crash = true;
+    schedule.actions.push_back(std::move(action));
+  }
+  return schedule;
+}
+
+RecordingAdversary::RecordingAdversary(std::unique_ptr<Adversary> inner)
+    : inner_(std::move(inner)) {
+  RCOMMIT_CHECK(inner_ != nullptr);
+}
+
+Action RecordingAdversary::next(const PatternView& view) {
+  Action action = inner_->next(view);
+  schedule_.actions.push_back(action);
+  return action;
+}
+
+bool RecordingAdversary::done(const PatternView& view) { return inner_->done(view); }
+
+ReplayAdversary::ReplayAdversary(RecordedSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+Action ReplayAdversary::next(const PatternView& view) {
+  (void)view;
+  RCOMMIT_CHECK_MSG(position_ < schedule_.actions.size(),
+                    "replay exhausted at event " << position_
+                                                 << " — run diverged from recording");
+  return schedule_.actions[position_++];
+}
+
+bool ReplayAdversary::done(const PatternView& view) {
+  (void)view;
+  return position_ >= schedule_.actions.size();
+}
+
+}  // namespace rcommit::sim

@@ -1,0 +1,59 @@
+// Schedule recording and replay.
+//
+// A run in the paper's model is uniquely determined by (adversary, initial
+// configuration, random tapes) — §2.3. RecordingAdversary captures the exact
+// action sequence an inner adversary produced; ReplayAdversary plays a
+// captured sequence back verbatim. Together with the seeded tapes this gives
+// bit-identical re-execution of any interesting run (a failing fuzz case, a
+// rare interleaving) against modified protocol code — the foundation of the
+// regression workflow.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/adversary.h"
+
+namespace rcommit::sim {
+
+/// A serializable schedule: the adversary's decisions, in order.
+struct RecordedSchedule {
+  std::vector<Action> actions;
+
+  /// Text round-trip (one action per line) for storing failing cases.
+  [[nodiscard]] std::string serialize() const;
+  static RecordedSchedule deserialize(const std::string& text);
+};
+
+/// Wraps an adversary and records every action it takes.
+class RecordingAdversary final : public Adversary {
+ public:
+  explicit RecordingAdversary(std::unique_ptr<Adversary> inner);
+
+  Action next(const PatternView& view) override;
+  bool done(const PatternView& view) override;
+
+  [[nodiscard]] const RecordedSchedule& schedule() const { return schedule_; }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  RecordedSchedule schedule_;
+};
+
+/// Replays a recorded schedule verbatim. Throws CheckFailure if the run
+/// diverges (an action becomes inapplicable), which signals that the
+/// protocol-side behaviour changed since the recording.
+class ReplayAdversary final : public Adversary {
+ public:
+  explicit ReplayAdversary(RecordedSchedule schedule);
+
+  Action next(const PatternView& view) override;
+  bool done(const PatternView& view) override;
+
+ private:
+  RecordedSchedule schedule_;
+  size_t position_ = 0;
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,82 @@
+#include "sim/rounds.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::sim {
+
+RoundAnalyzer::RoundAnalyzer(const Trace& trace, Tick k)
+    : trace_(trace), k_(k), n_(trace.n) {
+  RCOMMIT_CHECK(k_ >= 1);
+  RCOMMIT_CHECK(n_ >= 1);
+  ends_.resize(static_cast<size_t>(n_));
+  receipts_.resize(static_cast<size_t>(n_));
+  for (const auto& m : trace_.messages) {
+    if (!m.received()) continue;
+    if (trace_.crashed[static_cast<size_t>(m.from)]) continue;  // faulty sender
+    receipts_[static_cast<size_t>(m.to)].push_back(
+        Receipt{m.from, m.sender_clock, m.receiver_clock});
+  }
+  // Level 1: round 1 ends when the clock reads K, for everyone.
+  for (ProcId p = 0; p < n_; ++p) ends_[static_cast<size_t>(p)].push_back(k_);
+  levels_ = 1;
+}
+
+void RoundAnalyzer::compute_next_level() {
+  const int r = levels_ + 1;  // the round being computed
+  std::vector<Tick> new_ends(static_cast<size_t>(n_));
+  for (ProcId p = 0; p < n_; ++p) {
+    const auto& my_ends = ends_[static_cast<size_t>(p)];
+    Tick end = my_ends[static_cast<size_t>(r - 2)] + k_;  // K after round r-1 ends
+    for (const auto& receipt : receipts_[static_cast<size_t>(p)]) {
+      // Was this message sent in the sender's round r-1? Round r-1 of q spans
+      // sender clocks (end_q[r-2], end_q[r-1]], with round 1 = (0, K].
+      const auto& q_ends = ends_[static_cast<size_t>(receipt.sender)];
+      const Tick lo = (r - 1 >= 2) ? q_ends[static_cast<size_t>(r - 3)] : 0;
+      const Tick hi = q_ends[static_cast<size_t>(r - 2)];
+      if (receipt.sender_clock > lo && receipt.sender_clock <= hi) {
+        end = std::max(end, receipt.receiver_clock + k_);
+      }
+    }
+    new_ends[static_cast<size_t>(p)] = end;
+  }
+  for (ProcId p = 0; p < n_; ++p) {
+    ends_[static_cast<size_t>(p)].push_back(new_ends[static_cast<size_t>(p)]);
+  }
+  ++levels_;
+}
+
+Tick RoundAnalyzer::round_end(ProcId p, int round) {
+  RCOMMIT_CHECK(p >= 0 && p < n_);
+  RCOMMIT_CHECK(round >= 1);
+  while (levels_ < round) compute_next_level();
+  return ends_[static_cast<size_t>(p)][static_cast<size_t>(round - 1)];
+}
+
+int RoundAnalyzer::round_at(ProcId p, Tick clock) {
+  RCOMMIT_CHECK(clock >= 1);
+  int round = 1;
+  while (round_end(p, round) < clock) ++round;
+  return round;
+}
+
+std::optional<int> RoundAnalyzer::decision_round(ProcId p) {
+  RCOMMIT_CHECK(p >= 0 && p < n_);
+  const auto& clock = trace_.decide_clock[static_cast<size_t>(p)];
+  if (!clock.has_value()) return std::nullopt;
+  return round_at(p, *clock);
+}
+
+std::optional<int> RoundAnalyzer::max_decision_round() {
+  std::optional<int> result;
+  for (ProcId p = 0; p < n_; ++p) {
+    if (trace_.crashed[static_cast<size_t>(p)]) continue;
+    auto r = decision_round(p);
+    if (!r.has_value()) continue;
+    if (!result.has_value() || *r > *result) result = r;
+  }
+  return result;
+}
+
+}  // namespace rcommit::sim

@@ -1,0 +1,63 @@
+// Asynchronous rounds (paper §2.2).
+//
+// The paper's time measure: "Asynchronous round 1 begins for processor p when
+// p first takes a step and ends when p's clock reads K. Asynchronous round r,
+// r > 1, begins for p at the end of p's round r−1 and ends either K clock
+// ticks after the end of round r−1, or K clock ticks after p receives the
+// last message sent by a nonfaulty processor q in q's round r−1, whichever
+// happens later."
+//
+// RoundAnalyzer computes the per-processor round-end clocks from a finished
+// trace, level by level (round r ends depend only on round r−1 ends of the
+// senders, so the induction is well-founded), and maps decision clocks to
+// decision rounds. This is the measure behind Lemma 6 / Theorem 10
+// ("14 expected asynchronous rounds").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+namespace rcommit::sim {
+
+class RoundAnalyzer {
+ public:
+  /// `k` is the on-time bound K. Senders that crashed in the run are treated
+  /// as faulty and their messages do not extend rounds, per the definition.
+  RoundAnalyzer(const Trace& trace, Tick k);
+
+  /// The clock value (on p's own clock) at which p's round `round` ends.
+  /// round >= 1. Computed lazily and cached.
+  Tick round_end(ProcId p, int round);
+
+  /// The round containing clock value `clock` for processor p (clock >= 1).
+  int round_at(ProcId p, Tick clock);
+
+  /// The asynchronous round in which p decided; nullopt if p never decided.
+  std::optional<int> decision_round(ProcId p);
+
+  /// Largest decision round over all nonfaulty processors that decided;
+  /// nullopt when no nonfaulty processor decided.
+  std::optional<int> max_decision_round();
+
+ private:
+  /// Extends every processor's cached round ends by one more level.
+  void compute_next_level();
+
+  struct Receipt {
+    ProcId sender;
+    Tick sender_clock;    ///< sender's clock at send
+    Tick receiver_clock;  ///< this processor's clock at receipt
+  };
+
+  const Trace& trace_;
+  Tick k_;
+  int32_t n_;
+  int levels_ = 0;                           ///< rounds computed so far
+  std::vector<std::vector<Tick>> ends_;      ///< ends_[p][r-1] = end of round r
+  std::vector<std::vector<Receipt>> receipts_;  ///< per receiver, nonfaulty senders only
+};
+
+}  // namespace rcommit::sim

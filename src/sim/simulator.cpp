@@ -1,0 +1,311 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace rcommit::sim {
+
+bool RunResult::all_nonfaulty_decided() const {
+  for (size_t p = 0; p < decisions.size(); ++p) {
+    if (!crashed[p] && !decisions[p].has_value()) return false;
+  }
+  return true;
+}
+
+bool RunResult::has_conflicting_decisions() const {
+  std::optional<Decision> seen;
+  for (const auto& d : decisions) {
+    if (!d.has_value()) continue;
+    if (seen.has_value() && *seen != *d) return true;
+    seen = d;
+  }
+  return false;
+}
+
+std::optional<Decision> RunResult::agreed_decision() const {
+  RCOMMIT_CHECK_MSG(!has_conflicting_decisions(),
+                    "agreement violated: two processors decided differently");
+  for (const auto& d : decisions) {
+    if (d.has_value()) return d;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// StepContext handed to a process during one step. Collects sends so the
+/// simulator can apply crash-time send suppression before committing them to
+/// the buffers.
+class SimStepContext final : public StepContext {
+ public:
+  SimStepContext(ProcId self, int32_t n, Tick clock, RandomTape& tape)
+      : self_(self), n_(n), clock_(clock), tape_(tape) {}
+
+  void send(ProcId to, MessageRef payload) override {
+    RCOMMIT_CHECK_MSG(to >= 0 && to < n_, "send to invalid processor " << to);
+    RCOMMIT_CHECK(payload != nullptr);
+    outgoing_.push_back({to, std::move(payload)});
+  }
+
+  void broadcast(MessageRef payload) override {
+    RCOMMIT_CHECK(payload != nullptr);
+    for (ProcId to = 0; to < n_; ++to) outgoing_.push_back({to, payload});
+  }
+
+  [[nodiscard]] Tick clock() const override { return clock_; }
+  [[nodiscard]] ProcId self() const override { return self_; }
+  [[nodiscard]] int32_t n() const override { return n_; }
+  RandomTape& random() override { return tape_; }
+
+  struct Outgoing {
+    ProcId to;
+    MessageRef payload;
+  };
+  [[nodiscard]] std::vector<Outgoing>& outgoing() { return outgoing_; }
+
+ private:
+  ProcId self_;
+  int32_t n_;
+  Tick clock_;
+  RandomTape& tape_;
+  std::vector<Outgoing> outgoing_;
+};
+
+}  // namespace
+
+/// Holds all mutable run state; also implements the adversary's PatternView.
+class Simulator::Impl final : public PatternView {
+ public:
+  Impl(SimConfig config, std::vector<std::unique_ptr<Process>>& processes,
+       std::unique_ptr<Adversary> adversary)
+      : config_(config),
+        processes_(processes),
+        adversary_(std::move(adversary)),
+        n_(static_cast<int32_t>(processes.size())) {
+    RCOMMIT_CHECK(n_ >= 1);
+    RCOMMIT_CHECK(adversary_ != nullptr);
+    auto seeds = derive_seeds(config_.seed, n_);
+    tapes_.reserve(static_cast<size_t>(n_));
+    for (auto s : seeds) tapes_.emplace_back(s);
+    buffers_.resize(static_cast<size_t>(n_));
+    clocks_.assign(static_cast<size_t>(n_), 0);
+    crashed_.assign(static_cast<size_t>(n_), false);
+    was_decided_.assign(static_cast<size_t>(n_), false);
+    trace_.n = n_;
+    trace_.decide_clock.assign(static_cast<size_t>(n_), std::nullopt);
+    trace_.decide_event.assign(static_cast<size_t>(n_), std::nullopt);
+  }
+
+  // --- PatternView ----------------------------------------------------------
+  [[nodiscard]] int32_t n() const override { return n_; }
+  [[nodiscard]] EventIndex now() const override { return next_event_; }
+  [[nodiscard]] Tick clock(ProcId p) const override {
+    return clocks_[static_cast<size_t>(p)];
+  }
+  [[nodiscard]] bool crashed(ProcId p) const override {
+    return crashed_[static_cast<size_t>(p)];
+  }
+  [[nodiscard]] bool halted(ProcId p) const override {
+    return processes_[static_cast<size_t>(p)]->halted();
+  }
+  [[nodiscard]] const std::vector<PendingInfo>& pending(ProcId p) const override {
+    return buffers_[static_cast<size_t>(p)];
+  }
+
+  // --- run loop --------------------------------------------------------------
+  RunResult run() {
+    while (next_event_ < config_.max_events) {
+      if (config_.stop_on_all_decided && all_nonfaulty_decided()) {
+        return finish(RunStatus::kAllDecided);
+      }
+      if (!config_.stop_on_all_decided && all_nonfaulty_halted()) {
+        return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
+                                              : RunStatus::kNoSchedulable);
+      }
+      if (schedulable_count() == 0) {
+        return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
+                                              : RunStatus::kNoSchedulable);
+      }
+      if (adversary_->done(*this)) return finish(RunStatus::kAdversaryDone);
+      apply(adversary_->next(*this));
+    }
+    return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
+                                          : RunStatus::kEventLimit);
+  }
+
+ private:
+  void apply(const Action& action) {
+    const ProcId p = action.proc;
+    RCOMMIT_CHECK_MSG(p >= 0 && p < n_, "adversary scheduled invalid proc " << p);
+    RCOMMIT_CHECK_MSG(schedulable(p), "adversary scheduled unschedulable proc " << p);
+
+    auto& proc = *processes_[static_cast<size_t>(p)];
+    auto& buffer = buffers_[static_cast<size_t>(p)];
+
+    // Remove the delivered subset from p's buffer.
+    std::vector<Envelope> delivered;
+    delivered.reserve(action.deliver.size());
+    for (MsgId id : action.deliver) {
+      auto it = std::find_if(buffer.begin(), buffer.end(),
+                             [id](const PendingInfo& m) { return m.id == id; });
+      RCOMMIT_CHECK_MSG(it != buffer.end(),
+                        "adversary delivered message " << id << " not pending for " << p);
+      delivered.push_back(std::move(in_flight_.at(id)));
+      in_flight_.erase(id);
+      buffer.erase(it);
+    }
+
+    const EventIndex event_index = next_event_++;
+    TraceEvent trace_event;
+    trace_event.index = event_index;
+    trace_event.proc = p;
+    trace_event.crash = action.crash;
+    for (const auto& env : delivered) trace_event.delivered.push_back(env.id);
+
+    const bool pure_failure_step = action.crash && action.suppress_sends_to.empty();
+    if (pure_failure_step) {
+      // The processor dies without executing its transition; the delivered
+      // messages are consumed by the failure step (they were removed from the
+      // buffer) but never observed, matching the (p, ⊥, f) formulation.
+      crashed_[static_cast<size_t>(p)] = true;
+      trace_event.clock_after = clocks_[static_cast<size_t>(p)];
+      record_delivery_metadata(delivered, event_index, trace_event.clock_after);
+      if (config_.record_trace) trace_.events.push_back(std::move(trace_event));
+      return;
+    }
+
+    // Regular step (or crash-during-broadcast): execute the transition.
+    const Tick clock_after = ++clocks_[static_cast<size_t>(p)];
+    trace_event.clock_after = clock_after;
+    record_delivery_metadata(delivered, event_index, clock_after);
+    messages_delivered_ += static_cast<int64_t>(delivered.size());
+
+    SimStepContext ctx(p, n_, clock_after, tapes_[static_cast<size_t>(p)]);
+    proc.on_step(ctx, delivered);
+
+    // A decision, once made, is forever (paper: Y0/Y1 are absorbing).
+    if (was_decided_[static_cast<size_t>(p)]) {
+      RCOMMIT_CHECK_MSG(proc.decided(), "processor " << p << " un-decided");
+    } else if (proc.decided()) {
+      was_decided_[static_cast<size_t>(p)] = true;
+      trace_.decide_clock[static_cast<size_t>(p)] = clock_after;
+      trace_.decide_event[static_cast<size_t>(p)] = event_index;
+    }
+
+    // Commit the step's sends, minus any the adversary suppressed (modelling
+    // a crash in the middle of a broadcast).
+    std::unordered_set<ProcId> suppressed(action.suppress_sends_to.begin(),
+                                          action.suppress_sends_to.end());
+    for (auto& out : ctx.outgoing()) {
+      if (action.crash && suppressed.count(out.to) > 0) continue;
+      const MsgId id = next_msg_id_++;
+      Envelope env;
+      env.id = id;
+      env.from = p;
+      env.to = out.to;
+      env.sent_at_event = event_index;
+      env.sender_clock = clock_after;
+      env.payload = std::move(out.payload);
+
+      buffers_[static_cast<size_t>(out.to)].push_back(
+          PendingInfo{id, p, out.to, event_index, clock_after});
+      in_flight_.emplace(id, std::move(env));
+      trace_event.sent.push_back(id);
+      ++messages_sent_;
+
+      if (config_.record_trace) {
+        TraceMessage tm;
+        tm.id = id;
+        tm.from = p;
+        tm.to = out.to;
+        tm.sent_event = event_index;
+        tm.sender_clock = clock_after;
+        trace_.messages.push_back(tm);
+      }
+    }
+
+    if (action.crash) crashed_[static_cast<size_t>(p)] = true;
+    if (config_.record_trace) trace_.events.push_back(std::move(trace_event));
+  }
+
+  void record_delivery_metadata(const std::vector<Envelope>& delivered,
+                                EventIndex event_index, Tick receiver_clock) {
+    if (!config_.record_trace) return;
+    for (const auto& env : delivered) {
+      auto& tm = trace_.messages[static_cast<size_t>(env.id)];
+      tm.recv_event = event_index;
+      tm.receiver_clock = receiver_clock;
+    }
+  }
+
+  [[nodiscard]] bool all_nonfaulty_decided() const {
+    for (ProcId p = 0; p < n_; ++p) {
+      if (!crashed_[static_cast<size_t>(p)] &&
+          !processes_[static_cast<size_t>(p)]->decided()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool all_nonfaulty_halted() const {
+    for (ProcId p = 0; p < n_; ++p) {
+      if (!crashed_[static_cast<size_t>(p)] &&
+          !processes_[static_cast<size_t>(p)]->halted()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  RunResult finish(RunStatus status) {
+    RunResult result;
+    result.status = status;
+    result.events = next_event_;
+    result.crashed = crashed_;
+    result.messages_sent = messages_sent_;
+    result.messages_delivered = messages_delivered_;
+    result.decisions.resize(static_cast<size_t>(n_));
+    for (ProcId p = 0; p < n_; ++p) {
+      const auto& proc = *processes_[static_cast<size_t>(p)];
+      if (proc.decided()) result.decisions[static_cast<size_t>(p)] = proc.decision();
+    }
+    trace_.crashed = crashed_;
+    if (config_.record_trace) result.trace = std::move(trace_);
+    return result;
+  }
+
+  SimConfig config_;
+  std::vector<std::unique_ptr<Process>>& processes_;
+  std::unique_ptr<Adversary> adversary_;
+  int32_t n_;
+
+  std::vector<RandomTape> tapes_;
+  std::vector<std::vector<PendingInfo>> buffers_;
+  std::unordered_map<MsgId, Envelope> in_flight_;
+  std::vector<Tick> clocks_;
+  std::vector<bool> crashed_;
+  std::vector<bool> was_decided_;
+
+  EventIndex next_event_ = 0;
+  MsgId next_msg_id_ = 0;
+  int64_t messages_sent_ = 0;
+  int64_t messages_delivered_ = 0;
+  Trace trace_;
+};
+
+Simulator::Simulator(SimConfig config, std::vector<std::unique_ptr<Process>> processes,
+                     std::unique_ptr<Adversary> adversary)
+    : processes_(std::move(processes)) {
+  impl_ = std::make_unique<Impl>(config, processes_, std::move(adversary));
+}
+
+Simulator::~Simulator() = default;
+
+RunResult Simulator::run() { return impl_->run(); }
+
+}  // namespace rcommit::sim

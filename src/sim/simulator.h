@@ -1,0 +1,92 @@
+// The deterministic run driver.
+//
+// Implements the paper's run construction (§2.3): a run is uniquely
+// determined by an adversary A, an initial configuration I (the Process
+// objects and their initial values), and a collection F of per-processor
+// random tapes (derived from one master seed). The simulator applies the
+// adversary's events one at a time, maintains the message buffers, records a
+// trace, and stops when every schedulable nonfaulty processor has decided
+// (and halted, when halting is in play), or on the event budget.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/adversary.h"
+#include "sim/message.h"
+#include "sim/pattern.h"
+#include "sim/process.h"
+#include "sim/trace.h"
+
+namespace rcommit::sim {
+
+/// Why a run ended.
+enum class RunStatus {
+  kAllDecided,     ///< every nonfaulty processor decided
+  kEventLimit,     ///< event budget exhausted (e.g. a deliberately blocked run)
+  kAdversaryDone,  ///< the adversary's done() hook fired
+  kNoSchedulable,  ///< every processor crashed or halted without all deciding
+};
+
+/// Everything an experiment needs to know about a finished run.
+struct RunResult {
+  RunStatus status = RunStatus::kEventLimit;
+  int64_t events = 0;
+  std::vector<std::optional<Decision>> decisions;  ///< per processor
+  std::vector<bool> crashed;                       ///< per processor
+  int64_t messages_sent = 0;
+  int64_t messages_delivered = 0;
+  Trace trace;  ///< populated when SimConfig::record_trace
+
+  /// True iff every nonfaulty processor decided.
+  [[nodiscard]] bool all_nonfaulty_decided() const;
+
+  /// The single decision value, if all decided values agree; nullopt when no
+  /// processor decided. Throws CheckFailure on conflicting decisions — a
+  /// conflicting decision is a safety violation no experiment should absorb
+  /// silently.
+  [[nodiscard]] std::optional<Decision> agreed_decision() const;
+
+  /// True if two decided processors hold different values (safety violation).
+  [[nodiscard]] bool has_conflicting_decisions() const;
+};
+
+/// Simulator knobs.
+struct SimConfig {
+  uint64_t seed = 1;             ///< master seed; derives every tape
+  int64_t max_events = 2'000'000;
+  bool record_trace = true;
+  /// Stop as soon as all nonfaulty decided even if not halted (default).
+  /// Set false to keep running until halted as well (halt-policy bench).
+  bool stop_on_all_decided = true;
+};
+
+/// Drives one run. Single-shot: construct, call run(), inspect the result.
+class Simulator {
+ public:
+  Simulator(SimConfig config, std::vector<std::unique_ptr<Process>> processes,
+            std::unique_ptr<Adversary> adversary);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Executes the run to completion and returns the result.
+  RunResult run();
+
+  /// The hosted processes (valid after run(); used by invariant checkers and
+  /// by the omniscient bench adversary's side channel).
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,18 @@
+#include "sim/trace.h"
+
+#include "common/check.h"
+
+namespace rcommit::sim {
+
+int64_t Trace::steps_in_window(ProcId p, EventIndex from, EventIndex to) const {
+  RCOMMIT_CHECK(from <= to);
+  int64_t count = 0;
+  for (const auto& ev : events) {
+    if (ev.index <= from) continue;
+    if (ev.index > to) break;
+    if (ev.proc == p && !ev.crash) ++count;
+  }
+  return count;
+}
+
+}  // namespace rcommit::sim

@@ -1,0 +1,58 @@
+// Run traces.
+//
+// The simulator records every event and the fate of every message so that
+// the paper's derived measures — asynchronous rounds (§2.2), lateness /
+// on-time-ness (§2.2), decision times — can be computed after the fact by
+// pure functions over the trace.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rcommit::sim {
+
+/// The full life of one message.
+struct TraceMessage {
+  MsgId id = kNoMsg;
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  EventIndex sent_event = -1;   ///< event index at which it was sent
+  Tick sender_clock = 0;        ///< sender's clock at send
+  EventIndex recv_event = -1;   ///< event index of receipt; -1 = never received
+  Tick receiver_clock = -1;     ///< receiver's clock at receipt; -1 = never
+
+  [[nodiscard]] bool received() const { return recv_event >= 0; }
+};
+
+/// One event (p, M, f) of the schedule.
+struct TraceEvent {
+  EventIndex index = -1;
+  ProcId proc = kNoProc;
+  Tick clock_after = 0;          ///< proc's clock after the step
+  bool crash = false;            ///< true if this was a failure step
+  std::vector<MsgId> delivered;  ///< messages received at this event
+  std::vector<MsgId> sent;       ///< messages sent at this event
+};
+
+/// Everything that happened in a run.
+struct Trace {
+  int32_t n = 0;
+  std::vector<TraceEvent> events;
+  std::vector<TraceMessage> messages;  ///< indexed by MsgId
+
+  /// Per-processor clock at the moment it first decided; nullopt = never.
+  std::vector<std::optional<Tick>> decide_clock;
+  /// Per-processor event index at which it first decided; nullopt = never.
+  std::vector<std::optional<EventIndex>> decide_event;
+  /// Which processors crashed.
+  std::vector<bool> crashed;
+
+  /// Steps processor p took in the half-open global event window (from, to].
+  /// Used by the lateness check: a message is late if any processor takes
+  /// more than K steps between its send and its receipt.
+  [[nodiscard]] int64_t steps_in_window(ProcId p, EventIndex from, EventIndex to) const;
+};
+
+}  // namespace rcommit::sim

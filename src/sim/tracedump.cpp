@@ -1,0 +1,74 @@
+#include "sim/tracedump.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/ontime.h"
+
+namespace rcommit::sim {
+
+void dump_trace(std::ostream& os, const Trace& trace, const TraceDumpOptions& options) {
+  os << "trace: n=" << trace.n << ", " << trace.events.size() << " events, "
+     << trace.messages.size() << " messages\n";
+
+  std::vector<MessageTiming> timings;
+  if (options.k > 0) timings = classify_messages(trace, options.k);
+
+  int64_t shown = 0;
+  for (const auto& ev : trace.events) {
+    if (shown++ >= options.max_events) {
+      os << "... (truncated)\n";
+      break;
+    }
+    os << "e" << ev.index << " p" << ev.proc << "@" << ev.clock_after;
+    if (ev.crash) os << " CRASH";
+    if (!ev.delivered.empty()) {
+      os << " recv[";
+      for (size_t i = 0; i < ev.delivered.size(); ++i) {
+        if (i) os << ' ';
+        os << 'm' << ev.delivered[i];
+      }
+      os << ']';
+    }
+    if (!ev.sent.empty()) {
+      os << " send[";
+      for (size_t i = 0; i < ev.sent.size(); ++i) {
+        if (i) os << ' ';
+        os << 'm' << ev.sent[i];
+      }
+      os << ']';
+    }
+    for (size_t p = 0; p < trace.decide_event.size(); ++p) {
+      if (trace.decide_event[p].has_value() && *trace.decide_event[p] == ev.index) {
+        os << " <-- p" << p << " DECIDES";
+      }
+    }
+    os << '\n';
+  }
+
+  if (options.show_messages) {
+    os << "messages:\n";
+    for (const auto& m : trace.messages) {
+      os << "  m" << m.id << " p" << m.from << "->p" << m.to << " sent@e"
+         << m.sent_event << "(clk " << m.sender_clock << ")";
+      if (m.received()) {
+        os << " recv@e" << m.recv_event << "(clk " << m.receiver_clock << ")";
+      } else {
+        os << " never received";
+      }
+      if (options.k > 0 && m.id < static_cast<MsgId>(timings.size()) &&
+          timings[static_cast<size_t>(m.id)].late) {
+        os << " LATE";
+      }
+      os << '\n';
+    }
+  }
+}
+
+std::string trace_to_string(const Trace& trace, const TraceDumpOptions& options) {
+  std::ostringstream os;
+  dump_trace(os, trace, options);
+  return os.str();
+}
+
+}  // namespace rcommit::sim

@@ -1,0 +1,29 @@
+// Human-readable trace rendering.
+//
+// Turns a recorded run into a step-by-step narrative (who stepped, what was
+// delivered, what was sent, who decided when) and a per-message ledger —
+// the first thing to reach for when a property test shakes out a surprising
+// interleaving.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.h"
+#include "sim/trace.h"
+
+namespace rcommit::sim {
+
+struct TraceDumpOptions {
+  bool show_messages = true;   ///< append the per-message ledger
+  Tick k = 0;                  ///< when > 0, annotate late messages for this K
+  int64_t max_events = 10'000; ///< truncate absurdly long traces
+};
+
+/// Writes the narrative to `os`.
+void dump_trace(std::ostream& os, const Trace& trace, const TraceDumpOptions& options = {});
+
+/// Convenience: render to a string (what tests embed in failure messages).
+std::string trace_to_string(const Trace& trace, const TraceDumpOptions& options = {});
+
+}  // namespace rcommit::sim

@@ -1,0 +1,192 @@
+#include "transport/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace rcommit::transport {
+
+namespace {
+
+/// Writes exactly `len` bytes or throws.
+void write_all(int fd, const uint8_t* data, size_t len) {
+  size_t written = 0;
+  while (written < len) {
+    const ssize_t rc = ::send(fd, data + written, len - written, MSG_NOSIGNAL);
+    RCOMMIT_CHECK_MSG(rc > 0, "tcp send failed: " << std::strerror(errno));
+    written += static_cast<size_t>(rc);
+  }
+}
+
+/// Reads exactly `len` bytes; returns false on orderly shutdown.
+bool read_all(int fd, uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t rc = ::recv(fd, data + got, len - got, 0);
+    if (rc <= 0) return false;  // peer closed or error: end of stream
+    got += static_cast<size_t>(rc);
+  }
+  return true;
+}
+
+int make_listener(uint16_t* port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RCOMMIT_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  RCOMMIT_CHECK_MSG(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                    "bind failed: " << std::strerror(errno));
+  RCOMMIT_CHECK_MSG(::listen(fd, 64) == 0, "listen failed: " << std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  RCOMMIT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+int dial(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  RCOMMIT_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  RCOMMIT_CHECK_MSG(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "connect to 127.0.0.1:" << port << " failed: " << std::strerror(errno));
+  return fd;
+}
+
+}  // namespace
+
+TcpNetwork::TcpNetwork(int32_t n) : n_(n) {
+  RCOMMIT_CHECK(n >= 1);
+  inboxes_.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    inboxes_.push_back(std::make_unique<Channel<std::vector<uint8_t>>>());
+  }
+}
+
+TcpNetwork::~TcpNetwork() { stop(); }
+
+void TcpNetwork::start() {
+  RCOMMIT_CHECK(!running_);
+  running_ = true;
+
+  listen_fds_.resize(static_cast<size_t>(n_));
+  ports_.resize(static_cast<size_t>(n_));
+  for (int32_t i = 0; i < n_; ++i) {
+    listen_fds_[static_cast<size_t>(i)] =
+        make_listener(&ports_[static_cast<size_t>(i)]);
+  }
+
+  // Dial the full mesh: one connection per ordered (from, to) pair. The dial
+  // side sends a one-byte hello identifying `from`; the accept side spawns a
+  // reader for the connection.
+  out_fds_.assign(static_cast<size_t>(n_), std::vector<int>(static_cast<size_t>(n_), -1));
+  out_mu_.resize(static_cast<size_t>(n_));
+  for (auto& row : out_mu_) {
+    row.clear();
+    for (int32_t j = 0; j < n_; ++j) row.push_back(std::make_unique<std::mutex>());
+  }
+
+  for (ProcId from = 0; from < n_; ++from) {
+    for (ProcId to = 0; to < n_; ++to) {
+      const int fd = dial(ports_[static_cast<size_t>(to)]);
+      const auto hello = static_cast<uint8_t>(from);
+      write_all(fd, &hello, 1);
+      out_fds_[static_cast<size_t>(from)][static_cast<size_t>(to)] = fd;
+    }
+  }
+
+  // Accept n connections per listener and spawn a reader thread for each.
+  for (ProcId to = 0; to < n_; ++to) {
+    for (int32_t conn = 0; conn < n_; ++conn) {
+      const int fd = ::accept(listen_fds_[static_cast<size_t>(to)], nullptr, nullptr);
+      RCOMMIT_CHECK_MSG(fd >= 0, "accept failed: " << std::strerror(errno));
+      uint8_t hello = 0;
+      RCOMMIT_CHECK_MSG(read_all(fd, &hello, 1), "hello read failed");
+      readers_.emplace_back([this, to, fd] { reader_loop(to, fd); });
+    }
+  }
+}
+
+void TcpNetwork::stop() {
+  if (!running_) return;
+  running_ = false;
+  // Shut down the sending sides: readers see EOF and exit.
+  for (auto& row : out_fds_) {
+    for (int fd : row) {
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+      }
+    }
+  }
+  out_fds_.clear();
+  for (int fd : listen_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  listen_fds_.clear();
+  for (auto& reader : readers_) reader.join();
+  readers_.clear();
+  for (auto& inbox : inboxes_) inbox->close();
+}
+
+void TcpNetwork::send(const WireFrame& frame) {
+  RCOMMIT_CHECK_MSG(frame.to >= 0 && frame.to < n_, "send to invalid node " << frame.to);
+  RCOMMIT_CHECK_MSG(frame.from >= 0 && frame.from < n_, "invalid sender " << frame.from);
+  RCOMMIT_CHECK_MSG(running_, "network not started");
+  const auto bytes = frame.serialize();
+  uint8_t header[4];
+  const auto len = static_cast<uint32_t>(bytes.size());
+  header[0] = static_cast<uint8_t>(len);
+  header[1] = static_cast<uint8_t>(len >> 8);
+  header[2] = static_cast<uint8_t>(len >> 16);
+  header[3] = static_cast<uint8_t>(len >> 24);
+  auto& mu = *out_mu_[static_cast<size_t>(frame.from)][static_cast<size_t>(frame.to)];
+  const int fd = out_fds_[static_cast<size_t>(frame.from)][static_cast<size_t>(frame.to)];
+  std::lock_guard<std::mutex> lock(mu);
+  write_all(fd, header, 4);
+  write_all(fd, bytes.data(), bytes.size());
+}
+
+Channel<std::vector<uint8_t>>& TcpNetwork::inbox(ProcId id) {
+  RCOMMIT_CHECK(id >= 0 && id < n_);
+  return *inboxes_[static_cast<size_t>(id)];
+}
+
+uint16_t TcpNetwork::port(ProcId id) const {
+  RCOMMIT_CHECK(id >= 0 && id < static_cast<ProcId>(ports_.size()));
+  return ports_[static_cast<size_t>(id)];
+}
+
+void TcpNetwork::reader_loop(ProcId to, int fd) {
+  for (;;) {
+    uint8_t header[4];
+    if (!read_all(fd, header, 4)) break;
+    const uint32_t len = static_cast<uint32_t>(header[0]) |
+                         (static_cast<uint32_t>(header[1]) << 8) |
+                         (static_cast<uint32_t>(header[2]) << 16) |
+                         (static_cast<uint32_t>(header[3]) << 24);
+    if (len > (1u << 24)) break;  // implausible frame: treat as corruption
+    std::vector<uint8_t> bytes(len);
+    if (!read_all(fd, bytes.data(), len)) break;
+    inboxes_[static_cast<size_t>(to)]->push(std::move(bytes));
+  }
+  ::close(fd);
+}
+
+}  // namespace rcommit::transport

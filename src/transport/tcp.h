@@ -1,0 +1,65 @@
+// TCP loopback transport.
+//
+// The same Network interface as InMemoryNetwork, but over real sockets: each
+// node listens on an ephemeral 127.0.0.1 port, a full mesh of connections is
+// established at start(), frames travel length-prefixed over the stream, and
+// per-connection reader threads feed the inbox channels. Kernel scheduling
+// and socket buffering supply genuine (if benign) asynchrony — this backend
+// exists to demonstrate that the protocol state machines run unchanged over
+// a real network stack, not to inject faults (use InMemoryNetwork's
+// LinkPolicy for that).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "transport/network.h"
+
+namespace rcommit::transport {
+
+class TcpNetwork final : public Network {
+ public:
+  explicit TcpNetwork(int32_t n);
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  /// Binds n listeners, dials the full mesh, and spawns reader threads.
+  void start() override;
+
+  /// Shuts every socket down, joins the readers, closes the inboxes.
+  void stop() override;
+
+  /// Writes the frame, length-prefixed, on the (from -> to) connection.
+  void send(const WireFrame& frame) override;
+
+  Channel<std::vector<uint8_t>>& inbox(ProcId id) override;
+
+  [[nodiscard]] int32_t n() const override { return n_; }
+
+  /// The TCP port node `id` listens on (valid after start()).
+  [[nodiscard]] uint16_t port(ProcId id) const;
+
+ private:
+  struct Connection;
+
+  void reader_loop(ProcId to, int fd);
+
+  int32_t n_;
+  bool running_ = false;
+  std::vector<int> listen_fds_;
+  std::vector<uint16_t> ports_;
+  /// out_fds_[from][to]: the sending side of each mesh connection.
+  std::vector<std::vector<int>> out_fds_;
+  /// One mutex per outgoing connection: frames must not interleave.
+  std::vector<std::vector<std::unique_ptr<std::mutex>>> out_mu_;
+  std::vector<std::unique_ptr<Channel<std::vector<uint8_t>>>> inboxes_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace rcommit::transport

@@ -1,0 +1,280 @@
+#include "transport/wire.h"
+
+#include "baselines/q3pc.h"
+#include "baselines/threepc.h"
+#include "baselines/twopc.h"
+#include "common/check.h"
+#include "protocol/messages.h"
+
+namespace rcommit::transport {
+
+namespace {
+
+/// Stable wire tags. Append only — reusing a tag breaks interoperability
+/// between builds.
+enum WireTag : uint16_t {
+  kAgreementR1 = 1,
+  kAgreementR2 = 2,
+  kDecided = 3,
+  kGo = 4,
+  kVote = 5,
+  kPiggybacked = 6,
+  kTpcPrepare = 20,
+  kTpcVote = 21,
+  kTpcDecision = 22,
+  kThreePcCanCommit = 30,
+  kThreePcVote = 31,
+  kThreePcPreCommit = 32,
+  kThreePcAck = 33,
+  kThreePcOutcome = 34,
+  kQ3pcStateReport = 40,
+  kQ3pcRecoveryDecision = 41,
+};
+
+template <typename T>
+const T& as(const sim::MessageBase& payload) {
+  const auto* typed = dynamic_cast<const T*>(&payload);
+  RCOMMIT_CHECK_MSG(typed != nullptr, "wire encoder given wrong payload type");
+  return *typed;
+}
+
+}  // namespace
+
+WireRegistry& detail_mutable_instance() {
+  static WireRegistry registry;
+  return registry;
+}
+
+namespace {
+
+WireRegistry& mutable_instance() { return detail_mutable_instance(); }
+
+void register_builtin(WireRegistry& r) {
+  using namespace rcommit::protocol;
+  using namespace rcommit::baselines;
+
+  r.register_type(
+      kAgreementR1, typeid(AgreementR1),
+      [](BufWriter& w, const sim::MessageBase& m) {
+        const auto& msg = as<AgreementR1>(m);
+        w.svarint(msg.stage());
+        w.u8(msg.value());
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        const auto stage = static_cast<int32_t>(rd.svarint());
+        const uint8_t value = rd.u8();
+        return sim::make_message<AgreementR1>(stage, value);
+      });
+
+  r.register_type(
+      kAgreementR2, typeid(AgreementR2),
+      [](BufWriter& w, const sim::MessageBase& m) {
+        const auto& msg = as<AgreementR2>(m);
+        w.svarint(msg.stage());
+        w.svarint(msg.value());
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        const auto stage = static_cast<int32_t>(rd.svarint());
+        const auto value = static_cast<int8_t>(rd.svarint());
+        return sim::make_message<AgreementR2>(stage, value);
+      });
+
+  r.register_type(
+      kDecided, typeid(DecidedMsg),
+      [](BufWriter& w, const sim::MessageBase& m) { w.u8(as<DecidedMsg>(m).value()); },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<DecidedMsg>(rd.u8());
+      });
+
+  r.register_type(
+      kGo, typeid(GoMsg),
+      [](BufWriter&, const sim::MessageBase&) {},
+      [](BufReader&) -> sim::MessageRef { return sim::make_message<GoMsg>(); });
+
+  r.register_type(
+      kVote, typeid(VoteMsg),
+      [](BufWriter& w, const sim::MessageBase& m) { w.u8(as<VoteMsg>(m).vote()); },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<VoteMsg>(rd.u8());
+      });
+
+  r.register_type(
+      kPiggybacked, typeid(PiggybackedMsg),
+      [&r](BufWriter& w, const sim::MessageBase& m) {
+        const auto& msg = as<PiggybackedMsg>(m);
+        w.bytes(msg.coins());
+        WireRegistry::instance().encode_into(w, *msg.inner());
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        auto coins = rd.bytes();
+        auto inner = WireRegistry::instance().decode_from(rd);
+        return sim::make_message<PiggybackedMsg>(std::move(coins), std::move(inner));
+      });
+
+  // --- 2PC ---------------------------------------------------------------
+  r.register_type(
+      kTpcPrepare, typeid(TpcPrepare),
+      [](BufWriter&, const sim::MessageBase&) {},
+      [](BufReader&) -> sim::MessageRef { return sim::make_message<TpcPrepare>(); });
+  r.register_type(
+      kTpcVote, typeid(TpcVote),
+      [](BufWriter& w, const sim::MessageBase& m) { w.u8(as<TpcVote>(m).vote()); },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<TpcVote>(rd.u8());
+      });
+  r.register_type(
+      kTpcDecision, typeid(TpcDecision),
+      [](BufWriter& w, const sim::MessageBase& m) {
+        w.u8(as<TpcDecision>(m).commit() ? 1 : 0);
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<TpcDecision>(rd.u8());
+      });
+
+  // --- 3PC ---------------------------------------------------------------
+  r.register_type(
+      kThreePcCanCommit, typeid(ThreePcCanCommit),
+      [](BufWriter&, const sim::MessageBase&) {},
+      [](BufReader&) -> sim::MessageRef {
+        return sim::make_message<ThreePcCanCommit>();
+      });
+  r.register_type(
+      kThreePcVote, typeid(ThreePcVote),
+      [](BufWriter& w, const sim::MessageBase& m) { w.u8(as<ThreePcVote>(m).vote()); },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<ThreePcVote>(rd.u8());
+      });
+  r.register_type(
+      kThreePcPreCommit, typeid(ThreePcPreCommit),
+      [](BufWriter&, const sim::MessageBase&) {},
+      [](BufReader&) -> sim::MessageRef {
+        return sim::make_message<ThreePcPreCommit>();
+      });
+  r.register_type(
+      kThreePcAck, typeid(ThreePcAck),
+      [](BufWriter&, const sim::MessageBase&) {},
+      [](BufReader&) -> sim::MessageRef { return sim::make_message<ThreePcAck>(); });
+  r.register_type(
+      kQ3pcStateReport, typeid(Q3pcStateReport),
+      [](BufWriter& w, const sim::MessageBase& m) {
+        w.u8(static_cast<uint8_t>(as<Q3pcStateReport>(m).state()));
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<Q3pcStateReport>(static_cast<Q3pcState>(rd.u8()));
+      });
+  r.register_type(
+      kQ3pcRecoveryDecision, typeid(Q3pcRecoveryDecision),
+      [](BufWriter& w, const sim::MessageBase& m) {
+        w.u8(as<Q3pcRecoveryDecision>(m).commit() ? 1 : 0);
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<Q3pcRecoveryDecision>(rd.u8());
+      });
+  r.register_type(
+      kThreePcOutcome, typeid(ThreePcOutcome),
+      [](BufWriter& w, const sim::MessageBase& m) {
+        w.u8(as<ThreePcOutcome>(m).commit() ? 1 : 0);
+      },
+      [](BufReader& rd) -> sim::MessageRef {
+        return sim::make_message<ThreePcOutcome>(rd.u8());
+      });
+}
+
+}  // namespace
+
+const WireRegistry& WireRegistry::instance() {
+  static const bool initialized = [] {
+    register_builtin(mutable_instance());
+    return true;
+  }();
+  (void)initialized;
+  return mutable_instance();
+}
+
+void WireRegistry::extend(uint16_t tag, std::type_index type, EncodeFn encode,
+                          DecodeFn decode) {
+  (void)instance();  // ensure the builtins are in before extending
+  detail_mutable_instance().register_type(tag, type, std::move(encode),
+                                          std::move(decode));
+}
+
+void WireRegistry::register_type(uint16_t tag, std::type_index type, EncodeFn encode,
+                                 DecodeFn decode) {
+  RCOMMIT_CHECK_MSG(by_tag_.emplace(tag, std::make_pair(std::move(encode),
+                                                        std::move(decode)))
+                        .second,
+                    "duplicate wire tag " << tag);
+  RCOMMIT_CHECK_MSG(tag_of_.emplace(type, tag).second,
+                    "payload type registered twice");
+}
+
+void WireRegistry::encode_into(BufWriter& writer, const sim::MessageBase& payload) const {
+  auto it = tag_of_.find(std::type_index(typeid(payload)));
+  RCOMMIT_CHECK_MSG(it != tag_of_.end(),
+                    "unregistered payload type: " << payload.debug_string());
+  writer.u16(it->second);
+  by_tag_.at(it->second).first(writer, payload);
+}
+
+std::vector<uint8_t> WireRegistry::encode(const sim::MessageBase& payload) const {
+  BufWriter writer;
+  encode_into(writer, payload);
+  return writer.take();
+}
+
+namespace {
+/// Decoders can nest (the piggyback wrapper embeds an inner frame); a crafted
+/// buffer nesting wrappers thousands deep would otherwise recurse the stack
+/// away. Network input is untrusted — cap the depth.
+thread_local int decode_depth = 0;
+constexpr int kMaxDecodeDepth = 16;
+
+struct DepthGuard {
+  DepthGuard() {
+    if (++decode_depth > kMaxDecodeDepth) {
+      --decode_depth;
+      throw CodecError("payload nesting exceeds depth limit");
+    }
+  }
+  ~DepthGuard() { --decode_depth; }
+};
+}  // namespace
+
+sim::MessageRef WireRegistry::decode_from(BufReader& reader) const {
+  DepthGuard guard;
+  const uint16_t tag = reader.u16();
+  auto it = by_tag_.find(tag);
+  if (it == by_tag_.end()) {
+    throw CodecError("unknown wire tag " + std::to_string(tag));
+  }
+  return it->second.second(reader);
+}
+
+sim::MessageRef WireRegistry::decode(std::span<const uint8_t> data) const {
+  BufReader reader(data);
+  auto msg = decode_from(reader);
+  if (!reader.exhausted()) throw CodecError("trailing bytes after payload");
+  return msg;
+}
+
+std::vector<uint8_t> WireFrame::serialize() const {
+  BufWriter w;
+  w.svarint(from);
+  w.svarint(to);
+  w.svarint(sender_clock);
+  w.bytes(payload);
+  return w.take();
+}
+
+WireFrame WireFrame::deserialize(std::span<const uint8_t> data) {
+  BufReader r(data);
+  WireFrame frame;
+  frame.from = static_cast<ProcId>(r.svarint());
+  frame.to = static_cast<ProcId>(r.svarint());
+  frame.sender_clock = r.svarint();
+  frame.payload = r.bytes();
+  if (!r.exhausted()) throw CodecError("trailing bytes after frame");
+  return frame;
+}
+
+}  // namespace rcommit::transport

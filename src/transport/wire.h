@@ -1,0 +1,76 @@
+// Wire serialization for protocol payloads.
+//
+// The threaded runtime sends real bytes between nodes: every payload type is
+// registered with a tag plus encode/decode functions, and frames are
+// round-tripped through the common binary codec. Unknown tags and truncated
+// frames surface as CodecError — network input is untrusted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/types.h"
+#include "sim/message.h"
+
+namespace rcommit::transport {
+
+/// Serializes payloads to tagged byte frames and back.
+class WireRegistry {
+ public:
+  using EncodeFn = std::function<void(BufWriter&, const sim::MessageBase&)>;
+  using DecodeFn = std::function<sim::MessageRef(BufReader&)>;
+
+  /// The process-wide registry with every built-in payload type registered
+  /// (Protocol 1/2, baselines, and the db substrate's records).
+  static const WireRegistry& instance();
+
+  /// Registers a payload type. Tags must be unique; re-registering the same
+  /// tag throws.
+  void register_type(uint16_t tag, std::type_index type, EncodeFn encode,
+                     DecodeFn decode);
+
+  /// Extension point for higher layers (e.g. the db substrate's RPC
+  /// messages): registers into the process-wide instance. NOT thread-safe
+  /// against concurrent encode/decode — call during startup, before any
+  /// network is started (the db layer guards its call with std::call_once).
+  static void extend(uint16_t tag, std::type_index type, EncodeFn encode,
+                     DecodeFn decode);
+
+  /// Encodes payload as [tag:u16][body]. Throws CheckFailure for payload
+  /// types that were never registered.
+  [[nodiscard]] std::vector<uint8_t> encode(const sim::MessageBase& payload) const;
+
+  /// Appends the tagged encoding to an existing writer (used for nesting,
+  /// e.g. the piggyback wrapper embedding its inner message).
+  void encode_into(BufWriter& writer, const sim::MessageBase& payload) const;
+
+  /// Decodes one tagged frame. Throws CodecError on unknown tag / truncation.
+  [[nodiscard]] sim::MessageRef decode(std::span<const uint8_t> data) const;
+
+  /// Decodes a tagged frame from a reader positioned at the tag.
+  [[nodiscard]] sim::MessageRef decode_from(BufReader& reader) const;
+
+ private:
+  WireRegistry() = default;
+  friend WireRegistry& detail_mutable_instance();
+  std::unordered_map<uint16_t, std::pair<EncodeFn, DecodeFn>> by_tag_;
+  std::unordered_map<std::type_index, uint16_t> tag_of_;
+};
+
+/// A network frame: routing metadata plus the encoded payload.
+struct WireFrame {
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  Tick sender_clock = 0;
+  std::vector<uint8_t> payload;
+
+  [[nodiscard]] std::vector<uint8_t> serialize() const;
+  static WireFrame deserialize(std::span<const uint8_t> data);
+};
+
+}  // namespace rcommit::transport

@@ -1,0 +1,343 @@
+// Unit tests for the adversary library: scheduling fairness, delay models,
+// crash plans, partitions, targeted lateness, the quorum staller, and the
+// omniscient split-vote adversary's stalling machinery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "adversary/adaptive.h"
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "adversary/omniscient.h"
+#include "adversary/partition.h"
+#include "adversary/stretch.h"
+#include "common/check.h"
+#include "protocol/agreement.h"
+#include "sim/ontime.h"
+#include "sim/simulator.h"
+
+namespace rcommit::adversary {
+namespace {
+
+using sim::Envelope;
+using sim::MessageBase;
+using sim::Process;
+using sim::RunStatus;
+using sim::Simulator;
+using sim::StepContext;
+
+/// Payload used by the scripted processes below.
+class Ping final : public MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "ping"; }
+};
+
+/// Broadcasts one ping, counts receipts, decides after hearing from all.
+class Chatter final : public Process {
+ public:
+  void on_step(StepContext& ctx, std::span<const Envelope> delivered) override {
+    if (!sent_) {
+      sent_ = true;
+      ctx.broadcast(sim::make_message<Ping>());
+    }
+    for (const auto& env : delivered) senders_.insert(env.from);
+    if (static_cast<int32_t>(senders_.size()) == ctx.n()) decided_ = true;
+  }
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] Decision decision() const override { return Decision::kCommit; }
+
+ private:
+  bool sent_ = false;
+  std::set<ProcId> senders_;
+  bool decided_ = false;
+};
+
+std::vector<std::unique_ptr<Process>> chatter_fleet(int n) {
+  std::vector<std::unique_ptr<Process>> fleet;
+  for (int i = 0; i < n; ++i) fleet.push_back(std::make_unique<Chatter>());
+  return fleet;
+}
+
+// --- delay models -----------------------------------------------------------------
+
+TEST(DelayModels, FixedDelayIsConstant) {
+  FixedDelay model(3);
+  RandomTape rng(1);
+  sim::PendingInfo msg{};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.delay_for(msg, rng), 3);
+}
+
+TEST(DelayModels, UniformDelayWithinBounds) {
+  UniformDelay model(2, 7);
+  RandomTape rng(2);
+  sim::PendingInfo msg{};
+  for (int i = 0; i < 500; ++i) {
+    const Tick d = model.delay_for(msg, rng);
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 7);
+  }
+}
+
+TEST(DelayModels, UniformDelayValidatesBounds) {
+  EXPECT_THROW(UniformDelay(5, 2), CheckFailure);
+}
+
+TEST(DelayModels, MostlyOnTimeRespectsRates) {
+  MostlyOnTimeDelay model(/*k=*/4, /*p_late=*/0.25, /*max_late=*/20);
+  RandomTape rng(3);
+  sim::PendingInfo msg{};
+  int late = 0;
+  constexpr int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    const Tick d = model.delay_for(msg, rng);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 20);
+    if (d > 4) ++late;
+  }
+  EXPECT_GT(late, kTrials / 8);
+  EXPECT_LT(late, kTrials / 2);
+}
+
+TEST(DelayModels, MostlyOnTimeValidates) {
+  EXPECT_THROW(MostlyOnTimeDelay(4, 1.5, 20), CheckFailure);
+  EXPECT_THROW(MostlyOnTimeDelay(4, 0.1, 4), CheckFailure);
+}
+
+// --- fairness of schedulers ---------------------------------------------------------
+
+TEST(ScheduleAdversary, RoundRobinStepsEveryoneEqually) {
+  Simulator sim({.seed = 1, .max_events = 100}, chatter_fleet(4),
+                make_on_time_adversary());
+  const auto result = sim.run();
+  std::vector<int> steps(4, 0);
+  for (const auto& ev : result.trace.events) ++steps[static_cast<size_t>(ev.proc)];
+  const int max_steps = *std::max_element(steps.begin(), steps.end());
+  const int min_steps = *std::min_element(steps.begin(), steps.end());
+  EXPECT_LE(max_steps - min_steps, 1);
+}
+
+TEST(ScheduleAdversary, RandomPermutationStepsEveryoneFairly) {
+  Simulator sim({.seed = 2, .max_events = 400}, chatter_fleet(4),
+                std::make_unique<ScheduleAdversary>(
+                    SchedulingOrder::kRandomPermutation,
+                    std::make_unique<UniformDelay>(1, 3), /*seed=*/9));
+  const auto result = sim.run();
+  std::vector<int> steps(4, 0);
+  for (const auto& ev : result.trace.events) ++steps[static_cast<size_t>(ev.proc)];
+  // Permutation cycles: step counts differ by at most 1 per full run.
+  const int max_steps = *std::max_element(steps.begin(), steps.end());
+  const int min_steps = *std::min_element(steps.begin(), steps.end());
+  EXPECT_LE(max_steps - min_steps, 1);
+}
+
+TEST(ScheduleAdversary, Delay1IsOnTimeForK1) {
+  Simulator sim({.seed = 3}, chatter_fleet(5), make_on_time_adversary());
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(sim::is_on_time(result.trace, 1));
+}
+
+// --- crash plans ---------------------------------------------------------------------
+
+TEST(CrashPlans, RandomPlansRespectCount) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto plans = random_crash_plans(seed, 9, 4, 50);
+    EXPECT_EQ(plans.size(), 4u);
+    std::set<ProcId> victims;
+    for (const auto& p : plans) {
+      victims.insert(p.victim);
+      EXPECT_GE(p.at_clock, 1);
+      EXPECT_LE(p.at_clock, 50);
+    }
+    EXPECT_EQ(victims.size(), 4u) << "victims must be distinct";
+  }
+}
+
+TEST(CrashPlans, ZeroCountYieldsNoPlans) {
+  EXPECT_TRUE(random_crash_plans(1, 5, 0, 10).empty());
+  EXPECT_THROW(random_crash_plans(1, 5, 6, 10), CheckFailure);
+}
+
+TEST(CrashAdversary, VictimStopsAtPlannedClock) {
+  // Crash processor 2 at its second step — before the chatter fleet can
+  // finish (it decides around clock 2, so a later crash would never fire).
+  std::vector<CrashPlan> plans{{.victim = 2, .at_clock = 2, .suppress_sends_to = {}}};
+  Simulator sim({.seed = 4, .max_events = 200}, chatter_fleet(3),
+                std::make_unique<CrashAdversary>(make_on_time_adversary(),
+                                                 std::move(plans)));
+  const auto result = sim.run();
+  EXPECT_TRUE(result.crashed[2]);
+  Tick final_clock = 0;
+  for (const auto& ev : result.trace.events) {
+    if (ev.proc == 2 && !ev.crash) final_clock = std::max(final_clock, ev.clock_after);
+  }
+  EXPECT_LT(final_clock, 2);
+}
+
+// --- partition ------------------------------------------------------------------------
+
+TEST(Partition, PermanentPartitionWithholdsIntergroupMessages) {
+  auto adv = std::make_unique<PartitionAdversary>(std::vector<ProcId>{0, 1},
+                                                  PartitionAdversary::kNever);
+  Simulator sim({.seed = 5, .max_events = 400}, chatter_fleet(4), std::move(adv));
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kEventLimit);  // nobody hears everyone
+  for (const auto& m : result.trace.messages) {
+    const bool intergroup = (m.from <= 1) != (m.to <= 1);
+    if (intergroup) EXPECT_FALSE(m.received()) << "intergroup message leaked";
+  }
+}
+
+TEST(Partition, HealedPartitionDelivers) {
+  auto adv = std::make_unique<PartitionAdversary>(std::vector<ProcId>{0, 1},
+                                                  /*heal_at_event=*/60);
+  Simulator sim({.seed = 6, .max_events = 4000}, chatter_fleet(4), std::move(adv));
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+}
+
+// --- targeted lateness -------------------------------------------------------------------
+
+TEST(LateMessage, DelaysExactlyTheMatchedOrdinal) {
+  // Each Chatter broadcasts once, so the 0th message on the 0->1 link is the
+  // only one; delay it and verify it is the unique late message for K = 2.
+  LateRule rule{.from = 0, .to = 1, .nth = 0, .extra_delay = 30};
+  Simulator sim({.seed = 7, .max_events = 4000}, chatter_fleet(3),
+                std::make_unique<LateMessageAdversary>(std::vector<LateRule>{rule}));
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_EQ(sim::late_message_count(result.trace, 2), 1);
+}
+
+TEST(LateMessage, EveryMessageRuleDelaysWholeLink) {
+  LateRule rule{.from = 0, .to = 1, .nth = LateRule::kEveryMessage, .extra_delay = 10};
+  Simulator sim({.seed = 8, .max_events = 4000}, chatter_fleet(3),
+                std::make_unique<LateMessageAdversary>(std::vector<LateRule>{rule}));
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& m : result.trace.messages) {
+    if (m.from == 0 && m.to == 1 && m.received()) {
+      EXPECT_GE(m.receiver_clock - m.sender_clock, 9);
+    }
+  }
+}
+
+// --- stretch -------------------------------------------------------------------------------
+
+TEST(Stretch, UniformDelayScalesReceiptClocks) {
+  Simulator sim({.seed = 9, .max_events = 4000}, chatter_fleet(3),
+                std::make_unique<DelayStretchAdversary>(12));
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& m : result.trace.messages) {
+    if (m.received() && m.from != m.to) {
+      EXPECT_GE(m.receiver_clock - m.sender_clock, 10);
+    }
+  }
+}
+
+TEST(Stretch, RejectsNonPositiveDelay) {
+  EXPECT_THROW(DelayStretchAdversary adv(0), CheckFailure);
+}
+
+// --- quorum staller -----------------------------------------------------------------------
+
+TEST(QuorumStaller, SlowSetMessagesArriveMuchLater) {
+  auto adv = std::make_unique<QuorumStallAdversary>(/*t=*/1, /*slow_lag=*/40, /*seed=*/3);
+  Simulator sim({.seed = 10, .max_events = 6000}, chatter_fleet(4), std::move(adv));
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  // Some messages must have been slowed by ~40 recipient steps.
+  Tick max_lag = 0;
+  for (const auto& m : result.trace.messages) {
+    if (m.received()) max_lag = std::max(max_lag, m.receiver_clock - m.sender_clock);
+  }
+  EXPECT_GE(max_lag, 30);
+}
+
+// --- omniscient split-vote --------------------------------------------------------------------
+
+TEST(BroadcastSpy, RecordsAndLooksUpInOrder) {
+  BroadcastSpy spy;
+  spy.record(1, 5, {1, 2, 0});
+  spy.record(1, 5, {2, 2, -1});
+  const auto& sends = spy.lookup_all(1, 5);
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[0].phase, 1);
+  EXPECT_EQ(sends[1].phase, 2);
+  EXPECT_TRUE(spy.lookup_all(1, 6).empty());
+  EXPECT_TRUE(spy.lookup_all(2, 5).empty());
+}
+
+TEST(SplitVote, StallsLocalCoinsLongerThanSharedCoins) {
+  // Small-scale version of bench E6: with n = 6 and split inputs, local
+  // coins need noticeably more stages than shared coins against the same
+  // adversary.
+  auto run_variant = [](bool shared, uint64_t seed) {
+    const SystemParams params{.n = 6, .t = 2, .k = 1};
+    auto spy = std::make_shared<BroadcastSpy>();
+    RandomTape coin_rng(seed);
+    std::vector<uint8_t> coins;
+    if (shared) coins = coin_rng.flip_bits(512);
+    std::vector<std::unique_ptr<Process>> fleet;
+    for (int i = 0; i < 6; ++i) {
+      protocol::AgreementProcess::Options options;
+      options.params = params;
+      options.initial_value = i % 2;
+      options.coins = coins;
+      options.observer = [spy, i](Tick clock, int phase, int stage, int value) {
+        spy->record(i, clock, SpiedSend{phase, stage, value});
+      };
+      fleet.push_back(std::make_unique<protocol::AgreementProcess>(std::move(options)));
+    }
+    Simulator sim({.seed = seed, .max_events = 600'000}, std::move(fleet),
+                  std::make_unique<SplitVoteAdversary>(spy, params.t));
+    const auto result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::kAllDecided);
+    EXPECT_FALSE(result.has_conflicting_decisions());
+    int max_stage = 0;
+    for (const auto& proc : sim.processes()) {
+      const auto& core =
+          dynamic_cast<const protocol::AgreementProcess&>(*proc).core();
+      max_stage = std::max(max_stage, core.decision_stage());
+    }
+    return max_stage;
+  };
+
+  int64_t local_total = 0;
+  int64_t shared_total = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    local_total += run_variant(false, seed);
+    shared_total += run_variant(true, seed);
+  }
+  EXPECT_LE(shared_total, 10 * 3);          // constant: ~2 stages each
+  EXPECT_GT(local_total, 2 * shared_total);  // exponential-vs-constant gap
+}
+
+TEST(SplitVote, SafetyHoldsUnderTheStall) {
+  // Even this stronger-than-model adversary cannot make Protocol 1 decide
+  // two values.
+  const SystemParams params{.n = 4, .t = 1, .k = 1};
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    auto spy = std::make_shared<BroadcastSpy>();
+    std::vector<std::unique_ptr<Process>> fleet;
+    for (int i = 0; i < 4; ++i) {
+      protocol::AgreementProcess::Options options;
+      options.params = params;
+      options.initial_value = i % 2;
+      options.observer = [spy, i](Tick clock, int phase, int stage, int value) {
+        spy->record(i, clock, SpiedSend{phase, stage, value});
+      };
+      fleet.push_back(std::make_unique<protocol::AgreementProcess>(std::move(options)));
+    }
+    Simulator sim({.seed = seed, .max_events = 300'000}, std::move(fleet),
+                  std::make_unique<SplitVoteAdversary>(spy, params.t));
+    const auto result = sim.run();
+    EXPECT_FALSE(result.has_conflicting_decisions()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::adversary

@@ -1,0 +1,263 @@
+// Tests for the baseline protocols: 2PC and 3PC happy paths, vote handling,
+// every timeout rule, and the precise failure scenarios the paper's model is
+// designed to rule out.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "adversary/stretch.h"
+#include "baselines/benor.h"
+#include "baselines/threepc.h"
+#include "baselines/twopc.h"
+#include "sim/simulator.h"
+
+namespace rcommit::baselines {
+namespace {
+
+using sim::RunResult;
+using sim::RunStatus;
+using sim::Simulator;
+
+const SystemParams kParams{.n = 5, .t = 2, .k = 2};
+
+std::vector<std::unique_ptr<sim::Process>> twopc_fleet(
+    const std::vector<int>& votes, TwoPcTimeoutPolicy policy, Tick timeout = 0) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int vote : votes) {
+    TwoPcProcess::Options options;
+    options.params = kParams;
+    options.initial_vote = vote;
+    options.policy = policy;
+    options.timeout = timeout;
+    fleet.push_back(std::make_unique<TwoPcProcess>(options));
+  }
+  return fleet;
+}
+
+std::vector<std::unique_ptr<sim::Process>> threepc_fleet(const std::vector<int>& votes,
+                                                         Tick timeout = 0) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int vote : votes) {
+    ThreePcProcess::Options options;
+    options.params = kParams;
+    options.initial_vote = vote;
+    options.timeout = timeout;
+    fleet.push_back(std::make_unique<ThreePcProcess>(options));
+  }
+  return fleet;
+}
+
+// --- 2PC happy paths -----------------------------------------------------------
+
+TEST(TwoPc, AllYesCommits) {
+  Simulator sim({.seed = 1}, twopc_fleet({1, 1, 1, 1, 1}, TwoPcTimeoutPolicy::kBlock),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kCommit);
+}
+
+TEST(TwoPc, OneNoAborts) {
+  for (int aborter = 0; aborter < 5; ++aborter) {
+    std::vector<int> votes(5, 1);
+    votes[static_cast<size_t>(aborter)] = 0;
+    Simulator sim({.seed = 2}, twopc_fleet(votes, TwoPcTimeoutPolicy::kBlock),
+                  adversary::make_on_time_adversary());
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "aborter " << aborter;
+    for (const auto& d : result.decisions) {
+      EXPECT_EQ(*d, Decision::kAbort) << "aborter " << aborter;
+    }
+  }
+}
+
+TEST(TwoPc, RandomTimingStillConsistentWhenOnTimeEnough) {
+  // Delays below the timeout: 2PC behaves.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Simulator sim({.seed = seed}, twopc_fleet({1, 1, 1, 1, 1}, TwoPcTimeoutPolicy::kBlock),
+                  adversary::make_random_adversary(seed, 3));
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided);
+    EXPECT_FALSE(result.has_conflicting_decisions());
+  }
+}
+
+// --- 2PC timeout rules -----------------------------------------------------------
+
+TEST(TwoPc, ParticipantTimesOutBeforeVotingAndAbortsSafely) {
+  // Stretch every delay past the timeout: participants never see PREPARE in
+  // time, abort unvoted; the coordinator times out without votes and aborts.
+  Simulator sim({.seed = 3, .max_events = 20'000},
+                twopc_fleet({1, 1, 1, 1, 1}, TwoPcTimeoutPolicy::kBlock,
+                            /*timeout=*/6),
+                std::make_unique<adversary::DelayStretchAdversary>(30));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kAbort);
+}
+
+TEST(TwoPc, LateDecisionSplitsPresumeAbort) {
+  // The paper's single-late-message scenario: one participant's COMMIT is
+  // late; under presume-abort it unilaterally aborts a committed transaction.
+  adversary::LateRule rule{.from = 0, .to = 2, .nth = 1, .extra_delay = 60};
+  Simulator sim({.seed = 4, .max_events = 20'000},
+                twopc_fleet({1, 1, 1, 1, 1}, TwoPcTimeoutPolicy::kPresumeAbort),
+                std::make_unique<adversary::LateMessageAdversary>(
+                    std::vector<adversary::LateRule>{rule}));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(result.has_conflicting_decisions());
+  EXPECT_EQ(result.decisions[2], Decision::kAbort);
+  EXPECT_EQ(result.decisions[0], Decision::kCommit);
+}
+
+TEST(TwoPc, LateDecisionBlocksUnderBlockPolicy) {
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 2, .suppress_sends_to = {2}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 5, .max_events = 20'000},
+                twopc_fleet({1, 1, 1, 1, 1}, TwoPcTimeoutPolicy::kBlock),
+                std::move(adv));
+  const auto result = sim.run();
+  // Participant 2 is prepared and blocked forever; no conflicting decisions.
+  EXPECT_EQ(result.status, RunStatus::kEventLimit);
+  EXPECT_FALSE(result.decisions[2].has_value());
+  EXPECT_FALSE(result.has_conflicting_decisions());
+  EXPECT_EQ(result.decisions[1], Decision::kCommit);
+}
+
+TEST(TwoPc, CoordinatorCrashBeforePrepareAbortsAll) {
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 1, .suppress_sends_to = {}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 6, .max_events = 20'000},
+                twopc_fleet({1, 1, 1, 1, 1}, TwoPcTimeoutPolicy::kBlock,
+                            /*timeout=*/10),
+                std::move(adv));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (int p = 1; p < 5; ++p) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(p)], Decision::kAbort);
+  }
+}
+
+TEST(TwoPc, ValidatesOptions) {
+  TwoPcProcess::Options options;
+  options.params = kParams;
+  options.initial_vote = 7;
+  EXPECT_THROW(TwoPcProcess proc(options), CheckFailure);
+}
+
+// --- 3PC -------------------------------------------------------------------------
+
+TEST(ThreePc, AllYesCommits) {
+  Simulator sim({.seed = 7}, threepc_fleet({1, 1, 1, 1, 1}),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kCommit);
+}
+
+TEST(ThreePc, OneNoAborts) {
+  Simulator sim({.seed = 8}, threepc_fleet({1, 1, 0, 1, 1}),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kAbort);
+}
+
+TEST(ThreePc, NonblockingUnderCoordinatorCrashAfterPreCommit) {
+  // 3PC's selling point over 2PC: coordinator dies after PRECOMMIT reached
+  // everyone; participants time out in the precommitted state and commit —
+  // nobody blocks, nobody diverges. (Sound because the run is synchronous.)
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 3, .suppress_sends_to = {}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 9, .max_events = 20'000}, threepc_fleet({1, 1, 1, 1, 1}),
+                std::move(adv));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (int p = 1; p < 5; ++p) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(p)], Decision::kCommit);
+  }
+  EXPECT_FALSE(result.has_conflicting_decisions());
+}
+
+TEST(ThreePc, NonblockingUnderCoordinatorCrashBeforePreCommit) {
+  // Coordinator dies right after collecting votes, before any PRECOMMIT:
+  // prepared participants time out and abort. Consistent.
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 2, .suppress_sends_to = {1, 2, 3, 4}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 10, .max_events = 20'000}, threepc_fleet({1, 1, 1, 1, 1}),
+                std::move(adv));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (int p = 1; p < 5; ++p) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(p)], Decision::kAbort);
+  }
+}
+
+TEST(ThreePc, LatePreCommitSplitsDecisions) {
+  // The timing violation: participant 3's PRECOMMIT is late. Its prepared
+  // timeout says abort; the precommitted others commit — the wrong answer
+  // the paper attributes to synchronous protocols under one late message.
+  adversary::LateRule rule{.from = 0, .to = 3, .nth = 1, .extra_delay = 60};
+  Simulator sim({.seed = 11, .max_events = 20'000}, threepc_fleet({1, 1, 1, 1, 1}),
+                std::make_unique<adversary::LateMessageAdversary>(
+                    std::vector<adversary::LateRule>{rule}));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(result.has_conflicting_decisions());
+  EXPECT_EQ(result.decisions[3], Decision::kAbort);
+  EXPECT_EQ(result.decisions[1], Decision::kCommit);
+}
+
+TEST(ThreePc, ValidatesOptions) {
+  ThreePcProcess::Options options;
+  options.params = kParams;
+  options.initial_vote = -1;
+  EXPECT_THROW(ThreePcProcess proc(options), CheckFailure);
+}
+
+// --- Ben-Or helpers ---------------------------------------------------------------
+
+TEST(BenOr, LocalCoinFleetReachesAgreement) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int i = 0; i < 5; ++i) fleet.push_back(make_benor_process(kParams, i % 2));
+  Simulator sim({.seed = 12}, std::move(fleet), adversary::make_random_adversary(3, 2));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_FALSE(result.has_conflicting_decisions());
+}
+
+TEST(BenOr, SharedCoinFleetUsesProvidedCoins) {
+  std::vector<uint8_t> coins = {1, 1, 1, 1, 1};
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int i = 0; i < 5; ++i) {
+    fleet.push_back(make_shared_coin_process(kParams, i % 2, coins));
+  }
+  Simulator sim({.seed = 13}, std::move(fleet), adversary::make_random_adversary(5, 2));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_FALSE(result.has_conflicting_decisions());
+}
+
+TEST(BenOr, UnanimousInputDecidesThatValueRegardlessOfCoins) {
+  // Validity must not depend on the coin list contents.
+  for (uint8_t coin : {0, 1}) {
+    std::vector<uint8_t> coins(5, coin);
+    std::vector<std::unique_ptr<sim::Process>> fleet;
+    for (int i = 0; i < 5; ++i) fleet.push_back(make_shared_coin_process(kParams, 0, coins));
+    Simulator sim({.seed = 14}, std::move(fleet), adversary::make_on_time_adversary());
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided);
+    for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kAbort);
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::baselines

@@ -1,0 +1,358 @@
+// Tests for Protocol 2 (the transaction commit protocol): Theorem 9's three
+// conditions, Theorem 10/11 behaviour, the 8K fast path, GO piggybacking and
+// timeouts, and graceful degradation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/adaptive.h"
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/partition.h"
+#include "adversary/stretch.h"
+#include "common/rng.h"
+#include "metrics/counters.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "sim/ontime.h"
+#include "sim/rounds.h"
+#include "sim/simulator.h"
+
+namespace rcommit::protocol {
+namespace {
+
+using sim::RunResult;
+using sim::RunStatus;
+using sim::Simulator;
+
+RunResult run_commit(const SystemParams& params, const std::vector<int>& votes,
+                     uint64_t seed, std::unique_ptr<sim::Adversary> adv,
+                     int64_t max_events = 2'000'000) {
+  Simulator sim({.seed = seed, .max_events = max_events},
+                make_commit_fleet(params, votes), std::move(adv));
+  return sim.run();
+}
+
+// --- commit validity (Theorem 9, third part) -----------------------------------
+
+TEST(Commit, AllCommitFailureFreeOnTimeCommits) {
+  SystemParams params{.n = 5, .t = 2, .k = 2};
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 1,
+                                 adversary::make_on_time_adversary());
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(sim::is_on_time(result.trace, params.k));
+  EXPECT_EQ(result.agreed_decision(), Decision::kCommit);
+}
+
+TEST(Commit, FastPathWithin8K) {
+  // Remark (1) §3.2: failure-free on-time runs decide within 8K clock ticks.
+  for (Tick k : {2, 5, 10}) {
+    SystemParams params{.n = 5, .t = 2, .k = k};
+    Simulator sim({.seed = 7}, make_commit_fleet(params, {1, 1, 1, 1, 1}),
+                  adversary::make_on_time_adversary());
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided);
+    ASSERT_TRUE(sim::is_on_time(result.trace, k));
+    for (const auto& clock : result.trace.decide_clock) {
+      ASSERT_TRUE(clock.has_value());
+      EXPECT_LE(*clock, 8 * k) << "decide later than 8K with K=" << k;
+    }
+  }
+}
+
+// --- abort validity (Theorem 9, second part) --------------------------------------
+
+class AbortValiditySweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(AbortValiditySweep, AnyInitialAbortForcesAbort) {
+  const auto [n, seed] = GetParam();
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  // One aborter at a seed-dependent position; everyone else wants commit.
+  std::vector<int> votes(static_cast<size_t>(n), 1);
+  votes[seed % static_cast<size_t>(n)] = 0;
+  const auto result = run_commit(params, votes, seed,
+                                 adversary::make_random_adversary(seed * 3, 5));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_EQ(result.agreed_decision(), Decision::kAbort);
+  EXPECT_TRUE(abort_validity_holds(result, votes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AbortValiditySweep,
+                         ::testing::Combine(::testing::Values(3, 5, 7, 9),
+                                            ::testing::Range<uint64_t>(1, 9)));
+
+TEST(Commit, AbortValidityHoldsUnderLateMessages) {
+  // Abort validity must hold "no matter what the timing behavior of the
+  // system is": stretch every delay way past K.
+  SystemParams params{.n = 5, .t = 2, .k = 1};
+  std::vector<int> votes = {1, 1, 0, 1, 1};
+  const auto result = run_commit(params, votes, 3,
+                                 std::make_unique<adversary::DelayStretchAdversary>(9));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_EQ(result.agreed_decision(), Decision::kAbort);
+}
+
+TEST(Commit, AbortValidityHoldsUnderCrashes) {
+  SystemParams params{.n = 7, .t = 3, .k = 2};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<int> votes(7, 1);
+    votes[static_cast<size_t>(seed % 7)] = 0;
+    auto plans = adversary::random_crash_plans(seed, 7, 3, 30);
+    // Never crash the aborter itself for this test: its abort wish must win
+    // even when everything else goes wrong.
+    std::erase_if(plans, [&](const adversary::CrashPlan& p) {
+      return votes[static_cast<size_t>(p.victim)] == 0;
+    });
+    // A coordinator that dies before ever sending GO produces a run in which
+    // no processor receives a message — a case the problem statement exempts
+    // from termination (§2.4). Let it live one step so the GO goes out.
+    for (auto& p : plans) {
+      if (p.victim == 0 && p.at_clock == 1 && p.suppress_sends_to.empty()) {
+        p.at_clock = 2;
+      }
+    }
+    auto adv = std::make_unique<adversary::CrashAdversary>(
+        adversary::make_random_adversary(seed, 4), std::move(plans));
+    const auto result = run_commit(params, votes, seed, std::move(adv));
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "seed " << seed;
+    EXPECT_EQ(result.agreed_decision(), Decision::kAbort) << "seed " << seed;
+  }
+}
+
+// --- agreement (Theorem 9, first part; Theorem 11) ----------------------------------
+
+class CommitAgreementSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t, int>> {};
+
+TEST_P(CommitAgreementSweep, NoConflictingDecisionsEver) {
+  const auto [n, seed, crash_count] = GetParam();
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  RandomTape vote_rng(seed * 17 + 1);
+  std::vector<int> votes(static_cast<size_t>(n));
+  for (auto& v : votes) v = vote_rng.flip();
+  auto plans = adversary::random_crash_plans(seed + 99, n, crash_count, 40);
+  // Exempt the no-message-ever-received degenerate case (§2.4): keep the
+  // coordinator alive for its GO broadcast.
+  for (auto& p : plans) {
+    if (p.victim == 0 && p.at_clock == 1 && p.suppress_sends_to.empty()) {
+      p.at_clock = 2;
+    }
+  }
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_random_adversary(seed, 6), std::move(plans));
+  // crash_count can exceed t: the run may block, but must never conflict.
+  const auto result = run_commit(params, votes, seed, std::move(adv),
+                                 /*max_events=*/40'000);
+  EXPECT_TRUE(agreement_holds(result));
+  EXPECT_TRUE(abort_validity_holds(result, votes));
+  if (crash_count <= params.t) {
+    EXPECT_EQ(result.status, RunStatus::kAllDecided)
+        << "within fault bound the protocol must terminate";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultMatrix, CommitAgreementSweep,
+    ::testing::Combine(::testing::Values(5, 7), ::testing::Range<uint64_t>(1, 11),
+                       ::testing::Values(0, 1, 2, 3, 4)));
+
+TEST(Commit, MoreThanHalfCrashedBlocksWithoutWrongAnswer) {
+  // Theorem 11: exceed the fault bound; the protocol "simply fails to
+  // terminate" — leaving open the opportunity to recover.
+  SystemParams params{.n = 6, .t = 2, .k = 1};
+  std::vector<adversary::CrashPlan> plans;
+  for (ProcId v = 0; v < 3; ++v) {
+    // Crash after the GO has spread (clock 2) but before the agreement
+    // subroutine can assemble quorums; the delay-1 fast path would otherwise
+    // already decide by clock ~6.
+    plans.push_back({.victim = v, .at_clock = 3, .suppress_sends_to = {}});
+  }
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::move(plans));
+  const auto result = run_commit(params, {1, 1, 1, 1, 1, 1}, 11, std::move(adv),
+                                 /*max_events=*/20'000);
+  EXPECT_TRUE(agreement_holds(result));
+  // The three survivors of n=6 cannot reach the quorum n - t = 4.
+  EXPECT_NE(result.status, RunStatus::kAllDecided);
+}
+
+TEST(Commit, PermanentPartitionBlocksButStaysSafe) {
+  SystemParams params{.n = 6, .t = 2, .k = 1};
+  auto adv = std::make_unique<adversary::PartitionAdversary>(
+      std::vector<ProcId>{0, 1, 2}, adversary::PartitionAdversary::kNever);
+  const auto result = run_commit(params, {1, 1, 1, 1, 1, 1}, 12, std::move(adv),
+                                 /*max_events=*/20'000);
+  EXPECT_TRUE(agreement_holds(result));
+}
+
+TEST(Commit, HealedPartitionTerminates) {
+  SystemParams params{.n = 5, .t = 2, .k = 1};
+  auto adv = std::make_unique<adversary::PartitionAdversary>(
+      std::vector<ProcId>{0, 1}, /*heal_at_event=*/400);
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 13, std::move(adv));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(agreement_holds(result));
+  // The partition made messages late, so committing is NOT required — but
+  // whatever the outcome, it is unanimous.
+  EXPECT_TRUE(result.agreed_decision().has_value());
+}
+
+// --- timeouts and GO handling ----------------------------------------------------
+
+TEST(Commit, LateGoSwitchesVoteToAbort) {
+  // Delay everything by far more than 2K: processors time out waiting for the
+  // n GO messages and switch their votes to abort (lines 5-6).
+  SystemParams params{.n = 5, .t = 2, .k = 1};
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 21,
+                                 std::make_unique<adversary::DelayStretchAdversary>(20));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  // Run was not on-time, so commit validity does not apply; the protocol
+  // must still agree unanimously — and with universal GO timeouts it aborts.
+  EXPECT_EQ(result.agreed_decision(), Decision::kAbort);
+}
+
+TEST(Commit, StretchedButModestDelaysStillDecide) {
+  SystemParams params{.n = 5, .t = 2, .k = 4};
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 22,
+                                 std::make_unique<adversary::DelayStretchAdversary>(2));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  // Delay 2 <= K=4: on time; failure-free; all-commit => must commit.
+  ASSERT_TRUE(sim::is_on_time(result.trace, params.k));
+  EXPECT_EQ(result.agreed_decision(), Decision::kCommit);
+}
+
+TEST(Commit, CoordinatorCrashBeforeGoBlocksQuietly) {
+  // If no nonfaulty processor ever receives a message the protocol may block:
+  // the problem statement exempts exactly this case (§2.4).
+  SystemParams params{.n = 5, .t = 2, .k = 1};
+  std::vector<adversary::CrashPlan> plans{{.victim = 0, .at_clock = 1}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::move(plans));
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 23, std::move(adv),
+                                 /*max_events=*/10'000);
+  EXPECT_NE(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_FALSE(d.has_value());
+}
+
+TEST(Commit, CoordinatorCrashAfterPartialGoStillTerminates) {
+  // The coordinator reaches some processors before dying; the GO piggyback
+  // spreads from there and the survivors finish the protocol.
+  SystemParams params{.n = 5, .t = 2, .k = 2};
+  adversary::CrashPlan plan;
+  plan.victim = 0;
+  plan.at_clock = 1;
+  plan.suppress_sends_to = {3, 4};  // partial GO broadcast
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 24, std::move(adv));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(agreement_holds(result));
+  // The coordinator crashed, so the run is not failure-free: either outcome
+  // is legal, but it must be unanimous among the four survivors.
+  int decided = 0;
+  for (ProcId p = 1; p < 5; ++p) {
+    if (result.decisions[static_cast<size_t>(p)].has_value()) ++decided;
+  }
+  EXPECT_EQ(decided, 4);
+}
+
+// --- rounds (Theorem 10) ------------------------------------------------------------
+
+TEST(Commit, DecidesWithinModestAsynchronousRounds) {
+  // Theorem 10: 14 expected asynchronous rounds. Per-run we allow headroom;
+  // the bench measures the expectation tightly.
+  SystemParams params{.n = 5, .t = 2, .k = 2};
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto result = run_commit(params, {1, 1, 1, 1, 1}, seed,
+                             adversary::make_random_adversary(seed, 3));
+    ASSERT_EQ(result.status, RunStatus::kAllDecided);
+    sim::RoundAnalyzer rounds(result.trace, params.k);
+    const auto max_round = rounds.max_decision_round();
+    ASSERT_TRUE(max_round.has_value());
+    EXPECT_LE(*max_round, 30) << "seed " << seed;
+  }
+}
+
+TEST(Commit, QuorumStallerCannotPreventDecision) {
+  SystemParams params{.n = 7, .t = 3, .k = 2};
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto adv = std::make_unique<adversary::QuorumStallAdversary>(params.t, 64, seed);
+    const auto result = run_commit(params, {1, 1, 1, 1, 1, 1, 1}, seed, std::move(adv));
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "seed " << seed;
+    EXPECT_TRUE(agreement_holds(result));
+  }
+}
+
+// --- options validation ----------------------------------------------------------------
+
+TEST(Commit, RejectsInvalidVote) {
+  CommitProcess::Options options;
+  options.params = {.n = 3, .t = 1, .k = 1};
+  options.initial_vote = 2;
+  EXPECT_THROW(CommitProcess proc(options), CheckFailure);
+}
+
+TEST(Commit, RejectsCoinCountBelowN) {
+  CommitProcess::Options options;
+  options.params = {.n = 5, .t = 2, .k = 1};
+  options.coin_count = 3;
+  EXPECT_THROW(CommitProcess proc(options), CheckFailure);
+}
+
+TEST(Commit, FleetRequiresVotePerProcessor) {
+  SystemParams params{.n = 3, .t = 1, .k = 1};
+  EXPECT_THROW(make_commit_fleet(params, {1, 1}), CheckFailure);
+}
+
+TEST(Commit, ExtraCoinsAccepted) {
+  // Remark (3): the coordinator may flip more than n coins.
+  SystemParams params{.n = 3, .t = 1, .k = 1};
+  Simulator sim({.seed = 31},
+                make_commit_fleet(params, {1, 1, 1}, HaltPolicy::kDecidedBroadcast,
+                                  /*coin_count=*/12),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  EXPECT_EQ(result.agreed_decision(), Decision::kCommit);
+}
+
+// --- full condition check over a matrix ------------------------------------------------
+
+class CommitConditionsSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(CommitConditionsSweep, AllThreeConditionsHold) {
+  const auto [seed, vote_pattern] = GetParam();
+  SystemParams params{.n = 5, .t = 2, .k = 3};
+  std::vector<int> votes(5);
+  for (int i = 0; i < 5; ++i) votes[static_cast<size_t>(i)] = (vote_pattern >> i) & 1;
+  const auto result = run_commit(
+      params, votes, seed,
+      adversary::make_mostly_on_time_adversary(seed, params.k, 0.1, 12));
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_NO_THROW(check_commit_conditions(result, votes, params.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(VotePatterns, CommitConditionsSweep,
+                         ::testing::Combine(::testing::Range<uint64_t>(1, 6),
+                                            ::testing::Values(0, 1, 9, 21, 30, 31)));
+
+// --- metrics glue ------------------------------------------------------------------------
+
+TEST(Metrics, MeasureRunReportsCoreQuantities) {
+  SystemParams params{.n = 5, .t = 2, .k = 2};
+  const auto result = run_commit(params, {1, 1, 1, 1, 1}, 41,
+                                 adversary::make_on_time_adversary());
+  const auto m = metrics::measure_run(result, params.k);
+  EXPECT_TRUE(m.all_decided);
+  EXPECT_EQ(m.outcome, Decision::kCommit);
+  EXPECT_GT(m.max_decision_round, 0);
+  EXPECT_GT(m.max_decision_clock, 0);
+  EXPECT_LE(m.max_decision_clock, 8 * params.k);
+  EXPECT_EQ(m.late_messages, 0);
+  EXPECT_GT(m.messages_sent, 0);
+}
+
+}  // namespace
+}  // namespace rcommit::protocol

@@ -1,0 +1,130 @@
+// Conformance matrix: the §2.4 correctness conditions checked over the full
+// product of adversary family × vote pattern × system size × seed. Each cell
+// is a distinct (timing, input) combination — the broadest systematic sweep
+// in the suite, complementing the randomized fuzzer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "adversary/adaptive.h"
+#include "adversary/basic.h"
+#include "adversary/latemsg.h"
+#include "adversary/stretch.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "sim/simulator.h"
+
+namespace rcommit::protocol {
+namespace {
+
+enum class Family {
+  kOnTime,
+  kRandom,
+  kMostlyOnTime,
+  kStretch,
+  kStaller,
+  kLateLinks,
+};
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kOnTime: return "OnTime";
+    case Family::kRandom: return "Random";
+    case Family::kMostlyOnTime: return "MostlyOnTime";
+    case Family::kStretch: return "Stretch";
+    case Family::kStaller: return "Staller";
+    default: return "LateLinks";
+  }
+}
+
+std::unique_ptr<sim::Adversary> make_family(Family family, const SystemParams& params,
+                                            uint64_t seed) {
+  switch (family) {
+    case Family::kOnTime:
+      return adversary::make_on_time_adversary();
+    case Family::kRandom:
+      return adversary::make_random_adversary(seed, 5);
+    case Family::kMostlyOnTime:
+      return adversary::make_mostly_on_time_adversary(seed, params.k, 0.15,
+                                                      5 * params.k);
+    case Family::kStretch:
+      return std::make_unique<adversary::DelayStretchAdversary>(7);
+    case Family::kStaller:
+      return std::make_unique<adversary::QuorumStallAdversary>(params.t, 48, seed);
+    case Family::kLateLinks: {
+      // A few arbitrary always-late links on an otherwise delay-1 schedule.
+      std::vector<adversary::LateRule> rules;
+      rules.push_back({.from = 0, .to = params.n - 1,
+                       .nth = adversary::LateRule::kEveryMessage,
+                       .extra_delay = 15});
+      rules.push_back({.from = params.n - 1, .to = 0,
+                       .nth = adversary::LateRule::kEveryMessage,
+                       .extra_delay = 15});
+      return std::make_unique<adversary::LateMessageAdversary>(std::move(rules));
+    }
+  }
+  return nullptr;
+}
+
+class ConformanceMatrix
+    : public ::testing::TestWithParam<std::tuple<Family, int, int, uint64_t>> {};
+
+TEST_P(ConformanceMatrix, CorrectnessConditionsHold) {
+  const auto [family, n, vote_pattern, seed] = GetParam();
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  std::vector<int> votes(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) votes[static_cast<size_t>(i)] = (vote_pattern >> i) & 1;
+
+  sim::Simulator sim({.seed = seed, .max_events = 300'000},
+                     make_commit_fleet(params, votes),
+                     make_family(family, params, seed * 31 + 7));
+  const auto result = sim.run();
+
+  // Every admissible family must terminate...
+  ASSERT_EQ(result.status, sim::RunStatus::kAllDecided)
+      << family_name(family) << " n=" << n << " votes=" << vote_pattern;
+  // ...and satisfy all three conditions.
+  EXPECT_NO_THROW(check_commit_conditions(result, votes, params.k));
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<ConformanceMatrix::ParamType>& info) {
+  const auto family = std::get<0>(info.param);
+  const auto n = std::get<1>(info.param);
+  const auto pattern = std::get<2>(info.param);
+  const auto seed = std::get<3>(info.param);
+  return std::string(family_name(family)) + "_n" + std::to_string(n) + "_v" +
+         std::to_string(pattern) + "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullGrid, ConformanceMatrix,
+    ::testing::Combine(::testing::Values(Family::kOnTime, Family::kRandom,
+                                         Family::kMostlyOnTime, Family::kStretch,
+                                         Family::kStaller, Family::kLateLinks),
+                       ::testing::Values(3, 5, 7),
+                       ::testing::Values(0, 1, 2, 5, 7, 21, 127),
+                       ::testing::Values(1u, 2u)),
+    matrix_name);
+
+// Larger-n smoke: the protocol at sizes past anything the benches sweep.
+class LargeNSmoke : public ::testing::TestWithParam<int> {};
+
+TEST_P(LargeNSmoke, CommitsAtScale) {
+  const int n = GetParam();
+  // Delays stay within K so the run is on-time and commit validity binds.
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 4};
+  std::vector<int> votes(static_cast<size_t>(n), 1);
+  sim::Simulator sim({.seed = 17, .max_events = 2'000'000},
+                     make_commit_fleet(params, votes),
+                     adversary::make_random_adversary(5, 2));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, sim::RunStatus::kAllDecided);
+  EXPECT_EQ(result.agreed_decision(), Decision::kCommit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LargeNSmoke, ::testing::Values(15, 21, 31));
+
+}  // namespace
+}  // namespace rcommit::protocol

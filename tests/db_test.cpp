@@ -1,0 +1,448 @@
+// Tests for the database substrate: WAL framing and recovery, lock manager,
+// KV two-phase lifecycle, crash recovery with in-doubt transactions, and
+// end-to-end distributed transactions over the threaded commit protocol.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "db/kv.h"
+#include "db/locks.h"
+#include "db/txn.h"
+#include "db/wal.h"
+
+namespace rcommit::db {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("rcommit_db_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+// --- WAL -------------------------------------------------------------------------
+
+TEST(Wal, AppendReplayRoundTrip) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "test.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    wal.append({WalRecordType::kWrite, 1, "alpha", "1"});
+    wal.append({WalRecordType::kPrepared, 1, "", ""});
+    wal.append({WalRecordType::kCommit, 1, "", ""});
+  }
+  WriteAheadLog wal(wal_path);
+  const auto records = wal.replay();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+  EXPECT_EQ(records[1].key, "alpha");
+  EXPECT_EQ(records[1].value, "1");
+  EXPECT_EQ(records[3].type, WalRecordType::kCommit);
+}
+
+TEST(Wal, ReplayEmptyLog) {
+  TempDir dir;
+  WriteAheadLog wal(dir.path() / "empty.wal");
+  EXPECT_TRUE(wal.replay().empty());
+}
+
+TEST(Wal, TornFinalRecordIsDropped) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "torn.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    wal.append({WalRecordType::kWrite, 1, "k", "v"});
+  }
+  // Tear off the last 3 bytes, as a crash mid-append would.
+  const auto size = fs::file_size(wal_path);
+  fs::resize_file(wal_path, size - 3);
+  WriteAheadLog wal(wal_path);
+  const auto records = wal.replay();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+}
+
+TEST(Wal, CorruptRecordStopsReplay) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "corrupt.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    wal.append({WalRecordType::kWrite, 1, "key", "value"});
+    wal.append({WalRecordType::kCommit, 1, "", ""});
+  }
+  // Flip one byte inside the second record's body.
+  std::fstream file(wal_path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(20);
+  char byte;
+  file.seekg(20);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  file.seekp(20);
+  file.write(&byte, 1);
+  file.close();
+
+  WriteAheadLog wal(wal_path);
+  // Replay keeps everything before the corruption; the exact count depends
+  // on which frame byte 20 lands in, but it must be less than 3 and the
+  // surviving prefix must be intact.
+  const auto records = wal.replay();
+  EXPECT_LT(records.size(), 3u);
+  if (!records.empty()) EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+}
+
+// --- locks -----------------------------------------------------------------------
+
+TEST(Locks, ExclusiveAcquisition) {
+  LockManager locks;
+  EXPECT_TRUE(locks.try_lock("a", 1));
+  EXPECT_FALSE(locks.try_lock("a", 2));
+  EXPECT_EQ(locks.holder("a"), 1);
+}
+
+TEST(Locks, ReentrantForSameTxn) {
+  LockManager locks;
+  EXPECT_TRUE(locks.try_lock("a", 1));
+  EXPECT_TRUE(locks.try_lock("a", 1));
+}
+
+TEST(Locks, UnlockAllReleasesEverything) {
+  LockManager locks;
+  EXPECT_TRUE(locks.try_lock("a", 1));
+  EXPECT_TRUE(locks.try_lock("b", 1));
+  EXPECT_TRUE(locks.try_lock("c", 2));
+  locks.unlock_all(1);
+  EXPECT_EQ(locks.holder("a"), std::nullopt);
+  EXPECT_EQ(locks.holder("b"), std::nullopt);
+  EXPECT_EQ(locks.holder("c"), 2);
+  EXPECT_TRUE(locks.try_lock("a", 3));
+}
+
+TEST(Locks, UnlockAllUnknownTxnIsNoop) {
+  LockManager locks;
+  locks.unlock_all(99);
+  EXPECT_EQ(locks.locked_count(), 0u);
+}
+
+// --- KV store ---------------------------------------------------------------------
+
+TEST(Kv, PrepareCommitInstallsWrites) {
+  TempDir dir;
+  KvStore store(dir.path() / "kv.wal");
+  ASSERT_TRUE(store.prepare(1, {{"x", "10"}, {"y", "20"}}));
+  EXPECT_EQ(store.get("x"), std::nullopt);  // staged, not visible
+  store.commit(1);
+  EXPECT_EQ(store.get("x"), "10");
+  EXPECT_EQ(store.get("y"), "20");
+}
+
+TEST(Kv, AbortDiscardsWrites) {
+  TempDir dir;
+  KvStore store(dir.path() / "kv.wal");
+  ASSERT_TRUE(store.prepare(1, {{"x", "10"}}));
+  store.abort(1);
+  EXPECT_EQ(store.get("x"), std::nullopt);
+  // Locks released: another transaction can take the key.
+  ASSERT_TRUE(store.prepare(2, {{"x", "11"}}));
+  store.commit(2);
+  EXPECT_EQ(store.get("x"), "11");
+}
+
+TEST(Kv, ConflictingPrepareVotesAbort) {
+  TempDir dir;
+  KvStore store(dir.path() / "kv.wal");
+  ASSERT_TRUE(store.prepare(1, {{"x", "1"}}));
+  EXPECT_FALSE(store.prepare(2, {{"x", "2"}}));  // lock conflict -> vote abort
+  // The failed prepare must not retain partial locks.
+  EXPECT_FALSE(store.prepare(3, {{"y", "3"}, {"x", "3"}}));
+  ASSERT_TRUE(store.prepare(4, {{"y", "4"}}));
+  store.commit(1);
+  store.commit(4);
+  EXPECT_EQ(store.get("x"), "1");
+  EXPECT_EQ(store.get("y"), "4");
+}
+
+TEST(Kv, CommitOfUnpreparedThrows) {
+  TempDir dir;
+  KvStore store(dir.path() / "kv.wal");
+  EXPECT_THROW(store.commit(42), CheckFailure);
+}
+
+TEST(Kv, RecoveryReappliesCommitted) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  {
+    KvStore store(wal_path);
+    ASSERT_TRUE(store.prepare(1, {{"a", "1"}}));
+    store.commit(1);
+    ASSERT_TRUE(store.prepare(2, {{"b", "2"}}));
+    store.abort(2);
+  }
+  KvStore recovered(wal_path);
+  EXPECT_EQ(recovered.get("a"), "1");
+  EXPECT_EQ(recovered.get("b"), std::nullopt);
+  EXPECT_TRUE(recovered.in_doubt().empty());
+}
+
+TEST(Kv, RecoverySurfacesInDoubtTransactions) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  {
+    KvStore store(wal_path);
+    ASSERT_TRUE(store.prepare(7, {{"k", "v"}}));
+    // Crash here: prepared, no outcome.
+  }
+  KvStore recovered(wal_path);
+  const auto doubts = recovered.in_doubt();
+  ASSERT_EQ(doubts.size(), 1u);
+  EXPECT_EQ(doubts[0], 7);
+  EXPECT_EQ(recovered.get("k"), std::nullopt);
+  // The in-doubt transaction still holds its locks.
+  EXPECT_FALSE(recovered.prepare(8, {{"k", "other"}}));
+  // Resolving it releases them.
+  recovered.commit(7);
+  EXPECT_EQ(recovered.get("k"), "v");
+  EXPECT_TRUE(recovered.prepare(9, {{"k", "post"}}));
+}
+
+TEST(Kv, UnpreparedLeftoversDroppedOnRecovery) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  {
+    // Simulate a crash between Begin/Write and Prepared by writing the WAL
+    // records directly.
+    WriteAheadLog wal(wal_path);
+    wal.append({WalRecordType::kBegin, 5, "", ""});
+    wal.append({WalRecordType::kWrite, 5, "z", "99"});
+  }
+  KvStore recovered(wal_path);
+  EXPECT_TRUE(recovered.in_doubt().empty());
+  EXPECT_EQ(recovered.get("z"), std::nullopt);
+  EXPECT_TRUE(recovered.prepare(6, {{"z", "1"}}));  // keys unlocked
+}
+
+// --- checkpoint / compaction -------------------------------------------------------
+
+TEST(Kv, CheckpointShrinksLogAndPreservesState) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  KvStore store(wal_path);
+  // Churn: many transactions against few keys.
+  for (TxnId txn = 1; txn <= 50; ++txn) {
+    ASSERT_TRUE(store.prepare(txn, {{"a", std::to_string(txn)},
+                                    {"b", std::to_string(txn * 2)}}));
+    store.commit(txn);
+  }
+  const auto before = fs::file_size(wal_path);
+  store.checkpoint();
+  const auto after = fs::file_size(wal_path);
+  EXPECT_LT(after, before / 4) << "snapshot should collapse 50 txns to 2 keys";
+  EXPECT_EQ(store.get("a"), "50");
+  EXPECT_EQ(store.get("b"), "100");
+  // The store keeps working post-checkpoint.
+  ASSERT_TRUE(store.prepare(51, {{"c", "new"}}));
+  store.commit(51);
+  EXPECT_EQ(store.get("c"), "new");
+}
+
+TEST(Kv, RecoveryAfterCheckpointRestoresEverything) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  {
+    KvStore store(wal_path);
+    for (TxnId txn = 1; txn <= 10; ++txn) {
+      ASSERT_TRUE(store.prepare(txn, {{"k" + std::to_string(txn), "v"}}));
+      store.commit(txn);
+    }
+    ASSERT_TRUE(store.prepare(99, {{"pending", "?"}}));  // stays in doubt
+    store.checkpoint();
+  }
+  KvStore recovered(wal_path);
+  for (TxnId txn = 1; txn <= 10; ++txn) {
+    EXPECT_EQ(recovered.get("k" + std::to_string(txn)), "v");
+  }
+  // The in-doubt transaction survived the compaction, locks included.
+  ASSERT_EQ(recovered.in_doubt(), std::vector<TxnId>{99});
+  EXPECT_FALSE(recovered.prepare(100, {{"pending", "other"}}));
+  recovered.commit(99);
+  EXPECT_EQ(recovered.get("pending"), "?");
+}
+
+TEST(Kv, CheckpointOnEmptyStoreIsHarmless) {
+  TempDir dir;
+  KvStore store(dir.path() / "kv.wal");
+  store.checkpoint();
+  EXPECT_EQ(store.size(), 0u);
+  ASSERT_TRUE(store.prepare(1, {{"x", "1"}}));
+  store.commit(1);
+  EXPECT_EQ(store.get("x"), "1");
+}
+
+TEST(Kv, RepeatedCheckpointsAreIdempotent) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  KvStore store(wal_path);
+  ASSERT_TRUE(store.prepare(1, {{"x", "1"}}));
+  store.commit(1);
+  store.checkpoint();
+  const auto size_once = fs::file_size(wal_path);
+  store.checkpoint();
+  EXPECT_EQ(fs::file_size(wal_path), size_once);
+  EXPECT_EQ(store.get("x"), "1");
+}
+
+// --- distributed transactions -----------------------------------------------------
+
+TEST(DistributedDb, MultiShardCommit) {
+  TempDir dir;
+  DistributedDb::Options options;
+  options.shard_count = 3;
+  options.data_dir = dir.path();
+  options.seed = 21;
+  options.network = {.min_delay = std::chrono::microseconds(20),
+                     .max_delay = std::chrono::microseconds(200)};
+  DistributedDb database(options);
+
+  const auto outcome = database.execute({
+      {0, {{"acct:alice", "50"}}},
+      {1, {{"acct:bob", "150"}}},
+      {2, {{"ledger:tx1", "alice->bob:50"}}},
+  });
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_EQ(outcome.decision, Decision::kCommit);
+  EXPECT_EQ(database.get(0, "acct:alice"), "50");
+  EXPECT_EQ(database.get(1, "acct:bob"), "150");
+  EXPECT_EQ(database.get(2, "ledger:tx1"), "alice->bob:50");
+}
+
+TEST(DistributedDb, LockConflictAbortsEverywhere) {
+  TempDir dir;
+  DistributedDb::Options options;
+  options.shard_count = 2;
+  options.data_dir = dir.path();
+  options.seed = 22;
+  DistributedDb database(options);
+
+  // A stuck transaction holds a lock on shard 1 (prepare without outcome).
+  ASSERT_TRUE(database.shard(1).prepare(999, {{"hot", "held"}}));
+
+  const auto outcome = database.execute({
+      {0, {{"cold", "1"}}},
+      {1, {{"hot", "2"}}},  // conflicts -> shard 1 votes abort
+  });
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_EQ(outcome.decision, Decision::kAbort);
+  EXPECT_EQ(database.get(0, "cold"), std::nullopt);
+  EXPECT_EQ(database.get(1, "hot"), std::nullopt);
+}
+
+TEST(DistributedDb, SingleShardFastPath) {
+  TempDir dir;
+  DistributedDb::Options options;
+  options.shard_count = 2;
+  options.data_dir = dir.path();
+  DistributedDb database(options);
+  const auto outcome = database.execute({{0, {{"solo", "1"}}}});
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_EQ(outcome.decision, Decision::kCommit);
+  EXPECT_EQ(database.get(0, "solo"), "1");
+}
+
+TEST(DistributedDb, SameShardMultiAccountTransaction) {
+  // Two writes on one shard travel as a single participant entry (the
+  // single-shard fast path); regression for the silently-dropped duplicate
+  // map key that once broke conservation in the bank example.
+  TempDir dir;
+  DistributedDb::Options options;
+  options.shard_count = 2;
+  options.data_dir = dir.path();
+  DistributedDb database(options);
+  std::map<int32_t, std::vector<KvWrite>> writes;
+  writes[0].push_back({"alice", "900"});
+  writes[0].push_back({"bob", "1100"});
+  const auto outcome = database.execute(writes);
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_EQ(outcome.decision, Decision::kCommit);
+  EXPECT_EQ(database.get(0, "alice"), "900");
+  EXPECT_EQ(database.get(0, "bob"), "1100");
+}
+
+TEST(DistributedDb, MixedSameAndCrossShardWrites) {
+  TempDir dir;
+  DistributedDb::Options options;
+  options.shard_count = 2;
+  options.data_dir = dir.path();
+  options.seed = 77;
+  DistributedDb database(options);
+  std::map<int32_t, std::vector<KvWrite>> writes;
+  writes[0].push_back({"a", "1"});
+  writes[0].push_back({"b", "2"});
+  writes[1].push_back({"c", "3"});
+  const auto outcome = database.execute(writes);
+  ASSERT_TRUE(outcome.decided);
+  EXPECT_EQ(outcome.decision, Decision::kCommit);
+  EXPECT_EQ(database.get(0, "a"), "1");
+  EXPECT_EQ(database.get(0, "b"), "2");
+  EXPECT_EQ(database.get(1, "c"), "3");
+}
+
+TEST(DistributedDb, SequentialTransactionsReuseKeys) {
+  TempDir dir;
+  DistributedDb::Options options;
+  options.shard_count = 2;
+  options.data_dir = dir.path();
+  options.seed = 23;
+  DistributedDb database(options);
+  for (int round = 0; round < 3; ++round) {
+    const auto outcome = database.execute({
+        {0, {{"counter", std::to_string(round)}}},
+        {1, {{"mirror", std::to_string(round)}}},
+    });
+    ASSERT_TRUE(outcome.decided) << "round " << round;
+    ASSERT_EQ(outcome.decision, Decision::kCommit) << "round " << round;
+  }
+  EXPECT_EQ(database.get(0, "counter"), "2");
+  EXPECT_EQ(database.get(1, "mirror"), "2");
+}
+
+TEST(DistributedDb, SurvivesRestartAcrossTransactions) {
+  TempDir dir;
+  {
+    DistributedDb::Options options;
+    options.shard_count = 2;
+    options.data_dir = dir.path();
+    DistributedDb database(options);
+    ASSERT_EQ(database
+                  .execute({{0, {{"persist", "yes"}}}, {1, {{"persist", "also"}}}})
+                  .decision,
+              Decision::kCommit);
+  }
+  // "Restart": a new DistributedDb over the same directory recovers state.
+  DistributedDb::Options options;
+  options.shard_count = 2;
+  options.data_dir = dir.path();
+  DistributedDb database(options);
+  EXPECT_EQ(database.get(0, "persist"), "yes");
+  EXPECT_EQ(database.get(1, "persist"), "also");
+}
+
+}  // namespace
+}  // namespace rcommit::db

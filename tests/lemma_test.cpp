@@ -1,0 +1,192 @@
+// Conformance tests tied to the paper's lemmas, verified against observed
+// message traffic (via the broadcast spy) rather than just outcomes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "adversary/basic.h"
+#include "adversary/omniscient.h"
+#include "common/rng.h"
+#include "metrics/counters.h"
+#include "protocol/agreement.h"
+#include "sim/simulator.h"
+
+namespace rcommit::protocol {
+namespace {
+
+using adversary::BroadcastSpy;
+using adversary::SpiedSend;
+using sim::RunStatus;
+using sim::Simulator;
+
+struct SpiedRun {
+  sim::RunResult result;
+  std::shared_ptr<BroadcastSpy> spy;
+  /// All spied sends flattened: (sender, clock, info).
+  std::vector<std::tuple<ProcId, Tick, SpiedSend>> sends;
+  std::vector<int> decision_stages;
+  std::vector<int> stages_completed;
+};
+
+/// Runs a standalone agreement fleet with the spy recording every broadcast.
+SpiedRun run_spied(int n, const std::vector<int>& inputs,
+                   const std::vector<uint8_t>& coins, uint64_t seed, Tick max_delay) {
+  SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  auto spy = std::make_shared<BroadcastSpy>();
+  auto sends = std::make_shared<std::vector<std::tuple<ProcId, Tick, SpiedSend>>>();
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int i = 0; i < n; ++i) {
+    AgreementProcess::Options options;
+    options.params = params;
+    options.initial_value = inputs[static_cast<size_t>(i)];
+    options.coins = coins;
+    options.observer = [spy, sends, i](Tick clock, int phase, int stage, int value) {
+      spy->record(i, clock, SpiedSend{phase, stage, value});
+      sends->emplace_back(i, clock, SpiedSend{phase, stage, value});
+    };
+    fleet.push_back(std::make_unique<AgreementProcess>(std::move(options)));
+  }
+  Simulator sim({.seed = seed}, std::move(fleet),
+                adversary::make_random_adversary(seed + 5, max_delay));
+  SpiedRun run;
+  run.result = sim.run();
+  run.spy = spy;
+  run.sends = *sends;
+  for (const auto& proc : sim.processes()) {
+    const auto& core = dynamic_cast<const AgreementProcess&>(*proc).core();
+    run.decision_stages.push_back(core.decision_stage());
+    run.stages_completed.push_back(core.stages_completed());
+  }
+  return run;
+}
+
+std::vector<int> mixed_inputs(int n, uint64_t seed) {
+  RandomTape rng(seed);
+  std::vector<int> inputs(static_cast<size_t>(n));
+  for (auto& v : inputs) v = rng.flip();
+  return inputs;
+}
+
+std::vector<uint8_t> coins_for(int n, uint64_t seed) {
+  RandomTape rng(seed ^ 0xc0);
+  return rng.flip_bits(n);
+}
+
+// --- Lemma 2: at most one S-message value per stage --------------------------------
+
+TEST(Lemma2, UniqueSValuePerStageAcrossManyRuns) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    const int n = 5;
+    const auto run = run_spied(n, mixed_inputs(n, seed), coins_for(n, seed), seed, 4);
+    ASSERT_EQ(run.result.status, RunStatus::kAllDecided) << "seed " << seed;
+    // Collect S-message values per stage from the spied traffic.
+    std::map<int, std::set<int>> s_values;
+    for (const auto& [sender, clock, info] : run.sends) {
+      if (info.phase == 2 && info.value != kBottom) {
+        s_values[info.stage].insert(info.value);
+      }
+    }
+    for (const auto& [stage, values] : s_values) {
+      EXPECT_LE(values.size(), 1u)
+          << "two S-values in stage " << stage << " at seed " << seed;
+    }
+  }
+}
+
+// --- Lemma 1: unanimous local values decide within the stage -------------------------
+
+TEST(Lemma1, UnanimousFirstStageSendsOnlyThatValue) {
+  for (int value : {0, 1}) {
+    const int n = 7;
+    std::vector<int> inputs(7, value);
+    const auto run = run_spied(n, inputs, coins_for(n, 3), 11, 3);
+    ASSERT_EQ(run.result.status, RunStatus::kAllDecided);
+    for (const auto& [sender, clock, info] : run.sends) {
+      if (info.phase == 1 && info.stage == 1) {
+        EXPECT_EQ(info.value, value);
+      }
+      if (info.phase == 2 && info.stage == 1) {
+        EXPECT_EQ(info.value, value) << "no ⊥ possible from a unanimous stage";
+      }
+    }
+    for (int stage : run.decision_stages) EXPECT_EQ(stage, 1);
+  }
+}
+
+// --- Lemma 3: deciders within one stage (traffic-level restatement) -------------------
+
+TEST(Lemma3, NoProcessorLagsMoreThanOneStageAtDecision) {
+  for (uint64_t seed = 50; seed <= 80; ++seed) {
+    const int n = 7;
+    const auto run = run_spied(n, mixed_inputs(n, seed), coins_for(n, seed), seed, 5);
+    ASSERT_EQ(run.result.status, RunStatus::kAllDecided) << "seed " << seed;
+    int min_stage = INT32_MAX;
+    int max_stage = 0;
+    for (int stage : run.decision_stages) {
+      if (stage == 0) continue;  // decided via DECIDED short-circuit
+      min_stage = std::min(min_stage, stage);
+      max_stage = std::max(max_stage, stage);
+    }
+    if (max_stage > 0 && min_stage != INT32_MAX) {
+      EXPECT_LE(max_stage - min_stage, 1) << "seed " << seed;
+    }
+  }
+}
+
+// --- Lemma 4 / MATCH: a coin-only stage with matching coins unifies values ------------
+
+TEST(Lemma4, CoinStageWithSharedCoinsUnifiesLocalValues) {
+  // With shared coins, any stage in which *every* second-phase message was ⊥
+  // makes all processors adopt coins[s]; the next stage's first-phase
+  // messages must therefore be unanimous.
+  for (uint64_t seed = 100; seed <= 140; ++seed) {
+    const int n = 5;
+    const auto coins = coins_for(n, seed);
+    const auto run = run_spied(n, mixed_inputs(n, seed), coins, seed, 4);
+    ASSERT_EQ(run.result.status, RunStatus::kAllDecided) << "seed " << seed;
+
+    // Organize the spied traffic per stage.
+    std::map<int, std::vector<int>> phase2_values;  // stage -> values (⊥ incl.)
+    std::map<int, std::set<int>> phase1_values;     // stage -> distinct values
+    for (const auto& [sender, clock, info] : run.sends) {
+      if (info.phase == 2) phase2_values[info.stage].push_back(info.value);
+      if (info.phase == 1) phase1_values[info.stage].insert(info.value);
+    }
+    for (const auto& [stage, values] : phase2_values) {
+      const bool all_bottom = std::all_of(values.begin(), values.end(),
+                                          [](int v) { return v == kBottom; });
+      if (!all_bottom) continue;
+      // MATCH(stage) is deterministic here (everyone reads coins[stage]):
+      // the next stage's broadcasts must all carry coins[stage].
+      auto next = phase1_values.find(stage + 1);
+      if (next == phase1_values.end()) continue;  // run ended first
+      ASSERT_LE(static_cast<size_t>(stage), coins.size());
+      const int expected = coins[static_cast<size_t>(stage - 1)] != 0 ? 1 : 0;
+      EXPECT_EQ(next->second.size(), 1u) << "stage " << stage << " seed " << seed;
+      EXPECT_TRUE(next->second.count(expected) == 1)
+          << "stage " << stage << " seed " << seed;
+    }
+  }
+}
+
+// --- Lemma 6: stages cost at most ~2 rounds each ---------------------------------------
+
+TEST(Lemma6, DecisionRoundBoundedByTwoPerStagePlusStartup) {
+  for (uint64_t seed = 150; seed <= 170; ++seed) {
+    const int n = 5;
+    const auto run = run_spied(n, mixed_inputs(n, seed), coins_for(n, seed), seed, 3);
+    ASSERT_EQ(run.result.status, RunStatus::kAllDecided) << "seed " << seed;
+    const auto m = metrics::measure_run(run.result, /*k=*/2);
+    int max_stage = 1;
+    for (int stage : run.decision_stages) max_stage = std::max(max_stage, stage);
+    // Round 1 covers startup; each stage adds at most 2 rounds (Lemma 6),
+    // plus one round of slack for the decision step itself.
+    EXPECT_LE(m.max_decision_round, 2 * max_stage + 2)
+        << "seed " << seed << " stages=" << max_stage;
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::protocol

@@ -1,0 +1,206 @@
+// Fine-grained tests of protocol internals: message types and debug strings,
+// the invariant checkers, the claim-report helper, and step-by-step phase
+// transitions of Protocol 2 observed on hand-driven contexts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adversary/basic.h"
+#include "metrics/report.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "protocol/messages.h"
+#include "sim/simulator.h"
+
+namespace rcommit::protocol {
+namespace {
+
+// --- messages ---------------------------------------------------------------------
+
+TEST(Messages, DebugStringsAreInformative) {
+  EXPECT_EQ(AgreementR1(3, 1).debug_string(), "(1,3,1)");
+  EXPECT_EQ(AgreementR2(2, 0).debug_string(), "(2,2,0)");
+  EXPECT_NE(AgreementR2(2, kBottom).debug_string().find("⊥"), std::string::npos);
+  EXPECT_EQ(DecidedMsg(1).debug_string(), "DECIDED(1)");
+  EXPECT_EQ(GoMsg().debug_string(), "GO");
+  EXPECT_EQ(VoteMsg(0).debug_string(), "VOTE(0)");
+  const auto inner = sim::make_message<VoteMsg>(1);
+  EXPECT_EQ(PiggybackedMsg({1, 0}, inner).debug_string(), "GO+VOTE(1)");
+}
+
+TEST(Messages, R2BottomIsNotAnSMessage) {
+  EXPECT_FALSE(AgreementR2(1, kBottom).is_s_message());
+  EXPECT_TRUE(AgreementR2(1, 0).is_s_message());
+  EXPECT_TRUE(AgreementR2(1, 1).is_s_message());
+}
+
+TEST(Messages, MsgCastDiscriminates) {
+  const auto msg = sim::make_message<AgreementR1>(1, 1);
+  EXPECT_NE(sim::msg_cast<AgreementR1>(msg), nullptr);
+  EXPECT_EQ(sim::msg_cast<AgreementR2>(msg), nullptr);
+  EXPECT_EQ(sim::msg_cast<VoteMsg>(msg), nullptr);
+}
+
+// --- invariant checkers ----------------------------------------------------------------
+
+sim::RunResult make_result(std::vector<std::optional<Decision>> decisions,
+                           std::vector<bool> crashed) {
+  sim::RunResult result;
+  result.decisions = std::move(decisions);
+  result.crashed = std::move(crashed);
+  result.trace.n = static_cast<int32_t>(result.decisions.size());
+  result.trace.crashed = result.crashed;
+  result.trace.decide_clock.assign(result.decisions.size(), std::nullopt);
+  result.trace.decide_event.assign(result.decisions.size(), std::nullopt);
+  return result;
+}
+
+TEST(Invariants, AgreementDetectsConflict) {
+  auto good = make_result({Decision::kCommit, Decision::kCommit}, {false, false});
+  EXPECT_TRUE(agreement_holds(good));
+  auto bad = make_result({Decision::kCommit, Decision::kAbort}, {false, false});
+  EXPECT_FALSE(agreement_holds(bad));
+}
+
+TEST(Invariants, AgreementIgnoresUndecided) {
+  auto partial = make_result({Decision::kAbort, std::nullopt}, {false, false});
+  EXPECT_TRUE(agreement_holds(partial));
+}
+
+TEST(Invariants, AbortValidityFlagsWrongCommit) {
+  auto bad = make_result({Decision::kCommit, Decision::kCommit}, {false, false});
+  EXPECT_FALSE(abort_validity_holds(bad, {1, 0}));
+  EXPECT_TRUE(abort_validity_holds(bad, {1, 1}));  // vacuous: nobody wanted abort
+  auto good = make_result({Decision::kAbort, Decision::kAbort}, {false, false});
+  EXPECT_TRUE(abort_validity_holds(good, {1, 0}));
+}
+
+TEST(Invariants, AbortValidityHoldsOnUndecidedRuns) {
+  auto blocked = make_result({std::nullopt, std::nullopt}, {false, false});
+  EXPECT_TRUE(abort_validity_holds(blocked, {0, 1}));
+}
+
+TEST(Invariants, AgreementValidityVacuousOnMixedInputs) {
+  auto result = make_result({Decision::kCommit, Decision::kCommit}, {false, false});
+  EXPECT_TRUE(agreement_validity_holds(result, {0, 1}));
+  EXPECT_FALSE(agreement_validity_holds(result, {0, 0}));
+  EXPECT_TRUE(agreement_validity_holds(result, {1, 1}));
+}
+
+TEST(Invariants, CheckCommitConditionsThrowsWithDescription) {
+  auto bad = make_result({Decision::kCommit, Decision::kAbort}, {false, false});
+  try {
+    check_commit_conditions(bad, {1, 1}, 1);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("agreement"), std::string::npos);
+  }
+}
+
+// --- claim report ------------------------------------------------------------------------
+
+TEST(Report, PrintsVerdictsAndSummary) {
+  std::ostringstream os;
+  metrics::print_claim_report(os, "demo",
+                              {{"C1", "x <= 4", "3.2", true},
+                               {"C2", "y grows", "flat", false}});
+  const auto text = os.str();
+  EXPECT_NE(text.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(text.find("OK"), std::string::npos);
+  EXPECT_NE(text.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(text.find("1/2 claims hold"), std::string::npos);
+}
+
+// --- Protocol 2 phase walk-through ----------------------------------------------------------
+
+TEST(CommitPhases, CoordinatorWalksThroughAllPhases) {
+  // Observe the coordinator's phase at each point of a clean delay-1 run.
+  const SystemParams params{.n = 3, .t = 1, .k = 2};
+  sim::Simulator sim({.seed = 50}, make_commit_fleet(params, {1, 1, 1}),
+                     adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, sim::RunStatus::kAllDecided);
+  const auto& coordinator =
+      dynamic_cast<const CommitProcess&>(*sim.processes()[0]);
+  EXPECT_TRUE(coordinator.is_coordinator());
+  EXPECT_EQ(coordinator.phase(), CommitProcess::Phase::kAgreement);
+  EXPECT_EQ(coordinator.agreement_input(), 1);
+  EXPECT_EQ(coordinator.current_vote(), 1);
+  ASSERT_NE(coordinator.agreement_core(), nullptr);
+  EXPECT_TRUE(coordinator.agreement_core()->decided());
+}
+
+TEST(CommitPhases, AborterCarriesZeroIntoAgreement) {
+  const SystemParams params{.n = 3, .t = 1, .k = 2};
+  sim::Simulator sim({.seed = 51}, make_commit_fleet(params, {1, 0, 1}),
+                     adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, sim::RunStatus::kAllDecided);
+  for (const auto& proc : sim.processes()) {
+    const auto& commit = dynamic_cast<const CommitProcess&>(*proc);
+    // Everyone saw the 0 vote, so every agreement input is 0 (line 9-11).
+    EXPECT_EQ(commit.agreement_input(), 0);
+  }
+  EXPECT_EQ(result.agreed_decision(), Decision::kAbort);
+}
+
+TEST(CommitPhases, NonCoordinatorWaitsInAwaitGoWithoutTraffic) {
+  // A lone non-coordinator (simulate n = 2, schedule only processor 1):
+  // it must sit in kAwaitGo forever — line 2 has no timeout.
+  const SystemParams params{.n = 2, .t = 0, .k = 2};
+
+  /// Adversary that only ever schedules processor 1 and delivers nothing.
+  class OnlyProcOne final : public sim::Adversary {
+   public:
+    sim::Action next(const sim::PatternView&) override {
+      sim::Action action;
+      action.proc = 1;
+      return action;
+    }
+  };
+
+  sim::Simulator sim({.seed = 52, .max_events = 500},
+                     make_commit_fleet(params, {1, 1}),
+                     std::make_unique<OnlyProcOne>());
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, sim::RunStatus::kEventLimit);
+  const auto& participant = dynamic_cast<const CommitProcess&>(*sim.processes()[1]);
+  EXPECT_EQ(participant.phase(), CommitProcess::Phase::kAwaitGo);
+  EXPECT_FALSE(participant.decided());
+}
+
+TEST(CommitPhases, GoTimeoutSwitchesVote) {
+  // Schedule everyone but withhold all messages: after 2K own-clock ticks in
+  // kCollectGo the vote flips to abort (lines 5-6).
+  const SystemParams params{.n = 3, .t = 1, .k = 2};
+
+  /// Round-robin scheduling, zero deliveries, forever.
+  class BlackHole final : public sim::Adversary {
+   public:
+    sim::Action next(const sim::PatternView& view) override {
+      sim::Action action;
+      action.proc = next_;
+      next_ = (next_ + 1) % view.n();
+      return action;
+    }
+
+   private:
+    ProcId next_ = 0;
+  };
+
+  sim::Simulator sim({.seed = 53, .max_events = 200},
+                     make_commit_fleet(params, {1, 1, 1}),
+                     std::make_unique<BlackHole>());
+  (void)sim.run();
+  const auto& coordinator = dynamic_cast<const CommitProcess&>(*sim.processes()[0]);
+  // The coordinator got past kCollectGo via timeout and flipped its vote.
+  EXPECT_NE(coordinator.phase(), CommitProcess::Phase::kCollectGo);
+  EXPECT_EQ(coordinator.current_vote(), 0);
+  // Participants never received the GO (nothing was delivered), so they are
+  // still waiting at line 2.
+  const auto& participant = dynamic_cast<const CommitProcess&>(*sim.processes()[1]);
+  EXPECT_EQ(participant.phase(), CommitProcess::Phase::kAwaitGo);
+}
+
+}  // namespace
+}  // namespace rcommit::protocol

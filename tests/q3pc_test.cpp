@@ -1,0 +1,144 @@
+// Tests for quorum-style 3PC with the termination protocol: the nonblocking
+// property it buys under synchrony, and the late-message failure mode it
+// retains.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "baselines/q3pc.h"
+#include "sim/simulator.h"
+
+namespace rcommit::baselines {
+namespace {
+
+using sim::RunStatus;
+using sim::Simulator;
+
+const SystemParams kParams{.n = 5, .t = 2, .k = 2};
+
+std::vector<std::unique_ptr<sim::Process>> q3pc_fleet(const std::vector<int>& votes,
+                                                      Tick timeout = 0) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int vote : votes) {
+    Q3pcProcess::Options options;
+    options.params = kParams;
+    options.initial_vote = vote;
+    options.timeout = timeout;
+    fleet.push_back(std::make_unique<Q3pcProcess>(options));
+  }
+  return fleet;
+}
+
+TEST(Q3pc, AllYesCommits) {
+  Simulator sim({.seed = 1}, q3pc_fleet({1, 1, 1, 1, 1}),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kCommit);
+}
+
+TEST(Q3pc, OneNoAborts) {
+  Simulator sim({.seed = 2}, q3pc_fleet({1, 1, 1, 0, 1}),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kAbort);
+}
+
+TEST(Q3pc, CoordinatorCrashBeforePreCommitRecoversToAbort) {
+  // The coordinator dies after collecting votes but before any PRECOMMIT:
+  // the termination protocol sees only prepared/unvoted states and aborts —
+  // everyone, consistently, without blocking (unlike 2PC).
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 2,
+                            .suppress_sends_to = {1, 2, 3, 4}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 3, .max_events = 20'000}, q3pc_fleet({1, 1, 1, 1, 1}),
+                std::move(adv));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (ProcId p = 1; p < 5; ++p) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(p)], Decision::kAbort);
+  }
+  EXPECT_FALSE(result.has_conflicting_decisions());
+}
+
+TEST(Q3pc, CoordinatorCrashAfterPartialPreCommitRecoversToCommit) {
+  // The coordinator dies mid-PRECOMMIT-broadcast: some participants hold a
+  // PRECOMMIT, others are merely prepared. The leader sees the PRECOMMIT in
+  // the reports and commits everyone — the exact case plain 3PC's local
+  // timeout rules get wrong.
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 2,
+                            .suppress_sends_to = {3, 4}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 4, .max_events = 20'000}, q3pc_fleet({1, 1, 1, 1, 1}),
+                std::move(adv));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (ProcId p = 1; p < 5; ++p) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(p)], Decision::kCommit)
+        << "participant " << p;
+  }
+}
+
+TEST(Q3pc, UnlikePlain3pcPartialPreCommitCrashStaysConsistent) {
+  // Sweep the suppression sets: whatever mix of prepared/precommitted the
+  // crash leaves behind, the termination protocol must keep everyone
+  // unanimous.
+  for (int mask = 0; mask < 8; ++mask) {
+    adversary::CrashPlan plan;
+    plan.victim = 0;
+    plan.at_clock = 2;
+    for (int bit = 0; bit < 3; ++bit) {
+      if ((mask >> bit) & 1) plan.suppress_sends_to.push_back(2 + bit);
+    }
+    if (plan.suppress_sends_to.empty()) plan.suppress_sends_to.push_back(1);
+    auto adv = std::make_unique<adversary::CrashAdversary>(
+        adversary::make_on_time_adversary(),
+        std::vector<adversary::CrashPlan>{plan});
+    Simulator sim({.seed = 5 + static_cast<uint64_t>(mask), .max_events = 20'000},
+                  q3pc_fleet({1, 1, 1, 1, 1}), std::move(adv));
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "mask " << mask;
+    EXPECT_FALSE(result.has_conflicting_decisions()) << "mask " << mask;
+  }
+}
+
+TEST(Q3pc, LateMessagesToTheLeaderSplitDecisions) {
+  // The paper's point survives the smarter termination protocol: cut the
+  // recovery leader (p1) off with lateness — its PRECOMMIT, the peers' state
+  // reports to it, and the coordinator's outcome to it all arrive past every
+  // timeout. The leader times out prepared, sees no PRECOMMIT anywhere, and
+  // rules ABORT, while the live coordinator and the other participants
+  // commit. One clique of late links, conflicting decisions — Protocol 2
+  // under the same rules only slows down.
+  std::vector<adversary::LateRule> rules;
+  rules.push_back({.from = 0, .to = 1, .nth = 1, .extra_delay = 120});  // PRECOMMIT
+  rules.push_back({.from = 0, .to = 1, .nth = 2, .extra_delay = 120});  // OUTCOME
+  for (ProcId p = 2; p < 5; ++p) {
+    rules.push_back({.from = p, .to = 1,
+                     .nth = adversary::LateRule::kEveryMessage,
+                     .extra_delay = 120});
+  }
+  Simulator sim({.seed = 20, .max_events = 60'000}, q3pc_fleet({1, 1, 1, 1, 1}),
+                std::make_unique<adversary::LateMessageAdversary>(rules));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(result.has_conflicting_decisions())
+      << "late messages should still split Q3PC";
+  EXPECT_EQ(result.decisions[1], Decision::kAbort);   // the isolated leader
+  EXPECT_EQ(result.decisions[0], Decision::kCommit);  // the live coordinator
+}
+
+TEST(Q3pc, ValidatesOptions) {
+  Q3pcProcess::Options options;
+  options.params = {.n = 1, .t = 0, .k = 1};  // needs a leader distinct from coord
+  EXPECT_THROW(Q3pcProcess proc(options), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rcommit::baselines

@@ -1,0 +1,198 @@
+// Tests for the in-doubt transaction recovery manager: outcome adoption,
+// the unprepared-participant abort rule, and the rerun-the-protocol path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "db/kv.h"
+#include "db/recovery.h"
+#include "db/wal.h"
+
+namespace rcommit::db {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecoveryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("rcommit_recovery_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] fs::path wal_path(int shard) const {
+    return dir_ / ("shard-" + std::to_string(shard) + ".wal");
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(RecoveryFixture, AdoptsRecordedCommit) {
+  // Shard 0 committed txn 1; shard 1 crashed prepared. Recovery must commit
+  // shard 1's copy.
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(1, {{"a", "A"}}));
+    shard0.commit(1);
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(1, {{"b", "B"}}));
+    // shard1 "crashes" here.
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  ASSERT_EQ(shard1.in_doubt().size(), 1u);
+
+  RecoveryManager recovery({&shard0, &shard1}, {});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_commit, 1);
+  EXPECT_EQ(report.resolved_abort, 0);
+  EXPECT_EQ(report.reran_protocol, 0);
+  EXPECT_EQ(shard1.get("b"), "B");
+  EXPECT_TRUE(shard1.in_doubt().empty());
+}
+
+TEST_F(RecoveryFixture, AdoptsRecordedAbort) {
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(2, {{"a", "A"}}));
+    shard0.abort(2);
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(2, {{"b", "B"}}));
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_abort, 1);
+  EXPECT_EQ(shard1.get("b"), std::nullopt);
+  EXPECT_TRUE(shard1.in_doubt().empty());
+}
+
+TEST_F(RecoveryFixture, UnpreparedParticipantForcesAbort) {
+  // Shard 0 began but never prepared (crashed mid-prepare); shard 1 is
+  // prepared. Shard 0 can never have voted commit, so abort is the only safe
+  // outcome.
+  {
+    WriteAheadLog wal0(wal_path(0));
+    wal0.append({WalRecordType::kBegin, 3, "", ""});
+    wal0.append({WalRecordType::kWrite, 3, "a", "A"});
+    // no kPrepared: crash mid-prepare
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(3, {{"b", "B"}}));
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_abort, 1);
+  EXPECT_EQ(report.reran_protocol, 0);
+  EXPECT_EQ(shard1.get("b"), std::nullopt);
+}
+
+TEST_F(RecoveryFixture, AllPreparedRerunsProtocolAndAgrees) {
+  // Every shard prepared, nobody recorded an outcome: recovery reruns the
+  // commit protocol with all-commit votes; all shards get the same outcome.
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(4, {{"a", "A"}}));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(4, {{"b", "B"}}));
+    KvStore shard2(wal_path(2));
+    ASSERT_TRUE(shard2.prepare(4, {{"c", "C"}}));
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  KvStore shard2(wal_path(2));
+  RecoveryManager recovery({&shard0, &shard1, &shard2}, {.seed = 9});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 1);
+  EXPECT_EQ(report.resolved_commit + report.resolved_abort, 1);
+  // Whatever was decided, it is uniform: all three applied or none.
+  const bool a = shard0.get("a").has_value();
+  const bool b = shard1.get("b").has_value();
+  const bool c = shard2.get("c").has_value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_TRUE(shard0.in_doubt().empty());
+  EXPECT_TRUE(shard1.in_doubt().empty());
+  EXPECT_TRUE(shard2.in_doubt().empty());
+}
+
+TEST_F(RecoveryFixture, LonePreparedShardCommits) {
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(5, {{"solo", "X"}}));
+  }
+  KvStore shard0(wal_path(0));
+  RecoveryManager recovery({&shard0}, {});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_commit, 1);
+  EXPECT_EQ(shard0.get("solo"), "X");
+}
+
+TEST_F(RecoveryFixture, MultipleInDoubtTransactionsResolvedIndependently) {
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(10, {{"k10", "v"}}));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(10, {{"k10", "v"}}));
+    shard1.commit(10);
+    ASSERT_TRUE(shard1.prepare(11, {{"k11", "v"}}));
+    ASSERT_TRUE(shard0.prepare(11, {{"k11", "v"}}));
+    shard0.abort(11);
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_commit, 1);  // txn 10 adopts shard1's commit
+  EXPECT_EQ(report.resolved_abort, 1);   // txn 11 adopts shard0's abort
+  EXPECT_EQ(shard0.get("k10"), "v");
+  EXPECT_EQ(shard1.get("k11"), std::nullopt);
+}
+
+TEST_F(RecoveryFixture, ResolveAllIsIdempotent) {
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(6, {{"x", "1"}}));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(6, {{"y", "1"}}));
+    shard1.commit(6);
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {});
+  (void)recovery.resolve_all();
+  const auto second = recovery.resolve_all();
+  EXPECT_EQ(second.resolved_commit + second.resolved_abort, 0);
+}
+
+TEST_F(RecoveryFixture, SurveyReportsPerShardStatus) {
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(7, {{"a", "A"}}));
+    shard0.commit(7);
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(7, {{"b", "B"}}));
+    WriteAheadLog wal2(wal_path(2));
+    wal2.append({WalRecordType::kBegin, 7, "", ""});
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  KvStore shard2(wal_path(2));
+  RecoveryManager recovery({&shard0, &shard1, &shard2}, {});
+  const auto statuses = recovery.survey(7);
+  EXPECT_EQ(statuses.at(0), ShardTxnStatus::kCommitted);
+  EXPECT_EQ(statuses.at(1), ShardTxnStatus::kPrepared);
+  EXPECT_EQ(statuses.at(2), ShardTxnStatus::kStagedOnly);
+}
+
+}  // namespace
+}  // namespace rcommit::db

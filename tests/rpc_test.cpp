@@ -1,0 +1,196 @@
+// Tests for the message-driven shard service: RPC payload round-trips and
+// end-to-end distributed transactions where every byte — including the
+// commit protocol's agreement rounds — crosses the network.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+
+#include "db/kv.h"
+#include "db/rpc.h"
+#include "transport/network.h"
+#include "transport/wire.h"
+
+namespace rcommit::db {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using transport::WireRegistry;
+
+class RpcFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("rcommit_rpc_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter++));
+    fs::create_directories(dir_);
+    register_db_wire_types();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] fs::path wal_path(int shard) const {
+    return dir_ / ("shard-" + std::to_string(shard) + ".wal");
+  }
+
+  fs::path dir_;
+};
+
+// --- payload round-trips -----------------------------------------------------------
+
+TEST_F(RpcFixture, PrepareRequestRoundTrip) {
+  const PrepareRequest request(42, 7, {0, 1, 2}, {{"k1", "v1"}, {"k2", "v2"}});
+  const auto decoded =
+      WireRegistry::instance().decode(WireRegistry::instance().encode(request));
+  const auto* back = sim::msg_cast<PrepareRequest>(decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->txn(), 42);
+  EXPECT_EQ(back->client(), 7);
+  EXPECT_EQ(back->participants(), (std::vector<ProcId>{0, 1, 2}));
+  ASSERT_EQ(back->writes().size(), 2u);
+  EXPECT_EQ(back->writes()[1].key, "k2");
+}
+
+TEST_F(RpcFixture, SessionMsgRoundTripWithNestedPayload) {
+  // Tunnel a real piggybacked agreement message.
+  const auto inner = sim::make_message<protocol::PiggybackedMsg>(
+      std::vector<uint8_t>{1, 0, 1},
+      sim::make_message<protocol::AgreementR1>(2, 1));
+  const SessionMsg tunnel(9, 1, WireRegistry::instance().encode(*inner));
+  const auto decoded =
+      WireRegistry::instance().decode(WireRegistry::instance().encode(tunnel));
+  const auto* back = sim::msg_cast<SessionMsg>(decoded);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->txn(), 9);
+  EXPECT_EQ(back->from_rank(), 1);
+  const auto inner_back = WireRegistry::instance().decode(back->inner());
+  const auto* pb = sim::msg_cast<protocol::PiggybackedMsg>(inner_back);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_NE(sim::msg_cast<protocol::AgreementR1>(pb->inner()), nullptr);
+}
+
+TEST_F(RpcFixture, OutcomeAndGetRoundTrips) {
+  const TxnOutcomeMsg outcome(5, 1);
+  const auto* outcome_back = sim::msg_cast<TxnOutcomeMsg>(
+      WireRegistry::instance().decode(WireRegistry::instance().encode(outcome)));
+  ASSERT_NE(outcome_back, nullptr);
+  EXPECT_TRUE(outcome_back->commit());
+
+  const GetRequest get(3, "some-key");
+  const auto* get_back = sim::msg_cast<GetRequest>(
+      WireRegistry::instance().decode(WireRegistry::instance().encode(get)));
+  ASSERT_NE(get_back, nullptr);
+  EXPECT_EQ(get_back->key(), "some-key");
+
+  const GetResponse response(3, true, "val");
+  const auto* resp_back = sim::msg_cast<GetResponse>(
+      WireRegistry::instance().decode(WireRegistry::instance().encode(response)));
+  ASSERT_NE(resp_back, nullptr);
+  EXPECT_TRUE(resp_back->found());
+  EXPECT_EQ(resp_back->value(), "val");
+}
+
+// --- end-to-end --------------------------------------------------------------------
+
+TEST_F(RpcFixture, DistributedCommitThroughShardServers) {
+  constexpr int kShards = 3;
+  const ProcId kClient = kShards;
+  transport::InMemoryNetwork net(kShards + 1, /*seed=*/5,
+                                 {.min_delay = 20us, .max_delay = 200us});
+
+  std::vector<std::unique_ptr<KvStore>> stores;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  for (int i = 0; i < kShards; ++i) {
+    stores.push_back(std::make_unique<KvStore>(wal_path(i)));
+    servers.push_back(std::make_unique<ShardServer>(
+        ShardServer::Options{.node_id = i, .seed = 100 + static_cast<uint64_t>(i)},
+        *stores.back(), net));
+  }
+  net.start();
+  for (auto& server : servers) server->start();
+
+  DbTxnClient client(kClient, net);
+  const auto outcome = client.execute(
+      1, {{0, {{"a", "1"}}}, {1, {{"b", "2"}}}, {2, {{"c", "3"}}}}, 5000ms);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, Decision::kCommit);
+
+  // Reads go over the wire too.
+  EXPECT_EQ(client.get(0, "a", 2000ms), "1");
+  EXPECT_EQ(client.get(1, "b", 2000ms), "2");
+  EXPECT_EQ(client.get(2, "c", 2000ms), "3");
+  EXPECT_EQ(client.get(2, "missing", 500ms), std::nullopt);
+
+  for (auto& server : servers) server->stop();
+  net.stop();
+}
+
+TEST_F(RpcFixture, LockConflictAbortsThroughServers) {
+  constexpr int kShards = 2;
+  const ProcId kClient = kShards;
+  transport::InMemoryNetwork net(kShards + 1, 6, {.min_delay = 20us, .max_delay = 150us});
+
+  std::vector<std::unique_ptr<KvStore>> stores;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  for (int i = 0; i < kShards; ++i) {
+    stores.push_back(std::make_unique<KvStore>(wal_path(i)));
+    servers.push_back(std::make_unique<ShardServer>(
+        ShardServer::Options{.node_id = i, .seed = 200 + static_cast<uint64_t>(i)},
+        *stores.back(), net));
+  }
+  // A stuck transaction holds "hot" on shard 1 before the servers start.
+  ASSERT_TRUE(stores[1]->prepare(999, {{"hot", "held"}}));
+
+  net.start();
+  for (auto& server : servers) server->start();
+
+  DbTxnClient client(kClient, net);
+  const auto outcome =
+      client.execute(2, {{0, {{"cold", "x"}}}, {1, {{"hot", "y"}}}}, 5000ms);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(*outcome, Decision::kAbort);
+  EXPECT_EQ(client.get(0, "cold", 1000ms), std::nullopt);
+
+  for (auto& server : servers) server->stop();
+  net.stop();
+}
+
+TEST_F(RpcFixture, SequentialTransactionsThroughServers) {
+  constexpr int kShards = 2;
+  const ProcId kClient = kShards;
+  transport::InMemoryNetwork net(kShards + 1, 7, {.min_delay = 10us, .max_delay = 100us});
+
+  std::vector<std::unique_ptr<KvStore>> stores;
+  std::vector<std::unique_ptr<ShardServer>> servers;
+  for (int i = 0; i < kShards; ++i) {
+    stores.push_back(std::make_unique<KvStore>(wal_path(i)));
+    servers.push_back(std::make_unique<ShardServer>(
+        ShardServer::Options{.node_id = i, .seed = 300 + static_cast<uint64_t>(i)},
+        *stores.back(), net));
+  }
+  net.start();
+  for (auto& server : servers) server->start();
+
+  DbTxnClient client(kClient, net);
+  for (TxnId txn = 1; txn <= 5; ++txn) {
+    const auto outcome = client.execute(
+        txn,
+        {{0, {{"seq", std::to_string(txn)}}}, {1, {{"seq", std::to_string(txn)}}}},
+        5000ms);
+    ASSERT_TRUE(outcome.has_value()) << "txn " << txn;
+    EXPECT_EQ(*outcome, Decision::kCommit) << "txn " << txn;
+  }
+  EXPECT_EQ(client.get(0, "seq", 1000ms), "5");
+  EXPECT_EQ(client.get(1, "seq", 1000ms), "5");
+  EXPECT_GE(servers[0]->sessions_completed(), 5);
+
+  for (auto& server : servers) server->stop();
+  net.stop();
+}
+
+}  // namespace
+}  // namespace rcommit::db

@@ -1,0 +1,321 @@
+// Tests for the simulation substrate: event application, buffers, crashes,
+// determinism, trace recording, lateness classification, and the
+// asynchronous-round analyzer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "common/check.h"
+#include "sim/message.h"
+#include "sim/ontime.h"
+#include "sim/process.h"
+#include "sim/rounds.h"
+#include "sim/simulator.h"
+
+namespace rcommit::sim {
+namespace {
+
+/// Trivial payload carrying an integer.
+class IntMsg final : public MessageBase {
+ public:
+  explicit IntMsg(int value) : value_(value) {}
+  [[nodiscard]] int value() const { return value_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "Int(" + std::to_string(value_) + ")";
+  }
+
+ private:
+  int value_;
+};
+
+/// Test process: broadcasts its id once, decides Commit after hearing from
+/// everyone (including itself).
+class EchoProcess final : public Process {
+ public:
+  void on_step(StepContext& ctx, std::span<const Envelope> delivered) override {
+    if (!sent_) {
+      sent_ = true;
+      ctx.broadcast(make_message<IntMsg>(ctx.self()));
+    }
+    for (const auto& env : delivered) {
+      const auto* m = msg_cast<IntMsg>(env.payload);
+      ASSERT_NE(m, nullptr);
+      heard_ |= 1u << m->value();
+    }
+    if (heard_ == (1u << ctx.n()) - 1) decided_ = true;
+  }
+  [[nodiscard]] bool decided() const override { return decided_; }
+  [[nodiscard]] Decision decision() const override { return Decision::kCommit; }
+
+ private:
+  bool sent_ = false;
+  unsigned heard_ = 0;
+  bool decided_ = false;
+};
+
+std::vector<std::unique_ptr<Process>> echo_fleet(int n) {
+  std::vector<std::unique_ptr<Process>> fleet;
+  for (int i = 0; i < n; ++i) fleet.push_back(std::make_unique<EchoProcess>());
+  return fleet;
+}
+
+TEST(Simulator, EchoFleetAllDecide) {
+  Simulator sim({.seed = 1}, echo_fleet(4), adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(result.all_nonfaulty_decided());
+  EXPECT_EQ(result.messages_sent, 16);  // 4 broadcasts to 4 recipients
+}
+
+TEST(Simulator, DeterministicGivenSeed) {
+  auto run_once = [](uint64_t seed) {
+    Simulator sim({.seed = seed}, echo_fleet(5), adversary::make_random_adversary(7, 4));
+    return sim.run();
+  };
+  const auto a = run_once(123);
+  const auto b = run_once(123);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  ASSERT_EQ(a.trace.events.size(), b.trace.events.size());
+  for (size_t i = 0; i < a.trace.events.size(); ++i) {
+    EXPECT_EQ(a.trace.events[i].proc, b.trace.events[i].proc);
+    EXPECT_EQ(a.trace.events[i].delivered, b.trace.events[i].delivered);
+  }
+}
+
+TEST(Simulator, EventLimitStopsBlockedRun) {
+  /// A process that never decides.
+  class Mute final : public Process {
+   public:
+    void on_step(StepContext&, std::span<const Envelope>) override {}
+    [[nodiscard]] bool decided() const override { return false; }
+    [[nodiscard]] Decision decision() const override { return Decision::kAbort; }
+  };
+  std::vector<std::unique_ptr<Process>> fleet;
+  fleet.push_back(std::make_unique<Mute>());
+  fleet.push_back(std::make_unique<Mute>());
+  Simulator sim({.seed = 1, .max_events = 100}, std::move(fleet),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kEventLimit);
+  EXPECT_EQ(result.events, 100);
+}
+
+TEST(Simulator, CrashedProcessorTakesNoMoreSteps) {
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(),
+      std::vector<adversary::CrashPlan>{{.victim = 0, .at_clock = 1}});
+  Simulator sim({.seed = 1, .max_events = 200}, echo_fleet(3), std::move(adv));
+  const auto result = sim.run();
+  EXPECT_TRUE(result.crashed[0]);
+  // Processor 0 died on a pure failure step before broadcasting, so 1 and 2
+  // can never hear from it and never decide.
+  EXPECT_FALSE(result.decisions[1].has_value());
+  EXPECT_FALSE(result.decisions[2].has_value());
+  // Its clock never advanced.
+  for (const auto& ev : result.trace.events) {
+    if (ev.proc == 0) EXPECT_TRUE(ev.crash);
+  }
+}
+
+TEST(Simulator, MidBroadcastCrashDeliversPartialSends) {
+  // Processor 0 executes its first step (the broadcast) but its sends to
+  // processor 2 are suppressed: 1 hears from 0, 2 does not.
+  adversary::CrashPlan plan;
+  plan.victim = 0;
+  plan.at_clock = 1;
+  plan.suppress_sends_to = {2};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 1, .max_events = 500}, echo_fleet(3), std::move(adv));
+  const auto result = sim.run();
+  EXPECT_TRUE(result.crashed[0]);
+  EXPECT_FALSE(result.decisions[2].has_value());
+  // Processor 1 heard all three and decided.
+  EXPECT_TRUE(result.decisions[1].has_value());
+}
+
+TEST(Simulator, AgreedDecisionThrowsOnConflict) {
+  RunResult result;
+  result.decisions = {Decision::kCommit, Decision::kAbort};
+  result.crashed = {false, false};
+  EXPECT_TRUE(result.has_conflicting_decisions());
+  EXPECT_THROW(result.agreed_decision(), CheckFailure);
+}
+
+TEST(Simulator, TraceRecordsMessageLifecycles) {
+  Simulator sim({.seed = 1}, echo_fleet(2), adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.trace.messages.size(), 4u);
+  for (const auto& m : result.trace.messages) {
+    EXPECT_TRUE(m.received());
+    EXPECT_GE(m.receiver_clock, 1);
+    EXPECT_GE(m.recv_event, m.sent_event);
+  }
+}
+
+// --- lateness ---------------------------------------------------------------
+
+TEST(OnTime, Delay1RoundRobinIsOnTime) {
+  Simulator sim({.seed = 1}, echo_fleet(4), adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  EXPECT_TRUE(is_on_time(result.trace, /*k=*/1));
+  EXPECT_EQ(late_message_count(result.trace, 1), 0);
+}
+
+TEST(OnTime, StretchedDelaysAreLateForSmallK) {
+  Simulator sim({.seed = 1, .max_events = 5000}, echo_fleet(4),
+                adversary::make_random_adversary(3, /*max_delay=*/8));
+  const auto result = sim.run();
+  // With delays up to 8 recipient steps, some message must be late for K=1...
+  EXPECT_GT(late_message_count(result.trace, 1), 0);
+  // ...but nothing can be late for a huge K.
+  EXPECT_EQ(late_message_count(result.trace, 1000), 0);
+}
+
+TEST(OnTime, ClassifyReportsMaxStepsBetween) {
+  Simulator sim({.seed = 2}, echo_fleet(3), adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  for (const auto& timing : classify_messages(result.trace, 1)) {
+    if (timing.received) {
+      EXPECT_GE(timing.max_steps_between, 0);
+      EXPECT_LE(timing.max_steps_between, 1);
+    }
+  }
+}
+
+// --- asynchronous rounds ------------------------------------------------------
+
+/// Builds a hand-crafted trace: n processors in lockstep cycles, each message
+/// delivered exactly `delay` cycles after send.
+Trace lockstep_trace(int n, int cycles, int delay_cycles) {
+  Trace trace;
+  trace.n = n;
+  trace.crashed.assign(static_cast<size_t>(n), false);
+  trace.decide_clock.assign(static_cast<size_t>(n), std::nullopt);
+  trace.decide_event.assign(static_cast<size_t>(n), std::nullopt);
+  EventIndex event = 0;
+  MsgId next_msg = 0;
+  // Every processor broadcasts at every step; receipt after delay_cycles.
+  for (int c = 0; c < cycles; ++c) {
+    for (int p = 0; p < n; ++p) {
+      TraceEvent ev;
+      ev.index = event;
+      ev.proc = p;
+      ev.clock_after = c + 1;
+      for (int to = 0; to < n; ++to) {
+        TraceMessage m;
+        m.id = next_msg++;
+        m.from = p;
+        m.to = to;
+        m.sent_event = event;
+        m.sender_clock = c + 1;
+        const int recv_cycle = c + delay_cycles;
+        if (recv_cycle < cycles) {
+          m.recv_event = static_cast<EventIndex>(recv_cycle) * n + to;
+          m.receiver_clock = recv_cycle + 1;
+        }
+        trace.messages.push_back(m);
+        ev.sent.push_back(m.id);
+      }
+      trace.events.push_back(ev);
+      ++event;
+    }
+  }
+  return trace;
+}
+
+TEST(Rounds, SynchronousLockstepMatchesStandardRounds) {
+  // "if processors are synchronized, send messages only at the beginning of a
+  // round, and all message delays are exactly K, then this definition is the
+  // same as the standard synchronous round definition" — with delay = K = 1
+  // and continuous broadcasting, round r ends at clock r * K + (r-1)-ish
+  // growth; here we verify rounds advance by exactly K when ends are driven
+  // by receipt times.
+  const Tick k = 3;
+  Trace trace = lockstep_trace(/*n=*/3, /*cycles=*/40, /*delay_cycles=*/1);
+  RoundAnalyzer rounds(trace, k);
+  for (ProcId p = 0; p < 3; ++p) {
+    EXPECT_EQ(rounds.round_end(p, 1), k);
+    // Round 2 ends K after receipt of the last round-1 message (sent at clock
+    // <= K, received at clock <= K+1): end = K + 1 + K.
+    EXPECT_EQ(rounds.round_end(p, 2), 2 * k + 1);
+  }
+}
+
+TEST(Rounds, NoMessagesMeansKTicksPerRound) {
+  // "The reason we require a round to last at least K clock ticks is to
+  // prevent a round from collapsing to nothing if no messages are sent."
+  Trace trace;
+  trace.n = 2;
+  trace.crashed = {false, false};
+  trace.decide_clock = {std::nullopt, std::nullopt};
+  trace.decide_event = {std::nullopt, std::nullopt};
+  for (int c = 0; c < 20; ++c) {
+    for (int p = 0; p < 2; ++p) {
+      TraceEvent ev;
+      ev.index = static_cast<EventIndex>(c) * 2 + p;
+      ev.proc = p;
+      ev.clock_after = c + 1;
+      trace.events.push_back(ev);
+    }
+  }
+  const Tick k = 4;
+  RoundAnalyzer rounds(trace, k);
+  EXPECT_EQ(rounds.round_end(0, 1), 4);
+  EXPECT_EQ(rounds.round_end(0, 2), 8);
+  EXPECT_EQ(rounds.round_end(0, 5), 20);
+  EXPECT_EQ(rounds.round_at(0, 1), 1);
+  EXPECT_EQ(rounds.round_at(0, 4), 1);
+  EXPECT_EQ(rounds.round_at(0, 5), 2);
+}
+
+TEST(Rounds, SlowMessagesStretchRounds) {
+  const Tick k = 2;
+  // Delay of 5 cycles: a round-1 message (sent at clock <= 2) arrives at
+  // clock <= 7, so round 2 ends at 7 + k = 9 rather than 2k = 4.
+  Trace trace = lockstep_trace(/*n=*/2, /*cycles=*/60, /*delay_cycles=*/5);
+  RoundAnalyzer rounds(trace, k);
+  EXPECT_EQ(rounds.round_end(0, 1), 2);
+  EXPECT_EQ(rounds.round_end(0, 2), 2 + 5 + 2);
+}
+
+TEST(Rounds, CrashedSendersDoNotExtendRounds) {
+  const Tick k = 2;
+  Trace trace = lockstep_trace(/*n=*/2, /*cycles=*/60, /*delay_cycles=*/5);
+  trace.crashed[1] = true;  // post-hoc: treat 1 as faulty
+  RoundAnalyzer rounds(trace, k);
+  // Processor 0's rounds are stretched only by its own (nonfaulty) messages
+  // to itself; those still take 5 cycles here, so the stretch remains. But
+  // processor 1's messages are excluded: identical ends in this symmetric
+  // trace, so instead check that analysis doesn't throw and is monotone.
+  EXPECT_GT(rounds.round_end(0, 3), rounds.round_end(0, 2));
+}
+
+TEST(Rounds, DecisionRoundReportsRoundOfDecideClock) {
+  Trace trace = lockstep_trace(/*n=*/2, /*cycles=*/40, /*delay_cycles=*/1);
+  trace.decide_clock[0] = 5;
+  trace.decide_clock[1] = 9;
+  const Tick k = 3;
+  RoundAnalyzer rounds(trace, k);
+  const auto r0 = rounds.decision_round(0);
+  const auto r1 = rounds.decision_round(1);
+  ASSERT_TRUE(r0.has_value());
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_LE(*r0, *r1);
+  const auto max_round = rounds.max_decision_round();
+  ASSERT_TRUE(max_round.has_value());
+  EXPECT_EQ(*max_round, *r1);
+}
+
+TEST(Rounds, UndecidedProcessorHasNoDecisionRound) {
+  Trace trace = lockstep_trace(/*n=*/2, /*cycles=*/10, /*delay_cycles=*/1);
+  RoundAnalyzer rounds(trace, 1);
+  EXPECT_FALSE(rounds.decision_round(0).has_value());
+  EXPECT_FALSE(rounds.max_decision_round().has_value());
+}
+
+}  // namespace
+}  // namespace rcommit::sim

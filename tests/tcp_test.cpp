@@ -1,0 +1,104 @@
+// Tests for the TCP loopback transport: framing over real sockets and full
+// commit-protocol runs with the socket backend.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "protocol/commit.h"
+#include "transport/node.h"
+#include "transport/tcp.h"
+
+namespace rcommit::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Tcp, FrameRoundTripOverSockets) {
+  TcpNetwork net(2);
+  net.start();
+  WireFrame frame;
+  frame.from = 0;
+  frame.to = 1;
+  frame.sender_clock = 5;
+  frame.payload = {9, 8, 7};
+  net.send(frame);
+  const auto bytes = net.inbox(1).pop(2s);
+  ASSERT_TRUE(bytes.has_value());
+  const auto back = WireFrame::deserialize(*bytes);
+  EXPECT_EQ(back.from, 0);
+  EXPECT_EQ(back.to, 1);
+  EXPECT_EQ(back.sender_clock, 5);
+  EXPECT_EQ(back.payload, frame.payload);
+  net.stop();
+}
+
+TEST(Tcp, ManyFramesPreserveOrderPerLink) {
+  TcpNetwork net(2);
+  net.start();
+  constexpr int kCount = 200;
+  for (int i = 0; i < kCount; ++i) {
+    WireFrame frame;
+    frame.from = 0;
+    frame.to = 1;
+    frame.sender_clock = i;
+    frame.payload = {static_cast<uint8_t>(i & 0xff)};
+    net.send(frame);
+  }
+  for (int i = 0; i < kCount; ++i) {
+    const auto bytes = net.inbox(1).pop(2s);
+    ASSERT_TRUE(bytes.has_value()) << "frame " << i << " missing";
+    EXPECT_EQ(WireFrame::deserialize(*bytes).sender_clock, i);
+  }
+  net.stop();
+}
+
+TEST(Tcp, SelfConnectionWorks) {
+  TcpNetwork net(1);
+  net.start();
+  WireFrame frame;
+  frame.from = 0;
+  frame.to = 0;
+  frame.payload = {1};
+  net.send(frame);
+  EXPECT_TRUE(net.inbox(0).pop(2s).has_value());
+  net.stop();
+}
+
+TEST(Tcp, RejectsInvalidDestination) {
+  TcpNetwork net(2);
+  WireFrame frame;
+  frame.from = 0;
+  frame.to = 5;
+  EXPECT_THROW(net.send(frame), CheckFailure);
+}
+
+TEST(Tcp, PortsAreDistinct) {
+  TcpNetwork net(3);
+  net.start();
+  EXPECT_NE(net.port(0), net.port(1));
+  EXPECT_NE(net.port(1), net.port(2));
+  net.stop();
+}
+
+TEST(Tcp, CommitProtocolRunsOverRealSockets) {
+  const SystemParams params{.n = 4, .t = 1, .k = 25};
+  std::vector<int> votes(4, 1);
+  auto fleet = protocol::make_commit_fleet(params, votes);
+  TcpNetwork net(4);
+  const auto result = run_fleet(std::move(fleet), net, /*seed=*/31, 5000ms);
+  ASSERT_TRUE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kCommit);
+}
+
+TEST(Tcp, AborterWinsOverRealSockets) {
+  const SystemParams params{.n = 4, .t = 1, .k = 25};
+  std::vector<int> votes = {1, 0, 1, 1};
+  auto fleet = protocol::make_commit_fleet(params, votes);
+  TcpNetwork net(4);
+  const auto result = run_fleet(std::move(fleet), net, 32, 5000ms);
+  ASSERT_TRUE(result.all_decided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kAbort);
+}
+
+}  // namespace
+}  // namespace rcommit::transport

@@ -1,0 +1,165 @@
+// Tests for the supporting tools: the flag parser and the workload generator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "db/workload.h"
+
+namespace rcommit {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+// --- flags ------------------------------------------------------------------------
+
+TEST(Flags, EqualsAndSpaceForms) {
+  const auto flags = parse({"--alpha=1", "--beta", "two", "--gamma"});
+  EXPECT_EQ(flags.get_int("alpha", 0), 1);
+  EXPECT_EQ(flags.get_string("beta", ""), "two");
+  EXPECT_TRUE(flags.get_bool("gamma", false));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto flags = parse({});
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+  EXPECT_EQ(flags.get_string("missing", "d"), "d");
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.get_bool("missing", false));
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+TEST(Flags, TypedParsing) {
+  const auto flags = parse({"--count=-7", "--rate=0.25", "--on=yes", "--off=0"});
+  EXPECT_EQ(flags.get_int("count", 0), -7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0), 0.25);
+  EXPECT_TRUE(flags.get_bool("on", false));
+  EXPECT_FALSE(flags.get_bool("off", true));
+}
+
+TEST(Flags, MalformedValuesThrow) {
+  const auto flags = parse({"--count=abc", "--flag=maybe"});
+  EXPECT_THROW(flags.get_int("count", 0), CheckFailure);
+  EXPECT_THROW(flags.get_bool("flag", false), CheckFailure);
+}
+
+TEST(Flags, PositionalArgumentsRejected) {
+  std::vector<const char*> argv = {"prog", "positional"};
+  EXPECT_THROW(Flags::parse(2, argv.data()), CheckFailure);
+}
+
+TEST(Flags, UnusedReportsUnqueried) {
+  const auto flags = parse({"--used=1", "--typo=2"});
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, BooleanFollowedByFlagIsBare) {
+  const auto flags = parse({"--verbose", "--n", "5"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("n", 0), 5);
+}
+
+// --- workload ---------------------------------------------------------------------
+
+TEST(Workload, RespectsFanoutAndWriteCounts) {
+  db::WorkloadOptions options;
+  options.shard_count = 5;
+  options.fanout = 3;
+  options.writes_per_shard = 2;
+  db::WorkloadGenerator gen(options, 1);
+  for (int i = 0; i < 50; ++i) {
+    const auto txn = gen.next();
+    EXPECT_EQ(txn.size(), 3u);
+    for (const auto& [shard, writes] : txn) {
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, 5);
+      EXPECT_EQ(writes.size(), 2u);
+    }
+  }
+}
+
+TEST(Workload, FanoutClampedToShardCount) {
+  db::WorkloadOptions options;
+  options.shard_count = 2;
+  options.fanout = 10;
+  db::WorkloadGenerator gen(options, 2);
+  EXPECT_EQ(gen.next().size(), 2u);
+}
+
+TEST(Workload, ValuesAreUniquePerTransaction) {
+  db::WorkloadGenerator gen({}, 3);
+  std::set<std::string> values;
+  for (int i = 0; i < 20; ++i) {
+    const auto txn = gen.next();
+    std::string value;
+    for (const auto& [shard, writes] : txn) {
+      for (const auto& write : writes) {
+        if (value.empty()) value = write.value;
+        EXPECT_EQ(write.value, value) << "one value per txn";
+      }
+    }
+    EXPECT_TRUE(values.insert(value).second) << "values unique across txns";
+  }
+}
+
+TEST(Workload, SkewConcentratesKeys) {
+  auto hot_fraction = [](double skew) {
+    db::WorkloadOptions options;
+    options.shard_count = 1;
+    options.fanout = 1;
+    options.writes_per_shard = 1;
+    options.keys_per_shard = 100;
+    options.skew = skew;
+    db::WorkloadGenerator gen(options, 4);
+    int hot = 0;
+    constexpr int kDraws = 2000;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto txn = gen.next();
+      const auto& key = txn.begin()->second.front().key;
+      const int rank = std::stoi(key.substr(4));
+      if (rank < 10) ++hot;  // the 10% hottest keys
+    }
+    return static_cast<double>(hot) / kDraws;
+  };
+  const double uniform = hot_fraction(0.0);
+  const double skewed = hot_fraction(3.0);
+  EXPECT_NEAR(uniform, 0.10, 0.04);
+  EXPECT_GT(skewed, 2.5 * uniform);
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  db::WorkloadGenerator a({}, 9);
+  db::WorkloadGenerator b({}, 9);
+  for (int i = 0; i < 10; ++i) {
+    const auto ta = a.next();
+    const auto tb = b.next();
+    ASSERT_EQ(ta.size(), tb.size());
+    auto ita = ta.begin();
+    auto itb = tb.begin();
+    for (; ita != ta.end(); ++ita, ++itb) {
+      EXPECT_EQ(ita->first, itb->first);
+      ASSERT_EQ(ita->second.size(), itb->second.size());
+      for (size_t w = 0; w < ita->second.size(); ++w) {
+        EXPECT_EQ(ita->second[w].key, itb->second[w].key);
+      }
+    }
+  }
+}
+
+TEST(Workload, ValidatesOptions) {
+  db::WorkloadOptions bad;
+  bad.fanout = 0;
+  EXPECT_THROW(db::WorkloadGenerator gen(bad, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rcommit

@@ -1,0 +1,91 @@
+// Robustness fuzzing of the wire layer: arbitrary bytes must either decode
+// to a valid payload or throw CodecError — never crash, hang, or recurse
+// unboundedly. Network input is untrusted.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "protocol/messages.h"
+#include "transport/wire.h"
+
+namespace rcommit::transport {
+namespace {
+
+TEST(WireFuzz, RandomBytesNeverCrashTheDecoder) {
+  RandomTape rng(0xdec0de);
+  constexpr int kCases = 3000;
+  int decoded = 0;
+  int rejected = 0;
+  for (int i = 0; i < kCases; ++i) {
+    std::vector<uint8_t> bytes(rng.next_below(64));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next_below(256));
+    try {
+      auto msg = WireRegistry::instance().decode(bytes);
+      ASSERT_NE(msg, nullptr);
+      (void)msg->debug_string();  // decoded payloads must be usable
+      ++decoded;
+    } catch (const CodecError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(decoded + rejected, kCases);
+  EXPECT_GT(rejected, 0) << "random bytes should mostly be garbage";
+}
+
+TEST(WireFuzz, MutatedValidFramesNeverCrash) {
+  // Start from a real frame and flip bytes one at a time.
+  const auto msg = sim::make_message<protocol::PiggybackedMsg>(
+      std::vector<uint8_t>{1, 0, 1, 1},
+      sim::make_message<protocol::AgreementR2>(5, 1));
+  const auto pristine = WireRegistry::instance().encode(*msg);
+  int rejected = 0;
+  for (size_t pos = 0; pos < pristine.size(); ++pos) {
+    for (uint8_t flip : {0x01, 0x80, 0xff}) {
+      auto bytes = pristine;
+      bytes[pos] ^= flip;
+      try {
+        (void)WireRegistry::instance().decode(bytes);
+      } catch (const CodecError&) {
+        ++rejected;
+      }
+    }
+  }
+  SUCCEED() << rejected << " mutations rejected cleanly";
+}
+
+TEST(WireFuzz, DeeplyNestedPiggybackIsRejectedNotOverflowed) {
+  // Hand-craft a frame nesting the piggyback wrapper far past the depth cap:
+  // tag=6 (piggyback), empty coins, repeated. The decoder must throw, not
+  // recurse the stack away.
+  BufWriter w;
+  constexpr int kDepth = 10'000;
+  for (int i = 0; i < kDepth; ++i) {
+    w.u16(6);     // kPiggybacked
+    w.varint(0);  // empty coin list
+  }
+  w.u16(4);  // innermost: GO
+  EXPECT_THROW((void)WireRegistry::instance().decode(w.data()), CodecError);
+}
+
+TEST(WireFuzz, LegalNestingWithinDepthStillWorks) {
+  sim::MessageRef msg = sim::make_message<protocol::GoMsg>();
+  for (int i = 0; i < 4; ++i) {
+    msg = sim::make_message<protocol::PiggybackedMsg>(std::vector<uint8_t>{1}, msg);
+  }
+  const auto decoded =
+      WireRegistry::instance().decode(WireRegistry::instance().encode(*msg));
+  EXPECT_NE(sim::msg_cast<protocol::PiggybackedMsg>(decoded), nullptr);
+}
+
+TEST(WireFuzz, TruncationsOfValidFrameAllThrow) {
+  const auto msg = sim::make_message<protocol::AgreementR1>(3, 1);
+  const auto pristine = WireRegistry::instance().encode(*msg);
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    std::vector<uint8_t> bytes(pristine.begin(),
+                               pristine.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_THROW((void)WireRegistry::instance().decode(bytes), CodecError)
+        << "prefix of length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::transport
