@@ -1,0 +1,75 @@
+#include "swarm/artifacts.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace rcommit::swarm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  RCOMMIT_CHECK_MSG(out.good(), "cannot write " << path.string());
+  out << content;
+  RCOMMIT_CHECK_MSG(out.good(), "short write to " << path.string());
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  RCOMMIT_CHECK_MSG(in.good(), "cannot read " << path.string());
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+std::string write_artifact(const std::string& root, const Artifact& artifact,
+                           const std::string& dir_name) {
+  const fs::path dir =
+      fs::path(root) / (dir_name.empty() ? artifact.config.id() : dir_name);
+  fs::create_directories(dir);
+
+  write_file(dir / "config.txt", artifact.config.serialize());
+  write_file(dir / "violation.txt", artifact.violation + "\n");
+  write_file(dir / "schedule.txt", artifact.schedule.serialize());
+  if (!artifact.original_schedule.actions.empty()) {
+    write_file(dir / "schedule_original.txt", artifact.original_schedule.serialize());
+  }
+
+  std::ostringstream readme;
+  readme << "Swarm counterexample: " << artifact.config.id() << "\n"
+         << "Violation: " << artifact.violation << "\n"
+         << "Shrunken schedule: " << artifact.schedule.actions.size()
+         << " actions (recorded: " << artifact.original_schedule.actions.size()
+         << ")\n\nReproduce with:\n  swarm_cli --replay=" << dir.string() << "\n";
+  write_file(dir / "README.txt", readme.str());
+
+  return dir.string();
+}
+
+Artifact load_artifact(const std::string& dir) {
+  const fs::path path(dir);
+  Artifact artifact;
+  artifact.config = CellConfig::deserialize(read_file(path / "config.txt"));
+  artifact.schedule = sim::RecordedSchedule::deserialize(read_file(path / "schedule.txt"));
+  if (fs::exists(path / "violation.txt")) {
+    auto text = read_file(path / "violation.txt");
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    artifact.violation = text;
+  }
+  if (fs::exists(path / "schedule_original.txt")) {
+    artifact.original_schedule =
+        sim::RecordedSchedule::deserialize(read_file(path / "schedule_original.txt"));
+  }
+  return artifact;
+}
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,39 @@
+// Violation artifacts: one directory per counterexample.
+//
+//   <root>/<cell id>/
+//     config.txt             the CellConfig (key=value; rebuilds fleet+votes)
+//     violation.txt          one-line description of what broke
+//     schedule.txt           the shrunken schedule (the counterexample)
+//     schedule_original.txt  the raw recording, for forensics
+//     README.txt             the one-command reproduction recipe
+//
+// Reproduce with:  swarm_cli --replay=<dir>
+// The same format doubles as the regression-corpus format under
+// tests/corpus/ (where schedule_original.txt is optional).
+#pragma once
+
+#include <string>
+
+#include "sim/replay.h"
+#include "swarm/matrix.h"
+
+namespace rcommit::swarm {
+
+struct Artifact {
+  CellConfig config;
+  std::string violation;  ///< one-line description; empty for corpus entries
+  sim::RecordedSchedule schedule;           ///< the (shrunken) counterexample
+  sim::RecordedSchedule original_schedule;  ///< raw recording; may be empty
+};
+
+/// Writes the artifact under `<root>/<dir_name>/` (default: the cell id),
+/// creating directories as needed, and returns that directory's path.
+std::string write_artifact(const std::string& root, const Artifact& artifact,
+                           const std::string& dir_name = "");
+
+/// Loads an artifact directory written by write_artifact (or a hand-made
+/// corpus entry: config.txt + schedule.txt suffice). Throws CheckFailure on
+/// missing/malformed files.
+[[nodiscard]] Artifact load_artifact(const std::string& dir);
+
+}  // namespace rcommit::swarm

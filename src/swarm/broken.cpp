@@ -1,0 +1,55 @@
+#include "swarm/broken.h"
+
+#include <string>
+
+#include "sim/message.h"
+
+namespace rcommit::swarm {
+
+namespace {
+
+/// Contentless chatter so the recorded schedule contains deliveries the
+/// shrinker has to reason about.
+class BrokenBeacon final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "BROKEN-BEACON"; }
+};
+
+}  // namespace
+
+void BrokenCommitProcess::on_step(sim::StepContext& ctx,
+                                  std::span<const sim::Envelope> delivered) {
+  (void)delivered;
+  if (!decision_.has_value()) {
+    const Tick clock = ctx.clock();
+    if (ctx.self() == 0 && clock >= options_.early_decide_clock) {
+      decision_ = Decision::kCommit;
+    } else if (ctx.self() == options_.n - 1 && ctx.self() != 0 &&
+               clock >= options_.abort_decide_clock) {
+      decision_ = Decision::kAbort;
+    } else if (ctx.self() != 0 && clock >= options_.late_decide_clock) {
+      decision_ = Decision::kCommit;
+    } else if (clock % 4 == 1) {
+      ctx.broadcast(sim::make_message<BrokenBeacon>());
+    }
+  }
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_broken_fleet(int32_t n,
+                                                             Tick early_decide_clock,
+                                                             Tick abort_decide_clock,
+                                                             Tick late_decide_clock) {
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  fleet.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    BrokenCommitProcess::Options options;
+    options.n = n;
+    options.early_decide_clock = early_decide_clock;
+    options.abort_decide_clock = abort_decide_clock;
+    options.late_decide_clock = late_decide_clock;
+    fleet.push_back(std::make_unique<BrokenCommitProcess>(options));
+  }
+  return fleet;
+}
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,55 @@
+// A deliberately unsound commit variant — TEST-ONLY.
+//
+// The swarm's violation → shrink → artifact pipeline needs a protocol that is
+// *guaranteed* to break so the pipeline itself can be tested end to end
+// (ISSUE acceptance: a shrunken counterexample ≤ 25% of the recording). This
+// fleet plays that part: processor 0 decides COMMIT early, every other
+// processor pads the run with beacon chatter for many steps and then decides,
+// with the last processor deciding ABORT — a certain Agreement violation.
+// The long chatter prefix is the point: most of the recorded schedule is
+// irrelevant to the violation, giving the shrinker something to remove.
+//
+// ProtocolKind::kBroken maps here. It is parseable (so artifacts from broken
+// runs can be replayed through swarm_cli --replay) but never listed in the
+// CLI help and never a default.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/process.h"
+
+namespace rcommit::swarm {
+
+class BrokenCommitProcess final : public sim::Process {
+ public:
+  struct Options {
+    int32_t n = 5;
+    /// Clock at which processor 0 decides (COMMIT).
+    Tick early_decide_clock = 3;
+    /// Clock at which the last processor decides (ABORT).
+    Tick abort_decide_clock = 10;
+    /// Clock at which everyone else decides (COMMIT).
+    Tick late_decide_clock = 40;
+  };
+
+  explicit BrokenCommitProcess(Options options) : options_(options) {}
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+ private:
+  Options options_;
+  std::optional<Decision> decision_;
+};
+
+/// The n-process broken fleet.
+[[nodiscard]] std::vector<std::unique_ptr<sim::Process>> make_broken_fleet(
+    int32_t n, Tick early_decide_clock = 3, Tick abort_decide_clock = 10,
+    Tick late_decide_clock = 40);
+
+}  // namespace rcommit::swarm

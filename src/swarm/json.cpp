@@ -1,0 +1,101 @@
+#include "swarm/json.h"
+
+#include <cstdio>
+
+namespace rcommit::swarm {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  has_elements_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  has_elements_.pop_back();
+  out_ += ']';
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(int64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(uint64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+}
+
+}  // namespace rcommit::swarm

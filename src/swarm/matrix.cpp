@@ -1,0 +1,314 @@
+#include "swarm/matrix.h"
+
+#include <sstream>
+
+#include "adversary/adaptive.h"
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "adversary/omniscient.h"
+#include "adversary/partition.h"
+#include "adversary/stretch.h"
+#include "baselines/benor.h"
+#include "baselines/q3pc.h"
+#include "baselines/twopc.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "protocol/commit.h"
+#include "swarm/broken.h"
+
+namespace rcommit::swarm {
+
+const char* to_string(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kCommit: return "commit";
+    case ProtocolKind::kBenor: return "benor";
+    case ProtocolKind::kTwoPc: return "twopc";
+    case ProtocolKind::kQ3pc: return "q3pc";
+    case ProtocolKind::kBroken: return "broken";
+  }
+  return "?";
+}
+
+const char* to_string(AdversaryKind a) {
+  switch (a) {
+    case AdversaryKind::kOnTime: return "ontime";
+    case AdversaryKind::kRandom: return "random";
+    case AdversaryKind::kCrash: return "crash";
+    case AdversaryKind::kLateMsg: return "latemsg";
+    case AdversaryKind::kPartition: return "partition";
+    case AdversaryKind::kStretch: return "stretch";
+    case AdversaryKind::kAdaptive: return "adaptive";
+    case AdversaryKind::kOmniscient: return "omniscient";
+  }
+  return "?";
+}
+
+ProtocolKind parse_protocol_kind(const std::string& name) {
+  for (auto p : {ProtocolKind::kCommit, ProtocolKind::kBenor, ProtocolKind::kTwoPc,
+                 ProtocolKind::kQ3pc, ProtocolKind::kBroken}) {
+    if (name == to_string(p)) return p;
+  }
+  RCOMMIT_CHECK_MSG(false, "unknown protocol: " << name);
+}
+
+AdversaryKind parse_adversary_kind(const std::string& name) {
+  for (auto a : {AdversaryKind::kOnTime, AdversaryKind::kRandom, AdversaryKind::kCrash,
+                 AdversaryKind::kLateMsg, AdversaryKind::kPartition,
+                 AdversaryKind::kStretch, AdversaryKind::kAdaptive,
+                 AdversaryKind::kOmniscient}) {
+    if (name == to_string(a)) return a;
+  }
+  RCOMMIT_CHECK_MSG(false, "unknown adversary: " << name);
+}
+
+bool compatible(ProtocolKind protocol, AdversaryKind adversary) {
+  if (adversary == AdversaryKind::kOmniscient) return protocol == ProtocolKind::kBenor;
+  return true;
+}
+
+bool cell_guarantees_safety(ProtocolKind protocol, AdversaryKind adversary) {
+  switch (protocol) {
+    case ProtocolKind::kCommit:
+    case ProtocolKind::kBenor:
+    case ProtocolKind::kBroken:
+      return true;  // safe under any timing and any (≤ t) crash load
+    case ProtocolKind::kTwoPc:
+    case ProtocolKind::kQ3pc:
+      // The synchronous baselines are only guaranteed safe when the timing
+      // assumptions hold and nothing fails (paper §1).
+      return adversary == AdversaryKind::kOnTime;
+  }
+  return false;
+}
+
+std::string CellConfig::serialize() const {
+  std::ostringstream os;
+  os << "protocol=" << to_string(protocol) << '\n'
+     << "adversary=" << to_string(adversary) << '\n'
+     << "n=" << n << '\n'
+     << "t=" << t << '\n'
+     << "k=" << k << '\n'
+     << "seed=" << seed << '\n'
+     << "max_events=" << max_events << '\n';
+  return os.str();
+}
+
+CellConfig CellConfig::deserialize(const std::string& text) {
+  CellConfig config;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    RCOMMIT_CHECK_MSG(eq != std::string::npos, "malformed config line: " << line);
+    const auto key = line.substr(0, eq);
+    const auto value = line.substr(eq + 1);
+    if (key == "protocol") {
+      config.protocol = parse_protocol_kind(value);
+    } else if (key == "adversary") {
+      config.adversary = parse_adversary_kind(value);
+    } else if (key == "n") {
+      config.n = static_cast<int32_t>(std::stol(value));
+    } else if (key == "t") {
+      config.t = static_cast<int32_t>(std::stol(value));
+    } else if (key == "k") {
+      config.k = std::stoll(value);
+    } else if (key == "seed") {
+      config.seed = std::stoull(value);
+    } else if (key == "max_events") {
+      config.max_events = std::stoll(value);
+    } else {
+      RCOMMIT_CHECK_MSG(false, "unknown config key: " << key);
+    }
+  }
+  return config;
+}
+
+std::string CellConfig::id() const {
+  std::ostringstream os;
+  os << to_string(protocol) << '-' << to_string(adversary) << "-n" << n << "-s" << seed;
+  return os.str();
+}
+
+namespace {
+
+/// Mixes one coordinate into a seed. Chained SplitMix64 keeps every cell's
+/// seed stable when a value is appended to some other axis of the spec.
+uint64_t mix(uint64_t h, uint64_t coord) {
+  return SplitMix64(h ^ (coord + 0x9e3779b97f4a7c15ULL)).next();
+}
+
+}  // namespace
+
+std::vector<CellConfig> enumerate_cells(const MatrixSpec& spec) {
+  std::vector<CellConfig> cells;
+  for (auto protocol : spec.protocols) {
+    for (auto adversary : spec.adversaries) {
+      if (!compatible(protocol, adversary)) continue;
+      for (auto n : spec.ns) {
+        for (int s = 0; s < spec.seeds_per_cell; ++s) {
+          CellConfig config;
+          config.protocol = protocol;
+          config.adversary = adversary;
+          config.n = n;
+          config.t = (n - 1) / 2;
+          config.k = spec.k;
+          config.max_events = spec.max_events;
+          uint64_t h = mix(spec.base_seed, static_cast<uint64_t>(protocol));
+          h = mix(h, static_cast<uint64_t>(adversary));
+          h = mix(h, static_cast<uint64_t>(n));
+          config.seed = mix(h, static_cast<uint64_t>(s));
+          cells.push_back(config);
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<int> cell_votes(const CellConfig& config) {
+  RandomTape tape(config.seed ^ 0x70763ULL);
+  std::vector<int> votes(static_cast<size_t>(config.n));
+  for (auto& v : votes) v = tape.flip();
+  return votes;
+}
+
+namespace {
+
+std::vector<std::unique_ptr<sim::Process>> make_fleet(
+    const CellConfig& config, const std::vector<int>& votes,
+    const std::shared_ptr<adversary::BroadcastSpy>& spy) {
+  const SystemParams params{.n = config.n, .t = config.t, .k = config.k};
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  switch (config.protocol) {
+    case ProtocolKind::kCommit:
+      return protocol::make_commit_fleet(params, votes);
+    case ProtocolKind::kBenor:
+      for (int32_t i = 0; i < config.n; ++i) {
+        protocol::SendObserver observer;
+        if (spy != nullptr) {
+          observer = [spy, i](Tick clock, int phase, int stage, int value) {
+            spy->record(i, clock, adversary::SpiedSend{phase, stage, value});
+          };
+        }
+        fleet.push_back(baselines::make_benor_process(
+            params, votes[static_cast<size_t>(i)], std::move(observer)));
+      }
+      return fleet;
+    case ProtocolKind::kTwoPc:
+      for (int32_t i = 0; i < config.n; ++i) {
+        baselines::TwoPcProcess::Options options;
+        options.params = params;
+        options.initial_vote = votes[static_cast<size_t>(i)];
+        options.policy = baselines::TwoPcTimeoutPolicy::kPresumeAbort;
+        fleet.push_back(std::make_unique<baselines::TwoPcProcess>(options));
+      }
+      return fleet;
+    case ProtocolKind::kQ3pc:
+      for (int32_t i = 0; i < config.n; ++i) {
+        baselines::Q3pcProcess::Options options;
+        options.params = params;
+        options.initial_vote = votes[static_cast<size_t>(i)];
+        fleet.push_back(std::make_unique<baselines::Q3pcProcess>(options));
+      }
+      return fleet;
+    case ProtocolKind::kBroken:
+      return make_broken_fleet(config.n);
+  }
+  RCOMMIT_CHECK(false);
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(
+    const CellConfig& config, const std::shared_ptr<adversary::BroadcastSpy>& spy) {
+  // All adversary randomness comes off one tape derived from the cell seed,
+  // so the adversary is a pure function of the config.
+  RandomTape tape(config.seed ^ 0xadc0ffeeULL);
+  const uint64_t sub_seed = config.seed ^ 0xa5a5a5a5ULL;
+  switch (config.adversary) {
+    case AdversaryKind::kOnTime:
+      return adversary::make_on_time_adversary();
+    case AdversaryKind::kRandom:
+      return adversary::make_random_adversary(
+          sub_seed, 1 + static_cast<Tick>(tape.next_below(
+                            static_cast<uint64_t>(3 * config.k))));
+    case AdversaryKind::kCrash: {
+      const int crashes =
+          static_cast<int>(tape.next_below(static_cast<uint64_t>(config.t + 1)));
+      auto plans = adversary::random_crash_plans(sub_seed + 7, config.n, crashes,
+                                                 /*max_clock=*/12 * config.k);
+      for (auto& p : plans) {
+        if (p.victim == 0 && p.at_clock == 1 && p.suppress_sends_to.empty()) {
+          p.at_clock = 2;  // keep the coordinator's GO alive (§2.4 exemption)
+        }
+      }
+      return std::make_unique<adversary::CrashAdversary>(
+          adversary::make_random_adversary(
+              sub_seed + 1, 1 + static_cast<Tick>(tape.next_below(
+                                    static_cast<uint64_t>(2 * config.k)))),
+          std::move(plans));
+    }
+    case AdversaryKind::kLateMsg: {
+      const int rule_count = 1 + static_cast<int>(tape.next_below(3));
+      std::vector<adversary::LateRule> rules;
+      for (int r = 0; r < rule_count; ++r) {
+        adversary::LateRule rule;
+        rule.from = static_cast<ProcId>(tape.next_below(static_cast<uint64_t>(config.n)));
+        rule.to = static_cast<ProcId>(tape.next_below(static_cast<uint64_t>(config.n)));
+        rule.nth = static_cast<int>(tape.next_below(4));
+        rule.extra_delay = config.k + static_cast<Tick>(tape.next_below(
+                                          static_cast<uint64_t>(3 * config.k)));
+        rules.push_back(rule);
+      }
+      return std::make_unique<adversary::LateMessageAdversary>(std::move(rules));
+    }
+    case AdversaryKind::kPartition: {
+      // A random proper nonempty subset on one side; the partition heals (the
+      // inadmissible never-healing variant is for the blocking experiments,
+      // not the swarm).
+      std::vector<ProcId> group_a;
+      for (ProcId p = 0; p < config.n; ++p) {
+        if (tape.flip() == 1) group_a.push_back(p);
+      }
+      if (group_a.empty()) group_a.push_back(0);
+      if (group_a.size() == static_cast<size_t>(config.n)) group_a.pop_back();
+      const EventIndex heal = 40 + static_cast<EventIndex>(tape.next_below(120));
+      return std::make_unique<adversary::PartitionAdversary>(std::move(group_a), heal);
+    }
+    case AdversaryKind::kStretch:
+      return std::make_unique<adversary::DelayStretchAdversary>(
+          2 * config.k + static_cast<Tick>(tape.next_below(
+                             static_cast<uint64_t>(4 * config.k))));
+    case AdversaryKind::kAdaptive:
+      return std::make_unique<adversary::QuorumStallAdversary>(
+          config.t, 16 + static_cast<Tick>(tape.next_below(32)), sub_seed);
+    case AdversaryKind::kOmniscient:
+      RCOMMIT_CHECK_MSG(spy != nullptr, "omniscient adversary requires a benor fleet");
+      return std::make_unique<adversary::SplitVoteAdversary>(spy, config.t);
+  }
+  RCOMMIT_CHECK(false);
+}
+
+}  // namespace
+
+CellSetup make_cell_setup(const CellConfig& config) {
+  RCOMMIT_CHECK_MSG(compatible(config.protocol, config.adversary),
+                    "incompatible cell: " << config.id());
+  CellSetup setup;
+  setup.votes = cell_votes(config);
+  std::shared_ptr<adversary::BroadcastSpy> spy;
+  if (config.adversary == AdversaryKind::kOmniscient) {
+    spy = std::make_shared<adversary::BroadcastSpy>();
+  }
+  setup.fleet = make_fleet(config, setup.votes, spy);
+  setup.adversary = make_adversary(config, spy);
+  return setup;
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_replay_fleet(const CellConfig& config) {
+  // Replays ignore the spy: a ReplayAdversary never consults it, and the
+  // observer side channel does not influence the processes themselves.
+  return make_fleet(config, cell_votes(config), nullptr);
+}
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,119 @@
+// The swarm's configuration matrix.
+//
+// A swarm sweep is the cross product
+//   protocol × adversary × n × seed-index
+// where each cell fully determines one simulator run: the fleet, the
+// adversary, the vote vector, and every random tape all derive from the
+// cell's master seed (paper §2.3 — a run is a pure function of (A, I, F)).
+// Enumeration order is fixed and thread-count independent, which is what
+// makes the swarm's aggregate statistics deterministic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/adversary.h"
+#include "sim/process.h"
+
+namespace rcommit::swarm {
+
+/// Which protocol family populates the fleet.
+enum class ProtocolKind {
+  kCommit,  ///< Protocol 2 (the paper's randomized commit protocol)
+  kBenor,   ///< local-coin Ben-Or agreement (baselines/benor.h)
+  kTwoPc,   ///< two-phase commit, presume-abort timeouts
+  kQ3pc,    ///< 3PC + termination protocol (Dwork–Skeen family)
+  kBroken,  ///< deliberately unsound test-only variant (swarm/broken.h);
+            ///< parsed but undocumented — exists to exercise the
+            ///< violation→shrink→artifact pipeline end to end
+};
+
+/// Which scheduling/fault strategy drives the run.
+enum class AdversaryKind {
+  kOnTime,      ///< round-robin, every delay = 1
+  kRandom,      ///< random fair schedule, uniform delays
+  kCrash,       ///< random schedule + up to t crash plans (mid-broadcast too)
+  kLateMsg,     ///< on-time except targeted late messages (paper §1)
+  kPartition,   ///< two groups, intergroup messages withheld until a heal event
+  kStretch,     ///< every message delayed uniformly past K (Theorem 17)
+  kAdaptive,    ///< quorum-stalling biased delivery (hardest admissible)
+  kOmniscient,  ///< Ben-Or split-vote worst case (benor fleets only)
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind p);
+[[nodiscard]] const char* to_string(AdversaryKind a);
+/// Throw CheckFailure on an unknown name.
+[[nodiscard]] ProtocolKind parse_protocol_kind(const std::string& name);
+[[nodiscard]] AdversaryKind parse_adversary_kind(const std::string& name);
+
+/// True when the pair makes sense to run. The omniscient adversary needs the
+/// BroadcastSpy side channel only agreement fleets provide, so it pairs with
+/// kBenor exclusively; every other combination is runnable.
+[[nodiscard]] bool compatible(ProtocolKind protocol, AdversaryKind adversary);
+
+/// True when the paper guarantees safety (agreement + validity) for this
+/// protocol under this adversary, i.e. when an observed violation must gate
+/// the swarm. Protocol 2 and Ben-Or are safe under *any* timing — that is the
+/// paper's whole point — and the broken variant claims the same guarantee (so
+/// its violations are reported). The synchronous baselines (2PC, Q3PC) are
+/// only guaranteed safe when every message is on time and nothing crashes;
+/// under the other adversaries their divergence is the paper's §1 criticism,
+/// which the swarm counts separately instead of failing on.
+[[nodiscard]] bool cell_guarantees_safety(ProtocolKind protocol, AdversaryKind adversary);
+
+/// One fully-determined run.
+struct CellConfig {
+  ProtocolKind protocol = ProtocolKind::kCommit;
+  AdversaryKind adversary = AdversaryKind::kOnTime;
+  int32_t n = 5;
+  int32_t t = 2;
+  Tick k = 2;
+  uint64_t seed = 1;  ///< master seed: fleet votes, tapes, adversary draws
+  int64_t max_events = 200'000;
+
+  /// Key=value serialization for artifacts; round-trips via deserialize.
+  [[nodiscard]] std::string serialize() const;
+  static CellConfig deserialize(const std::string& text);
+
+  /// Stable human-readable id, e.g. "commit-latemsg-n5-s42"; used for
+  /// artifact directory names and log lines.
+  [[nodiscard]] std::string id() const;
+};
+
+/// The sweep specification the CLI flags map onto.
+struct MatrixSpec {
+  std::vector<ProtocolKind> protocols;
+  std::vector<AdversaryKind> adversaries;
+  std::vector<int32_t> ns;
+  int seeds_per_cell = 10;
+  uint64_t base_seed = 1;
+  Tick k = 2;
+  int64_t max_events = 200'000;
+};
+
+/// Expands the spec into concrete cells in a fixed order (protocol-major,
+/// then adversary, n, seed index), skipping incompatible pairs. Each cell's
+/// seed mixes the base seed with its coordinates, so adding a value to one
+/// axis never changes the seeds of existing cells.
+[[nodiscard]] std::vector<CellConfig> enumerate_cells(const MatrixSpec& spec);
+
+/// The deterministic vote/input vector of a cell (derived from its seed).
+[[nodiscard]] std::vector<int> cell_votes(const CellConfig& config);
+
+/// Fleet + adversary for a live (recorded) run. Kept together because the
+/// omniscient adversary and its fleet share a BroadcastSpy.
+struct CellSetup {
+  std::vector<int> votes;
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  std::unique_ptr<sim::Adversary> adversary;
+};
+[[nodiscard]] CellSetup make_cell_setup(const CellConfig& config);
+
+/// Fleet only, for replaying a recorded schedule against the same initial
+/// configuration (the adversary is a ReplayAdversary supplied by the caller).
+[[nodiscard]] std::vector<std::unique_ptr<sim::Process>> make_replay_fleet(
+    const CellConfig& config);
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,96 @@
+#include "swarm/pool.h"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+
+namespace rcommit::swarm {
+
+WorkStealingPool::WorkStealingPool(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+namespace {
+
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<int64_t> jobs;
+};
+
+}  // namespace
+
+std::vector<char> WorkStealingPool::run(
+    int64_t count, const std::function<void(int64_t)>& fn,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  RCOMMIT_CHECK(count >= 0);
+  std::vector<char> executed(static_cast<size_t>(count), 0);
+  if (count == 0) return executed;
+
+  const int workers = static_cast<int>(std::min<int64_t>(threads_, count));
+  std::vector<WorkerQueue> queues(static_cast<size_t>(workers));
+  for (int64_t i = 0; i < count; ++i) {
+    queues[static_cast<size_t>(i % workers)].jobs.push_back(i);
+  }
+
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto worker_main = [&](int self) {
+    for (;;) {
+      if (abort.load(std::memory_order_relaxed)) return;
+      int64_t job = -1;
+      {
+        // Own queue first (back), then sweep the others as a thief (front).
+        auto& own = queues[static_cast<size_t>(self)];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.jobs.empty()) {
+          job = own.jobs.back();
+          own.jobs.pop_back();
+        }
+      }
+      if (job < 0) {
+        for (int offset = 1; offset < workers && job < 0; ++offset) {
+          auto& victim = queues[static_cast<size_t>((self + offset) % workers)];
+          std::lock_guard<std::mutex> lock(victim.mu);
+          if (!victim.jobs.empty()) {
+            job = victim.jobs.front();
+            victim.jobs.pop_front();
+          }
+        }
+      }
+      if (job < 0) return;  // every deque empty — no new jobs ever appear
+
+      if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+        continue;  // budget exhausted: drop this job, keep draining the queues
+      }
+      try {
+        fn(job);
+        executed[static_cast<size_t>(job)] = 1;
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main, w);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return executed;
+}
+
+}  // namespace rcommit::swarm

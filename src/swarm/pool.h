@@ -1,0 +1,42 @@
+// Work-stealing executor for the swarm.
+//
+// Jobs are integer indices into a fixed, pre-enumerated job list (the cell
+// list), dealt round-robin onto per-worker deques. A worker pops from the
+// back of its own deque and steals from the front of a victim's — the
+// classic arrangement that keeps owner and thief on opposite ends. Because
+// the job set is fixed up front, emptiness is monotone and a worker may exit
+// as soon as one full sweep over every deque finds nothing.
+//
+// Determinism note: the pool makes no ordering promises; callers that need
+// thread-count-independent results must write results into per-index slots
+// and aggregate in index order afterwards (which is what swarm.cpp does).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace rcommit::swarm {
+
+class WorkStealingPool {
+ public:
+  /// `threads` >= 1; clamped up to 1.
+  explicit WorkStealingPool(int threads);
+
+  /// Runs fn(i) for i in [0, count). If `deadline` is set, jobs that have
+  /// not started by then are dropped. Returns one flag per job: true iff it
+  /// executed. An exception escaping fn stops the pool and is rethrown on
+  /// the calling thread after all workers join.
+  std::vector<char> run(
+      int64_t count, const std::function<void(int64_t)>& fn,
+      std::optional<std::chrono::steady_clock::time_point> deadline = std::nullopt);
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+}  // namespace rcommit::swarm

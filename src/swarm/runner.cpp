@@ -1,0 +1,150 @@
+#include "swarm/runner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+#include "metrics/counters.h"
+#include "protocol/agreement.h"
+#include "protocol/commit.h"
+#include "protocol/invariants.h"
+#include "sim/ontime.h"
+#include "sim/rounds.h"
+
+namespace rcommit::swarm {
+
+std::string gate_violation(const CellConfig& config, const std::vector<int>& votes,
+                           const sim::RunResult& result) {
+  if (!cell_guarantees_safety(config.protocol, config.adversary)) return "";
+  switch (config.protocol) {
+    case ProtocolKind::kCommit:
+      if (!protocol::agreement_holds(result)) return "agreement violated";
+      if (!protocol::abort_validity_holds(result, votes)) {
+        return "abort validity violated";
+      }
+      if (!protocol::commit_validity_holds(result, votes, config.k)) {
+        return "commit validity violated";
+      }
+      return "";
+    case ProtocolKind::kBenor:
+      if (!protocol::agreement_holds(result)) return "agreement violated";
+      if (!protocol::agreement_validity_holds(result, votes)) {
+        return "agreement validity violated";
+      }
+      return "";
+    case ProtocolKind::kTwoPc:
+    case ProtocolKind::kQ3pc:
+      // Gated only under the on-time adversary (cell_guarantees_safety).
+      if (!protocol::agreement_holds(result)) return "agreement violated";
+      if (!protocol::abort_validity_holds(result, votes)) {
+        return "abort validity violated";
+      }
+      if (!protocol::commit_validity_holds(result, votes, config.k)) {
+        return "commit validity violated";
+      }
+      return "";
+    case ProtocolKind::kBroken:
+      // The broken variant claims (and fails) agreement only; validity noise
+      // would muddy the shrinker tests.
+      if (!protocol::agreement_holds(result)) return "agreement violated";
+      return "";
+  }
+  return "";
+}
+
+namespace {
+
+/// Largest Protocol 1 decision stage over the fleet; 0 when the protocol has
+/// no agreement core (2PC/Q3PC/broken) or nobody reached it.
+int max_decision_stage(const CellConfig& config,
+                       const std::vector<std::unique_ptr<sim::Process>>& fleet) {
+  int max_stage = 0;
+  for (const auto& proc : fleet) {
+    const protocol::AgreementCore* core = nullptr;
+    if (config.protocol == ProtocolKind::kCommit) {
+      core = dynamic_cast<const protocol::CommitProcess&>(*proc).agreement_core();
+    } else if (config.protocol == ProtocolKind::kBenor) {
+      core = &dynamic_cast<const protocol::AgreementProcess&>(*proc).core();
+    }
+    if (core != nullptr) max_stage = std::max(max_stage, core->decision_stage());
+  }
+  return max_stage;
+}
+
+}  // namespace
+
+CellOutcome run_cell(const CellConfig& config) {
+  CellOutcome outcome;
+  outcome.config = config;
+  try {
+    auto setup = make_cell_setup(config);
+    auto recorder =
+        std::make_unique<sim::RecordingAdversary>(std::move(setup.adversary));
+    auto* recorder_ptr = recorder.get();
+    sim::Simulator sim({.seed = config.seed, .max_events = config.max_events},
+                       std::move(setup.fleet), std::move(recorder));
+    sim::RunResult result;
+    try {
+      result = sim.run();
+    } catch (const CheckFailure& failure) {
+      // Thrown mid-run (simulator validation, adversary bookkeeping): the
+      // recorder is still alive inside `sim`, so the partial schedule can be
+      // captured for the artifact.
+      outcome.violation = true;
+      outcome.violation_detail = std::string("CheckFailure: ") + failure.what();
+      outcome.schedule = recorder_ptr->schedule();
+      return outcome;
+    }
+    outcome.status = result.status;
+
+    const auto detail = gate_violation(config, setup.votes, result);
+    if (!detail.empty()) {
+      outcome.violation = true;
+      outcome.violation_detail = detail;
+      outcome.schedule = recorder_ptr->schedule();
+      return outcome;
+    }
+    outcome.expected_divergence = result.has_conflicting_decisions();
+
+    outcome.all_decided = result.all_nonfaulty_decided();
+    outcome.events = result.events;
+    outcome.messages = result.messages_sent;
+    outcome.late_messages = sim::late_message_count(result.trace, config.k);
+    if (outcome.all_decided && !outcome.expected_divergence) {
+      // measure_run calls agreed_decision(), which CHECK-fails on conflicting
+      // decisions; divergent baseline runs skip the round/tick analysis.
+      const auto m = metrics::measure_run(result, config.k);
+      outcome.rounds = m.max_decision_round;
+      outcome.ticks = m.max_decision_clock;
+      outcome.stages = max_decision_stage(config, sim.processes());
+    }
+    return outcome;
+  } catch (const CheckFailure& failure) {
+    // A CheckFailure anywhere in the run — adversary bookkeeping, simulator
+    // validation, or an invariant CHECK such as agreed_decision() — is a
+    // finding to report, never a reason to kill the worker pool.
+    outcome.violation = true;
+    outcome.violation_detail = std::string("CheckFailure: ") + failure.what();
+    return outcome;
+  }
+}
+
+sim::RunResult replay_schedule(const CellConfig& config,
+                               const sim::RecordedSchedule& schedule) {
+  sim::Simulator sim({.seed = config.seed, .max_events = config.max_events},
+                     make_replay_fleet(config),
+                     std::make_unique<sim::ReplayAdversary>(schedule));
+  return sim.run();
+}
+
+bool replay_still_violates(const CellConfig& config,
+                           const sim::RecordedSchedule& schedule) {
+  try {
+    const auto result = replay_schedule(config, schedule);
+    return !gate_violation(config, cell_votes(config), result).empty();
+  } catch (const CheckFailure&) {
+    return false;  // diverged — not a reproduction
+  }
+}
+
+}  // namespace rcommit::swarm

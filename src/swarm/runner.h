@@ -1,0 +1,77 @@
+// One swarm cell, executed and gated.
+//
+// run_cell drives a cell's run through sim::Simulator with the schedule
+// recorded, then gates the finished run on the paper's correctness
+// conditions (protocol/invariants.h). Every CheckFailure raised anywhere in
+// the run — including RunResult::agreed_decision() throwing on conflicting
+// decisions — is converted into a reported violation so one bad run can
+// never tear down the worker pool.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/replay.h"
+#include "sim/simulator.h"
+#include "swarm/matrix.h"
+
+namespace rcommit::swarm {
+
+/// Everything the swarm keeps about one finished cell run.
+struct CellOutcome {
+  CellConfig config;
+  sim::RunStatus status = sim::RunStatus::kEventLimit;
+
+  /// A gated invariant failed (or a CheckFailure escaped the run). The
+  /// recorded schedule below reproduces it.
+  bool violation = false;
+  std::string violation_detail;
+
+  /// A synchronous baseline diverged under an adversary it is not guaranteed
+  /// safe against — the paper's §1 criticism, counted but not gating.
+  bool expected_divergence = false;
+
+  // Measurements of clean runs (violation == false). Round/tick/stage values
+  // are only meaningful when all_decided.
+  bool all_decided = false;
+  int rounds = 0;
+  Tick ticks = 0;
+  int stages = 0;
+  int64_t events = 0;
+  int64_t messages = 0;
+  int64_t late_messages = 0;
+
+  /// The recorded action sequence; populated only on violation (it is the
+  /// shrinker's input and the artifact's payload).
+  sim::RecordedSchedule schedule;
+
+  // Filled in by the swarm driver when the violation is shrunk/archived.
+  sim::RecordedSchedule shrunk_schedule;
+  std::string artifact_path;
+};
+
+/// Runs one cell to completion. Never throws: protocol/invariant failures
+/// come back as outcome.violation.
+[[nodiscard]] CellOutcome run_cell(const CellConfig& config);
+
+/// Checks the gated invariants for this cell against a finished run. Returns
+/// an empty string when everything holds, else a description of the first
+/// violated condition. Non-gating cells (see cell_guarantees_safety) always
+/// return empty.
+[[nodiscard]] std::string gate_violation(const CellConfig& config,
+                                         const std::vector<int>& votes,
+                                         const sim::RunResult& result);
+
+/// Replays a recorded schedule against the cell's initial configuration.
+/// Throws CheckFailure when the replay diverges (an action becomes
+/// inapplicable against the rebuilt fleet).
+[[nodiscard]] sim::RunResult replay_schedule(const CellConfig& config,
+                                             const sim::RecordedSchedule& schedule);
+
+/// True iff replaying `schedule` on this cell still produces a gated
+/// violation (divergence counts as "no"). This is the predicate the shrinker
+/// and the artifact-replay command share.
+[[nodiscard]] bool replay_still_violates(const CellConfig& config,
+                                         const sim::RecordedSchedule& schedule);
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,155 @@
+#include "swarm/shrink.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace rcommit::swarm {
+
+namespace {
+
+sim::RecordedSchedule prefix_of(const sim::RecordedSchedule& schedule, size_t len) {
+  sim::RecordedSchedule out;
+  out.actions.assign(schedule.actions.begin(),
+                     schedule.actions.begin() + static_cast<ptrdiff_t>(len));
+  return out;
+}
+
+sim::RecordedSchedule without_range(const sim::RecordedSchedule& schedule, size_t begin,
+                                    size_t end) {
+  sim::RecordedSchedule out;
+  out.actions.reserve(schedule.actions.size() - (end - begin));
+  out.actions.insert(out.actions.end(), schedule.actions.begin(),
+                     schedule.actions.begin() + static_cast<ptrdiff_t>(begin));
+  out.actions.insert(out.actions.end(),
+                     schedule.actions.begin() + static_cast<ptrdiff_t>(end),
+                     schedule.actions.end());
+  return out;
+}
+
+sim::RecordedSchedule without_deliveries(const sim::RecordedSchedule& schedule,
+                                         size_t begin, size_t end) {
+  sim::RecordedSchedule out = schedule;
+  for (size_t i = begin; i < end; ++i) out.actions[i].deliver.clear();
+  return out;
+}
+
+sim::RecordedSchedule without_proc(const sim::RecordedSchedule& schedule, ProcId proc) {
+  sim::RecordedSchedule out;
+  out.actions.reserve(schedule.actions.size());
+  for (const auto& action : schedule.actions) {
+    if (action.proc != proc) out.actions.push_back(action);
+  }
+  return out;
+}
+
+}  // namespace
+
+sim::RecordedSchedule shrink_schedule(
+    const sim::RecordedSchedule& original,
+    const std::function<CandidateOutcome(const sim::RecordedSchedule&)>& test,
+    const ShrinkOptions& options, ShrinkStats* stats) {
+  int evals = 0;
+  const auto violates = [&](const sim::RecordedSchedule& candidate) {
+    ++evals;
+    return test(candidate) == CandidateOutcome::kViolates;
+  };
+  const auto budget_left = [&] { return evals < options.max_evals; };
+  const auto record_stats = [&](const sim::RecordedSchedule& result) {
+    if (stats != nullptr) {
+      stats->evals = evals;
+      stats->original_actions = original.actions.size();
+      stats->shrunk_actions = result.actions.size();
+    }
+    return result;
+  };
+
+  if (!violates(original)) return record_stats(original);
+
+  // Phase 1 — shortest violating prefix, by bisection. The invariant is that
+  // prefix(hi) is confirmed violating; the oracle need not be monotone for
+  // the result to be a genuine violation, only for it to be the global
+  // minimum prefix.
+  size_t lo = 0;
+  size_t hi = original.actions.size();
+  while (lo < hi && budget_left()) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (violates(prefix_of(original, mid))) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  sim::RecordedSchedule current = prefix_of(original, hi);
+
+  // Phase 2 — delivery stripping. Removing an interior action shifts every
+  // later message id, so the remaining deliver sets reference ids that no
+  // longer line up and the replay diverges. Clearing deliver sets first
+  // (wholesale, then by halving chunks) removes those references wherever the
+  // violation does not actually depend on the deliveries, unlocking phase 3.
+  if (auto candidate = without_deliveries(current, 0, current.actions.size());
+      budget_left() && violates(candidate)) {
+    current = std::move(candidate);
+  } else {
+    for (size_t chunk = std::max<size_t>(current.actions.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (size_t begin = 0; begin < current.actions.size() && budget_left();
+           begin += chunk) {
+        const size_t end = std::min(begin + chunk, current.actions.size());
+        auto stripped = without_deliveries(current, begin, end);
+        if (violates(stripped)) current = std::move(stripped);
+      }
+      if (chunk == 1) break;
+    }
+  }
+
+  // Phase 3 — processor elimination: drop every action of one processor at a
+  // time, heaviest footprint first. Counterexamples usually involve a small
+  // cast; trying the biggest contributors first keeps cheap-but-essential
+  // processors (greedy set-cover) and removes bystanders in one evaluation
+  // each.
+  {
+    std::map<ProcId, size_t> footprint;
+    for (const auto& action : current.actions) ++footprint[action.proc];
+    std::vector<ProcId> procs;
+    procs.reserve(footprint.size());
+    for (const auto& [proc, count] : footprint) procs.push_back(proc);
+    std::sort(procs.begin(), procs.end(), [&](ProcId a, ProcId b) {
+      return footprint[a] != footprint[b] ? footprint[a] > footprint[b] : a < b;
+    });
+    for (const ProcId p : procs) {
+      if (!budget_left()) break;
+      auto candidate = without_proc(current, p);
+      if (candidate.actions.size() < current.actions.size() && violates(candidate)) {
+        current = std::move(candidate);
+      }
+    }
+  }
+
+  // Phase 4 — ddmin: remove chunks at halving granularity until no single
+  // action can be removed (1-minimality) or the budget runs out. Removing an
+  // interior chunk usually shifts message ids and diverges on replay; the
+  // oracle classifies those candidates kInvalid and they are skipped.
+  for (size_t chunk = std::max<size_t>(current.actions.size() / 2, 1); chunk >= 1;
+       chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any && budget_left()) {
+      removed_any = false;
+      for (size_t begin = 0; begin < current.actions.size() && budget_left();) {
+        const size_t end = std::min(begin + chunk, current.actions.size());
+        auto candidate = without_range(current, begin, end);
+        if (violates(candidate)) {
+          current = std::move(candidate);
+          removed_any = true;  // retry the same offset against the new tail
+        } else {
+          begin = end;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  return record_stats(current);
+}
+
+}  // namespace rcommit::swarm

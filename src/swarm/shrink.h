@@ -1,0 +1,49 @@
+// Automatic counterexample shrinking.
+//
+// A swarm-found violation arrives as a raw recorded schedule, often hundreds
+// of actions long, most of them irrelevant. shrink_schedule reduces it to a
+// locally-minimal still-violating schedule by (1) bisecting for the shortest
+// violating prefix — prefixes of a valid schedule are always replayable —
+// (2) clearing deliver sets so later removals cannot dangle message ids,
+// (3) eliminating whole processors, heaviest footprint first, and
+// (4) delta-debugging chunk removal (ddmin) at halving granularity down to
+// single actions. Candidates are judged by a caller-supplied oracle, which
+// for swarm cells is "replay against the rebuilt fleet and re-check the
+// gate" (runner.h); a replay that diverges is simply an invalid candidate,
+// not a reproduction.
+#pragma once
+
+#include <functional>
+
+#include "sim/replay.h"
+
+namespace rcommit::swarm {
+
+/// What replaying one shrink candidate produced.
+enum class CandidateOutcome {
+  kViolates,     ///< the violation still reproduces — candidate acceptable
+  kNoViolation,  ///< clean run — candidate rejected
+  kInvalid,      ///< replay diverged (action inapplicable) — candidate rejected
+};
+
+struct ShrinkOptions {
+  /// Cap on oracle evaluations; shrinking is best-effort within the budget.
+  int max_evals = 4000;
+};
+
+struct ShrinkStats {
+  int evals = 0;
+  size_t original_actions = 0;
+  size_t shrunk_actions = 0;
+};
+
+/// Returns a locally-minimal schedule on which `test` still reports
+/// kViolates. If the original itself does not violate (oracle disagreement),
+/// it is returned unchanged. The result is always a confirmed-violating
+/// schedule except in that degenerate case.
+[[nodiscard]] sim::RecordedSchedule shrink_schedule(
+    const sim::RecordedSchedule& original,
+    const std::function<CandidateOutcome(const sim::RecordedSchedule&)>& test,
+    const ShrinkOptions& options = {}, ShrinkStats* stats = nullptr);
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,81 @@
+// The swarm driver: sweep the matrix, gate every run, shrink every
+// counterexample, aggregate deterministically.
+//
+// Workers (swarm/pool.h) execute cells concurrently; results land in
+// per-cell slots and are folded in cell-enumeration order after the pool
+// drains, so the aggregate section of the summary is byte-identical for any
+// --threads value (the perf section, which contains wall-clock timing, is
+// the only nondeterministic part and lives under its own key).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "swarm/matrix.h"
+#include "swarm/runner.h"
+
+namespace rcommit::swarm {
+
+struct SwarmOptions {
+  MatrixSpec matrix;
+  int threads = 1;
+  /// Wall-clock budget in seconds; 0 = run every cell. When the budget
+  /// expires, remaining cells are skipped (and counted), which makes the
+  /// aggregate depend on timing — use no budget when determinism matters.
+  double budget_seconds = 0;
+  /// Where violation artifacts are written; empty = keep them in memory only.
+  std::string artifacts_dir;
+  bool shrink = true;
+  int shrink_max_evals = 4000;
+};
+
+/// Aggregate over one (protocol, adversary) group, clean decided runs only.
+struct GroupAggregate {
+  ProtocolKind protocol = ProtocolKind::kCommit;
+  AdversaryKind adversary = AdversaryKind::kOnTime;
+  int64_t runs = 0;       ///< executed cells in this group
+  int64_t decided = 0;    ///< runs where every nonfaulty processor decided
+  int64_t censored = 0;   ///< runs stopped by the event budget
+  int64_t violations = 0;
+  int64_t expected_divergence = 0;
+  Samples rounds;    ///< asynchronous rounds to decision (Theorem 10's unit)
+  Samples ticks;     ///< max decide clock
+  Samples stages;    ///< Protocol 1 stages (commit/benor fleets)
+  Samples events;
+  Samples messages;
+};
+
+struct ViolationReport {
+  CellConfig config;
+  std::string detail;
+  size_t original_actions = 0;
+  size_t shrunk_actions = 0;
+  std::string artifact_path;  ///< empty when artifacts_dir was empty
+};
+
+struct SwarmSummary {
+  int64_t cells_total = 0;
+  int64_t runs_executed = 0;
+  int64_t runs_skipped = 0;  ///< dropped by the wall-clock budget
+  int64_t violations = 0;
+  int64_t expected_divergence = 0;
+  std::vector<GroupAggregate> groups;        ///< spec enumeration order
+  std::vector<ViolationReport> violation_reports;
+
+  // Perf (excluded from aggregate_json).
+  int threads = 1;
+  double elapsed_seconds = 0;
+  double runs_per_second = 0;
+
+  /// The deterministic part of the summary: matrix + counts + group stats +
+  /// violation reports. Byte-identical across thread counts (budgetless runs).
+  [[nodiscard]] std::string aggregate_json(const MatrixSpec& spec) const;
+  /// aggregate_json plus the "perf" section.
+  [[nodiscard]] std::string full_json(const MatrixSpec& spec) const;
+};
+
+[[nodiscard]] SwarmSummary run_swarm(const SwarmOptions& options);
+
+}  // namespace rcommit::swarm

@@ -1,0 +1,76 @@
+// Replays every recorded schedule in tests/corpus/ against the current
+// simulator and re-checks the paper's correctness conditions. The corpus
+// holds interesting-but-clean runs (near misses) recorded by tools/corpus_gen;
+// a divergence here means protocol-side behaviour changed since the
+// recording, and a gate failure means a regression slipped in.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "swarm/artifacts.h"
+#include "swarm/matrix.h"
+#include "swarm/runner.h"
+
+namespace rcommit::swarm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> corpus_entries() {
+  std::vector<std::string> dirs;
+  for (const auto& entry : fs::directory_iterator(RCOMMIT_CORPUS_DIR)) {
+    if (entry.is_directory() && fs::exists(entry.path() / "schedule.txt")) {
+      dirs.push_back(entry.path().string());
+    }
+  }
+  std::sort(dirs.begin(), dirs.end());
+  return dirs;
+}
+
+TEST(ReplayCorpus, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_entries().size(), 2u)
+      << "expected recorded schedules under " << RCOMMIT_CORPUS_DIR
+      << "; regenerate with tools/corpus_gen";
+}
+
+TEST(ReplayCorpus, EveryEntryReplaysCleanlyAndPassesTheGate) {
+  for (const auto& dir : corpus_entries()) {
+    SCOPED_TRACE(dir);
+    const auto artifact = load_artifact(dir);
+
+    sim::RunResult result;
+    try {
+      result = replay_schedule(artifact.config, artifact.schedule);
+    } catch (const CheckFailure& failure) {
+      FAIL() << "replay diverged (protocol behaviour changed since the "
+                "recording — regenerate with tools/corpus_gen): "
+             << failure.what();
+    }
+
+    EXPECT_EQ(result.status, sim::RunStatus::kAllDecided);
+    const auto detail =
+        gate_violation(artifact.config, cell_votes(artifact.config), result);
+    EXPECT_TRUE(detail.empty()) << detail;
+  }
+}
+
+TEST(ReplayCorpus, ReplayIsDeterministic) {
+  for (const auto& dir : corpus_entries()) {
+    SCOPED_TRACE(dir);
+    const auto artifact = load_artifact(dir);
+    const auto first = replay_schedule(artifact.config, artifact.schedule);
+    const auto second = replay_schedule(artifact.config, artifact.schedule);
+    ASSERT_EQ(first.decisions.size(), second.decisions.size());
+    for (size_t i = 0; i < first.decisions.size(); ++i) {
+      EXPECT_EQ(first.decisions[i], second.decisions[i]);
+    }
+    EXPECT_EQ(first.events, second.events);
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::swarm

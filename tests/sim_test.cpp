@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
 #include "adversary/basic.h"
 #include "adversary/crash.h"
@@ -143,6 +144,40 @@ TEST(Simulator, AgreedDecisionThrowsOnConflict) {
   result.crashed = {false, false};
   EXPECT_TRUE(result.has_conflicting_decisions());
   EXPECT_THROW(result.agreed_decision(), CheckFailure);
+}
+
+/// Decides by identity: processor 0 commits, everyone else aborts. Used to
+/// produce a *real* conflicting run (not a hand-built RunResult).
+class DisagreeProcess final : public Process {
+ public:
+  void on_step(StepContext& ctx, std::span<const Envelope> delivered) override {
+    (void)delivered;
+    decision_ = ctx.self() == 0 ? Decision::kCommit : Decision::kAbort;
+  }
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+ private:
+  std::optional<Decision> decision_;
+};
+
+TEST(Simulator, ConflictingRunCompletesAndReportsConflict) {
+  // The simulator itself must not police agreement: a broken protocol's run
+  // completes normally, the conflict is visible via has_conflicting_decisions,
+  // and only agreed_decision() refuses. Callers that aggregate decisions
+  // (swarm workers, metrics) rely on this split to turn conflicts into
+  // reported violations instead of crashes.
+  std::vector<std::unique_ptr<Process>> fleet;
+  for (int i = 0; i < 3; ++i) fleet.push_back(std::make_unique<DisagreeProcess>());
+  Simulator sim({.seed = 1, .max_events = 100}, std::move(fleet),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  EXPECT_EQ(result.status, RunStatus::kAllDecided);
+  EXPECT_TRUE(result.has_conflicting_decisions());
+  EXPECT_THROW(result.agreed_decision(), CheckFailure);
+  EXPECT_EQ(result.decisions[0], Decision::kCommit);
+  EXPECT_EQ(result.decisions[1], Decision::kAbort);
 }
 
 TEST(Simulator, TraceRecordsMessageLifecycles) {

@@ -1,0 +1,192 @@
+// Tests for automatic schedule shrinking: synthetic oracles with a known
+// minimal core, invalid-candidate handling, and the end-to-end pipeline on
+// the deliberately-broken protocol (ISSUE acceptance: shrunken
+// counterexample ≤ 25% of the recorded schedule).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/check.h"
+#include "swarm/artifacts.h"
+#include "swarm/matrix.h"
+#include "swarm/runner.h"
+#include "swarm/shrink.h"
+#include "swarm/swarm.h"
+
+namespace rcommit::swarm {
+namespace {
+
+sim::RecordedSchedule round_robin_schedule(int n, int steps_each) {
+  sim::RecordedSchedule schedule;
+  for (int s = 0; s < steps_each; ++s) {
+    for (int p = 0; p < n; ++p) {
+      sim::Action action;
+      action.proc = p;
+      schedule.actions.push_back(action);
+    }
+  }
+  return schedule;
+}
+
+TEST(Shrink, AlwaysViolatingOracleShrinksToOneAction) {
+  const auto original = round_robin_schedule(/*n=*/5, /*steps_each=*/40);
+  ShrinkStats stats;
+  const auto shrunk = shrink_schedule(
+      original,
+      [](const sim::RecordedSchedule& candidate) {
+        return candidate.actions.empty() ? CandidateOutcome::kNoViolation
+                                         : CandidateOutcome::kViolates;
+      },
+      {}, &stats);
+  // Everything is removable except one action: the minimum a non-empty
+  // schedule can be.
+  EXPECT_EQ(shrunk.actions.size(), 1u);
+  EXPECT_EQ(stats.original_actions, 200u);
+  EXPECT_EQ(stats.shrunk_actions, 1u);
+  EXPECT_GT(stats.evals, 0);
+}
+
+TEST(Shrink, FindsKnownMinimalCore) {
+  // The violation needs >= 3 actions of processor 2 and >= 1 of processor 4.
+  const auto original = round_robin_schedule(/*n=*/6, /*steps_each=*/30);
+  const auto oracle = [](const sim::RecordedSchedule& candidate) {
+    int p2 = 0;
+    int p4 = 0;
+    for (const auto& action : candidate.actions) {
+      if (action.proc == 2) ++p2;
+      if (action.proc == 4) ++p4;
+    }
+    return (p2 >= 3 && p4 >= 1) ? CandidateOutcome::kViolates
+                                : CandidateOutcome::kNoViolation;
+  };
+  const auto shrunk = shrink_schedule(original, oracle);
+  EXPECT_EQ(shrunk.actions.size(), 4u);
+  EXPECT_EQ(oracle(shrunk), CandidateOutcome::kViolates);
+}
+
+TEST(Shrink, ShrunkScheduleIsOneMinimal) {
+  const auto original = round_robin_schedule(/*n=*/4, /*steps_each=*/25);
+  const auto oracle = [](const sim::RecordedSchedule& candidate) {
+    int p1 = 0;
+    for (const auto& action : candidate.actions) {
+      if (action.proc == 1) ++p1;
+    }
+    return p1 >= 5 ? CandidateOutcome::kViolates : CandidateOutcome::kNoViolation;
+  };
+  const auto shrunk = shrink_schedule(original, oracle);
+  ASSERT_EQ(oracle(shrunk), CandidateOutcome::kViolates);
+  // Removing any single action must break the violation (local minimality).
+  for (size_t i = 0; i < shrunk.actions.size(); ++i) {
+    sim::RecordedSchedule candidate;
+    for (size_t j = 0; j < shrunk.actions.size(); ++j) {
+      if (j != i) candidate.actions.push_back(shrunk.actions[j]);
+    }
+    EXPECT_NE(oracle(candidate), CandidateOutcome::kViolates);
+  }
+}
+
+TEST(Shrink, InvalidCandidatesAreSkippedNotAccepted) {
+  // Any candidate that does not start with processor 0's action is
+  // "divergent". The shrinker must never return an invalid schedule.
+  const auto original = round_robin_schedule(/*n=*/3, /*steps_each=*/10);
+  const auto oracle = [](const sim::RecordedSchedule& candidate) {
+    if (candidate.actions.empty() || candidate.actions[0].proc != 0) {
+      return CandidateOutcome::kInvalid;
+    }
+    return CandidateOutcome::kViolates;
+  };
+  const auto shrunk = shrink_schedule(original, oracle);
+  EXPECT_EQ(oracle(shrunk), CandidateOutcome::kViolates);
+  EXPECT_LT(shrunk.actions.size(), original.actions.size());
+}
+
+TEST(Shrink, NonViolatingOriginalIsReturnedUnchanged) {
+  const auto original = round_robin_schedule(/*n=*/3, /*steps_each=*/5);
+  ShrinkStats stats;
+  const auto shrunk = shrink_schedule(
+      original,
+      [](const sim::RecordedSchedule&) { return CandidateOutcome::kNoViolation; }, {},
+      &stats);
+  EXPECT_EQ(shrunk.actions.size(), original.actions.size());
+  EXPECT_EQ(stats.evals, 1);
+}
+
+TEST(Shrink, RespectsEvalBudget) {
+  const auto original = round_robin_schedule(/*n=*/8, /*steps_each=*/50);
+  ShrinkStats stats;
+  ShrinkOptions options;
+  options.max_evals = 10;
+  (void)shrink_schedule(
+      original,
+      [](const sim::RecordedSchedule& candidate) {
+        return candidate.actions.empty() ? CandidateOutcome::kNoViolation
+                                         : CandidateOutcome::kViolates;
+      },
+      options, &stats);
+  EXPECT_LE(stats.evals, options.max_evals + 1);
+}
+
+// --- end to end: broken protocol through the real pipeline ------------------
+
+TEST(ShrinkEndToEnd, BrokenProtocolShrinksToQuarterOrLess) {
+  SwarmOptions options;
+  options.matrix.protocols = {ProtocolKind::kBroken};
+  options.matrix.adversaries = {AdversaryKind::kRandom};
+  options.matrix.ns = {5, 7};
+  options.matrix.seeds_per_cell = 2;
+  options.artifacts_dir =
+      (std::filesystem::path(testing::TempDir()) / "swarm-shrink-e2e").string();
+
+  const auto summary = run_swarm(options);
+  ASSERT_EQ(summary.violations, summary.runs_executed);
+  ASSERT_FALSE(summary.violation_reports.empty());
+
+  for (const auto& report : summary.violation_reports) {
+    EXPECT_GT(report.original_actions, 0u);
+    // ISSUE acceptance: shrunken counterexample ≤ 25% of the recording.
+    EXPECT_LE(report.shrunk_actions * 4, report.original_actions)
+        << report.config.id() << ": " << report.original_actions << " -> "
+        << report.shrunk_actions;
+
+    // The artifact round-trips and its shrunken schedule still reproduces
+    // the violation on replay.
+    ASSERT_FALSE(report.artifact_path.empty());
+    const auto artifact = load_artifact(report.artifact_path);
+    EXPECT_EQ(artifact.config.id(), report.config.id());
+    EXPECT_EQ(artifact.schedule.actions.size(), report.shrunk_actions);
+    EXPECT_EQ(artifact.original_schedule.actions.size(), report.original_actions);
+    EXPECT_TRUE(replay_still_violates(artifact.config, artifact.schedule));
+  }
+}
+
+TEST(ShrinkEndToEnd, ShrunkCounterexampleIsStillViolatingAfterReplayRoundTrip) {
+  CellConfig config;
+  config.protocol = ProtocolKind::kBroken;
+  config.adversary = AdversaryKind::kRandom;
+  config.n = 5;
+  config.t = 2;
+  config.seed = 99;
+  const auto outcome = run_cell(config);
+  ASSERT_TRUE(outcome.violation);
+
+  const auto oracle = [&](const sim::RecordedSchedule& candidate) {
+    try {
+      const auto result = replay_schedule(config, candidate);
+      return gate_violation(config, cell_votes(config), result).empty()
+                 ? CandidateOutcome::kNoViolation
+                 : CandidateOutcome::kViolates;
+    } catch (const CheckFailure&) {
+      return CandidateOutcome::kInvalid;
+    }
+  };
+  const auto shrunk = shrink_schedule(outcome.schedule, oracle);
+
+  // Serialize → deserialize → replay: the text form preserves the violation.
+  const auto reloaded = sim::RecordedSchedule::deserialize(shrunk.serialize());
+  EXPECT_TRUE(replay_still_violates(config, reloaded));
+  EXPECT_LE(shrunk.actions.size() * 4, outcome.schedule.actions.size());
+}
+
+}  // namespace
+}  // namespace rcommit::swarm

@@ -1,0 +1,298 @@
+// Tests for the simulation-swarm harness: matrix enumeration, the
+// work-stealing pool, invariant gating over the full protocol × adversary
+// matrix, and thread-count-independent aggregation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/check.h"
+#include "swarm/matrix.h"
+#include "swarm/pool.h"
+#include "swarm/runner.h"
+#include "swarm/swarm.h"
+
+namespace rcommit::swarm {
+namespace {
+
+// --- matrix -----------------------------------------------------------------
+
+TEST(Matrix, KindNamesRoundTrip) {
+  for (const auto p : {ProtocolKind::kCommit, ProtocolKind::kBenor,
+                       ProtocolKind::kTwoPc, ProtocolKind::kQ3pc,
+                       ProtocolKind::kBroken}) {
+    EXPECT_EQ(parse_protocol_kind(to_string(p)), p);
+  }
+  for (const auto a :
+       {AdversaryKind::kOnTime, AdversaryKind::kRandom, AdversaryKind::kCrash,
+        AdversaryKind::kLateMsg, AdversaryKind::kPartition, AdversaryKind::kStretch,
+        AdversaryKind::kAdaptive, AdversaryKind::kOmniscient}) {
+    EXPECT_EQ(parse_adversary_kind(to_string(a)), a);
+  }
+  EXPECT_THROW((void)parse_protocol_kind("nonesuch"), CheckFailure);
+  EXPECT_THROW((void)parse_adversary_kind("nonesuch"), CheckFailure);
+}
+
+TEST(Matrix, OmniscientPairsOnlyWithBenor) {
+  EXPECT_TRUE(compatible(ProtocolKind::kBenor, AdversaryKind::kOmniscient));
+  EXPECT_FALSE(compatible(ProtocolKind::kCommit, AdversaryKind::kOmniscient));
+  EXPECT_FALSE(compatible(ProtocolKind::kTwoPc, AdversaryKind::kOmniscient));
+  EXPECT_TRUE(compatible(ProtocolKind::kCommit, AdversaryKind::kAdaptive));
+}
+
+TEST(Matrix, SafetyGateFollowsThePaper) {
+  // Protocol 2 and Ben-Or gate under every adversary (the paper's claim);
+  // the synchronous baselines gate only when every message is on time.
+  for (const auto a :
+       {AdversaryKind::kOnTime, AdversaryKind::kRandom, AdversaryKind::kCrash,
+        AdversaryKind::kLateMsg, AdversaryKind::kPartition, AdversaryKind::kStretch,
+        AdversaryKind::kAdaptive}) {
+    EXPECT_TRUE(cell_guarantees_safety(ProtocolKind::kCommit, a));
+    EXPECT_TRUE(cell_guarantees_safety(ProtocolKind::kBroken, a));
+  }
+  EXPECT_TRUE(cell_guarantees_safety(ProtocolKind::kBenor, AdversaryKind::kOmniscient));
+  EXPECT_TRUE(cell_guarantees_safety(ProtocolKind::kTwoPc, AdversaryKind::kOnTime));
+  EXPECT_FALSE(cell_guarantees_safety(ProtocolKind::kTwoPc, AdversaryKind::kLateMsg));
+  EXPECT_FALSE(cell_guarantees_safety(ProtocolKind::kQ3pc, AdversaryKind::kPartition));
+}
+
+TEST(Matrix, CellConfigSerializeRoundTrips) {
+  CellConfig config;
+  config.protocol = ProtocolKind::kQ3pc;
+  config.adversary = AdversaryKind::kPartition;
+  config.n = 7;
+  config.t = 3;
+  config.k = 4;
+  config.seed = 0xdeadbeefcafeULL;
+  config.max_events = 12345;
+  const auto back = CellConfig::deserialize(config.serialize());
+  EXPECT_EQ(back.protocol, config.protocol);
+  EXPECT_EQ(back.adversary, config.adversary);
+  EXPECT_EQ(back.n, config.n);
+  EXPECT_EQ(back.t, config.t);
+  EXPECT_EQ(back.k, config.k);
+  EXPECT_EQ(back.seed, config.seed);
+  EXPECT_EQ(back.max_events, config.max_events);
+}
+
+TEST(Matrix, EnumerationSkipsIncompatibleCells) {
+  MatrixSpec spec;
+  spec.protocols = {ProtocolKind::kCommit, ProtocolKind::kBenor};
+  spec.adversaries = {AdversaryKind::kOnTime, AdversaryKind::kOmniscient};
+  spec.ns = {3};
+  spec.seeds_per_cell = 1;
+  const auto cells = enumerate_cells(spec);
+  // commit×ontime, benor×ontime, benor×omniscient — commit×omniscient skipped.
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& cell : cells) {
+    EXPECT_TRUE(compatible(cell.protocol, cell.adversary));
+  }
+}
+
+TEST(Matrix, ExtendingOneAxisPreservesExistingSeeds) {
+  MatrixSpec spec;
+  spec.protocols = {ProtocolKind::kCommit};
+  spec.adversaries = {AdversaryKind::kRandom};
+  spec.ns = {3, 5};
+  spec.seeds_per_cell = 2;
+  const auto before = enumerate_cells(spec);
+
+  spec.ns.push_back(7);
+  spec.seeds_per_cell = 4;
+  const auto after = enumerate_cells(spec);
+
+  for (const auto& old_cell : before) {
+    const auto match = std::find_if(after.begin(), after.end(), [&](const auto& c) {
+      return c.n == old_cell.n && c.seed == old_cell.seed;
+    });
+    EXPECT_NE(match, after.end())
+        << "cell " << old_cell.id() << " lost its seed after extending the matrix";
+  }
+}
+
+TEST(Matrix, CellSeedsAreDistinct) {
+  MatrixSpec spec;
+  spec.protocols = {ProtocolKind::kCommit, ProtocolKind::kBenor, ProtocolKind::kTwoPc};
+  spec.adversaries = {AdversaryKind::kOnTime, AdversaryKind::kRandom,
+                      AdversaryKind::kCrash};
+  spec.ns = {3, 5, 7};
+  spec.seeds_per_cell = 5;
+  const auto cells = enumerate_cells(spec);
+  std::set<uint64_t> seeds;
+  for (const auto& cell : cells) seeds.insert(cell.seed);
+  EXPECT_EQ(seeds.size(), cells.size());
+}
+
+TEST(Matrix, VotesAreDeterministicAndWellFormed) {
+  CellConfig config;
+  config.n = 9;
+  config.seed = 77;
+  const auto a = cell_votes(config);
+  const auto b = cell_votes(config);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 9u);
+  for (const int v : a) EXPECT_TRUE(v == 0 || v == 1);
+}
+
+// --- pool -------------------------------------------------------------------
+
+TEST(Pool, ExecutesEveryJobExactlyOnce) {
+  WorkStealingPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  const auto executed = pool.run(100, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  ASSERT_EQ(executed.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(executed[static_cast<size_t>(i)]);
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1);
+  }
+}
+
+TEST(Pool, SingleThreadRunsInline) {
+  WorkStealingPool pool(1);
+  int64_t sum = 0;  // no synchronization needed: inline execution
+  const auto executed = pool.run(10, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+  EXPECT_TRUE(std::all_of(executed.begin(), executed.end(), [](char c) { return c; }));
+}
+
+TEST(Pool, ExpiredDeadlineDropsAllJobs) {
+  WorkStealingPool pool(4);
+  std::atomic<int> ran{0};
+  const auto executed = pool.run(
+      50, [&](int64_t) { ++ran; },
+      std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_TRUE(std::none_of(executed.begin(), executed.end(), [](char c) { return c; }));
+}
+
+TEST(Pool, EightThreadsGiveAtLeastFourTimesThroughputOnBlockingJobs) {
+  // The ISSUE's scaling target, measured with blocking jobs so the result
+  // holds on any machine (including single-core CI runners, where CPU-bound
+  // wall-clock scaling is physically impossible to observe). 16 × 20 ms jobs:
+  // serial floor is 320 ms; 8 workers need only two 20 ms waves.
+  const auto job = [](int64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  const auto timed = [&](int threads) {
+    WorkStealingPool pool(threads);
+    const auto start = std::chrono::steady_clock::now();
+    (void)pool.run(16, job);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const double serial = timed(1);
+  const double parallel = timed(8);
+  EXPECT_GE(serial / parallel, 4.0)
+      << "serial " << serial << "s vs 8-thread " << parallel << "s";
+}
+
+TEST(Pool, ExceptionPropagatesToCaller) {
+  WorkStealingPool pool(4);
+  EXPECT_THROW(pool.run(20,
+                        [&](int64_t i) {
+                          if (i == 7) RCOMMIT_CHECK_MSG(false, "job 7 exploded");
+                        }),
+               CheckFailure);
+}
+
+// --- swarm: full-matrix safety sweep ---------------------------------------
+
+MatrixSpec small_full_matrix() {
+  MatrixSpec spec;
+  spec.protocols = {ProtocolKind::kCommit, ProtocolKind::kBenor, ProtocolKind::kTwoPc,
+                    ProtocolKind::kQ3pc};
+  spec.adversaries = {AdversaryKind::kOnTime,    AdversaryKind::kRandom,
+                      AdversaryKind::kCrash,     AdversaryKind::kLateMsg,
+                      AdversaryKind::kPartition, AdversaryKind::kStretch,
+                      AdversaryKind::kAdaptive,  AdversaryKind::kOmniscient};
+  spec.ns = {3, 5};
+  spec.seeds_per_cell = 3;
+  spec.base_seed = 20260806;
+  return spec;
+}
+
+TEST(Swarm, FullMatrixHasZeroInvariantViolations) {
+  SwarmOptions options;
+  options.matrix = small_full_matrix();
+  options.threads = 4;
+  const auto summary = run_swarm(options);
+
+  EXPECT_GT(summary.runs_executed, 0);
+  EXPECT_EQ(summary.runs_executed, summary.cells_total);
+  EXPECT_EQ(summary.violations, 0)
+      << "first violation: "
+      << (summary.violation_reports.empty() ? "?"
+                                            : summary.violation_reports[0].config.id() +
+                                                  ": " +
+                                                  summary.violation_reports[0].detail);
+  // Every (protocol, adversary) group in the sweep actually ran.
+  for (const auto& group : summary.groups) {
+    EXPECT_GT(group.runs, 0) << to_string(group.protocol) << "×"
+                             << to_string(group.adversary);
+  }
+}
+
+TEST(Swarm, AggregateJsonIsByteIdenticalAcrossThreadCounts) {
+  SwarmOptions options;
+  options.matrix = small_full_matrix();
+  options.matrix.seeds_per_cell = 2;
+
+  options.threads = 1;
+  const auto single = run_swarm(options);
+  options.threads = 8;
+  const auto parallel = run_swarm(options);
+
+  EXPECT_EQ(single.aggregate_json(options.matrix),
+            parallel.aggregate_json(options.matrix));
+}
+
+TEST(Swarm, ExpectedDivergenceIsCountedNotGated) {
+  // 2PC under the stretch adversary (every message later than K) is the
+  // paper's §1 failure scenario: it may diverge, but that must be counted as
+  // expected divergence, never as a gating violation.
+  SwarmOptions options;
+  options.matrix.protocols = {ProtocolKind::kTwoPc};
+  options.matrix.adversaries = {AdversaryKind::kStretch, AdversaryKind::kLateMsg};
+  options.matrix.ns = {3, 5};
+  options.matrix.seeds_per_cell = 5;
+  const auto summary = run_swarm(options);
+  EXPECT_EQ(summary.violations, 0);
+}
+
+TEST(Swarm, RunCellProducesMeasurementsOnCleanRuns) {
+  CellConfig config;
+  config.protocol = ProtocolKind::kCommit;
+  config.adversary = AdversaryKind::kOnTime;
+  config.n = 5;
+  config.t = 2;
+  config.seed = 42;
+  const auto outcome = run_cell(config);
+  EXPECT_FALSE(outcome.violation) << outcome.violation_detail;
+  EXPECT_TRUE(outcome.all_decided);
+  EXPECT_GT(outcome.rounds, 0);
+  EXPECT_GT(outcome.ticks, 0);
+  EXPECT_GT(outcome.messages, 0);
+}
+
+TEST(Swarm, ConflictingDecisionsBecomeReportedViolationNotCrash) {
+  // The broken fleet decides COMMIT on one processor and ABORT on another;
+  // RunResult::agreed_decision() throws CheckFailure on that conflict. The
+  // worker must convert it into a reported violation so the pool survives.
+  CellConfig config;
+  config.protocol = ProtocolKind::kBroken;
+  config.adversary = AdversaryKind::kRandom;
+  config.n = 5;
+  config.t = 2;
+  config.seed = 7;
+  const auto outcome = run_cell(config);  // must not throw
+  EXPECT_TRUE(outcome.violation);
+  EXPECT_FALSE(outcome.violation_detail.empty());
+  EXPECT_FALSE(outcome.schedule.actions.empty());
+  EXPECT_TRUE(replay_still_violates(config, outcome.schedule));
+}
+
+}  // namespace
+}  // namespace rcommit::swarm

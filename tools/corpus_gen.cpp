@@ -1,0 +1,118 @@
+// Regenerates the recorded-schedule regression corpus under tests/corpus/.
+//
+//   $ corpus_gen --out=tests/corpus
+//
+// Each entry is an artifact directory (swarm/artifacts.h format) holding a
+// recorded schedule of an *interesting but clean* run — a near-miss the
+// replay_corpus_test re-executes and re-gates on every CI run. Entries are
+// deterministic: regenerating over an unchanged simulator is a no-op diff.
+// Shrunken counterexamples from future swarm failures belong in the same
+// directory once fixed (as regression locks), which is why the format is
+// shared with the swarm's artifact writer.
+#include <iostream>
+#include <memory>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "adversary/partition.h"
+#include "common/flags.h"
+#include "sim/replay.h"
+#include "sim/simulator.h"
+#include "swarm/artifacts.h"
+#include "swarm/matrix.h"
+#include "swarm/runner.h"
+
+namespace {
+
+using namespace rcommit;
+
+/// Runs `adversary` against the cell's replay fleet, records the schedule,
+/// verifies the run is clean, and writes the corpus entry.
+void generate(const std::string& out_root, const std::string& name,
+              const swarm::CellConfig& config,
+              std::unique_ptr<sim::Adversary> adversary) {
+  auto recorder = std::make_unique<sim::RecordingAdversary>(std::move(adversary));
+  auto* recorder_ptr = recorder.get();
+  sim::Simulator sim({.seed = config.seed, .max_events = config.max_events},
+                     swarm::make_replay_fleet(config), std::move(recorder));
+  const auto result = sim.run();
+
+  const auto detail =
+      swarm::gate_violation(config, swarm::cell_votes(config), result);
+  RCOMMIT_CHECK_MSG(detail.empty(),
+                    "corpus entry " << name << " violates invariants: " << detail);
+  RCOMMIT_CHECK_MSG(result.status == sim::RunStatus::kAllDecided,
+                    "corpus entry " << name << " did not decide");
+
+  swarm::Artifact artifact;
+  artifact.config = config;
+  artifact.violation = "none — near-miss corpus entry (" + name + ")";
+  artifact.schedule = recorder_ptr->schedule();
+  const auto dir = swarm::write_artifact(out_root, artifact, name);
+  std::cout << dir << ": " << artifact.schedule.actions.size() << " actions\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = Flags::parse(argc, argv);
+  const auto out = flags.get_string("out", "tests/corpus");
+
+  // 1. Late-message near miss: a commit fleet where one GO and one vote
+  //    message arrive a single tick inside the on-time bound. One more tick
+  //    of delay would make them late (the paper's §1 scenario); the protocol
+  //    must shrug either way.
+  {
+    swarm::CellConfig config;
+    config.protocol = swarm::ProtocolKind::kCommit;
+    config.adversary = swarm::AdversaryKind::kLateMsg;
+    config.n = 5;
+    config.t = 2;
+    config.k = 3;
+    config.seed = 1001;
+    std::vector<adversary::LateRule> rules;
+    rules.push_back({.from = 0, .to = 3, .nth = 0, .extra_delay = config.k - 1});
+    rules.push_back({.from = 2, .to = 1, .nth = 1, .extra_delay = config.k - 1});
+    generate(out, "latemsg_nearmiss", config,
+             std::make_unique<adversary::LateMessageAdversary>(std::move(rules)));
+  }
+
+  // 2. Healing partition: {0,1} cut off from {2,3,4} for the first 60
+  //    events, then full connectivity. Protocol 2 must still agree and
+  //    terminate once the guaranteed messages flow.
+  {
+    swarm::CellConfig config;
+    config.protocol = swarm::ProtocolKind::kCommit;
+    config.adversary = swarm::AdversaryKind::kPartition;
+    config.n = 5;
+    config.t = 2;
+    config.k = 2;
+    config.seed = 1002;
+    generate(out, "partition_heal", config,
+             std::make_unique<adversary::PartitionAdversary>(
+                 std::vector<ProcId>{0, 1}, /*heal_at_event=*/60));
+  }
+
+  // 3. Mid-broadcast crashes: two victims die part-way through a broadcast
+  //    (sends to some destinations suppressed) — the "guaranteed message"
+  //    machinery's hardest shape.
+  {
+    swarm::CellConfig config;
+    config.protocol = swarm::ProtocolKind::kCommit;
+    config.adversary = swarm::AdversaryKind::kCrash;
+    config.n = 7;
+    config.t = 3;
+    config.k = 2;
+    config.seed = 1003;
+    std::vector<adversary::CrashPlan> plans;
+    plans.push_back({.victim = 2, .at_clock = 4, .suppress_sends_to = {0, 5}});
+    plans.push_back({.victim = 5, .at_clock = 7, .suppress_sends_to = {1, 3, 6}});
+    generate(out, "crash_midbroadcast", config,
+             std::make_unique<adversary::CrashAdversary>(
+                 adversary::make_random_adversary(config.seed + 1, 2),
+                 std::move(plans)));
+  }
+
+  return 0;
+}

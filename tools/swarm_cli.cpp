@@ -1,0 +1,155 @@
+// Swarm driver CLI: sweep a protocol × adversary × n × seed matrix across a
+// work-stealing thread pool, gate every run on the paper's correctness
+// conditions, shrink and archive any counterexample, and print a JSON
+// summary.
+//
+//   $ swarm_cli --protocols=commit,benor --adversaries=crash,latemsg
+//               --n=3,5,7 --seeds=25 --threads=8 --artifacts=swarm-artifacts
+//
+// Matrix flags:
+//   --protocols    comma list: commit | benor | twopc | q3pc    (default all 4)
+//   --adversaries  comma list: ontime | random | crash | latemsg | partition
+//                  | stretch | adaptive | omniscient            (default all)
+//   --n            comma list of fleet sizes                    (default 3,5,7)
+//   --seeds        seeds per cell                               (default 10)
+//   --seed0        base seed the cell seeds derive from         (default 1)
+//   --k            on-time bound K in ticks                     (default 2)
+//   --max-events   per-run event budget                         (default 200000)
+// Execution flags:
+//   --threads      worker threads                               (default 1)
+//   --budget       wall-clock seconds; 0 = run everything       (default 0)
+//                  (skipped cells make the aggregate timing-dependent)
+//   --artifacts    directory for counterexample artifacts       (default
+//                  swarm-artifacts; empty string disables)
+//   --no-shrink    keep raw counterexample schedules
+//   --shrink-evals max replay evaluations per shrink            (default 4000)
+// Output flags:
+//   --json         summary destination: a path, or - for stdout (default -)
+//   --aggregate-only  emit only the deterministic aggregate section (no perf
+//                  timing) — byte-identical across --threads values
+// Replay mode:
+//   --replay=DIR   replay an artifact directory instead of sweeping; exit 0
+//                  iff the recorded violation reproduces
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "swarm/artifacts.h"
+#include "swarm/runner.h"
+#include "swarm/swarm.h"
+
+namespace {
+
+using namespace rcommit;
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int replay_artifact(const std::string& dir) {
+  const auto artifact = swarm::load_artifact(dir);
+  std::cerr << "replaying " << artifact.config.id() << " ("
+            << artifact.schedule.actions.size() << " actions)";
+  if (!artifact.violation.empty()) {
+    std::cerr << ", recorded violation: " << artifact.violation;
+  }
+  std::cerr << "\n";
+
+  try {
+    const auto result =
+        swarm::replay_schedule(artifact.config, artifact.schedule);
+    const auto detail = swarm::gate_violation(
+        artifact.config, swarm::cell_votes(artifact.config), result);
+    if (!detail.empty()) {
+      std::cout << "violation reproduced: " << detail << "\n";
+      return 0;
+    }
+    std::cout << "no violation on replay\n";
+    return 2;
+  } catch (const CheckFailure& failure) {
+    std::cout << "replay diverged: " << failure.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const auto flags = Flags::parse(argc, argv);
+
+  if (flags.has("replay")) {
+    return replay_artifact(flags.get_string("replay", ""));
+  }
+
+  swarm::SwarmOptions options;
+  for (const auto& name :
+       split_list(flags.get_string("protocols", "commit,benor,twopc,q3pc"))) {
+    options.matrix.protocols.push_back(swarm::parse_protocol_kind(name));
+  }
+  for (const auto& name : split_list(flags.get_string(
+           "adversaries",
+           "ontime,random,crash,latemsg,partition,stretch,adaptive,omniscient"))) {
+    options.matrix.adversaries.push_back(swarm::parse_adversary_kind(name));
+  }
+  for (const auto& n : split_list(flags.get_string("n", "3,5,7"))) {
+    options.matrix.ns.push_back(static_cast<int32_t>(std::stol(n)));
+  }
+  options.matrix.seeds_per_cell = static_cast<int>(flags.get_int("seeds", 10));
+  options.matrix.base_seed = static_cast<uint64_t>(flags.get_int("seed0", 1));
+  options.matrix.k = flags.get_int("k", 2);
+  options.matrix.max_events = flags.get_int("max-events", 200'000);
+
+  options.threads = static_cast<int>(flags.get_int("threads", 1));
+  options.budget_seconds = flags.get_double("budget", 0);
+  options.artifacts_dir = flags.get_string("artifacts", "swarm-artifacts");
+  options.shrink = !flags.get_bool("no-shrink", false);
+  options.shrink_max_evals = static_cast<int>(flags.get_int("shrink-evals", 4000));
+
+  const auto json_dest = flags.get_string("json", "-");
+  const bool aggregate_only = flags.get_bool("aggregate-only", false);
+
+  for (const auto& unknown : flags.unused()) {
+    std::cerr << "warning: unknown flag --" << unknown << "\n";
+  }
+
+  const auto summary = swarm::run_swarm(options);
+
+  std::cerr << "swarm: " << summary.runs_executed << "/" << summary.cells_total
+            << " runs on " << summary.threads << " thread(s) in "
+            << summary.elapsed_seconds << "s (" << summary.runs_per_second
+            << " runs/s), " << summary.violations << " violation(s), "
+            << summary.expected_divergence
+            << " expected baseline divergence(s)\n";
+  for (const auto& report : summary.violation_reports) {
+    std::cerr << "  VIOLATION " << report.config.id() << ": " << report.detail
+              << " — shrunk " << report.original_actions << " -> "
+              << report.shrunk_actions << " actions";
+    if (!report.artifact_path.empty()) std::cerr << " @ " << report.artifact_path;
+    std::cerr << "\n";
+  }
+
+  const auto json = aggregate_only ? summary.aggregate_json(options.matrix)
+                                   : summary.full_json(options.matrix);
+  if (json_dest == "-") {
+    std::cout << json << "\n";
+  } else {
+    std::ofstream out(json_dest, std::ios::binary | std::ios::trunc);
+    RCOMMIT_CHECK_MSG(out.good(), "cannot write " << json_dest);
+    out << json << "\n";
+  }
+
+  return summary.violations == 0 ? 0 : 1;
+} catch (const std::exception& error) {
+  std::cerr << "swarm_cli: " << error.what() << "\n";
+  return 2;
+}
