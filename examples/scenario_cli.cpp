@@ -2,7 +2,7 @@
 // the command line, run it on the deterministic simulator, and inspect the
 // result — optionally as a full step-by-step trace.
 //
-//   $ scenario_cli --protocol=commit --n=5 --k=2 --adversary=random \
+//   $ scenario_cli --protocol=commit --n=5 --k=2 --adversary=random
 //                  --max-delay=4 --crashes=2 --seed=7 --votes=11011 --trace
 //
 // Flags:

@@ -1,3 +1,4 @@
+// RCOMMIT_LINT_ALLOW_FILE(R2): see log.h — output serialization only
 #include "common/log.h"
 
 namespace rcommit {

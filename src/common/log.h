@@ -2,6 +2,7 @@
 //
 // Logging is off by default so that benchmark numbers are not polluted by
 // I/O; tests and examples flip the level when tracing a scenario.
+// RCOMMIT_LINT_ALLOW_FILE(R2): the logger is shared by the swarm pool and the RPC server; its one mutex serializes output, never simulation state
 #pragma once
 
 #include <iostream>

@@ -37,6 +37,8 @@ std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
         case WalRecordType::kAbort:
           status = ShardTxnStatus::kAborted;
           break;
+        case WalRecordType::kSnapshot:
+          break;  // checkpointed committed state; carries no per-txn status
       }
     }
     statuses[static_cast<int32_t>(i)] = status;

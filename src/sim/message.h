@@ -39,6 +39,13 @@ const T* msg_cast(const MessageRef& m) {
   return dynamic_cast<const T*>(m.get());
 }
 
+/// Deleted: binding the result of msg_cast to a temporary MessageRef leaves
+/// the returned raw pointer dangling as soon as the full expression ends
+/// (UBSan caught exactly this in the wire round-trip tests). Name the
+/// decoded MessageRef first, then cast it.
+template <typename T>
+const T* msg_cast(MessageRef&& m) = delete;
+
 /// A message instance: payload plus routing and timing metadata. Envelopes
 /// are created by the simulator (or the transport runtime) at send time and
 /// handed to the recipient at delivery time.

@@ -63,7 +63,7 @@ std::vector<char> WorkStealingPool::run(
       }
       if (job < 0) return;  // every deque empty — no new jobs ever appear
 
-      if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
+      if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {  // RCOMMIT_LINT_ALLOW(R1): budget deadline check; affects which cells run, never their outcomes
         continue;  // budget exhausted: drop this job, keep draining the queues
       }
       try {

@@ -1,4 +1,5 @@
 // A minimal MPSC blocking channel used as each node's inbox.
+// RCOMMIT_LINT_ALLOW_FILE(R2): the transport layer is real concurrent I/O by design; determinism is owned by the sim/ layer, not here
 #pragma once
 
 #include <chrono>

@@ -1,3 +1,4 @@
+// RCOMMIT_LINT_ALLOW_FILE(R2): the transport layer is real concurrent I/O by design; determinism is owned by the sim/ layer, not here
 #include "transport/network.h"
 
 #include "common/check.h"
@@ -65,7 +66,7 @@ void InMemoryNetwork::send(const WireFrame& frame) {
   const auto delay =
       policy.min_delay + std::chrono::microseconds(
                              static_cast<int64_t>(rng_.next_below(span)));
-  queue_.push(Scheduled{std::chrono::steady_clock::now() + delay, next_seq_++,
+  queue_.push(Scheduled{std::chrono::steady_clock::now() + delay, next_seq_++,  // RCOMMIT_LINT_ALLOW(R1): delay injection is anchored to real time; this layer is explicitly non-deterministic
                         frame.to, frame.serialize()});
   cv_.notify_one();
 }
@@ -110,7 +111,7 @@ void InMemoryNetwork::delivery_loop() {
                    [this] { return stopping_ || !queue_.empty(); });
       continue;
     }
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): pump thread wakeup time, same real-time layer
     if (queue_.top().due > now) {
       const auto nap = std::min<std::chrono::steady_clock::duration>(
           queue_.top().due - now, kMaxNap);

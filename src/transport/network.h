@@ -1,3 +1,4 @@
+// RCOMMIT_LINT_ALLOW_FILE(R2): the transport layer is real concurrent I/O by design; determinism is owned by the sim/ layer, not here
 #include <atomic>
 // In-memory network with per-link fault injection.
 //

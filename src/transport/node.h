@@ -5,6 +5,7 @@
 // run here with real concurrency, real serialization, and wall-clock message
 // delays. Each loop iteration is one processor step (the paper's clock tick):
 // drain whatever frames have arrived, call on_step, route the sends.
+// RCOMMIT_LINT_ALLOW_FILE(R2): the transport layer is real concurrent I/O by design; determinism is owned by the sim/ layer, not here
 #pragma once
 
 #include <atomic>

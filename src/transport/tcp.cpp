@@ -1,3 +1,4 @@
+// RCOMMIT_LINT_ALLOW_FILE(R2): the transport layer is real concurrent I/O by design; determinism is owned by the sim/ layer, not here
 #include "transport/tcp.h"
 
 #include <arpa/inet.h>

@@ -8,6 +8,7 @@
 // exists to demonstrate that the protocol state machines run unchanged over
 // a real network stack, not to inject faults (use InMemoryNetwork's
 // LinkPolicy for that).
+// RCOMMIT_LINT_ALLOW_FILE(R2): the transport layer is real concurrent I/O by design; determinism is owned by the sim/ layer, not here
 #pragma once
 
 #include <cstdint>

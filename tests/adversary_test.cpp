@@ -186,7 +186,9 @@ TEST(Partition, PermanentPartitionWithholdsIntergroupMessages) {
   EXPECT_EQ(result.status, RunStatus::kEventLimit);  // nobody hears everyone
   for (const auto& m : result.trace.messages) {
     const bool intergroup = (m.from <= 1) != (m.to <= 1);
-    if (intergroup) EXPECT_FALSE(m.received()) << "intergroup message leaked";
+    if (intergroup) {
+      EXPECT_FALSE(m.received()) << "intergroup message leaked";
+    }
   }
 }
 

@@ -157,7 +157,7 @@ TEST(Agreement, BlocksGracefullyBeyondT) {
   // quorum and must wait forever — no wrong answers (Theorem 11 spirit).
   SystemParams params{.n = 5, .t = 2, .k = 1};
   std::vector<adversary::CrashPlan> plans;
-  for (ProcId v = 0; v < 3; ++v) plans.push_back({.victim = v, .at_clock = 1});
+  for (ProcId v = 0; v < 3; ++v) plans.push_back({.victim = v, .at_clock = 1, .suppress_sends_to = {}});
   auto adv = std::make_unique<adversary::CrashAdversary>(
       adversary::make_on_time_adversary(), std::move(plans));
   Simulator sim({.seed = 4, .max_events = 5000},

@@ -227,7 +227,7 @@ TEST(Commit, CoordinatorCrashBeforeGoBlocksQuietly) {
   // If no nonfaulty processor ever receives a message the protocol may block:
   // the problem statement exempts exactly this case (§2.4).
   SystemParams params{.n = 5, .t = 2, .k = 1};
-  std::vector<adversary::CrashPlan> plans{{.victim = 0, .at_clock = 1}};
+  std::vector<adversary::CrashPlan> plans{{.victim = 0, .at_clock = 1, .suppress_sends_to = {}}};
   auto adv = std::make_unique<adversary::CrashAdversary>(
       adversary::make_on_time_adversary(), std::move(plans));
   const auto result = run_commit(params, {1, 1, 1, 1, 1}, 23, std::move(adv),

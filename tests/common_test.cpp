@@ -263,7 +263,7 @@ TEST(Stats, SamplesPercentiles) {
 TEST(Stats, PercentileValidatesRange) {
   Samples s;
   s.add(1.0);
-  EXPECT_THROW(s.percentile(1.5), CheckFailure);
+  EXPECT_THROW((void)s.percentile(1.5), CheckFailure);
 }
 
 TEST(Stats, HistogramBucketsAndOverflow) {

@@ -106,7 +106,9 @@ TEST(Wal, CorruptRecordStopsReplay) {
   // surviving prefix must be intact.
   const auto records = wal.replay();
   EXPECT_LT(records.size(), 3u);
-  if (!records.empty()) EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+  if (!records.empty()) {
+    EXPECT_EQ(records[0].type, WalRecordType::kBegin);
+  }
 }
 
 // --- locks -----------------------------------------------------------------------

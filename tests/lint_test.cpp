@@ -1,0 +1,161 @@
+// Tests for tools/rcommit_lint against its fixture corpus (one bad + one
+// good snippet per rule) plus inline cases for annotation hygiene. Fixtures
+// carry their virtual repo path on the first line (`// LINT_PATH: ...`) so
+// rule scoping can be exercised without the fixture living in src/.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tools/rcommit_lint/lint.h"
+
+namespace rcommit::lint {
+namespace {
+
+struct Fixture {
+  std::string virtual_path;
+  std::string content;
+};
+
+Fixture load_fixture(const std::string& name) {
+  const std::string path = std::string(RCOMMIT_LINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Fixture f;
+  f.content = buf.str();
+  const std::string kDirective = "// LINT_PATH: ";
+  EXPECT_EQ(f.content.rfind(kDirective, 0), 0u)
+      << name << " must start with a LINT_PATH directive";
+  const size_t eol = f.content.find('\n');
+  f.virtual_path = f.content.substr(kDirective.size(), eol - kDirective.size());
+  return f;
+}
+
+std::set<std::string> rules_fired(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> rules;
+  for (const auto& d : diags) rules.insert(d.rule);
+  return rules;
+}
+
+std::string dump(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += format(d) + "\n";
+  return out;
+}
+
+class RuleCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RuleCorpus, FiresOnBadFixture) {
+  const std::string rule = GetParam();
+  std::string name = rule;
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  const Fixture bad = load_fixture(name + "_bad.cpp");
+  const auto diags = lint_content(bad.virtual_path, bad.content);
+  EXPECT_TRUE(rules_fired(diags).count(rule))
+      << rule << " did not fire on its bad fixture:\n" << dump(diags);
+  // The bad fixture is dirty only in the dimension it demonstrates.
+  for (const auto& d : diags) EXPECT_EQ(d.rule, rule) << dump(diags);
+}
+
+TEST_P(RuleCorpus, SilentOnGoodFixture) {
+  const std::string rule = GetParam();
+  std::string name = rule;
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  const Fixture good = load_fixture(name + "_good.cpp");
+  const auto diags = lint_content(good.virtual_path, good.content);
+  EXPECT_TRUE(diags.empty())
+      << rule << " good fixture should be clean:\n" << dump(diags);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, RuleCorpus,
+                         ::testing::Values("R1", "R2", "R3", "R4", "R5"));
+
+TEST(LintRegistry, CoversAllFiveRules) {
+  std::set<std::string> ids;
+  for (const auto& r : rule_registry()) ids.insert(r.id);
+  EXPECT_EQ(ids, (std::set<std::string>{"R1", "R2", "R3", "R4", "R5"}));
+}
+
+TEST(LintAllow, SuppressionWithoutReasonIsItselfADiagnostic) {
+  const Fixture f = load_fixture("allow_missing_reason.cpp");
+  const auto diags = lint_content(f.virtual_path, f.content);
+  const auto rules = rules_fired(diags);
+  EXPECT_TRUE(rules.count("allow")) << dump(diags);
+  // And the unreasoned annotation does not suppress the finding.
+  EXPECT_TRUE(rules.count("R1")) << dump(diags);
+}
+
+TEST(LintAllow, ReasonedSuppressionSilencesBothPositions) {
+  const Fixture f = load_fixture("allow_good.cpp");
+  const auto diags = lint_content(f.virtual_path, f.content);
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+TEST(LintAllow, StaleSuppressionIsFlagged) {
+  const auto diags = lint_content(
+      "src/protocol/x.cpp",
+      "// RCOMMIT_LINT_ALLOW(R1): nothing on the next line actually fires\n"
+      "int x = 1;\n");
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "allow");
+  EXPECT_NE(diags[0].message.find("stale"), std::string::npos);
+}
+
+TEST(LintAllow, UnknownRuleNameIsFlagged) {
+  const auto diags = lint_content(
+      "src/protocol/x.cpp",
+      "// RCOMMIT_LINT_ALLOW(R9): no such rule\nint x = 1;\n");
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "allow");
+  EXPECT_NE(diags[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(LintAllow, FileScopeSuppressionCoversWholeFile) {
+  const auto diags = lint_content(
+      "src/transport/x.cpp",
+      "// RCOMMIT_LINT_ALLOW_FILE(R2): fixture — real-time layer owns threads\n"
+      "#include <mutex>\n"
+      "std::mutex a;\n"
+      "std::mutex b;\n");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+TEST(LintScoping, SameCodeJudgedByPath) {
+  const std::string code = "#include <thread>\nstd::thread t;\n";
+  EXPECT_FALSE(lint_content("src/sim/x.cpp", code).empty());
+  EXPECT_TRUE(lint_content("src/swarm/x.cpp", code).empty());
+  EXPECT_TRUE(lint_content("src/db/rpc.cpp", code).empty());
+  // Component matching works on absolute paths too.
+  EXPECT_FALSE(lint_content("/ci/checkout/src/sim/x.cpp", code).empty());
+}
+
+TEST(LintScanner, IgnoresCommentsAndStrings) {
+  const auto diags = lint_content(
+      "src/protocol/x.cpp",
+      "// std::random_device in a comment is fine\n"
+      "/* std::chrono::steady_clock::now() too */\n"
+      "const char* s = \"std::rand() getenv unordered_map\";\n"
+      "const char* r = R\"(std::mutex time(nullptr))\";\n");
+  EXPECT_TRUE(diags.empty()) << dump(diags);
+}
+
+TEST(LintScanner, OutputIsDeterministic) {
+  const Fixture bad = load_fixture("r1_bad.cpp");
+  const auto a = lint_content(bad.virtual_path, bad.content);
+  const auto b = lint_content(bad.virtual_path, bad.content);
+  EXPECT_EQ(dump(a), dump(b));
+}
+
+TEST(LintDiagnostics, FormatIsFileLineRuleMessage) {
+  const Diagnostic d{"src/sim/x.cpp", 42, "R3", "boom"};
+  EXPECT_EQ(format(d), "src/sim/x.cpp:42: [R3] boom");
+}
+
+}  // namespace
+}  // namespace rcommit::lint

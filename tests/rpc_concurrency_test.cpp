@@ -1,6 +1,7 @@
 // Concurrency and recovery integration tests for the shard service:
 // overlapping transactions from multiple clients, interleaved commit
 // sessions, TCP-backed clusters, and full crash/restart/recover cycles.
+// RCOMMIT_LINT_ALLOW_FILE(R2): this test exists to hammer the RPC server from concurrent clients
 #include <gtest/gtest.h>
 
 #include <chrono>

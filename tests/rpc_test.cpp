@@ -75,20 +75,23 @@ TEST_F(RpcFixture, SessionMsgRoundTripWithNestedPayload) {
 
 TEST_F(RpcFixture, OutcomeAndGetRoundTrips) {
   const TxnOutcomeMsg outcome(5, 1);
-  const auto* outcome_back = sim::msg_cast<TxnOutcomeMsg>(
-      WireRegistry::instance().decode(WireRegistry::instance().encode(outcome)));
+  const auto outcome_back_ref =
+      WireRegistry::instance().decode(WireRegistry::instance().encode(outcome));
+  const auto* outcome_back = sim::msg_cast<TxnOutcomeMsg>(outcome_back_ref);
   ASSERT_NE(outcome_back, nullptr);
   EXPECT_TRUE(outcome_back->commit());
 
   const GetRequest get(3, "some-key");
-  const auto* get_back = sim::msg_cast<GetRequest>(
-      WireRegistry::instance().decode(WireRegistry::instance().encode(get)));
+  const auto get_back_ref =
+      WireRegistry::instance().decode(WireRegistry::instance().encode(get));
+  const auto* get_back = sim::msg_cast<GetRequest>(get_back_ref);
   ASSERT_NE(get_back, nullptr);
   EXPECT_EQ(get_back->key(), "some-key");
 
   const GetResponse response(3, true, "val");
-  const auto* resp_back = sim::msg_cast<GetResponse>(
-      WireRegistry::instance().decode(WireRegistry::instance().encode(response)));
+  const auto resp_back_ref =
+      WireRegistry::instance().decode(WireRegistry::instance().encode(response));
+  const auto* resp_back = sim::msg_cast<GetResponse>(resp_back_ref);
   ASSERT_NE(resp_back, nullptr);
   EXPECT_TRUE(resp_back->found());
   EXPECT_EQ(resp_back->value(), "val");

@@ -107,7 +107,7 @@ TEST(Simulator, EventLimitStopsBlockedRun) {
 TEST(Simulator, CrashedProcessorTakesNoMoreSteps) {
   auto adv = std::make_unique<adversary::CrashAdversary>(
       adversary::make_on_time_adversary(),
-      std::vector<adversary::CrashPlan>{{.victim = 0, .at_clock = 1}});
+      std::vector<adversary::CrashPlan>{{.victim = 0, .at_clock = 1, .suppress_sends_to = {}}});
   Simulator sim({.seed = 1, .max_events = 200}, echo_fleet(3), std::move(adv));
   const auto result = sim.run();
   EXPECT_TRUE(result.crashed[0]);
@@ -117,7 +117,9 @@ TEST(Simulator, CrashedProcessorTakesNoMoreSteps) {
   EXPECT_FALSE(result.decisions[2].has_value());
   // Its clock never advanced.
   for (const auto& ev : result.trace.events) {
-    if (ev.proc == 0) EXPECT_TRUE(ev.crash);
+    if (ev.proc == 0) {
+      EXPECT_TRUE(ev.crash);
+    }
   }
 }
 
@@ -143,7 +145,7 @@ TEST(Simulator, AgreedDecisionThrowsOnConflict) {
   result.decisions = {Decision::kCommit, Decision::kAbort};
   result.crashed = {false, false};
   EXPECT_TRUE(result.has_conflicting_decisions());
-  EXPECT_THROW(result.agreed_decision(), CheckFailure);
+  EXPECT_THROW((void)result.agreed_decision(), CheckFailure);
 }
 
 /// Decides by identity: processor 0 commits, everyone else aborts. Used to
@@ -175,7 +177,7 @@ TEST(Simulator, ConflictingRunCompletesAndReportsConflict) {
   const auto result = sim.run();
   EXPECT_EQ(result.status, RunStatus::kAllDecided);
   EXPECT_TRUE(result.has_conflicting_decisions());
-  EXPECT_THROW(result.agreed_decision(), CheckFailure);
+  EXPECT_THROW((void)result.agreed_decision(), CheckFailure);
   EXPECT_EQ(result.decisions[0], Decision::kCommit);
   EXPECT_EQ(result.decisions[1], Decision::kAbort);
 }

@@ -45,8 +45,8 @@ TEST(Flags, TypedParsing) {
 
 TEST(Flags, MalformedValuesThrow) {
   const auto flags = parse({"--count=abc", "--flag=maybe"});
-  EXPECT_THROW(flags.get_int("count", 0), CheckFailure);
-  EXPECT_THROW(flags.get_bool("flag", false), CheckFailure);
+  EXPECT_THROW((void)flags.get_int("count", 0), CheckFailure);
+  EXPECT_THROW((void)flags.get_bool("flag", false), CheckFailure);
 }
 
 TEST(Flags, PositionalArgumentsRejected) {

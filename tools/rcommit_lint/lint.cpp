@@ -1,0 +1,695 @@
+#include "tools/rcommit_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace rcommit::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer: turns a source file into identifier / punctuation / string / number
+// tokens, dropping comments but harvesting lint-allow annotations from them.
+// ---------------------------------------------------------------------------
+
+enum class Kind { kIdent, kPunct, kStr, kNum };
+
+struct Tok {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct AllowNote {
+  std::string rule;
+  bool file_scope = false;
+  bool has_reason = false;
+  int line = 0;          // line the annotation appears on
+  bool code_before = false;  // code tokens precede it on that line
+};
+
+struct Scan {
+  std::vector<Tok> toks;
+  std::vector<AllowNote> allows;
+};
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Extracts allow annotations from one comment's text. The marker must be
+// followed by "(" (line form) or "_FILE(" (file form); a bare mention in
+// prose is ignored. The reason is whatever follows "):", trimmed; an empty
+// reason counts as missing.
+void parse_allows(const std::string& comment, int line, bool code_before,
+                  std::vector<AllowNote>& out) {
+  static const std::string kMarker = "RCOMMIT_LINT_ALLOW";
+  size_t pos = 0;
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    size_t p = pos + kMarker.size();
+    AllowNote note;
+    note.line = line;
+    note.code_before = code_before;
+    if (comment.compare(p, 6, "_FILE(") == 0) {
+      note.file_scope = true;
+      p += 6;
+    } else if (p < comment.size() && comment[p] == '(') {
+      p += 1;
+    } else {
+      pos = p;
+      continue;  // prose mention, not an annotation
+    }
+    const size_t close = comment.find(')', p);
+    if (close == std::string::npos) {
+      pos = p;
+      continue;
+    }
+    note.rule = comment.substr(p, close - p);
+    // Placeholder forms like "(<rule>)" in prose are not annotations.
+    const bool rule_is_ident =
+        !note.rule.empty() &&
+        std::all_of(note.rule.begin(), note.rule.end(),
+                    [](char ch) { return ident_char(ch); });
+    if (!rule_is_ident) {
+      pos = close + 1;
+      continue;
+    }
+    p = close + 1;
+    while (p < comment.size() && std::isspace(static_cast<unsigned char>(comment[p]))) ++p;
+    if (p < comment.size() && comment[p] == ':') {
+      std::string reason = comment.substr(p + 1);
+      // Block comments may close on the same line; drop the terminator.
+      if (const size_t end = reason.find("*/"); end != std::string::npos) {
+        reason.resize(end);
+      }
+      const auto first = reason.find_first_not_of(" \t");
+      note.has_reason = first != std::string::npos;
+    }
+    out.push_back(note);
+    pos = p;
+  }
+}
+
+Scan lex(const std::string& src) {
+  Scan scan;
+  int line = 1;
+  int toks_on_line = 0;
+  size_t i = 0;
+  const size_t n = src.size();
+
+  auto at = [&](size_t k) { return k < n ? src[k] : '\0'; };
+  auto push = [&](Kind kind, std::string text) {
+    scan.toks.push_back(Tok{kind, std::move(text), line});
+    ++toks_on_line;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      toks_on_line = 0;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && at(i + 1) == '/') {
+      size_t end = i + 2;
+      while (end < n && src[end] != '\n') ++end;
+      parse_allows(src.substr(i + 2, end - i - 2), line, toks_on_line > 0,
+                   scan.allows);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && at(i + 1) == '*') {
+      size_t end = i + 2;
+      int start_line = line;
+      while (end + 1 < n && !(src[end] == '*' && src[end + 1] == '/')) {
+        if (src[end] == '\n') ++line;
+        ++end;
+      }
+      parse_allows(src.substr(i + 2, end - i - 2), start_line,
+                   toks_on_line > 0, scan.allows);
+      i = (end + 1 < n) ? end + 2 : n;
+      if (line != start_line) toks_on_line = 0;
+      continue;
+    }
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && at(i + 1) == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = src.find(closer, p);
+      std::string body = end == std::string::npos
+                             ? src.substr(p + 1)
+                             : src.substr(p + 1, end - p - 1);
+      push(Kind::kStr, std::move(body));
+      line += static_cast<int>(std::count(
+          src.begin() + static_cast<long>(i),
+          src.begin() + static_cast<long>(
+              end == std::string::npos ? n : end + closer.size()),
+          '\n'));
+      i = end == std::string::npos ? n : end + closer.size();
+      continue;
+    }
+    // Ordinary string / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t p = i + 1;
+      std::string body;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) {
+          body += src[p];
+          body += src[p + 1];
+          p += 2;
+          continue;
+        }
+        if (src[p] == '\n') ++line;  // unterminated literal; stay sane
+        body += src[p++];
+      }
+      push(Kind::kStr, std::move(body));
+      i = p + 1;
+      continue;
+    }
+    // Preprocessor include: lex the target (quoted or angle-bracketed) as a
+    // single string token so the layering rules can match path prefixes.
+    if (c == '#' && toks_on_line == 0) {
+      push(Kind::kPunct, "#");
+      size_t p = i + 1;
+      while (p < n && (src[p] == ' ' || src[p] == '\t')) ++p;
+      size_t d = p;
+      while (d < n && ident_char(src[d])) ++d;
+      const std::string directive = src.substr(p, d - p);
+      if (!directive.empty()) push(Kind::kIdent, directive);
+      i = d;
+      if (directive == "include") {
+        while (i < n && (src[i] == ' ' || src[i] == '\t')) ++i;
+        if (at(i) == '<') {
+          size_t close = i + 1;
+          while (close < n && src[close] != '>' && src[close] != '\n') ++close;
+          push(Kind::kStr, src.substr(i + 1, close - i - 1));
+          i = close < n && src[close] == '>' ? close + 1 : close;
+        }
+        // Quoted includes fall through to the ordinary string lexer.
+      }
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t p = i + 1;
+      while (p < n && ident_char(src[p])) ++p;
+      push(Kind::kIdent, src.substr(i, p - i));
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(at(i + 1))))) {
+      size_t p = i + 1;
+      while (p < n) {
+        const char d = src[p];
+        if (ident_char(d) || d == '.' ||
+            ((d == '+' || d == '-') &&
+             (src[p - 1] == 'e' || src[p - 1] == 'E' || src[p - 1] == 'p' ||
+              src[p - 1] == 'P'))) {
+          ++p;
+        } else {
+          break;
+        }
+      }
+      push(Kind::kNum, src.substr(i, p - i));
+      i = p;
+      continue;
+    }
+    // Punctuation. "::" and "->" are the only digraphs the rules care about.
+    if (c == ':' && at(i + 1) == ':') {
+      push(Kind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && at(i + 1) == '>') {
+      push(Kind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(Kind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping.
+// ---------------------------------------------------------------------------
+
+struct PathInfo {
+  std::vector<std::string> comps;
+  std::string filename;
+
+  // True when components `a/b` appear adjacent anywhere in the path.
+  bool under(const std::string& a, const std::string& b) const {
+    for (size_t i = 0; i + 1 < comps.size(); ++i) {
+      if (comps[i] == a && comps[i + 1] == b) return true;
+    }
+    return false;
+  }
+};
+
+PathInfo classify(const std::string& path) {
+  PathInfo info;
+  std::string part;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) info.comps.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  if (!part.empty()) info.comps.push_back(part);
+  if (!info.comps.empty()) info.filename = info.comps.back();
+  return info;
+}
+
+bool in_deterministic_core(const PathInfo& p) {
+  return p.under("src", "protocol") || p.under("src", "sim") ||
+         p.under("src", "adversary") || p.under("src", "baselines");
+}
+
+bool threading_layer(const PathInfo& p) {
+  if (p.under("src", "swarm")) return true;
+  // src/db/rpc is the one db component allowed to own threads: it hosts the
+  // real RPC server loop.
+  return p.under("src", "db") && p.filename.rfind("rpc.", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+using Toks = std::vector<Tok>;
+
+void diag(std::vector<Diagnostic>& out, const std::string& path, int line,
+          const char* rule, std::string message) {
+  out.push_back(Diagnostic{path, line, rule, std::move(message)});
+}
+
+const std::string& text_at(const Toks& t, size_t i) {
+  static const std::string kEmpty;
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+// R1 — no ambient nondeterminism, anywhere. A simulation run must be a pure
+// function of (protocol, adversary, n, seed); wall-clock reads and OS entropy
+// are only legitimate in perf reporting and the real-time transport, which
+// carry reasoned allows.
+void rule_r1(const PathInfo&, const Toks& t, const std::string& path,
+             std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock", "utc_clock",
+      "file_clock"};
+  // Tokens after which a bare `time(`/`clock(` is a call, not a declaration
+  // (declarations look like `Tick clock(...)`: preceded by a type name).
+  static const std::set<std::string> kCallPositions = {
+      ";", "{", "}", "(", ",", "=", "return", "+", "-", "*", "/",
+      "%", "<", ">", "!", "&", "|", "?", ":", "case"};
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent) continue;
+    const std::string& s = t[i].text;
+    const std::string& prev = i > 0 ? t[i - 1].text : text_at(t, t.size());
+    const bool member = prev == "." || prev == "->";
+    const bool calls = text_at(t, i + 1) == "(";
+    if (s == "random_device" && !member) {
+      diag(out, path, t[i].line, "R1",
+           "std::random_device draws OS entropy; derive a seed from the run "
+           "config and construct a RandomTape with it");
+    } else if ((s == "rand" || s == "srand" || s == "getenv" ||
+                s == "setenv" || s == "putenv") &&
+               calls && !member) {
+      diag(out, path, t[i].line, "R1",
+           s + "() is ambient state; runs must be pure functions of "
+               "(protocol, adversary, n, seed)");
+    } else if ((s == "time" || s == "clock") && calls && !member) {
+      const bool std_qualified =
+          prev == "::" && i >= 2 && text_at(t, i - 2) == "std";
+      if (std_qualified || i == 0 || kCallPositions.count(prev) > 0) {
+        diag(out, path, t[i].line, "R1",
+             s + "() reads the wall clock; use the simulation Tick clock "
+                 "(ctx.clock()) instead");
+      }
+    } else if (kClocks.count(s) > 0 && text_at(t, i + 1) == "::" &&
+               text_at(t, i + 2) == "now") {
+      diag(out, path, t[i].line, "R1",
+           "std::chrono::" + s +
+               "::now() is a wall-clock read; schedules must replay "
+               "identically regardless of real time");
+    }
+  }
+}
+
+// R2 — threads, mutexes, and atomics live only in src/swarm (the worker
+// pool) and src/db/rpc (the real server loop). The simulator itself is
+// single-threaded by design: that is what makes every schedule recordable.
+void rule_r2(const PathInfo& p, const Toks& t, const std::string& path,
+             std::vector<Diagnostic>& out) {
+  if (threading_layer(p)) return;
+  static const std::set<std::string> kThreadIdents = {
+      "thread",          "jthread",
+      "mutex",           "shared_mutex",
+      "recursive_mutex", "timed_mutex",
+      "recursive_timed_mutex",
+      "condition_variable", "condition_variable_any",
+      "lock_guard",      "unique_lock",
+      "scoped_lock",     "shared_lock",
+      "once_flag",       "call_once",
+      "future",          "shared_future",
+      "promise",         "async",
+      "packaged_task",   "counting_semaphore",
+      "binary_semaphore", "barrier",
+      "latch",           "stop_token",
+      "stop_source",     "this_thread"};
+  static const std::set<std::string> kThreadHeaders = {
+      "thread", "mutex", "atomic", "condition_variable", "future",
+      "shared_mutex", "semaphore", "barrier", "latch", "stop_token"};
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Kind::kIdent && t[i].text == "std" &&
+        text_at(t, i + 1) == "::" && i + 2 < t.size() &&
+        t[i + 2].kind == Kind::kIdent) {
+      const std::string& s = t[i + 2].text;
+      if (kThreadIdents.count(s) > 0 || s.rfind("atomic", 0) == 0) {
+        diag(out, path, t[i + 2].line, "R2",
+             "std::" + s +
+                 " outside src/swarm and src/db/rpc — the simulator is "
+                 "single-threaded so every schedule stays recordable");
+      }
+    } else if (t[i].kind == Kind::kPunct && t[i].text == "#" &&
+               text_at(t, i + 1) == "include" && i + 2 < t.size() &&
+               t[i + 2].kind == Kind::kStr &&
+               kThreadHeaders.count(t[i + 2].text) > 0) {
+      diag(out, path, t[i + 2].line, "R2",
+           "#include <" + t[i + 2].text +
+               "> outside src/swarm and src/db/rpc");
+    }
+  }
+}
+
+// R3 — no iteration over unordered containers in the deterministic core.
+// Hash iteration order is implementation-defined; it leaks into traces and
+// breaks byte-identical swarm summaries. Keyed lookup (.at/.find/.count) is
+// fine; ranging or .begin() chains are not.
+void rule_r3(const PathInfo& p, const Toks& t, const std::string& path,
+             std::vector<Diagnostic>& out) {
+  if (!in_deterministic_core(p)) return;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+
+  // Pass 1: names declared with an unordered type in this file.
+  std::set<std::string> names;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent || kUnordered.count(t[i].text) == 0) continue;
+    size_t j = i + 1;
+    if (text_at(t, j) == "<") {
+      int depth = 1;
+      ++j;
+      while (j < t.size() && depth > 0) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+        ++j;
+      }
+    }
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == Kind::kIdent) names.insert(t[j].text);
+  }
+  if (names.empty()) return;
+
+  auto flag = [&](int line, const std::string& name) {
+    diag(out, path, line, "R3",
+         "iteration over unordered container '" + name +
+             "' — hash order leaks into traces; use std::map, or copy keys "
+             "out and sort");
+  };
+
+  // Pass 2a: range-for whose range expression mentions a tracked name.
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].kind == Kind::kIdent && t[i].text == "for" &&
+          t[i + 1].text == "(")) {
+      continue;
+    }
+    int depth = 0;
+    bool seen_colon = false;
+    for (size_t j = i + 1; j < t.size(); ++j) {
+      if (t[j].text == "(") ++depth;
+      if (t[j].text == ")" && --depth == 0) break;
+      if (depth == 1 && t[j].text == ";") break;  // classic for loop
+      if (depth == 1 && t[j].text == ":") seen_colon = true;
+      if (seen_colon && t[j].kind == Kind::kIdent && names.count(t[j].text)) {
+        flag(t[j].line, t[j].text);
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator walks: name.begin(), name->rbegin(), ...
+  static const std::set<std::string> kIterStarts = {"begin", "cbegin",
+                                                    "rbegin", "crbegin"};
+  for (size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind == Kind::kIdent && names.count(t[i].text) > 0 &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") &&
+        kIterStarts.count(t[i + 2].text) > 0 && t[i + 3].text == "(") {
+      flag(t[i].line, t[i].text);
+    }
+  }
+}
+
+// R4 — layering. protocol/ and baselines/ sit below swarm/, db/, and
+// transport/, and reach adversaries only through the sim/adversary.h
+// interface; sim/ likewise never includes a concrete adversary.
+void rule_r4(const PathInfo& p, const Toks& t, const std::string& path,
+             std::vector<Diagnostic>& out) {
+  const bool core = p.under("src", "protocol") || p.under("src", "baselines");
+  const bool sim = p.under("src", "sim");
+  if (!core && !sim) return;
+  for (size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(t[i].kind == Kind::kPunct && t[i].text == "#" &&
+          text_at(t, i + 1) == "include" && t[i + 2].kind == Kind::kStr)) {
+      continue;
+    }
+    const std::string& target = t[i + 2].text;
+    const int line = t[i + 2].line;
+    if (core && (target.rfind("swarm/", 0) == 0 ||
+                 target.rfind("db/", 0) == 0 ||
+                 target.rfind("transport/", 0) == 0)) {
+      diag(out, path, line, "R4",
+           "protocol/baselines must not include \"" + target +
+               "\" — they sit below the swarm, db, and transport layers");
+    }
+    if (target.rfind("adversary/", 0) == 0) {
+      diag(out, path, line, "R4",
+           "include concrete adversaries only via \"sim/adversary.h\"; \"" +
+               target + "\" is a layering violation");
+    }
+    if (sim && (target.rfind("swarm/", 0) == 0 || target.rfind("db/", 0) == 0)) {
+      diag(out, path, line, "R4",
+           "sim/ must not include \"" + target + "\" — it is the bottom layer");
+    }
+  }
+}
+
+// R5 — every RNG construction names its seed. The repo's own generators
+// have no default constructor, but std engines default-construct to a fixed
+// implicit seed (mt19937's 5489), which hides the seed the swarm needs to
+// record for replay.
+void rule_r5(const PathInfo&, const Toks& t, const std::string& path,
+             std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kRepoRng = {"RandomTape", "Xoshiro256",
+                                                 "SplitMix64"};
+  static const std::set<std::string> kStdRng = {
+      "mt19937",       "mt19937_64",   "minstd_rand", "minstd_rand0",
+      "ranlux24",      "ranlux48",     "ranlux24_base", "ranlux48_base",
+      "knuth_b",       "default_random_engine"};
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Kind::kIdent) continue;
+    const bool repo = kRepoRng.count(t[i].text) > 0;
+    const bool std_engine = kStdRng.count(t[i].text) > 0;
+    if (!repo && !std_engine) continue;
+    const std::string& n1 = text_at(t, i + 1);
+    const std::string& n2 = text_at(t, i + 2);
+    const std::string& n3 = text_at(t, i + 3);
+    const bool empty_parens = (n1 == "(" && n2 == ")") || (n1 == "{" && n2 == "}");
+    const bool named_empty_braces =
+        i + 1 < t.size() && t[i + 1].kind == Kind::kIdent && n2 == "{" && n3 == "}";
+    // `std::mt19937 gen;` silently seeds with a constant; the repo types
+    // cannot default-construct, so a bare member declaration is fine there.
+    const bool named_bare = std_engine && i + 1 < t.size() &&
+                            t[i + 1].kind == Kind::kIdent && n2 == ";";
+    if (empty_parens || named_empty_braces || named_bare) {
+      diag(out, path, t[i].line, "R5",
+           t[i].text +
+               " constructed without an explicit seed — replay requires "
+               "every random stream to be derived from the recorded run seed");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"R1", "no ambient nondeterminism (wall clocks, OS entropy, environment)",
+       "all scanned files; real-time layers carry reasoned allows"},
+      {"R2", "threads/mutexes/atomics confined to the concurrent layers",
+       "everywhere except src/swarm and src/db/rpc"},
+      {"R3", "no iteration over unordered containers in decision paths",
+       "src/protocol, src/sim, src/adversary, src/baselines"},
+      {"R4", "layering: core never includes swarm/db/transport; adversaries "
+             "only via sim/adversary.h",
+       "src/protocol, src/baselines, src/sim"},
+      {"R5", "every RNG construction takes an explicit seed",
+       "all scanned files"},
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content) {
+  const PathInfo info = classify(path);
+  const Scan scan = lex(content);
+
+  std::vector<Diagnostic> raw;
+  rule_r1(info, scan.toks, path, raw);
+  rule_r2(info, scan.toks, path, raw);
+  rule_r3(info, scan.toks, path, raw);
+  rule_r4(info, scan.toks, path, raw);
+  rule_r5(info, scan.toks, path, raw);
+
+  std::set<std::string> known_rules;
+  for (const auto& r : rule_registry()) known_rules.insert(r.id);
+
+  // Annotation bookkeeping. Only annotations with a reason suppress; each
+  // must actually suppress something or it is reported as stale.
+  std::vector<Diagnostic> out;
+  std::set<std::string> file_allows;
+  std::map<std::pair<int, std::string>, bool> line_allows;  // -> used
+  std::map<std::string, bool> file_allow_used;
+  for (const auto& a : scan.allows) {
+    if (known_rules.count(a.rule) == 0) {
+      out.push_back({path, a.line, "allow",
+                     "suppression names unknown rule '" + a.rule + "'"});
+      continue;
+    }
+    if (!a.has_reason) {
+      out.push_back({path, a.line, "allow",
+                     "suppression of " + a.rule +
+                         " has no reason — write "
+                         "RCOMMIT_LINT_ALLOW" +
+                         std::string(a.file_scope ? "_FILE" : "") + "(" +
+                         a.rule + "): <why this is legitimate>"});
+      continue;
+    }
+    if (a.file_scope) {
+      file_allows.insert(a.rule);
+      file_allow_used.emplace(a.rule, false);
+    } else {
+      const int target = a.code_before ? a.line : a.line + 1;
+      line_allows.emplace(std::make_pair(target, a.rule), false);
+    }
+  }
+
+  for (auto& d : raw) {
+    if (auto it = line_allows.find({d.line, d.rule}); it != line_allows.end()) {
+      it->second = true;
+      continue;
+    }
+    if (file_allows.count(d.rule) > 0) {
+      file_allow_used[d.rule] = true;
+      continue;
+    }
+    out.push_back(std::move(d));
+  }
+  for (const auto& [key, used] : line_allows) {
+    if (!used) {
+      out.push_back({path, key.first, "allow",
+                     "stale suppression: no " + key.second +
+                         " finding on this line — delete the annotation"});
+    }
+  }
+  for (const auto& [rule, used] : file_allow_used) {
+    if (!used) {
+      out.push_back({path, 1, "allow",
+                     "stale file-level suppression: no " + rule +
+                         " finding anywhere in this file"});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.line, a.rule, a.message) <
+           std::tie(b.line, b.rule, b.message);
+  });
+  return out;
+}
+
+std::vector<Diagnostic> lint_file(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return {{file.generic_string(), 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lint_content(file.generic_string(), buf.str());
+}
+
+std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& roots) {
+  static const std::set<std::string> kExts = {".h",  ".hh",  ".hpp",
+                                              ".cc", ".cpp", ".cxx"};
+  auto skip_dir = [](const std::string& name) {
+    return name == "testdata" || name.rfind("build", 0) == 0 ||
+           (!name.empty() && name[0] == '.');
+  };
+  std::set<std::filesystem::path> found;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(root, ec)) {
+      if (kExts.count(root.extension().string()) > 0) found.insert(root);
+      continue;
+    }
+    std::filesystem::recursive_directory_iterator it(root, ec), end;
+    if (ec) continue;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      const auto& entry = *it;
+      if (entry.is_directory(ec)) {
+        if (skip_dir(entry.path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (entry.is_regular_file(ec) &&
+          kExts.count(entry.path().extension().string()) > 0) {
+        found.insert(entry.path());
+      }
+    }
+  }
+  return {found.begin(), found.end()};
+}
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+}  // namespace rcommit::lint

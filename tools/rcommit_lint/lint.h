@@ -1,0 +1,70 @@
+// rcommit-lint: the repo's determinism & layering linter.
+//
+// Every guarantee this codebase checks — Protocol 1/2 invariant gating,
+// schedule replay, byte-identical swarm summaries across thread counts —
+// depends on simulation runs being pure functions of (protocol, adversary,
+// n, seed). Nothing in C++ stops a future change from smuggling wall-clock
+// time, ambient randomness, or unordered-container iteration order into a
+// decision path; this linter does, statically.
+//
+// It is a deliberately dependency-free token-level scanner (no libclang):
+// comments and string literals are stripped by a small lexer, and each rule
+// pattern-matches the remaining token stream. That makes it fast, buildable
+// anywhere the repo builds, and honest about being heuristic — see
+// docs/static-analysis.md for the rule catalogue and known blind spots.
+//
+// Suppression: a finding on line L is silenced by
+//     RCOMMIT_LINT_ALLOW(<rule>): <reason>
+// in a comment trailing on line L or alone on the line above it, and a whole
+// file is exempted from one rule by the _FILE variant anywhere in the file.
+// The reason is mandatory: a suppression without one is itself a diagnostic,
+// and an annotation that suppresses nothing is flagged as stale. (The angle
+// brackets here are placeholders — concrete rule ids in a comment would be
+// live annotations, including in this very header.)
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rcommit::lint {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;  // "R1".."R5", or "allow" for annotation problems
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string title;
+  std::string scope;  // human-readable description of where the rule applies
+};
+
+/// The rule registry, in report order. "allow" (annotation hygiene) is
+/// implicit and always on; it is not listed here.
+const std::vector<RuleInfo>& rule_registry();
+
+/// Lint `content` as if it lived at `path`. Rule scoping matches directory
+/// components anywhere in the path (e.g. ".../src/protocol/x.cpp" is in
+/// scope for src/protocol rules), so both repo-relative and absolute paths
+/// work. Returns diagnostics sorted by line.
+std::vector<Diagnostic> lint_content(const std::string& path,
+                                     const std::string& content);
+
+/// Reads and lints one file from disk.
+std::vector<Diagnostic> lint_file(const std::filesystem::path& file);
+
+/// Recursively collects lintable sources (.h .hh .hpp .cc .cpp .cxx) under
+/// `roots`, skipping build*/, testdata/ (lint fixtures are intentionally
+/// dirty), and dot-directories. The result is sorted and deduplicated so
+/// output is deterministic — the linter holds itself to its own contract.
+std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& roots);
+
+/// "path:line: [rule] message" — the format promised by the ISSUE and
+/// consumed by editors that understand GCC-style diagnostics.
+std::string format(const Diagnostic& d);
+
+}  // namespace rcommit::lint

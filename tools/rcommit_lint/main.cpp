@@ -1,0 +1,76 @@
+// rcommit_lint CLI: `rcommit_lint [--list-rules] <path>...`
+//
+// Scans the given files/directories and prints GCC-style diagnostics, one
+// per line. Exit status: 0 clean, 1 findings, 2 usage error. Run from the
+// repo root (`rcommit_lint src tools tests`) so rule scoping sees the
+// canonical directory layout; absolute paths work too because scoping
+// matches path components, not prefixes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/rcommit_lint/lint.h"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: rcommit_lint [--list-rules] <path>...\n"
+               "  Lints C++ sources for determinism & layering violations.\n"
+               "  See docs/static-analysis.md for the rule catalogue.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : rcommit::lint::rule_registry()) {
+        std::printf("%s  %s\n      scope: %s\n", r.id.c_str(),
+                    r.title.c_str(), r.scope.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rcommit_lint: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  const auto files = rcommit::lint::collect_files(roots);
+  if (files.empty()) {
+    std::fprintf(stderr, "rcommit_lint: no lintable sources under the given paths\n");
+    return 2;
+  }
+
+  size_t total = 0;
+  size_t dirty_files = 0;
+  for (const auto& file : files) {
+    const auto diags = rcommit::lint::lint_file(file);
+    if (!diags.empty()) ++dirty_files;
+    for (const auto& d : diags) {
+      std::printf("%s\n", rcommit::lint::format(d).c_str());
+      ++total;
+    }
+  }
+  if (total == 0) {
+    std::fprintf(stderr, "rcommit_lint: %zu files clean\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "rcommit_lint: %zu diagnostics in %zu of %zu files\n",
+               total, dirty_files, files.size());
+  return 1;
+}

@@ -1,0 +1,15 @@
+// LINT_PATH: src/swarm/allow_good.cpp
+// A reasoned suppression, in both positions the linter accepts: alone on the
+// line above a finding, and trailing on the finding's own line.
+#include <chrono>
+
+namespace rcommit {
+
+double perf_now() {
+  // RCOMMIT_LINT_ALLOW(R1): reporting-only wall clock; never schedules work
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): same — perf measurement only
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace rcommit

@@ -1,0 +1,13 @@
+// LINT_PATH: src/protocol/allow_missing_reason.cpp
+// A suppression without a reason: the annotation itself is a diagnostic,
+// and — because it does not count as a suppression — the R1 finding still
+// fires alongside it.
+#include <cstdlib>
+
+namespace rcommit {
+
+long lazy() {
+  return std::rand();  // RCOMMIT_LINT_ALLOW(R1)
+}
+
+}  // namespace rcommit

@@ -1,0 +1,24 @@
+// LINT_PATH: src/protocol/r1_bad.cpp
+// Every classic nondeterminism smuggle in one function. None of these can
+// appear in a decision path: a run must replay identically from its seed.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace rcommit {
+
+long entropy_soup() {
+  std::random_device rd;                         // OS entropy
+  long x = static_cast<long>(rd());
+  x += std::rand();                              // ambient PRNG state
+  x += static_cast<long>(std::time(nullptr));    // wall clock
+  if (const char* home = std::getenv("HOME")) {  // environment
+    x += home[0];
+  }
+  const auto t = std::chrono::steady_clock::now();  // wall clock again
+  x += t.time_since_epoch().count();
+  return x;
+}
+
+}  // namespace rcommit

@@ -1,0 +1,23 @@
+// LINT_PATH: src/protocol/r1_good.cpp
+// The deterministic equivalents: simulation Tick clocks and seeded tapes.
+// Member functions *named* clock()/time() are fine — only free-function and
+// std-qualified calls read the real world.
+#include <chrono>
+
+#include "common/rng.h"
+
+namespace rcommit {
+
+struct Ctx {
+  long clock() const { return 7; }  // simulation clock, declaration is fine
+};
+
+long deterministic(Ctx& ctx, unsigned long seed) {
+  RandomTape tape(seed);
+  // chrono *types* are fine too; only ::now() reads the wall clock.
+  std::chrono::steady_clock::time_point unused{};
+  (void)unused;
+  return ctx.clock() + static_cast<long>(tape.next_below(10));
+}
+
+}  // namespace rcommit

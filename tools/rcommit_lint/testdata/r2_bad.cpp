@@ -1,0 +1,23 @@
+// LINT_PATH: src/sim/r2_bad.cpp
+// Threading primitives in the simulator core. The simulator is
+// single-threaded by design — that is what makes schedules recordable.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace rcommit {
+
+struct Racy {
+  std::mutex mu;
+  std::atomic<int> counter{0};
+
+  void spin() {
+    std::thread worker([this] {
+      std::lock_guard<std::mutex> lock(mu);
+      counter.fetch_add(1);
+    });
+    worker.join();
+  }
+};
+
+}  // namespace rcommit

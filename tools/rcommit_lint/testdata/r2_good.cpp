@@ -1,0 +1,23 @@
+// LINT_PATH: src/swarm/r2_good.cpp
+// Identical code to the bad fixture, but inside src/swarm — the worker pool
+// is one of the two layers allowed to own threads, so R2 stays silent.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace rcommit {
+
+struct PoolInnards {
+  std::mutex mu;
+  std::atomic<int> counter{0};
+
+  void spin() {
+    std::thread worker([this] {
+      std::lock_guard<std::mutex> lock(mu);
+      counter.fetch_add(1);
+    });
+    worker.join();
+  }
+};
+
+}  // namespace rcommit

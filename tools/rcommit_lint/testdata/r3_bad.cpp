@@ -1,0 +1,23 @@
+// LINT_PATH: src/sim/r3_bad.cpp
+// Iterating a hash container in a decision path: the visit order is
+// implementation-defined, so it leaks into traces and breaks byte-identical
+// swarm summaries across thread counts / standard libraries.
+#include <unordered_map>
+#include <vector>
+
+namespace rcommit {
+
+std::vector<int> drain(const std::unordered_map<int, int>& pending) {
+  std::vector<int> out;
+  for (const auto& [id, payload] : pending) {  // hash order → trace order
+    out.push_back(payload);
+  }
+  return out;
+}
+
+struct Mailbox {
+  std::unordered_map<long, long> due_;
+  long first() { return due_.begin()->second; }  // "first" by hash order
+};
+
+}  // namespace rcommit

@@ -1,0 +1,29 @@
+// LINT_PATH: src/sim/r3_good.cpp
+// The deterministic idioms: keyed lookup into hash containers is fine, and
+// anything that must be *walked* either lives in a std::map or gets its keys
+// copied out and sorted first.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace rcommit {
+
+std::vector<int> drain_sorted(const std::unordered_map<int, int>& pending) {
+  std::vector<int> keys;
+  keys.reserve(pending.size());
+  for (int k = 0; k < 1024; ++k) {   // keyed probe, not iteration
+    if (pending.count(k) > 0) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<int> out;
+  for (const int k : keys) out.push_back(pending.at(k));
+  return out;
+}
+
+struct Mailbox {
+  std::map<long, long> due_;  // ordered container: iteration is deterministic
+  long first() { return due_.begin()->second; }
+};
+
+}  // namespace rcommit

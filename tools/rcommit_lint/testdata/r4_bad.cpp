@@ -1,0 +1,13 @@
+// LINT_PATH: src/protocol/r4_bad.cpp
+// Upward and sideways dependencies from the protocol core: the layers above
+// (swarm, db, transport) may depend on protocol, never the reverse, and
+// concrete adversaries are reachable only through the sim/adversary.h
+// interface.
+#include "adversary/crash.h"
+#include "db/kv.h"
+#include "swarm/runner.h"
+#include "transport/network.h"
+
+namespace rcommit {
+int never_compiles() { return 0; }
+}  // namespace rcommit

@@ -1,0 +1,12 @@
+// LINT_PATH: src/protocol/r4_good.cpp
+// The dependencies the protocol layer is allowed: common/, sim/ (including
+// the adversary *interface*), and its own headers.
+#include "common/check.h"
+#include "common/types.h"
+#include "protocol/messages.h"
+#include "sim/adversary.h"
+#include "sim/process.h"
+
+namespace rcommit {
+int fine() { return 0; }
+}  // namespace rcommit

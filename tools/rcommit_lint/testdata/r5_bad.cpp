@@ -1,0 +1,19 @@
+// LINT_PATH: src/sim/r5_bad.cpp
+// RNGs constructed without naming their seed. std::mt19937's default
+// constructor silently seeds with 5489 — the run "works" but the seed never
+// reaches the swarm's recorded config, so the schedule cannot be replayed.
+#include <random>
+
+#include "common/rng.h"
+
+namespace rcommit {
+
+unsigned long implicit_seeds() {
+  std::mt19937 gen;                  // hidden constant seed
+  std::mt19937_64 gen64{};           // same, braced
+  RandomTape tape{};                 // would not even compile — and flagged
+  unsigned long x = Xoshiro256().next();  // zero-arg temporary
+  return x + gen() + gen64() + tape.draws();
+}
+
+}  // namespace rcommit

@@ -1,0 +1,18 @@
+// LINT_PATH: src/sim/r5_good.cpp
+// Every stream is derived from an explicit, recordable seed.
+#include <random>
+
+#include "common/rng.h"
+
+namespace rcommit {
+
+unsigned long explicit_seeds(unsigned long seed) {
+  std::mt19937 gen(static_cast<unsigned int>(seed));
+  RandomTape tape(seed);
+  Xoshiro256 x{seed ^ 0x9e3779b97f4a7c15ULL};
+  SplitMix64 deriver(seed + 1);
+  return gen() + x.next() + deriver.next() +
+         static_cast<unsigned long>(tape.draws());
+}
+
+}  // namespace rcommit
