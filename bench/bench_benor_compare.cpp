@@ -11,11 +11,12 @@
 // round: probability 2^(1-n) per stage for independent local coins (expected
 // stages ~ 2^(n-1)), probability 1 for the shared coin list (constant).
 #include <algorithm>
-#include <iostream>
+#include <cmath>
 #include <memory>
 #include <vector>
 
 #include "adversary/omniscient.h"
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "metrics/report.h"
@@ -31,11 +32,13 @@ struct CompareResult {
   int64_t censored = 0;  ///< runs stopped by the event budget
 };
 
-CompareResult run_variant(int n, bool shared_coins, int runs, int64_t max_events) {
+CompareResult run_variant(const bench::Context& ctx, int n, bool shared_coins,
+                          int runs, int64_t max_events) {
   SystemParams params{.n = n, .t = (n - 1) / 2, .k = 1};
   CompareResult out;
   for (int run = 0; run < runs; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 104729 + n * 7 + (shared_coins ? 1 : 0));
+    const auto seed = ctx.derive_seed(
+        static_cast<uint64_t>(run * 104729 + n * 7 + (shared_coins ? 1 : 0)));
     auto spy = std::make_shared<adversary::BroadcastSpy>();
 
     RandomTape coin_rng(seed ^ 0xc0135);
@@ -71,27 +74,31 @@ CompareResult run_variant(int n, bool shared_coins, int runs, int64_t max_events
   return out;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
 
-  std::cout << "E6: local-coin Ben-Or vs shared-coin Protocol 1 under the\n"
+  ctx.out() << "E6: local-coin Ben-Or vs shared-coin Protocol 1 under the\n"
                "omniscient split-vote adversary (worst-case scheduler;\n"
                "stronger than the paper's model — see DESIGN.md D4)\n\n";
+
+  // Each local-coin run costs ~2^(n-1) stages, so the grid — not the
+  // per-row run count — dominates cost; quick mode drops the n = 10 rows.
+  const std::vector<int> sizes =
+      ctx.quick() ? std::vector<int>{4, 6, 8} : std::vector<int>{4, 6, 8, 10};
 
   Table table({"n", "variant", "runs", "mean stages", "max stages", "censored",
                "theory E[stages]"});
   double shared_worst_mean = 0.0;
   bool exponential_growth = true;
   double prev_local_mean = 0.0;
-  for (int n : {4, 6, 8, 10}) {
+  for (int n : sizes) {
     // Fewer runs for large n: each local-coin run costs ~2^(n-1) stages.
-    const int runs = n <= 6 ? 200 : (n == 8 ? 80 : 30);
+    const int full_runs = n <= 6 ? 200 : (n == 8 ? 80 : 30);
+    const int runs = ctx.runs(full_runs, /*quick_floor=*/full_runs / 4);
     const int64_t budget = 400'000 + (static_cast<int64_t>(1) << (n + 12));
 
-    const auto local = run_variant(n, /*shared_coins=*/false, runs, budget);
-    const auto shared = run_variant(n, /*shared_coins=*/true, runs, budget);
+    const auto local = run_variant(ctx, n, /*shared_coins=*/false, runs, budget);
+    const auto shared = run_variant(ctx, n, /*shared_coins=*/true, runs, budget);
 
     const double theory = std::pow(2.0, n - 1);
     table.row({Table::num(static_cast<int64_t>(n)), "local coins (Ben-Or)",
@@ -108,17 +115,28 @@ int main() {
     }
     prev_local_mean = local.stages.mean();
   }
-  table.print(std::cout);
+  ctx.table("variant_compare", table);
 
-  rcommit::metrics::print_claim_report(
-      std::cout, "E6 claims",
-      {
-          {"C14a", "shared coins: constant expected stages vs the adversary",
-           "worst mean = " + Table::num(shared_worst_mean), shared_worst_mean <= 4.0},
-          {"C14b", "local coins: expected stages grow exponentially in n",
-           exponential_growth ? "mean stages grow >= 1.5x per +2 processors"
-                              : "growth slower than exponential",
-           exponential_growth},
-      });
-  return 0;
+  ctx.scalar("shared_worst_mean_stages", shared_worst_mean, "stages");
+  ctx.scalar("largest_n_local_mean_stages", prev_local_mean, "stages");
+
+  ctx.claim({"C14a", "shared coins: constant expected stages vs the adversary",
+             "worst mean = " + Table::num(shared_worst_mean),
+             shared_worst_mean <= 4.0});
+  ctx.claim({"C14b", "local coins: expected stages grow exponentially in n",
+             exponential_growth ? "mean stages grow >= 1.5x per +2 processors"
+                                : "growth slower than exponential",
+             exponential_growth});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E6", "bench_benor_compare",
+       "local-coin Ben-Or vs shared-coin Protocol 1 (exponential/constant "
+       "separation, §1)",
+       {"C14a", "C14b"}},
+      body);
 }

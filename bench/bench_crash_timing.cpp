@@ -8,11 +8,12 @@
 // exemption); any later crash is absorbed, with the outcome drifting from
 // abort (vote windows poisoned by the missing processor) to commit (crash
 // after the votes are in).
-#include <iostream>
 #include <memory>
+#include <vector>
 
 #include "adversary/basic.h"
 #include "adversary/crash.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/report.h"
 #include "protocol/commit.h"
@@ -30,11 +31,13 @@ struct TimingRow {
   int conflicts = 0;
 };
 
-TimingRow run_crash_at(ProcId victim, Tick at_clock, int runs) {
+TimingRow run_crash_at(const bench::Context& ctx, ProcId victim, Tick at_clock,
+                       int runs) {
   const SystemParams params{.n = 5, .t = 2, .k = 2};
   TimingRow row;
   for (int run = 0; run < runs; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 37 + victim * 5 + at_clock);
+    const auto seed =
+        ctx.derive_seed(static_cast<uint64_t>(run * 37 + victim * 5 + at_clock));
     std::vector<int> votes(5, 1);
     adversary::CrashPlan plan;
     plan.victim = victim;
@@ -59,21 +62,20 @@ TimingRow run_crash_at(ProcId victim, Tick at_clock, int runs) {
   return row;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 300;
+  const int runs = ctx.runs(300);
 
-  std::cout << "E13: one crash at a controlled clock, n = 5, t = 2, K = 2, "
-            << kRuns << " runs per row (random admissible timing)\n\n";
+  ctx.out() << "E13: one crash at a controlled clock, n = 5, t = 2, K = 2, "
+            << runs << " runs per row (random admissible timing)\n\n";
 
   bool no_conflicts = true;
   for (ProcId victim : {0, 2}) {
-    std::cout << (victim == 0 ? "victim: coordinator (p0)\n" : "victim: participant (p2)\n");
+    ctx.out() << (victim == 0 ? "victim: coordinator (p0)\n"
+                              : "victim: participant (p2)\n");
     Table table({"crash at clock", "commits", "aborts", "blocked", "conflicts"});
     for (Tick at : {1, 2, 3, 4, 6, 8, 12}) {
-      const auto row = run_crash_at(victim, at, kRuns);
+      const auto row = run_crash_at(ctx, victim, at, runs);
       table.row({Table::num(static_cast<int64_t>(at)),
                  Table::num(static_cast<int64_t>(row.commits)),
                  Table::num(static_cast<int64_t>(row.aborts)),
@@ -81,18 +83,26 @@ int main() {
                  Table::num(static_cast<int64_t>(row.conflicts))});
       no_conflicts = no_conflicts && row.conflicts == 0;
     }
-    table.print(std::cout);
-    std::cout << '\n';
+    ctx.table(victim == 0 ? "crash_timing_coordinator" : "crash_timing_participant",
+              table);
+    ctx.out() << '\n';
   }
 
-  std::cout << "(coordinator at clock 1 = the mute-coordinator exemption of "
+  ctx.out() << "(coordinator at clock 1 = the mute-coordinator exemption of "
                "§2.4: no processor ever receives a message)\n";
 
-  metrics::print_claim_report(
-      std::cout, "E13 claims",
-      {
-          {"Thm9/11", "no crash instant produces conflicting decisions",
-           no_conflicts ? "0 conflicts over all rows" : "CONFLICT", no_conflicts},
-      });
-  return 0;
+  ctx.claim({"Thm9/11", "no crash instant produces conflicting decisions",
+             no_conflicts ? "0 conflicts over all rows" : "CONFLICT",
+             no_conflicts});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E13", "bench_crash_timing",
+       "outcome vs crash timing: phase-boundary ablation (Thms 9/11)",
+       {"Thm9/11"}},
+      body);
 }

@@ -12,8 +12,8 @@
 // "blocker" transactions prepared-but-undecided (exactly the in-doubt state
 // crashes produce), which is both realistic and deterministic.
 #include <filesystem>
-#include <iostream>
 
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "db/txn.h"
 #include "db/workload.h"
@@ -88,22 +88,20 @@ ContentionStats run_skew(double skew, int txns, uint64_t seed) {
   return stats;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kTxns = 120;
+  const int txns = ctx.runs(120, /*quick_floor=*/40);
 
-  std::cout << "E12: contention sweep — 4 shards, fanout 2, hot keys pinned by "
+  ctx.out() << "E12: contention sweep — 4 shards, fanout 2, hot keys pinned by "
                "in-doubt blockers,\n"
-            << kTxns << " transactions per row, Protocol 2 backend\n\n";
+            << txns << " transactions per row, Protocol 2 backend\n\n";
 
   Table table({"key skew", "committed", "aborted", "abort rate", "atomicity violations"});
   bool aborts_rise = true;
   int prev_aborts = -1;
   bool atomic = true;
   for (double skew : {0.0, 1.0, 2.0, 4.0}) {
-    const auto stats = run_skew(skew, kTxns, 11);
+    const auto stats = run_skew(skew, txns, ctx.derive_seed(11));
     const double rate =
         static_cast<double>(stats.aborted) /
         std::max(1, stats.committed + stats.aborted);
@@ -114,14 +112,21 @@ int main() {
     prev_aborts = stats.aborted;
     atomic = atomic && stats.atomicity_violations == 0;
   }
-  table.print(std::cout);
+  ctx.table("contention_sweep", table);
 
-  rcommit::metrics::print_claim_report(
-      std::cout, "E12 claims",
-      {
-          {"intro", "contention flips outcomes to abort, never breaks atomicity",
-           atomic ? "0 atomicity violations at every skew" : "VIOLATION",
-           atomic && aborts_rise},
-      });
-  return 0;
+  ctx.claim({"intro", "contention flips outcomes to abort, never breaks atomicity",
+             atomic ? "0 atomicity violations at every skew" : "VIOLATION",
+             atomic && aborts_rise});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E12", "bench_db_contention",
+       "abort behaviour under lock contention (abort validity in production "
+       "clothing)",
+       {"intro"}},
+      body);
 }

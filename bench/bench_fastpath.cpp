@@ -7,11 +7,11 @@
 // the failure-free bound and inject up to t crashes for the constant-expected
 // claim.
 #include <algorithm>
-#include <iostream>
 #include <vector>
 
 #include "adversary/basic.h"
 #include "adversary/crash.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/report.h"
 #include "protocol/commit.h"
@@ -32,13 +32,11 @@ Tick max_decide_clock(const sim::RunResult& result) {
   return max_clock;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 400;
+  const int runs = ctx.runs(400);
 
-  std::cout << "E3: decision time in clock ticks on the fast path\n\n";
+  ctx.out() << "E3: decision time in clock ticks on the fast path\n\n";
 
   // --- failure-free, on-time: the 8K bound ---------------------------------
   Table ff({"K", "n", "mean ticks", "max ticks", "bound 8K", "within"});
@@ -47,8 +45,8 @@ int main() {
     for (int n : {3, 5, 9}) {
       SystemParams params{.n = n, .t = (n - 1) / 2, .k = k};
       Samples ticks;
-      for (int run = 0; run < kRuns; ++run) {
-        const auto seed = static_cast<uint64_t>(run * 31 + n + k);
+      for (int run = 0; run < runs; ++run) {
+        const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 31 + n + k));
         std::vector<int> votes(static_cast<size_t>(n), 1);
         sim::Simulator sim({.seed = seed}, protocol::make_commit_fleet(params, votes),
                            adversary::make_on_time_adversary());
@@ -62,19 +60,20 @@ int main() {
               Table::num(static_cast<int64_t>(8 * k)), within ? "yes" : "NO"});
     }
   }
-  std::cout << "failure-free on-time runs (remark 1):\n";
-  ff.print(std::cout);
+  ctx.out() << "failure-free on-time runs (remark 1):\n";
+  ctx.table("failure_free_ticks", ff);
 
   // --- on-time with up to t crashes: constant expected ticks ----------------
-  std::cout << "\non-time runs with up to t crashes (remark 2):\n";
+  ctx.out() << "\non-time runs with up to t crashes (remark 2):\n";
   Table crash_table({"K", "crashes", "mean ticks", "max ticks", "mean/K"});
   double worst_ratio = 0.0;
   for (Tick k : {2, 5, 10}) {
     SystemParams params{.n = 7, .t = 3, .k = k};
     for (int crashes : {1, 2, 3}) {
       Samples ticks;
-      for (int run = 0; run < kRuns; ++run) {
-        const auto seed = static_cast<uint64_t>(run * 131 + k * 7 + crashes);
+      for (int run = 0; run < runs; ++run) {
+        const auto seed =
+            ctx.derive_seed(static_cast<uint64_t>(run * 131 + k * 7 + crashes));
         std::vector<int> votes(7, 1);
         auto plans = adversary::random_crash_plans(seed, 7, crashes, 6 * k);
         // Keep the coordinator alive for its GO broadcast (§2.4 exemption).
@@ -100,16 +99,24 @@ int main() {
                        Table::num(ratio)});
     }
   }
-  crash_table.print(std::cout);
+  ctx.table("crash_ticks", crash_table);
 
-  rcommit::metrics::print_claim_report(
-      std::cout, "E3 claims",
-      {
-          {"C4", "failure-free on-time runs decide within 8K ticks",
-           all_within ? "every run within 8K" : "bound exceeded", all_within},
-          {"C5", "on-time runs decide in constant expected ticks (O(K))",
-           "worst mean/K ratio = " + Table::num(worst_ratio),
-           worst_ratio <= 16.0},
-      });
-  return 0;
+  ctx.scalar("worst_mean_over_k_ratio", worst_ratio);
+
+  ctx.claim({"C4", "failure-free on-time runs decide within 8K ticks",
+             all_within ? "every run within 8K" : "bound exceeded", all_within});
+  ctx.claim({"C5", "on-time runs decide in constant expected ticks (O(K))",
+             "worst mean/K ratio = " + Table::num(worst_ratio),
+             worst_ratio <= 16.0});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E3", "bench_fastpath",
+       "decision time in clock ticks on the fast path (remarks 1–2, §3.2)",
+       {"C4", "C5"}},
+      body);
 }

@@ -5,26 +5,29 @@
 // fail, the protocol may fail to terminate but never produces conflicting
 // decisions. We fix n = 7 (t = 3) and sweep the actual number of crashes f
 // from 0 to 6, reporting termination rate and conflicting-decision count.
-#include <iostream>
 #include <vector>
 
 #include "adversary/basic.h"
 #include "adversary/crash.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/report.h"
 #include "protocol/commit.h"
 #include "protocol/invariants.h"
 #include "sim/simulator.h"
 
-int main() {
-  using namespace rcommit;
+namespace {
+
+using namespace rcommit;
+
+void body(bench::Context& ctx) {
   using rcommit::Table;
 
-  constexpr int kRuns = 400;
+  const int runs = ctx.runs(400);
   const SystemParams params{.n = 7, .t = 3, .k = 2};
 
-  std::cout << "E4: fault-tolerance sweep, n = 7, t = 3 (quorum n - t = 4)\n"
-            << kRuns << " seeded runs per row; crashes strike at clocks in "
+  ctx.out() << "E4: fault-tolerance sweep, n = 7, t = 3 (quorum n - t = 4)\n"
+            << runs << " seeded runs per row; crashes strike at clocks in "
                "[2, 12]; event budget 60k\n\n";
 
   Table table({"crashes f", "terminated", "blocked", "conflicts", "wrong commits"});
@@ -35,9 +38,8 @@ int main() {
     int terminated = 0;
     int blocked = 0;
     int conflicts = 0;
-    int wrong_commits = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      const auto seed = static_cast<uint64_t>(run * 887 + f * 13 + 1);
+    for (int run = 0; run < runs; ++run) {
+      const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 887 + f * 13 + 1));
       std::vector<int> votes(7, 1);
       auto plans = adversary::random_crash_plans(seed, 7, f, /*max_clock=*/12);
       for (auto& p : plans) {
@@ -58,33 +60,37 @@ int main() {
         ++blocked;
       }
       if (!protocol::agreement_holds(result)) ++conflicts;
-      // With all-commit votes a commit is legitimate; "wrong" here means a
-      // commit coexisting with an abort (covered by conflicts) — count any
-      // decision conflict only.
-      (void)wrong_commits;
     }
     table.row({Table::num(static_cast<int64_t>(f)),
                Table::num(static_cast<int64_t>(terminated)),
                Table::num(static_cast<int64_t>(blocked)),
                Table::num(static_cast<int64_t>(conflicts)), "0"});
     if (conflicts > 0) no_conflicts = false;
-    if (f <= params.t && terminated != kRuns) terminates_within_t = false;
+    if (f <= params.t && terminated != runs) terminates_within_t = false;
     if (f > params.t && blocked > 0) blocks_beyond_t = true;
   }
-  table.print(std::cout);
+  ctx.table("fault_sweep", table);
 
-  metrics::print_claim_report(
-      std::cout, "E4 claims",
-      {
-          {"C7", "terminates whenever f <= t (t < n/2 optimal, Thm 14)",
-           terminates_within_t ? "100% termination for f <= 3"
-                               : "termination failures within bound",
-           terminates_within_t},
-          {"C8",
-           "graceful degradation: f > t may block, never conflicts (Thm 11)",
-           no_conflicts ? "0 conflicting decisions in all rows"
-                        : "CONFLICT OBSERVED",
-           no_conflicts && blocks_beyond_t},
-      });
-  return 0;
+  ctx.scalar("conflicting_decisions", no_conflicts ? 0.0 : 1.0);
+
+  ctx.claim({"C7", "terminates whenever f <= t (t < n/2 optimal, Thm 14)",
+             terminates_within_t ? "100% termination for f <= 3"
+                                 : "termination failures within bound",
+             terminates_within_t});
+  ctx.claim({"C8",
+             "graceful degradation: f > t may block, never conflicts (Thm 11)",
+             no_conflicts ? "0 conflicting decisions in all rows"
+                          : "CONFLICT OBSERVED",
+             no_conflicts && blocks_beyond_t});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E4", "bench_fault_tolerance",
+       "fault-tolerance sweep and graceful degradation (Thms 9, 11, 14)",
+       {"C7", "C8"}},
+      body);
 }

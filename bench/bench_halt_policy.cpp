@@ -7,11 +7,11 @@
 // what the helper buys: events and messages until every nonfaulty processor
 // has decided, plus whether the fleet reaches a state where every processor
 // has halted at all.
-#include <iostream>
 #include <memory>
 #include <vector>
 
 #include "adversary/basic.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "protocol/commit.h"
 #include "sim/simulator.h"
@@ -26,11 +26,12 @@ struct PolicyStats {
   int64_t halted_runs = 0;
 };
 
-PolicyStats run_policy(protocol::HaltPolicy policy, int n, int runs) {
+PolicyStats run_policy(const bench::Context& ctx, protocol::HaltPolicy policy,
+                       int n, int runs) {
   SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
   PolicyStats stats;
   for (int run = 0; run < runs; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 613 + n);
+    const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 613 + n));
     std::vector<int> votes(static_cast<size_t>(n), 1);
     sim::Simulator sim({.seed = seed, .record_trace = false},
                        protocol::make_commit_fleet(params, votes, policy),
@@ -48,20 +49,18 @@ PolicyStats run_policy(protocol::HaltPolicy policy, int n, int runs) {
   return stats;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 400;
+  const int runs = ctx.runs(400);
 
-  std::cout << "E10: halt-policy ablation (DESIGN.md D1)\n"
-            << kRuns << " runs per row, random admissible timing, all-commit\n\n";
+  ctx.out() << "E10: halt-policy ablation (DESIGN.md D1)\n"
+            << runs << " runs per row, random admissible timing, all-commit\n\n";
 
   Table table({"n", "policy", "mean events", "mean msgs", "runs fully halted"});
   for (int n : {5, 9}) {
     for (auto policy : {protocol::HaltPolicy::kDecidedBroadcast,
                         protocol::HaltPolicy::kRunForever}) {
-      const auto stats = run_policy(policy, n, kRuns);
+      const auto stats = run_policy(ctx, policy, n, runs);
       table.row({Table::num(static_cast<int64_t>(n)),
                  policy == protocol::HaltPolicy::kDecidedBroadcast
                      ? "DECIDED broadcast"
@@ -71,9 +70,20 @@ int main() {
                  Table::num(stats.halted_runs)});
     }
   }
-  table.print(std::cout);
-  std::cout << "\nThe paper-literal policy decides just as fast but leaves every "
+  ctx.table("halt_policy", table);
+  ctx.out() << "\nThe paper-literal policy decides just as fast but leaves every "
                "processor running;\nthe DECIDED helper lets the whole fleet "
                "terminate at the cost of n^2 extra messages.\n";
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E10", "bench_halt_policy",
+       "halt-policy ablation: DECIDED broadcast vs paper-literal run-forever "
+       "(DESIGN.md D1)",
+       {}},
+      body);
 }

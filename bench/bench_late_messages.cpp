@@ -19,7 +19,6 @@
 //                         commit — inconsistency.
 //   Protocol 2          : late messages only ever delay or flip the outcome
 //                         toward abort; all processors still agree.
-#include <iostream>
 #include <map>
 #include <memory>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "baselines/q3pc.h"
 #include "baselines/threepc.h"
 #include "baselines/twopc.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/report.h"
 #include "protocol/commit.h"
@@ -122,11 +122,12 @@ enum class Scenario {
   kLeaderIsolated,   ///< every link INTO processor 1 is late (no failures)
 };
 
-Tally run_protocol(Proto proto, Scenario scenario, int runs) {
+Tally run_protocol(const bench::Context& ctx, Proto proto, Scenario scenario,
+                   int runs) {
   const SystemParams params{.n = 5, .t = 2, .k = 2};
   Tally tally;
   for (int run = 0; run < runs; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 41 + 7);
+    const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 41 + 7));
     const ProcId victim = 1 + static_cast<ProcId>(run % (params.n - 1));
     std::unique_ptr<sim::Adversary> adv;
     if (scenario == Scenario::kLeaderIsolated) {
@@ -180,30 +181,31 @@ Tally run_protocol(Proto proto, Scenario scenario, int runs) {
   return tally;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 500;
+  const int runs = ctx.runs(500);
 
-  std::cout << "E7: timing violations vs commit protocols, n = 5, all votes "
+  ctx.out() << "E7: timing violations vs commit protocols, n = 5, all votes "
                "commit, K = 2, "
-            << kRuns << " runs per cell\n";
+            << runs << " runs per cell\n";
 
   std::map<std::pair<Proto, Scenario>, Tally> tallies;
   for (auto scenario : {Scenario::kLateMessage, Scenario::kCoordinatorDies,
                         Scenario::kLeaderIsolated}) {
+    const char* table_name = "scenario_a_late_message";
     switch (scenario) {
       case Scenario::kLateMessage:
-        std::cout << "\nscenario A: one message delayed by 60 ticks "
+        ctx.out() << "\nscenario A: one message delayed by 60 ticks "
                      "(timeouts are 4K = 8), no failures\n";
         break;
       case Scenario::kCoordinatorDies:
-        std::cout << "\nscenario B: coordinator crashes in the middle of "
+        table_name = "scenario_b_coordinator_dies";
+        ctx.out() << "\nscenario B: coordinator crashes in the middle of "
                      "its outcome broadcast\n";
         break;
       case Scenario::kLeaderIsolated:
-        std::cout << "\nscenario C: every message into processor 1 (the "
+        table_name = "scenario_c_leader_isolated";
+        ctx.out() << "\nscenario C: every message into processor 1 (the "
                      "termination-protocol leader) is late, no failures\n";
         break;
     }
@@ -211,14 +213,14 @@ int main() {
                  "runs w/ commit", "runs w/ abort"});
     for (auto proto : {Proto::kTwoPcPresume, Proto::kTwoPcBlock, Proto::kThreePc,
                        Proto::kQ3pc, Proto::kOurs}) {
-      const auto tally = run_protocol(proto, scenario, kRuns);
+      const auto tally = run_protocol(ctx, proto, scenario, runs);
       table.row({proto_name(proto), Table::num(static_cast<int64_t>(tally.conflicts)),
                  Table::num(static_cast<int64_t>(tally.blocked)),
                  Table::num(static_cast<int64_t>(tally.commits)),
                  Table::num(static_cast<int64_t>(tally.aborts))});
       tallies[{proto, scenario}] = tally;
     }
-    table.print(std::cout);
+    ctx.table(table_name, table);
   }
 
   const auto& presume_late = tallies[{Proto::kTwoPcPresume, Scenario::kLateMessage}];
@@ -231,45 +233,58 @@ int main() {
   const auto& ours_crash = tallies[{Proto::kOurs, Scenario::kCoordinatorDies}];
   const auto& ours_isolated = tallies[{Proto::kOurs, Scenario::kLeaderIsolated}];
 
-  rcommit::metrics::print_claim_report(
-      std::cout, "E7 claims",
-      {
-          {"C13a", "a single late message drives 2PC/3PC to a wrong answer",
-           "2PC-presume conflicts: " +
-               Table::num(static_cast<int64_t>(presume_late.conflicts)) +
-               ", 3PC conflicts: " +
-               Table::num(static_cast<int64_t>(threepc_late.conflicts)),
-           presume_late.conflicts > 0 && threepc_late.conflicts > 0},
-          {"C13b",
-           "the safe 2PC variant escapes wrong answers only by blocking "
-           "(coordinator-crash scenario)",
-           "2PC-block: conflicts " +
-               Table::num(static_cast<int64_t>(block_crash.conflicts)) +
-               ", blocked " + Table::num(static_cast<int64_t>(block_crash.blocked)),
-           block_crash.conflicts == 0 && block_crash.blocked > 0},
-          {"C13c",
-           "the termination protocol fixes A and B but falls to leader "
-           "isolation (C): the synchrony assumption, not the rule set, is "
-           "the flaw",
-           "Q3PC conflicts A/B/C: " +
-               Table::num(static_cast<int64_t>(q3pc_late.conflicts)) + "/" +
-               Table::num(static_cast<int64_t>(q3pc_crash.conflicts)) + "/" +
-               Table::num(static_cast<int64_t>(q3pc_isolated.conflicts)),
-           q3pc_late.conflicts == 0 && q3pc_crash.conflicts == 0 &&
-               q3pc_isolated.conflicts > 0},
-          {"C13d", "Protocol 2 neither conflicts nor blocks in any scenario",
-           "conflicts: " +
-               Table::num(static_cast<int64_t>(ours_late.conflicts +
-                                               ours_crash.conflicts +
-                                               ours_isolated.conflicts)) +
-               ", blocked: " +
-               Table::num(static_cast<int64_t>(ours_late.blocked +
-                                               ours_crash.blocked +
-                                               ours_isolated.blocked)),
-           ours_late.conflicts + ours_crash.conflicts + ours_isolated.conflicts ==
-                   0 &&
-               ours_late.blocked + ours_crash.blocked + ours_isolated.blocked ==
-                   0},
-      });
-  return 0;
+  ctx.scalar("ours_conflicts",
+             ours_late.conflicts + ours_crash.conflicts + ours_isolated.conflicts,
+             "runs");
+  ctx.scalar("ours_blocked",
+             ours_late.blocked + ours_crash.blocked + ours_isolated.blocked,
+             "runs");
+
+  ctx.claim({"C13a", "a single late message drives 2PC/3PC to a wrong answer",
+             "2PC-presume conflicts: " +
+                 Table::num(static_cast<int64_t>(presume_late.conflicts)) +
+                 ", 3PC conflicts: " +
+                 Table::num(static_cast<int64_t>(threepc_late.conflicts)),
+             presume_late.conflicts > 0 && threepc_late.conflicts > 0});
+  ctx.claim({"C13b",
+             "the safe 2PC variant escapes wrong answers only by blocking "
+             "(coordinator-crash scenario)",
+             "2PC-block: conflicts " +
+                 Table::num(static_cast<int64_t>(block_crash.conflicts)) +
+                 ", blocked " + Table::num(static_cast<int64_t>(block_crash.blocked)),
+             block_crash.conflicts == 0 && block_crash.blocked > 0});
+  ctx.claim({"C13c",
+             "the termination protocol fixes A and B but falls to leader "
+             "isolation (C): the synchrony assumption, not the rule set, is "
+             "the flaw",
+             "Q3PC conflicts A/B/C: " +
+                 Table::num(static_cast<int64_t>(q3pc_late.conflicts)) + "/" +
+                 Table::num(static_cast<int64_t>(q3pc_crash.conflicts)) + "/" +
+                 Table::num(static_cast<int64_t>(q3pc_isolated.conflicts)),
+             q3pc_late.conflicts == 0 && q3pc_crash.conflicts == 0 &&
+                 q3pc_isolated.conflicts > 0});
+  ctx.claim({"C13d", "Protocol 2 neither conflicts nor blocks in any scenario",
+             "conflicts: " +
+                 Table::num(static_cast<int64_t>(ours_late.conflicts +
+                                                 ours_crash.conflicts +
+                                                 ours_isolated.conflicts)) +
+                 ", blocked: " +
+                 Table::num(static_cast<int64_t>(ours_late.blocked +
+                                                 ours_crash.blocked +
+                                                 ours_isolated.blocked)),
+             ours_late.conflicts + ours_crash.conflicts + ours_isolated.conflicts ==
+                     0 &&
+                 ours_late.blocked + ours_crash.blocked + ours_isolated.blocked ==
+                     0});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E7", "bench_late_messages",
+       "timing violations vs 2PC/3PC/Q3PC/Protocol 2 (§1 motivation)",
+       {"C13a", "C13b", "C13c", "C13d"}},
+      body);
 }

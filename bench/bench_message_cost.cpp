@@ -4,7 +4,6 @@
 // its comparison: Protocol 2 buys timing-robustness with O(n^2) messages per
 // stage (everyone broadcasts), where coordinator-based 2PC/3PC spend O(n) —
 // and pay for it with late-message fragility (see E7).
-#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "baselines/benor.h"
 #include "baselines/threepc.h"
 #include "baselines/twopc.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "protocol/commit.h"
 #include "sim/simulator.h"
@@ -68,14 +68,12 @@ std::vector<std::unique_ptr<sim::Process>> make_fleet(Proto proto,
   return fleet;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 300;
+  const int runs = ctx.runs(300);
 
-  std::cout << "E9: messages sent per decided instance (failure-free, on-time)\n"
-            << kRuns << " runs per cell\n\n";
+  ctx.out() << "E9: messages sent per decided instance (failure-free, on-time)\n"
+            << runs << " runs per cell\n\n";
 
   Table table({"protocol", "n=3", "n=5", "n=9", "n=13"});
   for (auto proto : {Proto::kOurs, Proto::kAgreementOnly, Proto::kTwoPc,
@@ -84,8 +82,8 @@ int main() {
     for (int n : {3, 5, 9, 13}) {
       SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
       Samples messages;
-      for (int run = 0; run < kRuns; ++run) {
-        const auto seed = static_cast<uint64_t>(run * 29 + n);
+      for (int run = 0; run < runs; ++run) {
+        const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 29 + n));
         sim::Simulator sim({.seed = seed, .record_trace = false},
                            make_fleet(proto, params, seed),
                            adversary::make_on_time_adversary());
@@ -95,12 +93,25 @@ int main() {
         }
       }
       row.push_back(Table::num(messages.mean(), 0));
+      if (proto == Proto::kOurs && n == 13) {
+        ctx.scalar("ours_mean_messages_n13", messages.mean(), "messages");
+      }
     }
     table.row(std::move(row));
   }
-  table.print(std::cout);
-  std::cout << "\nProtocol 2 pays O(n^2) messages per stage for coordinator-free "
+  ctx.table("messages_per_decision", table);
+  ctx.out() << "\nProtocol 2 pays O(n^2) messages per stage for coordinator-free "
                "timing robustness;\n2PC/3PC are O(n) but fail under one late "
                "message (see bench_late_messages).\n";
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E9", "bench_message_cost",
+       "messages per decided instance across protocols (cost companion to E7)",
+       {}},
+      body);
 }

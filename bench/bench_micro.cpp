@@ -2,11 +2,17 @@
 // codec round-trips, wire encode/decode, CRC, WAL appends, and raw simulator
 // event throughput. These quantify the substrate costs so the protocol-level
 // numbers in E1-E14 can be read with the constant factors in mind.
+//
+// Runs under the shared bench harness instead of BENCHMARK_MAIN so it speaks
+// the same flags and emits the same JSON artifact as the E-benches; each
+// google-benchmark result becomes one TimingSample (seconds per iteration).
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
+#include <string>
 
 #include "adversary/basic.h"
+#include "bench/harness.h"
 #include "common/codec.h"
 #include "common/rng.h"
 #include "db/wal.h"
@@ -96,6 +102,52 @@ void BM_RandomTape(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomTape);
 
+/// Console output as usual, plus one TimingSample per benchmark: mean real
+/// seconds per iteration, with the iteration count as the repeat count.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(bench::Context& ctx) : ctx_(ctx) {}
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& run : report) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      ctx_.timing({run.benchmark_name(), per_iter,
+                   static_cast<int>(run.iterations), 0});
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+ private:
+  bench::Context& ctx_;
+};
+
+void body(bench::Context& ctx) {
+  // The harness owns the real command line; google-benchmark sees only a
+  // synthetic one (quick mode shrinks the per-benchmark minimum time).
+  std::string min_time = "--benchmark_min_time=";
+  min_time += ctx.quick() ? "0.02" : "0.1";
+  std::string prog = "bench_micro";
+  std::vector<char*> argv = {prog.data(), min_time.data()};
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+
+  CaptureReporter reporter(ctx);
+  reporter.SetOutputStream(&ctx.out());
+  reporter.SetErrorStream(&ctx.out());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"micro", "bench_micro",
+       "substrate micro-benchmarks: codec, CRC, wire, WAL, simulator, RNG",
+       {}},
+      body);
+}

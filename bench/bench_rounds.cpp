@@ -5,12 +5,12 @@
 // the decision round (per the §2.2 round definition, computed by
 // RoundAnalyzer) across system sizes under both random admissible timing and
 // the hostile-but-admissible quorum staller.
-#include <iostream>
 #include <memory>
 #include <vector>
 
 #include "adversary/adaptive.h"
 #include "adversary/basic.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/counters.h"
 #include "metrics/report.h"
@@ -29,11 +29,12 @@ struct RoundStats {
 
 enum class AdversaryKind { kRandom, kStaller };
 
-RoundStats run_sweep(int n, AdversaryKind kind, int runs) {
+RoundStats run_sweep(const bench::Context& ctx, int n, AdversaryKind kind,
+                     int runs) {
   SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
   RoundStats stats;
   for (int run = 0; run < runs; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 6151 + n * 17 + 1);
+    const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 6151 + n * 17 + 1));
     std::vector<int> votes(static_cast<size_t>(n), 1);
     std::unique_ptr<sim::Adversary> adv;
     if (kind == AdversaryKind::kRandom) {
@@ -59,20 +60,18 @@ const char* kind_name(AdversaryKind k) {
   return k == AdversaryKind::kRandom ? "random" : "quorum-staller";
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 800;
+  const int runs = ctx.runs(800);
 
-  std::cout << "E2: asynchronous rounds to decision for Protocol 2 (Theorem 10)\n"
-            << kRuns << " seeded runs per row, all-commit votes, t = (n-1)/2, K = 2\n\n";
+  ctx.out() << "E2: asynchronous rounds to decision for Protocol 2 (Theorem 10)\n"
+            << runs << " seeded runs per row, all-commit votes, t = (n-1)/2, K = 2\n\n";
 
   Table table({"n", "adversary", "mean rounds", "p99", "max", "undecided"});
   double worst_mean = 0.0;
   for (int n : {3, 5, 7, 9}) {
     for (auto kind : {AdversaryKind::kRandom, AdversaryKind::kStaller}) {
-      const auto stats = run_sweep(n, kind, kRuns);
+      const auto stats = run_sweep(ctx, n, kind, runs);
       table.row({Table::num(static_cast<int64_t>(n)), kind_name(kind),
                  Table::num(stats.rounds.mean()),
                  Table::num(stats.rounds.percentile(0.99)),
@@ -80,21 +79,30 @@ int main() {
       worst_mean = std::max(worst_mean, stats.rounds.mean());
     }
   }
-  table.print(std::cout);
+  ctx.table("rounds_by_adversary", table);
 
   // Distribution at the largest size against the hostile staller — the
   // shape behind Theorem 10's expectation.
-  std::cout << "\nround distribution, n = 9, quorum-staller:\n";
-  run_sweep(9, AdversaryKind::kStaller, kRuns).histogram.print(std::cout);
+  ctx.out() << "\nround distribution, n = 9, quorum-staller:\n";
+  run_sweep(ctx, 9, AdversaryKind::kStaller, runs).histogram.print(ctx.out());
 
-  rcommit::metrics::print_claim_report(
-      std::cout, "E2 claims",
-      {
-          {"C3", "decide in <= 14 expected asynchronous rounds",
-           "worst mean over all rows = " + Table::num(worst_mean), worst_mean <= 14.0},
-          {"C2",
-           "constant rounds independent of n (each stage costs <= 2 rounds)",
-           "means stay flat across n (see table)", worst_mean <= 14.0},
-      });
-  return 0;
+  ctx.scalar("worst_mean_rounds", worst_mean, "rounds");
+
+  ctx.claim({"C3", "decide in <= 14 expected asynchronous rounds",
+             "worst mean over all rows = " + Table::num(worst_mean),
+             worst_mean <= 14.0});
+  ctx.claim({"C2",
+             "constant rounds independent of n (each stage costs <= 2 rounds)",
+             "means stay flat across n (see table)", worst_mean <= 14.0});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E2", "bench_rounds",
+       "asynchronous rounds to decision for Protocol 2 (Theorem 10)",
+       {"C3", "C2"}},
+      body);
 }

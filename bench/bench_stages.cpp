@@ -5,10 +5,10 @@
 // the expectation toward 3. Sweeping the coin-list length at several system
 // sizes under randomized admissible timing reproduces both: measured means
 // sit well under the proofs' bounds, and longer coin lists shave the tail.
-#include <iostream>
 #include <vector>
 
 #include "adversary/basic.h"
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "metrics/report.h"
@@ -24,11 +24,12 @@ struct StageStats {
   int64_t undecided = 0;
 };
 
-StageStats run_sweep(int n, int coin_len, int runs) {
+StageStats run_sweep(const bench::Context& ctx, int n, int coin_len, int runs) {
   SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
   StageStats stats;
   for (int run = 0; run < runs; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 7919 + n * 131 + coin_len + 1);
+    const auto seed = ctx.derive_seed(
+        static_cast<uint64_t>(run * 7919 + n * 131 + coin_len + 1));
     RandomTape coin_rng(seed ^ 0xc01);
     const auto coins = coin_rng.flip_bits(coin_len);
     RandomTape input_rng(seed ^ 0x1117);
@@ -59,14 +60,12 @@ StageStats run_sweep(int n, int coin_len, int runs) {
   return stats;
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 1500;
+  const int runs = ctx.runs(1500);
 
-  std::cout << "E1: expected stages of Protocol 1 (Lemma 8 / remark 3)\n"
-            << kRuns << " seeded runs per row, mixed inputs, random admissible "
+  ctx.out() << "E1: expected stages of Protocol 1 (Lemma 8 / remark 3)\n"
+            << runs << " seeded runs per row, mixed inputs, random admissible "
                "timing, t = (n-1)/2\n\n";
 
   Table table({"n", "coins", "mean stages", "p99", "max", "undecided"});
@@ -75,7 +74,7 @@ int main() {
   double mean_n5_coins_4n = 0.0;
   for (int n : {3, 5, 7, 9, 13}) {
     for (int coin_len : {0, n, 4 * n}) {
-      const auto stats = run_sweep(n, coin_len, kRuns);
+      const auto stats = run_sweep(ctx, n, coin_len, runs);
       table.row({Table::num(static_cast<int64_t>(n)),
                  Table::num(static_cast<int64_t>(coin_len)),
                  Table::num(stats.stages.mean()),
@@ -89,18 +88,27 @@ int main() {
       if (n == 5 && coin_len == 4 * n) mean_n5_coins_4n = stats.stages.mean();
     }
   }
-  table.print(std::cout);
+  ctx.table("stages_by_coin_len", table);
 
-  rcommit::metrics::print_claim_report(
-      std::cout, "E1 claims",
-      {
-          {"C1", "expected stages <= 4 with >= n shared coins",
-           "worst mean = " + Table::num(worst_mean_with_coins),
-           worst_mean_with_coins <= 4.0},
-          {"C6", "more coins do not increase expected stages (→3)",
-           "n=5: coins=n mean " + Table::num(mean_n5_coins_n) + " vs coins=4n mean " +
-               Table::num(mean_n5_coins_4n),
-           mean_n5_coins_4n <= mean_n5_coins_n + 0.1},
-      });
-  return 0;
+  ctx.scalar("worst_mean_stages_with_coins", worst_mean_with_coins, "stages");
+  ctx.scalar("mean_stages_n5_coins_n", mean_n5_coins_n, "stages");
+  ctx.scalar("mean_stages_n5_coins_4n", mean_n5_coins_4n, "stages");
+
+  ctx.claim({"C1", "expected stages <= 4 with >= n shared coins",
+             "worst mean = " + Table::num(worst_mean_with_coins),
+             worst_mean_with_coins <= 4.0});
+  ctx.claim({"C6", "more coins do not increase expected stages (→3)",
+             "n=5: coins=n mean " + Table::num(mean_n5_coins_n) +
+                 " vs coins=4n mean " + Table::num(mean_n5_coins_4n),
+             mean_n5_coins_4n <= mean_n5_coins_n + 0.1});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E1", "bench_stages",
+       "expected stages of Protocol 1 (Lemma 8 / remark 3)", {"C1", "C6"}},
+      body);
 }

@@ -7,27 +7,30 @@
 // uniform message delay x grows, decision time in clock ticks grows linearly
 // without bound, while the decision round stays constant (each round simply
 // stretches to contain the slower messages).
-#include <iostream>
 #include <memory>
 #include <vector>
 
 #include "adversary/stretch.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/counters.h"
 #include "metrics/report.h"
 #include "protocol/commit.h"
 #include "sim/simulator.h"
 
-int main() {
-  using namespace rcommit;
+namespace {
+
+using namespace rcommit;
+
+void body(bench::Context& ctx) {
   using rcommit::Table;
 
-  constexpr int kRuns = 200;
+  const int runs = ctx.runs(200);
   const SystemParams params{.n = 5, .t = 2, .k = 2};
 
-  std::cout << "E8: decision ticks vs asynchronous rounds as the uniform delay "
+  ctx.out() << "E8: decision ticks vs asynchronous rounds as the uniform delay "
                "x grows\n"
-            << "n = 5, K = 2, all-commit votes, " << kRuns << " runs per row\n\n";
+            << "n = 5, K = 2, all-commit votes, " << runs << " runs per row\n\n";
 
   Table table({"delay x", "mean ticks", "ticks/x", "mean rounds", "max rounds"});
   std::vector<double> tick_means;
@@ -35,8 +38,8 @@ int main() {
   for (Tick x : {1, 2, 4, 8, 16, 32, 64}) {
     Samples ticks;
     Samples rounds;
-    for (int run = 0; run < kRuns; ++run) {
-      const auto seed = static_cast<uint64_t>(run * 577 + x);
+    for (int run = 0; run < runs; ++run) {
+      const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 577 + x));
       std::vector<int> votes(5, 1);
       sim::Simulator sim({.seed = seed}, protocol::make_commit_fleet(params, votes),
                          std::make_unique<adversary::DelayStretchAdversary>(x));
@@ -52,7 +55,7 @@ int main() {
                Table::num(ticks.mean() / static_cast<double>(x)),
                Table::num(rounds.mean()), Table::num(rounds.max(), 0)});
   }
-  table.print(std::cout);
+  ctx.table("ticks_vs_rounds", table);
 
   // Ticks must keep growing with x; rounds must not.
   const bool ticks_unbounded =
@@ -61,15 +64,26 @@ int main() {
   for (double r : round_means) max_round_mean = std::max(max_round_mean, r);
   const bool rounds_constant = max_round_mean <= 14.0;
 
-  metrics::print_claim_report(
-      std::cout, "E8 claims",
-      {
-          {"C12a", "decision clock ticks grow without bound as delays stretch",
-           "ticks grow from " + Table::num(tick_means.front()) + " to " +
-               Table::num(tick_means.back()) + " over x: 1 -> 64",
-           ticks_unbounded},
-          {"C12b", "decision stays within ~14 asynchronous rounds regardless",
-           "max mean rounds = " + Table::num(max_round_mean), rounds_constant},
-      });
-  return 0;
+  ctx.scalar("tick_mean_at_x1", tick_means.front(), "ticks");
+  ctx.scalar("tick_mean_at_x64", tick_means.back(), "ticks");
+  ctx.scalar("max_mean_rounds", max_round_mean, "rounds");
+
+  ctx.claim({"C12a", "decision clock ticks grow without bound as delays stretch",
+             "ticks grow from " + Table::num(tick_means.front()) + " to " +
+                 Table::num(tick_means.back()) + " over x: 1 -> 64",
+             ticks_unbounded});
+  ctx.claim({"C12b", "decision stays within ~14 asynchronous rounds regardless",
+             "max mean rounds = " + Table::num(max_round_mean), rounds_constant});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E8", "bench_ticks_vs_rounds",
+       "decision ticks vs asynchronous rounds under stretched delays "
+       "(Theorem 17 / §2.2)",
+       {"C12a", "C12b"}},
+      body);
 }

@@ -5,7 +5,6 @@
 // Commit validity: all-commit + failure-free + on-time forces commit. We
 // hammer the first across four adversary families and verify the second on
 // the on-time family.
-#include <iostream>
 #include <memory>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "adversary/basic.h"
 #include "adversary/crash.h"
 #include "adversary/stretch.h"
+#include "bench/harness.h"
 #include "common/stats.h"
 #include "metrics/report.h"
 #include "protocol/commit.h"
@@ -54,14 +54,12 @@ const char* family_name(int family) {
   }
 }
 
-}  // namespace
-
-int main() {
+void body(bench::Context& ctx) {
   using rcommit::Table;
-  constexpr int kRuns = 500;
+  const int runs = ctx.runs(500);
   const SystemParams params{.n = 7, .t = 3, .k = 2};
 
-  std::cout << "E5: validity conditions, n = 7, t = 3, K = 2, " << kRuns
+  ctx.out() << "E5: validity conditions, n = 7, t = 3, K = 2, " << runs
             << " runs per row\n\n";
 
   // --- abort validity: one aborter, the rest want commit --------------------
@@ -71,8 +69,8 @@ int main() {
     int decided = 0;
     int aborts = 0;
     int commits = 0;
-    for (int run = 0; run < kRuns; ++run) {
-      const auto seed = static_cast<uint64_t>(run * 53 + family + 1);
+    for (int run = 0; run < runs; ++run) {
+      const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 53 + family + 1));
       std::vector<int> votes(7, 1);
       votes[static_cast<size_t>(run % 7)] = 0;
       // Aborter must survive for the crash family: abort validity is about
@@ -92,13 +90,13 @@ int main() {
                      Table::num(static_cast<int64_t>(aborts)),
                      Table::num(static_cast<int64_t>(commits))});
   }
-  std::cout << "abort validity (one initial abort):\n";
-  abort_table.print(std::cout);
+  ctx.out() << "abort validity (one initial abort):\n";
+  ctx.table("abort_validity", abort_table);
 
   // --- commit validity: all-commit, failure-free, on-time -------------------
   int commit_ok_runs = 0;
-  for (int run = 0; run < kRuns; ++run) {
-    const auto seed = static_cast<uint64_t>(run * 97 + 11);
+  for (int run = 0; run < runs; ++run) {
+    const auto seed = ctx.derive_seed(static_cast<uint64_t>(run * 97 + 11));
     std::vector<int> votes(7, 1);
     sim::Simulator sim({.seed = seed}, protocol::make_commit_fleet(params, votes),
                        adversary::make_on_time_adversary());
@@ -108,20 +106,27 @@ int main() {
       ++commit_ok_runs;
     }
   }
-  const bool commit_ok = commit_ok_runs == kRuns;
-  std::cout << "\ncommit validity: " << commit_ok_runs << "/" << kRuns
+  const bool commit_ok = commit_ok_runs == runs;
+  ctx.out() << "\ncommit validity: " << commit_ok_runs << "/" << runs
             << " all-commit failure-free on-time runs committed\n";
 
-  metrics::print_claim_report(
-      std::cout, "E5 claims",
-      {
-          {"C9", "any initial abort forces abort, under ANY timing",
-           abort_ok ? "0 violations across 4 adversary families" : "VIOLATION",
-           abort_ok},
-          {"C10", "all-commit failure-free on-time runs commit",
-           Table::num(static_cast<int64_t>(commit_ok_runs)) + "/" +
-               Table::num(static_cast<int64_t>(kRuns)) + " committed",
-           commit_ok},
-      });
-  return 0;
+  ctx.scalar("commit_validity_runs", commit_ok_runs, "runs");
+
+  ctx.claim({"C9", "any initial abort forces abort, under ANY timing",
+             abort_ok ? "0 violations across 4 adversary families" : "VIOLATION",
+             abort_ok});
+  ctx.claim({"C10", "all-commit failure-free on-time runs commit",
+             Table::num(static_cast<int64_t>(commit_ok_runs)) + "/" +
+                 Table::num(static_cast<int64_t>(runs)) + " committed",
+             commit_ok});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E5", "bench_validity",
+       "abort/commit validity under hostile timing (Theorem 9)", {"C9", "C10"}},
+      body);
 }

@@ -1,0 +1,184 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+
+namespace rcommit::bench {
+namespace {
+
+const std::vector<FlagDoc>& flag_docs() {
+  static const std::vector<FlagDoc> kDocs = {
+      {"json", "path", "write the BenchResult JSON artifact (\"-\" = stdout)"},
+      {"quick", "", "reduced grids / run counts (the CI bench-smoke mode)"},
+      {"repeat", "N", "time the body over N silent re-runs (default 1)"},
+      {"seed0", "N", "base seed for every derived run seed (default 1)"},
+      {"list", "", "print experiment id, title, and claim ids, then exit"},
+      {"help", "", "this text"},
+  };
+  return kDocs;
+}
+
+/// Discards everything written to it; timing re-runs print here.
+class NullStream : public std::ostream {
+ public:
+  NullStream() : std::ostream(&buffer_) {}
+
+ private:
+  class NullBuffer : public std::streambuf {
+   protected:
+    int overflow(int c) override { return c; }
+  };
+  NullBuffer buffer_;
+};
+
+double now_seconds() {
+  // Wall time is the measurement here, not an input to any simulated
+  // decision; seeds stay fixed across re-runs so simulated results agree.
+  // RCOMMIT_LINT_ALLOW(R1): perf reporting only
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+std::string join(const std::vector<std::string>& parts, const char* sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+Context::Context(const BenchInfo& info, bool quick, int repeat, uint64_t seed0,
+                 std::ostream& out)
+    : quick_(quick), repeat_(repeat), seed0_(seed0), out_(&out) {
+  result_.experiment_id = info.experiment_id;
+  result_.bench = info.name;
+  result_.title = info.title;
+  result_.quick = quick;
+  result_.repeat = repeat;
+  result_.seed0 = seed0;
+}
+
+int Context::runs(int full, int quick_floor) const {
+  if (!quick_) return full;
+  return std::max(std::min(full, quick_floor), full / 10);
+}
+
+uint64_t Context::derive_seed(uint64_t local) const {
+  if (seed0_ == 1) return local;
+  SplitMix64 mix(seed0_ ^ (local * 0x9e3779b97f4a7c15ULL));
+  return mix.next();
+}
+
+void Context::claim(metrics::ClaimRow row) {
+  if (recording_) result_.claims.push_back(std::move(row));
+}
+
+void Context::scalar(const std::string& name, double value,
+                     const std::string& unit) {
+  if (recording_) result_.scalars.push_back({name, value, unit});
+}
+
+void Context::timing(metrics::TimingSample sample) {
+  if (recording_) result_.timings.push_back(std::move(sample));
+}
+
+void Context::table(const std::string& name, const Table& table) {
+  table.print(*out_);
+  if (recording_) result_.tables.push_back({name, table.str()});
+}
+
+int run(int argc, const char* const* argv, const BenchInfo& info,
+        const std::function<void(Context&)>& body) {
+  Flags flags;
+  try {
+    flags = Flags::parse(argc, argv);
+  } catch (const CheckFailure& e) {
+    std::cerr << info.name << ": " << e.what() << "\n";
+    Flags::print_usage(std::cerr, info.name, info.title, flag_docs());
+    return 2;
+  }
+
+  const std::string json_path = flags.get_string("json", "");
+  const bool quick = flags.get_bool("quick", false);
+  const auto repeat = static_cast<int>(flags.get_int("repeat", 1));
+  const auto seed0 = static_cast<uint64_t>(flags.get_int("seed0", 1));
+  const bool list = flags.get_bool("list", false);
+  const bool help = flags.get_bool("help", false);
+
+  if (help) {
+    Flags::print_usage(std::cout, info.name, info.title, flag_docs());
+    return 0;
+  }
+  if (!flags.check_unknown(std::cerr, info.title, flag_docs())) return 2;
+  if (list) {
+    std::cout << info.name << "  " << info.experiment_id << "  claims: "
+              << (info.claim_ids.empty() ? "-" : join(info.claim_ids, ","))
+              << "\n  " << info.title << "\n";
+    return 0;
+  }
+  RCOMMIT_CHECK_MSG(repeat >= 1, "--repeat must be >= 1, got " << repeat);
+
+  Context ctx(info, quick, repeat, seed0, std::cout);
+
+  // The printing run. When --repeat > 1 it doubles as the untimed warmup;
+  // otherwise its wall time is the one "total" sample.
+  const double t0 = now_seconds();
+  body(ctx);
+  const double first_seconds = now_seconds() - t0;
+
+  metrics::TimingSample total{"total", first_seconds, 1, 0};
+  if (repeat > 1) {
+    NullStream null_out;
+    ctx.out_ = &null_out;
+    ctx.recording_ = false;
+    double sum = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+      const double start = now_seconds();
+      body(ctx);
+      sum += now_seconds() - start;
+    }
+    ctx.out_ = &std::cout;
+    ctx.recording_ = true;
+    total = {"total", sum / repeat, repeat, 1};
+  }
+  ctx.result_.timings.insert(ctx.result_.timings.begin(), total);
+
+  if (!ctx.result_.claims.empty()) {
+    metrics::print_claim_report(std::cout, info.experiment_id + " claims",
+                                ctx.result_.claims);
+  }
+
+  if (!json_path.empty()) {
+    const std::string doc = metrics::to_json(ctx.result_) + "\n";
+    if (json_path == "-") {
+      std::cout << doc;
+    } else {
+      const std::filesystem::path path(json_path);
+      if (path.has_parent_path()) {
+        std::filesystem::create_directories(path.parent_path());
+      }
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      RCOMMIT_CHECK_MSG(out.good(), "cannot open --json path " << json_path);
+      out << doc;
+      RCOMMIT_CHECK_MSG(out.good(), "failed writing " << json_path);
+      std::cout << "\nwrote " << json_path << "\n";
+    }
+  }
+
+  const int held = metrics::claims_held(ctx.result_);
+  const int claims = static_cast<int>(ctx.result_.claims.size());
+  return held == claims ? 0 : 1;
+}
+
+}  // namespace rcommit::bench

@@ -1,0 +1,93 @@
+// Shared harness for the bench_* binaries.
+//
+// Every experiment registers its metadata (experiment id, binary name,
+// title, claim ids) and a body; the harness owns the command line, the
+// structured result, and the timing protocol, so all 15 binaries speak the
+// same flags and emit the same JSON schema:
+//
+//   --json=<path>   write the BenchResult JSON ("-" for stdout)
+//   --quick         reduced grids / run counts for the CI smoke job
+//   --repeat=<N>    time the bench body over N silent re-runs (the printing
+//                   run becomes an untimed warmup)
+//   --seed0=<N>     base seed every per-run seed derives from (default 1,
+//                   which reproduces the archived EXPERIMENTS.md numbers)
+//   --list          print id/title/claims and exit
+//   --help          usage
+//
+// An unknown flag prints usage and exits 2 instead of being silently
+// ignored. A claim that fails to hold makes the binary exit 1, so running a
+// bench IS running its regression check; tools/bench_compare additionally
+// gates verdict flips and timing drift against an archived baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "metrics/report.h"
+
+namespace rcommit::bench {
+
+struct BenchInfo {
+  std::string experiment_id;           ///< "E1".."E14", "micro"
+  std::string name;                    ///< binary name, e.g. "bench_stages"
+  std::string title;                   ///< one line, printed and archived
+  std::vector<std::string> claim_ids;  ///< e.g. {"C1", "C6"}; may be empty
+};
+
+/// Handed to the bench body: measurement sinks plus the run configuration.
+/// All stdout goes through out() so timing re-runs can be silenced.
+class Context {
+ public:
+  Context(const BenchInfo& info, bool quick, int repeat, uint64_t seed0,
+          std::ostream& out);
+
+  [[nodiscard]] bool quick() const { return quick_; }
+  [[nodiscard]] int repeat() const { return repeat_; }
+  [[nodiscard]] uint64_t seed0() const { return seed0_; }
+  [[nodiscard]] std::ostream& out() const { return *out_; }
+
+  /// Scales a per-row run count for quick mode: `full` normally,
+  /// max(quick_floor, full / 10) under --quick.
+  [[nodiscard]] int runs(int full, int quick_floor = 25) const;
+
+  /// Derives a per-run seed from the bench's local seed expression. With the
+  /// default --seed0=1 this is the identity, so archived numbers reproduce
+  /// exactly; any other seed0 remixes every run deterministically.
+  [[nodiscard]] uint64_t derive_seed(uint64_t local) const;
+
+  /// Records a claim verdict. The harness prints the claim report after the
+  /// body and fails the process if any claim does not hold.
+  void claim(metrics::ClaimRow row);
+  /// Records a named measured scalar for the JSON artifact.
+  void scalar(const std::string& name, double value, const std::string& unit = "");
+  /// Records an extra wall-time sample (the harness adds "total" itself).
+  void timing(metrics::TimingSample sample);
+  /// Prints the table to out() and archives its rendering in the artifact.
+  void table(const std::string& name, const Table& table);
+
+  [[nodiscard]] metrics::BenchResult& result() { return result_; }
+
+ private:
+  friend int run(int argc, const char* const* argv, const BenchInfo& info,
+                 const std::function<void(Context&)>& body);
+
+  bool quick_;
+  int repeat_;
+  uint64_t seed0_;
+  std::ostream* out_;
+  bool recording_ = true;  ///< false during silent timing re-runs
+  metrics::BenchResult result_;
+};
+
+/// Runs one bench binary: parses flags, executes the body (plus silent
+/// timing re-runs under --repeat), prints the claim report, writes the JSON
+/// artifact. Returns the process exit code: 0 ok, 1 claim mismatch, 2 usage
+/// error.
+int run(int argc, const char* const* argv, const BenchInfo& info,
+        const std::function<void(Context&)>& body);
+
+}  // namespace rcommit::bench

@@ -1,6 +1,8 @@
 #include "common/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <ostream>
 
 #include "common/check.h"
 
@@ -72,6 +74,37 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   if (v == "false" || v == "0" || v == "no") return false;
   RCOMMIT_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << v);
   return fallback;
+}
+
+void Flags::print_usage(std::ostream& os, const std::string& program,
+                        const std::string& summary,
+                        const std::vector<FlagDoc>& docs) {
+  os << "usage: " << program << " [flags]\n";
+  if (!summary.empty()) os << "  " << summary << "\n";
+  size_t width = 0;
+  std::vector<std::string> spellings;
+  spellings.reserve(docs.size());
+  for (const auto& doc : docs) {
+    std::string spelling = "--" + doc.name;
+    if (!doc.value.empty()) spelling += "=<" + doc.value + ">";
+    width = std::max(width, spelling.size());
+    spellings.push_back(std::move(spelling));
+  }
+  for (size_t i = 0; i < docs.size(); ++i) {
+    os << "  " << spellings[i] << std::string(width - spellings[i].size() + 2, ' ')
+       << docs[i].help << "\n";
+  }
+}
+
+bool Flags::check_unknown(std::ostream& os, const std::string& summary,
+                          const std::vector<FlagDoc>& docs) const {
+  const auto unknown = unused();
+  if (unknown.empty()) return true;
+  for (const auto& name : unknown) {
+    os << program_ << ": unknown flag --" << name << "\n";
+  }
+  print_usage(os, program_, summary, docs);
+  return false;
 }
 
 std::vector<std::string> Flags::unused() const {

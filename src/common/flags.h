@@ -1,17 +1,26 @@
-// Minimal command-line flag parsing for the examples and the scenario CLI.
+// Minimal command-line flag parsing for the examples, the scenario CLI, and
+// the benchmark harness.
 //
 // Supports --name=value and --name value forms, typed lookups with defaults,
-// and --help text assembly. Deliberately tiny: no subcommands, no
+// and --help/usage text assembly. Deliberately tiny: no subcommands, no
 // repetition, no abbreviations.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace rcommit {
+
+/// One documented flag for usage output: `--name=<value>  help`.
+struct FlagDoc {
+  std::string name;   ///< without the leading "--"
+  std::string value;  ///< value placeholder, e.g. "N" or "path"; empty = boolean
+  std::string help;
+};
 
 class Flags {
  public:
@@ -34,6 +43,19 @@ class Flags {
 
   /// Program name (argv[0]).
   [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// Prints `usage: <program> [--flag=<v>]...` plus one aligned line per
+  /// documented flag.
+  static void print_usage(std::ostream& os, const std::string& program,
+                          const std::string& summary,
+                          const std::vector<FlagDoc>& docs);
+
+  /// The unknown-flag guard every CLI should end its flag handling with:
+  /// if any parsed flag was never queried, prints "unknown flag --x" plus
+  /// the usage text to `os` and returns false. Call after all get_*/has
+  /// lookups so `unused()` reflects the full flag vocabulary.
+  [[nodiscard]] bool check_unknown(std::ostream& os, const std::string& summary,
+                                   const std::vector<FlagDoc>& docs) const;
 
  private:
   std::string program_;

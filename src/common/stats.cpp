@@ -111,6 +111,12 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+std::string Table::str() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
 std::string Table::num(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;

@@ -78,6 +78,10 @@ class Table {
 
   Table& row(std::vector<std::string> cells);
   void print(std::ostream& os) const;
+  /// The rendered table as a string — what print() would write. The bench
+  /// pipeline stores this in the per-bench JSON so EXPERIMENTS.md tables can
+  /// be regenerated from archived results.
+  [[nodiscard]] std::string str() const;
 
   /// Formats a double with the given precision.
   static std::string num(double v, int precision = 2);

@@ -2,9 +2,114 @@
 
 #include <ostream>
 
+#include "common/check.h"
+#include "common/json.h"
 #include "common/stats.h"
 
 namespace rcommit::metrics {
+
+int claims_held(const BenchResult& result) {
+  int held = 0;
+  for (const auto& row : result.claims) {
+    if (row.holds) ++held;
+  }
+  return held;
+}
+
+std::string to_json(const BenchResult& result) {
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(static_cast<int64_t>(result.schema_version));
+  w.key("experiment").value(result.experiment_id);
+  w.key("bench").value(result.bench);
+  w.key("title").value(result.title);
+  w.key("mode").value(result.quick ? "quick" : "full");
+  w.key("repeat").value(static_cast<int64_t>(result.repeat));
+  w.key("seed0").value(static_cast<uint64_t>(result.seed0));
+  w.key("claims");
+  w.begin_array();
+  for (const auto& claim : result.claims) {
+    w.begin_object();
+    w.key("id").value(claim.claim_id);
+    w.key("paper").value(claim.paper);
+    w.key("measured").value(claim.measured);
+    w.key("holds").value(claim.holds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("scalars");
+  w.begin_array();
+  for (const auto& scalar : result.scalars) {
+    w.begin_object();
+    w.key("name").value(scalar.name);
+    w.key("value").value(scalar.value);
+    w.key("unit").value(scalar.unit);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("timings");
+  w.begin_array();
+  for (const auto& timing : result.timings) {
+    w.begin_object();
+    w.key("name").value(timing.name);
+    w.key("seconds").value(timing.seconds);
+    w.key("repeats").value(static_cast<int64_t>(timing.repeats));
+    w.key("warmups").value(static_cast<int64_t>(timing.warmups));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("tables");
+  w.begin_array();
+  for (const auto& table : result.tables) {
+    w.begin_object();
+    w.key("name").value(table.name);
+    w.key("text").value(table.text);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+BenchResult bench_result_from_json(const json::JsonValue& value) {
+  BenchResult result;
+  result.schema_version = static_cast<int>(value.at("schema_version").as_int());
+  RCOMMIT_CHECK_MSG(result.schema_version == kBenchSchemaVersion,
+                    "bench result schema version "
+                        << result.schema_version << " != supported version "
+                        << kBenchSchemaVersion
+                        << " — regenerate the artifact with this tree's bench "
+                           "binaries");
+  result.experiment_id = value.at("experiment").as_string();
+  result.bench = value.at("bench").as_string();
+  result.title = value.at("title").as_string();
+  result.quick = value.at("mode").as_string() == "quick";
+  result.repeat = static_cast<int>(value.get_int("repeat", 1));
+  result.seed0 = static_cast<uint64_t>(value.get_int("seed0", 1));
+  for (const auto& claim : value.at("claims").items()) {
+    result.claims.push_back(ClaimRow{claim.at("id").as_string(),
+                                     claim.at("paper").as_string(),
+                                     claim.at("measured").as_string(),
+                                     claim.at("holds").as_bool()});
+  }
+  for (const auto& scalar : value.at("scalars").items()) {
+    result.scalars.push_back(MeasuredScalar{scalar.at("name").as_string(),
+                                            scalar.at("value").as_double(),
+                                            scalar.get_string("unit", "")});
+  }
+  for (const auto& timing : value.at("timings").items()) {
+    result.timings.push_back(
+        TimingSample{timing.at("name").as_string(),
+                     timing.at("seconds").as_double(),
+                     static_cast<int>(timing.get_int("repeats", 1)),
+                     static_cast<int>(timing.get_int("warmups", 0))});
+  }
+  for (const auto& table : value.at("tables").items()) {
+    result.tables.push_back(
+        RenderedTable{table.at("name").as_string(), table.at("text").as_string()});
+  }
+  return result;
+}
 
 void print_claim_report(std::ostream& os, const std::string& title,
                         const std::vector<ClaimRow>& rows) {

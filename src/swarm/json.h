@@ -1,48 +1,14 @@
-// Minimal deterministic JSON assembly for the swarm summary.
-//
-// The swarm promises byte-identical aggregate output across thread counts,
-// so the writer is deliberately boring: explicit key order (insertion
-// order), fixed "%.4f" formatting for doubles, no locale involvement, and
-// full string escaping. Not a parser; output only.
+// The deterministic JSON writer moved to src/common/json.h when the
+// benchmark pipeline started emitting structured results through it too
+// (src/metrics cannot depend on src/swarm — the dependency points the other
+// way). This forwarding header keeps the historical include path and the
+// rcommit::swarm spelling alive for the swarm's own emitters.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "common/json.h"
 
 namespace rcommit::swarm {
 
-class JsonWriter {
- public:
-  void begin_object();
-  void end_object();
-  void begin_array();
-  void end_array();
-
-  /// Key inside an object; must be followed by a value or container.
-  JsonWriter& key(std::string_view name);
-
-  void value(std::string_view s);
-  void value(const char* s) { value(std::string_view(s)); }
-  void value(int64_t v);
-  void value(uint64_t v);
-  void value(int v) { value(static_cast<int64_t>(v)); }
-  void value(double v);
-  void value(bool v);
-
-  /// The assembled document. Valid once every container is closed.
-  [[nodiscard]] const std::string& str() const { return out_; }
-
-  static std::string escape(std::string_view s);
-
- private:
-  void comma_if_needed();
-
-  std::string out_;
-  /// One entry per open container: true once it has at least one element.
-  std::vector<bool> has_elements_;
-  bool after_key_ = false;
-};
+using JsonWriter = ::rcommit::json::JsonWriter;
 
 }  // namespace rcommit::swarm

@@ -1,0 +1,213 @@
+// Tests for the benchkit library behind tools/bench_report and
+// tools/bench_compare: merging per-bench artifacts, regenerating the
+// EXPERIMENTS.md block, and the regression-gate semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchkit.h"
+#include "common/check.h"
+#include "common/json.h"
+#include "metrics/report.h"
+
+namespace rcommit {
+namespace {
+
+metrics::BenchResult make_result(const std::string& experiment,
+                                 const std::string& bench,
+                                 std::vector<metrics::ClaimRow> claims,
+                                 double total_seconds = 1.0) {
+  metrics::BenchResult r;
+  r.experiment_id = experiment;
+  r.bench = bench;
+  r.title = bench + " title";
+  r.quick = true;
+  r.claims = std::move(claims);
+  r.timings.push_back({"total", total_seconds, 1, 0});
+  return r;
+}
+
+// --- merge ------------------------------------------------------------------------
+
+TEST(BenchkitMerge, OrdersExperimentsAndCountsClaims) {
+  // Deliberately shuffled input, including a non-E id that must sort last.
+  std::vector<metrics::BenchResult> results = {
+      make_result("micro", "bench_micro", {}),
+      make_result("E10", "bench_halt", {{"X", "p", "m", true}}),
+      make_result("E2", "bench_rounds",
+                  {{"C3", "p", "m", true}, {"C2", "p", "m", false}}),
+  };
+  const auto merged = benchkit::merge_to_json(results);
+  const auto v = json::parse(merged);
+
+  EXPECT_EQ(v.at("schema_version").as_int(), metrics::kBenchSchemaVersion);
+  EXPECT_EQ(v.at("claims_total").as_int(), 3);
+  EXPECT_EQ(v.at("claims_held").as_int(), 2);
+  ASSERT_EQ(v.at("experiments").size(), 3u);
+  // E2 before E10 (numeric, not lexicographic), "micro" after every E-row.
+  EXPECT_EQ(v.at("experiments").at(0).at("experiment").as_string(), "E2");
+  EXPECT_EQ(v.at("experiments").at(1).at("experiment").as_string(), "E10");
+  EXPECT_EQ(v.at("experiments").at(2).at("experiment").as_string(), "micro");
+}
+
+TEST(BenchkitMerge, DuplicateExperimentIdRejected) {
+  std::vector<metrics::BenchResult> results = {
+      make_result("E1", "bench_a", {}),
+      make_result("E1", "bench_b", {}),
+  };
+  EXPECT_THROW(benchkit::merge_to_json(results), CheckFailure);
+}
+
+TEST(BenchkitMerge, ParseRoundTrip) {
+  std::vector<metrics::BenchResult> results = {
+      make_result("E1", "bench_stages", {{"C1", "<= 4", "2.25", true}}),
+      make_result("E5", "bench_validity", {{"C9", "always", "0 bad", true}}),
+  };
+  const auto restored = benchkit::parse_merged_json(benchkit::merge_to_json(results));
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored[0].experiment_id, "E1");
+  EXPECT_EQ(restored[1].bench, "bench_validity");
+  ASSERT_EQ(restored[0].claims.size(), 1u);
+  EXPECT_TRUE(restored[0].claims[0].holds);
+}
+
+TEST(BenchkitMerge, ParseRejectsWrongSchemaVersion) {
+  EXPECT_THROW(
+      benchkit::parse_merged_json(
+          "{\"schema_version\":99,\"claims_total\":0,\"claims_held\":0,"
+          "\"experiments\":[]}"),
+      CheckFailure);
+}
+
+// --- render + splice --------------------------------------------------------------
+
+TEST(BenchkitRender, ClaimLedgerAndTimingSummary) {
+  std::vector<metrics::BenchResult> results = {
+      make_result("E1", "bench_stages",
+                  {{"C1", "<= 4 stages", "worst mean = 2.25", true},
+                   {"C6", "coins don't hurt", "1.97 vs 9.99", false}}),
+  };
+  const auto block = benchkit::render_experiments_block(results);
+  EXPECT_NE(block.find("1/2 claims hold"), std::string::npos);
+  EXPECT_NE(block.find("worst mean = 2.25"), std::string::npos);
+  EXPECT_NE(block.find("OK"), std::string::npos);
+  EXPECT_NE(block.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(block.find("Timing summary"), std::string::npos);
+  EXPECT_NE(block.find("bench_stages"), std::string::npos);
+}
+
+TEST(BenchkitSplice, ReplacesOnlyTheMarkedBlock) {
+  const std::string doc = std::string("before\n\n") + benchkit::kGeneratedBegin +
+                          "\nold content\n" + benchkit::kGeneratedEnd +
+                          "\n\nafter\n";
+  const auto out = benchkit::splice_generated_block(doc, "NEW BLOCK");
+  EXPECT_NE(out.find("before"), std::string::npos);
+  EXPECT_NE(out.find("after"), std::string::npos);
+  EXPECT_NE(out.find("NEW BLOCK"), std::string::npos);
+  EXPECT_EQ(out.find("old content"), std::string::npos);
+  // Markers survive, so a second splice still works.
+  const auto again = benchkit::splice_generated_block(out, "THIRD");
+  EXPECT_NE(again.find("THIRD"), std::string::npos);
+  EXPECT_EQ(again.find("NEW BLOCK"), std::string::npos);
+}
+
+TEST(BenchkitSplice, MissingMarkersRejected) {
+  EXPECT_THROW(benchkit::splice_generated_block("no markers here", "x"),
+               CheckFailure);
+  EXPECT_THROW(benchkit::splice_generated_block(
+                   std::string(benchkit::kGeneratedBegin) + "\nunclosed", "x"),
+               CheckFailure);
+}
+
+// --- compare (the regression gate) ------------------------------------------------
+
+bool mentions(const std::vector<std::string>& lines, const std::string& needle) {
+  return std::any_of(lines.begin(), lines.end(), [&](const std::string& line) {
+    return line.find(needle) != std::string::npos;
+  });
+}
+
+TEST(BenchkitCompare, IdenticalRunsPass) {
+  const std::vector<metrics::BenchResult> results = {
+      make_result("E1", "bench_stages", {{"C1", "p", "m", true}}),
+  };
+  const auto report = benchkit::compare(results, results, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.regressions.empty());
+}
+
+TEST(BenchkitCompare, FlippedClaimIsRegression) {
+  const std::vector<metrics::BenchResult> baseline = {
+      make_result("E1", "bench_stages", {{"C1", "p", "ok", true}}),
+  };
+  const std::vector<metrics::BenchResult> current = {
+      make_result("E1", "bench_stages", {{"C1", "p", "now 9.9", false}}),
+  };
+  const auto report = benchkit::compare(baseline, current, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report.regressions, "E1/C1"));
+  EXPECT_TRUE(mentions(report.regressions, "MISMATCH"));
+}
+
+TEST(BenchkitCompare, MissingExperimentAndClaimAreRegressions) {
+  const std::vector<metrics::BenchResult> baseline = {
+      make_result("E1", "bench_stages", {{"C1", "p", "m", true}}),
+      make_result("E2", "bench_rounds", {{"C3", "p", "m", true}}),
+  };
+  const std::vector<metrics::BenchResult> current = {
+      make_result("E1", "bench_stages", {}),  // claim C1 gone
+  };
+  const auto report = benchkit::compare(baseline, current, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report.regressions, "claim E1/C1"));
+  EXPECT_TRUE(mentions(report.regressions, "experiment E2"));
+}
+
+TEST(BenchkitCompare, TimingBeyondToleranceFailsWithinPasses) {
+  const std::vector<metrics::BenchResult> baseline = {
+      make_result("E1", "bench_stages", {}, 1.0),
+  };
+  const std::vector<metrics::BenchResult> slow = {
+      make_result("E1", "bench_stages", {}, 1.3),
+  };
+  benchkit::CompareOptions options;
+  options.timing_tolerance = 0.25;
+
+  EXPECT_FALSE(benchkit::compare(baseline, slow, options).ok());
+  // 1.3x growth passes a looser gate, and 1.2x passes the default one.
+  options.timing_tolerance = 0.5;
+  EXPECT_TRUE(benchkit::compare(baseline, slow, options).ok());
+  const std::vector<metrics::BenchResult> mild = {
+      make_result("E1", "bench_stages", {}, 1.2),
+  };
+  EXPECT_TRUE(benchkit::compare(baseline, mild, {}).ok());
+}
+
+TEST(BenchkitCompare, NoTimingSkipsWallClock) {
+  const std::vector<metrics::BenchResult> baseline = {
+      make_result("E1", "bench_stages", {{"C1", "p", "m", true}}, 1.0),
+  };
+  const std::vector<metrics::BenchResult> slow = {
+      make_result("E1", "bench_stages", {{"C1", "p", "m", true}}, 10.0),
+  };
+  benchkit::CompareOptions options;
+  options.check_timing = false;
+  EXPECT_TRUE(benchkit::compare(baseline, slow, options).ok());
+}
+
+TEST(BenchkitCompare, ImprovementsAreNotesNotRegressions) {
+  const std::vector<metrics::BenchResult> baseline = {
+      make_result("E1", "bench_stages", {{"C1", "p", "bad", false}}),
+  };
+  const std::vector<metrics::BenchResult> current = {
+      make_result("E1", "bench_stages", {{"C1", "p", "good", true}}),
+      make_result("E2", "bench_rounds", {{"C3", "p", "m", true}}),
+  };
+  const auto report = benchkit::compare(baseline, current, {});
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(mentions(report.notes, "E1/C1"));
+  EXPECT_TRUE(mentions(report.notes, "new experiment E2"));
+}
+
+}  // namespace
+}  // namespace rcommit

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/flags.h"
@@ -66,6 +67,40 @@ TEST(Flags, BooleanFollowedByFlagIsBare) {
   const auto flags = parse({"--verbose", "--n", "5"});
   EXPECT_TRUE(flags.get_bool("verbose", false));
   EXPECT_EQ(flags.get_int("n", 0), 5);
+}
+
+TEST(Flags, PrintUsageListsEveryDocumentedFlag) {
+  const std::vector<FlagDoc> docs = {
+      {"json", "path", "write artifact"},
+      {"quick", "", "reduced grids"},
+  };
+  std::ostringstream os;
+  Flags::print_usage(os, "bench_x", "one-line summary", docs);
+  const auto text = os.str();
+  EXPECT_NE(text.find("usage: bench_x"), std::string::npos);
+  EXPECT_NE(text.find("one-line summary"), std::string::npos);
+  EXPECT_NE(text.find("--json=<path>"), std::string::npos);
+  EXPECT_NE(text.find("--quick"), std::string::npos);
+  EXPECT_NE(text.find("reduced grids"), std::string::npos);
+}
+
+TEST(Flags, CheckUnknownFlagPrintsUsageAndFails) {
+  const std::vector<FlagDoc> docs = {{"known", "N", "a real flag"}};
+  const auto flags = parse({"--known=1", "--bogus=2"});
+  (void)flags.get_int("known", 0);
+  std::ostringstream os;
+  EXPECT_FALSE(flags.check_unknown(os, "summary", docs));
+  EXPECT_NE(os.str().find("unknown flag --bogus"), std::string::npos);
+  EXPECT_NE(os.str().find("--known=<N>"), std::string::npos);
+}
+
+TEST(Flags, CheckUnknownPassesWhenAllFlagsQueried) {
+  const std::vector<FlagDoc> docs = {{"known", "N", "a real flag"}};
+  const auto flags = parse({"--known=1"});
+  (void)flags.get_int("known", 0);
+  std::ostringstream os;
+  EXPECT_TRUE(flags.check_unknown(os, "summary", docs));
+  EXPECT_TRUE(os.str().empty());
 }
 
 // --- workload ---------------------------------------------------------------------

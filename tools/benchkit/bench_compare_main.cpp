@@ -1,0 +1,88 @@
+// bench_compare — the regression gate between two BENCH_RESULTS.json files.
+//
+//   bench_compare --baseline=bench/baseline/BENCH_RESULTS.json
+//                 --current=BENCH_RESULTS.json
+//                 [--tolerance=0.25] [--no-timing]
+//
+// Exits 1 when any claim that held in the baseline no longer holds, when a
+// baseline experiment or claim disappeared, or when a "total" timing sample
+// grew beyond the tolerance (skipped with --no-timing: verdicts are
+// machine-independent, wall-clock is not). Exits 2 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "benchkit.h"
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace {
+
+using namespace rcommit;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  RCOMMIT_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const std::vector<FlagDoc> kDocs = {
+    {"baseline", "path", "baseline BENCH_RESULTS.json (required)"},
+    {"current", "path", "current BENCH_RESULTS.json (required)"},
+    {"tolerance", "frac", "allowed relative timing growth (default 0.25)"},
+    {"no-timing", "", "ignore timing samples; gate on claim verdicts only"},
+    {"help", "", "this text"},
+};
+const char kSummary[] = "diff two BENCH_RESULTS.json files; nonzero on regression";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  try {
+    flags = Flags::parse(argc, argv);
+  } catch (const CheckFailure& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    Flags::print_usage(std::cerr, "bench_compare", kSummary, kDocs);
+    return 2;
+  }
+  const std::string baseline_path = flags.get_string("baseline", "");
+  const std::string current_path = flags.get_string("current", "");
+  benchkit::CompareOptions options;
+  options.timing_tolerance = flags.get_double("tolerance", 0.25);
+  options.check_timing = !flags.get_bool("no-timing", false);
+  if (flags.get_bool("help", false)) {
+    Flags::print_usage(std::cout, "bench_compare", kSummary, kDocs);
+    return 0;
+  }
+  if (!flags.check_unknown(std::cerr, kSummary, kDocs)) return 2;
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "bench_compare: --baseline and --current are required\n";
+    Flags::print_usage(std::cerr, "bench_compare", kSummary, kDocs);
+    return 2;
+  }
+
+  try {
+    const auto baseline = benchkit::parse_merged_json(read_file(baseline_path));
+    const auto current = benchkit::parse_merged_json(read_file(current_path));
+    const auto report = benchkit::compare(baseline, current, options);
+    for (const auto& note : report.notes) {
+      std::cout << "note: " << note << "\n";
+    }
+    for (const auto& regression : report.regressions) {
+      std::cout << "REGRESSION: " << regression << "\n";
+    }
+    if (!report.ok()) {
+      std::cout << "bench_compare: " << report.regressions.size()
+                << " regression(s)\n";
+      return 1;
+    }
+    std::cout << "bench_compare: no regressions against " << baseline_path << "\n";
+  } catch (const CheckFailure& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// bench_report — merge per-bench JSON artifacts into BENCH_RESULTS.json and
+// regenerate the generated section of EXPERIMENTS.md.
+//
+//   bench_report [--in=bench/out] [--out=BENCH_RESULTS.json]
+//                [--experiments=EXPERIMENTS.md]
+//
+// Reads every *.json under --in (sorted by filename), merges them (duplicate
+// experiment ids are an error), writes the merged document to --out, and —
+// when --experiments is given — rewrites the marker-delimited block of that
+// file in place. Exits 2 on usage errors, 1 on any other failure.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "benchkit.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace rcommit;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  RCOMMIT_CHECK_MSG(in.good(), "cannot open " << path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  RCOMMIT_CHECK_MSG(out.good(), "cannot open " << path.string() << " for writing");
+  out << content;
+  RCOMMIT_CHECK_MSG(out.good(), "failed writing " << path.string());
+}
+
+const std::vector<FlagDoc> kDocs = {
+    {"in", "dir", "directory of per-bench *.json artifacts (default bench/out)"},
+    {"out", "path", "merged output document (default BENCH_RESULTS.json)"},
+    {"experiments", "path", "EXPERIMENTS.md to rewrite in place (optional)"},
+    {"help", "", "this text"},
+};
+const char kSummary[] = "merge bench JSON artifacts and regenerate EXPERIMENTS.md";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  try {
+    flags = Flags::parse(argc, argv);
+  } catch (const CheckFailure& e) {
+    std::cerr << "bench_report: " << e.what() << "\n";
+    Flags::print_usage(std::cerr, "bench_report", kSummary, kDocs);
+    return 2;
+  }
+  const std::string in_dir = flags.get_string("in", "bench/out");
+  const std::string out_path = flags.get_string("out", "BENCH_RESULTS.json");
+  const std::string experiments = flags.get_string("experiments", "");
+  if (flags.get_bool("help", false)) {
+    Flags::print_usage(std::cout, "bench_report", kSummary, kDocs);
+    return 0;
+  }
+  if (!flags.check_unknown(std::cerr, kSummary, kDocs)) return 2;
+
+  try {
+    std::vector<fs::path> inputs;
+    RCOMMIT_CHECK_MSG(fs::is_directory(in_dir),
+                      "--in directory " << in_dir
+                                        << " does not exist; run the bench "
+                                           "suite with --json first");
+    for (const auto& entry : fs::directory_iterator(in_dir)) {
+      if (entry.path().extension() == ".json") inputs.push_back(entry.path());
+    }
+    std::sort(inputs.begin(), inputs.end());
+    RCOMMIT_CHECK_MSG(!inputs.empty(), "no *.json artifacts under " << in_dir);
+
+    std::vector<metrics::BenchResult> results;
+    for (const auto& path : inputs) {
+      results.push_back(
+          metrics::bench_result_from_json(json::parse(read_file(path))));
+    }
+    const auto merged = benchkit::merge_to_json(results);
+    write_file(out_path, merged + "\n");
+
+    int total = 0;
+    int held = 0;
+    for (const auto& r : results) {
+      total += static_cast<int>(r.claims.size());
+      held += metrics::claims_held(r);
+    }
+    std::cout << "bench_report: merged " << results.size() << " experiments, "
+              << held << "/" << total << " claims hold -> " << out_path << "\n";
+
+    if (!experiments.empty()) {
+      const auto doc = read_file(experiments);
+      write_file(experiments,
+                 benchkit::splice_generated_block(
+                     doc, benchkit::render_experiments_block(results)));
+      std::cout << "bench_report: regenerated measured section of "
+                << experiments << "\n";
+    }
+  } catch (const CheckFailure& e) {
+    std::cerr << "bench_report: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "benchkit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/json.h"
+#include "common/stats.h"
+
+namespace rcommit::benchkit {
+namespace {
+
+/// Sort key putting E1..E14 in numeric order and everything else after,
+/// alphabetically.
+std::pair<int, std::string> experiment_order(const std::string& id) {
+  if (id.size() >= 2 && id[0] == 'E') {
+    bool digits = true;
+    for (size_t i = 1; i < id.size(); ++i) digits = digits && std::isdigit(id[i]);
+    if (digits) return {std::stoi(id.substr(1)), ""};
+  }
+  return {1'000'000, id};
+}
+
+const metrics::BenchResult* find_experiment(
+    const std::vector<metrics::BenchResult>& results, const std::string& id) {
+  for (const auto& r : results) {
+    if (r.experiment_id == id) return &r;
+  }
+  return nullptr;
+}
+
+const metrics::ClaimRow* find_claim(const metrics::BenchResult& result,
+                                    const std::string& claim_id) {
+  for (const auto& c : result.claims) {
+    if (c.claim_id == claim_id) return &c;
+  }
+  return nullptr;
+}
+
+const metrics::TimingSample* find_timing(const metrics::BenchResult& result,
+                                         const std::string& name) {
+  for (const auto& t : result.timings) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string merge_to_json(std::vector<metrics::BenchResult> results) {
+  std::set<std::string> seen;
+  for (const auto& r : results) {
+    RCOMMIT_CHECK_MSG(seen.insert(r.experiment_id).second,
+                      "duplicate experiment id '"
+                          << r.experiment_id
+                          << "' — two bench artifacts claim the same "
+                             "experiment; remove the stale one from bench/out");
+  }
+  std::stable_sort(results.begin(), results.end(),
+                   [](const metrics::BenchResult& a, const metrics::BenchResult& b) {
+                     return experiment_order(a.experiment_id) <
+                            experiment_order(b.experiment_id);
+                   });
+
+  int total = 0;
+  int held = 0;
+  for (const auto& r : results) {
+    total += static_cast<int>(r.claims.size());
+    held += metrics::claims_held(r);
+  }
+
+  json::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(static_cast<int64_t>(metrics::kBenchSchemaVersion));
+  w.key("claims_total").value(static_cast<int64_t>(total));
+  w.key("claims_held").value(static_cast<int64_t>(held));
+  w.key("experiments");
+  w.begin_array();
+  for (const auto& r : results) w.raw(metrics::to_json(r));
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::vector<metrics::BenchResult> parse_merged_json(const std::string& text) {
+  const auto doc = json::parse(text);
+  const auto version = static_cast<int>(doc.at("schema_version").as_int());
+  RCOMMIT_CHECK_MSG(version == metrics::kBenchSchemaVersion,
+                    "BENCH_RESULTS schema version "
+                        << version << " != supported version "
+                        << metrics::kBenchSchemaVersion);
+  std::vector<metrics::BenchResult> results;
+  for (const auto& item : doc.at("experiments").items()) {
+    results.push_back(metrics::bench_result_from_json(item));
+  }
+  return results;
+}
+
+std::string render_experiments_block(
+    const std::vector<metrics::BenchResult>& results) {
+  std::ostringstream os;
+  int total = 0;
+  int held = 0;
+  for (const auto& r : results) {
+    total += static_cast<int>(r.claims.size());
+    held += metrics::claims_held(r);
+  }
+
+  os << "Regenerate with `tools/bench_report` after running the bench suite "
+        "with `--json` (see\n[docs/benchmarking.md](docs/benchmarking.md)); "
+        "sourced from `BENCH_RESULTS.json`.\n\n";
+  os << "### Claim ledger — " << held << "/" << total << " claims hold\n\n";
+  Table ledger({"experiment", "bench", "claim", "paper says", "measured", "verdict"});
+  for (const auto& r : results) {
+    for (const auto& c : r.claims) {
+      ledger.row({r.experiment_id, r.bench, c.claim_id, c.paper, c.measured,
+                  c.holds ? "OK" : "MISMATCH"});
+    }
+  }
+  os << ledger.str();
+
+  os << "\n### Timing summary\n\n"
+     << "Wall-clock is the only machine-dependent column; every other number "
+        "above is a\ndeterministic function of the seeds.\n\n";
+  Table timing({"experiment", "bench", "mode", "total seconds", "repeats"});
+  for (const auto& r : results) {
+    const auto* t = find_timing(r, "total");
+    timing.row({r.experiment_id, r.bench, r.quick ? "quick" : "full",
+                t != nullptr ? Table::num(t->seconds, 3) : "-",
+                t != nullptr ? Table::num(static_cast<int64_t>(t->repeats)) : "-"});
+  }
+  os << timing.str();
+  return os.str();
+}
+
+std::string splice_generated_block(const std::string& document,
+                                   const std::string& block) {
+  const auto begin_pos = document.find(kGeneratedBegin);
+  RCOMMIT_CHECK_MSG(begin_pos != std::string::npos,
+                    "generated-section begin marker not found; add\n"
+                        << kGeneratedBegin << "\n...\n" << kGeneratedEnd
+                        << "\nto the document first");
+  const auto end_pos = document.find(kGeneratedEnd);
+  RCOMMIT_CHECK_MSG(end_pos != std::string::npos,
+                    "generated-section end marker not found");
+  const auto content_start = begin_pos + std::string(kGeneratedBegin).size();
+  RCOMMIT_CHECK_MSG(end_pos >= content_start,
+                    "generated-section markers are out of order");
+  return document.substr(0, content_start) + "\n\n" + block + "\n" +
+         document.substr(end_pos);
+}
+
+CompareReport compare(const std::vector<metrics::BenchResult>& baseline,
+                      const std::vector<metrics::BenchResult>& current,
+                      const CompareOptions& options) {
+  CompareReport report;
+  for (const auto& base : baseline) {
+    const auto* cur = find_experiment(current, base.experiment_id);
+    if (cur == nullptr) {
+      report.regressions.push_back("experiment " + base.experiment_id + " (" +
+                                   base.bench + ") missing from current results");
+      continue;
+    }
+    for (const auto& base_claim : base.claims) {
+      const auto* cur_claim = find_claim(*cur, base_claim.claim_id);
+      if (cur_claim == nullptr) {
+        report.regressions.push_back("claim " + base.experiment_id + "/" +
+                                     base_claim.claim_id +
+                                     " missing from current results");
+        continue;
+      }
+      if (base_claim.holds && !cur_claim->holds) {
+        report.regressions.push_back(
+            "claim " + base.experiment_id + "/" + base_claim.claim_id +
+            " flipped to MISMATCH: " + cur_claim->measured);
+      } else if (!base_claim.holds && cur_claim->holds) {
+        report.notes.push_back("claim " + base.experiment_id + "/" +
+                               base_claim.claim_id + " now holds");
+      }
+    }
+    if (options.check_timing) {
+      const auto* base_total = find_timing(base, "total");
+      const auto* cur_total = find_timing(*cur, "total");
+      if (base_total != nullptr && cur_total != nullptr &&
+          base_total->seconds > 0.0) {
+        const double limit = base_total->seconds * (1.0 + options.timing_tolerance);
+        if (cur_total->seconds > limit) {
+          std::ostringstream msg;
+          msg << "timing " << base.experiment_id << " (" << base.bench
+              << ") total " << cur_total->seconds << "s exceeds baseline "
+              << base_total->seconds << "s by more than "
+              << options.timing_tolerance * 100.0 << "%";
+          report.regressions.push_back(msg.str());
+        }
+      }
+    }
+  }
+  for (const auto& cur : current) {
+    if (find_experiment(baseline, cur.experiment_id) == nullptr) {
+      report.notes.push_back("new experiment " + cur.experiment_id + " (" +
+                             cur.bench + ") not in baseline");
+    }
+  }
+  return report;
+}
+
+}  // namespace rcommit::benchkit
