@@ -16,6 +16,7 @@ KvStore::KvStore(const std::filesystem::path& wal_path)
         break;
       case WalRecordType::kPrepared:
         staged_[record.txn_id].prepared = true;
+        staged_[record.txn_id].participants = decode_participant_list(record.value);
         break;
       case WalRecordType::kCommit: {
         auto it = staged_.find(record.txn_id);
@@ -49,7 +50,8 @@ void KvStore::apply(const Staged& staged) {
   for (const auto& write : staged.writes) data_[write.key] = write.value;
 }
 
-bool KvStore::prepare(TxnId txn, const std::vector<KvWrite>& writes) {
+bool KvStore::prepare(TxnId txn, const std::vector<KvWrite>& writes,
+                      const std::vector<int32_t>& participants) {
   RCOMMIT_CHECK_MSG(staged_.find(txn) == staged_.end(),
                     "transaction " << txn << " already staged");
   // Lock every key first; on any conflict, release and vote abort.
@@ -63,8 +65,8 @@ bool KvStore::prepare(TxnId txn, const std::vector<KvWrite>& writes) {
   for (const auto& write : writes) {
     wal_->append({WalRecordType::kWrite, txn, write.key, write.value});
   }
-  wal_->append({WalRecordType::kPrepared, txn, "", ""});
-  staged_[txn] = Staged{writes, /*prepared=*/true};
+  wal_->append({WalRecordType::kPrepared, txn, "", encode_participant_list(participants)});
+  staged_[txn] = Staged{writes, participants, /*prepared=*/true};
   return true;
 }
 
@@ -99,6 +101,11 @@ std::vector<TxnId> KvStore::in_doubt() const {
   return out;
 }
 
+void KvStore::set_fault_hook(WalFaultHook* hook) {
+  fault_hook_ = hook;
+  wal_->set_fault_hook(hook);
+}
+
 void KvStore::checkpoint() {
   namespace fs = std::filesystem;
   const fs::path live_path = wal_->path();
@@ -106,23 +113,28 @@ void KvStore::checkpoint() {
   fs::remove(tmp_path);
   {
     WriteAheadLog fresh(tmp_path);
+    fresh.set_fault_hook(fault_hook_);
     for (const auto& [key, value] : data_) {
       fresh.append({WalRecordType::kSnapshot, 0, key, value});
     }
     // Carry pending (prepared, undecided) transactions forward so recovery
-    // still surfaces them as in-doubt.
+    // still surfaces them as in-doubt, participant lists included.
     for (const auto& [txn, staged] : staged_) {
       fresh.append({WalRecordType::kBegin, txn, "", ""});
       for (const auto& write : staged.writes) {
         fresh.append({WalRecordType::kWrite, txn, write.key, write.value});
       }
-      if (staged.prepared) fresh.append({WalRecordType::kPrepared, txn, "", ""});
+      if (staged.prepared) {
+        fresh.append({WalRecordType::kPrepared, txn, "",
+                      encode_participant_list(staged.participants)});
+      }
     }
   }
   // The rename is the commit point of the compaction.
   wal_.reset();  // release the append handle to the old log
   fs::rename(tmp_path, live_path);
   wal_ = std::make_unique<WriteAheadLog>(live_path);
+  wal_->set_fault_hook(fault_hook_);
 }
 
 }  // namespace rcommit::db

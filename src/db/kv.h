@@ -32,7 +32,14 @@ class KvStore {
   /// Stages `writes` under `txn` and durably records the prepare. Returns
   /// false (voting abort) when a key is locked by another transaction; in
   /// that case nothing is staged and no locks are retained.
-  bool prepare(TxnId txn, const std::vector<KvWrite>& writes);
+  ///
+  /// `participants` names the full intended participant set of the
+  /// transaction (shard ids, including this one); it is recorded in the
+  /// PREPARED record so recovery can tell "every participant prepared" from
+  /// "every participant I can see prepared". An empty list (the legacy
+  /// format) records no participant information.
+  bool prepare(TxnId txn, const std::vector<KvWrite>& writes,
+               const std::vector<int32_t>& participants = {});
 
   /// Installs the staged writes of a prepared transaction.
   void commit(TxnId txn);
@@ -43,6 +50,11 @@ class KvStore {
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
   [[nodiscard]] size_t size() const { return data_.size(); }
+
+  /// The full committed state, for equivalence checking and digests.
+  [[nodiscard]] const std::map<std::string, std::string>& snapshot() const {
+    return data_;
+  }
 
   /// Transactions recovered from the WAL as prepared-but-undecided. The
   /// owner must resolve each with commit() or abort().
@@ -56,11 +68,16 @@ class KvStore {
   /// complete).
   void checkpoint();
 
+  /// Installs (or clears) the WAL fault hook; survives checkpoint()'s log
+  /// replacement. Non-owning.
+  void set_fault_hook(WalFaultHook* hook);
+
   [[nodiscard]] const WriteAheadLog& wal() const { return *wal_; }
 
  private:
   struct Staged {
     std::vector<KvWrite> writes;
+    std::vector<int32_t> participants;
     bool prepared = false;
   };
 
@@ -70,6 +87,7 @@ class KvStore {
   LockManager locks_;
   std::map<std::string, std::string> data_;
   std::map<TxnId, Staged> staged_;
+  WalFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace rcommit::db

@@ -1,21 +1,33 @@
 #include "db/recovery.h"
 
+#include <algorithm>
 #include <set>
 
+#include "adversary/basic.h"
 #include "common/check.h"
 #include "protocol/commit.h"
-#include "transport/node.h"
+#include "sim/simulator.h"
 
 namespace rcommit::db {
 
 RecoveryManager::RecoveryManager(std::vector<KvStore*> shards, Options options)
-    : shards_(std::move(shards)), options_(options) {
+    : shards_(std::move(shards)), options_(std::move(options)) {
   RCOMMIT_CHECK(!shards_.empty());
   for (const auto* shard : shards_) RCOMMIT_CHECK(shard != nullptr);
+  RCOMMIT_CHECK_MSG(
+      options_.shard_ids.empty() || options_.shard_ids.size() == shards_.size(),
+      "shard_ids must be empty or parallel to the shards vector");
 }
 
 std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
+  std::vector<int32_t> ignored;
+  return survey_with_participants(txn, ignored);
+}
+
+std::map<int32_t, ShardTxnStatus> RecoveryManager::survey_with_participants(
+    TxnId txn, std::vector<int32_t>& participants) const {
   std::map<int32_t, ShardTxnStatus> statuses;
+  std::set<int32_t> participant_set;
   for (size_t i = 0; i < shards_.size(); ++i) {
     // Replay the shard's WAL fresh; the live KvStore only retains staged
     // state, but recovery needs the full outcome history.
@@ -30,6 +42,9 @@ std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
           break;
         case WalRecordType::kPrepared:
           status = ShardTxnStatus::kPrepared;
+          for (int32_t id : decode_participant_list(record.value)) {
+            participant_set.insert(id);
+          }
           break;
         case WalRecordType::kCommit:
           status = ShardTxnStatus::kCommitted;
@@ -43,11 +58,13 @@ std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
     }
     statuses[static_cast<int32_t>(i)] = status;
   }
+  participants.assign(participant_set.begin(), participant_set.end());
   return statuses;
 }
 
 void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
-  const auto statuses = survey(txn);
+  std::vector<int32_t> intended;
+  const auto statuses = survey_with_participants(txn, intended);
 
   bool any_commit = false;
   bool any_abort = false;
@@ -66,15 +83,44 @@ void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
   RCOMMIT_CHECK_MSG(!(any_commit && any_abort),
                     "WALs record conflicting outcomes for txn " << txn);
 
+  // Rule 2 extension: a PREPARED record names the full intended participant
+  // set. Any listed participant that is not itself prepared (or decided) —
+  // including one that never even reached its BEGIN append — can never have
+  // voted commit, so commit is impossible. Without this check, a crash
+  // between the phase-1 prepares of two shards would leave the first shard
+  // "all visibly prepared" and recovery could install a strict subset of the
+  // transaction. Legacy records with no participant list fall back to the
+  // visible-prepared-set behaviour.
+  bool missing_intended_participant = false;
+  for (int32_t id : intended) {
+    int32_t index = id;
+    if (!options_.shard_ids.empty()) {
+      const auto it =
+          std::find(options_.shard_ids.begin(), options_.shard_ids.end(), id);
+      index = it == options_.shard_ids.end()
+                  ? -1
+                  : static_cast<int32_t>(it - options_.shard_ids.begin());
+    }
+    const auto status_it = statuses.find(index);
+    if (status_it == statuses.end() ||
+        status_it->second == ShardTxnStatus::kUnknown ||
+        status_it->second == ShardTxnStatus::kStagedOnly) {
+      missing_intended_participant = true;
+    }
+  }
+
   Decision decision;
   if (any_commit) {
     decision = Decision::kCommit;
-  } else if (any_abort || any_staged_only) {
+  } else if (any_abort || any_staged_only || missing_intended_participant) {
     // Rule 2: an un-prepared participant can never have enabled a commit.
     decision = Decision::kAbort;
   } else {
     // Rule 3: everyone prepared, nobody decided — run the commit protocol
-    // again among the prepared shards, all voting commit.
+    // again among the prepared shards, all voting commit. The rerun happens
+    // on the deterministic simulator under the on-time adversary (the
+    // Theorem 9 commit-validity conditions), so the outcome — commit — is a
+    // pure function of the inputs, never of wall-clock timing.
     RCOMMIT_CHECK(!prepared_shards.empty());
     ++report.reran_protocol;
     if (prepared_shards.size() == 1) {
@@ -89,11 +135,14 @@ void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
         popts.initial_vote = 1;
         fleet.push_back(std::make_unique<protocol::CommitProcess>(popts));
       }
-      transport::InMemoryNetwork network(n, options_.seed ^ static_cast<uint64_t>(txn));
-      const auto result =
-          transport::run_fleet(std::move(fleet), network,
-                               options_.seed + static_cast<uint64_t>(txn),
-                               options_.timeout);
+      sim::SimConfig config;
+      config.seed = options_.seed ^
+                    (static_cast<uint64_t>(txn) * 0x9e3779b97f4a7c15ULL);
+      config.max_events = options_.max_events;
+      config.record_trace = false;
+      sim::Simulator simulator(config, std::move(fleet),
+                               adversary::make_on_time_adversary());
+      const auto result = simulator.run();
       decision = Decision::kAbort;
       for (const auto& d : result.decisions) {
         if (d.has_value() && *d == Decision::kCommit) decision = Decision::kCommit;

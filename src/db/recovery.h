@@ -11,15 +11,19 @@
 //      Protocol 2, so one record is authoritative).
 //   2. If some involved shard began but never durably prepared, it can never
 //      have voted commit, so no participant can have decided commit: ABORT
-//      is safe.
+//      is safe. "Involved" is judged against the participant list recorded
+//      in the PREPARED records (when present): a listed participant with no
+//      PREPARED record — even one with no WAL trace at all — blocks commit.
 //   3. If every involved shard is prepared with no outcome anywhere (all
 //      participants crashed between voting and deciding), the shards simply
 //      run the commit protocol again, voting commit — each shard still holds
 //      its staged writes and locks, so either outcome is applicable and all
-//      shards apply the same one.
+//      shards apply the same one. The rerun executes on the deterministic
+//      simulator under the on-time adversary, so recovery is a pure function
+//      of (seed, WAL contents) — which is what makes crash-point sweeps
+//      replayable from (seed, site) alone.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -42,6 +46,8 @@ struct RecoveryReport {
   int64_t resolved_commit = 0;
   int64_t resolved_abort = 0;
   int64_t reran_protocol = 0;  ///< resolutions that needed a fresh protocol run
+
+  bool operator==(const RecoveryReport&) const = default;
 };
 
 class RecoveryManager {
@@ -49,13 +55,20 @@ class RecoveryManager {
   struct Options {
     uint64_t seed = 1;
     Tick k = 25;
-    std::chrono::milliseconds timeout{2000};
+    /// Event budget for the deterministic protocol rerun (rule 3).
+    int64_t max_events = 200'000;
+    /// Participant id of each entry in `shards`, parallel to that vector.
+    /// Empty means identity (shard i has id i) — correct for DistributedDb.
+    /// RPC deployments whose shard node ids differ from vector positions
+    /// must supply the mapping so recorded participant lists resolve.
+    std::vector<int32_t> shard_ids = {};
   };
 
   /// `shards` are the recovered stores (non-owning; must outlive the call).
   RecoveryManager(std::vector<KvStore*> shards, Options options);
 
-  /// Scans every shard's WAL for the given transaction.
+  /// Scans every shard's WAL for the given transaction. Keys are positions
+  /// in the constructor's `shards` vector.
   [[nodiscard]] std::map<int32_t, ShardTxnStatus> survey(TxnId txn) const;
 
   /// Resolves every in-doubt transaction on every shard. Idempotent.
@@ -64,6 +77,10 @@ class RecoveryManager {
  private:
   /// Decides the fate of one in-doubt transaction and applies it.
   void resolve(TxnId txn, RecoveryReport& report);
+
+  /// survey() plus the union of recorded participant lists for the txn.
+  [[nodiscard]] std::map<int32_t, ShardTxnStatus> survey_with_participants(
+      TxnId txn, std::vector<int32_t>& participants) const;
 
   std::vector<KvStore*> shards_;
   Options options_;

@@ -299,7 +299,12 @@ void ShardServer::open_session(const PrepareRequest& request) {
   RCOMMIT_CHECK_MSG(session.my_rank >= 0,
                     "shard " << options_.node_id << " not in participant list");
 
-  const int vote = store_.prepare(request.txn(), request.writes()) ? 1 : 0;
+  // Record the whole participant group (shard node ids) in the PREPARED
+  // record: recovery cross-checks it against what actually got durable.
+  std::vector<int32_t> participant_ids(session.participants.begin(),
+                                       session.participants.end());
+  const int vote =
+      store_.prepare(request.txn(), request.writes(), participant_ids) ? 1 : 0;
 
   const auto n = static_cast<int32_t>(session.participants.size());
   protocol::CommitProcess::Options popts;

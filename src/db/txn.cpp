@@ -17,6 +17,9 @@ DistributedDb::DistributedDb(Options options) : options_(std::move(options)) {
   for (int32_t i = 0; i < options_.shard_count; ++i) {
     shards_.push_back(std::make_unique<KvStore>(
         options_.data_dir / ("shard-" + std::to_string(i) + ".wal")));
+    if (options_.wal_fault_hook != nullptr) {
+      shards_.back()->set_fault_hook(options_.wal_fault_hook);
+    }
   }
 }
 
@@ -64,15 +67,22 @@ TxnOutcome DistributedDb::execute(
   const TxnId txn = next_txn_++;
   txn_seed_ = txn_seed_ * 6364136223846793005ULL + 1442695040888963407ULL;
 
-  // Phase 1: every involved shard stages + durably prepares (its vote).
+  // Phase 1: every involved shard stages + durably prepares (its vote). The
+  // PREPARED record names the full intended participant set, so recovery can
+  // detect a crash that struck between two shards' prepares (the first shard
+  // must not commit a transaction whose other participants never voted).
   std::vector<int32_t> involved;
-  std::vector<int> votes;
   for (const auto& [shard_index, writes] : writes_by_shard) {
+    (void)writes;
     RCOMMIT_CHECK(shard_index >= 0 && shard_index < options_.shard_count);
     involved.push_back(shard_index);
-    votes.push_back(shards_[static_cast<size_t>(shard_index)]->prepare(txn, writes)
-                        ? 1
-                        : 0);
+  }
+  std::vector<int> votes;
+  for (const auto& [shard_index, writes] : writes_by_shard) {
+    votes.push_back(
+        shards_[static_cast<size_t>(shard_index)]->prepare(txn, writes, involved)
+            ? 1
+            : 0);
   }
 
   // Single-shard transactions need no distributed agreement.

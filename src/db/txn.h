@@ -44,6 +44,10 @@ class DistributedDb {
     transport::LinkPolicy network = {};  ///< delay/drop injection
     std::chrono::milliseconds txn_timeout{2000};
     Tick k = 25;  ///< Protocol 2's K, in node steps
+    /// Optional WAL fault hook, installed on every shard's log (non-owning).
+    /// The crash-point torture suite (src/faultinject) uses this to kill the
+    /// database at a chosen append; production paths leave it null.
+    WalFaultHook* wal_fault_hook = nullptr;
   };
 
   explicit DistributedDb(Options options);

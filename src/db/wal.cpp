@@ -19,7 +19,16 @@ std::vector<uint8_t> encode_record(const WalRecord& record) {
 WalRecord decode_record(std::span<const uint8_t> body) {
   BufReader r(body);
   WalRecord record;
-  record.type = static_cast<WalRecordType>(r.u8());
+  const uint8_t raw_type = r.u8();
+  // An unchecked enum cast would let a type byte outside WalRecordType sail
+  // through recovery's switches unmatched — silently dropping a record whose
+  // CRC said it was intact. Reject it instead: replay stops here and trusts
+  // nothing after (same policy as a CRC mismatch).
+  if (raw_type < static_cast<uint8_t>(WalRecordType::kBegin) ||
+      raw_type > static_cast<uint8_t>(WalRecordType::kSnapshot)) {
+    throw CodecError("unknown WAL record type " + std::to_string(raw_type));
+  }
+  record.type = static_cast<WalRecordType>(raw_type);
   record.txn_id = r.svarint();
   record.key = r.str();
   record.value = r.str();
@@ -27,32 +36,17 @@ WalRecord decode_record(std::span<const uint8_t> body) {
   return record;
 }
 
-}  // namespace
-
-WriteAheadLog::WriteAheadLog(std::filesystem::path path) : path_(std::move(path)) {
-  out_.open(path_, std::ios::binary | std::ios::app);
-  RCOMMIT_CHECK_MSG(out_.is_open(), "cannot open WAL at " << path_.string());
-}
-
-void WriteAheadLog::append(const WalRecord& record) {
-  const auto body = encode_record(record);
-  BufWriter frame;
-  frame.u32(static_cast<uint32_t>(body.size()));
-  frame.u32(crc32c(body));
-  const auto& header = frame.data();
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(reinterpret_cast<const char*>(body.data()),
-             static_cast<std::streamsize>(body.size()));
-  out_.flush();
-  RCOMMIT_CHECK_MSG(out_.good(), "WAL append failed at " << path_.string());
-  ++records_appended_;
-}
-
-std::vector<WalRecord> WriteAheadLog::replay() const {
+/// Scans a WAL file: the decodable record prefix plus the byte offset where
+/// trust ends (first torn, corrupt, or structurally invalid frame).
+struct WalScan {
   std::vector<WalRecord> records;
-  std::ifstream in(path_, std::ios::binary);
-  if (!in.is_open()) return records;
+  size_t valid_end = 0;
+};
+
+WalScan scan_wal(const std::filesystem::path& path) {
+  WalScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return scan;
 
   std::vector<uint8_t> file_bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
@@ -65,13 +59,116 @@ std::vector<WalRecord> WriteAheadLog::replay() const {
     const std::span<const uint8_t> body(file_bytes.data() + pos + 8, length);
     if (crc32c(body) != crc) break;  // corrupt record: trust nothing after it
     try {
-      records.push_back(decode_record(body));
+      scan.records.push_back(decode_record(body));
     } catch (const CodecError&) {
       break;  // structurally invalid despite matching CRC — stop here
     }
     pos += 8 + length;
+    scan.valid_end = pos;
   }
-  return records;
+  return scan;
+}
+
+}  // namespace
+
+std::string encode_participant_list(const std::vector<int32_t>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+std::vector<int32_t> decode_participant_list(const std::string& text) {
+  std::vector<int32_t> ids;
+  if (text.empty()) return ids;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string part =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    RCOMMIT_CHECK_MSG(!part.empty() &&
+                          part.find_first_not_of("0123456789") == std::string::npos,
+                      "malformed participant list: '" << text << "'");
+    ids.push_back(static_cast<int32_t>(std::stol(part)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
+}
+
+WriteAheadLog::WriteAheadLog(std::filesystem::path path) : path_(std::move(path)) {
+  // Replay stops at the first torn/corrupt frame and trusts nothing after it
+  // — so anything appended after such a frame would be unreachable forever.
+  // Make the distrust durable: truncate the invalid tail before appending.
+  // (The crash-point torture suite caught exactly this: recovery's COMMIT
+  // record landing after a torn frame, lost on the next open.)
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path_, ec);
+  if (!ec && size > 0) {
+    const WalScan scan = scan_wal(path_);
+    if (scan.valid_end < size) {
+      std::filesystem::resize_file(path_, scan.valid_end);
+    }
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  RCOMMIT_CHECK_MSG(out_.is_open(), "cannot open WAL at " << path_.string());
+}
+
+void WriteAheadLog::append(const WalRecord& record) {
+  const auto body = encode_record(record);
+  BufWriter frame_writer;
+  frame_writer.u32(static_cast<uint32_t>(body.size()));
+  frame_writer.u32(crc32c(body));
+  const auto& frame_head = frame_writer.data();
+  std::vector<uint8_t> frame;
+  frame.reserve(frame_head.size() + body.size());
+  frame.insert(frame.end(), frame_head.begin(), frame_head.end());
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  WalAppendFault fault;
+  if (fault_hook_ != nullptr) {
+    fault = fault_hook_->on_append(path_, std::span<const uint8_t>(frame));
+  }
+
+  const auto write_bytes = [this](std::span<const uint8_t> bytes) {
+    out_.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    out_.flush();
+    RCOMMIT_CHECK_MSG(out_.good(), "WAL append failed at " << path_.string());
+  };
+
+  switch (fault.kind) {
+    case WalAppendFault::Kind::kClean:
+      write_bytes(frame);
+      break;
+    case WalAppendFault::Kind::kCrashBefore:
+      throw CrashInjected(fault.site,
+                          "injected crash before WAL append at " + path_.string());
+    case WalAppendFault::Kind::kTorn: {
+      RCOMMIT_CHECK_MSG(fault.keep_bytes < frame.size(),
+                        "torn write must keep fewer than frame bytes");
+      write_bytes(std::span<const uint8_t>(frame.data(), fault.keep_bytes));
+      throw CrashInjected(fault.site, "injected torn write (" +
+                                          std::to_string(fault.keep_bytes) + "/" +
+                                          std::to_string(frame.size()) +
+                                          " bytes) at " + path_.string());
+    }
+    case WalAppendFault::Kind::kDuplicate:
+      write_bytes(frame);
+      write_bytes(frame);
+      break;
+    case WalAppendFault::Kind::kCrashAfter:
+      write_bytes(frame);
+      throw CrashInjected(fault.site,
+                          "injected crash after WAL append at " + path_.string());
+  }
+  ++records_appended_;
+}
+
+std::vector<WalRecord> WriteAheadLog::replay() const {
+  return scan_wal(path_).records;
 }
 
 }  // namespace rcommit::db

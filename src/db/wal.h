@@ -5,11 +5,20 @@
 // no processor"). Each record is framed [length][crc32c][body] and flushed on
 // append; replay stops cleanly at the first torn or corrupted record, so a
 // crash mid-append loses at most the record being written.
+//
+// Every append is also a numbered *injection site*: an installed WalFaultHook
+// (src/faultinject) sees each framed record before it hits the file and can
+// demand a torn write, a duplicated frame, or a hard crash at exactly that
+// point. With no hook installed (or a hook that always answers kClean) the
+// byte stream is identical to an uninstrumented log — the hook sees the
+// frame that was going to be written anyway.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,23 +39,81 @@ struct WalRecord {
   WalRecordType type = WalRecordType::kBegin;
   int64_t txn_id = 0;
   std::string key;    ///< kWrite only
-  std::string value;  ///< kWrite only
+  std::string value;  ///< kWrite / kPrepared (participant list)
 
   bool operator==(const WalRecord&) const = default;
 };
+
+/// Thrown by WriteAheadLog::append when the installed fault hook demands a
+/// crash at this injection site. Models a whole-process kill: the in-memory
+/// store is garbage afterwards; the only truth left is the WAL file.
+class CrashInjected : public std::runtime_error {
+ public:
+  CrashInjected(int64_t site, const std::string& what)
+      : std::runtime_error(what), site_(site) {}
+
+  /// The global injection-site index at which the crash fired.
+  [[nodiscard]] int64_t site() const { return site_; }
+
+ private:
+  int64_t site_;
+};
+
+/// What a fault hook wants done with one append.
+struct WalAppendFault {
+  enum class Kind : uint8_t {
+    kClean,        ///< write the frame normally
+    kCrashBefore,  ///< write nothing, then crash
+    kTorn,         ///< write only keep_bytes of the frame, then crash
+    kDuplicate,    ///< write the frame twice, keep running
+    kCrashAfter,   ///< write the frame fully, then crash
+  };
+  Kind kind = Kind::kClean;
+  /// kTorn only: bytes of the frame that reach the file, in [0, frame size).
+  size_t keep_bytes = 0;
+  /// Site index to report in CrashInjected (assigned by the hook).
+  int64_t site = -1;
+};
+
+/// Consulted once per append with the exact bytes about to be written
+/// (header + body). Implemented by faultinject::FaultInjector; the WAL layer
+/// only executes the returned disposition.
+class WalFaultHook {
+ public:
+  virtual ~WalFaultHook() = default;
+  virtual WalAppendFault on_append(const std::filesystem::path& wal_path,
+                                   std::span<const uint8_t> frame) = 0;
+};
+
+/// Encodes a participant shard list into the kPrepared record's value field
+/// (comma-separated decimal, e.g. "0,2,5"). An empty list encodes as "" —
+/// byte-identical to the pre-participant-list record format, which is how
+/// legacy WALs and direct KvStore::prepare calls without a list stay valid.
+[[nodiscard]] std::string encode_participant_list(const std::vector<int32_t>& ids);
+/// Inverse of encode_participant_list; "" decodes to the empty list. Throws
+/// CheckFailure on malformed input (the record's CRC already passed, so a
+/// parse failure here is a logic bug, not corruption).
+[[nodiscard]] std::vector<int32_t> decode_participant_list(const std::string& text);
 
 class WriteAheadLog {
  public:
   /// Opens (creating if absent) the log at `path` for appending.
   explicit WriteAheadLog(std::filesystem::path path);
 
-  /// Appends one record, framed and checksummed, and flushes it.
+  /// Appends one record, framed and checksummed, and flushes it. If a fault
+  /// hook is installed, its verdict for this site is executed (which may
+  /// throw CrashInjected).
   void append(const WalRecord& record);
 
   /// Reads every intact record from the start of the log. Stops (without
   /// throwing) at the first torn or corrupt frame — everything before it is
   /// trustworthy, everything after is garbage from an interrupted append.
+  /// A frame whose CRC matches but whose type byte is outside WalRecordType
+  /// is treated the same way: recovery rejects it and trusts nothing after.
   [[nodiscard]] std::vector<WalRecord> replay() const;
+
+  /// Installs (or clears, with nullptr) the per-append fault hook. Non-owning.
+  void set_fault_hook(WalFaultHook* hook) { fault_hook_ = hook; }
 
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
   [[nodiscard]] int64_t records_appended() const { return records_appended_; }
@@ -55,6 +122,7 @@ class WriteAheadLog {
   std::filesystem::path path_;
   std::ofstream out_;
   int64_t records_appended_ = 0;
+  WalFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace rcommit::db

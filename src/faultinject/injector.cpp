@@ -1,0 +1,61 @@
+#include "faultinject/injector.h"
+
+#include "common/check.h"
+
+namespace rcommit::faultinject {
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+db::WalAppendFault FaultInjector::on_append(const std::filesystem::path& wal_path,
+                                            std::span<const uint8_t> frame) {
+  const int64_t site = next_site_++;
+  // Frame layout is [u32 len][u32 crc][body]; body[0] is the record type.
+  RCOMMIT_CHECK_MSG(frame.size() > 8, "WAL frame too small to carry a record");
+  SiteInfo info;
+  info.site = site;
+  info.wal_name = wal_path.filename().string();
+  info.record_type = frame[8];
+  info.frame_size = frame.size();
+
+  const FaultAction action = plan_.wal_action_at(site);
+  db::WalAppendFault fault;
+  fault.site = site;
+  switch (action.kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kCrashBefore:
+      fault.kind = db::WalAppendFault::Kind::kCrashBefore;
+      break;
+    case FaultKind::kTornWrite:
+      fault.kind = db::WalAppendFault::Kind::kTorn;
+      // Strictly inside the frame: at least 1 byte lands, at least 1 is lost.
+      fault.keep_bytes = 1 + static_cast<size_t>(action.arg % (frame.size() - 1));
+      break;
+    case FaultKind::kPartialFlush:
+      // Only the 8-byte header reaches the file; the body is lost entirely.
+      fault.kind = db::WalAppendFault::Kind::kTorn;
+      fault.keep_bytes = 8;
+      break;
+    case FaultKind::kDuplicate:
+      fault.kind = db::WalAppendFault::Kind::kDuplicate;
+      break;
+    case FaultKind::kCrashAfter:
+      fault.kind = db::WalAppendFault::Kind::kCrashAfter;
+      break;
+    default:
+      RCOMMIT_CHECK_MSG(false, "RPC fault kind in a WAL plan at site " << site);
+  }
+  if (action.kind != FaultKind::kNone) {
+    info.fired = action.kind;
+    ++fired_[action.kind];
+  }
+  sites_.push_back(info);
+  return fault;
+}
+
+int64_t FaultInjector::fired(FaultKind kind) const {
+  const auto it = fired_.find(kind);
+  return it == fired_.end() ? 0 : it->second;
+}
+
+}  // namespace rcommit::faultinject

@@ -1,0 +1,95 @@
+// RCOMMIT_LINT_ALLOW_FILE(R2): decorates the threaded transport, whose send() contract is thread-safe; the counter and hold queue need a lock
+#include "faultinject/netfault.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::faultinject {
+
+FaultyNetwork::FaultyNetwork(transport::Network& inner, FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)) {}
+
+void FaultyNetwork::start() { inner_.start(); }
+
+void FaultyNetwork::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    lost_on_stop_ += static_cast<int64_t>(held_.size());
+    held_.clear();
+  }
+  inner_.stop();
+}
+
+void FaultyNetwork::send(const transport::WireFrame& frame) {
+  // The site counter, the fault decision, the forwarding, and the release of
+  // held frames happen under one lock so concurrent senders observe one
+  // consistent global send order (which is what the site numbering means).
+  const std::lock_guard<std::mutex> lock(mu_);
+  const int64_t site = next_site_++;
+  const FaultAction action = plan_.rpc_action_at(site);
+  switch (action.kind) {
+    case FaultKind::kNone:
+      inner_.send(frame);
+      break;
+    case FaultKind::kRpcDrop:
+      ++dropped_;
+      break;
+    case FaultKind::kRpcDuplicate:
+      ++duplicated_;
+      inner_.send(frame);
+      inner_.send(frame);
+      break;
+    case FaultKind::kRpcDelay: {
+      ++held_total_;
+      const int64_t delta = static_cast<int64_t>(std::max<uint64_t>(1, action.arg));
+      held_.push_back({site + delta, frame});
+      break;
+    }
+    case FaultKind::kRpcReorder:
+      // Emitted right after the next send: swaps places with it.
+      ++held_total_;
+      held_.push_back({site + 1, frame});
+      break;
+    default:
+      RCOMMIT_CHECK_MSG(false, "WAL fault kind in an RPC plan at site " << site);
+  }
+  // Release every held frame whose due site has passed, in hold order.
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->due_site <= site) {
+      inner_.send(it->frame);
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+transport::Channel<std::vector<uint8_t>>& FaultyNetwork::inbox(ProcId id) {
+  return inner_.inbox(id);
+}
+
+int32_t FaultyNetwork::n() const { return inner_.n(); }
+
+int64_t FaultyNetwork::sites_seen() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_site_;
+}
+int64_t FaultyNetwork::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+int64_t FaultyNetwork::duplicated() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return duplicated_;
+}
+int64_t FaultyNetwork::held() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return held_total_;
+}
+int64_t FaultyNetwork::lost_on_stop() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lost_on_stop_;
+}
+
+}  // namespace rcommit::faultinject

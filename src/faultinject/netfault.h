@@ -1,0 +1,59 @@
+// RCOMMIT_LINT_ALLOW_FILE(R2): decorates the threaded transport, whose send() contract is thread-safe; the counter and hold queue need a lock
+// Fault-injecting network decorator.
+//
+// Wraps any transport::Network and applies the FaultPlan's RPC actions to
+// send(): every send is a numbered RPC injection site (in send order) that
+// can be dropped, duplicated, delayed by k subsequent sends, or reordered
+// with the next send. Delays are measured in *sends*, not wall-clock time,
+// so a plan's effect is reproducible wherever the send order is — no new
+// R1 timing sites. ShardServer and DbTxnClient take a Network&, so pointing
+// them at a FaultyNetwork injects the whole RPC path without touching them.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "faultinject/plan.h"
+#include "transport/network.h"
+
+namespace rcommit::faultinject {
+
+class FaultyNetwork final : public transport::Network {
+ public:
+  /// `inner` must outlive this decorator.
+  FaultyNetwork(transport::Network& inner, FaultPlan plan);
+
+  void start() override;
+  /// Frames still held for delay/reorder at stop() are lost — a held frame
+  /// with no subsequent send to release it behaves as a drop.
+  void stop() override;
+  void send(const transport::WireFrame& frame) override;
+  transport::Channel<std::vector<uint8_t>>& inbox(ProcId id) override;
+  [[nodiscard]] int32_t n() const override;
+
+  [[nodiscard]] int64_t sites_seen() const;
+  [[nodiscard]] int64_t dropped() const;
+  [[nodiscard]] int64_t duplicated() const;
+  [[nodiscard]] int64_t held() const;  ///< delay + reorder holds, total
+  [[nodiscard]] int64_t lost_on_stop() const;
+
+ private:
+  struct Held {
+    int64_t due_site;  ///< released after the send at this site completes
+    transport::WireFrame frame;
+  };
+
+  transport::Network& inner_;
+  FaultPlan plan_;
+
+  mutable std::mutex mu_;
+  int64_t next_site_ = 0;
+  int64_t dropped_ = 0;
+  int64_t duplicated_ = 0;
+  int64_t held_total_ = 0;
+  int64_t lost_on_stop_ = 0;
+  std::vector<Held> held_;
+};
+
+}  // namespace rcommit::faultinject

@@ -1,0 +1,203 @@
+#include "faultinject/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rcommit::faultinject {
+
+namespace {
+
+/// One draw per (seed, space, site): SplitMix64 over mixed coordinates, the
+/// same idiom as the swarm matrix's cell seeds — adding sites to the horizon
+/// never changes the draws of existing sites.
+uint64_t site_draw(uint64_t seed, uint64_t space, int64_t site) {
+  SplitMix64 mix(seed ^ (space * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<uint64_t>(site) * 0xbf58476d1ce4e5b9ULL));
+  return mix.next();
+}
+
+FaultAction action_at(const std::vector<FaultAction>& actions, int64_t site) {
+  const auto it = std::lower_bound(
+      actions.begin(), actions.end(), site,
+      [](const FaultAction& a, int64_t s) { return a.site < s; });
+  if (it != actions.end() && it->site == site) return *it;
+  return FaultAction{site, FaultKind::kNone, 0};
+}
+
+void insert_sorted(std::vector<FaultAction>& actions, const FaultAction& action) {
+  const auto it = std::lower_bound(
+      actions.begin(), actions.end(), action.site,
+      [](const FaultAction& a, int64_t s) { return a.site < s; });
+  RCOMMIT_CHECK_MSG(it == actions.end() || it->site != action.site,
+                    "duplicate fault action at site " << action.site);
+  actions.insert(it, action);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrashBefore: return "crash-before";
+    case FaultKind::kTornWrite: return "torn";
+    case FaultKind::kPartialFlush: return "partial-flush";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCrashAfter: return "crash-after";
+    case FaultKind::kRpcDrop: return "rpc-drop";
+    case FaultKind::kRpcDuplicate: return "rpc-duplicate";
+    case FaultKind::kRpcDelay: return "rpc-delay";
+    case FaultKind::kRpcReorder: return "rpc-reorder";
+  }
+  return "none";
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kNone, FaultKind::kCrashBefore, FaultKind::kTornWrite,
+        FaultKind::kPartialFlush, FaultKind::kDuplicate, FaultKind::kCrashAfter,
+        FaultKind::kRpcDrop, FaultKind::kRpcDuplicate, FaultKind::kRpcDelay,
+        FaultKind::kRpcReorder}) {
+    if (name == to_string(kind)) return kind;
+  }
+  RCOMMIT_CHECK_MSG(false, "unknown fault kind '" << name << "'");
+  return FaultKind::kNone;
+}
+
+bool is_wal_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashBefore:
+    case FaultKind::kTornWrite:
+    case FaultKind::kPartialFlush:
+    case FaultKind::kDuplicate:
+    case FaultKind::kCrashAfter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_crash_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrashBefore:
+    case FaultKind::kTornWrite:
+    case FaultKind::kPartialFlush:
+    case FaultKind::kCrashAfter:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FaultPlan FaultPlan::none() { return FaultPlan{}; }
+
+FaultPlan FaultPlan::wal_fault_at(int64_t site, FaultKind kind, uint64_t arg) {
+  RCOMMIT_CHECK(is_wal_kind(kind));
+  FaultPlan plan;
+  plan.add({site, kind, arg});
+  return plan;
+}
+
+FaultPlan FaultPlan::rpc_fault_at(int64_t site, FaultKind kind, uint64_t arg) {
+  RCOMMIT_CHECK(!is_wal_kind(kind) && kind != FaultKind::kNone);
+  FaultPlan plan;
+  plan.add({site, kind, arg});
+  return plan;
+}
+
+FaultPlan FaultPlan::from_seed(uint64_t seed, const FaultPlanOptions& options) {
+  FaultPlan plan;
+  plan.seed_ = seed;
+  static constexpr FaultKind kWalCrashKinds[] = {
+      FaultKind::kCrashBefore, FaultKind::kTornWrite, FaultKind::kPartialFlush,
+      FaultKind::kCrashAfter};
+  static constexpr FaultKind kRpcKinds[] = {
+      FaultKind::kRpcDrop, FaultKind::kRpcDuplicate, FaultKind::kRpcDelay,
+      FaultKind::kRpcReorder};
+  for (int64_t site = 0; site < options.wal_horizon; ++site) {
+    const uint64_t draw = site_draw(seed, /*space=*/1, site);
+    if (static_cast<double>(draw >> 11) * 0x1.0p-53 >= options.wal_rate) continue;
+    const uint64_t pick = site_draw(seed, /*space=*/2, site);
+    const FaultKind kind = options.include_crash_kinds
+                               ? (pick % 5 == 4 ? FaultKind::kDuplicate
+                                                : kWalCrashKinds[pick % 4])
+                               : FaultKind::kDuplicate;
+    plan.add({site, kind, site_draw(seed, /*space=*/3, site)});
+    // A crash ends the run; later WAL sites are unreachable by construction.
+    if (is_crash_kind(kind)) break;
+  }
+  for (int64_t site = 0; site < options.rpc_horizon; ++site) {
+    const uint64_t draw = site_draw(seed, /*space=*/4, site);
+    if (static_cast<double>(draw >> 11) * 0x1.0p-53 >= options.rpc_rate) continue;
+    const uint64_t pick = site_draw(seed, /*space=*/5, site);
+    plan.add({site, kRpcKinds[pick % 4], site_draw(seed, /*space=*/6, site)});
+  }
+  return plan;
+}
+
+void FaultPlan::add(const FaultAction& action) {
+  RCOMMIT_CHECK(action.kind != FaultKind::kNone);
+  insert_sorted(is_wal_kind(action.kind) ? wal_actions_ : rpc_actions_, action);
+}
+
+FaultAction FaultPlan::wal_action_at(int64_t site) const {
+  return action_at(wal_actions_, site);
+}
+
+FaultAction FaultPlan::rpc_action_at(int64_t site) const {
+  return action_at(rpc_actions_, site);
+}
+
+std::vector<FaultAction> FaultPlan::all_actions() const {
+  std::vector<FaultAction> all = wal_actions_;
+  all.insert(all.end(), rpc_actions_.begin(), rpc_actions_.end());
+  return all;
+}
+
+FaultPlan FaultPlan::with_actions(const std::vector<FaultAction>& actions) const {
+  FaultPlan plan;
+  plan.seed_ = seed_;
+  for (const auto& action : actions) plan.add(action);
+  return plan;
+}
+
+std::string FaultPlan::serialize() const {
+  std::ostringstream out;
+  out << "seed=" << seed_ << "\n";
+  for (const auto& action : all_actions()) {
+    out << "fault=" << action.site << " " << to_string(action.kind) << " "
+        << action.arg << "\n";
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::deserialize(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    RCOMMIT_CHECK_MSG(eq != std::string::npos, "malformed plan line: " << line);
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed_ = std::stoull(value);
+    } else if (key == "fault") {
+      std::istringstream fields(value);
+      int64_t site = 0;
+      std::string kind;
+      uint64_t arg = 0;
+      RCOMMIT_CHECK_MSG(static_cast<bool>(fields >> site >> kind >> arg),
+                        "malformed fault action: " << value);
+      plan.add({site, parse_fault_kind(kind), arg});
+    } else {
+      RCOMMIT_CHECK_MSG(false, "unknown plan key '" << key << "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace rcommit::faultinject

@@ -1,0 +1,140 @@
+// Recovery-equivalence torture: crash the database at a chosen WAL append,
+// recover, and check the survivors against a reference state machine.
+//
+// The reference is the committed prefix: a transaction's writes belong in
+// the final state iff the transaction committed — where "committed" after a
+// crash means what RecoveryManager derives from the WALs. The checker
+// asserts, for every crash point (SQLite crash-test style: enumerate the
+// sites, then sweep site × fault kind exhaustively):
+//
+//   * no transaction remains in doubt after resolve_all();
+//   * shards never disagree on a transaction's outcome;
+//   * an outcome the client observed before the crash survives it
+//     (observed commit => durable commit, observed abort => no commit);
+//   * a committed transaction is installed on *every* intended participant
+//     (the paper's §1 "at all processors or at no processor");
+//   * each shard's recovered state equals the reference's committed-prefix
+//     state, key for key.
+//
+// Everything is a pure function of (TortureOptions, FaultPlan) — the sweep
+// is reproducible from (seed, site) alone, which the faultkit replay test
+// verifies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "db/recovery.h"
+#include "faultinject/injector.h"
+#include "faultinject/plan.h"
+#include "swarm/shrink.h"
+
+namespace rcommit::faultinject {
+
+struct TortureOptions {
+  int32_t shard_count = 3;
+  int32_t txns = 4;           ///< workload transactions after the hot prepare
+  int32_t fanout = 2;         ///< shards per transaction
+  int32_t keys_per_shard = 4;
+  uint64_t seed = 1;
+  /// Scratch directory for the WALs; wiped and recreated per run.
+  std::filesystem::path scratch_dir;
+  /// Commit-fleet network timing (kept tight: the sweep runs many points).
+  std::chrono::microseconds min_delay{10};
+  std::chrono::microseconds max_delay{80};
+  std::chrono::milliseconds txn_timeout{5000};
+
+  /// Key=value form (scratch_dir excluded); round-trips via deserialize.
+  [[nodiscard]] std::string serialize() const;
+  static TortureOptions deserialize(const std::string& text);
+};
+
+/// One crash point's verdict. `errors` empty means recovery was equivalent
+/// to the reference; every field participates in replay-identity checks.
+struct CrashPointResult {
+  bool crashed = false;
+  int64_t crash_site = -1;     ///< site the crash fired at; -1 = no crash
+  int64_t sites_seen = 0;      ///< WAL sites reached during the run
+  db::RecoveryReport report;
+  int64_t committed_txns = 0;  ///< transactions committed per the WALs
+  uint64_t digest = 0;         ///< crc32c over every shard's recovered state
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  bool operator==(const CrashPointResult&) const = default;
+
+  [[nodiscard]] std::string serialize() const;
+  static CrashPointResult deserialize(const std::string& text);
+};
+
+/// Runs workload + crash + recovery + equivalence check for one plan.
+[[nodiscard]] CrashPointResult run_crash_point(const TortureOptions& options,
+                                               const FaultPlan& plan);
+
+/// Dry run under the empty plan: the reachable WAL injection sites, in
+/// order, with what each one turned out to be.
+[[nodiscard]] std::vector<SiteInfo> enumerate_sites(const TortureOptions& options);
+
+struct SweepOptions {
+  /// Fault kinds applied at every site. Defaults to the full WAL repertoire.
+  std::vector<FaultKind> kinds = {FaultKind::kCrashBefore, FaultKind::kTornWrite,
+                                  FaultKind::kPartialFlush, FaultKind::kDuplicate,
+                                  FaultKind::kCrashAfter};
+  int threads = 1;        ///< >1: crash points run on a WorkStealingPool
+  int64_t max_sites = -1; ///< cap on swept sites; -1 = every reachable site
+};
+
+struct SweepFailure {
+  FaultPlan plan;
+  CrashPointResult result;
+};
+
+struct SweepResult {
+  int64_t sites = 0;         ///< reachable sites in the workload
+  int64_t crash_points = 0;  ///< (site, kind) pairs executed
+  std::vector<SweepFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Exhaustive (site × kind) sweep. Deterministic regardless of threads:
+/// results are folded in enumeration order.
+[[nodiscard]] SweepResult run_wal_sweep(const TortureOptions& options,
+                                        const SweepOptions& sweep);
+
+/// Shrinks a failing plan to a locally-minimal still-failing action subset
+/// via swarm::ddmin_keep (the fault-plan axis of the swarm's shrinker).
+[[nodiscard]] FaultPlan shrink_fault_plan(const TortureOptions& options,
+                                          const FaultPlan& plan,
+                                          const swarm::ShrinkOptions& shrink = {},
+                                          int* evals = nullptr);
+
+// --- artifacts ---------------------------------------------------------------
+//
+//   <dir>/config.txt   TortureOptions (key=value)
+//   <dir>/plan.txt     FaultPlan (the crash schedule; shrunk when from the
+//                      sweep's failure path)
+//   <dir>/report.txt   expected CrashPointResult (replay must match exactly)
+//   <dir>/README.txt   one-command reproduction recipe
+//
+// Reproduce with:  faultkit --artifact=<dir>
+// The same format doubles as the regression corpus under tests/corpus_fault/.
+
+struct FaultArtifact {
+  TortureOptions options;
+  FaultPlan plan;
+  CrashPointResult expected;
+};
+
+/// Writes the artifact directory, creating it as needed.
+void write_fault_artifact(const std::filesystem::path& dir,
+                          const FaultArtifact& artifact);
+
+/// Loads an artifact directory. Throws CheckFailure on missing/malformed
+/// files. The loaded options carry an empty scratch_dir; callers supply one.
+[[nodiscard]] FaultArtifact load_fault_artifact(const std::filesystem::path& dir);
+
+}  // namespace rcommit::faultinject

@@ -152,4 +152,53 @@ sim::RecordedSchedule shrink_schedule(
   return record_stats(current);
 }
 
+std::vector<size_t> ddmin_keep(
+    size_t count, const std::function<bool(const std::vector<size_t>&)>& violates,
+    const ShrinkOptions& options, int* evals) {
+  int eval_count = 0;
+  const auto check = [&](const std::vector<size_t>& keep) {
+    ++eval_count;
+    return violates(keep);
+  };
+  const auto budget_left = [&] { return eval_count < options.max_evals; };
+
+  std::vector<size_t> current(count);
+  for (size_t i = 0; i < count; ++i) current[i] = i;
+
+  const auto finish = [&](std::vector<size_t> result) {
+    if (evals != nullptr) *evals = eval_count;
+    return result;
+  };
+
+  if (!check(current)) return finish(current);
+
+  // Remove chunks at halving granularity until 1-minimal or out of budget —
+  // the same loop structure as shrink_schedule's phase 4, over indices.
+  for (size_t chunk = std::max<size_t>(current.size() / 2, 1); chunk >= 1;
+       chunk /= 2) {
+    bool removed_any = true;
+    while (removed_any && budget_left()) {
+      removed_any = false;
+      for (size_t begin = 0; begin < current.size() && budget_left();) {
+        const size_t end = std::min(begin + chunk, current.size());
+        std::vector<size_t> candidate;
+        candidate.reserve(current.size() - (end - begin));
+        candidate.insert(candidate.end(), current.begin(),
+                         current.begin() + static_cast<ptrdiff_t>(begin));
+        candidate.insert(candidate.end(),
+                         current.begin() + static_cast<ptrdiff_t>(end),
+                         current.end());
+        if (check(candidate)) {
+          current = std::move(candidate);
+          removed_any = true;  // retry the same offset against the new tail
+        } else {
+          begin = end;
+        }
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return finish(current);
+}
+
 }  // namespace rcommit::swarm

@@ -46,4 +46,16 @@ struct ShrinkStats {
     const std::function<CandidateOutcome(const sim::RecordedSchedule&)>& test,
     const ShrinkOptions& options = {}, ShrinkStats* stats = nullptr);
 
+/// Generic ddmin over an abstract action list: given `count` items and an
+/// oracle judging a kept-index subset (indices ascending), returns a locally
+/// 1-minimal subset of [0, count) on which `violates` still holds. This is
+/// shrink_schedule's phase-4 engine factored out for other schedule-shaped
+/// axes — the fault-injection layer shrinks crash plans (FaultPlan actions)
+/// through it, so a seeded multi-fault counterexample reduces to the few
+/// faults that matter. If the full set does not violate, it is returned
+/// unchanged. `evals`, when non-null, receives the oracle call count.
+[[nodiscard]] std::vector<size_t> ddmin_keep(
+    size_t count, const std::function<bool(const std::vector<size_t>&)>& violates,
+    const ShrinkOptions& options = {}, int* evals = nullptr);
+
 }  // namespace rcommit::swarm

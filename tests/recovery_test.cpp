@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
+#include "common/codec.h"
 #include "db/kv.h"
 #include "db/recovery.h"
 #include "db/wal.h"
@@ -172,6 +174,119 @@ TEST_F(RecoveryFixture, ResolveAllIsIdempotent) {
   (void)recovery.resolve_all();
   const auto second = recovery.resolve_all();
   EXPECT_EQ(second.resolved_commit + second.resolved_abort, 0);
+}
+
+/// Appends a well-framed record (valid CRC) with an arbitrary type byte —
+/// the corruption WriteAheadLog::append can never produce itself.
+void append_raw_record(const fs::path& path, uint8_t type, int64_t txn) {
+  BufWriter body;
+  body.u8(type);
+  body.svarint(txn);
+  body.str("k");
+  body.str("v");
+  BufWriter frame;
+  frame.u32(static_cast<uint32_t>(body.size()));
+  frame.u32(crc32c(std::span<const uint8_t>(body.data())));
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(frame.data().data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.write(reinterpret_cast<const char*>(body.data().data()),
+            static_cast<std::streamsize>(body.size()));
+}
+
+TEST_F(RecoveryFixture, UnknownRecordTypeStopsReplayDespiteValidCrc) {
+  // A record whose CRC is intact but whose type byte is outside WalRecordType
+  // must be rejected, not silently skipped: replay stops there and trusts
+  // nothing after — so the commit record behind it is NOT honoured and the
+  // transaction surfaces as in doubt.
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(8, {{"a", "A"}}));
+  }
+  append_raw_record(wal_path(0), 9, 8);  // type 9: not a WalRecordType
+  {
+    WriteAheadLog wal0(wal_path(0));
+    EXPECT_EQ(wal0.replay().size(), 3u);  // begin + write + prepared; type 9 gone
+  }
+  KvStore shard0(wal_path(0));
+  EXPECT_EQ(shard0.in_doubt(), std::vector<TxnId>{8});
+  EXPECT_EQ(shard0.get("a"), std::nullopt);
+}
+
+TEST_F(RecoveryFixture, CorruptTailIsTruncatedSoLaterAppendsSurvive) {
+  // The torture suite's headline find: recovery appends its resolution to the
+  // WAL, and if a torn/invalid tail were left in place those appends would be
+  // unreachable on the next open. Opening the log must truncate the tail.
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(9, {{"a", "A"}}));
+  }
+  append_raw_record(wal_path(0), 200, 9);  // invalid type: distrusted tail
+  {
+    KvStore shard0(wal_path(0));  // open truncates the bad tail
+    ASSERT_EQ(shard0.in_doubt(), std::vector<TxnId>{9});
+    shard0.commit(9);  // appended after the (now removed) corruption
+  }
+  KvStore shard0(wal_path(0));
+  EXPECT_TRUE(shard0.in_doubt().empty());
+  EXPECT_EQ(shard0.get("a"), "A");
+}
+
+TEST_F(RecoveryFixture, MissingIntendedParticipantForcesAbort) {
+  // Shard 0's PREPARED record names {0, 1} as the participant set, but shard 1
+  // has no WAL trace at all — the crash struck between the two prepares.
+  // Without the recorded list this is indistinguishable from a lone-shard
+  // transaction (which commits); with it, recovery must abort.
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(20, {{"a", "A"}}, {0, 1}));
+    KvStore shard1(wal_path(1));  // creates an empty WAL, nothing recorded
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_abort, 1);
+  EXPECT_EQ(report.resolved_commit, 0);
+  EXPECT_EQ(report.reran_protocol, 0);
+  EXPECT_EQ(shard0.get("a"), std::nullopt);
+  EXPECT_TRUE(shard0.in_doubt().empty());
+}
+
+TEST_F(RecoveryFixture, FullParticipantListPreparedStillCommits) {
+  // Same recorded list, but both participants did prepare: rule 3 applies and
+  // the rerun commits (all votes are 1).
+  {
+    KvStore shard0(wal_path(0));
+    ASSERT_TRUE(shard0.prepare(21, {{"a", "A"}}, {0, 1}));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard1.prepare(21, {{"b", "B"}}, {0, 1}));
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {.seed = 17});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 1);
+  EXPECT_EQ(report.resolved_commit, 1);
+  EXPECT_EQ(shard0.get("a"), "A");
+  EXPECT_EQ(shard1.get("b"), "B");
+}
+
+TEST_F(RecoveryFixture, ShardIdMappingResolvesParticipantLists) {
+  // RPC-style deployment: the shards vector holds nodes {5, 6}. Node 5's
+  // PREPARED record names {5, 6}; node 6 never prepared. The mapping must
+  // translate ids to vector positions so rule 2 still fires.
+  {
+    KvStore shard5(wal_path(5));
+    ASSERT_TRUE(shard5.prepare(30, {{"a", "A"}}, {5, 6}));
+    KvStore shard6(wal_path(6));
+  }
+  KvStore shard5(wal_path(5));
+  KvStore shard6(wal_path(6));
+  RecoveryManager recovery({&shard5, &shard6}, {.shard_ids = {5, 6}});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.resolved_abort, 1);
+  EXPECT_EQ(shard5.get("a"), std::nullopt);
 }
 
 TEST_F(RecoveryFixture, SurveyReportsPerShardStatus) {
