@@ -38,9 +38,8 @@ const std::vector<bool>& QuorumStallAdversary::fast_set(const sim::PatternView& 
   return fast_.emplace(p, std::move(fast)).first->second;
 }
 
-sim::Action QuorumStallAdversary::next(const sim::PatternView& view) {
+void QuorumStallAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
-  sim::Action action;
   for (int32_t i = 0; i < n; ++i) {
     const ProcId p = (rr_next_ + i) % n;
     if (view.schedulable(p)) {
@@ -61,7 +60,6 @@ sim::Action QuorumStallAdversary::next(const sim::PatternView& view) {
     }
     if (it->second < clock_at_step) action.deliver.push_back(msg.id);
   }
-  return action;
 }
 
 }  // namespace rcommit::adversary

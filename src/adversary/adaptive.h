@@ -25,7 +25,7 @@ class QuorumStallAdversary final : public sim::Adversary {
   /// (in recipient steps) on messages from outside the fast set.
   QuorumStallAdversary(int32_t t, Tick slow_lag, uint64_t seed);
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
 
  private:
   /// Lazily picks the fast set for a recipient: a random subset of n - t

@@ -1,6 +1,7 @@
 #include "adversary/basic.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/check.h"
@@ -50,8 +51,11 @@ ScheduleAdversary::ScheduleAdversary(SchedulingOrder order,
 }
 
 ProcId ScheduleAdversary::pick_processor(const sim::PatternView& view) {
+  // No upfront schedulable_count() precondition: that is a full O(n) scan of
+  // virtual calls on every event, and both branches below already end in a
+  // CHECK when no schedulable processor turns up. The simulator never calls
+  // next() without one (its run loop stops first).
   const int32_t n = view.n();
-  RCOMMIT_CHECK_MSG(view.schedulable_count() > 0, "no schedulable processor");
   if (order_ == SchedulingOrder::kRoundRobin) {
     for (int32_t i = 0; i < n; ++i) {
       const ProcId p = (rr_next_ + i) % n;
@@ -81,32 +85,37 @@ ProcId ScheduleAdversary::pick_processor(const sim::PatternView& view) {
   return kNoProc;
 }
 
+namespace {
+// A due clock is always >= clock(to) + delay - 1 >= -1, so INT64_MIN can
+// never be a real value.
+constexpr Tick kUnassigned = std::numeric_limits<Tick>::min();
+}  // namespace
+
 Tick ScheduleAdversary::due_clock(const sim::PatternView& view,
                                   const sim::PendingInfo& msg) {
-  auto it = due_.find(msg.id);
-  if (it != due_.end()) return it->second;
+  const auto idx = static_cast<size_t>(msg.id);
+  if (idx >= due_.size()) {
+    due_.resize(std::max(idx + 1, due_.size() * 2), kUnassigned);
+  }
+  if (due_[idx] != kUnassigned) return due_[idx];
   const Tick due = view.clock(msg.to) + delays_->delay_for(msg, rng_) - 1;
-  due_.emplace(msg.id, due);
+  due_[idx] = due;
   return due;
 }
 
-std::vector<MsgId> ScheduleAdversary::due_messages(const sim::PatternView& view,
-                                                   ProcId p) {
-  std::vector<MsgId> out;
+void ScheduleAdversary::due_messages(const sim::PatternView& view, ProcId p,
+                                     std::vector<MsgId>& out) {
   // The step about to happen will advance p's clock to clock(p) + 1; a
   // message is delivered at that step when its due clock has been reached.
   const Tick clock_at_step = view.clock(p) + 1;
   for (const auto& msg : view.pending(p)) {
     if (due_clock(view, msg) < clock_at_step) out.push_back(msg.id);
   }
-  return out;
 }
 
-sim::Action ScheduleAdversary::next(const sim::PatternView& view) {
-  sim::Action action;
+void ScheduleAdversary::next(const sim::PatternView& view, sim::Action& action) {
   action.proc = pick_processor(view);
-  action.deliver = due_messages(view, action.proc);
-  return action;
+  due_messages(view, action.proc, action.deliver);
 }
 
 std::unique_ptr<sim::Adversary> make_on_time_adversary() {

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
@@ -80,14 +79,15 @@ class ScheduleAdversary : public sim::Adversary {
   ScheduleAdversary(SchedulingOrder order, std::unique_ptr<DelayModel> delays,
                     uint64_t seed);
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
 
  protected:
   /// Picks the next processor in the configured order.
   ProcId pick_processor(const sim::PatternView& view);
 
-  /// Messages pending for `p` whose delay has elapsed.
-  std::vector<MsgId> due_messages(const sim::PatternView& view, ProcId p);
+  /// Appends the messages pending for `p` whose delay has elapsed.
+  void due_messages(const sim::PatternView& view, ProcId p,
+                    std::vector<MsgId>& out);
 
   RandomTape& rng() { return rng_; }
 
@@ -102,7 +102,10 @@ class ScheduleAdversary : public sim::Adversary {
   ProcId rr_next_ = 0;
   std::vector<ProcId> permutation_;
   size_t perm_pos_ = 0;
-  std::unordered_map<MsgId, Tick> due_;
+  /// Due clocks indexed by the dense MsgId (kUnassigned = not yet sighted);
+  /// a flat vector because the hot loop consults it for every pending
+  /// message of every step.
+  std::vector<Tick> due_;
 };
 
 /// Convenience: the well-behaved network. Round-robin, fixed delay 1 —

@@ -16,8 +16,8 @@ CrashAdversary::CrashAdversary(std::unique_ptr<sim::Adversary> inner,
   }
 }
 
-sim::Action CrashAdversary::next(const sim::PatternView& view) {
-  sim::Action action = inner_->next(view);
+void CrashAdversary::next(const sim::PatternView& view, sim::Action& action) {
+  inner_->next(view, action);
   for (const auto& plan : plans_) {
     if (plan.victim != action.proc) continue;
     if (view.clock(action.proc) + 1 < plan.at_clock) continue;
@@ -25,7 +25,6 @@ sim::Action CrashAdversary::next(const sim::PatternView& view) {
     action.suppress_sends_to = plan.suppress_sends_to;
     break;
   }
-  return action;
 }
 
 bool CrashAdversary::done(const sim::PatternView& view) { return inner_->done(view); }

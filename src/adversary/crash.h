@@ -34,7 +34,7 @@ class CrashAdversary final : public sim::Adversary {
  public:
   CrashAdversary(std::unique_ptr<sim::Adversary> inner, std::vector<CrashPlan> plans);
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
   bool done(const sim::PatternView& view) override;
 
  private:

@@ -25,9 +25,8 @@ Tick LateMessageAdversary::delay_for(const sim::PendingInfo& msg) {
   return delay;
 }
 
-sim::Action LateMessageAdversary::next(const sim::PatternView& view) {
+void LateMessageAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
-  sim::Action action;
   for (int32_t i = 0; i < n; ++i) {
     const ProcId p = (rr_next_ + i) % n;
     if (view.schedulable(p)) {
@@ -47,7 +46,6 @@ sim::Action LateMessageAdversary::next(const sim::PatternView& view) {
     }
     if (it->second < clock_at_step) action.deliver.push_back(msg.id);
   }
-  return action;
 }
 
 }  // namespace rcommit::adversary

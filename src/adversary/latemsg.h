@@ -37,7 +37,7 @@ class LateMessageAdversary final : public sim::Adversary {
  public:
   explicit LateMessageAdversary(std::vector<LateRule> rules);
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
 
  private:
   Tick delay_for(const sim::PendingInfo& msg);

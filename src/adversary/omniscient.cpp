@@ -147,9 +147,8 @@ std::vector<MsgId> SplitVoteAdversary::choose_deliveries(const sim::PatternView&
   return deliver;
 }
 
-sim::Action SplitVoteAdversary::next(const sim::PatternView& view) {
+void SplitVoteAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
-  sim::Action action;
   for (int32_t i = 0; i < n; ++i) {
     const ProcId p = (rr_next_ + i) % n;
     if (view.schedulable(p)) {
@@ -160,7 +159,6 @@ sim::Action SplitVoteAdversary::next(const sim::PatternView& view) {
   }
   RCOMMIT_CHECK(action.proc != kNoProc);
   action.deliver = choose_deliveries(view, action.proc);
-  return action;
 }
 
 }  // namespace rcommit::adversary

@@ -64,7 +64,7 @@ class SplitVoteAdversary final : public sim::Adversary {
   /// `t` determines the quorum size n - t the protocol waits for.
   SplitVoteAdversary(std::shared_ptr<const BroadcastSpy> spy, int32_t t);
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
 
  private:
   std::vector<MsgId> choose_deliveries(const sim::PatternView& view, ProcId p);

@@ -16,9 +16,8 @@ bool PartitionAdversary::healed(const sim::PatternView& view) const {
   return heal_at_event_ != kNever && view.now() >= heal_at_event_;
 }
 
-sim::Action PartitionAdversary::next(const sim::PatternView& view) {
+void PartitionAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
-  sim::Action action;
   for (int32_t i = 0; i < n; ++i) {
     const ProcId p = (rr_next_ + i) % n;
     if (view.schedulable(p)) {
@@ -34,7 +33,6 @@ sim::Action PartitionAdversary::next(const sim::PatternView& view) {
     if (partition_open && intergroup(msg.from, msg.to)) continue;
     action.deliver.push_back(msg.id);
   }
-  return action;
 }
 
 }  // namespace rcommit::adversary

@@ -27,7 +27,7 @@ class PartitionAdversary final : public sim::Adversary {
 
   static constexpr EventIndex kNever = -1;
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
 
  private:
   [[nodiscard]] bool intergroup(ProcId from, ProcId to) const;

@@ -8,9 +8,8 @@ DelayStretchAdversary::DelayStretchAdversary(Tick delay) : delay_(delay) {
   RCOMMIT_CHECK(delay >= 1);
 }
 
-sim::Action DelayStretchAdversary::next(const sim::PatternView& view) {
+void DelayStretchAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
-  sim::Action action;
   for (int32_t i = 0; i < n; ++i) {
     const ProcId p = (rr_next_ + i) % n;
     if (view.schedulable(p)) {
@@ -29,7 +28,6 @@ sim::Action DelayStretchAdversary::next(const sim::PatternView& view) {
     }
     if (it->second < clock_at_step) action.deliver.push_back(msg.id);
   }
-  return action;
 }
 
 }  // namespace rcommit::adversary

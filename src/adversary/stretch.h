@@ -19,7 +19,7 @@ class DelayStretchAdversary final : public sim::Adversary {
  public:
   explicit DelayStretchAdversary(Tick delay);
 
-  sim::Action next(const sim::PatternView& view) override;
+  void next(const sim::PatternView& view, sim::Action& action) override;
 
  private:
   Tick delay_;

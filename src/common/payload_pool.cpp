@@ -1,0 +1,97 @@
+#include "common/payload_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit {
+namespace {
+
+// One active pool per thread. A raw pointer-to-shared_ptr (rather than a
+// thread_local shared_ptr) keeps scope install/restore at two pointer moves
+// and avoids a static destructor racing chunk teardown at thread exit.
+thread_local const std::shared_ptr<PayloadPool>* t_active_pool = nullptr;
+
+const std::shared_ptr<PayloadPool> kNoPool;
+
+}  // namespace
+
+PayloadPool::PayloadPool(Config config) : config_(config) {
+  RCOMMIT_CHECK_MSG(config_.block_size >= 32 && config_.block_size % 16 == 0,
+                    "PayloadPool block_size must be a multiple of 16, >= 32");
+  RCOMMIT_CHECK(config_.blocks_per_chunk > 0);
+}
+
+void* PayloadPool::allocate(size_t bytes, size_t alignment) {
+  if (bytes > config_.block_size || alignment > 16) {
+    ++stats_.fallback_allocs;
+    return nullptr;
+  }
+  if (free_head_ == nullptr) {
+    if (config_.max_blocks != 0 && stats_.blocks_total >= config_.max_blocks) {
+      ++stats_.fallback_allocs;
+      return nullptr;
+    }
+    grow();
+  }
+  void* block = free_head_;
+  free_head_ = *static_cast<void**>(block);
+  ++stats_.pool_allocs;
+  --stats_.blocks_free;
+  return block;
+}
+
+bool PayloadPool::deallocate(void* p) {
+  if (!owns(p)) return false;
+  *static_cast<void**>(p) = free_head_;
+  free_head_ = p;
+  ++stats_.pool_frees;
+  ++stats_.blocks_free;
+  return true;
+}
+
+bool PayloadPool::owns(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const Chunk& chunk : chunks_) {
+    if (b >= chunk.bytes.get() && b < chunk.bytes.get() + chunk.size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PayloadPool::grow() {
+  size_t blocks = config_.blocks_per_chunk;
+  if (config_.max_blocks != 0) {
+    blocks = std::min(blocks, config_.max_blocks - stats_.blocks_total);
+  }
+  Chunk chunk;
+  chunk.size = blocks * config_.block_size;
+  // new[] of std::byte yields 16-byte-aligned storage via operator new[]
+  // (block_size is a multiple of 16, so every block keeps that alignment).
+  chunk.bytes = std::make_unique<std::byte[]>(chunk.size);
+  std::byte* base = chunk.bytes.get();
+  // Thread the fresh blocks onto the free list back-to-front so they pop in
+  // address order — deterministic and cache-friendly.
+  for (size_t i = blocks; i-- > 0;) {
+    void* block = base + i * config_.block_size;
+    *static_cast<void**>(block) = free_head_;
+    free_head_ = block;
+  }
+  stats_.blocks_total += blocks;
+  stats_.blocks_free += blocks;
+  chunks_.push_back(std::move(chunk));
+}
+
+PayloadPoolScope::PayloadPoolScope(std::shared_ptr<PayloadPool> pool)
+    : pool_(std::move(pool)), previous_(t_active_pool) {
+  t_active_pool = pool_ ? &pool_ : nullptr;
+}
+
+PayloadPoolScope::~PayloadPoolScope() { t_active_pool = previous_; }
+
+const std::shared_ptr<PayloadPool>& active_payload_pool() {
+  return t_active_pool != nullptr ? *t_active_pool : kNoPool;
+}
+
+}  // namespace rcommit

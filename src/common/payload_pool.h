@@ -1,0 +1,143 @@
+// Fixed-block payload pool: recycled storage for message payloads.
+//
+// Broadcast-heavy protocols create and destroy millions of small, similarly
+// sized payload objects per run. Routing them through the global allocator
+// costs a malloc/free round trip per message and scatters payloads across
+// the heap; this pool hands out fixed-size blocks from per-pool chunks and
+// recycles freed blocks through an intrusive free list, so in steady state a
+// payload allocation is a pointer pop and a free is a pointer push.
+//
+// The pool is deliberately simple and *not* thread-safe: one pool belongs to
+// one simulator run, and a run is single-threaded by design (see
+// docs/static-analysis.md, rule R2). Blocks own a shared_ptr back to the
+// pool state via PoolAllocator, so payloads that outlive the installing
+// scope (a Process holding a MessageRef after the run) deallocate safely —
+// the pool's chunks are released only when the last block is returned.
+//
+// Opt-in wiring: make_message (sim/message.h) consults the thread-local
+// scope installed by PayloadPoolScope. No scope — or an allocation the pool
+// cannot serve (oversized payload, block cap reached) — falls back to the
+// global allocator; the fallback is counted, never an error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace rcommit {
+
+/// A fixed-block pool with an intrusive free list and chunked growth.
+class PayloadPool {
+ public:
+  struct Config {
+    /// Every served allocation occupies exactly one block of this many
+    /// bytes. Must be a multiple of 16 and at least 32 (a freed block
+    /// stores the free-list link inline). Requests larger than this fall
+    /// back to the global allocator.
+    size_t block_size = 256;
+    /// Blocks acquired from the global allocator per growth step. Small
+    /// enough that short runs do not over-commit, large enough to amortize.
+    size_t blocks_per_chunk = 256;
+    /// Hard cap on pool-owned blocks; further allocations fall back to the
+    /// global allocator (counted in Stats::fallback_allocs). 0 = unbounded.
+    size_t max_blocks = 0;
+  };
+
+  struct Stats {
+    int64_t pool_allocs = 0;      ///< allocations served from a block
+    int64_t pool_frees = 0;       ///< blocks returned to the free list
+    int64_t fallback_allocs = 0;  ///< oversize or cap-hit requests
+    size_t blocks_total = 0;      ///< blocks currently owned by the pool
+    size_t blocks_free = 0;       ///< blocks currently on the free list
+  };
+
+  PayloadPool() : PayloadPool(Config()) {}
+  explicit PayloadPool(Config config);
+
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// One block, or nullptr when the request cannot be served (bytes >
+  /// block_size, alignment > 16, or max_blocks reached). A nullptr return
+  /// is counted as a fallback; the caller allocates from the heap.
+  [[nodiscard]] void* allocate(size_t bytes, size_t alignment);
+
+  /// Returns true when `p` was pool memory (now back on the free list);
+  /// false when `p` is foreign and the caller must free it itself.
+  bool deallocate(void* p);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  [[nodiscard]] bool owns(const void* p) const;
+  void grow();
+
+  Config config_;
+  Stats stats_;
+  void* free_head_ = nullptr;  ///< intrusive singly-linked free list
+  struct Chunk {
+    std::unique_ptr<std::byte[]> bytes;
+    size_t size = 0;  ///< bytes, for the ownership range check
+  };
+  std::vector<Chunk> chunks_;
+};
+
+/// std-compatible allocator over a shared PayloadPool; what allocate_shared
+/// stores in the control block so deallocation finds its way back to the
+/// pool regardless of where the last reference dies.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(std::shared_ptr<PayloadPool> pool)
+      : pool_(std::move(pool)) {}
+
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : pool_(other.pool_) {}
+
+  T* allocate(std::size_t n) {
+    if (void* p = pool_->allocate(n * sizeof(T), alignof(T))) {
+      return static_cast<T*>(p);
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    (void)n;
+    if (!pool_->deallocate(p)) ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return pool_ == other.pool_;
+  }
+
+  std::shared_ptr<PayloadPool> pool_;
+};
+
+/// Installs `pool` as the active payload pool for the current thread for the
+/// scope's lifetime; nested scopes restore the previous pool. A null pool is
+/// a no-op scope (make_message keeps using the global allocator).
+class PayloadPoolScope {
+ public:
+  explicit PayloadPoolScope(std::shared_ptr<PayloadPool> pool);
+  ~PayloadPoolScope();
+
+  PayloadPoolScope(const PayloadPoolScope&) = delete;
+  PayloadPoolScope& operator=(const PayloadPoolScope&) = delete;
+
+ private:
+  std::shared_ptr<PayloadPool> pool_;
+  const std::shared_ptr<PayloadPool>* previous_;
+};
+
+/// The pool installed by the innermost PayloadPoolScope on this thread, or a
+/// null shared_ptr reference when none is active.
+const std::shared_ptr<PayloadPool>& active_payload_pool();
+
+}  // namespace rcommit

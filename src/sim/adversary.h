@@ -33,6 +33,17 @@ struct Action {
   /// guaranteed).
   bool crash = false;
   std::vector<ProcId> suppress_sends_to;
+
+  /// Returns the action to its default state while keeping the vectors'
+  /// capacity, so a caller-owned scratch Action makes next() allocation-free
+  /// in steady state. The simulator resets its scratch before every next()
+  /// call; adversaries may assume a reset action and only append.
+  void reset() {
+    proc = kNoProc;
+    deliver.clear();
+    crash = false;
+    suppress_sends_to.clear();
+  }
 };
 
 /// A scheduling strategy. Implementations must be *t-admissible* for the
@@ -46,9 +57,12 @@ class Adversary {
  public:
   virtual ~Adversary() = default;
 
-  /// Produces the next event. Must return a schedulable processor; if none
-  /// exists the simulator stops before calling this.
-  virtual Action next(const PatternView& view) = 0;
+  /// Produces the next event by filling `action` (handed in already reset()
+  /// by the caller, retaining vector capacity across events — this is what
+  /// keeps the simulator's hot loop allocation-free). Must choose a
+  /// schedulable processor; if none exists the simulator stops before
+  /// calling this.
+  virtual void next(const PatternView& view, Action& action) = 0;
 
   /// Optional early-stop hook: return true to end the run (e.g. an
   /// experiment that only cares about a prefix).

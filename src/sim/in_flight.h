@@ -1,0 +1,145 @@
+// Flat slot table for in-flight messages, indexed by the dense MsgId.
+//
+// The simulator assigns message ids sequentially, and a message leaves the
+// table the moment it is delivered, so at any instant the live ids occupy a
+// narrow sliding window of the id space. That makes a hash map (the previous
+// representation) pure overhead: this table direct-maps id -> slot via
+// `id & (capacity - 1)` over a power-of-two slot vector. No hashing, no
+// probing, no per-entry nodes — a lookup is one index plus one id compare.
+//
+// Collisions are possible only when two *live* ids are congruent modulo the
+// capacity, i.e. when the live id span outgrew the table; insert() then
+// doubles the capacity (re-doubling until every live id lands in a distinct
+// slot — a finite id set always separates) and re-places the survivors.
+// Growth is amortized start-up cost: once the table covers the run's maximum
+// in-flight span, the steady state performs zero allocations.
+//
+// Each slot also carries the message's current position in the receiver's
+// pending buffer, turning delivery — previously a std::find_if scan of the
+// buffer — into an O(1) lookup (see Simulator::Impl::apply).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/message.h"
+
+namespace rcommit::sim {
+
+/// Envelope storage for messages that are sent but not yet delivered.
+class InFlightTable {
+ public:
+  explicit InFlightTable(size_t initial_capacity = 64) {
+    size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Stores `env` (env.id must be a valid, not-yet-stored id) together with
+  /// the message's index in the receiver's pending buffer.
+  void insert(Envelope&& env, size_t buffer_pos) {
+    RCOMMIT_CHECK(env.id != kNoMsg);
+    while (slots_[slot_of(env.id)].env.id != kNoMsg) grow();
+    Slot& s = slots_[slot_of(env.id)];
+    s.env = std::move(env);
+    s.buffer_pos = buffer_pos;
+    ++size_;
+  }
+
+  /// The stored envelope, or nullptr when `id` is not in flight.
+  [[nodiscard]] const Envelope* find(MsgId id) const {
+    const Slot& s = slots_[slot_of(id)];
+    return s.env.id == id ? &s.env : nullptr;
+  }
+
+  /// The receiver-buffer position recorded for a live id.
+  [[nodiscard]] size_t buffer_pos(MsgId id) const {
+    const Slot& s = slots_[slot_of(id)];
+    RCOMMIT_CHECK_MSG(s.env.id == id, "message " << id << " not in flight");
+    return s.buffer_pos;
+  }
+
+  /// Re-points a live id at a new buffer position (the pending buffers stay
+  /// order-preserving, so compaction after a delivery shifts survivors down).
+  void set_buffer_pos(MsgId id, size_t pos) {
+    Slot& s = slots_[slot_of(id)];
+    RCOMMIT_CHECK_MSG(s.env.id == id, "message " << id << " not in flight");
+    s.buffer_pos = pos;
+  }
+
+  /// Removes a live id, returning its envelope and (through
+  /// `buffer_pos_out`) its receiver-buffer position — one slot lookup where
+  /// find() + buffer_pos() + take() would make three.
+  [[nodiscard]] Envelope take_at(MsgId id, size_t* buffer_pos_out) {
+    Slot& s = slots_[slot_of(id)];
+    RCOMMIT_CHECK_MSG(s.env.id == id, "message " << id << " not in flight");
+    *buffer_pos_out = s.buffer_pos;
+    Envelope env = std::move(s.env);
+    s.env = Envelope{};  // id = kNoMsg, payload released
+    --size_;
+    return env;
+  }
+
+  /// Removes a live id and returns its envelope; the slot goes back to the
+  /// free state for reuse by a future id with the same residue.
+  [[nodiscard]] Envelope take(MsgId id) {
+    Slot& s = slots_[slot_of(id)];
+    RCOMMIT_CHECK_MSG(s.env.id == id, "message " << id << " not in flight");
+    Envelope env = std::move(s.env);
+    s.env = Envelope{};  // id = kNoMsg, payload released
+    --size_;
+    return env;
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+  [[nodiscard]] size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    Envelope env;           ///< env.id == kNoMsg marks a free slot
+    size_t buffer_pos = 0;  ///< index into the receiver's pending buffer
+  };
+
+  [[nodiscard]] size_t slot_of(MsgId id) const {
+    return static_cast<size_t>(static_cast<uint64_t>(id)) & mask_;
+  }
+
+  void grow() {
+    // Double until every live id gets a distinct residue, then move them in.
+    size_t cap = slots_.size();
+    for (;;) {
+      cap <<= 1;
+      const size_t mask = cap - 1;
+      bool ok = true;
+      std::vector<bool> used(cap, false);
+      for (const Slot& s : slots_) {
+        if (s.env.id == kNoMsg) continue;
+        const size_t idx = static_cast<size_t>(static_cast<uint64_t>(s.env.id)) & mask;
+        if (used[idx]) {
+          ok = false;
+          break;
+        }
+        used[idx] = true;
+      }
+      if (!ok) continue;
+      std::vector<Slot> fresh(cap);
+      for (Slot& s : slots_) {
+        if (s.env.id == kNoMsg) continue;
+        const size_t idx = static_cast<size_t>(static_cast<uint64_t>(s.env.id)) & mask;
+        fresh[idx] = std::move(s);
+      }
+      slots_ = std::move(fresh);
+      mask_ = mask;
+      return;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace rcommit::sim

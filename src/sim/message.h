@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "common/payload_pool.h"
 #include "common/types.h"
 
 namespace rcommit::sim {
@@ -27,9 +28,19 @@ class MessageBase {
 /// Immutable shared handle to a payload.
 using MessageRef = std::shared_ptr<const MessageBase>;
 
-/// Constructs a payload of concrete type T in place.
+/// Constructs a payload of concrete type T in place. When the caller runs
+/// under a PayloadPoolScope (the simulator installs one when
+/// SimConfig::pool_payloads is set), the payload and its shared_ptr control
+/// block come from the pool in a single recycled block; otherwise this is a
+/// plain make_shared. Either way the result is an ordinary shared_ptr — the
+/// pool outlives every block it handed out because the control block's
+/// allocator keeps the pool alive.
 template <typename T, typename... Args>
 MessageRef make_message(Args&&... args) {
+  if (const std::shared_ptr<PayloadPool>& pool = active_payload_pool()) {
+    return std::allocate_shared<T>(PoolAllocator<T>(pool),
+                                   std::forward<Args>(args)...);
+  }
   return std::make_shared<const T>(std::forward<Args>(args)...);
 }
 

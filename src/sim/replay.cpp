@@ -58,10 +58,9 @@ RecordingAdversary::RecordingAdversary(std::unique_ptr<Adversary> inner)
   RCOMMIT_CHECK(inner_ != nullptr);
 }
 
-Action RecordingAdversary::next(const PatternView& view) {
-  Action action = inner_->next(view);
+void RecordingAdversary::next(const PatternView& view, Action& action) {
+  inner_->next(view, action);
   schedule_.actions.push_back(action);
-  return action;
 }
 
 bool RecordingAdversary::done(const PatternView& view) { return inner_->done(view); }
@@ -69,12 +68,14 @@ bool RecordingAdversary::done(const PatternView& view) { return inner_->done(vie
 ReplayAdversary::ReplayAdversary(RecordedSchedule schedule)
     : schedule_(std::move(schedule)) {}
 
-Action ReplayAdversary::next(const PatternView& view) {
+void ReplayAdversary::next(const PatternView& view, Action& action) {
   (void)view;
   RCOMMIT_CHECK_MSG(position_ < schedule_.actions.size(),
                     "replay exhausted at event " << position_
                                                  << " — run diverged from recording");
-  return schedule_.actions[position_++];
+  // Copy-assign into the caller's scratch: the recorded action is reused on
+  // later replays, and the scratch vectors keep their capacity.
+  action = schedule_.actions[position_++];
 }
 
 bool ReplayAdversary::done(const PatternView& view) {

@@ -31,7 +31,7 @@ class RecordingAdversary final : public Adversary {
  public:
   explicit RecordingAdversary(std::unique_ptr<Adversary> inner);
 
-  Action next(const PatternView& view) override;
+  void next(const PatternView& view, Action& action) override;
   bool done(const PatternView& view) override;
 
   [[nodiscard]] const RecordedSchedule& schedule() const { return schedule_; }
@@ -48,7 +48,7 @@ class ReplayAdversary final : public Adversary {
  public:
   explicit ReplayAdversary(RecordedSchedule schedule);
 
-  Action next(const PatternView& view) override;
+  void next(const PatternView& view, Action& action) override;
   bool done(const PatternView& view) override;
 
  private:

@@ -6,6 +6,13 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/payload_pool.h"
+#include "sim/in_flight.h"
+
+// RCOMMIT_LINT_ALLOW_FILE(R6): the unordered containers here live only on the
+// legacy hot path (SimConfig::legacy_hot_path), kept verbatim so the
+// determinism-equivalence suite and bench_simperf can compare it against the
+// flat-table path inside one binary.
 
 namespace rcommit::sim {
 
@@ -39,11 +46,18 @@ namespace {
 
 /// StepContext handed to a process during one step. Collects sends so the
 /// simulator can apply crash-time send suppression before committing them to
-/// the buffers.
+/// the buffers. One instance is owned by Impl and re-armed via begin_step()
+/// before every step, so the outgoing vector's capacity survives across
+/// events and a steady-state step allocates nothing.
 class SimStepContext final : public StepContext {
  public:
-  SimStepContext(ProcId self, int32_t n, Tick clock, RandomTape& tape)
-      : self_(self), n_(n), clock_(clock), tape_(tape) {}
+  void begin_step(ProcId self, int32_t n, Tick clock, RandomTape* tape) {
+    self_ = self;
+    n_ = n;
+    clock_ = clock;
+    tape_ = tape;
+    outgoing_.clear();
+  }
 
   void send(ProcId to, MessageRef payload) override {
     RCOMMIT_CHECK_MSG(to >= 0 && to < n_, "send to invalid processor " << to);
@@ -59,7 +73,7 @@ class SimStepContext final : public StepContext {
   [[nodiscard]] Tick clock() const override { return clock_; }
   [[nodiscard]] ProcId self() const override { return self_; }
   [[nodiscard]] int32_t n() const override { return n_; }
-  RandomTape& random() override { return tape_; }
+  RandomTape& random() override { return *tape_; }
 
   struct Outgoing {
     ProcId to;
@@ -68,10 +82,10 @@ class SimStepContext final : public StepContext {
   [[nodiscard]] std::vector<Outgoing>& outgoing() { return outgoing_; }
 
  private:
-  ProcId self_;
-  int32_t n_;
-  Tick clock_;
-  RandomTape& tape_;
+  ProcId self_ = kNoProc;
+  int32_t n_ = 0;
+  Tick clock_ = 0;
+  RandomTape* tape_ = nullptr;
   std::vector<Outgoing> outgoing_;
 };
 
@@ -95,9 +109,10 @@ class Simulator::Impl final : public PatternView {
     clocks_.assign(static_cast<size_t>(n_), 0);
     crashed_.assign(static_cast<size_t>(n_), false);
     was_decided_.assign(static_cast<size_t>(n_), false);
+    decide_clock_.assign(static_cast<size_t>(n_), std::nullopt);
+    decide_event_.assign(static_cast<size_t>(n_), std::nullopt);
+    live_undecided_ = n_;
     trace_.n = n_;
-    trace_.decide_clock.assign(static_cast<size_t>(n_), std::nullopt);
-    trace_.decide_event.assign(static_cast<size_t>(n_), std::nullopt);
   }
 
   // --- PatternView ----------------------------------------------------------
@@ -118,27 +133,173 @@ class Simulator::Impl final : public PatternView {
 
   // --- run loop --------------------------------------------------------------
   RunResult run() {
+    // Installed for the whole run so every make_message inside a process
+    // step draws from the per-run pool. A null pool makes the scope a no-op.
+    std::shared_ptr<PayloadPool> pool;
+    if (config_.pool_payloads) pool = std::make_shared<PayloadPool>();
+    PayloadPoolScope pool_scope(pool);
+
     while (next_event_ < config_.max_events) {
-      if (config_.stop_on_all_decided && all_nonfaulty_decided()) {
+      // live_undecided_ counts processors that are neither crashed nor
+      // decided, so the all-decided test is O(1) instead of a per-event scan
+      // of virtual decided() calls (decisions only change inside on_step,
+      // where the counter is maintained).
+      if (config_.stop_on_all_decided && live_undecided_ == 0) {
         return finish(RunStatus::kAllDecided);
       }
       if (!config_.stop_on_all_decided && all_nonfaulty_halted()) {
         return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
                                               : RunStatus::kNoSchedulable);
       }
-      if (schedulable_count() == 0) {
+      if (!has_schedulable()) {
         return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
                                               : RunStatus::kNoSchedulable);
       }
       if (adversary_->done(*this)) return finish(RunStatus::kAdversaryDone);
-      apply(adversary_->next(*this));
+      action_.reset();
+      adversary_->next(*this, action_);
+      if (config_.legacy_hot_path) {
+        apply_legacy(action_);
+      } else {
+        apply(action_);
+      }
     }
     return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
                                           : RunStatus::kEventLimit);
   }
 
  private:
+  /// The optimized per-event path. In steady state (table capacity and
+  /// scratch vectors warmed up, payload pool primed) a non-crash step
+  /// performs zero heap allocations when tracing is off: delivery is an O(1)
+  /// table lookup per id plus one order-preserving compaction of the
+  /// receiver's buffer, sends reuse recycled slots and pooled payload
+  /// blocks, and no trace structures are touched.
   void apply(const Action& action) {
+    const ProcId p = action.proc;
+    RCOMMIT_CHECK_MSG(p >= 0 && p < n_, "adversary scheduled invalid proc " << p);
+    RCOMMIT_CHECK_MSG(schedulable(p), "adversary scheduled unschedulable proc " << p);
+
+    auto& proc = *processes_[static_cast<size_t>(p)];
+    auto& buffer = buffers_[static_cast<size_t>(p)];
+
+    // Pull the delivered subset out of p's buffer: O(1) position lookup per
+    // id, then one stable compaction from the first hole so the remaining
+    // pending order — which the adversary observes — is exactly what
+    // repeated single erases would have produced.
+    delivered_.clear();
+    size_t first_hole = buffer.size();
+    for (MsgId id : action.deliver) {
+      size_t pos = 0;
+      Envelope env = in_flight_.take_at(id, &pos);  // CHECK-fails on a dead id
+      RCOMMIT_CHECK_MSG(env.to == p,
+                        "adversary delivered message " << id << " not pending for " << p);
+      buffer[pos].id = kNoMsg;
+      first_hole = std::min(first_hole, pos);
+      delivered_.push_back(std::move(env));
+    }
+    if (!delivered_.empty()) {
+      size_t w = first_hole;
+      for (size_t r = first_hole; r < buffer.size(); ++r) {
+        if (buffer[r].id == kNoMsg) continue;
+        if (w != r) {
+          buffer[w] = buffer[r];
+          in_flight_.set_buffer_pos(buffer[w].id, w);
+        }
+        ++w;
+      }
+      buffer.resize(w);
+    }
+
+    const EventIndex event_index = next_event_++;
+    TraceEvent* te = nullptr;
+    if (config_.record_trace) {
+      trace_.events.emplace_back();
+      te = &trace_.events.back();
+      te->index = event_index;
+      te->proc = p;
+      te->crash = action.crash;
+      te->delivered.assign(action.deliver.begin(), action.deliver.end());
+    }
+
+    const bool pure_failure_step = action.crash && action.suppress_sends_to.empty();
+    if (pure_failure_step) {
+      // The processor dies without executing its transition; the delivered
+      // messages are consumed by the failure step (they were removed from the
+      // buffer) but never observed, matching the (p, ⊥, f) formulation.
+      mark_crashed(p);
+      const Tick clock_now = clocks_[static_cast<size_t>(p)];
+      record_delivery_metadata(delivered_, event_index, clock_now);
+      if (te != nullptr) te->clock_after = clock_now;
+      return;
+    }
+
+    // Regular step (or crash-during-broadcast): execute the transition.
+    const Tick clock_after = ++clocks_[static_cast<size_t>(p)];
+    if (te != nullptr) te->clock_after = clock_after;
+    record_delivery_metadata(delivered_, event_index, clock_after);
+    messages_delivered_ += static_cast<int64_t>(delivered_.size());
+
+    ctx_.begin_step(p, n_, clock_after, &tapes_[static_cast<size_t>(p)]);
+    proc.on_step(ctx_, delivered_);
+
+    // A decision, once made, is forever (paper: Y0/Y1 are absorbing).
+    if (was_decided_[static_cast<size_t>(p)]) {
+      RCOMMIT_CHECK_MSG(proc.decided(), "processor " << p << " un-decided");
+    } else if (proc.decided()) {
+      was_decided_[static_cast<size_t>(p)] = true;
+      decide_clock_[static_cast<size_t>(p)] = clock_after;
+      decide_event_[static_cast<size_t>(p)] = event_index;
+      --live_undecided_;
+    }
+
+    // Commit the step's sends, minus any the adversary suppressed (modelling
+    // a crash in the middle of a broadcast). The suppression list is checked
+    // by a linear scan — it is only non-empty on crash steps and holds at
+    // most n entries, so no set is built.
+    for (auto& out : ctx_.outgoing()) {
+      if (action.crash &&
+          std::find(action.suppress_sends_to.begin(),
+                    action.suppress_sends_to.end(),
+                    out.to) != action.suppress_sends_to.end()) {
+        continue;
+      }
+      const MsgId id = next_msg_id_++;
+      auto& receiver_buffer = buffers_[static_cast<size_t>(out.to)];
+      const size_t buffer_pos = receiver_buffer.size();
+      receiver_buffer.push_back(PendingInfo{id, p, out.to, event_index, clock_after});
+
+      Envelope env;
+      env.id = id;
+      env.from = p;
+      env.to = out.to;
+      env.sent_at_event = event_index;
+      env.sender_clock = clock_after;
+      env.payload = std::move(out.payload);
+      in_flight_.insert(std::move(env), buffer_pos);
+      ++messages_sent_;
+
+      if (te != nullptr) {
+        te->sent.push_back(id);
+        TraceMessage tm;
+        tm.id = id;
+        tm.from = p;
+        tm.to = out.to;
+        tm.sent_event = event_index;
+        tm.sender_clock = clock_after;
+        trace_.messages.push_back(tm);
+      }
+    }
+
+    if (action.crash) mark_crashed(p);
+  }
+
+  /// The pre-optimization per-event path, preserved so the two
+  /// implementations can be diffed (equivalence tests) and raced
+  /// (bench_simperf) within one binary: hash-map in-flight storage, a fresh
+  /// delivered vector and step context per step, a suppression set built on
+  /// every step, and trace bookkeeping performed even with tracing off.
+  void apply_legacy(const Action& action) {
     const ProcId p = action.proc;
     RCOMMIT_CHECK_MSG(p >= 0 && p < n_, "adversary scheduled invalid proc " << p);
     RCOMMIT_CHECK_MSG(schedulable(p), "adversary scheduled unschedulable proc " << p);
@@ -154,8 +315,8 @@ class Simulator::Impl final : public PatternView {
                              [id](const PendingInfo& m) { return m.id == id; });
       RCOMMIT_CHECK_MSG(it != buffer.end(),
                         "adversary delivered message " << id << " not pending for " << p);
-      delivered.push_back(std::move(in_flight_.at(id)));
-      in_flight_.erase(id);
+      delivered.push_back(std::move(legacy_in_flight_.at(id)));
+      legacy_in_flight_.erase(id);
       buffer.erase(it);
     }
 
@@ -168,10 +329,7 @@ class Simulator::Impl final : public PatternView {
 
     const bool pure_failure_step = action.crash && action.suppress_sends_to.empty();
     if (pure_failure_step) {
-      // The processor dies without executing its transition; the delivered
-      // messages are consumed by the failure step (they were removed from the
-      // buffer) but never observed, matching the (p, ⊥, f) formulation.
-      crashed_[static_cast<size_t>(p)] = true;
+      mark_crashed(p);
       trace_event.clock_after = clocks_[static_cast<size_t>(p)];
       record_delivery_metadata(delivered, event_index, trace_event.clock_after);
       if (config_.record_trace) trace_.events.push_back(std::move(trace_event));
@@ -184,20 +342,20 @@ class Simulator::Impl final : public PatternView {
     record_delivery_metadata(delivered, event_index, clock_after);
     messages_delivered_ += static_cast<int64_t>(delivered.size());
 
-    SimStepContext ctx(p, n_, clock_after, tapes_[static_cast<size_t>(p)]);
+    SimStepContext ctx;
+    ctx.begin_step(p, n_, clock_after, &tapes_[static_cast<size_t>(p)]);
     proc.on_step(ctx, delivered);
 
-    // A decision, once made, is forever (paper: Y0/Y1 are absorbing).
     if (was_decided_[static_cast<size_t>(p)]) {
       RCOMMIT_CHECK_MSG(proc.decided(), "processor " << p << " un-decided");
     } else if (proc.decided()) {
       was_decided_[static_cast<size_t>(p)] = true;
-      trace_.decide_clock[static_cast<size_t>(p)] = clock_after;
-      trace_.decide_event[static_cast<size_t>(p)] = event_index;
+      decide_clock_[static_cast<size_t>(p)] = clock_after;
+      decide_event_[static_cast<size_t>(p)] = event_index;
+      --live_undecided_;
     }
 
-    // Commit the step's sends, minus any the adversary suppressed (modelling
-    // a crash in the middle of a broadcast).
+    // Commit the step's sends, minus any the adversary suppressed.
     std::unordered_set<ProcId> suppressed(action.suppress_sends_to.begin(),
                                           action.suppress_sends_to.end());
     for (auto& out : ctx.outgoing()) {
@@ -213,7 +371,7 @@ class Simulator::Impl final : public PatternView {
 
       buffers_[static_cast<size_t>(out.to)].push_back(
           PendingInfo{id, p, out.to, event_index, clock_after});
-      in_flight_.emplace(id, std::move(env));
+      legacy_in_flight_.emplace(id, std::move(env));
       trace_event.sent.push_back(id);
       ++messages_sent_;
 
@@ -228,7 +386,7 @@ class Simulator::Impl final : public PatternView {
       }
     }
 
-    if (action.crash) crashed_[static_cast<size_t>(p)] = true;
+    if (action.crash) mark_crashed(p);
     if (config_.record_trace) trace_.events.push_back(std::move(trace_event));
   }
 
@@ -240,6 +398,27 @@ class Simulator::Impl final : public PatternView {
       tm.recv_event = event_index;
       tm.receiver_clock = receiver_clock;
     }
+  }
+
+  /// Crash bookkeeping shared by both hot paths: flips the crashed flag and
+  /// keeps live_undecided_ consistent (a processor that decided on an
+  /// earlier step already left the count).
+  void mark_crashed(ProcId p) {
+    crashed_[static_cast<size_t>(p)] = true;
+    if (!was_decided_[static_cast<size_t>(p)]) --live_undecided_;
+  }
+
+  /// Early-exit replacement for schedulable_count() == 0 in the run loop:
+  /// usually the first probe hits a schedulable processor, so the common
+  /// case is one halted() virtual call instead of 2n.
+  [[nodiscard]] bool has_schedulable() const {
+    for (ProcId p = 0; p < n_; ++p) {
+      if (!crashed_[static_cast<size_t>(p)] &&
+          !processes_[static_cast<size_t>(p)]->halted()) {
+        return true;
+      }
+    }
+    return false;
   }
 
   [[nodiscard]] bool all_nonfaulty_decided() const {
@@ -266,7 +445,6 @@ class Simulator::Impl final : public PatternView {
     RunResult result;
     result.status = status;
     result.events = next_event_;
-    result.crashed = crashed_;
     result.messages_sent = messages_sent_;
     result.messages_delivered = messages_delivered_;
     result.decisions.resize(static_cast<size_t>(n_));
@@ -274,8 +452,15 @@ class Simulator::Impl final : public PatternView {
       const auto& proc = *processes_[static_cast<size_t>(p)];
       if (proc.decided()) result.decisions[static_cast<size_t>(p)] = proc.decision();
     }
-    trace_.crashed = crashed_;
-    if (config_.record_trace) result.trace = std::move(trace_);
+    if (config_.record_trace) {
+      trace_.crashed = crashed_;
+      trace_.decide_clock = decide_clock_;
+      trace_.decide_event = decide_event_;
+      result.trace = std::move(trace_);
+    }
+    result.crashed = std::move(crashed_);
+    result.decide_clock = std::move(decide_clock_);
+    result.decide_event = std::move(decide_event_);
     return result;
   }
 
@@ -286,10 +471,20 @@ class Simulator::Impl final : public PatternView {
 
   std::vector<RandomTape> tapes_;
   std::vector<std::vector<PendingInfo>> buffers_;
-  std::unordered_map<MsgId, Envelope> in_flight_;
+  InFlightTable in_flight_;
+  std::unordered_map<MsgId, Envelope> legacy_in_flight_;  ///< legacy path only
   std::vector<Tick> clocks_;
   std::vector<bool> crashed_;
   std::vector<bool> was_decided_;
+  int32_t live_undecided_ = 0;  ///< processors neither crashed nor decided
+  std::vector<std::optional<Tick>> decide_clock_;
+  std::vector<std::optional<EventIndex>> decide_event_;
+
+  // Reusable per-event scratch: cleared (capacity kept) instead of
+  // reconstructed, so the steady-state step allocates nothing.
+  Action action_;
+  std::vector<Envelope> delivered_;
+  SimStepContext ctx_;
 
   EventIndex next_event_ = 0;
   MsgId next_msg_id_ = 0;

@@ -39,6 +39,14 @@ struct RunResult {
   std::vector<bool> crashed;                       ///< per processor
   int64_t messages_sent = 0;
   int64_t messages_delivered = 0;
+
+  /// Per-processor clock / event index at the moment it first decided
+  /// (nullopt = never decided). Unlike the trace, these are populated
+  /// regardless of record_trace, so trace-free runs (the swarm fast path)
+  /// can still report decision ticks and stage depths.
+  std::vector<std::optional<Tick>> decide_clock;
+  std::vector<std::optional<EventIndex>> decide_event;
+
   Trace trace;  ///< populated when SimConfig::record_trace
 
   /// True iff every nonfaulty processor decided.
@@ -62,6 +70,15 @@ struct SimConfig {
   /// Stop as soon as all nonfaulty decided even if not halted (default).
   /// Set false to keep running until halted as well (halt-policy bench).
   bool stop_on_all_decided = true;
+  /// Route make_message payload allocations through a per-run PayloadPool
+  /// (recycled fixed-size blocks instead of the global allocator). Purely an
+  /// allocation strategy: runs are bit-identical with or without it.
+  bool pool_payloads = false;
+  /// Run the pre-optimization event loop (hash-map in-flight storage,
+  /// per-step scratch allocations). Kept verbatim so the determinism-
+  /// equivalence suite and bench_simperf can compare the two paths inside
+  /// one binary; not for production use.
+  bool legacy_hot_path = false;
 };
 
 /// Drives one run. Single-shot: construct, call run(), inspect the result.

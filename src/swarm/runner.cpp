@@ -71,17 +71,48 @@ int max_decision_stage(const CellConfig& config,
   return max_stage;
 }
 
+/// True when this cell's safety gate consults the trace: the commit-validity
+/// condition is non-vacuous only on an all-commit vote vector, and deciding
+/// it requires the run's on-time analysis. Everything else the gates check
+/// (decisions, crash flags) lives in the trace-free RunResult. Erring on the
+/// side of "needs trace" is always safe; returning false when the gate would
+/// have consulted is_on_time would make an empty trace read as vacuously
+/// on time and flag spurious violations.
+bool gate_needs_trace(const CellConfig& config, const std::vector<int>& votes) {
+  if (!cell_guarantees_safety(config.protocol, config.adversary)) return false;
+  switch (config.protocol) {
+    case ProtocolKind::kCommit:
+    case ProtocolKind::kTwoPc:
+    case ProtocolKind::kQ3pc:
+      return std::all_of(votes.begin(), votes.end(), [](int v) { return v == 1; });
+    case ProtocolKind::kBenor:
+    case ProtocolKind::kBroken:
+      return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 CellOutcome run_cell(const CellConfig& config) {
+  return run_cell(config, CellRunOptions{});
+}
+
+CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options) {
   CellOutcome outcome;
   outcome.config = config;
+  outcome.measured = options.measure;
   try {
     auto setup = make_cell_setup(config);
+    const bool record_trace =
+        options.measure || gate_needs_trace(config, setup.votes);
     auto recorder =
         std::make_unique<sim::RecordingAdversary>(std::move(setup.adversary));
     auto* recorder_ptr = recorder.get();
-    sim::Simulator sim({.seed = config.seed, .max_events = config.max_events},
+    sim::Simulator sim({.seed = config.seed,
+                        .max_events = config.max_events,
+                        .record_trace = record_trace,
+                        .pool_payloads = true},
                        std::move(setup.fleet), std::move(recorder));
     sim::RunResult result;
     try {
@@ -109,14 +140,28 @@ CellOutcome run_cell(const CellConfig& config) {
     outcome.all_decided = result.all_nonfaulty_decided();
     outcome.events = result.events;
     outcome.messages = result.messages_sent;
-    outcome.late_messages = sim::late_message_count(result.trace, config.k);
+    if (options.measure) {
+      outcome.late_messages = sim::late_message_count(result.trace, config.k);
+    }
     if (outcome.all_decided && !outcome.expected_divergence) {
-      // measure_run calls agreed_decision(), which CHECK-fails on conflicting
-      // decisions; divergent baseline runs skip the round/tick analysis.
-      const auto m = metrics::measure_run(result, config.k);
-      outcome.rounds = m.max_decision_round;
-      outcome.ticks = m.max_decision_clock;
       outcome.stages = max_decision_stage(config, sim.processes());
+      if (options.measure) {
+        // measure_run calls agreed_decision(), which CHECK-fails on
+        // conflicting decisions; divergent baseline runs skip the round/tick
+        // analysis.
+        const auto m = metrics::measure_run(result, config.k);
+        outcome.rounds = m.max_decision_round;
+        outcome.ticks = m.max_decision_clock;
+      } else {
+        // Ticks come straight from the RunResult's decide clocks — no trace
+        // needed (same definition as metrics::measure_run).
+        for (size_t p = 0; p < result.decide_clock.size(); ++p) {
+          if (result.crashed[p]) continue;
+          if (const auto& c = result.decide_clock[p]; c.has_value()) {
+            outcome.ticks = std::max(outcome.ticks, *c);
+          }
+        }
+      }
     }
     return outcome;
   } catch (const CheckFailure& failure) {
@@ -131,7 +176,9 @@ CellOutcome run_cell(const CellConfig& config) {
 
 sim::RunResult replay_schedule(const CellConfig& config,
                                const sim::RecordedSchedule& schedule) {
-  sim::Simulator sim({.seed = config.seed, .max_events = config.max_events},
+  sim::Simulator sim({.seed = config.seed,
+                      .max_events = config.max_events,
+                      .pool_payloads = true},
                      make_replay_fleet(config),
                      std::make_unique<sim::ReplayAdversary>(schedule));
   return sim.run();
@@ -140,8 +187,18 @@ sim::RunResult replay_schedule(const CellConfig& config,
 bool replay_still_violates(const CellConfig& config,
                            const sim::RecordedSchedule& schedule) {
   try {
-    const auto result = replay_schedule(config, schedule);
-    return !gate_violation(config, cell_votes(config), result).empty();
+    // The shrinker calls this thousands of times per counterexample, so the
+    // replay runs trace-free unless the cell's gate consults the trace
+    // (replay_schedule itself stays trace-on for external inspection).
+    const auto votes = cell_votes(config);
+    sim::Simulator sim({.seed = config.seed,
+                        .max_events = config.max_events,
+                        .record_trace = gate_needs_trace(config, votes),
+                        .pool_payloads = true},
+                       make_replay_fleet(config),
+                       std::make_unique<sim::ReplayAdversary>(schedule));
+    const auto result = sim.run();
+    return !gate_violation(config, votes, result).empty();
   } catch (const CheckFailure&) {
     return false;  // diverged — not a reproduction
   }

@@ -32,8 +32,11 @@ struct CellOutcome {
   bool expected_divergence = false;
 
   // Measurements of clean runs (violation == false). Round/tick/stage values
-  // are only meaningful when all_decided.
+  // are only meaningful when all_decided; rounds and late_messages
+  // additionally require `measured` (they are trace analyses, skipped on the
+  // trace-off fast path).
   bool all_decided = false;
+  bool measured = false;
   int rounds = 0;
   Tick ticks = 0;
   int stages = 0;
@@ -50,9 +53,22 @@ struct CellOutcome {
   std::string artifact_path;
 };
 
+struct CellRunOptions {
+  /// Record the run's trace and compute the trace-derived measurements
+  /// (asynchronous rounds, lateness counts). When false — the swarm sweep's
+  /// default — the simulator runs trace-free except for cells whose safety
+  /// gate genuinely needs the trace (commit-validity's on-time check), which
+  /// is what makes large sweeps allocation-light. Ticks, stages, events and
+  /// messages are reported either way.
+  bool measure = true;
+};
+
 /// Runs one cell to completion. Never throws: protocol/invariant failures
-/// come back as outcome.violation.
+/// come back as outcome.violation. The single-argument overload measures
+/// (trace on) — the right default for direct inspection and tests.
 [[nodiscard]] CellOutcome run_cell(const CellConfig& config);
+[[nodiscard]] CellOutcome run_cell(const CellConfig& config,
+                                   const CellRunOptions& options);
 
 /// Checks the gated invariants for this cell against a finished run. Returns
 /// an empty string when everything holds, else a description of the first

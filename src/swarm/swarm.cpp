@@ -130,7 +130,8 @@ SwarmSummary run_swarm(const SwarmOptions& options) {
       static_cast<int64_t>(cells.size()),
       [&](int64_t i) {
         auto& outcome = outcomes[static_cast<size_t>(i)];
-        outcome = run_cell(cells[static_cast<size_t>(i)]);
+        outcome = run_cell(cells[static_cast<size_t>(i)],
+                           CellRunOptions{.measure = options.measure});
         if (!outcome.violation) return;
 
         // Shrink and archive inside the worker: each violating cell owns a
@@ -214,7 +215,8 @@ SwarmSummary run_swarm(const SwarmOptions& options) {
     if (outcome.status == sim::RunStatus::kEventLimit) ++group.censored;
     if (outcome.all_decided && !outcome.expected_divergence) {
       ++group.decided;
-      group.rounds.add(static_cast<double>(outcome.rounds));
+      // Rounds are a trace analysis; unmeasured (fast-path) runs have none.
+      if (outcome.measured) group.rounds.add(static_cast<double>(outcome.rounds));
       group.ticks.add(static_cast<double>(outcome.ticks));
       group.stages.add(static_cast<double>(outcome.stages));
       group.events.add(static_cast<double>(outcome.events));

@@ -29,6 +29,12 @@ struct SwarmOptions {
   std::string artifacts_dir;
   bool shrink = true;
   int shrink_max_evals = 4000;
+  /// Record traces and compute the trace-derived measurements (asynchronous
+  /// rounds, lateness) for every cell. Off by default: the sweep's job is
+  /// gating invariants, and the trace-off fast path runs the same schedules
+  /// — byte-identically — at a fraction of the allocation cost. Cells whose
+  /// safety gate needs the trace get one regardless.
+  bool measure = false;
 };
 
 /// Aggregate over one (protocol, adversary) group, clean decided runs only.
@@ -40,7 +46,8 @@ struct GroupAggregate {
   int64_t censored = 0;   ///< runs stopped by the event budget
   int64_t violations = 0;
   int64_t expected_divergence = 0;
-  Samples rounds;    ///< asynchronous rounds to decision (Theorem 10's unit)
+  Samples rounds;    ///< asynchronous rounds (Theorem 10's unit); only fed by
+                     ///< measured runs (SwarmOptions::measure), else empty
   Samples ticks;     ///< max decide clock
   Samples stages;    ///< Protocol 1 stages (commit/benor fleets)
   Samples events;

@@ -1,0 +1,268 @@
+// Determinism equivalence between the rebuilt per-event hot path and the
+// preserved legacy loop (SimConfig::legacy_hot_path), plus unit coverage of
+// the two data structures the rebuild introduced: the flat InFlightTable and
+// the recycling PayloadPool. The equivalence suite is the license for every
+// optimization in simulator.cpp — a run is a pure function of (adversary,
+// initial configuration, seeds), so the two loops and both allocation
+// strategies must produce byte-identical traces, decisions, and message ids.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "common/check.h"
+#include "common/payload_pool.h"
+#include "protocol/commit.h"
+#include "sim/in_flight.h"
+#include "sim/message.h"
+#include "sim/simulator.h"
+#include "sim/tracedump.h"
+
+namespace rcommit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hot-path vs legacy equivalence.
+// ---------------------------------------------------------------------------
+
+struct RunVariant {
+  bool legacy = false;
+  bool pool = false;
+  bool record_trace = true;
+};
+
+/// One commit-fleet run under the random adversary with random crashes.
+sim::RunResult run_commit(uint64_t seed, int32_t n, const RunVariant& v) {
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  std::vector<int> votes(static_cast<size_t>(n), 1);
+  if (n > 2) votes[2] = 0;  // mixed votes: exercise the abort machinery too
+  auto inner = adversary::make_random_adversary(seed, 3);
+  auto plans = adversary::random_crash_plans(seed + 1, n, /*count=*/1,
+                                             /*max_clock=*/6);
+  auto adversary = std::make_unique<adversary::CrashAdversary>(std::move(inner),
+                                                               std::move(plans));
+  sim::Simulator sim({.seed = seed,
+                      .record_trace = v.record_trace,
+                      .pool_payloads = v.pool,
+                      .legacy_hot_path = v.legacy},
+                     protocol::make_commit_fleet(params, votes),
+                     std::move(adversary));
+  return sim.run();
+}
+
+/// Asserts that everything observable about two runs matches; when both
+/// recorded traces, the rendered dumps must be byte-identical (covering
+/// event order, message ids, clocks, and the per-message ledger).
+void expect_equivalent(const sim::RunResult& a, const sim::RunResult& b,
+                       bool compare_traces, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_delivered, b.messages_delivered);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.crashed, b.crashed);
+  EXPECT_EQ(a.decide_clock, b.decide_clock);
+  EXPECT_EQ(a.decide_event, b.decide_event);
+  if (compare_traces) {
+    EXPECT_EQ(sim::trace_to_string(a.trace), sim::trace_to_string(b.trace));
+  }
+}
+
+TEST(HotPathEquivalence, LegacyAndCurrentProduceByteIdenticalRuns) {
+  for (const int32_t n : {3, 5, 7}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      const auto legacy = run_commit(seed, n, {.legacy = true});
+      const auto current = run_commit(seed, n, {.legacy = false});
+      expect_equivalent(legacy, current, /*compare_traces=*/true,
+                        "n=" + std::to_string(n) + " seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(HotPathEquivalence, PooledPayloadsDoNotChangeRuns) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto heap = run_commit(seed, 5, {.legacy = false, .pool = false});
+    const auto pooled = run_commit(seed, 5, {.legacy = false, .pool = true});
+    expect_equivalent(heap, pooled, /*compare_traces=*/true,
+                      "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(HotPathEquivalence, TraceFreeRunsMatchTracedDecisions) {
+  // The swarm's fast path (record_trace off) must decide exactly as the
+  // traced run does, on both loops.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto traced = run_commit(seed, 5, {.legacy = false, .record_trace = true});
+    const auto fast = run_commit(seed, 5, {.legacy = false, .record_trace = false});
+    const auto fast_legacy =
+        run_commit(seed, 5, {.legacy = true, .record_trace = false});
+    expect_equivalent(traced, fast, /*compare_traces=*/false,
+                      "fast seed=" + std::to_string(seed));
+    expect_equivalent(traced, fast_legacy, /*compare_traces=*/false,
+                      "fast_legacy seed=" + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InFlightTable.
+// ---------------------------------------------------------------------------
+
+sim::Envelope make_envelope(MsgId id, ProcId to = 0) {
+  sim::Envelope env;
+  env.id = id;
+  env.from = 0;
+  env.to = to;
+  env.sent_at_event = id;
+  env.sender_clock = 1;
+  return env;
+}
+
+TEST(InFlightTable, InsertFindTakeRoundTrip) {
+  sim::InFlightTable table(/*initial_capacity=*/8);
+  table.insert(make_envelope(3, /*to=*/2), /*buffer_pos=*/5);
+  ASSERT_NE(table.find(3), nullptr);
+  EXPECT_EQ(table.find(3)->to, 2);
+  EXPECT_EQ(table.buffer_pos(3), 5u);
+  EXPECT_EQ(table.size(), 1u);
+
+  const auto env = table.take(3);
+  EXPECT_EQ(env.id, 3);
+  EXPECT_EQ(table.find(3), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(InFlightTable, SlotIsReusedAfterTake) {
+  // Ids 0 and 8 share a residue at capacity 8; once 0 is delivered its slot
+  // serves 8 with no growth — the steady-state sliding-window guarantee.
+  sim::InFlightTable table(/*initial_capacity=*/8);
+  table.insert(make_envelope(0), 0);
+  (void)table.take(0);
+  table.insert(make_envelope(8), 1);
+  EXPECT_EQ(table.capacity(), 8u);
+  ASSERT_NE(table.find(8), nullptr);
+  EXPECT_EQ(table.buffer_pos(8), 1u);
+}
+
+TEST(InFlightTable, GrowsWhenLiveIdsCollide) {
+  sim::InFlightTable table(/*initial_capacity=*/8);
+  table.insert(make_envelope(0), 0);
+  table.insert(make_envelope(8), 1);  // live collision: capacity must double
+  EXPECT_GE(table.capacity(), 16u);
+  ASSERT_NE(table.find(0), nullptr);
+  ASSERT_NE(table.find(8), nullptr);
+  // Survivors keep their buffer positions across the re-place.
+  EXPECT_EQ(table.buffer_pos(0), 0u);
+  EXPECT_EQ(table.buffer_pos(8), 1u);
+}
+
+TEST(InFlightTable, SetBufferPosRepointsALiveId) {
+  sim::InFlightTable table(/*initial_capacity=*/8);
+  table.insert(make_envelope(1), 4);
+  table.set_buffer_pos(1, 2);
+  EXPECT_EQ(table.buffer_pos(1), 2u);
+}
+
+TEST(InFlightTable, TakeAtReturnsEnvelopeAndPositionInOneLookup) {
+  sim::InFlightTable table(/*initial_capacity=*/8);
+  table.insert(make_envelope(5, /*to=*/1), 7);
+  size_t pos = 0;
+  const auto env = table.take_at(5, &pos);
+  EXPECT_EQ(env.id, 5);
+  EXPECT_EQ(env.to, 1);
+  EXPECT_EQ(pos, 7u);
+  EXPECT_EQ(table.find(5), nullptr);
+}
+
+TEST(InFlightTable, DeadIdLookupsFailTheCheck) {
+  sim::InFlightTable table(/*initial_capacity=*/8);
+  size_t pos = 0;
+  EXPECT_THROW((void)table.take(42), CheckFailure);
+  EXPECT_THROW((void)table.take_at(42, &pos), CheckFailure);
+  EXPECT_THROW((void)table.buffer_pos(42), CheckFailure);
+  EXPECT_EQ(table.find(42), nullptr);  // find is the non-throwing probe
+}
+
+// ---------------------------------------------------------------------------
+// PayloadPool.
+// ---------------------------------------------------------------------------
+
+TEST(PayloadPool, RecyclesFreedBlocks) {
+  PayloadPool pool;
+  void* first = pool.allocate(64, 8);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(pool.deallocate(first));
+  void* second = pool.allocate(64, 8);
+  EXPECT_EQ(second, first);  // LIFO free list hands the same block back
+  EXPECT_EQ(pool.stats().pool_allocs, 2);
+  EXPECT_EQ(pool.stats().pool_frees, 1);
+  EXPECT_TRUE(pool.deallocate(second));
+}
+
+TEST(PayloadPool, OversizeAndOveralignedRequestsFallBack) {
+  PayloadPool pool;
+  EXPECT_EQ(pool.allocate(pool.config().block_size + 1, 8), nullptr);
+  EXPECT_EQ(pool.allocate(64, 32), nullptr);
+  EXPECT_EQ(pool.stats().fallback_allocs, 2);
+  // Foreign pointers are refused so the caller frees them itself.
+  int x = 0;
+  EXPECT_FALSE(pool.deallocate(&x));
+}
+
+TEST(PayloadPool, MaxBlocksCapsGrowthThenFallsBack) {
+  PayloadPool pool({.block_size = 64, .blocks_per_chunk = 2, .max_blocks = 4});
+  std::vector<void*> blocks;
+  for (int i = 0; i < 4; ++i) {
+    void* p = pool.allocate(32, 8);
+    ASSERT_NE(p, nullptr) << "block " << i;
+    blocks.push_back(p);
+  }
+  EXPECT_EQ(pool.allocate(32, 8), nullptr);  // cap reached
+  EXPECT_EQ(pool.stats().fallback_allocs, 1);
+  EXPECT_EQ(pool.stats().blocks_total, 4u);
+  for (void* p : blocks) EXPECT_TRUE(pool.deallocate(p));
+  // Returned blocks are served again without growing past the cap.
+  EXPECT_NE(pool.allocate(32, 8), nullptr);
+  EXPECT_EQ(pool.stats().blocks_total, 4u);
+}
+
+struct PoolMsg final : sim::MessageBase {
+  explicit PoolMsg(int v) : value(v) {}
+  int value;
+  [[nodiscard]] std::string debug_string() const override { return "pool"; }
+};
+
+TEST(PayloadPool, ScopeRoutesMakeMessageThroughThePool) {
+  auto pool = std::make_shared<PayloadPool>();
+  {
+    PayloadPoolScope scope(pool);
+    auto msg = sim::make_message<PoolMsg>(7);
+    EXPECT_EQ(pool->stats().pool_allocs, 1);
+    msg.reset();
+    EXPECT_EQ(pool->stats().pool_frees, 1);
+  }
+  // Outside the scope make_message goes back to the global allocator.
+  auto msg = sim::make_message<PoolMsg>(8);
+  EXPECT_EQ(pool->stats().pool_allocs, 1);
+}
+
+TEST(PayloadPool, PayloadMayOutliveScopeAndPoolHandle) {
+  // The control block's allocator keeps the pool state alive, so a payload
+  // held past both the scope and the caller's pool reference frees safely.
+  sim::MessageRef survivor;
+  {
+    auto pool = std::make_shared<PayloadPool>();
+    PayloadPoolScope scope(pool);
+    survivor = sim::make_message<PoolMsg>(9);
+  }
+  ASSERT_NE(sim::msg_cast<PoolMsg>(survivor), nullptr);
+  EXPECT_EQ(sim::msg_cast<PoolMsg>(survivor)->value, 9);
+  survivor.reset();  // returns the block to a pool no one else references
+}
+
+}  // namespace
+}  // namespace rcommit

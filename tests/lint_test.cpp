@@ -74,12 +74,22 @@ TEST_P(RuleCorpus, SilentOnGoodFixture) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllRules, RuleCorpus,
-                         ::testing::Values("R1", "R2", "R3", "R4", "R5"));
+                         ::testing::Values("R1", "R2", "R3", "R4", "R5", "R6"));
 
-TEST(LintRegistry, CoversAllFiveRules) {
+TEST(LintRegistry, CoversAllSixRules) {
   std::set<std::string> ids;
   for (const auto& r : rule_registry()) ids.insert(r.id);
-  EXPECT_EQ(ids, (std::set<std::string>{"R1", "R2", "R3", "R4", "R5"}));
+  EXPECT_EQ(ids, (std::set<std::string>{"R1", "R2", "R3", "R4", "R5", "R6"}));
+}
+
+TEST(LintScoping, R6AppliesOnlyToSimHotPathFiles) {
+  const std::string code =
+      "#include <unordered_map>\nstd::unordered_map<long, int> m;\n";
+  EXPECT_FALSE(lint_content("src/sim/simulator.cpp", code).empty());
+  EXPECT_FALSE(lint_content("src/sim/in_flight.h", code).empty());
+  // Post-run analyses in src/sim are out of scope, as is everything else.
+  EXPECT_TRUE(lint_content("src/sim/rounds.cpp", code).empty());
+  EXPECT_TRUE(lint_content("src/swarm/runner.cpp", code).empty());
 }
 
 TEST(LintAllow, SuppressionWithoutReasonIsItselfADiagnostic) {

@@ -152,10 +152,8 @@ TEST(CommitPhases, NonCoordinatorWaitsInAwaitGoWithoutTraffic) {
   /// Adversary that only ever schedules processor 1 and delivers nothing.
   class OnlyProcOne final : public sim::Adversary {
    public:
-    sim::Action next(const sim::PatternView&) override {
-      sim::Action action;
+    void next(const sim::PatternView&, sim::Action& action) override {
       action.proc = 1;
-      return action;
     }
   };
 
@@ -177,11 +175,9 @@ TEST(CommitPhases, GoTimeoutSwitchesVote) {
   /// Round-robin scheduling, zero deliveries, forever.
   class BlackHole final : public sim::Adversary {
    public:
-    sim::Action next(const sim::PatternView& view) override {
-      sim::Action action;
+    void next(const sim::PatternView& view, sim::Action& action) override {
       action.proc = next_;
       next_ = (next_ + 1) % view.n();
-      return action;
     }
 
    private:

@@ -288,6 +288,18 @@ bool threading_layer(const PathInfo& p) {
   return p.under("src", "db") && p.filename.rfind("rpc.", 0) == 0;
 }
 
+// The simulator's per-event hot path: the files whose code runs once per
+// simulated event (or per replayed action). Trace/round/on-time analyses run
+// after a simulation finishes and are deliberately out of scope.
+bool sim_hot_path(const PathInfo& p) {
+  if (!p.under("src", "sim")) return false;
+  static const std::set<std::string> kHotStems = {
+      "adversary", "in_flight", "message", "pattern",
+      "process",   "replay",    "simulator"};
+  const auto dot = p.filename.find('.');
+  return kHotStems.count(p.filename.substr(0, dot)) > 0;
+}
+
 // ---------------------------------------------------------------------------
 // Rules.
 // ---------------------------------------------------------------------------
@@ -540,6 +552,41 @@ void rule_r5(const PathInfo&, const Toks& t, const std::string& path,
   }
 }
 
+// R6 — no unordered containers in the simulator's per-event hot path. The
+// steady-state step is allocation-free by construction: in-flight messages
+// live in a flat direct-mapped slot table (sim/in_flight.h) and every scratch
+// buffer recycles its capacity across steps. A hash container on this path
+// reintroduces per-node heap traffic on every send/deliver — and,
+// transitively, R3's iteration-order hazard. Use sim::InFlightTable, a
+// vector keyed by the dense sequential id, or a sorted vector.
+void rule_r6(const PathInfo& p, const Toks& t, const std::string& path,
+             std::vector<Diagnostic>& out) {
+  if (!sim_hot_path(p)) return;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Kind::kPunct && t[i].text == "#" &&
+        text_at(t, i + 1) == "include" && i + 2 < t.size() &&
+        t[i + 2].kind == Kind::kStr && kUnordered.count(t[i + 2].text) > 0) {
+      diag(out, path, t[i + 2].line, "R6",
+           "#include <" + t[i + 2].text +
+               "> in a sim hot-path file — the per-event loop is "
+               "allocation-free; use the flat InFlightTable or a vector "
+               "keyed by the dense id");
+      i += 2;
+      continue;
+    }
+    if (t[i].kind == Kind::kIdent && kUnordered.count(t[i].text) > 0) {
+      diag(out, path, t[i].line, "R6",
+           "std::" + t[i].text +
+               " on the simulator hot path — hash nodes allocate on every "
+               "insert; use the flat InFlightTable or a vector keyed by the "
+               "dense id");
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -559,6 +606,9 @@ const std::vector<RuleInfo>& rule_registry() {
        "src/protocol, src/baselines, src/sim"},
       {"R5", "every RNG construction takes an explicit seed",
        "all scanned files"},
+      {"R6", "no unordered containers on the simulator's per-event hot path",
+       "src/sim hot-path files (simulator, in_flight, message, pattern, "
+       "process, adversary, replay)"},
   };
   return kRules;
 }
@@ -574,6 +624,7 @@ std::vector<Diagnostic> lint_content(const std::string& path,
   rule_r3(info, scan.toks, path, raw);
   rule_r4(info, scan.toks, path, raw);
   rule_r5(info, scan.toks, path, raw);
+  rule_r6(info, scan.toks, path, raw);
 
   std::set<std::string> known_rules;
   for (const auto& r : rule_registry()) known_rules.insert(r.id);

@@ -32,7 +32,7 @@ namespace rcommit::lint {
 struct Diagnostic {
   std::string path;
   int line = 0;
-  std::string rule;  // "R1".."R5", or "allow" for annotation problems
+  std::string rule;  // "R1".."R6", or "allow" for annotation problems
   std::string message;
 };
 

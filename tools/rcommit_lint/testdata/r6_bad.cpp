@@ -1,0 +1,16 @@
+// LINT_PATH: src/sim/pattern.cpp
+// A hash container on the per-event hot path: every emplace allocates a
+// node, which breaks the simulator's zero-allocation steady state. (Keyed
+// lookup keeps R3 quiet — the problem R6 flags is the allocation, not the
+// iteration order.)
+#include <unordered_map>
+
+namespace rcommit::sim {
+
+struct Router {
+  std::unordered_map<long, int> in_flight_;
+  void add(long id, int pos) { in_flight_.emplace(id, pos); }
+  int position(long id) const { return in_flight_.at(id); }
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,20 @@
+// LINT_PATH: src/sim/pattern.cpp
+// The hot-path idiom: a flat slot vector direct-mapped by the dense
+// sequential id. No hashing, no per-insert node allocation — capacity is
+// reused across steps.
+#include <cstddef>
+#include <vector>
+
+namespace rcommit::sim {
+
+struct Router {
+  std::vector<int> slot_of_;  // power-of-two size; -1 marks a free slot
+  void add(std::size_t id, int pos) {
+    slot_of_[id & (slot_of_.size() - 1)] = pos;
+  }
+  int position(std::size_t id) const {
+    return slot_of_[id & (slot_of_.size() - 1)];
+  }
+};
+
+}  // namespace rcommit::sim

@@ -23,6 +23,9 @@
 //                  swarm-artifacts; empty string disables)
 //   --no-shrink    keep raw counterexample schedules
 //   --shrink-evals max replay evaluations per shrink            (default 4000)
+//   --measure      record traces and compute round/lateness stats for every
+//                  cell (default off: the sweep runs the trace-off fast path
+//                  except where a safety gate needs the trace)
 // Output flags:
 //   --json         summary destination: a path, or - for stdout (default -)
 //   --aggregate-only  emit only the deterministic aggregate section (no perf
@@ -114,6 +117,7 @@ int main(int argc, char** argv) try {
   options.artifacts_dir = flags.get_string("artifacts", "swarm-artifacts");
   options.shrink = !flags.get_bool("no-shrink", false);
   options.shrink_max_evals = static_cast<int>(flags.get_int("shrink-evals", 4000));
+  options.measure = flags.get_bool("measure", false);
 
   const auto json_dest = flags.get_string("json", "-");
   const bool aggregate_only = flags.get_bool("aggregate-only", false);
