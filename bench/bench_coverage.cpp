@@ -1,0 +1,177 @@
+// E17 — coverage-guided schedule search vs pure random seeding.
+//
+// The search loop (src/swarm/coverage.h, docs/coverage-search.md) claims
+// that spending a run budget on corpus mutation buys more *behavioral*
+// coverage than spending the same budget on fresh random seeds. This bench
+// measures that directly: novel run fingerprints per CPU-second, at equal
+// run budgets, for two spending policies on the same cell shape:
+//
+//   random    every run is a fresh seed of the cell's adversary
+//             (run_search with mutation_runs = 0);
+//   coverage  1/4 of the budget seeds, 3/4 mutates corpus entries
+//             (the search default split).
+//
+// The gated cell is commit × random-adversary × n=5. The choice is the
+// point, not a convenience: the random adversary never crashes anybody, so
+// pure seeding can only ever explore the crash-free slice of the fingerprint
+// space, and it saturates there quickly (the log2 bucketing in the
+// fingerprint is designed to make that happen). The mutation operators —
+// crash injection above all — walk out of that slice, so the coverage curve
+// keeps climbing after the random curve has flattened. The claim gates on
+// the largest budget checkpoint: coverage must find >=2x the novel
+// fingerprints per CPU-second. Both numerators are counted exactly and both
+// denominators are measured back-to-back in one process, so the ratio is
+// robust to how fast the runner is.
+//
+// A crash-adversary grid is reported for contrast, not gated: when the
+// seeding adversary already crashes processors, random seeding reaches most
+// of the space on its own and the coverage advantage thins to the tail —
+// the same Amdahl-style dilution E16 reports for its random-schedule rows.
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/stats.h"
+#include "swarm/coverage.h"
+#include "swarm/matrix.h"
+
+namespace {
+
+using namespace rcommit;
+
+struct ModeResult {
+  size_t novel = 0;
+  int64_t runs = 0;
+  int64_t events = 0;
+  double seconds = 0;
+
+  [[nodiscard]] double novel_per_sec() const {
+    return seconds > 0 ? static_cast<double>(novel) / seconds : 0;
+  }
+};
+
+/// One search at a fixed run budget. `mutate` picks the spending policy:
+/// false = the whole budget on fresh adversary seeds, true = the search
+/// default 1/4 seed + 3/4 mutation split. Single chain, single thread, so
+/// elapsed wall time is CPU time.
+ModeResult run_mode(const bench::Context& ctx, swarm::AdversaryKind adversary,
+                    int budget, bool mutate) {
+  swarm::SearchOptions options;
+  options.cell.protocol = swarm::ProtocolKind::kCommit;
+  options.cell.adversary = adversary;
+  options.cell.n = 5;
+  options.cell.t = 2;
+  options.cell.k = 2;
+  options.cell.seed = ctx.derive_seed(1);
+  options.chains = 1;
+  options.threads = 1;
+  options.seed_runs = mutate ? budget / 4 : budget;
+  options.mutation_runs = mutate ? budget - budget / 4 : 0;
+  options.artifacts_dir.clear();  // commit never violates; nothing to archive
+
+  const auto summary = swarm::run_search(options);
+  ModeResult mode;
+  mode.novel = summary.novel_fingerprints;
+  mode.runs = summary.runs_executed;
+  mode.events = summary.events_executed;
+  mode.seconds = summary.elapsed_seconds;
+  return mode;
+}
+
+void body(bench::Context& ctx) {
+  using rcommit::Table;
+  const std::vector<int> budgets = ctx.quick()
+                                       ? std::vector<int>{64, 128, 256, 512}
+                                       : std::vector<int>{128, 256, 512, 1024, 2048};
+  const int gate_budget = budgets.back();
+
+  ctx.out() << "E17: novel fingerprints per CPU-second, coverage-guided vs "
+               "pure random seeding, commit x random-adversary x n=5\n\n";
+
+  // Untimed warmup: first-touch costs (allocator, code pages, CPU clocks)
+  // land here instead of inside the smallest checkpoint's timing window.
+  (void)run_mode(ctx, swarm::AdversaryKind::kRandom, budgets.front(), true);
+
+  // --- gated curve: the random (crash-free) seeding adversary --------------
+  Table curve({"budget", "mode", "novel", "cpu_s", "novel/s", "ratio"});
+  double gate_ratio = 0;
+  ModeResult gate_random;
+  ModeResult gate_coverage;
+  for (const int budget : budgets) {
+    const auto random = run_mode(ctx, swarm::AdversaryKind::kRandom, budget, false);
+    const auto coverage = run_mode(ctx, swarm::AdversaryKind::kRandom, budget, true);
+    const double ratio = random.novel_per_sec() > 0
+                             ? coverage.novel_per_sec() / random.novel_per_sec()
+                             : 0;
+    curve.row({Table::num(static_cast<int64_t>(budget)), "random",
+               Table::num(static_cast<int64_t>(random.novel)),
+               Table::num(random.seconds, 4),
+               Table::num(random.novel_per_sec(), 0), ""});
+    curve.row({Table::num(static_cast<int64_t>(budget)), "coverage",
+               Table::num(static_cast<int64_t>(coverage.novel)),
+               Table::num(coverage.seconds, 4),
+               Table::num(coverage.novel_per_sec(), 0), Table::num(ratio, 2)});
+    ctx.timing({"search_random_b" + std::to_string(budget), random.seconds,
+                static_cast<int>(random.runs), 0});
+    ctx.timing({"search_coverage_b" + std::to_string(budget), coverage.seconds,
+                static_cast<int>(coverage.runs), 0});
+    if (budget == gate_budget) {
+      gate_ratio = ratio;
+      gate_random = random;
+      gate_coverage = coverage;
+    }
+  }
+  ctx.table("coverage_curve", curve);
+
+  ctx.scalar("novel_random", static_cast<double>(gate_random.novel));
+  ctx.scalar("novel_coverage", static_cast<double>(gate_coverage.novel));
+  ctx.scalar("novel_per_cpu_sec_random", gate_random.novel_per_sec(), "1/s");
+  ctx.scalar("novel_per_cpu_sec_coverage", gate_coverage.novel_per_sec(), "1/s");
+  ctx.scalar("coverage_speedup", gate_ratio, "x");
+
+  char text[96];
+  std::snprintf(text, sizeof text, "%.2fx (%zu vs %zu novel at %d runs each)",
+                gate_ratio, gate_coverage.novel, gate_random.novel, gate_budget);
+  ctx.claim({"coverage_2x",
+             "coverage-guided search finds >=2x the novel run fingerprints "
+             "per CPU-second of pure random seeding at equal run budget "
+             "(commit x random-adversary x n=5)",
+             text, gate_ratio >= 2.0});
+
+  // --- contrast grid: the crash adversary, reported not gated --------------
+  ctx.out() << "\nContrast: crash-adversary seeding (random seeding already "
+               "reaches the crash dimensions; the advantage thins)\n\n";
+  Table contrast({"budget", "mode", "novel", "cpu_s", "novel/s", "ratio"});
+  const int contrast_budget = budgets[budgets.size() / 2];
+  const auto crash_random =
+      run_mode(ctx, swarm::AdversaryKind::kCrash, contrast_budget, false);
+  const auto crash_coverage =
+      run_mode(ctx, swarm::AdversaryKind::kCrash, contrast_budget, true);
+  const double crash_ratio =
+      crash_random.novel_per_sec() > 0
+          ? crash_coverage.novel_per_sec() / crash_random.novel_per_sec()
+          : 0;
+  contrast.row({Table::num(static_cast<int64_t>(contrast_budget)), "random",
+                Table::num(static_cast<int64_t>(crash_random.novel)),
+                Table::num(crash_random.seconds, 4),
+                Table::num(crash_random.novel_per_sec(), 0), ""});
+  contrast.row({Table::num(static_cast<int64_t>(contrast_budget)), "coverage",
+                Table::num(static_cast<int64_t>(crash_coverage.novel)),
+                Table::num(crash_coverage.seconds, 4),
+                Table::num(crash_coverage.novel_per_sec(), 0),
+                Table::num(crash_ratio, 2)});
+  ctx.table("coverage_contrast_crash", contrast);
+  ctx.scalar("coverage_speedup_crash_seeding", crash_ratio, "x");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rcommit::bench::run(
+      argc, argv,
+      {"E17", "bench_coverage",
+       "coverage-guided schedule search: novel fingerprints per CPU-second "
+       "vs pure random seeding at equal run budget",
+       {"coverage_2x"}},
+      body);
+}

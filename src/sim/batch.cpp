@@ -1,0 +1,40 @@
+#include "sim/batch.h"
+
+#include "common/check.h"
+#include "common/payload_pool.h"
+#include "sim/sim_core.h"
+
+namespace rcommit::sim {
+
+BatchRunner::BatchRunner() : core_(std::make_unique<internal::SimCore>()) {}
+
+BatchRunner::~BatchRunner() = default;
+
+RunResult BatchRunner::run(const SimConfig& config,
+                           std::vector<std::unique_ptr<Process>> processes,
+                           std::unique_ptr<Adversary> adversary) {
+  RCOMMIT_CHECK(adversary != nullptr);
+  // Release the previous run's fleet/adversary first so the core is never
+  // armed over dangling pointers, then install the new ones.
+  processes_ = std::move(processes);
+  adversary_ = std::move(adversary);
+
+  core_->arm(config, &processes_, adversary_.get());
+
+  // One pool for the whole batch: recycled blocks from earlier runs seed
+  // later ones, which is the bulk of the per-run setup this front end
+  // amortizes. Pooling stays opt-in per run, same as Simulator.
+  std::shared_ptr<PayloadPool> pool;
+  if (config.pool_payloads) {
+    if (pool_ == nullptr) pool_ = std::make_shared<PayloadPool>();
+    pool = pool_;
+  }
+  auto result = core_->run(pool);
+
+  ++stats_.runs;
+  stats_.events += result.events;
+  stats_.messages_sent += result.messages_sent;
+  return result;
+}
+
+}  // namespace rcommit::sim

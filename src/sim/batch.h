@@ -1,0 +1,88 @@
+// Batch run-to-completion front end over the re-armable SimCore engine.
+//
+// A swarm sweep or a coverage search executes thousands of short runs, and
+// with the single-shot Simulator every one of them re-pays the engine's
+// warm-up: sizing the in-flight table, growing the pending buffers and
+// per-event scratch, and priming a fresh payload pool. BatchRunner keeps one
+// SimCore (and one PayloadPool, when pooling is on) alive across run() calls
+// so only the first run in a batch allocates; every later run re-arms the
+// same storage. The reuse is observably silent — capacity carried over from
+// a previous run changes only when allocations happen, never a run's
+// outputs — and tests/batch_equivalence_test.cpp holds the byte-identical
+// proof against per-run Simulator construction.
+//
+// Usage mirrors Simulator but amortizes across calls:
+//
+//   sim::BatchRunner runner;
+//   for (uint64_t seed : seeds) {
+//     auto result = runner.run({.seed = seed, .record_trace = false,
+//                               .pool_payloads = true},
+//                              make_fleet(seed), make_adversary(seed));
+//     ...
+//   }
+//
+// Not thread-safe: one BatchRunner per worker thread.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+
+namespace rcommit {
+class PayloadPool;  // common/payload_pool.h
+}  // namespace rcommit
+
+namespace rcommit::sim {
+
+/// Aggregate counters across every run() this runner has executed; useful
+/// for CPU-budget accounting in searches and benches.
+struct BatchStats {
+  int64_t runs = 0;
+  int64_t events = 0;
+  int64_t messages_sent = 0;
+};
+
+/// Runs a sequence of independent simulations on one warm engine. Each run
+/// takes ownership of its fleet and adversary and keeps them alive until the
+/// next run() (or destruction), so post-run inspection — invariant gates
+/// walking processes(), recording adversaries yielding their schedule —
+/// works exactly as it does with Simulator.
+class BatchRunner {
+ public:
+  BatchRunner();
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Executes one run to completion. The previous run's fleet and adversary
+  /// are released on entry; the new ones stay owned by the runner afterwards
+  /// (see processes() / adversary()).
+  RunResult run(const SimConfig& config,
+                std::vector<std::unique_ptr<Process>> processes,
+                std::unique_ptr<Adversary> adversary);
+
+  /// The fleet of the most recent run() (empty before the first run).
+  [[nodiscard]] const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+  /// The adversary of the most recent run() (null before the first run).
+  /// Typed accessor for callers that handed in a wrapper they need back,
+  /// e.g. a RecordingAdversary whose schedule the caller extracts.
+  [[nodiscard]] Adversary* adversary() const { return adversary_.get(); }
+
+  [[nodiscard]] const BatchStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<internal::SimCore> core_;
+  std::shared_ptr<PayloadPool> pool_;  ///< persists across pooled runs
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<Adversary> adversary_;
+  BatchStats stats_;
+};
+
+}  // namespace rcommit::sim

@@ -94,6 +94,18 @@ class InFlightTable {
     return env;
   }
 
+  /// Releases every live envelope and returns the table to the empty state
+  /// while keeping the grown slot vector, so a re-armed batch run starts with
+  /// the previous run's capacity already paid for.
+  void clear() {
+    if (size_ != 0) {
+      for (Slot& s : slots_) {
+        if (s.env.id != kNoMsg) s.env = Envelope{};
+      }
+    }
+    size_ = 0;
+  }
+
   [[nodiscard]] size_t size() const { return size_; }
   [[nodiscard]] size_t capacity() const { return slots_.size(); }
 

@@ -1,0 +1,163 @@
+// The re-armable simulation engine (internal).
+//
+// SimCore is Simulator's former Impl, lifted out so two front ends can share
+// it: sim::Simulator (single-shot: construct, run, discard) and
+// sim::BatchRunner (batch.h: arm the same core once per run, keeping the
+// in-flight slot table, the per-event scratch, the pending buffers, and the
+// trace storage warm across an entire batch of runs). arm() resets every
+// piece of run state while deliberately preserving vector and table
+// capacity, so in a batch only the first run pays the warm-up allocations —
+// the equivalence license is tests/batch_equivalence_test.cpp, which proves
+// an armed-and-reused core produces byte-identical runs to a fresh one.
+//
+// This header is internal to src/sim: protocol and experiment code talks to
+// Simulator or BatchRunner, never to SimCore directly.
+//
+// RCOMMIT_LINT_ALLOW_FILE(R6): the unordered container here backs only the
+// legacy hot path (SimConfig::legacy_hot_path), kept verbatim so the
+// determinism-equivalence suite and bench_simperf can compare it against the
+// flat-table path inside one binary.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/payload_pool.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/adversary.h"
+#include "sim/in_flight.h"
+#include "sim/message.h"
+#include "sim/pattern.h"
+#include "sim/process.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace rcommit::sim::internal {
+
+/// StepContext handed to a process during one step. Collects sends so the
+/// simulator can apply crash-time send suppression before committing them to
+/// the buffers. One instance is owned by SimCore and re-armed via
+/// begin_step() before every step, so the outgoing vector's capacity
+/// survives across events and a steady-state step allocates nothing.
+class SimStepContext final : public StepContext {
+ public:
+  void begin_step(ProcId self, int32_t n, Tick clock, RandomTape* tape) {
+    self_ = self;
+    n_ = n;
+    clock_ = clock;
+    tape_ = tape;
+    outgoing_.clear();
+  }
+
+  void send(ProcId to, MessageRef payload) override {
+    RCOMMIT_CHECK_MSG(to >= 0 && to < n_, "send to invalid processor " << to);
+    RCOMMIT_CHECK(payload != nullptr);
+    outgoing_.push_back({to, std::move(payload)});
+  }
+
+  void broadcast(MessageRef payload) override {
+    RCOMMIT_CHECK(payload != nullptr);
+    for (ProcId to = 0; to < n_; ++to) outgoing_.push_back({to, payload});
+  }
+
+  [[nodiscard]] Tick clock() const override { return clock_; }
+  [[nodiscard]] ProcId self() const override { return self_; }
+  [[nodiscard]] int32_t n() const override { return n_; }
+  RandomTape& random() override { return *tape_; }
+
+  struct Outgoing {
+    ProcId to;
+    MessageRef payload;
+  };
+  [[nodiscard]] std::vector<Outgoing>& outgoing() { return outgoing_; }
+
+ private:
+  ProcId self_ = kNoProc;
+  int32_t n_ = 0;
+  Tick clock_ = 0;
+  RandomTape* tape_ = nullptr;
+  std::vector<Outgoing> outgoing_;
+};
+
+/// Holds all mutable run state; also implements the adversary's PatternView.
+/// Non-owning: the front end keeps the fleet and the adversary alive for the
+/// duration of the run (and, for run_cell-style gates, beyond it).
+class SimCore final : public PatternView {
+ public:
+  SimCore() = default;
+
+  SimCore(const SimCore&) = delete;
+  SimCore& operator=(const SimCore&) = delete;
+
+  /// Resets every piece of run state for a fresh run of `config` over
+  /// `processes` driven by `adversary`, preserving the capacity of the
+  /// in-flight table, the pending buffers, the scratch vectors, and the
+  /// trace storage from any previous run on this core.
+  void arm(const SimConfig& config,
+           std::vector<std::unique_ptr<Process>>* processes, Adversary* adversary);
+
+  /// Executes the armed run to completion. `pool` (may be null) is installed
+  /// as the payload-pool scope for the whole run; the caller owns it so a
+  /// batch can recycle one pool across runs.
+  RunResult run(const std::shared_ptr<PayloadPool>& pool);
+
+  // --- PatternView ----------------------------------------------------------
+  [[nodiscard]] int32_t n() const override { return n_; }
+  [[nodiscard]] EventIndex now() const override { return next_event_; }
+  [[nodiscard]] Tick clock(ProcId p) const override {
+    return clocks_[static_cast<size_t>(p)];
+  }
+  [[nodiscard]] bool crashed(ProcId p) const override {
+    return crashed_[static_cast<size_t>(p)];
+  }
+  [[nodiscard]] bool halted(ProcId p) const override {
+    return (*processes_)[static_cast<size_t>(p)]->halted();
+  }
+  [[nodiscard]] const std::vector<PendingInfo>& pending(ProcId p) const override {
+    return buffers_[static_cast<size_t>(p)];
+  }
+
+ private:
+  void apply(const Action& action);
+  void apply_legacy(const Action& action);
+  void record_delivery_metadata(const std::vector<Envelope>& delivered,
+                                EventIndex event_index, Tick receiver_clock);
+  void mark_crashed(ProcId p);
+  [[nodiscard]] bool has_schedulable() const;
+  [[nodiscard]] bool all_nonfaulty_decided() const;
+  [[nodiscard]] bool all_nonfaulty_halted() const;
+  RunResult finish(RunStatus status);
+
+  SimConfig config_;
+  std::vector<std::unique_ptr<Process>>* processes_ = nullptr;
+  Adversary* adversary_ = nullptr;
+  int32_t n_ = 0;
+
+  std::vector<RandomTape> tapes_;
+  std::vector<std::vector<PendingInfo>> buffers_;
+  InFlightTable in_flight_;
+  std::unordered_map<MsgId, Envelope> legacy_in_flight_;  ///< legacy path only
+  std::vector<Tick> clocks_;
+  std::vector<bool> crashed_;
+  std::vector<bool> was_decided_;
+  int32_t live_undecided_ = 0;  ///< processors neither crashed nor decided
+  std::vector<std::optional<Tick>> decide_clock_;
+  std::vector<std::optional<EventIndex>> decide_event_;
+
+  // Reusable per-event scratch: cleared (capacity kept) instead of
+  // reconstructed, so the steady-state step allocates nothing.
+  Action action_;
+  std::vector<Envelope> delivered_;
+  SimStepContext ctx_;
+
+  EventIndex next_event_ = 0;
+  MsgId next_msg_id_ = 0;
+  int64_t messages_sent_ = 0;
+  int64_t messages_delivered_ = 0;
+  Trace trace_;
+};
+
+}  // namespace rcommit::sim::internal

@@ -1,18 +1,8 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
-
 #include "common/check.h"
-#include "common/log.h"
 #include "common/payload_pool.h"
-#include "sim/in_flight.h"
-
-// RCOMMIT_LINT_ALLOW_FILE(R6): the unordered containers here live only on the
-// legacy hot path (SimConfig::legacy_hot_path), kept verbatim so the
-// determinism-equivalence suite and bench_simperf can compare it against the
-// flat-table path inside one binary.
+#include "sim/sim_core.h"
 
 namespace rcommit::sim {
 
@@ -42,465 +32,25 @@ std::optional<Decision> RunResult::agreed_decision() const {
   return std::nullopt;
 }
 
-namespace {
-
-/// StepContext handed to a process during one step. Collects sends so the
-/// simulator can apply crash-time send suppression before committing them to
-/// the buffers. One instance is owned by Impl and re-armed via begin_step()
-/// before every step, so the outgoing vector's capacity survives across
-/// events and a steady-state step allocates nothing.
-class SimStepContext final : public StepContext {
- public:
-  void begin_step(ProcId self, int32_t n, Tick clock, RandomTape* tape) {
-    self_ = self;
-    n_ = n;
-    clock_ = clock;
-    tape_ = tape;
-    outgoing_.clear();
-  }
-
-  void send(ProcId to, MessageRef payload) override {
-    RCOMMIT_CHECK_MSG(to >= 0 && to < n_, "send to invalid processor " << to);
-    RCOMMIT_CHECK(payload != nullptr);
-    outgoing_.push_back({to, std::move(payload)});
-  }
-
-  void broadcast(MessageRef payload) override {
-    RCOMMIT_CHECK(payload != nullptr);
-    for (ProcId to = 0; to < n_; ++to) outgoing_.push_back({to, payload});
-  }
-
-  [[nodiscard]] Tick clock() const override { return clock_; }
-  [[nodiscard]] ProcId self() const override { return self_; }
-  [[nodiscard]] int32_t n() const override { return n_; }
-  RandomTape& random() override { return *tape_; }
-
-  struct Outgoing {
-    ProcId to;
-    MessageRef payload;
-  };
-  [[nodiscard]] std::vector<Outgoing>& outgoing() { return outgoing_; }
-
- private:
-  ProcId self_ = kNoProc;
-  int32_t n_ = 0;
-  Tick clock_ = 0;
-  RandomTape* tape_ = nullptr;
-  std::vector<Outgoing> outgoing_;
-};
-
-}  // namespace
-
-/// Holds all mutable run state; also implements the adversary's PatternView.
-class Simulator::Impl final : public PatternView {
- public:
-  Impl(SimConfig config, std::vector<std::unique_ptr<Process>>& processes,
-       std::unique_ptr<Adversary> adversary)
-      : config_(config),
-        processes_(processes),
-        adversary_(std::move(adversary)),
-        n_(static_cast<int32_t>(processes.size())) {
-    RCOMMIT_CHECK(n_ >= 1);
-    RCOMMIT_CHECK(adversary_ != nullptr);
-    auto seeds = derive_seeds(config_.seed, n_);
-    tapes_.reserve(static_cast<size_t>(n_));
-    for (auto s : seeds) tapes_.emplace_back(s);
-    buffers_.resize(static_cast<size_t>(n_));
-    clocks_.assign(static_cast<size_t>(n_), 0);
-    crashed_.assign(static_cast<size_t>(n_), false);
-    was_decided_.assign(static_cast<size_t>(n_), false);
-    decide_clock_.assign(static_cast<size_t>(n_), std::nullopt);
-    decide_event_.assign(static_cast<size_t>(n_), std::nullopt);
-    live_undecided_ = n_;
-    trace_.n = n_;
-  }
-
-  // --- PatternView ----------------------------------------------------------
-  [[nodiscard]] int32_t n() const override { return n_; }
-  [[nodiscard]] EventIndex now() const override { return next_event_; }
-  [[nodiscard]] Tick clock(ProcId p) const override {
-    return clocks_[static_cast<size_t>(p)];
-  }
-  [[nodiscard]] bool crashed(ProcId p) const override {
-    return crashed_[static_cast<size_t>(p)];
-  }
-  [[nodiscard]] bool halted(ProcId p) const override {
-    return processes_[static_cast<size_t>(p)]->halted();
-  }
-  [[nodiscard]] const std::vector<PendingInfo>& pending(ProcId p) const override {
-    return buffers_[static_cast<size_t>(p)];
-  }
-
-  // --- run loop --------------------------------------------------------------
-  RunResult run() {
-    // Installed for the whole run so every make_message inside a process
-    // step draws from the per-run pool. A null pool makes the scope a no-op.
-    std::shared_ptr<PayloadPool> pool;
-    if (config_.pool_payloads) pool = std::make_shared<PayloadPool>();
-    PayloadPoolScope pool_scope(pool);
-
-    while (next_event_ < config_.max_events) {
-      // live_undecided_ counts processors that are neither crashed nor
-      // decided, so the all-decided test is O(1) instead of a per-event scan
-      // of virtual decided() calls (decisions only change inside on_step,
-      // where the counter is maintained).
-      if (config_.stop_on_all_decided && live_undecided_ == 0) {
-        return finish(RunStatus::kAllDecided);
-      }
-      if (!config_.stop_on_all_decided && all_nonfaulty_halted()) {
-        return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
-                                              : RunStatus::kNoSchedulable);
-      }
-      if (!has_schedulable()) {
-        return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
-                                              : RunStatus::kNoSchedulable);
-      }
-      if (adversary_->done(*this)) return finish(RunStatus::kAdversaryDone);
-      action_.reset();
-      adversary_->next(*this, action_);
-      if (config_.legacy_hot_path) {
-        apply_legacy(action_);
-      } else {
-        apply(action_);
-      }
-    }
-    return finish(all_nonfaulty_decided() ? RunStatus::kAllDecided
-                                          : RunStatus::kEventLimit);
-  }
-
- private:
-  /// The optimized per-event path. In steady state (table capacity and
-  /// scratch vectors warmed up, payload pool primed) a non-crash step
-  /// performs zero heap allocations when tracing is off: delivery is an O(1)
-  /// table lookup per id plus one order-preserving compaction of the
-  /// receiver's buffer, sends reuse recycled slots and pooled payload
-  /// blocks, and no trace structures are touched.
-  void apply(const Action& action) {
-    const ProcId p = action.proc;
-    RCOMMIT_CHECK_MSG(p >= 0 && p < n_, "adversary scheduled invalid proc " << p);
-    RCOMMIT_CHECK_MSG(schedulable(p), "adversary scheduled unschedulable proc " << p);
-
-    auto& proc = *processes_[static_cast<size_t>(p)];
-    auto& buffer = buffers_[static_cast<size_t>(p)];
-
-    // Pull the delivered subset out of p's buffer: O(1) position lookup per
-    // id, then one stable compaction from the first hole so the remaining
-    // pending order — which the adversary observes — is exactly what
-    // repeated single erases would have produced.
-    delivered_.clear();
-    size_t first_hole = buffer.size();
-    for (MsgId id : action.deliver) {
-      size_t pos = 0;
-      Envelope env = in_flight_.take_at(id, &pos);  // CHECK-fails on a dead id
-      RCOMMIT_CHECK_MSG(env.to == p,
-                        "adversary delivered message " << id << " not pending for " << p);
-      buffer[pos].id = kNoMsg;
-      first_hole = std::min(first_hole, pos);
-      delivered_.push_back(std::move(env));
-    }
-    if (!delivered_.empty()) {
-      size_t w = first_hole;
-      for (size_t r = first_hole; r < buffer.size(); ++r) {
-        if (buffer[r].id == kNoMsg) continue;
-        if (w != r) {
-          buffer[w] = buffer[r];
-          in_flight_.set_buffer_pos(buffer[w].id, w);
-        }
-        ++w;
-      }
-      buffer.resize(w);
-    }
-
-    const EventIndex event_index = next_event_++;
-    TraceEvent* te = nullptr;
-    if (config_.record_trace) {
-      trace_.events.emplace_back();
-      te = &trace_.events.back();
-      te->index = event_index;
-      te->proc = p;
-      te->crash = action.crash;
-      te->delivered.assign(action.deliver.begin(), action.deliver.end());
-    }
-
-    const bool pure_failure_step = action.crash && action.suppress_sends_to.empty();
-    if (pure_failure_step) {
-      // The processor dies without executing its transition; the delivered
-      // messages are consumed by the failure step (they were removed from the
-      // buffer) but never observed, matching the (p, ⊥, f) formulation.
-      mark_crashed(p);
-      const Tick clock_now = clocks_[static_cast<size_t>(p)];
-      record_delivery_metadata(delivered_, event_index, clock_now);
-      if (te != nullptr) te->clock_after = clock_now;
-      return;
-    }
-
-    // Regular step (or crash-during-broadcast): execute the transition.
-    const Tick clock_after = ++clocks_[static_cast<size_t>(p)];
-    if (te != nullptr) te->clock_after = clock_after;
-    record_delivery_metadata(delivered_, event_index, clock_after);
-    messages_delivered_ += static_cast<int64_t>(delivered_.size());
-
-    ctx_.begin_step(p, n_, clock_after, &tapes_[static_cast<size_t>(p)]);
-    proc.on_step(ctx_, delivered_);
-
-    // A decision, once made, is forever (paper: Y0/Y1 are absorbing).
-    if (was_decided_[static_cast<size_t>(p)]) {
-      RCOMMIT_CHECK_MSG(proc.decided(), "processor " << p << " un-decided");
-    } else if (proc.decided()) {
-      was_decided_[static_cast<size_t>(p)] = true;
-      decide_clock_[static_cast<size_t>(p)] = clock_after;
-      decide_event_[static_cast<size_t>(p)] = event_index;
-      --live_undecided_;
-    }
-
-    // Commit the step's sends, minus any the adversary suppressed (modelling
-    // a crash in the middle of a broadcast). The suppression list is checked
-    // by a linear scan — it is only non-empty on crash steps and holds at
-    // most n entries, so no set is built.
-    for (auto& out : ctx_.outgoing()) {
-      if (action.crash &&
-          std::find(action.suppress_sends_to.begin(),
-                    action.suppress_sends_to.end(),
-                    out.to) != action.suppress_sends_to.end()) {
-        continue;
-      }
-      const MsgId id = next_msg_id_++;
-      auto& receiver_buffer = buffers_[static_cast<size_t>(out.to)];
-      const size_t buffer_pos = receiver_buffer.size();
-      receiver_buffer.push_back(PendingInfo{id, p, out.to, event_index, clock_after});
-
-      Envelope env;
-      env.id = id;
-      env.from = p;
-      env.to = out.to;
-      env.sent_at_event = event_index;
-      env.sender_clock = clock_after;
-      env.payload = std::move(out.payload);
-      in_flight_.insert(std::move(env), buffer_pos);
-      ++messages_sent_;
-
-      if (te != nullptr) {
-        te->sent.push_back(id);
-        TraceMessage tm;
-        tm.id = id;
-        tm.from = p;
-        tm.to = out.to;
-        tm.sent_event = event_index;
-        tm.sender_clock = clock_after;
-        trace_.messages.push_back(tm);
-      }
-    }
-
-    if (action.crash) mark_crashed(p);
-  }
-
-  /// The pre-optimization per-event path, preserved so the two
-  /// implementations can be diffed (equivalence tests) and raced
-  /// (bench_simperf) within one binary: hash-map in-flight storage, a fresh
-  /// delivered vector and step context per step, a suppression set built on
-  /// every step, and trace bookkeeping performed even with tracing off.
-  void apply_legacy(const Action& action) {
-    const ProcId p = action.proc;
-    RCOMMIT_CHECK_MSG(p >= 0 && p < n_, "adversary scheduled invalid proc " << p);
-    RCOMMIT_CHECK_MSG(schedulable(p), "adversary scheduled unschedulable proc " << p);
-
-    auto& proc = *processes_[static_cast<size_t>(p)];
-    auto& buffer = buffers_[static_cast<size_t>(p)];
-
-    // Remove the delivered subset from p's buffer.
-    std::vector<Envelope> delivered;
-    delivered.reserve(action.deliver.size());
-    for (MsgId id : action.deliver) {
-      auto it = std::find_if(buffer.begin(), buffer.end(),
-                             [id](const PendingInfo& m) { return m.id == id; });
-      RCOMMIT_CHECK_MSG(it != buffer.end(),
-                        "adversary delivered message " << id << " not pending for " << p);
-      delivered.push_back(std::move(legacy_in_flight_.at(id)));
-      legacy_in_flight_.erase(id);
-      buffer.erase(it);
-    }
-
-    const EventIndex event_index = next_event_++;
-    TraceEvent trace_event;
-    trace_event.index = event_index;
-    trace_event.proc = p;
-    trace_event.crash = action.crash;
-    for (const auto& env : delivered) trace_event.delivered.push_back(env.id);
-
-    const bool pure_failure_step = action.crash && action.suppress_sends_to.empty();
-    if (pure_failure_step) {
-      mark_crashed(p);
-      trace_event.clock_after = clocks_[static_cast<size_t>(p)];
-      record_delivery_metadata(delivered, event_index, trace_event.clock_after);
-      if (config_.record_trace) trace_.events.push_back(std::move(trace_event));
-      return;
-    }
-
-    // Regular step (or crash-during-broadcast): execute the transition.
-    const Tick clock_after = ++clocks_[static_cast<size_t>(p)];
-    trace_event.clock_after = clock_after;
-    record_delivery_metadata(delivered, event_index, clock_after);
-    messages_delivered_ += static_cast<int64_t>(delivered.size());
-
-    SimStepContext ctx;
-    ctx.begin_step(p, n_, clock_after, &tapes_[static_cast<size_t>(p)]);
-    proc.on_step(ctx, delivered);
-
-    if (was_decided_[static_cast<size_t>(p)]) {
-      RCOMMIT_CHECK_MSG(proc.decided(), "processor " << p << " un-decided");
-    } else if (proc.decided()) {
-      was_decided_[static_cast<size_t>(p)] = true;
-      decide_clock_[static_cast<size_t>(p)] = clock_after;
-      decide_event_[static_cast<size_t>(p)] = event_index;
-      --live_undecided_;
-    }
-
-    // Commit the step's sends, minus any the adversary suppressed.
-    std::unordered_set<ProcId> suppressed(action.suppress_sends_to.begin(),
-                                          action.suppress_sends_to.end());
-    for (auto& out : ctx.outgoing()) {
-      if (action.crash && suppressed.count(out.to) > 0) continue;
-      const MsgId id = next_msg_id_++;
-      Envelope env;
-      env.id = id;
-      env.from = p;
-      env.to = out.to;
-      env.sent_at_event = event_index;
-      env.sender_clock = clock_after;
-      env.payload = std::move(out.payload);
-
-      buffers_[static_cast<size_t>(out.to)].push_back(
-          PendingInfo{id, p, out.to, event_index, clock_after});
-      legacy_in_flight_.emplace(id, std::move(env));
-      trace_event.sent.push_back(id);
-      ++messages_sent_;
-
-      if (config_.record_trace) {
-        TraceMessage tm;
-        tm.id = id;
-        tm.from = p;
-        tm.to = out.to;
-        tm.sent_event = event_index;
-        tm.sender_clock = clock_after;
-        trace_.messages.push_back(tm);
-      }
-    }
-
-    if (action.crash) mark_crashed(p);
-    if (config_.record_trace) trace_.events.push_back(std::move(trace_event));
-  }
-
-  void record_delivery_metadata(const std::vector<Envelope>& delivered,
-                                EventIndex event_index, Tick receiver_clock) {
-    if (!config_.record_trace) return;
-    for (const auto& env : delivered) {
-      auto& tm = trace_.messages[static_cast<size_t>(env.id)];
-      tm.recv_event = event_index;
-      tm.receiver_clock = receiver_clock;
-    }
-  }
-
-  /// Crash bookkeeping shared by both hot paths: flips the crashed flag and
-  /// keeps live_undecided_ consistent (a processor that decided on an
-  /// earlier step already left the count).
-  void mark_crashed(ProcId p) {
-    crashed_[static_cast<size_t>(p)] = true;
-    if (!was_decided_[static_cast<size_t>(p)]) --live_undecided_;
-  }
-
-  /// Early-exit replacement for schedulable_count() == 0 in the run loop:
-  /// usually the first probe hits a schedulable processor, so the common
-  /// case is one halted() virtual call instead of 2n.
-  [[nodiscard]] bool has_schedulable() const {
-    for (ProcId p = 0; p < n_; ++p) {
-      if (!crashed_[static_cast<size_t>(p)] &&
-          !processes_[static_cast<size_t>(p)]->halted()) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  [[nodiscard]] bool all_nonfaulty_decided() const {
-    for (ProcId p = 0; p < n_; ++p) {
-      if (!crashed_[static_cast<size_t>(p)] &&
-          !processes_[static_cast<size_t>(p)]->decided()) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  [[nodiscard]] bool all_nonfaulty_halted() const {
-    for (ProcId p = 0; p < n_; ++p) {
-      if (!crashed_[static_cast<size_t>(p)] &&
-          !processes_[static_cast<size_t>(p)]->halted()) {
-        return false;
-      }
-    }
-    return true;
-  }
-
-  RunResult finish(RunStatus status) {
-    RunResult result;
-    result.status = status;
-    result.events = next_event_;
-    result.messages_sent = messages_sent_;
-    result.messages_delivered = messages_delivered_;
-    result.decisions.resize(static_cast<size_t>(n_));
-    for (ProcId p = 0; p < n_; ++p) {
-      const auto& proc = *processes_[static_cast<size_t>(p)];
-      if (proc.decided()) result.decisions[static_cast<size_t>(p)] = proc.decision();
-    }
-    if (config_.record_trace) {
-      trace_.crashed = crashed_;
-      trace_.decide_clock = decide_clock_;
-      trace_.decide_event = decide_event_;
-      result.trace = std::move(trace_);
-    }
-    result.crashed = std::move(crashed_);
-    result.decide_clock = std::move(decide_clock_);
-    result.decide_event = std::move(decide_event_);
-    return result;
-  }
-
-  SimConfig config_;
-  std::vector<std::unique_ptr<Process>>& processes_;
-  std::unique_ptr<Adversary> adversary_;
-  int32_t n_;
-
-  std::vector<RandomTape> tapes_;
-  std::vector<std::vector<PendingInfo>> buffers_;
-  InFlightTable in_flight_;
-  std::unordered_map<MsgId, Envelope> legacy_in_flight_;  ///< legacy path only
-  std::vector<Tick> clocks_;
-  std::vector<bool> crashed_;
-  std::vector<bool> was_decided_;
-  int32_t live_undecided_ = 0;  ///< processors neither crashed nor decided
-  std::vector<std::optional<Tick>> decide_clock_;
-  std::vector<std::optional<EventIndex>> decide_event_;
-
-  // Reusable per-event scratch: cleared (capacity kept) instead of
-  // reconstructed, so the steady-state step allocates nothing.
-  Action action_;
-  std::vector<Envelope> delivered_;
-  SimStepContext ctx_;
-
-  EventIndex next_event_ = 0;
-  MsgId next_msg_id_ = 0;
-  int64_t messages_sent_ = 0;
-  int64_t messages_delivered_ = 0;
-  Trace trace_;
-};
-
 Simulator::Simulator(SimConfig config, std::vector<std::unique_ptr<Process>> processes,
                      std::unique_ptr<Adversary> adversary)
-    : processes_(std::move(processes)) {
-  impl_ = std::make_unique<Impl>(config, processes_, std::move(adversary));
+    : config_(config),
+      core_(std::make_unique<internal::SimCore>()),
+      processes_(std::move(processes)),
+      adversary_(std::move(adversary)) {
+  RCOMMIT_CHECK(adversary_ != nullptr);
+  core_->arm(config_, &processes_, adversary_.get());
 }
 
 Simulator::~Simulator() = default;
 
-RunResult Simulator::run() { return impl_->run(); }
+RunResult Simulator::run() {
+  // Single-shot semantics: the pool (when enabled) lives for exactly this
+  // run, so Simulator behaves as it always did. BatchRunner is the front end
+  // that keeps a pool (and the core's warmed-up storage) across runs.
+  std::shared_ptr<PayloadPool> pool;
+  if (config_.pool_payloads) pool = std::make_shared<PayloadPool>();
+  return core_->run(pool);
+}
 
 }  // namespace rcommit::sim

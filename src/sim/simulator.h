@@ -81,7 +81,14 @@ struct SimConfig {
   bool legacy_hot_path = false;
 };
 
+namespace internal {
+class SimCore;  // sim_core.h — the re-armable engine behind both front ends
+}  // namespace internal
+
 /// Drives one run. Single-shot: construct, call run(), inspect the result.
+/// A thin wrapper over the re-armable internal::SimCore engine; batch
+/// workloads that want to amortize the engine's warm-up allocations across
+/// many runs use sim::BatchRunner (batch.h) over the same core instead.
 class Simulator {
  public:
   Simulator(SimConfig config, std::vector<std::unique_ptr<Process>> processes,
@@ -101,9 +108,10 @@ class Simulator {
   }
 
  private:
-  class Impl;
-  std::unique_ptr<Impl> impl_;
+  SimConfig config_;
+  std::unique_ptr<internal::SimCore> core_;
   std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<Adversary> adversary_;
 };
 
 }  // namespace rcommit::sim

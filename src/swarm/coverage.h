@@ -1,0 +1,172 @@
+// Coverage-guided schedule search.
+//
+// The paper's guarantees are schedule-quantified — Protocol 2 must satisfy
+// its invariants under *every* admissible interleaving — but a seed sweep
+// explores that space blindly, re-visiting behaviorally equivalent schedules.
+// This module turns the run budget into coverage: every finished run is
+// fingerprinted into a stable 64-bit behavior digest, a Corpus keeps one
+// representative schedule per novel fingerprint, and a mutation loop derives
+// new schedules from corpus entries through the shrinker's schedule-edit
+// substrate (swarm/shrink.h), replayed best-effort so edits that break
+// strict applicability are repaired rather than discarded.
+//
+// Search is deterministic and thread-count independent: it runs as
+// `chains` self-contained chains (own corpus, own RNG tape, own warm
+// BatchRunner), each seeded from mix(base_seed, chain); chains are merged in
+// chain order afterwards. Any novel schedule that violates a gated invariant
+// flows through the standard shrink → artifact pipeline (swarm/runner.h,
+// swarm/artifacts.h), so a search finding reproduces with swarm_cli
+// --replay exactly like a sweep finding. docs/coverage-search.md is the
+// narrative companion; bench_coverage (E17) measures the payoff.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/batch.h"
+#include "sim/replay.h"
+#include "swarm/matrix.h"
+#include "swarm/runner.h"
+#include "swarm/swarm.h"
+
+namespace rcommit::swarm {
+
+// --- Fingerprint -----------------------------------------------------------
+
+/// The behavior digest of one finished run: two salted crc32c passes (the
+/// wire-format checksum primitive) over a canonical byte encoding of
+///   - cell shape: protocol, n, k — never the seed or the adversary kind,
+///     so behaviorally identical runs from different seeds collide;
+///   - terminal status and the per-processor decision pattern (decided?,
+///     which value, crashed?);
+///   - the round profile: each processor's decide clock in log2 buckets;
+///   - stage count (Protocol 1 decision stages, when the fleet has a core);
+///   - run magnitude: event and message counts in log2 buckets;
+///   - crash/fault sites actually hit, in order: victim, schedule position
+///     in log2 buckets, and whether the crash was mid-broadcast.
+/// The log2 bucketing is deliberate: it bounds the reachable fingerprint
+/// space so random seeding saturates, which is exactly what makes novelty a
+/// meaningful search signal (docs/coverage-search.md).
+[[nodiscard]] uint64_t run_fingerprint(const CellConfig& config,
+                                       const sim::RunResult& result,
+                                       const sim::RecordedSchedule& executed,
+                                       int stages);
+
+// --- Corpus ----------------------------------------------------------------
+
+/// One retained novelty-producing run.
+struct CorpusEntry {
+  uint64_t fingerprint = 0;
+  CellConfig config;  ///< the cell the schedule executed against (its seed
+                      ///< fixes votes and tapes, so replay is exact)
+  sim::RecordedSchedule schedule;  ///< as actually executed (strictly replayable)
+};
+
+/// Distilled set of schedules, one per novel fingerprint, in discovery
+/// order. Mutation bases are drawn from here; storage is capped, but
+/// novelty accounting (seen fingerprints) is not — a novel run past the cap
+/// still counts as coverage, it just cannot seed further mutations.
+class Corpus {
+ public:
+  explicit Corpus(size_t max_entries = 512) : max_entries_(max_entries) {}
+
+  /// Records a fingerprint; stores the schedule when it is novel and the
+  /// cap permits. Returns true iff the fingerprint was novel.
+  bool add(uint64_t fingerprint, const CellConfig& config,
+           const sim::RecordedSchedule& schedule);
+
+  [[nodiscard]] bool contains(uint64_t fingerprint) const;
+  /// Distinct fingerprints observed (>= entries().size()).
+  [[nodiscard]] size_t novel_count() const { return seen_.size(); }
+  /// Every fingerprint observed, sorted ascending (stored entries or not).
+  [[nodiscard]] const std::vector<uint64_t>& seen() const { return seen_; }
+  [[nodiscard]] const std::vector<CorpusEntry>& entries() const { return entries_; }
+
+ private:
+  size_t max_entries_;
+  std::vector<uint64_t> seen_;  ///< sorted for binary-search membership
+  std::vector<CorpusEntry> entries_;
+};
+
+/// Writes each stored entry as an artifact directory under `root`
+/// (config.txt + schedule.txt + fingerprint.txt), named
+/// cov-<index>-<fingerprint hex>; returns the directory names. The format is
+/// load_artifact-compatible, so entries double as replay-corpus regression
+/// locks (tests/replay_corpus_test.cpp).
+std::vector<std::string> save_corpus(const std::string& root, const Corpus& corpus);
+
+/// Loads every artifact-format subdirectory of `root` into corpus entries
+/// (fingerprint.txt wanted but optional: absent means "recompute on replay").
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& root);
+
+// --- Mutation --------------------------------------------------------------
+
+/// Derives a mutant schedule from `base` using one tape-selected operator:
+/// truncation to a prefix, chunk removal, delivery stripping, processor
+/// elimination (all via the shrink substrate), adjacent-action swap, chunk
+/// duplication, or crash injection (pure or mid-broadcast, capped at
+/// `max_crashes` crash actions so mutants stay t-admissible). The mutant is
+/// a *proposal*: it generally breaks strict replay applicability and is
+/// meant to be executed through TolerantReplayAdversary.
+[[nodiscard]] sim::RecordedSchedule mutate_schedule(
+    const sim::RecordedSchedule& base, int32_t n, int max_crashes,
+    RandomTape& tape);
+
+/// Best-effort replay of a (typically mutated) schedule: actions whose
+/// processor is no longer schedulable are skipped, deliver sets are filtered
+/// to the ids actually pending for the processor, and when the schedule is
+/// exhausted the run is driven to completion by a deterministic round-robin
+/// deliver-everything fallback. Wrapped in a RecordingAdversary by the
+/// search, so the *executed* schedule is recorded and strictly replayable.
+class TolerantReplayAdversary final : public sim::Adversary {
+ public:
+  explicit TolerantReplayAdversary(sim::RecordedSchedule schedule);
+
+  void next(const sim::PatternView& view, sim::Action& action) override;
+
+ private:
+  sim::RecordedSchedule schedule_;
+  size_t position_ = 0;
+  ProcId fallback_next_ = 0;
+};
+
+// --- Search ----------------------------------------------------------------
+
+struct SearchOptions {
+  /// The cell shape to search. `cell.seed` is the base seed: run seeds
+  /// derive from it, per chain and run index. `cell.adversary` drives the
+  /// random seeding phase (and labels artifacts).
+  CellConfig cell;
+  int chains = 1;        ///< independent deterministic chains
+  int threads = 1;       ///< workers executing chains (results independent)
+  int seed_runs = 32;    ///< per chain: phase A, kind-adversary runs
+  int mutation_runs = 96;///< per chain: phase B, corpus-mutation runs
+  size_t corpus_capacity = 512;  ///< stored entries per chain
+  std::string artifacts_dir;     ///< violation artifacts; empty = in-memory
+  bool shrink = true;
+  int shrink_max_evals = 4000;
+};
+
+struct SearchSummary {
+  int64_t runs_executed = 0;
+  int64_t events_executed = 0;
+  size_t novel_fingerprints = 0;  ///< distinct across merged chains
+  int64_t violations = 0;
+  std::vector<ViolationReport> violation_reports;  ///< chain order
+  Corpus corpus;  ///< merged in chain order (first discovery wins)
+
+  // Perf (wall clock; not part of the deterministic result).
+  double elapsed_seconds = 0;
+
+  [[nodiscard]] std::string json(const SearchOptions& options) const;
+};
+
+/// Runs the coverage-guided search. The returned summary (minus
+/// elapsed_seconds) is a pure function of the options — independent of
+/// `threads` — because chains never share state until the ordered merge.
+[[nodiscard]] SearchSummary run_search(const SearchOptions& options);
+
+}  // namespace rcommit::swarm

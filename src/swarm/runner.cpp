@@ -92,35 +92,31 @@ bool gate_needs_trace(const CellConfig& config, const std::vector<int>& votes) {
   return true;
 }
 
-}  // namespace
-
-CellOutcome run_cell(const CellConfig& config) {
-  return run_cell(config, CellRunOptions{});
-}
-
-CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options) {
+/// Shared core of every run_cell flavor: run `adversary` (recorded) against
+/// `fleet` on the caller's warm engine, gate, and measure.
+CellOutcome run_cell_impl(const CellConfig& config,
+                          std::vector<std::unique_ptr<sim::Process>> fleet,
+                          std::unique_ptr<sim::Adversary> adversary,
+                          const std::vector<int>& votes,
+                          const CellRunOptions& options, sim::BatchRunner& runner) {
   CellOutcome outcome;
   outcome.config = config;
   outcome.measured = options.measure;
   try {
-    auto setup = make_cell_setup(config);
-    const bool record_trace =
-        options.measure || gate_needs_trace(config, setup.votes);
-    auto recorder =
-        std::make_unique<sim::RecordingAdversary>(std::move(setup.adversary));
+    const bool record_trace = options.measure || gate_needs_trace(config, votes);
+    auto recorder = std::make_unique<sim::RecordingAdversary>(std::move(adversary));
     auto* recorder_ptr = recorder.get();
-    sim::Simulator sim({.seed = config.seed,
-                        .max_events = config.max_events,
-                        .record_trace = record_trace,
-                        .pool_payloads = true},
-                       std::move(setup.fleet), std::move(recorder));
     sim::RunResult result;
     try {
-      result = sim.run();
+      result = runner.run({.seed = config.seed,
+                           .max_events = config.max_events,
+                           .record_trace = record_trace,
+                           .pool_payloads = true},
+                          std::move(fleet), std::move(recorder));
     } catch (const CheckFailure& failure) {
       // Thrown mid-run (simulator validation, adversary bookkeeping): the
-      // recorder is still alive inside `sim`, so the partial schedule can be
-      // captured for the artifact.
+      // recorder is still alive inside the runner, so the partial schedule
+      // can be captured for the artifact.
       outcome.violation = true;
       outcome.violation_detail = std::string("CheckFailure: ") + failure.what();
       outcome.schedule = recorder_ptr->schedule();
@@ -128,11 +124,12 @@ CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options) {
     }
     outcome.status = result.status;
 
-    const auto detail = gate_violation(config, setup.votes, result);
+    const auto detail = gate_violation(config, votes, result);
     if (!detail.empty()) {
       outcome.violation = true;
       outcome.violation_detail = detail;
       outcome.schedule = recorder_ptr->schedule();
+      if (options.result_out != nullptr) *options.result_out = std::move(result);
       return outcome;
     }
     outcome.expected_divergence = result.has_conflicting_decisions();
@@ -144,7 +141,7 @@ CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options) {
       outcome.late_messages = sim::late_message_count(result.trace, config.k);
     }
     if (outcome.all_decided && !outcome.expected_divergence) {
-      outcome.stages = max_decision_stage(config, sim.processes());
+      outcome.stages = max_decision_stage(config, runner.processes());
       if (options.measure) {
         // measure_run calls agreed_decision(), which CHECK-fails on
         // conflicting decisions; divergent baseline runs skip the round/tick
@@ -163,11 +160,59 @@ CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options) {
         }
       }
     }
+    if (options.record_schedule) outcome.schedule = recorder_ptr->schedule();
+    if (options.result_out != nullptr) *options.result_out = std::move(result);
     return outcome;
   } catch (const CheckFailure& failure) {
     // A CheckFailure anywhere in the run — adversary bookkeeping, simulator
     // validation, or an invariant CHECK such as agreed_decision() — is a
     // finding to report, never a reason to kill the worker pool.
+    outcome.violation = true;
+    outcome.violation_detail = std::string("CheckFailure: ") + failure.what();
+    return outcome;
+  }
+}
+
+}  // namespace
+
+CellOutcome run_cell(const CellConfig& config) {
+  return run_cell(config, CellRunOptions{});
+}
+
+CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options) {
+  // One-off runs spin up a private engine; a cold BatchRunner run is the
+  // same run a Simulator would execute (batch_equivalence_test).
+  sim::BatchRunner runner;
+  return run_cell(config, options, runner);
+}
+
+CellOutcome run_cell(const CellConfig& config, const CellRunOptions& options,
+                     sim::BatchRunner& runner) {
+  try {
+    auto setup = make_cell_setup(config);
+    return run_cell_impl(config, std::move(setup.fleet), std::move(setup.adversary),
+                         setup.votes, options, runner);
+  } catch (const CheckFailure& failure) {
+    CellOutcome outcome;
+    outcome.config = config;
+    outcome.measured = options.measure;
+    outcome.violation = true;
+    outcome.violation_detail = std::string("CheckFailure: ") + failure.what();
+    return outcome;
+  }
+}
+
+CellOutcome run_cell_with_adversary(const CellConfig& config,
+                                    std::unique_ptr<sim::Adversary> adversary,
+                                    const CellRunOptions& options,
+                                    sim::BatchRunner& runner) {
+  try {
+    return run_cell_impl(config, make_replay_fleet(config), std::move(adversary),
+                         cell_votes(config), options, runner);
+  } catch (const CheckFailure& failure) {
+    CellOutcome outcome;
+    outcome.config = config;
+    outcome.measured = options.measure;
     outcome.violation = true;
     outcome.violation_detail = std::string("CheckFailure: ") + failure.what();
     return outcome;
@@ -186,18 +231,24 @@ sim::RunResult replay_schedule(const CellConfig& config,
 
 bool replay_still_violates(const CellConfig& config,
                            const sim::RecordedSchedule& schedule) {
+  sim::BatchRunner runner;
+  return replay_still_violates(config, schedule, runner);
+}
+
+bool replay_still_violates(const CellConfig& config,
+                           const sim::RecordedSchedule& schedule,
+                           sim::BatchRunner& runner) {
   try {
     // The shrinker calls this thousands of times per counterexample, so the
     // replay runs trace-free unless the cell's gate consults the trace
     // (replay_schedule itself stays trace-on for external inspection).
     const auto votes = cell_votes(config);
-    sim::Simulator sim({.seed = config.seed,
-                        .max_events = config.max_events,
-                        .record_trace = gate_needs_trace(config, votes),
-                        .pool_payloads = true},
-                       make_replay_fleet(config),
-                       std::make_unique<sim::ReplayAdversary>(schedule));
-    const auto result = sim.run();
+    const auto result = runner.run({.seed = config.seed,
+                                    .max_events = config.max_events,
+                                    .record_trace = gate_needs_trace(config, votes),
+                                    .pool_payloads = true},
+                                   make_replay_fleet(config),
+                                   std::make_unique<sim::ReplayAdversary>(schedule));
     return !gate_violation(config, votes, result).empty();
   } catch (const CheckFailure&) {
     return false;  // diverged — not a reproduction

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/batch.h"
 #include "sim/replay.h"
 #include "sim/simulator.h"
 #include "swarm/matrix.h"
@@ -61,14 +62,36 @@ struct CellRunOptions {
   /// is what makes large sweeps allocation-light. Ticks, stages, events and
   /// messages are reported either way.
   bool measure = true;
+  /// Populate outcome.schedule on clean runs too (normally it is kept only
+  /// for violations). The coverage search stores every novel run's schedule
+  /// in its corpus, violating or not.
+  bool record_schedule = false;
+  /// When non-null, receives the finished RunResult (moved; empty on a
+  /// mid-run CheckFailure). The coverage fingerprint reads the per-processor
+  /// decision/crash pattern, which CellOutcome does not carry.
+  sim::RunResult* result_out = nullptr;
 };
 
 /// Runs one cell to completion. Never throws: protocol/invariant failures
 /// come back as outcome.violation. The single-argument overload measures
-/// (trace on) — the right default for direct inspection and tests.
+/// (trace on) — the right default for direct inspection and tests. The
+/// BatchRunner overload executes the identical run on the caller's warm
+/// engine (byte-identical per tests/batch_equivalence_test.cpp); sweeps and
+/// searches use it to amortize per-run setup, one runner per worker thread.
 [[nodiscard]] CellOutcome run_cell(const CellConfig& config);
 [[nodiscard]] CellOutcome run_cell(const CellConfig& config,
                                    const CellRunOptions& options);
+[[nodiscard]] CellOutcome run_cell(const CellConfig& config,
+                                   const CellRunOptions& options,
+                                   sim::BatchRunner& runner);
+
+/// Runs a cell whose schedule is forced by `adversary` instead of the cell's
+/// own (kind-derived) adversary — the coverage search's mutation replays.
+/// The adversary is wrapped in a RecordingAdversary, so outcome.schedule
+/// (with record_schedule) holds the schedule as actually executed.
+[[nodiscard]] CellOutcome run_cell_with_adversary(
+    const CellConfig& config, std::unique_ptr<sim::Adversary> adversary,
+    const CellRunOptions& options, sim::BatchRunner& runner);
 
 /// Checks the gated invariants for this cell against a finished run. Returns
 /// an empty string when everything holds, else a description of the first
@@ -86,8 +109,12 @@ struct CellRunOptions {
 
 /// True iff replaying `schedule` on this cell still produces a gated
 /// violation (divergence counts as "no"). This is the predicate the shrinker
-/// and the artifact-replay command share.
+/// and the artifact-replay command share. The BatchRunner overload serves
+/// shrink loops, which evaluate thousands of candidates per counterexample.
 [[nodiscard]] bool replay_still_violates(const CellConfig& config,
                                          const sim::RecordedSchedule& schedule);
+[[nodiscard]] bool replay_still_violates(const CellConfig& config,
+                                         const sim::RecordedSchedule& schedule,
+                                         sim::BatchRunner& runner);
 
 }  // namespace rcommit::swarm

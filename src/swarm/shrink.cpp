@@ -6,17 +6,16 @@
 
 namespace rcommit::swarm {
 
-namespace {
-
-sim::RecordedSchedule prefix_of(const sim::RecordedSchedule& schedule, size_t len) {
+sim::RecordedSchedule schedule_prefix(const sim::RecordedSchedule& schedule,
+                                      size_t len) {
   sim::RecordedSchedule out;
   out.actions.assign(schedule.actions.begin(),
                      schedule.actions.begin() + static_cast<ptrdiff_t>(len));
   return out;
 }
 
-sim::RecordedSchedule without_range(const sim::RecordedSchedule& schedule, size_t begin,
-                                    size_t end) {
+sim::RecordedSchedule schedule_without_range(const sim::RecordedSchedule& schedule,
+                                             size_t begin, size_t end) {
   sim::RecordedSchedule out;
   out.actions.reserve(schedule.actions.size() - (end - begin));
   out.actions.insert(out.actions.end(), schedule.actions.begin(),
@@ -27,14 +26,15 @@ sim::RecordedSchedule without_range(const sim::RecordedSchedule& schedule, size_
   return out;
 }
 
-sim::RecordedSchedule without_deliveries(const sim::RecordedSchedule& schedule,
-                                         size_t begin, size_t end) {
+sim::RecordedSchedule schedule_without_deliveries(const sim::RecordedSchedule& schedule,
+                                                  size_t begin, size_t end) {
   sim::RecordedSchedule out = schedule;
   for (size_t i = begin; i < end; ++i) out.actions[i].deliver.clear();
   return out;
 }
 
-sim::RecordedSchedule without_proc(const sim::RecordedSchedule& schedule, ProcId proc) {
+sim::RecordedSchedule schedule_without_proc(const sim::RecordedSchedule& schedule,
+                                            ProcId proc) {
   sim::RecordedSchedule out;
   out.actions.reserve(schedule.actions.size());
   for (const auto& action : schedule.actions) {
@@ -42,8 +42,6 @@ sim::RecordedSchedule without_proc(const sim::RecordedSchedule& schedule, ProcId
   }
   return out;
 }
-
-}  // namespace
 
 sim::RecordedSchedule shrink_schedule(
     const sim::RecordedSchedule& original,
@@ -74,20 +72,20 @@ sim::RecordedSchedule shrink_schedule(
   size_t hi = original.actions.size();
   while (lo < hi && budget_left()) {
     const size_t mid = lo + (hi - lo) / 2;
-    if (violates(prefix_of(original, mid))) {
+    if (violates(schedule_prefix(original, mid))) {
       hi = mid;
     } else {
       lo = mid + 1;
     }
   }
-  sim::RecordedSchedule current = prefix_of(original, hi);
+  sim::RecordedSchedule current = schedule_prefix(original, hi);
 
   // Phase 2 — delivery stripping. Removing an interior action shifts every
   // later message id, so the remaining deliver sets reference ids that no
   // longer line up and the replay diverges. Clearing deliver sets first
   // (wholesale, then by halving chunks) removes those references wherever the
   // violation does not actually depend on the deliveries, unlocking phase 3.
-  if (auto candidate = without_deliveries(current, 0, current.actions.size());
+  if (auto candidate = schedule_without_deliveries(current, 0, current.actions.size());
       budget_left() && violates(candidate)) {
     current = std::move(candidate);
   } else {
@@ -96,7 +94,7 @@ sim::RecordedSchedule shrink_schedule(
       for (size_t begin = 0; begin < current.actions.size() && budget_left();
            begin += chunk) {
         const size_t end = std::min(begin + chunk, current.actions.size());
-        auto stripped = without_deliveries(current, begin, end);
+        auto stripped = schedule_without_deliveries(current, begin, end);
         if (violates(stripped)) current = std::move(stripped);
       }
       if (chunk == 1) break;
@@ -119,7 +117,7 @@ sim::RecordedSchedule shrink_schedule(
     });
     for (const ProcId p : procs) {
       if (!budget_left()) break;
-      auto candidate = without_proc(current, p);
+      auto candidate = schedule_without_proc(current, p);
       if (candidate.actions.size() < current.actions.size() && violates(candidate)) {
         current = std::move(candidate);
       }
@@ -137,7 +135,7 @@ sim::RecordedSchedule shrink_schedule(
       removed_any = false;
       for (size_t begin = 0; begin < current.actions.size() && budget_left();) {
         const size_t end = std::min(begin + chunk, current.actions.size());
-        auto candidate = without_range(current, begin, end);
+        auto candidate = schedule_without_range(current, begin, end);
         if (violates(candidate)) {
           current = std::move(candidate);
           removed_any = true;  // retry the same offset against the new tail

@@ -37,6 +37,28 @@ struct ShrinkStats {
   size_t shrunk_actions = 0;
 };
 
+// --- Schedule-edit substrate -----------------------------------------------
+// The primitive edits the shrinker's phases are built from, exposed so other
+// schedule transformers — the coverage search's mutation operators
+// (swarm/coverage.h) — compose the exact same moves. Each returns a new
+// schedule; the input is never modified.
+
+/// The first `len` actions (len <= size).
+[[nodiscard]] sim::RecordedSchedule schedule_prefix(
+    const sim::RecordedSchedule& schedule, size_t len);
+
+/// Everything except actions [begin, end).
+[[nodiscard]] sim::RecordedSchedule schedule_without_range(
+    const sim::RecordedSchedule& schedule, size_t begin, size_t end);
+
+/// The same actions with the deliver sets of [begin, end) cleared.
+[[nodiscard]] sim::RecordedSchedule schedule_without_deliveries(
+    const sim::RecordedSchedule& schedule, size_t begin, size_t end);
+
+/// Every action not belonging to `proc`.
+[[nodiscard]] sim::RecordedSchedule schedule_without_proc(
+    const sim::RecordedSchedule& schedule, ProcId proc);
+
 /// Returns a locally-minimal schedule on which `test` still reports
 /// kViolates. If the original itself does not violate (oracle disagreement),
 /// it is returned unchanged. The result is always a confirmed-violating

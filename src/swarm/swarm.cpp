@@ -129,9 +129,14 @@ SwarmSummary run_swarm(const SwarmOptions& options) {
   const auto executed = pool.run(
       static_cast<int64_t>(cells.size()),
       [&](int64_t i) {
+        // One warm engine per worker thread: the sweep's runs (and any
+        // shrink replays below) amortize their setup on it. Workers die with
+        // the pool, so the engines never outlive one run_swarm call; results
+        // are byte-identical to per-run construction (batch_equivalence_test).
+        thread_local sim::BatchRunner batch_runner;
         auto& outcome = outcomes[static_cast<size_t>(i)];
         outcome = run_cell(cells[static_cast<size_t>(i)],
-                           CellRunOptions{.measure = options.measure});
+                           CellRunOptions{.measure = options.measure}, batch_runner);
         if (!outcome.violation) return;
 
         // Shrink and archive inside the worker: each violating cell owns a
@@ -140,7 +145,7 @@ SwarmSummary run_swarm(const SwarmOptions& options) {
           outcome.shrunk_schedule = shrink_schedule(
               outcome.schedule,
               [&](const sim::RecordedSchedule& candidate) {
-                return replay_still_violates(outcome.config, candidate)
+                return replay_still_violates(outcome.config, candidate, batch_runner)
                            ? CandidateOutcome::kViolates
                            : CandidateOutcome::kNoViolation;
               },

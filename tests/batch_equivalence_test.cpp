@@ -1,0 +1,161 @@
+// Determinism equivalence between batch-mode execution (sim::BatchRunner
+// re-arming one warm engine) and per-run Simulator construction. The batch
+// front end reuses the in-flight table, the pending buffers, the per-event
+// scratch, and the payload pool across runs; a run is a pure function of
+// (adversary, initial configuration, seeds), so none of that reuse may leak
+// between runs — every run in a batch must be byte-identical (trace dump,
+// decisions, message ids) to the same run on a freshly built simulator.
+// This suite is the license for the BatchRunner refactor, in the same way
+// hotpath_equivalence_test licenses the PR 5 hot path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "protocol/commit.h"
+#include "sim/batch.h"
+#include "sim/simulator.h"
+#include "sim/tracedump.h"
+
+namespace rcommit {
+namespace {
+
+struct RunVariant {
+  bool legacy = false;
+  bool pool = false;
+  bool record_trace = true;
+};
+
+sim::SimConfig make_config(uint64_t seed, const RunVariant& v) {
+  return {.seed = seed,
+          .record_trace = v.record_trace,
+          .pool_payloads = v.pool,
+          .legacy_hot_path = v.legacy};
+}
+
+/// The same commit-fleet construction as hotpath_equivalence_test: random
+/// adversary wrapped in random mid-broadcast crash plans, mixed votes.
+std::vector<std::unique_ptr<sim::Process>> make_fleet(int32_t n) {
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  std::vector<int> votes(static_cast<size_t>(n), 1);
+  if (n > 2) votes[2] = 0;  // mixed votes: exercise the abort machinery too
+  return protocol::make_commit_fleet(params, votes);
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(uint64_t seed, int32_t n) {
+  auto inner = adversary::make_random_adversary(seed, 3);
+  auto plans = adversary::random_crash_plans(seed + 1, n, /*count=*/1,
+                                             /*max_clock=*/6);
+  return std::make_unique<adversary::CrashAdversary>(std::move(inner),
+                                                     std::move(plans));
+}
+
+sim::RunResult run_fresh(uint64_t seed, int32_t n, const RunVariant& v) {
+  sim::Simulator sim(make_config(seed, v), make_fleet(n), make_adversary(seed, n));
+  return sim.run();
+}
+
+sim::RunResult run_batched(sim::BatchRunner& runner, uint64_t seed, int32_t n,
+                           const RunVariant& v) {
+  return runner.run(make_config(seed, v), make_fleet(n), make_adversary(seed, n));
+}
+
+void expect_equivalent(const sim::RunResult& fresh, const sim::RunResult& batched,
+                       bool compare_traces, const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(fresh.status, batched.status);
+  EXPECT_EQ(fresh.events, batched.events);
+  EXPECT_EQ(fresh.messages_sent, batched.messages_sent);
+  EXPECT_EQ(fresh.messages_delivered, batched.messages_delivered);
+  EXPECT_EQ(fresh.decisions, batched.decisions);
+  EXPECT_EQ(fresh.crashed, batched.crashed);
+  EXPECT_EQ(fresh.decide_clock, batched.decide_clock);
+  EXPECT_EQ(fresh.decide_event, batched.decide_event);
+  if (compare_traces) {
+    EXPECT_EQ(sim::trace_to_string(fresh.trace), sim::trace_to_string(batched.trace));
+  }
+}
+
+TEST(BatchEquivalence, WarmEngineMatchesFreshConstructionAcrossCrashMatrix) {
+  // One runner across the whole matrix: by the later seeds the engine's
+  // storage carries capacity (and dead state, were the reset buggy) from
+  // dozens of earlier runs with different fleet sizes and crash plans.
+  for (const RunVariant v : {RunVariant{.pool = false}, RunVariant{.pool = true}}) {
+    sim::BatchRunner runner;
+    for (const int32_t n : {3, 5, 7}) {
+      for (uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto fresh = run_fresh(seed, n, v);
+        const auto batched = run_batched(runner, seed, n, v);
+        expect_equivalent(fresh, batched, /*compare_traces=*/true,
+                          "n=" + std::to_string(n) + " seed=" + std::to_string(seed) +
+                              (v.pool ? " pool" : " heap"));
+      }
+    }
+    EXPECT_EQ(runner.stats().runs, 24);
+  }
+}
+
+TEST(BatchEquivalence, FleetSizeMayShrinkAndGrowWithinABatch) {
+  // arm() must fully re-dimension per-processor state in both directions; a
+  // stale clock, crash flag, or pending buffer from a 7-fleet run would
+  // corrupt the 3-fleet run that follows it.
+  sim::BatchRunner runner;
+  const RunVariant v{.pool = true};
+  for (const int32_t n : {7, 3, 5, 7, 3}) {
+    const uint64_t seed = 11 + static_cast<uint64_t>(n);
+    expect_equivalent(run_fresh(seed, n, v), run_batched(runner, seed, n, v),
+                      /*compare_traces=*/true, "n=" + std::to_string(n));
+  }
+}
+
+TEST(BatchEquivalence, TraceModeMayToggleBetweenRuns) {
+  // The swarm sweep mixes trace-off fast-path runs with traced gate runs on
+  // the same worker; leftover trace storage must never bleed into a later
+  // run's trace (or its metadata bookkeeping).
+  sim::BatchRunner runner;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    const RunVariant traced{.record_trace = true};
+    const RunVariant fast{.record_trace = false};
+    expect_equivalent(run_fresh(seed, 5, traced),
+                      run_batched(runner, seed, 5, traced),
+                      /*compare_traces=*/true, "traced seed=" + std::to_string(seed));
+    expect_equivalent(run_fresh(seed, 5, fast), run_batched(runner, seed, 5, fast),
+                      /*compare_traces=*/false, "fast seed=" + std::to_string(seed));
+  }
+}
+
+TEST(BatchEquivalence, LegacyHotPathRunsBatchedToo) {
+  // The preserved legacy loop shares the engine; toggling it between runs of
+  // one batch must leave both paths byte-identical to fresh construction.
+  sim::BatchRunner runner;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const RunVariant legacy{.legacy = true};
+    const RunVariant current{.legacy = false};
+    expect_equivalent(run_fresh(seed, 5, legacy),
+                      run_batched(runner, seed, 5, legacy),
+                      /*compare_traces=*/true, "legacy seed=" + std::to_string(seed));
+    expect_equivalent(run_fresh(seed, 5, current),
+                      run_batched(runner, seed, 5, current),
+                      /*compare_traces=*/true, "current seed=" + std::to_string(seed));
+  }
+}
+
+TEST(BatchEquivalence, StatsAccumulateAcrossRuns) {
+  sim::BatchRunner runner;
+  const auto first = run_batched(runner, 1, 3, RunVariant{});
+  const auto second = run_batched(runner, 2, 3, RunVariant{});
+  EXPECT_EQ(runner.stats().runs, 2);
+  EXPECT_EQ(runner.stats().events, first.events + second.events);
+  EXPECT_EQ(runner.stats().messages_sent,
+            first.messages_sent + second.messages_sent);
+  // The last run's fleet stays inspectable, as with Simulator::processes().
+  EXPECT_EQ(runner.processes().size(), 3u);
+  EXPECT_NE(runner.adversary(), nullptr);
+}
+
+}  // namespace
+}  // namespace rcommit

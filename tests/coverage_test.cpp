@@ -1,0 +1,338 @@
+// Coverage-guided search (src/swarm/coverage.h): fingerprint stability and
+// sensitivity, corpus bookkeeping, mutation admissibility, thread-count
+// determinism of run_search, the corpus distill→replay round-trip, and the
+// violation→shrink→artifact flow on the deliberately unsound kBroken
+// protocol. A failure here means the search's coverage signal drifted — the
+// fingerprints a committed corpus (tests/corpus_search) was distilled under
+// no longer reproduce — or the search stopped honoring the swarm's
+// counterexample pipeline.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/replay.h"
+#include "swarm/artifacts.h"
+#include "swarm/coverage.h"
+#include "swarm/matrix.h"
+#include "swarm/runner.h"
+
+namespace rcommit::swarm {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("rcommit_coverage_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+CellConfig crash_cell(uint64_t seed) {
+  CellConfig cell;
+  cell.protocol = ProtocolKind::kCommit;
+  cell.adversary = AdversaryKind::kCrash;
+  cell.n = 5;
+  cell.t = 2;
+  cell.k = 2;
+  cell.seed = seed;
+  return cell;
+}
+
+/// Runs one cell recording its schedule and result, and returns the
+/// fingerprint plus the outcome for further inspection.
+uint64_t fingerprint_of(const CellConfig& cell, CellOutcome* outcome_out = nullptr,
+                        sim::RunResult* result_out = nullptr) {
+  sim::BatchRunner runner;
+  sim::RunResult result;
+  const auto outcome = run_cell(
+      cell, {.measure = false, .record_schedule = true, .result_out = &result},
+      runner);
+  RCOMMIT_CHECK_MSG(!outcome.violation, "unexpected violation: " << outcome.violation_detail);
+  const auto fp = run_fingerprint(cell, result, outcome.schedule, outcome.stages);
+  if (outcome_out != nullptr) *outcome_out = outcome;
+  if (result_out != nullptr) *result_out = result;
+  return fp;
+}
+
+// --- Fingerprint -----------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossRepeatedExecutions) {
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    const auto cell = crash_cell(seed);
+    EXPECT_EQ(fingerprint_of(cell), fingerprint_of(cell)) << "seed " << seed;
+  }
+}
+
+TEST(Fingerprint, IgnoresSeedAndAdversaryKind) {
+  // Behavior twins must collide: the digest covers what the run *did*, not
+  // which seed or adversary label produced it. Recompute the fingerprint of
+  // one fixed run under configs that differ only in those fields.
+  CellOutcome outcome;
+  sim::RunResult result;
+  const auto cell = crash_cell(3);
+  const auto fp = fingerprint_of(cell, &outcome, &result);
+
+  auto relabeled = cell;
+  relabeled.seed = 999;
+  relabeled.adversary = AdversaryKind::kLateMsg;
+  EXPECT_EQ(fp, run_fingerprint(relabeled, result, outcome.schedule, outcome.stages));
+
+  auto other_shape = cell;
+  other_shape.n = 7;
+  EXPECT_NE(fp, run_fingerprint(other_shape, result, outcome.schedule, outcome.stages));
+}
+
+TEST(Fingerprint, SeparatesDecisionPatterns) {
+  const auto cell = crash_cell(1);
+  const sim::RecordedSchedule empty_schedule;
+
+  sim::RunResult base;
+  base.status = sim::RunStatus::kAllDecided;
+  base.events = 64;
+  base.messages_sent = 40;
+  base.decisions.assign(5, Decision::kCommit);
+  base.crashed.assign(5, false);
+  base.decide_clock.assign(5, Tick{8});
+
+  auto flipped = base;
+  flipped.decisions[2] = Decision::kAbort;
+
+  auto crashed = base;
+  crashed.crashed[2] = true;
+  crashed.decisions[2].reset();
+  crashed.decide_clock[2].reset();
+
+  auto slower = base;
+  slower.decide_clock[2] = Tick{200};  // different log2 bucket than 8
+
+  const auto fp_base = run_fingerprint(cell, base, empty_schedule, 1);
+  const auto fp_flipped = run_fingerprint(cell, flipped, empty_schedule, 1);
+  const auto fp_crashed = run_fingerprint(cell, crashed, empty_schedule, 1);
+  const auto fp_slower = run_fingerprint(cell, slower, empty_schedule, 1);
+  const auto fp_stages = run_fingerprint(cell, base, empty_schedule, 2);
+
+  const std::vector<uint64_t> all = {fp_base, fp_flipped, fp_crashed, fp_slower,
+                                     fp_stages};
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]) << "digests " << i << " and " << j << " collide";
+    }
+  }
+}
+
+TEST(Fingerprint, SeparatesCrashSites) {
+  const auto cell = crash_cell(1);
+  sim::RunResult result;
+  result.status = sim::RunStatus::kAllDecided;
+  result.events = 64;
+  result.messages_sent = 40;
+  result.decisions.assign(5, Decision::kCommit);
+  result.crashed.assign(5, false);
+  result.decide_clock.assign(5, Tick{8});
+
+  sim::RecordedSchedule clean;
+  clean.actions.resize(4);
+  for (ProcId p = 0; p < 4; ++p) clean.actions[static_cast<size_t>(p)].proc = p;
+
+  auto with_crash = clean;
+  with_crash.actions[1].crash = true;
+  auto mid_broadcast = with_crash;
+  mid_broadcast.actions[1].suppress_sends_to = {0, 2};
+
+  const auto fp_clean = run_fingerprint(cell, result, clean, 1);
+  const auto fp_crash = run_fingerprint(cell, result, with_crash, 1);
+  const auto fp_mid = run_fingerprint(cell, result, mid_broadcast, 1);
+  EXPECT_NE(fp_clean, fp_crash);
+  EXPECT_NE(fp_crash, fp_mid);
+}
+
+// --- Corpus ----------------------------------------------------------------
+
+TEST(Corpus, DedupsCapsAndKeepsCounting) {
+  Corpus corpus(/*max_entries=*/2);
+  const auto cell = crash_cell(1);
+  const sim::RecordedSchedule schedule;
+
+  EXPECT_TRUE(corpus.add(30, cell, schedule));
+  EXPECT_FALSE(corpus.add(30, cell, schedule));  // duplicate
+  EXPECT_TRUE(corpus.add(10, cell, schedule));
+  EXPECT_TRUE(corpus.add(20, cell, schedule));  // novel but over the cap
+
+  EXPECT_EQ(corpus.entries().size(), 2u);
+  EXPECT_EQ(corpus.novel_count(), 3u);  // the cap never loses novelty credit
+  EXPECT_TRUE(corpus.contains(20));
+  EXPECT_FALSE(corpus.contains(40));
+  // seen() is sorted; entries() keeps discovery order.
+  EXPECT_EQ(corpus.seen(), (std::vector<uint64_t>{10, 20, 30}));
+  EXPECT_EQ(corpus.entries()[0].fingerprint, 30u);
+  EXPECT_EQ(corpus.entries()[1].fingerprint, 10u);
+}
+
+// --- Mutation + tolerant replay --------------------------------------------
+
+TEST(Mutation, MutantsExecuteSafelyAndStayAdmissible) {
+  // Protocol 2 is safe under ANY schedule, so no mutant may ever trip a
+  // gate; and executed mutants must respect the fault budget (<= t crashes)
+  // because crash injection is capped and re-crashing a dead processor is
+  // skipped by the tolerant replayer.
+  CellOutcome base_outcome;
+  const auto cell = crash_cell(5);
+  (void)fingerprint_of(cell, &base_outcome);
+  ASSERT_FALSE(base_outcome.schedule.actions.empty());
+
+  sim::BatchRunner runner;
+  RandomTape tape(0xc0ffee);
+  for (int i = 0; i < 60; ++i) {
+    const auto mutant =
+        mutate_schedule(base_outcome.schedule, cell.n, cell.t, tape);
+    sim::RunResult result;
+    const auto outcome = run_cell_with_adversary(
+        cell, std::make_unique<TolerantReplayAdversary>(mutant),
+        {.measure = false, .record_schedule = true, .result_out = &result},
+        runner);
+    EXPECT_FALSE(outcome.violation) << outcome.violation_detail;
+
+    int crashes = 0;
+    for (const auto& action : outcome.schedule.actions) {
+      crashes += action.crash ? 1 : 0;
+    }
+    EXPECT_LE(crashes, cell.t) << "mutant " << i << " exceeded the fault budget";
+  }
+}
+
+// --- Search ----------------------------------------------------------------
+
+SearchOptions small_search(int threads) {
+  SearchOptions options;
+  options.cell = crash_cell(1);
+  options.chains = 3;
+  options.threads = threads;
+  options.seed_runs = 8;
+  options.mutation_runs = 24;
+  options.artifacts_dir.clear();
+  return options;
+}
+
+TEST(Search, ResultIsIndependentOfThreadCount) {
+  const auto one = run_search(small_search(1));
+  const auto four = run_search(small_search(4));
+
+  EXPECT_EQ(one.runs_executed, four.runs_executed);
+  EXPECT_EQ(one.events_executed, four.events_executed);
+  EXPECT_EQ(one.novel_fingerprints, four.novel_fingerprints);
+  EXPECT_EQ(one.violations, four.violations);
+  ASSERT_EQ(one.corpus.entries().size(), four.corpus.entries().size());
+  for (size_t i = 0; i < one.corpus.entries().size(); ++i) {
+    EXPECT_EQ(one.corpus.entries()[i].fingerprint,
+              four.corpus.entries()[i].fingerprint);
+    EXPECT_EQ(one.corpus.entries()[i].schedule.actions.size(),
+              four.corpus.entries()[i].schedule.actions.size());
+  }
+}
+
+TEST(Search, MutationOutperformsNothing) {
+  // The mutation phase must contribute coverage beyond its seeding prefix:
+  // same seed phase, with and without the mutation budget.
+  auto seeded_only = small_search(1);
+  seeded_only.mutation_runs = 0;
+  const auto without = run_search(seeded_only);
+  const auto with = run_search(small_search(1));
+  EXPECT_GT(with.novel_fingerprints, without.novel_fingerprints);
+}
+
+TEST(Search, CorpusSaveLoadReplayRoundTrip) {
+  TempDir dir;
+  const auto summary = run_search(small_search(2));
+  ASSERT_FALSE(summary.corpus.entries().empty());
+  ASSERT_EQ(summary.violations, 0);
+
+  const auto dirs = save_corpus(dir.str(), summary.corpus);
+  EXPECT_EQ(dirs.size(), summary.corpus.entries().size());
+  const auto loaded = load_corpus(dir.str());
+  ASSERT_EQ(loaded.size(), summary.corpus.entries().size());
+
+  sim::BatchRunner runner;
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    SCOPED_TRACE("entry " + std::to_string(i));
+    const auto& saved = summary.corpus.entries()[i];
+    EXPECT_EQ(loaded[i].fingerprint, saved.fingerprint);
+    EXPECT_EQ(loaded[i].config.serialize(), saved.config.serialize());
+    ASSERT_EQ(loaded[i].schedule.actions.size(), saved.schedule.actions.size());
+
+    // Strict replay of the stored schedule must reproduce the exact verdict
+    // and the exact fingerprint the entry was distilled under.
+    sim::RunResult result;
+    const auto outcome = run_cell_with_adversary(
+        loaded[i].config,
+        std::make_unique<sim::ReplayAdversary>(loaded[i].schedule),
+        {.measure = false, .record_schedule = true, .result_out = &result},
+        runner);
+    EXPECT_FALSE(outcome.violation) << outcome.violation_detail;
+    EXPECT_EQ(run_fingerprint(loaded[i].config, result, outcome.schedule,
+                              outcome.stages),
+              saved.fingerprint);
+  }
+}
+
+TEST(Search, ViolationsAreShrunkAndArchived) {
+  // The regression the ISSUE calls out: search-mode findings must flow
+  // through the same ddmin-shrink → artifact pipeline as sweep findings.
+  // kBroken violates agreement under crash-free random schedules by design.
+  TempDir dir;
+  SearchOptions options;
+  options.cell.protocol = ProtocolKind::kBroken;
+  options.cell.adversary = AdversaryKind::kRandom;
+  options.cell.n = 3;
+  options.cell.t = 1;
+  options.cell.seed = 1;
+  options.chains = 1;
+  options.threads = 1;
+  options.seed_runs = 4;
+  options.mutation_runs = 4;
+  options.artifacts_dir = dir.str();
+
+  const auto summary = run_search(options);
+  ASSERT_GT(summary.violations, 0);
+  EXPECT_EQ(summary.violations,
+            static_cast<int64_t>(summary.violation_reports.size()));
+  // Violating runs never seed the corpus (its entries double as clean
+  // replay regressions).
+  EXPECT_EQ(summary.corpus.entries().size(), 0u);
+
+  for (const auto& report : summary.violation_reports) {
+    SCOPED_TRACE(report.config.id());
+    EXPECT_GT(report.shrunk_actions, 0u);
+    EXPECT_LE(report.shrunk_actions, report.original_actions);
+    EXPECT_LT(report.shrunk_actions, report.original_actions)
+        << "ddmin should strip the schedule's irrelevant suffix";
+    ASSERT_FALSE(report.artifact_path.empty());
+
+    // The artifact must reproduce standalone, exactly like a sweep artifact
+    // fed to swarm_cli --replay.
+    const auto artifact = load_artifact(report.artifact_path);
+    EXPECT_EQ(artifact.schedule.actions.size(), report.shrunk_actions);
+    EXPECT_TRUE(replay_still_violates(artifact.config, artifact.schedule));
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::swarm

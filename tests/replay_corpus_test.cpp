@@ -1,17 +1,24 @@
-// Replays every recorded schedule in tests/corpus/ against the current
-// simulator and re-checks the paper's correctness conditions. The corpus
-// holds interesting-but-clean runs (near misses) recorded by tools/corpus_gen;
-// a divergence here means protocol-side behaviour changed since the
-// recording, and a gate failure means a regression slipped in.
+// Replays every recorded schedule in tests/corpus/ and tests/corpus_search/
+// against the current simulator and re-checks the paper's correctness
+// conditions. tests/corpus/ holds interesting-but-clean runs (near misses)
+// recorded by tools/corpus_gen; tests/corpus_search/ is a distilled
+// coverage-search corpus (one schedule per novel behavior fingerprint,
+// saved by `swarm_cli --search --corpus-out`). A divergence here means
+// protocol-side behaviour changed since the recording, a gate failure means
+// a regression slipped in, and a fingerprint mismatch means the coverage
+// digest drifted (docs/coverage-search.md).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "sim/replay.h"
 #include "swarm/artifacts.h"
+#include "swarm/coverage.h"
 #include "swarm/matrix.h"
 #include "swarm/runner.h"
 
@@ -70,6 +77,63 @@ TEST(ReplayCorpus, ReplayIsDeterministic) {
     }
     EXPECT_EQ(first.events, second.events);
   }
+}
+
+// --- Coverage-search seed corpus (tests/corpus_search) ---------------------
+//
+// Regenerate with:
+//   swarm_cli --search --protocols=commit --adversaries=crash --n=5
+//             --chains=1 --seed-runs=6 --mutations=10 --threads=1
+//             --artifacts= --corpus-out=tests/corpus_search
+
+TEST(SearchCorpus, CorpusIsNotEmpty) {
+  EXPECT_GE(load_corpus(RCOMMIT_SEARCH_CORPUS_DIR).size(), 2u)
+      << "expected a distilled search corpus under "
+      << RCOMMIT_SEARCH_CORPUS_DIR
+      << "; regenerate with swarm_cli --search --corpus-out";
+}
+
+TEST(SearchCorpus, EveryEntryReplaysUnderTheGateWithItsFingerprint) {
+  sim::BatchRunner runner;
+  for (const auto& entry : load_corpus(RCOMMIT_SEARCH_CORPUS_DIR)) {
+    SCOPED_TRACE(entry.config.id());
+    ASSERT_NE(entry.fingerprint, 0u) << "corpus entry lost its fingerprint.txt";
+
+    // Strict replay: corpus schedules are stored as executed, so any skipped
+    // or re-filtered action is a behavior change, not a tolerable edit.
+    sim::RunResult result;
+    CellOutcome outcome;
+    try {
+      outcome = run_cell_with_adversary(
+          entry.config, std::make_unique<sim::ReplayAdversary>(entry.schedule),
+          {.measure = false, .record_schedule = true, .result_out = &result},
+          runner);
+    } catch (const CheckFailure& failure) {
+      FAIL() << "replay diverged (protocol behaviour changed since the "
+                "corpus was distilled — regenerate it): "
+             << failure.what();
+    }
+
+    // The swarm's invariant gates hold on every retained schedule...
+    EXPECT_FALSE(outcome.violation) << outcome.violation_detail;
+    // ...and the behavior digest the entry was retained FOR still
+    // reproduces, locking the fingerprint definition itself.
+    EXPECT_EQ(run_fingerprint(entry.config, result, outcome.schedule,
+                              outcome.stages),
+              entry.fingerprint);
+  }
+}
+
+TEST(SearchCorpus, FingerprintsAreDistinct) {
+  // One schedule per novel fingerprint is the corpus's defining property.
+  std::vector<uint64_t> fingerprints;
+  for (const auto& entry : load_corpus(RCOMMIT_SEARCH_CORPUS_DIR)) {
+    fingerprints.push_back(entry.fingerprint);
+  }
+  std::sort(fingerprints.begin(), fingerprints.end());
+  EXPECT_TRUE(std::adjacent_find(fingerprints.begin(), fingerprints.end()) ==
+              fingerprints.end())
+      << "duplicate fingerprints in the distilled corpus";
 }
 
 }  // namespace

@@ -294,8 +294,8 @@ bool threading_layer(const PathInfo& p) {
 bool sim_hot_path(const PathInfo& p) {
   if (!p.under("src", "sim")) return false;
   static const std::set<std::string> kHotStems = {
-      "adversary", "in_flight", "message", "pattern",
-      "process",   "replay",    "simulator"};
+      "adversary", "batch",  "in_flight", "message", "pattern",
+      "process",   "replay", "sim_core",  "simulator"};
   const auto dot = p.filename.find('.');
   return kHotStems.count(p.filename.substr(0, dot)) > 0;
 }
@@ -607,8 +607,8 @@ const std::vector<RuleInfo>& rule_registry() {
       {"R5", "every RNG construction takes an explicit seed",
        "all scanned files"},
       {"R6", "no unordered containers on the simulator's per-event hot path",
-       "src/sim hot-path files (simulator, in_flight, message, pattern, "
-       "process, adversary, replay)"},
+       "src/sim hot-path files (simulator, sim_core, batch, in_flight, "
+       "message, pattern, process, adversary, replay)"},
   };
   return kRules;
 }

@@ -33,6 +33,17 @@
 // Replay mode:
 //   --replay=DIR   replay an artifact directory instead of sweeping; exit 0
 //                  iff the recorded violation reproduces
+// Search mode (docs/coverage-search.md):
+//   --search       coverage-guided schedule search instead of a sweep, over
+//                  ONE cell shape: the first --protocols / --adversaries /
+//                  --n value (the adversary drives the seeding phase).
+//                  --seed0, --k, --max-events, --threads, --artifacts,
+//                  --no-shrink, --shrink-evals, --json apply as in sweeps.
+//   --chains       independent deterministic chains            (default 4)
+//   --seed-runs    random-seeding runs per chain               (default 32)
+//   --mutations    corpus-mutation runs per chain              (default 96)
+//   --corpus-out=DIR  save the distilled corpus (artifact-dir format,
+//                  replayable by --replay and the replay-corpus test)
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -42,6 +53,7 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "swarm/artifacts.h"
+#include "swarm/coverage.h"
 #include "swarm/runner.h"
 #include "swarm/swarm.h"
 
@@ -85,6 +97,63 @@ int replay_artifact(const std::string& dir) {
   }
 }
 
+void write_json(const std::string& dest, const std::string& json) {
+  if (dest == "-") {
+    std::cout << json << "\n";
+  } else {
+    std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+    RCOMMIT_CHECK_MSG(out.good(), "cannot write " << dest);
+    out << json << "\n";
+  }
+}
+
+int search_mode(const Flags& flags) {
+  swarm::SearchOptions options;
+  options.cell.protocol = swarm::parse_protocol_kind(
+      split_list(flags.get_string("protocols", "commit")).at(0));
+  options.cell.adversary = swarm::parse_adversary_kind(
+      split_list(flags.get_string("adversaries", "crash")).at(0));
+  options.cell.n =
+      static_cast<int32_t>(std::stol(split_list(flags.get_string("n", "5")).at(0)));
+  options.cell.t = (options.cell.n - 1) / 2;
+  options.cell.k = flags.get_int("k", 2);
+  options.cell.seed = static_cast<uint64_t>(flags.get_int("seed0", 1));
+  options.cell.max_events = flags.get_int("max-events", 200'000);
+
+  options.chains = static_cast<int>(flags.get_int("chains", 4));
+  options.threads = static_cast<int>(flags.get_int("threads", 1));
+  options.seed_runs = static_cast<int>(flags.get_int("seed-runs", 32));
+  options.mutation_runs = static_cast<int>(flags.get_int("mutations", 96));
+  options.artifacts_dir = flags.get_string("artifacts", "swarm-artifacts");
+  options.shrink = !flags.get_bool("no-shrink", false);
+  options.shrink_max_evals = static_cast<int>(flags.get_int("shrink-evals", 4000));
+
+  const auto summary = swarm::run_search(options);
+
+  std::cerr << "search: " << summary.runs_executed << " runs over "
+            << options.chains << " chain(s), " << summary.novel_fingerprints
+            << " novel fingerprint(s), " << summary.corpus.entries().size()
+            << " corpus entries, " << summary.violations << " violation(s) in "
+            << summary.elapsed_seconds << "s\n";
+  for (const auto& report : summary.violation_reports) {
+    std::cerr << "  VIOLATION " << report.config.id() << ": " << report.detail
+              << " — shrunk " << report.original_actions << " -> "
+              << report.shrunk_actions << " actions";
+    if (!report.artifact_path.empty()) std::cerr << " @ " << report.artifact_path;
+    std::cerr << "\n";
+  }
+
+  if (const auto corpus_out = flags.get_string("corpus-out", "");
+      !corpus_out.empty()) {
+    const auto dirs = swarm::save_corpus(corpus_out, summary.corpus);
+    std::cerr << "search: saved " << dirs.size() << " corpus entries under "
+              << corpus_out << "\n";
+  }
+
+  write_json(flags.get_string("json", "-"), summary.json(options));
+  return summary.violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -92,6 +161,9 @@ int main(int argc, char** argv) try {
 
   if (flags.has("replay")) {
     return replay_artifact(flags.get_string("replay", ""));
+  }
+  if (flags.get_bool("search", false)) {
+    return search_mode(flags);
   }
 
   swarm::SwarmOptions options;
