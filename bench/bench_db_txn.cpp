@@ -47,7 +47,6 @@ DbStats run_backend(db::CommitBackend backend, int txns, uint64_t seed) {
   DbStats stats;
   // Throughput reporting over a real threaded network — wall time is the
   // measurement, not a simulation input.
-  // RCOMMIT_LINT_ALLOW(R1): throughput timing window
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < txns; ++i) {
     const int a = i % 5;
@@ -67,7 +66,6 @@ DbStats run_backend(db::CommitBackend backend, int txns, uint64_t seed) {
     const bool on_b = database.get(b, key).has_value();
     if (on_a != on_b) ++stats.atomicity_violations;
   }
-  // RCOMMIT_LINT_ALLOW(R1): end of the throughput timing window above
   const auto end = std::chrono::steady_clock::now();
   const auto elapsed = std::chrono::duration<double>(end - start).count();
   stats.txn_per_sec = static_cast<double>(txns) / elapsed;

@@ -43,13 +43,11 @@ double append_rate(const fs::path& dir, int appends, db::WalFaultHook* hook) {
   db::KvStore store(dir / "shard.wal");
   if (hook != nullptr) store.set_fault_hook(hook);
   // Real disk I/O is the measurement here, not a simulation input.
-  // RCOMMIT_LINT_ALLOW(R1): append-throughput timing window
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < appends; ++i) {
     store.prepare(i + 1, {{"k" + std::to_string(i), "v"}});
     store.commit(i + 1);
   }
-  // RCOMMIT_LINT_ALLOW(R1): end of the append-throughput timing window
   const auto end = std::chrono::steady_clock::now();
   const auto elapsed = std::chrono::duration<double>(end - start).count();
   return static_cast<double>(appends) / elapsed;

@@ -48,7 +48,6 @@ ThroughputResult run_cluster(transport::Network& net, const fs::path& dir,
   ThroughputResult result;
   // Throughput reporting over real transports — wall time is the
   // measurement, not a simulation input.
-  // RCOMMIT_LINT_ALLOW(R1): throughput timing window
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < txns; ++i) {
     const int a = i % shards;
@@ -63,7 +62,6 @@ ThroughputResult run_cluster(transport::Network& net, const fs::path& dir,
       ++result.committed;
     }
   }
-  // RCOMMIT_LINT_ALLOW(R1): end of the throughput timing window above
   const auto end = std::chrono::steady_clock::now();
   const double elapsed = std::chrono::duration<double>(end - start).count();
   result.txn_per_sec = txns / elapsed;

@@ -211,11 +211,9 @@ CellResult run_hotpath_cell(const bench::Context& ctx, int32_t n, bool legacy,
   CellResult cell;
   const uint64_t allocs_before = g_heap_allocs;
   // Wall time is the measurement here, never a simulation input.
-  // RCOMMIT_LINT_ALLOW(R1): throughput timing window
   const auto start = std::chrono::steady_clock::now();
   sim::Simulator sim(config(max_events), make_fleet(), make_adversary());
   const auto result = sim.run();
-  // RCOMMIT_LINT_ALLOW(R1): end of the throughput timing window
   const auto end = std::chrono::steady_clock::now();
   cell.seconds = std::chrono::duration<double>(end - start).count();
   cell.events = result.events;
@@ -233,7 +231,6 @@ CellResult run_cell(const bench::Context& ctx, int32_t n, bool record_trace,
   CellResult cell;
   const uint64_t allocs_before = g_heap_allocs;
   // Wall time is the measurement here, never a simulation input.
-  // RCOMMIT_LINT_ALLOW(R1): throughput timing window
   const auto start = std::chrono::steady_clock::now();
   for (int r = 0; r < runs; ++r) {
     const auto seed =
@@ -249,7 +246,6 @@ CellResult run_cell(const bench::Context& ctx, int32_t n, bool record_trace,
     cell.events += result.events;
     cell.messages += result.messages_sent;
   }
-  // RCOMMIT_LINT_ALLOW(R1): end of the throughput timing window
   const auto end = std::chrono::steady_clock::now();
   cell.seconds = std::chrono::duration<double>(end - start).count();
   cell.allocs = static_cast<int64_t>(g_heap_allocs - allocs_before);

@@ -42,7 +42,6 @@ class NullStream : public std::ostream {
 double now_seconds() {
   // Wall time is the measurement here, not an input to any simulated
   // decision; seeds stay fixed across re-runs so simulated results agree.
-  // RCOMMIT_LINT_ALLOW(R1): perf reporting only
   const auto now = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(now.time_since_epoch()).count();
 }

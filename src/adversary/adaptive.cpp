@@ -38,6 +38,7 @@ const std::vector<bool>& QuorumStallAdversary::fast_set(const sim::PatternView& 
   return fast_.emplace(p, std::move(fast)).first->second;
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): strategy boundary — schedule construction is workload, not simulator machinery; bench_simperf gates the per-event budget at runtime
 void QuorumStallAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
   for (int32_t i = 0; i < n; ++i) {

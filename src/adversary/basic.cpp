@@ -113,6 +113,7 @@ void ScheduleAdversary::due_messages(const sim::PatternView& view, ProcId p,
   }
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): strategy boundary — schedule construction is workload, not simulator machinery; bench_simperf gates the per-event budget at runtime
 void ScheduleAdversary::next(const sim::PatternView& view, sim::Action& action) {
   action.proc = pick_processor(view);
   due_messages(view, action.proc, action.deliver);

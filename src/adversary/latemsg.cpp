@@ -25,6 +25,7 @@ Tick LateMessageAdversary::delay_for(const sim::PendingInfo& msg) {
   return delay;
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): strategy boundary — schedule construction is workload, not simulator machinery; bench_simperf gates the per-event budget at runtime
 void LateMessageAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
   for (int32_t i = 0; i < n; ++i) {

@@ -147,6 +147,7 @@ std::vector<MsgId> SplitVoteAdversary::choose_deliveries(const sim::PatternView&
   return deliver;
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): strategy boundary — schedule construction is workload, not simulator machinery; bench_simperf gates the per-event budget at runtime
 void SplitVoteAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
   for (int32_t i = 0; i < n; ++i) {

@@ -16,6 +16,7 @@ bool PartitionAdversary::healed(const sim::PatternView& view) const {
   return heal_at_event_ != kNever && view.now() >= heal_at_event_;
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): strategy boundary — schedule construction is workload, not simulator machinery; bench_simperf gates the per-event budget at runtime
 void PartitionAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
   for (int32_t i = 0; i < n; ++i) {

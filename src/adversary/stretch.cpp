@@ -8,6 +8,7 @@ DelayStretchAdversary::DelayStretchAdversary(Tick delay) : delay_(delay) {
   RCOMMIT_CHECK(delay >= 1);
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): strategy boundary — schedule construction is workload, not simulator machinery; bench_simperf gates the per-event budget at runtime
 void DelayStretchAdversary::next(const sim::PatternView& view, sim::Action& action) {
   const int32_t n = view.n();
   for (int32_t i = 0; i < n; ++i) {

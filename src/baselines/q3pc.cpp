@@ -24,9 +24,16 @@ Q3pcState Q3pcProcess::my_state() const {
       return Q3pcState::kPrepared;
     case Phase::kCoordCollectAcks:
       return Q3pcState::kPrecommitted;  // the coordinator issued PRECOMMITs
-    default:
+    case Phase::kStart:
+    case Phase::kCoordCollectVotes:
+    case Phase::kPartAwaitCanCommit:
+      return Q3pcState::kUnvoted;
+    case Phase::kDone:
+      // decide() records the decision before entering kDone, so the early
+      // return above already handled this phase; keep the mapping total.
       return Q3pcState::kUnvoted;
   }
+  return Q3pcState::kUnvoted;
 }
 
 void Q3pcProcess::decide(sim::StepContext& ctx, Decision d, bool announce_recovery) {
@@ -60,6 +67,7 @@ void Q3pcProcess::enter_termination(sim::StepContext& ctx) {
   window_start_ = ctx.clock();
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): process boundary — protocol transitions are workload, not simulator machinery; bench_simperf gates their steady-state cost at runtime
 void Q3pcProcess::on_step(sim::StepContext& ctx,
                           std::span<const sim::Envelope> delivered) {
   if (phase_ == Phase::kStart) {

@@ -42,8 +42,9 @@ inline const char* level_tag(LogLevel l) {
     case LogLevel::kError: return "E";
     case LogLevel::kInfo: return "I";
     case LogLevel::kDebug: return "D";
-    default: return "?";
+    case LogLevel::kOff: return "?";  // kOff emits nothing; tag is unreachable
   }
+  return "?";
 }
 }  // namespace detail
 

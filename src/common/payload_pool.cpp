@@ -22,6 +22,7 @@ PayloadPool::PayloadPool(Config config) : config_(config) {
   RCOMMIT_CHECK(config_.blocks_per_chunk > 0);
 }
 
+// RCOMMIT_ANALYZE_ROOT(A1): the pool fast path — heap traffic only through the grow()/fallback frontiers
 void* PayloadPool::allocate(size_t bytes, size_t alignment) {
   if (bytes > config_.block_size || alignment > 16) {
     ++stats_.fallback_allocs;
@@ -60,6 +61,7 @@ bool PayloadPool::owns(const void* p) const {
   return false;
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): the amortized growth frontier — one chunk per free-list refill, visible in Stats::blocks_total; steady state never enters
 void PayloadPool::grow() {
   size_t blocks = config_.blocks_per_chunk;
   if (config_.max_blocks != 0) {

@@ -100,10 +100,12 @@ class PoolAllocator {
   PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(google-explicit-constructor)
       : pool_(other.pool_) {}
 
+  // RCOMMIT_ANALYZE_ROOT(A1): what allocate_shared hits under make_message when a pool scope is active
   T* allocate(std::size_t n) {
     if (void* p = pool_->allocate(n * sizeof(T), alignof(T))) {
       return static_cast<T*>(p);
     }
+    // RCOMMIT_ANALYZE_ALLOW(A1): heap fallback for oversize/cap-hit requests; the pool counts it in Stats::fallback_allocs
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }
 

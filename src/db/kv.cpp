@@ -61,11 +61,21 @@ bool KvStore::prepare(TxnId txn, const std::vector<KvWrite>& writes,
       return false;
     }
   }
-  wal_->append({WalRecordType::kBegin, txn, "", ""});
-  for (const auto& write : writes) {
-    wal_->append({WalRecordType::kWrite, txn, write.key, write.value});
+  try {
+    wal_->append({WalRecordType::kBegin, txn, "", ""});
+    for (const auto& write : writes) {
+      wal_->append({WalRecordType::kWrite, txn, write.key, write.value});
+    }
+    wal_->append(
+        {WalRecordType::kPrepared, txn, "", encode_participant_list(participants)});
+  } catch (...) {
+    // The PREPARED record never became durable, so recovery will drop the
+    // partial transaction as an unprepared leftover. Release the locks so a
+    // caller that survives the exception sees the store as if the prepare
+    // had never started.
+    locks_.unlock_all(txn);
+    throw;
   }
-  wal_->append({WalRecordType::kPrepared, txn, "", encode_participant_list(participants)});
   staged_[txn] = Staged{writes, participants, /*prepared=*/true};
   return true;
 }
@@ -81,8 +91,13 @@ void KvStore::commit(TxnId txn) {
 }
 
 void KvStore::abort(TxnId txn) {
-  if (staged_.erase(txn) > 0) {
+  // WAL-first, like commit(): if the append throws CrashInjected the staged
+  // entry must survive, or a caller that catches the exception would see the
+  // transaction gone from memory while the log still says prepared — and a
+  // retried abort() would silently skip the kAbort record.
+  if (staged_.count(txn) > 0) {
     wal_->append({WalRecordType::kAbort, txn, "", ""});
+    staged_.erase(txn);
   }
   locks_.unlock_all(txn);
 }

@@ -168,6 +168,10 @@ class ShardServer {
   void step_sessions();
   void finalize(Session& session);
 
+  // Concurrency model: everything below `thread_` is owned by the server
+  // thread alone (loop() and its callees) — the only cross-thread traffic is
+  // the two atomics, so there is no mutex capability to annotate here; see
+  // src/common/thread_annotations.h for the layers that have one.
   Options options_;
   KvStore& store_;
   transport::Network& network_;

@@ -64,7 +64,11 @@ std::unique_ptr<sim::Process> DistributedDb::make_participant(int32_t index, int
 TxnOutcome DistributedDb::execute(
     const std::map<int32_t, std::vector<KvWrite>>& writes_by_shard) {
   RCOMMIT_CHECK(!writes_by_shard.empty());
+  // A crashed attempt deliberately burns its txn id and seed draw: a retry
+  // after CrashInjected must run under a fresh id, never reuse the old one.
+  // RCOMMIT_ANALYZE_ALLOW(A3): id burn is intentional; retries need a fresh txn id
   const TxnId txn = next_txn_++;
+  // RCOMMIT_ANALYZE_ALLOW(A3): seed advance is intentional; paired with the id burn
   txn_seed_ = txn_seed_ * 6364136223846793005ULL + 1442695040888963407ULL;
 
   // Phase 1: every involved shard stages + durably prepares (its vote). The

@@ -42,7 +42,10 @@ db::WalAppendFault FaultInjector::on_append(const std::filesystem::path& wal_pat
     case FaultKind::kCrashAfter:
       fault.kind = db::WalAppendFault::Kind::kCrashAfter;
       break;
-    default:
+    case FaultKind::kRpcDrop:
+    case FaultKind::kRpcDuplicate:
+    case FaultKind::kRpcDelay:
+    case FaultKind::kRpcReorder:
       RCOMMIT_CHECK_MSG(false, "RPC fault kind in a WAL plan at site " << site);
   }
   if (action.kind != FaultKind::kNone) {

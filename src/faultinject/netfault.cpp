@@ -51,7 +51,11 @@ void FaultyNetwork::send(const transport::WireFrame& frame) {
       ++held_total_;
       held_.push_back({site + 1, frame});
       break;
-    default:
+    case FaultKind::kCrashBefore:
+    case FaultKind::kTornWrite:
+    case FaultKind::kPartialFlush:
+    case FaultKind::kDuplicate:
+    case FaultKind::kCrashAfter:
       RCOMMIT_CHECK_MSG(false, "WAL fault kind in an RPC plan at site " << site);
   }
   // Release every held frame whose due site has passed, in hold order.

@@ -74,9 +74,14 @@ bool is_wal_kind(FaultKind kind) {
     case FaultKind::kDuplicate:
     case FaultKind::kCrashAfter:
       return true;
-    default:
+    case FaultKind::kNone:
+    case FaultKind::kRpcDrop:
+    case FaultKind::kRpcDuplicate:
+    case FaultKind::kRpcDelay:
+    case FaultKind::kRpcReorder:
       return false;
   }
+  return false;
 }
 
 bool is_crash_kind(FaultKind kind) {
@@ -86,9 +91,15 @@ bool is_crash_kind(FaultKind kind) {
     case FaultKind::kPartialFlush:
     case FaultKind::kCrashAfter:
       return true;
-    default:
+    case FaultKind::kNone:
+    case FaultKind::kDuplicate:
+    case FaultKind::kRpcDrop:
+    case FaultKind::kRpcDuplicate:
+    case FaultKind::kRpcDelay:
+    case FaultKind::kRpcReorder:
       return false;
   }
+  return false;
 }
 
 FaultPlan FaultPlan::none() { return FaultPlan{}; }

@@ -174,6 +174,7 @@ AgreementProcess::AgreementProcess(Options options) : options_(std::move(options
   core_ = std::make_unique<AgreementCore>(std::move(config));
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): process boundary — protocol transitions are workload, not simulator machinery; bench_simperf gates their steady-state cost at runtime
 void AgreementProcess::on_step(sim::StepContext& ctx,
                                std::span<const sim::Envelope> delivered) {
   if (first_step_) {

@@ -17,6 +17,7 @@ void CommitProcess::broadcast_piggybacked(sim::StepContext& ctx, sim::MessageRef
   ctx.broadcast(sim::make_message<PiggybackedMsg>(coins_, std::move(inner)));
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): process boundary — protocol transitions are workload, not simulator machinery; bench_simperf gates their steady-state cost at runtime
 void CommitProcess::on_step(sim::StepContext& ctx,
                             std::span<const sim::Envelope> delivered) {
   if (first_step_) {

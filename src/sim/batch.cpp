@@ -10,6 +10,7 @@ BatchRunner::BatchRunner() : core_(std::make_unique<internal::SimCore>()) {}
 
 BatchRunner::~BatchRunner() = default;
 
+// RCOMMIT_ANALYZE_ROOT(A1): the batch re-arm path — steady-state batches must reuse capacity
 RunResult BatchRunner::run(const SimConfig& config,
                            std::vector<std::unique_ptr<Process>> processes,
                            std::unique_ptr<Adversary> adversary) {
@@ -26,6 +27,7 @@ RunResult BatchRunner::run(const SimConfig& config,
   // amortizes. Pooling stays opt-in per run, same as Simulator.
   std::shared_ptr<PayloadPool> pool;
   if (config.pool_payloads) {
+    // RCOMMIT_ANALYZE_ALLOW(A1): the pool is built once per front end; every later batch run reuses it
     if (pool_ == nullptr) pool_ = std::make_shared<PayloadPool>();
     pool = pool_;
   }

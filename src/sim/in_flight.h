@@ -40,6 +40,7 @@ class InFlightTable {
 
   /// Stores `env` (env.id must be a valid, not-yet-stored id) together with
   /// the message's index in the receiver's pending buffer.
+  // RCOMMIT_ANALYZE_ROOT(A1): per-send slot store; growth happens only via the grow() frontier
   void insert(Envelope&& env, size_t buffer_pos) {
     RCOMMIT_CHECK(env.id != kNoMsg);
     while (slots_[slot_of(env.id)].env.id != kNoMsg) grow();
@@ -73,6 +74,7 @@ class InFlightTable {
   /// Removes a live id, returning its envelope and (through
   /// `buffer_pos_out`) its receiver-buffer position — one slot lookup where
   /// find() + buffer_pos() + take() would make three.
+  // RCOMMIT_ANALYZE_ROOT(A1): per-delivery slot removal
   [[nodiscard]] Envelope take_at(MsgId id, size_t* buffer_pos_out) {
     Slot& s = slots_[slot_of(id)];
     RCOMMIT_CHECK_MSG(s.env.id == id, "message " << id << " not in flight");

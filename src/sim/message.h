@@ -35,12 +35,15 @@ using MessageRef = std::shared_ptr<const MessageBase>;
 /// plain make_shared. Either way the result is an ordinary shared_ptr — the
 /// pool outlives every block it handed out because the control block's
 /// allocator keeps the pool alive.
+// RCOMMIT_ANALYZE_ROOT(A1): the per-send payload construction path
 template <typename T, typename... Args>
 MessageRef make_message(Args&&... args) {
   if (const std::shared_ptr<PayloadPool>& pool = active_payload_pool()) {
+    // RCOMMIT_ANALYZE_ALLOW(A1): payload + control block come from a recycled PayloadPool block via PoolAllocator, whose fast path is proven from its own root
     return std::allocate_shared<T>(PoolAllocator<T>(pool),
                                    std::forward<Args>(args)...);
   }
+  // RCOMMIT_ANALYZE_ALLOW(A1): unpooled mode — callers that leave SimConfig::pool_payloads off accept per-message heap traffic
   return std::make_shared<const T>(std::forward<Args>(args)...);
 }
 

@@ -58,6 +58,7 @@ RecordingAdversary::RecordingAdversary(std::unique_ptr<Adversary> inner)
   RCOMMIT_CHECK(inner_ != nullptr);
 }
 
+// RCOMMIT_ANALYZE_ALLOW(A1): recording boundary — the tape's purpose is to grow with the schedule it captures; replay runs, not recording runs, are the measured path
 void RecordingAdversary::next(const PatternView& view, Action& action) {
   inner_->next(view, action);
   schedule_.actions.push_back(action);

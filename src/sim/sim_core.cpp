@@ -31,20 +31,28 @@ void SimCore::arm(const SimConfig& config,
   // table or pre-reserved buffer changes only when allocations happen.
   const auto seeds = derive_seeds(config_.seed, n_);
   tapes_.clear();
+  // RCOMMIT_ANALYZE_ALLOW(A1): fleet-sized; later re-arms reuse the capacity
   tapes_.reserve(static_cast<size_t>(n_));
+  // RCOMMIT_ANALYZE_ALLOW(A1): fills within the reservation above
   for (auto s : seeds) tapes_.emplace_back(s);
 
   if (buffers_.size() < static_cast<size_t>(n_)) {
+    // RCOMMIT_ANALYZE_ALLOW(A1): grows only when the fleet outgrows every earlier run
     buffers_.resize(static_cast<size_t>(n_));
   }
   for (auto& buffer : buffers_) buffer.clear();
   in_flight_.clear();
   legacy_in_flight_.clear();
 
+  // RCOMMIT_ANALYZE_ALLOW(A1): assign reuses capacity; fleet-sized
   clocks_.assign(static_cast<size_t>(n_), 0);
+  // RCOMMIT_ANALYZE_ALLOW(A1): assign reuses capacity; fleet-sized
   crashed_.assign(static_cast<size_t>(n_), false);
+  // RCOMMIT_ANALYZE_ALLOW(A1): assign reuses capacity; fleet-sized
   was_decided_.assign(static_cast<size_t>(n_), false);
+  // RCOMMIT_ANALYZE_ALLOW(A1): assign reuses capacity; fleet-sized
   decide_clock_.assign(static_cast<size_t>(n_), std::nullopt);
+  // RCOMMIT_ANALYZE_ALLOW(A1): assign reuses capacity; fleet-sized
   decide_event_.assign(static_cast<size_t>(n_), std::nullopt);
   live_undecided_ = n_;
 
@@ -61,6 +69,7 @@ void SimCore::arm(const SimConfig& config,
   trace_.crashed.clear();
 }
 
+// RCOMMIT_ANALYZE_ROOT(A1): the per-event step loop — the hot path bench_simperf gates at runtime
 RunResult SimCore::run(const std::shared_ptr<PayloadPool>& pool) {
   RCOMMIT_CHECK_MSG(processes_ != nullptr, "SimCore::run before arm()");
   // Installed for the whole run so every make_message inside a process
@@ -123,6 +132,7 @@ void SimCore::apply(const Action& action) {
                       "adversary delivered message " << id << " not pending for " << p);
     buffer[pos].id = kNoMsg;
     first_hole = std::min(first_hole, pos);
+    // RCOMMIT_ANALYZE_ALLOW(A1): delivery scratch; capacity survives across steps
     delivered_.push_back(std::move(env));
   }
   if (!delivered_.empty()) {
@@ -135,17 +145,20 @@ void SimCore::apply(const Action& action) {
       }
       ++w;
     }
+    // RCOMMIT_ANALYZE_ALLOW(A1): shrink-only compaction; resize below size() never allocates
     buffer.resize(w);
   }
 
   const EventIndex event_index = next_event_++;
   TraceEvent* te = nullptr;
   if (config_.record_trace) {
+    // RCOMMIT_ANALYZE_ALLOW(A1): trace recording is opt-in and off on the measured path
     trace_.events.emplace_back();
     te = &trace_.events.back();
     te->index = event_index;
     te->proc = p;
     te->crash = action.crash;
+    // RCOMMIT_ANALYZE_ALLOW(A1): trace recording is opt-in and off on the measured path
     te->delivered.assign(action.deliver.begin(), action.deliver.end());
   }
 
@@ -194,6 +207,7 @@ void SimCore::apply(const Action& action) {
     const MsgId id = next_msg_id_++;
     auto& receiver_buffer = buffers_[static_cast<size_t>(out.to)];
     const size_t buffer_pos = receiver_buffer.size();
+    // RCOMMIT_ANALYZE_ALLOW(A1): pending buffer reuses capacity; growth tracks the run's max in-flight span
     receiver_buffer.push_back(PendingInfo{id, p, out.to, event_index, clock_after});
 
     Envelope env;
@@ -207,6 +221,7 @@ void SimCore::apply(const Action& action) {
     ++messages_sent_;
 
     if (te != nullptr) {
+      // RCOMMIT_ANALYZE_ALLOW(A1): trace recording is opt-in and off on the measured path
       te->sent.push_back(id);
       TraceMessage tm;
       tm.id = id;
@@ -214,6 +229,7 @@ void SimCore::apply(const Action& action) {
       tm.to = out.to;
       tm.sent_event = event_index;
       tm.sender_clock = clock_after;
+      // RCOMMIT_ANALYZE_ALLOW(A1): trace recording is opt-in and off on the measured path
       trace_.messages.push_back(tm);
     }
   }
@@ -226,6 +242,7 @@ void SimCore::apply(const Action& action) {
 /// (bench_simperf) within one binary: hash-map in-flight storage, a fresh
 /// delivered vector and step context per step, a suppression set built on
 /// every step, and trace bookkeeping performed even with tracing off.
+// RCOMMIT_ANALYZE_ALLOW(A1): legacy stepping loop, kept in-binary only so the equivalence suite can diff it against apply(); the batch hot path never enters it
 void SimCore::apply_legacy(const Action& action) {
   const ProcId p = action.proc;
   RCOMMIT_CHECK_MSG(p >= 0 && p < n_, "adversary scheduled invalid proc " << p);
@@ -374,6 +391,7 @@ RunResult SimCore::finish(RunStatus status) {
   result.events = next_event_;
   result.messages_sent = messages_sent_;
   result.messages_delivered = messages_delivered_;
+  // RCOMMIT_ANALYZE_ALLOW(A1): once per run at teardown, not in the event loop
   result.decisions.resize(static_cast<size_t>(n_));
   for (ProcId p = 0; p < n_; ++p) {
     const auto& proc = *(*processes_)[static_cast<size_t>(p)];

@@ -52,14 +52,18 @@ class SimStepContext final : public StepContext {
     outgoing_.clear();
   }
 
+  // RCOMMIT_ANALYZE_ROOT(A1): the per-send enqueue every process goes through
   void send(ProcId to, MessageRef payload) override {
     RCOMMIT_CHECK_MSG(to >= 0 && to < n_, "send to invalid processor " << to);
     RCOMMIT_CHECK(payload != nullptr);
+    // RCOMMIT_ANALYZE_ALLOW(A1): outgoing buffer is re-armed by begin_step; capacity survives across steps
     outgoing_.push_back({to, std::move(payload)});
   }
 
+  // RCOMMIT_ANALYZE_ROOT(A1): the broadcast enqueue every process goes through
   void broadcast(MessageRef payload) override {
     RCOMMIT_CHECK(payload != nullptr);
+    // RCOMMIT_ANALYZE_ALLOW(A1): outgoing buffer is re-armed by begin_step; capacity survives across steps
     for (ProcId to = 0; to < n_; ++to) outgoing_.push_back({to, payload});
   }
 

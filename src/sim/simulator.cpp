@@ -49,6 +49,7 @@ RunResult Simulator::run() {
   // run, so Simulator behaves as it always did. BatchRunner is the front end
   // that keeps a pool (and the core's warmed-up storage) across runs.
   std::shared_ptr<PayloadPool> pool;
+  // RCOMMIT_ANALYZE_ALLOW(A1): per-run pool in the single-shot front end; BatchRunner is the re-arming hot path
   if (config_.pool_payloads) pool = std::make_shared<PayloadPool>();
   return core_->run(pool);
 }

@@ -377,7 +377,7 @@ ChainResult run_chain(const SearchOptions& options, int chain_index) {
 
 SearchSummary run_search(const SearchOptions& options) {
   RCOMMIT_CHECK(options.chains >= 1);
-  const auto started = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): perf reporting only; the deterministic result never reads it
+  const auto started = std::chrono::steady_clock::now();
 
   std::vector<ChainResult> chains(static_cast<size_t>(options.chains));
   WorkStealingPool pool(options.threads);
@@ -441,7 +441,7 @@ SearchSummary run_search(const SearchOptions& options) {
   }
 
   summary.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)  // RCOMMIT_LINT_ALLOW(R1): perf reporting only, see above
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
   return summary;
 }

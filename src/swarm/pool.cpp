@@ -3,10 +3,10 @@
 #include <atomic>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 
 namespace rcommit::swarm {
 
@@ -15,8 +15,14 @@ WorkStealingPool::WorkStealingPool(int threads) : threads_(threads < 1 ? 1 : thr
 namespace {
 
 struct WorkerQueue {
-  std::mutex mu;
-  std::deque<int64_t> jobs;
+  Mutex mu;
+  std::deque<int64_t> jobs GUARDED_BY(mu);
+};
+
+/// First exception thrown by any worker; later ones are dropped.
+struct ErrorSlot {
+  Mutex mu;
+  std::exception_ptr first GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -31,12 +37,15 @@ std::vector<char> WorkStealingPool::run(
   const int workers = static_cast<int>(std::min<int64_t>(threads_, count));
   std::vector<WorkerQueue> queues(static_cast<size_t>(workers));
   for (int64_t i = 0; i < count; ++i) {
-    queues[static_cast<size_t>(i % workers)].jobs.push_back(i);
+    // No worker is running yet, but the lock keeps the capability story
+    // uniform (and an uncontended acquire costs nothing here).
+    auto& q = queues[static_cast<size_t>(i % workers)];
+    MutexLock lock(q.mu);
+    q.jobs.push_back(i);
   }
 
   std::atomic<bool> abort{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  ErrorSlot error;
 
   const auto worker_main = [&](int self) {
     for (;;) {
@@ -45,7 +54,7 @@ std::vector<char> WorkStealingPool::run(
       {
         // Own queue first (back), then sweep the others as a thief (front).
         auto& own = queues[static_cast<size_t>(self)];
-        std::lock_guard<std::mutex> lock(own.mu);
+        MutexLock lock(own.mu);
         if (!own.jobs.empty()) {
           job = own.jobs.back();
           own.jobs.pop_back();
@@ -54,7 +63,7 @@ std::vector<char> WorkStealingPool::run(
       if (job < 0) {
         for (int offset = 1; offset < workers && job < 0; ++offset) {
           auto& victim = queues[static_cast<size_t>((self + offset) % workers)];
-          std::lock_guard<std::mutex> lock(victim.mu);
+          MutexLock lock(victim.mu);
           if (!victim.jobs.empty()) {
             job = victim.jobs.front();
             victim.jobs.pop_front();
@@ -63,7 +72,7 @@ std::vector<char> WorkStealingPool::run(
       }
       if (job < 0) return;  // every deque empty — no new jobs ever appear
 
-      if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {  // RCOMMIT_LINT_ALLOW(R1): budget deadline check; affects which cells run, never their outcomes
+      if (deadline.has_value() && std::chrono::steady_clock::now() >= *deadline) {
         continue;  // budget exhausted: drop this job, keep draining the queues
       }
       try {
@@ -71,8 +80,8 @@ std::vector<char> WorkStealingPool::run(
         executed[static_cast<size_t>(job)] = 1;
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error == nullptr) first_error = std::current_exception();
+          MutexLock lock(error.mu);
+          if (error.first == nullptr) error.first = std::current_exception();
         }
         abort.store(true, std::memory_order_relaxed);
         return;
@@ -89,7 +98,10 @@ std::vector<char> WorkStealingPool::run(
     for (auto& t : threads) t.join();
   }
 
-  if (first_error != nullptr) std::rethrow_exception(first_error);
+  {
+    MutexLock lock(error.mu);
+    if (error.first != nullptr) std::rethrow_exception(error.first);
+  }
   return executed;
 }
 

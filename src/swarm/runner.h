@@ -78,6 +78,12 @@ struct CellRunOptions {
 /// BatchRunner overload executes the identical run on the caller's warm
 /// engine (byte-identical per tests/batch_equivalence_test.cpp); sweeps and
 /// searches use it to amortize per-run setup, one runner per worker thread.
+///
+/// Thread-safety: these are functions of their arguments with no shared
+/// state, so there is no capability to annotate (cf.
+/// common/thread_annotations.h). The BatchRunner overloads rely on thread
+/// confinement instead — a runner has no internal locking and must never be
+/// shared across workers (WorkStealingPool gives each worker its own).
 [[nodiscard]] CellOutcome run_cell(const CellConfig& config);
 [[nodiscard]] CellOutcome run_cell(const CellConfig& config,
                                    const CellRunOptions& options);

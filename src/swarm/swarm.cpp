@@ -119,12 +119,12 @@ SwarmSummary run_swarm(const SwarmOptions& options) {
 
   std::optional<std::chrono::steady_clock::time_point> deadline;
   if (options.budget_seconds > 0) {
-    deadline = std::chrono::steady_clock::now() +  // RCOMMIT_LINT_ALLOW(R1): wall-clock budget for the sweep; bounds work, never feeds simulation state
+    deadline = std::chrono::steady_clock::now() +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double>(options.budget_seconds));
   }
 
-  const auto started = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): perf reporting (runs_per_second); excluded from the byte-identical summary core
+  const auto started = std::chrono::steady_clock::now();
   WorkStealingPool pool(options.threads);
   const auto executed = pool.run(
       static_cast<int64_t>(cells.size()),
@@ -163,7 +163,7 @@ SwarmSummary run_swarm(const SwarmOptions& options) {
         }
       },
       deadline);
-  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -  // RCOMMIT_LINT_ALLOW(R1): perf reporting only, see above
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                                      started)
                            .count();
 

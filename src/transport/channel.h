@@ -3,12 +3,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace rcommit::transport {
 
@@ -18,7 +18,7 @@ class Channel {
   /// Enqueues one item; returns false if the channel is closed.
   bool push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -28,8 +28,11 @@ class Channel {
 
   /// Pops one item, waiting up to `timeout`; nullopt on timeout or close.
   std::optional<T> pop(std::chrono::microseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) {
+      if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+    }
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -38,7 +41,7 @@ class Channel {
 
   /// Drains everything currently queued without waiting.
   std::vector<T> drain() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<T> out(std::make_move_iterator(items_.begin()),
                        std::make_move_iterator(items_.end()));
     items_.clear();
@@ -48,27 +51,27 @@ class Channel {
   /// Closes the channel: pushes fail, waiting pops wake empty-handed.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rcommit::transport

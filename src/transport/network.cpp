@@ -19,6 +19,7 @@ InMemoryNetwork::InMemoryNetwork(int32_t n, uint64_t seed, LinkPolicy default_po
 InMemoryNetwork::~InMemoryNetwork() { stop(); }
 
 void InMemoryNetwork::set_link_policy(ProcId from, ProcId to, LinkPolicy policy) {
+  MutexLock lock(mu_);
   RCOMMIT_CHECK(!running_);
   RCOMMIT_CHECK(policy.min_delay <= policy.max_delay);
   link_policies_[{from, to}] = policy;
@@ -30,7 +31,7 @@ const LinkPolicy& InMemoryNetwork::policy_for(ProcId from, ProcId to) const {
 }
 
 void InMemoryNetwork::start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RCOMMIT_CHECK(!running_);
   running_ = true;
   stopping_ = false;
@@ -39,14 +40,14 @@ void InMemoryNetwork::start() {
 
 void InMemoryNetwork::stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   delivery_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     running_ = false;
   }
   for (auto& inbox : inboxes_) inbox->close();
@@ -55,7 +56,7 @@ void InMemoryNetwork::stop() {
 void InMemoryNetwork::send(const WireFrame& frame) {
   RCOMMIT_CHECK_MSG(frame.to >= 0 && frame.to < n_, "send to invalid node " << frame.to);
   const auto& policy = policy_for(frame.from, frame.to);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++frames_sent_;
   if (policy.drop_prob > 0.0 && rng_.next_real() < policy.drop_prob) {
     ++frames_dropped_;
@@ -66,7 +67,7 @@ void InMemoryNetwork::send(const WireFrame& frame) {
   const auto delay =
       policy.min_delay + std::chrono::microseconds(
                              static_cast<int64_t>(rng_.next_below(span)));
-  queue_.push(Scheduled{std::chrono::steady_clock::now() + delay, next_seq_++,  // RCOMMIT_LINT_ALLOW(R1): delay injection is anchored to real time; this layer is explicitly non-deterministic
+  queue_.push(Scheduled{std::chrono::steady_clock::now() + delay, next_seq_++,
                         frame.to, frame.serialize()});
   cv_.notify_one();
 }
@@ -77,22 +78,22 @@ Channel<std::vector<uint8_t>>& InMemoryNetwork::inbox(ProcId id) {
 }
 
 int64_t InMemoryNetwork::frames_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frames_sent_;
 }
 
 int64_t InMemoryNetwork::frames_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frames_dropped_;
 }
 
 int64_t InMemoryNetwork::frames_delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frames_delivered_;
 }
 
 int64_t InMemoryNetwork::frames_queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(queue_.size());
 }
 
@@ -101,29 +102,32 @@ void InMemoryNetwork::delivery_loop() {
   // do from the queue state each iteration, so a lost or misdirected wakeup
   // can delay a delivery by at most kMaxNap rather than strand it (observed
   // in the wild: a predicated wait_until on this kernel occasionally slept
-  // past a sub-millisecond deadline indefinitely under thread load).
+  // past a sub-millisecond deadline indefinitely under thread load). The
+  // bounded re-derivation also lets the waits be predicate-free, keeping
+  // every access to guarded state inside the MutexLock scope below.
   constexpr auto kMaxNap = std::chrono::milliseconds(5);
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (stopping_) return;
-    if (queue_.empty()) {
-      cv_.wait_for(lock, kMaxNap,
-                   [this] { return stopping_ || !queue_.empty(); });
-      continue;
+    Scheduled item{};
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+      if (queue_.empty()) {
+        cv_.wait_for(mu_, kMaxNap);
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (queue_.top().due > now) {
+        const auto nap = std::min<std::chrono::steady_clock::duration>(
+            queue_.top().due - now, kMaxNap);
+        cv_.wait_for(mu_, nap);
+        continue;
+      }
+      item = queue_.top();
+      queue_.pop();
+      ++frames_delivered_;
     }
-    const auto now = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): pump thread wakeup time, same real-time layer
-    if (queue_.top().due > now) {
-      const auto nap = std::min<std::chrono::steady_clock::duration>(
-          queue_.top().due - now, kMaxNap);
-      cv_.wait_for(lock, nap);
-      continue;
-    }
-    Scheduled item = queue_.top();
-    queue_.pop();
-    ++frames_delivered_;
-    lock.unlock();
+    // Push outside the lock: inbox channels take their own mutex.
     inboxes_[static_cast<size_t>(item.to)]->push(std::move(item.bytes));
-    lock.lock();
   }
 }
 

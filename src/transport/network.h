@@ -10,16 +10,15 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "transport/channel.h"
 #include "transport/wire.h"
@@ -97,19 +96,22 @@ class InMemoryNetwork final : public Network {
 
   int32_t n_;
   LinkPolicy default_policy_;
+  /// Written only before start() (enforced by set_link_policy), read by the
+  /// sending threads afterwards — effectively immutable, so unguarded.
   std::map<std::pair<ProcId, ProcId>, LinkPolicy> link_policies_;
   std::vector<std::unique_ptr<Channel<std::vector<uint8_t>>>> inboxes_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
-  RandomTape rng_;
-  int64_t next_seq_ = 0;
-  int64_t frames_sent_ = 0;
-  int64_t frames_dropped_ = 0;
-  int64_t frames_delivered_ = 0;
-  bool running_ = false;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
+      queue_ GUARDED_BY(mu_);
+  RandomTape rng_ GUARDED_BY(mu_);
+  int64_t next_seq_ GUARDED_BY(mu_) = 0;
+  int64_t frames_sent_ GUARDED_BY(mu_) = 0;
+  int64_t frames_dropped_ GUARDED_BY(mu_) = 0;
+  int64_t frames_delivered_ GUARDED_BY(mu_) = 0;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread delivery_thread_;
 };
 

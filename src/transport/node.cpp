@@ -136,9 +136,9 @@ FleetResult run_fleet(std::vector<std::unique_ptr<sim::Process>> processes,
   network.start();
   for (auto& host : hosts) host->start();
 
-  const auto deadline = std::chrono::steady_clock::now() + timeout;  // RCOMMIT_LINT_ALLOW(R1): real-time await deadline for live transport runs
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool all_decided = false;
-  while (std::chrono::steady_clock::now() < deadline) {  // RCOMMIT_LINT_ALLOW(R1): real-time await deadline, see above
+  while (std::chrono::steady_clock::now() < deadline) {
     all_decided = true;
     for (const auto& host : hosts) all_decided = all_decided && host->decided();
     if (all_decided) break;

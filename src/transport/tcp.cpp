@@ -100,7 +100,7 @@ void TcpNetwork::start() {
   out_mu_.resize(static_cast<size_t>(n_));
   for (auto& row : out_mu_) {
     row.clear();
-    for (int32_t j = 0; j < n_; ++j) row.push_back(std::make_unique<std::mutex>());
+    for (int32_t j = 0; j < n_; ++j) row.push_back(std::make_unique<Mutex>());
   }
 
   for (ProcId from = 0; from < n_; ++from) {
@@ -159,7 +159,7 @@ void TcpNetwork::send(const WireFrame& frame) {
   header[3] = static_cast<uint8_t>(len >> 24);
   auto& mu = *out_mu_[static_cast<size_t>(frame.from)][static_cast<size_t>(frame.to)];
   const int fd = out_fds_[static_cast<size_t>(frame.from)][static_cast<size_t>(frame.to)];
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   write_all(fd, header, 4);
   write_all(fd, bytes.data(), bytes.size());
 }

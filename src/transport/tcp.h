@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "transport/network.h"
 
@@ -57,8 +57,10 @@ class TcpNetwork final : public Network {
   std::vector<uint16_t> ports_;
   /// out_fds_[from][to]: the sending side of each mesh connection.
   std::vector<std::vector<int>> out_fds_;
-  /// One mutex per outgoing connection: frames must not interleave.
-  std::vector<std::vector<std::unique_ptr<std::mutex>>> out_mu_;
+  /// One mutex per outgoing connection: frames must not interleave. The
+  /// fd it guards is picked by runtime index, which GUARDED_BY cannot
+  /// express — send() documents the invariant with a MutexLock instead.
+  std::vector<std::vector<std::unique_ptr<Mutex>>> out_mu_;
   std::vector<std::unique_ptr<Channel<std::vector<uint8_t>>>> inboxes_;
   std::vector<std::thread> readers_;
 };

@@ -1,0 +1,235 @@
+// Tests for tools/rcommit_analyze against its fixture corpus (one bad, one
+// good, and one suppressed snippet per rule) plus inline cases for
+// annotation hygiene and call-graph behavior. Fixtures carry their virtual
+// repo path on the first line (`// ANALYZE_PATH: ...`) so layer scoping can
+// be exercised without the fixture living in src/.
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/rcommit_analyze/analyze.h"
+
+namespace rcommit::analyze {
+namespace {
+
+struct Fixture {
+  std::string virtual_path;
+  std::string content;
+};
+
+Fixture load_fixture(const std::string& name) {
+  const std::string path =
+      std::string(RCOMMIT_ANALYZE_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Fixture f;
+  f.content = buf.str();
+  const std::string kDirective = "// ANALYZE_PATH: ";
+  EXPECT_EQ(f.content.rfind(kDirective, 0), 0u)
+      << name << " must start with an ANALYZE_PATH directive";
+  const size_t eol = f.content.find('\n');
+  f.virtual_path = f.content.substr(kDirective.size(), eol - kDirective.size());
+  return f;
+}
+
+AnalysisResult analyze_fixture(const Fixture& f) {
+  return analyze_files({FileInput{f.virtual_path, f.content}});
+}
+
+std::set<std::string> rules_fired(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> rules;
+  for (const auto& d : diags) rules.insert(d.rule);
+  return rules;
+}
+
+std::string dump(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) out += format(d) + "\n";
+  return out;
+}
+
+class RuleCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RuleCorpus, FiresOnBadFixture) {
+  const std::string rule = GetParam();
+  std::string name = rule;
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  const Fixture bad = load_fixture(name + "_bad.cpp");
+  const auto result = analyze_fixture(bad);
+  EXPECT_TRUE(rules_fired(result.diags).count(rule))
+      << rule << " did not fire on its bad fixture:\n" << dump(result.diags);
+  // The bad fixture is dirty only in the dimension it demonstrates.
+  for (const auto& d : result.diags) EXPECT_EQ(d.rule, rule)
+      << dump(result.diags);
+}
+
+TEST_P(RuleCorpus, SilentOnGoodFixture) {
+  const std::string rule = GetParam();
+  std::string name = rule;
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  const Fixture good = load_fixture(name + "_good.cpp");
+  const auto result = analyze_fixture(good);
+  EXPECT_TRUE(result.diags.empty())
+      << rule << " good fixture should be clean:\n" << dump(result.diags);
+}
+
+TEST_P(RuleCorpus, ReasonedSuppressionIsCleanAndNotStale) {
+  const std::string rule = GetParam();
+  std::string name = rule;
+  std::transform(name.begin(), name.end(), name.begin(), ::tolower);
+  const Fixture allow = load_fixture(name + "_allow.cpp");
+  const auto result = analyze_fixture(allow);
+  EXPECT_TRUE(result.diags.empty())
+      << rule << " allow fixture should be clean:\n" << dump(result.diags);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, RuleCorpus,
+                         ::testing::Values("A1", "A2", "A3", "A4"));
+
+TEST(AnalyzeRegistry, CoversAllFourRules) {
+  std::set<std::string> ids;
+  for (const auto& r : rule_registry()) ids.insert(r.id);
+  EXPECT_EQ(ids, (std::set<std::string>{"A1", "A2", "A3", "A4"}));
+}
+
+TEST(AnalyzeA1, DiagnosticCarriesTheCallChain) {
+  const Fixture bad = load_fixture("a1_bad.cpp");
+  const auto result = analyze_fixture(bad);
+  ASSERT_FALSE(result.diags.empty());
+  const std::string& msg = result.diags[0].message;
+  EXPECT_NE(msg.find("step"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("->"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("record"), std::string::npos) << msg;
+}
+
+TEST(AnalyzeA1, CountsRoots) {
+  const Fixture good = load_fixture("a1_good.cpp");
+  EXPECT_EQ(analyze_fixture(good).a1_roots, 1);
+  const Fixture a2 = load_fixture("a2_good.cpp");
+  EXPECT_EQ(analyze_fixture(a2).a1_roots, 0);
+}
+
+TEST(AnalyzeA1, CrossFileEdgesResolve) {
+  // The root lives in one file, the allocation two files away.
+  const std::vector<FileInput> files = {
+      {"src/sim/a.cpp",
+       "namespace rcommit::sim {\n"
+       "void helper();\n"
+       "// RCOMMIT_ANALYZE_ROOT(A1): fixture root\n"
+       "void run() { helper(); }\n"
+       "}\n"},
+      {"src/sim/b.cpp",
+       "#include <vector>\n"
+       "namespace rcommit::sim {\n"
+       "std::vector<int> v;\n"
+       "void helper() { v.push_back(1); }\n"
+       "}\n"},
+  };
+  const auto result = analyze_files(files);
+  ASSERT_EQ(result.diags.size(), 1u) << dump(result.diags);
+  EXPECT_EQ(result.diags[0].path, "src/sim/b.cpp");
+  EXPECT_EQ(result.diags[0].rule, "A1");
+}
+
+TEST(AnalyzeA1, LayeringKillsCrossDomainEdges) {
+  // A core root calling `reset()` must not resolve into a same-named
+  // function in the swarm layer; the call is simply unresolved (and not an
+  // allocation), so nothing fires.
+  const std::vector<FileInput> files = {
+      {"src/sim/a.cpp",
+       "namespace rcommit::sim {\n"
+       "// RCOMMIT_ANALYZE_ROOT(A1): fixture root\n"
+       "void run() { reset(); }\n"
+       "}\n"},
+      {"src/swarm/b.cpp",
+       "#include <vector>\n"
+       "namespace rcommit::swarm {\n"
+       "std::vector<int> v;\n"
+       "void reset() { v.push_back(1); }\n"
+       "}\n"},
+  };
+  const auto result = analyze_files(files);
+  EXPECT_TRUE(result.diags.empty()) << dump(result.diags);
+}
+
+TEST(AnalyzeA1, UnattachedRootIsADiagnostic) {
+  const auto result = analyze_files({FileInput{
+      "src/sim/a.cpp",
+      "// RCOMMIT_ANALYZE_ROOT(A1): nothing defined below\n"
+      "int x = 1;\n"}});
+  ASSERT_EQ(result.diags.size(), 1u) << dump(result.diags);
+  EXPECT_EQ(result.diags[0].rule, "allow");
+  EXPECT_NE(result.diags[0].message.find("attaches to no function"),
+            std::string::npos);
+}
+
+TEST(AnalyzeA1, RootAttachesAcrossATemplateHeader) {
+  const auto result = analyze_files({FileInput{
+      "src/sim/a.cpp",
+      "#include <vector>\n"
+      "namespace rcommit::sim {\n"
+      "// RCOMMIT_ANALYZE_ROOT(A1): template root\n"
+      "template <typename T>\n"
+      "void run(std::vector<T>& v) { v.push_back(T{}); }\n"
+      "}\n"}});
+  EXPECT_EQ(result.a1_roots, 1);
+  ASSERT_EQ(result.diags.size(), 1u) << dump(result.diags);
+  EXPECT_EQ(result.diags[0].rule, "A1");
+}
+
+TEST(AnalyzeAllow, SuppressionWithoutReasonIsItselfADiagnostic) {
+  const auto result = analyze_files({FileInput{
+      "src/db/a.cpp",
+      "namespace rcommit::db {\n"
+      "enum class K { kA, kB };\n"
+      "// RCOMMIT_ANALYZE_ALLOW(A4):\n"
+      "int f(K k) { switch (k) { case K::kA: return 1; default: return 0; } }\n"
+      "}\n"}});
+  const auto rules = rules_fired(result.diags);
+  EXPECT_TRUE(rules.count("allow")) << dump(result.diags);
+  // And the unreasoned annotation does not suppress the finding.
+  EXPECT_TRUE(rules.count("A4")) << dump(result.diags);
+}
+
+TEST(AnalyzeAllow, StaleSuppressionIsFlagged) {
+  const auto result = analyze_files({FileInput{
+      "src/db/a.cpp",
+      "// RCOMMIT_ANALYZE_ALLOW(A4): nothing on the next line actually fires\n"
+      "int x = 1;\n"}});
+  ASSERT_EQ(result.diags.size(), 1u) << dump(result.diags);
+  EXPECT_EQ(result.diags[0].rule, "allow");
+  EXPECT_NE(result.diags[0].message.find("stale"), std::string::npos);
+}
+
+TEST(AnalyzeAllow, UnknownRuleNameIsFlagged) {
+  const auto result = analyze_files({FileInput{
+      "src/db/a.cpp",
+      "// RCOMMIT_ANALYZE_ALLOW(A9): no such rule\n"
+      "int x = 1;\n"}});
+  ASSERT_EQ(result.diags.size(), 1u) << dump(result.diags);
+  EXPECT_EQ(result.diags[0].rule, "allow");
+  EXPECT_NE(result.diags[0].message.find("unknown rule"), std::string::npos);
+}
+
+TEST(AnalyzeOutput, IsDeterministic) {
+  const Fixture bad = load_fixture("a1_bad.cpp");
+  const auto a = analyze_fixture(bad);
+  const auto b = analyze_fixture(bad);
+  EXPECT_EQ(dump(a.diags), dump(b.diags));
+}
+
+TEST(AnalyzeDiagnostics, FormatIsFileLineRuleMessage) {
+  const Diagnostic d{"src/sim/x.cpp", 42, "A1", "boom"};
+  EXPECT_EQ(format(d), "src/sim/x.cpp:42: [A1] boom");
+}
+
+}  // namespace
+}  // namespace rcommit::analyze

@@ -118,6 +118,60 @@ TEST_F(FaultInjectFixture, TornCommitRecordLeavesTxnInDoubt) {
   EXPECT_EQ(recovered.in_doubt(), std::vector<db::TxnId>{1});
 }
 
+TEST_F(FaultInjectFixture, CrashedPrepareReleasesItsLocks) {
+  // Regression: a crash while appending the PREPARED record used to leave
+  // the transaction's key locks held, so a caller that survived the
+  // exception could never prepare those keys again. The PREPARED record was
+  // never durable, so the store must behave as if the prepare never started.
+  const fs::path wal = dir_ / "crashed-prepare.log";
+  FaultInjector injector(
+      FaultPlan::wal_fault_at(2, FaultKind::kCrashBefore, 0));
+  db::KvStore store(wal);
+  store.set_fault_hook(&injector);
+  EXPECT_THROW(store.prepare(1, {{"a", "A"}}), db::CrashInjected);
+
+  // Same key, new transaction: succeeds only if txn 1's locks were released.
+  EXPECT_TRUE(store.prepare(2, {{"a", "A2"}}));
+
+  // Recovery agrees: the half-appended txn 1 is an unprepared leftover and
+  // is dropped; only txn 2 is in doubt.
+  db::KvStore recovered(wal);
+  EXPECT_EQ(recovered.get("a"), std::nullopt);
+  EXPECT_EQ(recovered.in_doubt(), std::vector<db::TxnId>{2});
+}
+
+TEST_F(FaultInjectFixture, CrashedAbortCanBeRetried) {
+  // Regression: abort() used to erase the staged entry before appending the
+  // ABORT record, so a crash during the append made the retry a silent
+  // no-op — memory said "gone" while the log still said prepared, and the
+  // transaction came back in-doubt after recovery.
+  const fs::path wal = dir_ / "crashed-abort.log";
+  // Sites 0-2 are txn 1's BEGIN/WRITE/PREPARED; site 3 is the ABORT record.
+  FaultInjector injector(
+      FaultPlan::wal_fault_at(3, FaultKind::kCrashBefore, 0));
+  db::KvStore store(wal);
+  store.set_fault_hook(&injector);
+  ASSERT_TRUE(store.prepare(1, {{"a", "A"}}));
+  EXPECT_THROW(store.abort(1), db::CrashInjected);
+
+  // The staged entry survived, so the retry appends the ABORT record (site
+  // 4, clean) and the transaction resolves.
+  store.abort(1);
+  EXPECT_EQ(injector.sites_seen(), 5);
+
+  // A third abort is a no-op — the entry is gone now, and no duplicate
+  // ABORT record is appended.
+  store.abort(1);
+  EXPECT_EQ(injector.sites_seen(), 5);
+
+  // After the retried abort the key is free and recovery sees a resolved
+  // transaction, not an in-doubt one.
+  EXPECT_TRUE(store.prepare(2, {{"a", "A2"}}));
+  db::KvStore recovered(wal);
+  EXPECT_EQ(recovered.get("a"), std::nullopt);
+  EXPECT_EQ(recovered.in_doubt(), std::vector<db::TxnId>{2});
+}
+
 TEST_F(FaultInjectFixture, ZeroFaultPlanIsByteIdentical) {
   // Running under the empty plan must leave WALs byte-identical to an
   // uninstrumented run — instrumenting storage cannot perturb it.

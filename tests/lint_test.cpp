@@ -82,6 +82,23 @@ TEST(LintRegistry, CoversAllSixRules) {
   EXPECT_EQ(ids, (std::set<std::string>{"R1", "R2", "R3", "R4", "R5", "R6"}));
 }
 
+TEST(LintScoping, R1SkipsTheRealTimeLayers) {
+  const std::string code =
+      "#include <chrono>\n"
+      "auto f() { return std::chrono::steady_clock::now(); }\n";
+  // Determinism is the contract in the core and its building blocks.
+  EXPECT_FALSE(lint_content("src/protocol/x.cpp", code).empty());
+  EXPECT_FALSE(lint_content("src/common/x.cpp", code).empty());
+  EXPECT_FALSE(lint_content("tools/swarm_cli.cpp", code).empty());
+  // The real-time layers read clocks as part of their job; rcommit_analyze
+  // A2 tracks their taint into the core instead.
+  EXPECT_TRUE(lint_content("src/swarm/x.cpp", code).empty());
+  EXPECT_TRUE(lint_content("src/transport/x.cpp", code).empty());
+  EXPECT_TRUE(lint_content("src/db/x.cpp", code).empty());
+  EXPECT_TRUE(lint_content("bench/x.cpp", code).empty());
+  EXPECT_TRUE(lint_content("tests/x.cpp", code).empty());
+}
+
 TEST(LintScoping, R6AppliesOnlyToSimHotPathFiles) {
   const std::string code =
       "#include <unordered_map>\nstd::unordered_map<long, int> m;\n";

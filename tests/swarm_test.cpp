@@ -164,7 +164,7 @@ TEST(Pool, ExpiredDeadlineDropsAllJobs) {
   std::atomic<int> ran{0};
   const auto executed = pool.run(
       50, [&](int64_t) { ++ran; },
-      std::chrono::steady_clock::now() - std::chrono::seconds(1));  // RCOMMIT_LINT_ALLOW(R1): constructs an already-expired real deadline on purpose
+      std::chrono::steady_clock::now() - std::chrono::seconds(1));
   EXPECT_EQ(ran.load(), 0);
   EXPECT_TRUE(std::none_of(executed.begin(), executed.end(), [](char c) { return c; }));
 }
@@ -179,9 +179,9 @@ TEST(Pool, EightThreadsGiveAtLeastFourTimesThroughputOnBlockingJobs) {
   };
   const auto timed = [&](int threads) {
     WorkStealingPool pool(threads);
-    const auto start = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): measures pool throughput in real time
+    const auto start = std::chrono::steady_clock::now();
     (void)pool.run(16, job);
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)  // RCOMMIT_LINT_ALLOW(R1): measures pool throughput in real time
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
         .count();
   };
   const double serial = timed(1);

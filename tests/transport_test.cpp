@@ -135,9 +135,9 @@ TEST(Channel, CloseWakesWaiters) {
     std::this_thread::sleep_for(10ms);
     ch.close();
   });
-  const auto t0 = std::chrono::steady_clock::now();  // RCOMMIT_LINT_ALLOW(R1): bounds how long close() takes to wake a waiter, in real time
+  const auto t0 = std::chrono::steady_clock::now();
   EXPECT_EQ(ch.pop(5s), std::nullopt);
-  EXPECT_LT(std::chrono::steady_clock::now() - t0, 2s);  // RCOMMIT_LINT_ALLOW(R1): same real-time bound
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 2s);
   closer.join();
   EXPECT_FALSE(ch.push(1));
 }

@@ -1,0 +1,977 @@
+#include "tools/rcommit_analyze/analyze.h"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "tools/rcommit_analyze/frontend.h"
+
+namespace rcommit::analyze {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path scoping and layering (mirrors rcommit_lint and the R4 include rules).
+// ---------------------------------------------------------------------------
+
+struct PathInfo {
+  std::vector<std::string> comps;
+  std::string filename;
+
+  bool under(const std::string& a, const std::string& b) const {
+    for (size_t i = 0; i + 1 < comps.size(); ++i) {
+      if (comps[i] == a && comps[i + 1] == b) return true;
+    }
+    return false;
+  }
+};
+
+PathInfo classify(const std::string& path) {
+  PathInfo info;
+  std::string part;
+  for (const char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) info.comps.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  if (!part.empty()) info.comps.push_back(part);
+  if (!info.comps.empty()) info.filename = info.comps.back();
+  return info;
+}
+
+enum class Layer {
+  kCore,        // src/protocol, src/sim, src/adversary, src/baselines
+  kCommon,      // src/common
+  kDb,          // src/db
+  kFaultInject, // src/faultinject
+  kSwarm,       // src/swarm
+  kTransport,   // src/transport
+  kOther,       // tools, tests, bench, anything else
+};
+
+Layer layer_of(const PathInfo& p) {
+  if (p.under("src", "protocol") || p.under("src", "sim") ||
+      p.under("src", "adversary") || p.under("src", "baselines")) {
+    return Layer::kCore;
+  }
+  if (p.under("src", "common")) return Layer::kCommon;
+  if (p.under("src", "db")) return Layer::kDb;
+  if (p.under("src", "faultinject")) return Layer::kFaultInject;
+  if (p.under("src", "swarm")) return Layer::kSwarm;
+  if (p.under("src", "transport")) return Layer::kTransport;
+  return Layer::kOther;
+}
+
+// Call edges respect the include layering: a call from the deterministic core
+// can only land on core/common definitions, so a common *name* shared with an
+// upper layer (`run`, `insert`) cannot manufacture a phantom edge into the
+// swarm or transport. kOther (tools/tests/bench) sees everything.
+bool domain_allows(Layer from, Layer to) {
+  switch (from) {
+    case Layer::kCore:
+      return to == Layer::kCore || to == Layer::kCommon;
+    case Layer::kCommon:
+      return to == Layer::kCommon;
+    case Layer::kDb:
+      return to == Layer::kDb || to == Layer::kCore || to == Layer::kCommon ||
+             to == Layer::kFaultInject;
+    case Layer::kFaultInject:
+      return to == Layer::kFaultInject || to == Layer::kDb ||
+             to == Layer::kCore || to == Layer::kCommon;
+    case Layer::kSwarm:
+      return to != Layer::kTransport && to != Layer::kOther;
+    case Layer::kTransport:
+      return to == Layer::kTransport || to == Layer::kCommon ||
+             to == Layer::kCore;
+    case Layer::kOther:
+      return true;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Program model: every TU parsed, every function and enum indexed.
+// ---------------------------------------------------------------------------
+
+struct Model {
+  std::vector<TranslationUnit> tus;
+  // Parallel arrays over a global function id.
+  std::vector<Function*> fns;
+  std::vector<int> fn_tu;
+  std::vector<Layer> fn_layer;
+  std::map<std::string, std::vector<int>> by_name;
+
+  std::vector<const EnumDef*> enums;
+  std::map<std::string, int> enum_by_name;
+  std::map<std::string, int> enum_by_enumerator;  // first definition wins
+
+  // Names declared with an unordered container type, per TU (R3-style).
+  std::vector<std::set<std::string>> tu_unordered_names;
+};
+
+bool matches_qualifier(const Function& fn, const std::string& q) {
+  if (fn.class_name == q) return true;
+  // Match q as any :: component of the display name.
+  size_t pos = 0;
+  const std::string& s = fn.qual_name;
+  while (pos <= s.size()) {
+    const size_t next = s.find("::", pos);
+    const std::string comp =
+        s.substr(pos, next == std::string::npos ? next : next - pos);
+    if (comp == q) return true;
+    if (next == std::string::npos) break;
+    pos = next + 2;
+  }
+  return false;
+}
+
+std::vector<int> resolve(const Model& m, int caller, const CallSite& c) {
+  const auto it = m.by_name.find(c.name);
+  if (it == m.by_name.end()) return {};
+  std::vector<int> out;
+  for (const int id : it->second) {
+    if (!c.qualifier.empty() && !matches_qualifier(*m.fns[id], c.qualifier)) {
+      continue;
+    }
+    if (!domain_allows(m.fn_layer[caller], m.fn_layer[id])) continue;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::set<std::string> collect_unordered_names(const TranslationUnit& tu) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  const auto& t = tu.toks;
+  auto text = [&](size_t i) -> const std::string& {
+    static const std::string kEmpty;
+    return i < t.size() ? t[i].text : kEmpty;
+  };
+  std::set<std::string> names;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || kUnordered.count(t[i].text) == 0) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (text(j) == "<") {
+      int depth = 1;
+      ++j;
+      while (j < t.size() && depth > 0) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+        ++j;
+      }
+    }
+    while (j < t.size() &&
+           (t[j].text == "&" || t[j].text == "*" || t[j].text == "const")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent) names.insert(t[j].text);
+  }
+  return names;
+}
+
+Model build_model(const std::vector<FileInput>& files) {
+  Model m;
+  m.tus.reserve(files.size());
+  for (const FileInput& f : files) m.tus.push_back(parse_tu(f.path, f.content));
+  std::sort(m.tus.begin(), m.tus.end(),
+            [](const TranslationUnit& a, const TranslationUnit& b) {
+              return a.path < b.path;
+            });
+  for (size_t t = 0; t < m.tus.size(); ++t) {
+    const Layer layer = layer_of(classify(m.tus[t].path));
+    for (Function& fn : m.tus[t].functions) {
+      const int id = static_cast<int>(m.fns.size());
+      m.fns.push_back(&fn);
+      m.fn_tu.push_back(static_cast<int>(t));
+      m.fn_layer.push_back(layer);
+      m.by_name[fn.name].push_back(id);
+    }
+    for (const EnumDef& e : m.tus[t].enums) {
+      const int id = static_cast<int>(m.enums.size());
+      m.enums.push_back(&e);
+      m.enum_by_name.emplace(e.name, id);
+      for (const std::string& en : e.enumerators) {
+        m.enum_by_enumerator.emplace(en, id);
+      }
+    }
+    m.tu_unordered_names.push_back(collect_unordered_names(m.tus[t]));
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression bookkeeping.
+// ---------------------------------------------------------------------------
+
+class Allows {
+ public:
+  Allows(const Model& m, const std::set<std::string>& known_rules,
+         std::vector<Diagnostic>& hygiene) {
+    for (const TranslationUnit& tu : m.tus) {
+      for (const Note& note : tu.notes) {
+        if (note.kind == Note::Kind::kRoot) {
+          if (note.rule != "A1") {
+            hygiene.push_back({tu.path, note.line, "allow",
+                               "RCOMMIT_ANALYZE_ROOT names unsupported rule '" +
+                                   note.rule + "' — only A1 takes roots"});
+          }
+          continue;
+        }
+        if (known_rules.count(note.rule) == 0) {
+          hygiene.push_back({tu.path, note.line, "allow",
+                             "suppression names unknown rule '" + note.rule +
+                                 "'"});
+          continue;
+        }
+        if (!note.has_reason) {
+          hygiene.push_back(
+              {tu.path, note.line, "allow",
+               "suppression of " + note.rule +
+                   " has no reason — write RCOMMIT_ANALYZE_ALLOW" +
+                   std::string(note.kind == Note::Kind::kAllowFile ? "_FILE"
+                                                                   : "") +
+                   "(" + note.rule + "): <why this is legitimate>"});
+          continue;
+        }
+        if (note.kind == Note::Kind::kAllowFile) {
+          file_.emplace(std::make_pair(tu.path, note.rule), false);
+        } else {
+          const int target = note.code_before ? note.line : note.line + 1;
+          line_.emplace(std::make_tuple(tu.path, target, note.rule), false);
+        }
+      }
+    }
+  }
+
+  /// Line-then-file suppression for an emitted diagnostic; marks used.
+  bool suppress(const Diagnostic& d) {
+    if (consume_line(d.path, d.line, d.rule)) return true;
+    return consume_file(d.path, d.rule);
+  }
+
+  /// Consumes a line-level allow at an exact target line (for A1 frontiers
+  /// and A2 source neutralization, which act before diagnostics exist).
+  bool consume_line(const std::string& path, int line,
+                    const std::string& rule) {
+    const auto it = line_.find(std::make_tuple(path, line, rule));
+    if (it == line_.end()) return false;
+    it->second = true;
+    return true;
+  }
+
+  bool consume_file(const std::string& path, const std::string& rule) {
+    const auto it = file_.find(std::make_pair(path, rule));
+    if (it == file_.end()) return false;
+    it->second = true;
+    return true;
+  }
+
+  bool has_file(const std::string& path, const std::string& rule) const {
+    return file_.count(std::make_pair(path, rule)) > 0;
+  }
+
+  void report_stale(std::vector<Diagnostic>& out) const {
+    for (const auto& [key, used] : line_) {
+      if (used) continue;
+      out.push_back({std::get<0>(key), std::get<1>(key), "allow",
+                     "stale suppression: no " + std::get<2>(key) +
+                         " finding on this line — delete the annotation"});
+    }
+    for (const auto& [key, used] : file_) {
+      if (used) continue;
+      out.push_back({key.first, 1, "allow",
+                     "stale file-level suppression: no " + key.second +
+                         " finding anywhere in this file"});
+    }
+  }
+
+ private:
+  std::map<std::tuple<std::string, int, std::string>, bool> line_;
+  std::map<std::pair<std::string, std::string>, bool> file_;
+};
+
+void diag(std::vector<Diagnostic>& out, const std::string& path, int line,
+          const char* rule, std::string message) {
+  out.push_back(Diagnostic{path, line, rule, std::move(message)});
+}
+
+const std::string& text_at(const std::vector<Tok>& t, size_t i) {
+  static const std::string kEmpty;
+  return i < t.size() ? t[i].text : kEmpty;
+}
+
+/// "a -> b -> c" over qual_names following `parent` links from `fn` back to
+/// its root/source, then reversed. Capped to keep messages readable.
+std::string chain_string(const Model& m, const std::map<int, int>& parent,
+                         int fn) {
+  std::vector<int> chain;
+  for (int cur = fn; cur >= 0;) {
+    chain.push_back(cur);
+    const auto it = parent.find(cur);
+    if (it == parent.end() || it->second == cur) break;
+    cur = it->second;
+  }
+  std::reverse(chain.begin(), chain.end());
+  std::string out;
+  const size_t cap = 8;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (!out.empty()) out += " -> ";
+    if (chain.size() > cap && i == 3) {
+      out += "...";
+      i = chain.size() - 4;
+      continue;
+    }
+    out += m.fns[static_cast<size_t>(chain[i])]->qual_name;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// A1 — static allocation-freedom of the marked hot-path roots.
+// ---------------------------------------------------------------------------
+
+int rule_a1(Model& m, Allows& allows, std::vector<Diagnostic>& raw) {
+  // Attach ROOT(A1) notes to the functions whose signature range they hit.
+  int roots_found = 0;
+  for (TranslationUnit& tu : m.tus) {
+    for (const Note& note : tu.notes) {
+      if (note.kind != Note::Kind::kRoot || note.rule != "A1") continue;
+      const int target = note.code_before ? note.line : note.line + 1;
+      bool attached = false;
+      for (Function& fn : tu.functions) {
+        if (target >= fn.decl_line && target <= fn.open_line) {
+          fn.is_root_a1 = true;
+          attached = true;
+        }
+      }
+      if (!attached) {
+        diag(raw, tu.path, note.line, "allow",
+             "RCOMMIT_ANALYZE_ROOT(A1) attaches to no function definition on "
+             "the next line");
+      }
+    }
+  }
+
+  std::vector<int> roots;
+  std::set<int> frontier;
+  for (size_t id = 0; id < m.fns.size(); ++id) {
+    const Function& fn = *m.fns[id];
+    if (fn.is_root_a1) {
+      roots.push_back(static_cast<int>(id));
+      ++roots_found;
+    }
+    // A signature-level ALLOW(A1) makes the function a traversal frontier:
+    // the proof treats it as opaque (growth/fallback paths, legacy code).
+    for (int t = fn.decl_line; t <= fn.open_line; ++t) {
+      if (allows.consume_line(fn.path, t, "A1")) {
+        frontier.insert(static_cast<int>(id));
+        break;
+      }
+    }
+  }
+
+  static const std::set<std::string> kAllocFns = {
+      "malloc",      "calloc",          "realloc",   "strdup",
+      "aligned_alloc", "make_unique",   "make_shared", "allocate_shared",
+      "to_string"};
+  static const std::set<std::string> kAllocMembers = {
+      "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+      "insert",    "resize",       "reserve", "assign",        "append",
+      "push",      "substr",       "str"};
+
+  // BFS over resolved call edges; parent links reconstruct the chain.
+  std::map<int, int> parent;
+  std::deque<int> queue;
+  std::set<int> visited;
+  for (const int r : roots) {
+    if (visited.insert(r).second) {
+      parent[r] = r;
+      queue.push_back(r);
+    }
+  }
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    const Function& fn = *m.fns[id];
+    const TranslationUnit& tu = m.tus[static_cast<size_t>(m.fn_tu[id])];
+    const std::string chain = chain_string(m, parent, id);
+
+    // Allocation sites: call-shaped ones via the extracted call list...
+    for (const CallSite& c : fn.calls) {
+      const std::vector<int> callees = resolve(m, id, c);
+      if (!callees.empty()) {
+        for (const int callee : callees) {
+          if (frontier.count(callee) > 0) continue;
+          if (visited.insert(callee).second) {
+            parent[callee] = id;
+            queue.push_back(callee);
+          }
+        }
+        continue;  // a repo call edge, not a std allocation
+      }
+      const bool alloc =
+          (c.member && kAllocMembers.count(c.name) > 0) ||
+          (!c.member && kAllocFns.count(c.name) > 0);
+      if (alloc) {
+        diag(raw, fn.path, c.line, "A1",
+             "heap allocation on the hot path: '" + c.name +
+                 "' — reachable via " + chain);
+      }
+    }
+    // ...plus `new` expressions, which the call extractor skips as keywords.
+    for (size_t j = fn.body_begin; j < fn.body_end && j < tu.toks.size(); ++j) {
+      if (tu.toks[j].kind != TokKind::kIdent || tu.toks[j].text != "new") {
+        continue;
+      }
+      const std::string& prev = j > 0 ? tu.toks[j - 1].text : text_at(tu.toks, tu.toks.size());
+      const char* what =
+          prev == "operator" ? "'::operator new' call" : "'new' expression";
+      diag(raw, fn.path, tu.toks[j].line, "A1",
+           std::string("heap allocation on the hot path: ") + what +
+               " — reachable via " + chain);
+    }
+  }
+  return roots_found;
+}
+
+// ---------------------------------------------------------------------------
+// A2 — determinism taint into the deterministic core.
+// ---------------------------------------------------------------------------
+
+struct TaintSource {
+  std::string kind;  // human-readable source description
+  int line = 0;
+};
+
+std::vector<TaintSource> scan_sources(const Model& m, int id) {
+  const Function& fn = *m.fns[static_cast<size_t>(id)];
+  const TranslationUnit& tu = m.tus[static_cast<size_t>(m.fn_tu[id])];
+  const auto& t = tu.toks;
+  const std::set<std::string>& unordered_names =
+      m.tu_unordered_names[static_cast<size_t>(m.fn_tu[id])];
+
+  static const std::set<std::string> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock", "utc_clock",
+      "file_clock"};
+  static const std::set<std::string> kCallPositions = {
+      ";", "{", "}", "(", ",", "=", "return", "+", "-", "*", "/",
+      "%", "<", ">", "!", "&", "|", "?", ":", "case"};
+  static const std::set<std::string> kIterStarts = {"begin", "cbegin",
+                                                    "rbegin", "crbegin"};
+
+  std::vector<TaintSource> out;
+  for (size_t i = fn.body_begin; i < fn.body_end && i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    const std::string& prev = i > 0 ? t[i - 1].text : text_at(t, t.size());
+    const bool member = prev == "." || prev == "->";
+    const bool calls = text_at(t, i + 1) == "(";
+    if (kClocks.count(s) > 0 && text_at(t, i + 1) == "::" &&
+        text_at(t, i + 2) == "now") {
+      out.push_back({"wall-clock read (std::chrono::" + s + "::now)",
+                     t[i].line});
+    } else if (s == "random_device" && !member) {
+      out.push_back({"OS entropy (std::random_device)", t[i].line});
+    } else if ((s == "rand" || s == "srand") && calls && !member) {
+      out.push_back({"OS-seeded entropy (" + s + "())", t[i].line});
+    } else if ((s == "getenv" || s == "setenv" || s == "putenv") && calls &&
+               !member) {
+      out.push_back({"ambient environment (" + s + "())", t[i].line});
+    } else if ((s == "time" || s == "clock") && calls && !member) {
+      const bool std_qualified =
+          prev == "::" && i >= 2 && text_at(t, i - 2) == "std";
+      if (std_qualified || kCallPositions.count(prev) > 0) {
+        out.push_back({"wall-clock read (" + s + "())", t[i].line});
+      }
+    } else if (s == "this_thread" && text_at(t, i + 1) == "::") {
+      out.push_back({"thread identity/timing (std::this_thread)", t[i].line});
+    } else if (s == "reinterpret_cast" && text_at(t, i + 1) == "<") {
+      size_t j = i + 2;
+      if (text_at(t, j) == "std" && text_at(t, j + 1) == "::") j += 2;
+      if (text_at(t, j) == "uintptr_t" || text_at(t, j) == "intptr_t") {
+        out.push_back(
+            {"pointer-identity value (reinterpret_cast<" + text_at(t, j) +
+                 ">) — allocation addresses vary run to run",
+             t[i].line});
+      }
+    } else if (s == "for" && text_at(t, i + 1) == "(" &&
+               !unordered_names.empty()) {
+      int depth = 0;
+      bool seen_colon = false;
+      for (size_t j = i + 1; j < t.size() && j < fn.body_end; ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")" && --depth == 0) break;
+        if (depth == 1 && t[j].text == ";") break;
+        if (depth == 1 && t[j].text == ":") seen_colon = true;
+        if (seen_colon && t[j].kind == TokKind::kIdent &&
+            unordered_names.count(t[j].text) > 0) {
+          out.push_back({"unordered-container iteration order ('" + t[j].text +
+                             "')",
+                         t[j].line});
+          break;
+        }
+      }
+    } else if (unordered_names.count(s) > 0 &&
+               (text_at(t, i + 1) == "." || text_at(t, i + 1) == "->") &&
+               kIterStarts.count(text_at(t, i + 2)) > 0 &&
+               text_at(t, i + 3) == "(") {
+      out.push_back(
+          {"unordered-container iteration order ('" + s + "')", t[i].line});
+    }
+  }
+  return out;
+}
+
+void rule_a2(const Model& m, Allows& allows, std::vector<Diagnostic>& raw) {
+  const int n = static_cast<int>(m.fns.size());
+  // Live (un-neutralized) sources per function.
+  std::vector<std::vector<TaintSource>> sources(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    const Function& fn = *m.fns[static_cast<size_t>(id)];
+    for (TaintSource& src : scan_sources(m, id)) {
+      if (allows.consume_line(fn.path, src.line, "A2")) continue;
+      if (allows.has_file(fn.path, "A2")) {
+        allows.consume_file(fn.path, "A2");
+        continue;
+      }
+      sources[static_cast<size_t>(id)].push_back(std::move(src));
+    }
+  }
+
+  // Fixed-point taint propagation callee -> caller. `via[f]` records the
+  // first callee that tainted f (or -1 when f holds a source itself).
+  std::vector<int> via(static_cast<size_t>(n), -2);  // -2 = untainted
+  for (int id = 0; id < n; ++id) {
+    if (!sources[static_cast<size_t>(id)].empty()) {
+      via[static_cast<size_t>(id)] = -1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int id = 0; id < n; ++id) {
+      if (via[static_cast<size_t>(id)] != -2) continue;
+      for (const CallSite& c : m.fns[static_cast<size_t>(id)]->calls) {
+        bool tainted = false;
+        for (const int callee : resolve(m, id, c)) {
+          if (callee != id && via[static_cast<size_t>(callee)] != -2) {
+            via[static_cast<size_t>(id)] = callee;
+            tainted = true;
+            break;
+          }
+        }
+        if (tainted) {
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  auto root_source = [&](int id) {
+    // Follow via links to the function that holds the source.
+    std::string chain = m.fns[static_cast<size_t>(id)]->qual_name;
+    int cur = id;
+    int hops = 0;
+    while (via[static_cast<size_t>(cur)] >= 0 && hops++ < 16) {
+      cur = via[static_cast<size_t>(cur)];
+      chain += " -> " + m.fns[static_cast<size_t>(cur)]->qual_name;
+    }
+    const TaintSource& src = sources[static_cast<size_t>(cur)].front();
+    return std::make_pair(src.kind + " at " +
+                              m.fns[static_cast<size_t>(cur)]->path + ":" +
+                              std::to_string(src.line),
+                          chain);
+  };
+
+  std::set<std::tuple<std::string, int, std::string>> seen;
+  for (int id = 0; id < n; ++id) {
+    if (m.fn_layer[static_cast<size_t>(id)] != Layer::kCore) continue;
+    const Function& fn = *m.fns[static_cast<size_t>(id)];
+    for (const TaintSource& src : sources[static_cast<size_t>(id)]) {
+      diag(raw, fn.path, src.line, "A2",
+           src.kind + " in the deterministic core — runs must be pure "
+                      "functions of (protocol, adversary, n, seed)");
+    }
+    for (const CallSite& c : fn.calls) {
+      for (const int callee : resolve(m, id, c)) {
+        if (callee == id || via[static_cast<size_t>(callee)] == -2) continue;
+        const auto [src_desc, chain] = root_source(callee);
+        if (!seen.insert({fn.path, c.line, src_desc}).second) continue;
+        diag(raw, fn.path, c.line, "A2",
+             "call from the deterministic core reaches " + src_desc +
+                 " via " + chain);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A3 — crash-safety ordering around WriteAheadLog::append.
+// ---------------------------------------------------------------------------
+
+void rule_a3(const Model& m, std::vector<Diagnostic>& raw) {
+  // Reverse reachability: every function whose call chain can reach
+  // WriteAheadLog::append.
+  std::set<int> reach;
+  for (size_t id = 0; id < m.fns.size(); ++id) {
+    const Function& fn = *m.fns[id];
+    if (fn.name == "append" && fn.class_name == "WriteAheadLog") {
+      reach.insert(static_cast<int>(id));
+    }
+  }
+  if (reach.empty()) return;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t id = 0; id < m.fns.size(); ++id) {
+      if (reach.count(static_cast<int>(id)) > 0) continue;
+      for (const CallSite& c : m.fns[id]->calls) {
+        bool hits = false;
+        for (const int callee : resolve(m, static_cast<int>(id), c)) {
+          if (reach.count(callee) > 0) {
+            hits = true;
+            break;
+          }
+        }
+        if (hits) {
+          reach.insert(static_cast<int>(id));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  static const std::set<std::string> kMutMembers = {
+      "push_back", "emplace_back", "emplace",   "push_front", "emplace_front",
+      "insert",    "erase",        "clear",     "assign",     "resize",
+      "reset",     "push",         "pop",       "pop_back",   "pop_front",
+      "store",     "lock",         "try_lock",  "unlock",     "unlock_all",
+      "swap",      "write",        "truncate"};
+
+  for (size_t id = 0; id < m.fns.size(); ++id) {
+    const Function& fn = *m.fns[id];
+    const PathInfo p = classify(fn.path);
+    if (!p.under("src", "db") && !p.under("src", "faultinject")) continue;
+    const TranslationUnit& tu = m.tus[static_cast<size_t>(m.fn_tu[id])];
+    const auto& t = tu.toks;
+
+    // A function that handles unwinding at all is assumed to roll back; the
+    // fixture corpus pins this as a deliberate (documented) approximation.
+    bool has_catch = false;
+    for (size_t j = fn.body_begin; j < fn.body_end && j < t.size(); ++j) {
+      if (t[j].kind == TokKind::kIdent && t[j].text == "catch") {
+        has_catch = true;
+        break;
+      }
+    }
+    if (has_catch) continue;
+
+    // First call that can reach an append.
+    const CallSite* first = nullptr;
+    std::string callee_name;
+    for (const CallSite& c : fn.calls) {
+      bool hits = false;
+      for (const int callee : resolve(m, static_cast<int>(id), c)) {
+        if (callee != static_cast<int>(id) && reach.count(callee) > 0) {
+          hits = true;
+          callee_name = m.fns[static_cast<size_t>(callee)]->qual_name;
+          break;
+        }
+      }
+      if (hits) {
+        first = &c;
+        break;
+      }
+    }
+    if (first == nullptr) continue;
+
+    // Member-state mutations (repo convention: trailing-underscore names)
+    // sequenced before that call.
+    std::set<int> flagged_lines;
+    for (size_t j = fn.body_begin; j < first->tok_index && j < t.size(); ++j) {
+      if (t[j].kind != TokKind::kIdent) continue;
+      const std::string& s = t[j].text;
+      if (s.size() < 2 || s.back() != '_') continue;
+      const std::string& prev = j > 0 ? t[j - 1].text : text_at(t, t.size());
+      if ((prev == "." || prev == "->") &&
+          !(j >= 2 && t[j - 2].text == "this")) {
+        continue;  // member of some other object
+      }
+      const std::string& n1 = text_at(t, j + 1);
+      const std::string& n2 = text_at(t, j + 2);
+      std::string what;
+      if (n1 == "=" && n2 != "=") {
+        what = "assignment to '" + s + "'";
+      } else if ((n1 == "+" || n1 == "-" || n1 == "*" || n1 == "/" ||
+                  n1 == "%" || n1 == "&" || n1 == "|" || n1 == "^") &&
+                 n2 == "=") {
+        what = "compound assignment to '" + s + "'";
+      } else if ((n1 == "+" && n2 == "+") || (n1 == "-" && n2 == "-")) {
+        what = "increment of '" + s + "'";
+      } else if ((n1 == "." || n1 == "->") && kMutMembers.count(n2) > 0 &&
+                 text_at(t, j + 3) == "(") {
+        what = "'" + s + "." + n2 + "(...)'";
+      } else if (n1 == "[") {
+        int depth = 0;
+        size_t k = j + 1;
+        while (k < t.size()) {
+          if (t[k].text == "[") ++depth;
+          if (t[k].text == "]" && --depth == 0) break;
+          ++k;
+        }
+        if (text_at(t, k + 1) == "=" && text_at(t, k + 2) != "=") {
+          what = "element assignment through '" + s + "[...]'";
+        }
+      }
+      if (what.empty()) continue;
+      if (!flagged_lines.insert(t[j].line).second) continue;
+      diag(raw, fn.path, t[j].line, "A3",
+           "state mutation (" + what + ") before the WAL append reached via "
+           "'" + callee_name + "' (line " + std::to_string(first->line) +
+               ") is not rolled back if the append throws CrashInjected — "
+               "append first, or unwind the mutation on failure");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// A4 — exhaustive switches over project enums.
+// ---------------------------------------------------------------------------
+
+// Scans one switch statement's brace region; returns the index just past its
+// closing '}'. Nested switches recurse and report independently.
+size_t scan_switch(const Model& m, const TranslationUnit& tu, size_t sw,
+                   std::vector<Diagnostic>& raw) {
+  const auto& t = tu.toks;
+  size_t j = sw + 1;
+  if (text_at(t, j) != "(") return sw + 1;
+  int depth = 0;
+  while (j < t.size()) {  // skip the condition
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) break;
+    ++j;
+  }
+  ++j;
+  if (text_at(t, j) != "{") return j;
+  const size_t open = j;
+  int brace = 0;
+  int default_line = 0;
+  int enum_id = -1;
+  j = open;
+  while (j < t.size()) {
+    const std::string& s = t[j].text;
+    if (s == "{") ++brace;
+    if (s == "}" && --brace == 0) {
+      ++j;
+      break;
+    }
+    if (t[j].kind == TokKind::kIdent && s == "switch" && j != sw) {
+      j = scan_switch(m, tu, j, raw);
+      continue;
+    }
+    if (t[j].kind == TokKind::kIdent && s == "default" &&
+        text_at(t, j + 1) == ":") {
+      default_line = t[j].line;
+    }
+    if (t[j].kind == TokKind::kIdent && s == "case") {
+      // Collect the label's identifier chain up to ':'.
+      std::vector<std::string> idents;
+      size_t k = j + 1;
+      while (k < t.size() && t[k].text != ":" && t[k].text != ";") {
+        if (t[k].kind == TokKind::kIdent) idents.push_back(t[k].text);
+        ++k;
+      }
+      if (!idents.empty() && enum_id < 0) {
+        // Prefer resolution through the enumerator itself; fall back to a
+        // qualifier that names the enum.
+        const auto by_en = m.enum_by_enumerator.find(idents.back());
+        if (by_en != m.enum_by_enumerator.end()) {
+          enum_id = by_en->second;
+        } else {
+          for (const std::string& q : idents) {
+            const auto by_name = m.enum_by_name.find(q);
+            if (by_name != m.enum_by_name.end()) {
+              enum_id = by_name->second;
+              break;
+            }
+          }
+        }
+      }
+      j = k;
+      continue;
+    }
+    ++j;
+  }
+  if (default_line > 0 && enum_id >= 0) {
+    diag(raw, tu.path, default_line, "A4",
+         "'default:' arm in a switch over enum '" +
+             m.enums[static_cast<size_t>(enum_id)]->name +
+             "' — an enumerator added by a future protocol would be silently "
+             "swallowed; enumerate every case and let -Wswitch catch "
+             "additions");
+  }
+  return j;
+}
+
+void rule_a4(const Model& m, std::vector<Diagnostic>& raw) {
+  for (size_t t = 0; t < m.tus.size(); ++t) {
+    const TranslationUnit& tu = m.tus[t];
+    const PathInfo p = classify(tu.path);
+    if (!p.under("src", "protocol") && !p.under("src", "sim") &&
+        !p.under("src", "adversary") && !p.under("src", "baselines") &&
+        !p.under("src", "db") && !p.under("src", "faultinject") &&
+        !p.under("src", "common") && !p.under("src", "swarm") &&
+        !p.under("src", "transport")) {
+      continue;
+    }
+    for (const Function& fn : tu.functions) {
+      for (size_t j = fn.body_begin; j < fn.body_end && j < tu.toks.size();) {
+        if (tu.toks[j].kind == TokKind::kIdent && tu.toks[j].text == "switch") {
+          j = scan_switch(m, tu, j, raw);
+          continue;
+        }
+        ++j;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_registry() {
+  static const std::vector<RuleInfo> kRules = {
+      {"A1",
+       "static allocation-freedom: no call chain from a hot-path root to the "
+       "heap",
+       "functions marked RCOMMIT_ANALYZE_ROOT(A1) and everything they reach; "
+       "signature-level allows are traversal frontiers"},
+      {"A2",
+       "determinism taint: nondeterminism sources cannot reach core decision "
+       "paths through any call chain",
+       "sources anywhere; findings in src/protocol, src/sim, src/adversary, "
+       "src/baselines"},
+      {"A3",
+       "crash-safety ordering: no un-unwound state mutation before a "
+       "WriteAheadLog::append-reaching call",
+       "src/db, src/faultinject (functions without unwind handling)"},
+      {"A4",
+       "exhaustive switch coverage: no 'default:' arms over project enums",
+       "all src/ layers"},
+  };
+  return kRules;
+}
+
+AnalysisResult analyze_files(const std::vector<FileInput>& files) {
+  AnalysisResult result;
+  Model m = build_model(files);
+
+  std::set<std::string> known_rules;
+  for (const RuleInfo& r : rule_registry()) known_rules.insert(r.id);
+
+  std::vector<Diagnostic> out;
+  Allows allows(m, known_rules, out);
+
+  std::vector<Diagnostic> raw;
+  result.a1_roots = rule_a1(m, allows, raw);
+  rule_a2(m, allows, raw);
+  rule_a3(m, raw);
+  rule_a4(m, raw);
+
+  for (Diagnostic& d : raw) {
+    if (d.rule != "allow" && allows.suppress(d)) continue;
+    out.push_back(std::move(d));
+  }
+  allows.report_stale(out);
+
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Diagnostic& a, const Diagnostic& b) {
+                          return std::tie(a.path, a.line, a.rule, a.message) ==
+                                 std::tie(b.path, b.line, b.rule, b.message);
+                        }),
+            out.end());
+  result.diags = std::move(out);
+  return result;
+}
+
+AnalysisResult analyze_paths(const std::vector<std::filesystem::path>& files) {
+  std::vector<FileInput> inputs;
+  std::vector<Diagnostic> io_errors;
+  for (const auto& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      io_errors.push_back({f.generic_string(), 0, "io", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    inputs.push_back({f.generic_string(), buf.str()});
+  }
+  AnalysisResult result = analyze_files(inputs);
+  result.diags.insert(result.diags.begin(), io_errors.begin(),
+                      io_errors.end());
+  return result;
+}
+
+std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& roots) {
+  static const std::set<std::string> kExts = {".h",  ".hh",  ".hpp",
+                                              ".cc", ".cpp", ".cxx"};
+  auto skip_dir = [](const std::string& name) {
+    return name == "testdata" || name == "fixtures" ||
+           name.rfind("build", 0) == 0 || (!name.empty() && name[0] == '.');
+  };
+  std::set<std::filesystem::path> found;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(root, ec)) {
+      if (kExts.count(root.extension().string()) > 0) found.insert(root);
+      continue;
+    }
+    std::filesystem::recursive_directory_iterator it(root, ec), end;
+    if (ec) continue;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      const auto& entry = *it;
+      if (entry.is_directory(ec)) {
+        if (skip_dir(entry.path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (entry.is_regular_file(ec) &&
+          kExts.count(entry.path().extension().string()) > 0) {
+        found.insert(entry.path());
+      }
+    }
+  }
+  return {found.begin(), found.end()};
+}
+
+std::string format(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.path << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+}  // namespace rcommit::analyze

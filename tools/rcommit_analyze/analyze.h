@@ -1,0 +1,83 @@
+// rcommit-analyze: call-graph semantic analysis for the repo's core
+// guarantees — the transitive complement to rcommit_lint's token rules.
+//
+// Where the linter pattern-matches single sites, this pass builds a
+// project-wide symbol index and a heuristic call graph (frontend.h) and
+// checks properties of *call chains*:
+//
+//   A1  static allocation-freedom: no path from an RCOMMIT_ANALYZE_ROOT(A1)
+//       hot-path function to `new` / malloc / allocating std calls. The
+//       static complement to bench_simperf's runtime zero-alloc gate.
+//   A2  determinism taint: wall-clock, OS entropy, pointer-identity, and
+//       unordered-iteration sources anywhere in the project, propagated
+//       through the call graph into the deterministic core's decision paths.
+//   A3  crash-safety ordering: member-state mutations sequenced before a
+//       WriteAheadLog::append-reaching call with no unwind handling — if
+//       the append throws CrashInjected (or fails), the mutation survives
+//       un-rolled-back in a store a caller may keep using.
+//   A4  exhaustive switch coverage: `default:` arms over project enums
+//       silently swallow enumerators added by future protocols; enumerate
+//       the cases and let -Wswitch catch additions at compile time.
+//
+// Suppression mirrors the linter, with its own marker so the two vocabularies
+// cannot collide:
+//     RCOMMIT_ANALYZE_ALLOW(<rule>): <reason>       one line (trailing, or
+//                                                   alone on the line above)
+//     RCOMMIT_ANALYZE_ALLOW_FILE(<rule>): <reason>  whole file
+// An ALLOW of A1 whose target line lands on a function *signature* is a
+// traversal frontier: the proof stops there instead of descending (used for
+// growth/fallback paths that are allocating by design). Reasons are
+// mandatory; stale or unknown-rule annotations are themselves diagnostics.
+// (Angle brackets above are placeholders, not live annotations.)
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace rcommit::analyze {
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;  // "A1".."A4", or "allow" for annotation problems
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string title;
+  std::string scope;
+};
+
+/// The rule registry, in report order.
+const std::vector<RuleInfo>& rule_registry();
+
+struct FileInput {
+  std::string path;  // repo-relative or absolute; rules scope on components
+  std::string content;
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diags;  // sorted by (path, line, rule, message)
+  int a1_roots = 0;               // RCOMMIT_ANALYZE_ROOT(A1) functions seen
+};
+
+/// Analyzes the whole file set as one program: cross-file call edges resolve
+/// against every function defined anywhere in `files`.
+AnalysisResult analyze_files(const std::vector<FileInput>& files);
+
+/// Reads `files` from disk and analyzes them together. Unreadable files
+/// produce an "io" diagnostic.
+AnalysisResult analyze_paths(const std::vector<std::filesystem::path>& files);
+
+/// Recursively collects analyzable sources (.h .hh .hpp .cc .cpp .cxx) under
+/// `roots`, skipping build*/, testdata/, fixtures/ (intentionally dirty),
+/// and dot-directories. Sorted and deduplicated.
+std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& roots);
+
+/// "path:line: [rule] message" — GCC-style, same shape as rcommit_lint.
+std::string format(const Diagnostic& d);
+
+}  // namespace rcommit::analyze

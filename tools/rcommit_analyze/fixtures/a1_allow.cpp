@@ -1,0 +1,25 @@
+// ANALYZE_PATH: src/sim/hot.cpp
+// A1 suppression forms: a reasoned per-site allow on a capacity-reuse
+// push_back, and a reasoned signature-level allow that turns grow() into a
+// traversal frontier the proof does not descend into.
+#include <vector>
+
+namespace rcommit::sim {
+
+class HotLoop {
+ public:
+  // RCOMMIT_ANALYZE_ROOT(A1): fixture hot path
+  void step() {
+    if (samples_.size() == samples_.capacity()) grow();
+    // RCOMMIT_ANALYZE_ALLOW(A1): fixture — capacity is reserved by grow(), steady state never reallocates
+    samples_.push_back(1);
+  }
+
+ private:
+  // RCOMMIT_ANALYZE_ALLOW(A1): fixture — amortized growth frontier, not the steady-state loop
+  void grow() { samples_.reserve(samples_.capacity() * 2 + 8); }
+
+  std::vector<int> samples_;
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,19 @@
+// ANALYZE_PATH: src/sim/hot.cpp
+// A1 fire: the marked root reaches a std-container allocation two calls
+// deep, and the chain in the diagnostic names both hops.
+#include <vector>
+
+namespace rcommit::sim {
+
+class HotLoop {
+ public:
+  // RCOMMIT_ANALYZE_ROOT(A1): fixture hot path
+  void step() { record(7); }
+
+ private:
+  void record(int v) { samples_.push_back(v); }
+
+  std::vector<int> samples_;
+};
+
+}  // namespace rcommit::sim

@@ -1,0 +1,22 @@
+// ANALYZE_PATH: src/sim/hot.cpp
+// A1 no-fire: the root only writes into preallocated storage. The cold()
+// helper allocates but is unreachable from any root, so it is not part of
+// the proof obligation.
+#include <vector>
+
+namespace rcommit::sim {
+
+class HotLoop {
+ public:
+  // RCOMMIT_ANALYZE_ROOT(A1): fixture hot path
+  void step() { record(7); }
+
+  void cold() { samples_.push_back(0); }  // never called from the root
+
+ private:
+  void record(int v) { samples_[0] = v; }
+
+  std::vector<int> samples_;
+};
+
+}  // namespace rcommit::sim

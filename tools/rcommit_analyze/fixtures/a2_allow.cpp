@@ -1,0 +1,15 @@
+// ANALYZE_PATH: src/sim/decide.cpp
+// A2 suppression: a reasoned allow on the source line neutralizes the taint
+// at its origin, so nothing downstream is reported either.
+#include <chrono>
+
+namespace rcommit::sim {
+
+long stamp() {
+  // RCOMMIT_ANALYZE_ALLOW(A2): fixture — wall clock feeds a human-readable log tag, never a decision
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long annotate() { return stamp(); }
+
+}  // namespace rcommit::sim

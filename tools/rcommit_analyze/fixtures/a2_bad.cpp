@@ -1,0 +1,14 @@
+// ANALYZE_PATH: src/sim/decide.cpp
+// A2 fire: a wall-clock read taints seed_helper(), and the taint propagates
+// through the call graph into pick(), a core decision function.
+#include <chrono>
+
+namespace rcommit::sim {
+
+long seed_helper() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long pick() { return seed_helper() % 7; }
+
+}  // namespace rcommit::sim

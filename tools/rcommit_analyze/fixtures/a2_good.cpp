@@ -1,0 +1,12 @@
+// ANALYZE_PATH: src/sim/decide.cpp
+// A2 no-fire: the decision is a pure function of the seed the caller hands
+// in; no entropy, clock, or address-dependent input anywhere in the chain.
+namespace rcommit::sim {
+
+long seed_helper(long seed) {
+  return seed * 6364136223846793005L + 1442695040888963407L;
+}
+
+long pick(long seed) { return seed_helper(seed) % 7; }
+
+}  // namespace rcommit::sim

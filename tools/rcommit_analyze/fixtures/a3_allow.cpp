@@ -1,0 +1,27 @@
+// ANALYZE_PATH: src/db/store.cpp
+// A3 suppression: a reasoned allow on the pre-append mutation records why
+// the ordering is safe (the flag is not durable state).
+namespace rcommit::db {
+
+class WriteAheadLog {
+ public:
+  void append(int rec) { last_ = rec; }
+
+ private:
+  int last_ = 0;
+};
+
+class Store {
+ public:
+  void commit(int txn) {
+    // RCOMMIT_ANALYZE_ALLOW(A3): fixture — in-memory progress flag, reset on recovery, never persisted
+    committing_ = true;
+    wal_.append(txn);
+  }
+
+ private:
+  WriteAheadLog wal_;
+  bool committing_ = false;
+};
+
+}  // namespace rcommit::db

@@ -1,0 +1,27 @@
+// ANALYZE_PATH: src/db/store.cpp
+// A3 fire: commit() mutates durable-looking state (applied_) before the call
+// that reaches WriteAheadLog::append. If append throws CrashInjected, a
+// caller that catches and reuses the store sees memory ahead of the log.
+namespace rcommit::db {
+
+class WriteAheadLog {
+ public:
+  void append(int rec) { last_ = rec; }
+
+ private:
+  int last_ = 0;
+};
+
+class Store {
+ public:
+  void commit(int txn) {
+    applied_ = txn;
+    wal_.append(txn);
+  }
+
+ private:
+  WriteAheadLog wal_;
+  int applied_ = 0;
+};
+
+}  // namespace rcommit::db

@@ -1,0 +1,26 @@
+// ANALYZE_PATH: src/db/store.cpp
+// A3 no-fire: write-ahead ordering — the append happens first, so a crash
+// inside it leaves memory untouched and recovery replays from the log.
+namespace rcommit::db {
+
+class WriteAheadLog {
+ public:
+  void append(int rec) { last_ = rec; }
+
+ private:
+  int last_ = 0;
+};
+
+class Store {
+ public:
+  void commit(int txn) {
+    wal_.append(txn);
+    applied_ = txn;
+  }
+
+ private:
+  WriteAheadLog wal_;
+  int applied_ = 0;
+};
+
+}  // namespace rcommit::db

@@ -1,0 +1,18 @@
+// ANALYZE_PATH: src/db/kind.cpp
+// A4 suppression: a reasoned allow on the default arm records why the
+// catch-all is intentional for this switch.
+namespace rcommit::db {
+
+enum class Kind { kRead, kWrite, kScan };
+
+int cost(Kind k) {
+  switch (k) {
+    case Kind::kRead:
+      return 1;
+    // RCOMMIT_ANALYZE_ALLOW(A4): fixture — wire decoding accepts foreign kinds and maps them to the cheap bucket
+    default:
+      return 0;
+  }
+}
+
+}  // namespace rcommit::db

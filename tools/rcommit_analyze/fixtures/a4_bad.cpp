@@ -1,0 +1,17 @@
+// ANALYZE_PATH: src/db/kind.cpp
+// A4 fire: a 'default:' arm in a switch over a project enum would silently
+// swallow any enumerator a future protocol adds.
+namespace rcommit::db {
+
+enum class Kind { kRead, kWrite, kScan };
+
+int cost(Kind k) {
+  switch (k) {
+    case Kind::kRead:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace rcommit::db

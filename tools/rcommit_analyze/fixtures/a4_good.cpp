@@ -1,0 +1,20 @@
+// ANALYZE_PATH: src/db/kind.cpp
+// A4 no-fire: every enumerator is spelled out and there is no default, so
+// -Wswitch reports any enumerator added later.
+namespace rcommit::db {
+
+enum class Kind { kRead, kWrite, kScan };
+
+int cost(Kind k) {
+  switch (k) {
+    case Kind::kRead:
+      return 1;
+    case Kind::kWrite:
+      return 2;
+    case Kind::kScan:
+      return 8;
+  }
+  return 0;
+}
+
+}  // namespace rcommit::db

@@ -1,0 +1,774 @@
+#include "tools/rcommit_analyze/frontend.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace rcommit::analyze {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Extracts analyzer annotations from one comment's text. Same grammar as the
+// lint marker: the marker must be followed by "(" / "_FILE(" / no other
+// suffix; the reason is whatever follows "):", trimmed. ROOT notes take an
+// optional reason but never require one — the rule id in the marker is the
+// contract.
+void parse_notes(const std::string& comment, int line, bool code_before,
+                 std::vector<Note>& out) {
+  struct Marker {
+    const char* text;
+    Note::Kind kind;
+  };
+  static const Marker kMarkers[] = {
+      // Longest first so ALLOW_FILE is not mis-read as ALLOW + prose.
+      {"RCOMMIT_ANALYZE_ALLOW_FILE", Note::Kind::kAllowFile},
+      {"RCOMMIT_ANALYZE_ALLOW", Note::Kind::kAllow},
+      {"RCOMMIT_ANALYZE_ROOT", Note::Kind::kRoot},
+  };
+  size_t pos = 0;
+  while (pos < comment.size()) {
+    size_t best = std::string::npos;
+    const Marker* marker = nullptr;
+    for (const Marker& m : kMarkers) {
+      const size_t at = comment.find(m.text, pos);
+      if (at < best) {
+        best = at;
+        marker = &m;
+      }
+    }
+    if (marker == nullptr) break;
+    size_t p = best + std::string(marker->text).size();
+    if (p >= comment.size() || comment[p] != '(') {
+      pos = p;  // prose mention (or the _FILE form already matched earlier)
+      continue;
+    }
+    ++p;
+    const size_t close = comment.find(')', p);
+    if (close == std::string::npos) {
+      pos = p;
+      continue;
+    }
+    Note note;
+    note.kind = marker->kind;
+    note.line = line;
+    note.code_before = code_before;
+    note.rule = comment.substr(p, close - p);
+    const bool rule_is_ident =
+        !note.rule.empty() &&
+        std::all_of(note.rule.begin(), note.rule.end(),
+                    [](char ch) { return ident_char(ch); });
+    if (!rule_is_ident) {
+      pos = close + 1;  // placeholder like "(<rule>)" in prose
+      continue;
+    }
+    p = close + 1;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p]))) {
+      ++p;
+    }
+    if (p < comment.size() && comment[p] == ':') {
+      std::string reason = comment.substr(p + 1);
+      if (const size_t end = reason.find("*/"); end != std::string::npos) {
+        reason.resize(end);
+      }
+      note.has_reason = reason.find_first_not_of(" \t") != std::string::npos;
+    }
+    out.push_back(note);
+    pos = p;
+  }
+}
+
+struct Scan {
+  std::vector<Tok> toks;
+  std::vector<Note> notes;
+};
+
+// Lexer. Same shape as the rcommit_lint lexer with two front-end-oriented
+// changes: preprocessor directives swallow their whole (continuation-joined)
+// logical line so macro bodies cannot unbalance the structural parser, and
+// annotations are harvested into typed Notes.
+Scan lex(const std::string& src) {
+  Scan scan;
+  int line = 1;
+  int toks_on_line = 0;
+  size_t i = 0;
+  const size_t n = src.size();
+
+  auto at = [&](size_t k) { return k < n ? src[k] : '\0'; };
+  auto push = [&](TokKind kind, std::string text) {
+    scan.toks.push_back(Tok{kind, std::move(text), line});
+    ++toks_on_line;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      toks_on_line = 0;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '/') {
+      size_t end = i + 2;
+      while (end < n && src[end] != '\n') ++end;
+      parse_notes(src.substr(i + 2, end - i - 2), line, toks_on_line > 0,
+                  scan.notes);
+      i = end;
+      continue;
+    }
+    if (c == '/' && at(i + 1) == '*') {
+      size_t end = i + 2;
+      const int start_line = line;
+      while (end + 1 < n && !(src[end] == '*' && src[end + 1] == '/')) {
+        if (src[end] == '\n') ++line;
+        ++end;
+      }
+      parse_notes(src.substr(i + 2, end - i - 2), start_line, toks_on_line > 0,
+                  scan.notes);
+      i = (end + 1 < n) ? end + 2 : n;
+      if (line != start_line) toks_on_line = 0;
+      continue;
+    }
+    if (c == 'R' && at(i + 1) == '"') {
+      size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim += src[p++];
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = src.find(closer, p);
+      std::string body = end == std::string::npos
+                             ? src.substr(p + 1)
+                             : src.substr(p + 1, end - p - 1);
+      push(TokKind::kStr, std::move(body));
+      line += static_cast<int>(std::count(
+          src.begin() + static_cast<long>(i),
+          src.begin() + static_cast<long>(end == std::string::npos
+                                              ? n
+                                              : end + closer.size()),
+          '\n'));
+      i = end == std::string::npos ? n : end + closer.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t p = i + 1;
+      std::string body;
+      while (p < n && src[p] != quote) {
+        if (src[p] == '\\' && p + 1 < n) {
+          body += src[p];
+          body += src[p + 1];
+          p += 2;
+          continue;
+        }
+        if (src[p] == '\n') ++line;
+        body += src[p++];
+      }
+      push(TokKind::kStr, std::move(body));
+      i = p + 1;
+      continue;
+    }
+    // Preprocessor directive: emit `#`, the directive name, and an include
+    // target, then swallow the rest of the logical line (backslash
+    // continuations included). Macro replacement lists are not real code and
+    // would otherwise feed unbalanced braces into the structural parser.
+    if (c == '#' && toks_on_line == 0) {
+      push(TokKind::kPunct, "#");
+      size_t p = i + 1;
+      while (p < n && (src[p] == ' ' || src[p] == '\t')) ++p;
+      size_t d = p;
+      while (d < n && ident_char(src[d])) ++d;
+      const std::string directive = src.substr(p, d - p);
+      if (!directive.empty()) push(TokKind::kIdent, directive);
+      p = d;
+      if (directive == "include") {
+        while (p < n && (src[p] == ' ' || src[p] == '\t')) ++p;
+        const char open = at(p);
+        const char close_ch = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+        if (close_ch != '\0') {
+          size_t close = p + 1;
+          while (close < n && src[close] != close_ch && src[close] != '\n') {
+            ++close;
+          }
+          push(TokKind::kStr, src.substr(p + 1, close - p - 1));
+          p = close < n && src[close] == close_ch ? close + 1 : close;
+        }
+      }
+      // Swallow the remainder, honoring backslash-newline continuations but
+      // still harvesting annotations from // comments on the directive line.
+      while (p < n) {
+        if (src[p] == '/' && at(p + 1) == '/') {
+          size_t end = p + 2;
+          while (end < n && src[end] != '\n') ++end;
+          parse_notes(src.substr(p + 2, end - p - 2), line, true, scan.notes);
+          p = end;
+          continue;
+        }
+        if (src[p] == '\n') {
+          if (p > 0 && src[p - 1] == '\\') {
+            ++line;
+            ++p;
+            continue;
+          }
+          break;  // logical line ends; main loop handles the newline
+        }
+        ++p;
+      }
+      i = p;
+      continue;
+    }
+    if (ident_start(c)) {
+      size_t p = i + 1;
+      while (p < n && ident_char(src[p])) ++p;
+      push(TokKind::kIdent, src.substr(i, p - i));
+      i = p;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(at(i + 1))))) {
+      size_t p = i + 1;
+      while (p < n) {
+        const char d = src[p];
+        if (ident_char(d) || d == '.' ||
+            ((d == '+' || d == '-') &&
+             (src[p - 1] == 'e' || src[p - 1] == 'E' || src[p - 1] == 'p' ||
+              src[p - 1] == 'P'))) {
+          ++p;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNum, src.substr(i, p - i));
+      i = p;
+      continue;
+    }
+    if (c == ':' && at(i + 1) == ':') {
+      push(TokKind::kPunct, "::");
+      i += 2;
+      continue;
+    }
+    if (c == '-' && at(i + 1) == '>') {
+      push(TokKind::kPunct, "->");
+      i += 2;
+      continue;
+    }
+    push(TokKind::kPunct, std::string(1, c));
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Structural parser.
+// ---------------------------------------------------------------------------
+
+struct Scope {
+  enum class Kind { kNamespace, kClass, kBlock };
+  Kind kind;
+  std::string name;
+};
+
+class Parser {
+ public:
+  Parser(TranslationUnit& tu) : tu_(tu), toks_(tu.toks) {}
+
+  void run() {
+    size_t i = 0;
+    while (i < toks_.size()) i = step(i);
+  }
+
+ private:
+  const std::string& text(size_t i) const {
+    static const std::string kEmpty;
+    return i < toks_.size() ? toks_[i].text : kEmpty;
+  }
+  bool is_ident(size_t i) const {
+    return i < toks_.size() && toks_[i].kind == TokKind::kIdent;
+  }
+
+  /// Index just past the brace that matches the opener at `open` (which must
+  /// be "{"); toks_.size() if unbalanced.
+  size_t skip_braces(size_t open) const {
+    int depth = 0;
+    for (size_t j = open; j < toks_.size(); ++j) {
+      if (text(j) == "{") ++depth;
+      if (text(j) == "}" && --depth == 0) return j + 1;
+    }
+    return toks_.size();
+  }
+
+  /// Index just past a balanced `<...>` starting at `open` ("<"). The lexer
+  /// never fuses ">>", so closing depth bookkeeping is per-character. Bails
+  /// at `;` or `{` so a stray comparison cannot eat the file.
+  size_t skip_angles(size_t open) const {
+    int depth = 0;
+    for (size_t j = open; j < toks_.size(); ++j) {
+      const std::string& s = text(j);
+      if (s == "<") ++depth;
+      if (s == ">" && --depth == 0) return j + 1;
+      if (s == ";" || s == "{") break;
+    }
+    return open + 1;
+  }
+
+  size_t skip_parens(size_t open) const {
+    int depth = 0;
+    for (size_t j = open; j < toks_.size(); ++j) {
+      if (text(j) == "(") ++depth;
+      if (text(j) == ")" && --depth == 0) return j + 1;
+    }
+    return toks_.size();
+  }
+
+  size_t skip_to_semi(size_t i) const {
+    int brace = 0, paren = 0;
+    for (size_t j = i; j < toks_.size(); ++j) {
+      const std::string& s = text(j);
+      if (s == "{") ++brace;
+      if (s == "}") {
+        if (brace == 0) return j;  // enclosing scope closes; let step() see it
+        --brace;
+      }
+      if (s == "(") ++paren;
+      if (s == ")") --paren;
+      if (s == ";" && brace == 0 && paren == 0) return j + 1;
+    }
+    return toks_.size();
+  }
+
+  std::string innermost_class() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Scope::Kind::kClass) return it->name;
+    }
+    return "";
+  }
+
+  std::string scope_prefix() const {
+    std::string out;
+    for (const Scope& s : stack_) {
+      if (s.name.empty()) continue;
+      if (!out.empty()) out += "::";
+      out += s.name;
+    }
+    return out;
+  }
+
+  size_t step(size_t i) {
+    const std::string& s = text(i);
+    if (s == "#") {
+      // Directive marker + name ("# pragma", "# include"); an include target
+      // follows as a kStr token, which the punct/str branch below skips.
+      return is_ident(i + 1) ? i + 2 : i + 1;
+    }
+    if (s == "{") {
+      stack_.push_back({Scope::Kind::kBlock, ""});
+      return i + 1;
+    }
+    if (s == "}") {
+      if (!stack_.empty()) stack_.pop_back();
+      return i + 1;
+    }
+    if (s == ";" || toks_[i].kind == TokKind::kPunct ||
+        toks_[i].kind == TokKind::kStr || toks_[i].kind == TokKind::kNum) {
+      return i + 1;
+    }
+    if (s == "namespace") return parse_namespace(i);
+    if (s == "enum") return parse_enum(i);
+    if (s == "class" || s == "struct" || s == "union") return parse_record(i);
+    if (s == "template") {
+      if (text(i + 1) != "<") return i + 1;
+      // Parse what the template header introduces with the header's line
+      // active, so a function template's decl_line covers `template <...>`
+      // (ROOT/ALLOW annotations sit above that line).
+      const size_t j = skip_angles(i + 1);
+      template_line_ = toks_[i].line;
+      const size_t r = step(j);
+      template_line_ = 0;
+      return r;
+    }
+    if (s == "public" || s == "private" || s == "protected") {
+      // Access label: consume `public :` only. skip_to_semi here would
+      // swallow every member defined before the next depth-0 semicolon.
+      return text(i + 1) == ":" ? i + 2 : i + 1;
+    }
+    if (s == "using" || s == "typedef" || s == "friend" ||
+        s == "static_assert") {
+      return skip_to_semi(i);
+    }
+    return parse_declaration(i);
+  }
+
+  size_t parse_namespace(size_t i) {
+    size_t j = i + 1;
+    std::string name;
+    while (is_ident(j) || text(j) == "::") {
+      if (is_ident(j)) {
+        if (!name.empty()) name += "::";
+        name += text(j);
+      }
+      ++j;
+    }
+    if (text(j) == "{") {
+      stack_.push_back({Scope::Kind::kNamespace, name});
+      return j + 1;
+    }
+    return skip_to_semi(i);  // alias or malformed
+  }
+
+  size_t parse_record(size_t i) {
+    size_t j = i + 1;
+    // Attributes and declspec-ish macro idents between keyword and name:
+    // `class CAPABILITY("mutex") Mutex {`.
+    std::string name;
+    while (j < toks_.size()) {
+      const std::string& s = text(j);
+      if (s == "[") {  // [[attribute]]
+        int depth = 0;
+        while (j < toks_.size()) {
+          if (text(j) == "[") ++depth;
+          if (text(j) == "]" && --depth == 0) break;
+          ++j;
+        }
+        ++j;
+        continue;
+      }
+      if (text(j) == "final") break;  // `class X final : ...` — X is the name
+      if (is_ident(j)) {
+        if (text(j + 1) == "(") {  // annotation macro with args
+          name = text(j);
+          j = skip_parens(j + 1);
+          continue;
+        }
+        name = text(j);
+        ++j;
+        continue;
+      }
+      break;
+    }
+    // `class X;` forward declaration / `class X final : base {` / `struct {`.
+    while (j < toks_.size() && text(j) != "{" && text(j) != ";" &&
+           text(j) != "=") {
+      if (text(j) == "<") {
+        j = skip_angles(j);
+        continue;
+      }
+      if (text(j) == "(") return parse_declaration(i + 1);  // `struct X f(...)`
+      ++j;
+    }
+    if (text(j) == "{") {
+      stack_.push_back({Scope::Kind::kClass, name});
+      return j + 1;
+    }
+    return skip_to_semi(j);
+  }
+
+  size_t parse_enum(size_t i) {
+    size_t j = i + 1;
+    if (text(j) == "class" || text(j) == "struct") ++j;
+    std::string name;
+    if (is_ident(j)) {
+      name = text(j);
+      ++j;
+    }
+    if (text(j) == ":") {  // underlying type
+      while (j < toks_.size() && text(j) != "{" && text(j) != ";") ++j;
+    }
+    if (text(j) != "{") return skip_to_semi(i);  // opaque declaration
+    EnumDef def;
+    def.name = name;
+    def.path = tu_.path;
+    def.line = toks_[i].line;
+    size_t k = j + 1;
+    int depth = 1;
+    bool expect_name = true;
+    while (k < toks_.size() && depth > 0) {
+      const std::string& s = text(k);
+      if (s == "{" || s == "(" || s == "<") ++depth;
+      if (s == "}" || s == ")" || s == ">") --depth;
+      if (depth == 0) break;
+      if (depth == 1) {
+        if (expect_name && is_ident(k)) {
+          def.enumerators.push_back(s);
+          expect_name = false;
+        } else if (s == ",") {
+          expect_name = true;
+        }
+      }
+      ++k;
+    }
+    if (!def.name.empty() && !def.enumerators.empty()) {
+      tu_.enums.push_back(std::move(def));
+    }
+    return skip_to_semi(k);
+  }
+
+  // Anything else at namespace/class scope: possibly a function definition.
+  // Scans the declaration-ish token run for `name(params)` and classifies
+  // what follows the parameter list.
+  size_t parse_declaration(size_t i) {
+    size_t j = i;
+    std::string name;        // bare name of the latest `name(` candidate
+    std::string qualifier;   // explicit `Class::` qualifier on that name
+    int name_line = 0;
+    size_t params_open = 0;  // index of the candidate's `(`
+
+    while (j < toks_.size()) {
+      const std::string& s = text(j);
+      if (s == ";" || s == "}" || s == "=" || s == "{") break;
+      if (s == "#" || s == "namespace") return j;  // ran off the declaration
+      if (s == "<") {
+        j = skip_angles(j);
+        continue;
+      }
+      if (s == "[") {  // [[attributes]] / array declarator
+        int depth = 0;
+        while (j < toks_.size()) {
+          if (text(j) == "[") ++depth;
+          if (text(j) == "]" && --depth == 0) break;
+          ++j;
+        }
+        ++j;
+        continue;
+      }
+      if (s == "operator") {
+        // `operator==(`, `operator()(`, `operator new(`, `operator bool(`.
+        name = "operator";
+        name_line = toks_[j].line;
+        qualifier.clear();
+        if (j > 0 && text(j - 1) == "::" && is_ident(j - 2)) {
+          qualifier = text(j - 2);
+        }
+        size_t k = j + 1;
+        if (text(k) == "(" && text(k + 1) == ")") {
+          name += "()";
+          k += 2;
+        } else {
+          while (k < toks_.size() && text(k) != "(") {
+            name += text(k);
+            ++k;
+          }
+        }
+        if (text(k) != "(") return skip_to_semi(j);
+        params_open = k;
+        j = skip_parens(k);
+        return classify_after_params(i, j, name, qualifier, name_line,
+                                     params_open);
+      }
+      if (s == "~" && is_ident(j + 1) && text(j + 2) == "(") {
+        name = "~" + text(j + 1);
+        name_line = toks_[j].line;
+        qualifier.clear();
+        if (j > 0 && text(j - 1) == "::" && is_ident(j - 2)) {
+          qualifier = text(j - 2);
+        }
+        params_open = j + 2;
+        j = skip_parens(params_open);
+        return classify_after_params(i, j, name, qualifier, name_line,
+                                     params_open);
+      }
+      if (is_ident(j) && text(j + 1) == "(") {
+        name = s;
+        name_line = toks_[j].line;
+        qualifier.clear();
+        if (j > 0 && text(j - 1) == "::" && is_ident(j - 2)) {
+          qualifier = text(j - 2);
+        }
+        params_open = j + 1;
+        j = skip_parens(params_open);
+        return classify_after_params(i, j, name, qualifier, name_line,
+                                     params_open);
+      }
+      ++j;
+    }
+    if (text(j) == "{") {
+      // A brace we do not understand (aggregate initializer, asm block):
+      // treat as an opaque block.
+      stack_.push_back({Scope::Kind::kBlock, ""});
+      return j + 1;
+    }
+    if (text(j) == "}") return j;
+    if (text(j) == "=") return skip_to_semi(j);
+    return j < toks_.size() ? j + 1 : toks_.size();
+  }
+
+  // `j` sits just past the candidate's closing ')'. Decide declaration vs
+  // definition, consuming trailing qualifiers and a constructor initializer
+  // list if present.
+  size_t classify_after_params(size_t decl_start, size_t j, std::string name,
+                               std::string qualifier, int name_line,
+                               size_t params_open) {
+    static const std::set<std::string> kTrailers = {
+        "const", "noexcept", "override", "final",  "mutable",
+        "try",   "requires", "&",        "*",      "::",
+        "->",    "volatile", "throw",    "&&"};
+    while (j < toks_.size()) {
+      const std::string& s = text(j);
+      if (s == "{") {
+        return record_function(decl_start, j, std::move(name),
+                               std::move(qualifier), name_line);
+      }
+      if (s == ";") return j + 1;
+      if (s == "=") return skip_to_semi(j);  // = default / = delete / = 0
+      if (s == ":") return consume_init_list(decl_start, j + 1, std::move(name),
+                                             std::move(qualifier), name_line);
+      if (s == "(") {
+        j = skip_parens(j);
+        continue;
+      }
+      if (s == "<") {
+        j = skip_angles(j);
+        continue;
+      }
+      if (s == "[") {
+        int depth = 0;
+        while (j < toks_.size()) {
+          if (text(j) == "[") ++depth;
+          if (text(j) == "]" && --depth == 0) break;
+          ++j;
+        }
+        ++j;
+        continue;
+      }
+      if (kTrailers.count(s) > 0 || is_ident(j)) {
+        ++j;
+        continue;
+      }
+      // Unexpected token: not a function after all (e.g. comma-separated
+      // declarators, macro soup). Bail to the statement end.
+      (void)params_open;
+      return skip_to_semi(j);
+    }
+    return toks_.size();
+  }
+
+  // Constructor initializer list: `name(args) : a_(x), b_{y} { body }`.
+  size_t consume_init_list(size_t decl_start, size_t j, std::string name,
+                           std::string qualifier, int name_line) {
+    while (j < toks_.size()) {
+      // Member name (possibly qualified base class with template args).
+      while (is_ident(j) || text(j) == "::") ++j;
+      if (text(j) == "<") j = skip_angles(j);
+      if (text(j) == "(") {
+        j = skip_parens(j);
+      } else if (text(j) == "{") {
+        j = skip_braces(j);
+      } else {
+        return skip_to_semi(j);  // malformed; bail
+      }
+      if (text(j) == ",") {
+        ++j;
+        continue;
+      }
+      if (text(j) == "{") {
+        return record_function(decl_start, j, std::move(name),
+                               std::move(qualifier), name_line);
+      }
+      if (text(j) == "try") ++j;  // function-try-block on a ctor
+      if (text(j) == "{") {
+        return record_function(decl_start, j, std::move(name),
+                               std::move(qualifier), name_line);
+      }
+      return skip_to_semi(j);
+    }
+    return toks_.size();
+  }
+
+  size_t record_function(size_t decl_start, size_t body_open, std::string name,
+                         std::string qualifier, int name_line) {
+    Function fn;
+    fn.name = std::move(name);
+    fn.class_name = !qualifier.empty() ? qualifier : innermost_class();
+    fn.path = tu_.path;
+    fn.line = name_line;
+    const size_t body_close = skip_braces(body_open) - 1;
+    fn.body_begin = body_open + 1;
+    fn.body_end = body_close;
+    {
+      std::string prefix = scope_prefix();
+      if (!qualifier.empty()) {
+        if (!prefix.empty()) prefix += "::";
+        prefix += qualifier;
+      }
+      fn.qual_name = prefix.empty() ? fn.name : prefix + "::" + fn.name;
+    }
+    fn.decl_line = template_line_ > 0 ? template_line_ : toks_[decl_start].line;
+    fn.open_line = toks_[body_open].line;
+    extract_calls(fn);
+    tu_.functions.push_back(std::move(fn));
+    return skip_braces(body_open);
+  }
+
+  void extract_calls(Function& fn) {
+    for (size_t j = fn.body_begin; j < fn.body_end; ++j) {
+      if (!is_ident(j)) continue;
+      // Direct call `f(` or explicit-template-argument call `f<T...>(`.
+      // The skip_angles bail (at `;`/`{`) keeps a stray comparison from
+      // minting a phantom call site.
+      size_t after = j + 1;
+      if (text(after) == "<") {
+        const size_t closed = skip_angles(after);
+        if (closed == after + 1) continue;  // unbalanced: a real comparison
+        after = closed;
+      }
+      if (text(after) != "(") continue;
+      const std::string& s = text(j);
+      if (is_call_keyword(s)) continue;
+      CallSite call;
+      call.name = s;
+      call.line = toks_[j].line;
+      call.tok_index = j;
+      size_t back = j;
+      if (back >= 1 && text(back - 1) == "::" && is_ident(back - 2)) {
+        call.qualifier = text(back - 2);
+        back -= 2;
+        // walk further qualifier links so member-ness sees past `a::b::c(`
+        while (back >= 2 && text(back - 1) == "::" && is_ident(back - 2)) {
+          back -= 2;
+        }
+      }
+      if (back >= 1 &&
+          (text(back - 1) == "." || text(back - 1) == "->")) {
+        call.member = true;
+      }
+      fn.calls.push_back(std::move(call));
+    }
+  }
+
+  TranslationUnit& tu_;
+  const std::vector<Tok>& toks_;
+  std::vector<Scope> stack_;
+  int template_line_ = 0;  ///< line of an active `template <...>` header
+};
+
+}  // namespace
+
+bool is_call_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",       "while",    "switch",        "return",
+      "sizeof",   "alignof",   "alignas",  "catch",         "throw",
+      "decltype", "typeid",    "noexcept", "static_assert", "assert",
+      "defined",  "co_await",  "co_yield", "co_return",     "delete",
+      "requires", "constexpr", "explicit", "typename",      "else",
+      "do",       "case",      "goto",     "new"};
+  return kKeywords.count(s) > 0;
+}
+
+TranslationUnit parse_tu(const std::string& path, const std::string& content) {
+  TranslationUnit tu;
+  tu.path = path;
+  Scan scan = lex(content);
+  tu.toks = std::move(scan.toks);
+  tu.notes = std::move(scan.notes);
+  Parser(tu).run();
+  return tu;
+}
+
+}  // namespace rcommit::analyze

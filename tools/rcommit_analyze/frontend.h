@@ -1,0 +1,95 @@
+// rcommit_analyze front-end: a lightweight C++ token parser that grows the
+// rcommit_lint lexer into per-TU *structure* extraction — function
+// definitions with body extents and call sites, enum definitions with their
+// enumerator lists, and the analyzer's annotation vocabulary — so the rule
+// layer (analyze.h) can reason about call *chains* instead of single tokens.
+//
+// It is still deliberately heuristic and dependency-free (no libclang): the
+// parser tracks namespace/class nesting and brace depth over the token
+// stream, recognizes function definitions by their `name(...) ... {` shape
+// (constructor initializer lists included), and records every `callee(`
+// occurrence inside a body as a call site with its qualifier (`Foo::bar`) and
+// member-ness (`x.bar` / `x->bar`). Templates, overload sets, virtual
+// dispatch, and function pointers all collapse onto name-based resolution —
+// docs/static-analysis.md lists the resulting approximations and why they
+// are acceptable for the A-rules.
+//
+// Annotations (comments, harvested before stripping):
+//   RCOMMIT_ANALYZE_ALLOW(<rule>): <reason>        suppress on this/next line
+//   RCOMMIT_ANALYZE_ALLOW_FILE(<rule>): <reason>   suppress in whole file
+//   RCOMMIT_ANALYZE_ROOT(A1): <reason>             mark the function defined
+//                                                  on this/next line as an
+//                                                  allocation-freedom root
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rcommit::analyze {
+
+enum class TokKind { kIdent, kPunct, kStr, kNum };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// One RCOMMIT_ANALYZE_ALLOW / _FILE / _ROOT annotation.
+struct Note {
+  enum class Kind { kAllow, kAllowFile, kRoot };
+  Kind kind = Kind::kAllow;
+  std::string rule;
+  bool has_reason = false;
+  int line = 0;              ///< line the annotation appears on
+  bool code_before = false;  ///< code tokens precede it on that line
+};
+
+/// One `callee(` occurrence inside a function body.
+struct CallSite {
+  std::string name;       ///< bare callee name (`append`)
+  std::string qualifier;  ///< innermost explicit qualifier (`WriteAheadLog`), or ""
+  bool member = false;    ///< preceded by `.` or `->`
+  int line = 0;
+  size_t tok_index = 0;  ///< index into TranslationUnit::toks
+};
+
+/// One function definition (has a body in this TU).
+struct Function {
+  std::string name;        ///< bare name (`apply`, `operator()`, `~Foo`)
+  std::string class_name;  ///< innermost enclosing/explicit class, or ""
+  std::string qual_name;   ///< display name: outermost context + name
+  std::string path;
+  int line = 0;       ///< line of the name token
+  int decl_line = 0;  ///< first line of the declaration-ish token run
+  int open_line = 0;  ///< line of the body's opening `{`
+  size_t body_begin = 0;  ///< token index just past the opening `{`
+  size_t body_end = 0;    ///< token index of the closing `}`
+  std::vector<CallSite> calls;
+  bool is_root_a1 = false;  ///< set by the rule layer from ROOT(A1) notes
+};
+
+/// One enum definition (scoped or classic) with its enumerators.
+struct EnumDef {
+  std::string name;  ///< bare name (`WalRecordType`)
+  std::string path;
+  int line = 0;
+  std::vector<std::string> enumerators;
+};
+
+struct TranslationUnit {
+  std::string path;
+  std::vector<Tok> toks;
+  std::vector<Note> notes;
+  std::vector<Function> functions;
+  std::vector<EnumDef> enums;
+};
+
+/// Lexes and structurally parses one file's content.
+TranslationUnit parse_tu(const std::string& path, const std::string& content);
+
+/// True for C++ keywords that look like calls (`if (`, `sizeof (`, ...).
+bool is_call_keyword(const std::string& s);
+
+}  // namespace rcommit::analyze

@@ -57,8 +57,9 @@ std::vector<Diagnostic> lint_content(const std::string& path,
 std::vector<Diagnostic> lint_file(const std::filesystem::path& file);
 
 /// Recursively collects lintable sources (.h .hh .hpp .cc .cpp .cxx) under
-/// `roots`, skipping build*/, testdata/ (lint fixtures are intentionally
-/// dirty), and dot-directories. The result is sorted and deduplicated so
+/// `roots`, skipping build*/, testdata/ and fixtures/ (the lint and analyze
+/// corpora are intentionally dirty), and dot-directories. The result is
+/// sorted and deduplicated so
 /// output is deterministic — the linter holds itself to its own contract.
 std::vector<std::filesystem::path> collect_files(
     const std::vector<std::filesystem::path>& roots);

@@ -1,30 +1,61 @@
-// rcommit_lint CLI: `rcommit_lint [--list-rules] <path>...`
+// rcommit_lint CLI: `rcommit_lint [--list-rules] [--json[=FILE]] <path>...`
 //
 // Scans the given files/directories and prints GCC-style diagnostics, one
 // per line. Exit status: 0 clean, 1 findings, 2 usage error. Run from the
 // repo root (`rcommit_lint src tools tests`) so rule scoping sees the
 // canonical directory layout; absolute paths work too because scoping
 // matches path components, not prefixes.
+//
+// --json emits a machine-readable findings document to stdout (human text
+// moves to stderr); --json=FILE writes the document to FILE and keeps the
+// normal text output. The schema matches rcommit_analyze --json so CI and
+// editor integrations parse both tools with one reader.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "tools/rcommit_lint/lint.h"
 
 namespace {
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: rcommit_lint [--list-rules] <path>...\n"
+               "usage: rcommit_lint [--list-rules] [--json[=FILE]] <path>...\n"
                "  Lints C++ sources for determinism & layering violations.\n"
                "  See docs/static-analysis.md for the rule catalogue.\n");
+}
+
+std::string to_json(const std::vector<rcommit::lint::Diagnostic>& diags,
+                    size_t files) {
+  rcommit::json::JsonWriter w;
+  w.begin_object();
+  w.key("tool").value("rcommit_lint");
+  w.key("schema_version").value(1);
+  w.key("files").value(static_cast<int64_t>(files));
+  w.key("diagnostics");
+  w.begin_array();
+  for (const auto& d : diags) {
+    w.begin_object();
+    w.key("path").value(d.path);
+    w.key("line").value(d.line);
+    w.key("rule").value(d.rule);
+    w.key("message").value(d.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::filesystem::path> roots;
+  bool json_stdout = false;
+  std::string json_file;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -37,6 +68,14 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
+    }
+    if (arg == "--json") {
+      json_stdout = true;
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_file = arg.substr(7);
+      continue;
     }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "rcommit_lint: unknown option '%s'\n", arg.c_str());
@@ -56,21 +95,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  size_t total = 0;
+  std::vector<rcommit::lint::Diagnostic> diags;
   size_t dirty_files = 0;
   for (const auto& file : files) {
-    const auto diags = rcommit::lint::lint_file(file);
-    if (!diags.empty()) ++dirty_files;
-    for (const auto& d : diags) {
-      std::printf("%s\n", rcommit::lint::format(d).c_str());
-      ++total;
-    }
+    auto file_diags = rcommit::lint::lint_file(file);
+    if (!file_diags.empty()) ++dirty_files;
+    for (auto& d : file_diags) diags.push_back(std::move(d));
   }
-  if (total == 0) {
+
+  if (!json_file.empty()) {
+    std::ofstream out(json_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "rcommit_lint: cannot write '%s'\n",
+                   json_file.c_str());
+      return 2;
+    }
+    out << to_json(diags, files.size()) << "\n";
+  }
+  if (json_stdout) {
+    std::printf("%s\n", to_json(diags, files.size()).c_str());
+  }
+
+  std::FILE* text = json_stdout ? stderr : stdout;
+  for (const auto& d : diags) {
+    std::fprintf(text, "%s\n", rcommit::lint::format(d).c_str());
+  }
+  if (diags.empty()) {
     std::fprintf(stderr, "rcommit_lint: %zu files clean\n", files.size());
     return 0;
   }
   std::fprintf(stderr, "rcommit_lint: %zu diagnostics in %zu of %zu files\n",
-               total, dirty_files, files.size());
+               diags.size(), dirty_files, files.size());
   return 1;
 }

@@ -1,4 +1,4 @@
-// LINT_PATH: src/swarm/allow_good.cpp
+// LINT_PATH: src/common/allow_good.cpp
 // A reasoned suppression, in both positions the linter accepts: alone on the
 // line above a finding, and trailing on the finding's own line.
 #include <chrono>
