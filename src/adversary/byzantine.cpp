@@ -1,0 +1,156 @@
+#include "adversary/byzantine.h"
+
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rcommit::adversary {
+
+namespace {
+
+constexpr size_t kHistoryCap = 16;
+
+/// Forwards to the real StepContext, tampering with sends when active.
+/// Broadcasts become per-recipient sends so equivocation — different
+/// recipients observing different copies — falls out of per-send draws.
+class TamperContext final : public sim::StepContext {
+ public:
+  TamperContext(sim::StepContext& real, RandomTape& tape, bool active,
+                std::vector<sim::MessageRef>& history, size_t& next_slot)
+      : real_(real), tape_(tape), active_(active), history_(history),
+        next_slot_(next_slot) {}
+
+  void send(ProcId to, sim::MessageRef payload) override {
+    if (!active_) {
+      real_.send(to, std::move(payload));
+      return;
+    }
+    tampered_send(to, std::move(payload));
+  }
+
+  void broadcast(sim::MessageRef payload) override {
+    if (!active_) {
+      real_.broadcast(std::move(payload));
+      return;
+    }
+    for (ProcId p = 0; p < static_cast<ProcId>(real_.n()); ++p) {
+      tampered_send(p, payload);
+    }
+  }
+
+  [[nodiscard]] Tick clock() const override { return real_.clock(); }
+  [[nodiscard]] ProcId self() const override { return real_.self(); }
+  [[nodiscard]] int32_t n() const override { return real_.n(); }
+  RandomTape& random() override { return real_.random(); }
+
+ private:
+  void tampered_send(ProcId to, sim::MessageRef payload) {
+    remember(payload);
+    // Pass-through dominates (half the draws): a traitor that never sends a
+    // usable message is indistinguishable from a crash and exercises nothing.
+    switch (tape_.next_below(8)) {
+      case 0:  // omission
+        return;
+      case 1: {  // content corruption (blind: the payload type decides)
+        if (auto c = payload->corrupted(tape_)) payload = std::move(c);
+        real_.send(to, std::move(payload));
+        return;
+      }
+      case 2: {  // stale replay: an earlier payload in place of this one
+        if (!history_.empty()) {
+          payload = history_[static_cast<size_t>(
+              tape_.next_below(static_cast<uint64_t>(history_.size())))];
+        }
+        real_.send(to, std::move(payload));
+        return;
+      }
+      case 3: {  // duplication, second copy possibly corrupted
+        real_.send(to, payload);
+        if (auto c = payload->corrupted(tape_)) payload = std::move(c);
+        real_.send(to, std::move(payload));
+        return;
+      }
+      default:
+        real_.send(to, std::move(payload));
+        return;
+    }
+  }
+
+  void remember(const sim::MessageRef& payload) {
+    if (history_.size() < kHistoryCap) {
+      // RCOMMIT_ANALYZE_ALLOW(A1): bounded — the owner reserves kHistoryCap up front, so this push_back never reallocates; past the cap the ring overwrites in place
+      history_.push_back(payload);
+    } else {
+      history_[next_slot_] = payload;
+    }
+    next_slot_ = (next_slot_ + 1) % kHistoryCap;
+  }
+
+  sim::StepContext& real_;
+  RandomTape& tape_;
+  bool active_;
+  std::vector<sim::MessageRef>& history_;
+  size_t& next_slot_;
+};
+
+}  // namespace
+
+ByzantineProcess::ByzantineProcess(std::unique_ptr<sim::Process> inner,
+                                   ByzantinePlan plan)
+    : inner_(std::move(inner)), plan_(plan), tape_(plan.seed) {
+  RCOMMIT_CHECK(inner_ != nullptr);
+  RCOMMIT_CHECK(plan_.victim != kNoProc);
+  RCOMMIT_CHECK(plan_.from_clock >= 1);
+  history_.reserve(kHistoryCap);
+}
+
+void ByzantineProcess::on_step(sim::StepContext& ctx,
+                               std::span<const sim::Envelope> delivered) {
+  const bool active = ctx.clock() >= plan_.from_clock;
+  TamperContext tctx(ctx, tape_, active, history_, next_history_slot_);
+  inner_->on_step(tctx, delivered);
+}
+
+std::vector<ByzantinePlan> random_byzantine_plans(uint64_t seed, int32_t n, int count,
+                                                  Tick max_start_clock) {
+  RCOMMIT_CHECK(count >= 0 && count <= n);
+  RCOMMIT_CHECK(max_start_clock >= 1);
+  RandomTape rng(seed);
+  std::vector<ProcId> victims(static_cast<size_t>(n));
+  for (ProcId p = 0; p < n; ++p) victims[static_cast<size_t>(p)] = p;
+  // Partial Fisher–Yates, as in random_crash_plans.
+  for (int i = 0; i < count; ++i) {
+    const auto j =
+        i + static_cast<int>(rng.next_below(static_cast<uint64_t>(n - i)));
+    std::swap(victims[static_cast<size_t>(i)], victims[static_cast<size_t>(j)]);
+  }
+
+  std::vector<ByzantinePlan> plans;
+  plans.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ByzantinePlan plan;
+    plan.victim = victims[static_cast<size_t>(i)];
+    plan.from_clock =
+        1 + static_cast<Tick>(rng.next_below(static_cast<uint64_t>(max_start_clock)));
+    plan.seed = SplitMix64(seed ^ (0xb12a0ULL + static_cast<uint64_t>(i))).next();
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+void wrap_byzantine(std::vector<std::unique_ptr<sim::Process>>& fleet,
+                    const std::vector<ByzantinePlan>& plans) {
+  std::set<ProcId> seen;
+  for (const auto& plan : plans) {
+    RCOMMIT_CHECK_MSG(plan.victim >= 0 &&
+                          static_cast<size_t>(plan.victim) < fleet.size(),
+                      "byzantine victim out of range");
+    RCOMMIT_CHECK_MSG(seen.insert(plan.victim).second,
+                      "duplicate byzantine victim " << plan.victim);
+    auto& slot = fleet[static_cast<size_t>(plan.victim)];
+    slot = std::make_unique<ByzantineProcess>(std::move(slot), plan);
+  }
+}
+
+}  // namespace rcommit::adversary

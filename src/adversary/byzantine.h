@@ -1,0 +1,82 @@
+// Byzantine fault injection.
+//
+// The adversary API is structurally content-oblivious — Adversary::next sees
+// only the message pattern — so Byzantine *content* behaviour cannot live
+// there. Instead it is a fleet-side decorator: ByzantineProcess wraps a
+// victim's honest state machine and tampers with its *outgoing* messages,
+// deterministically, off a seed-derived tape (same discipline as
+// adversary/crash.h plans). The tampering repertoire is:
+//
+//   * omission       — a send silently dropped,
+//   * equivocation   — a broadcast delivered per-recipient, with different
+//                      recipients receiving different (corrupted, stale, or
+//                      missing) copies,
+//   * stale replay   — an earlier payload re-sent in place of the current one,
+//   * duplication    — a send delivered twice (second copy possibly corrupted),
+//   * corruption     — the payload replaced by the copy its own type returns
+//                      from sim::MessageBase::corrupted().
+//
+// The content-oblivious boundary survives intact: this wrapper never inspects
+// a payload. Corruption is delegated blindly to the payload type's own
+// corrupted() hook — message types that model Byzantine content attacks
+// (BFT commit's votes and certificates, Paxos Commit's 2a/outcome, 2PC's
+// vote/decision) return a tampered copy; every other type returns nullptr and
+// is passed through unmodified. A victim's *incoming* messages and its inner
+// state machine stay honest: Byzantine behaviour here is "what the rest of
+// the system can observe from a traitor", which is exactly what quorum-based
+// protocols defend against.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/process.h"
+
+namespace rcommit::adversary {
+
+/// One Byzantine victim, fully determined (analogous to CrashPlan).
+struct ByzantinePlan {
+  ProcId victim = kNoProc;
+  /// Tampering starts at the victim's step that advances its clock to this
+  /// value; earlier steps send honestly (a traitor that turns).
+  Tick from_clock = 1;
+  /// Seed of the victim's private tamper tape.
+  uint64_t seed = 1;
+};
+
+/// Wraps an honest process as a Byzantine traitor per the plan.
+class ByzantineProcess final : public sim::Process {
+ public:
+  ByzantineProcess(std::unique_ptr<sim::Process> inner, ByzantinePlan plan);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return inner_->decided(); }
+  [[nodiscard]] Decision decision() const override { return inner_->decision(); }
+  [[nodiscard]] bool halted() const override { return inner_->halted(); }
+
+  [[nodiscard]] const ByzantinePlan& plan() const { return plan_; }
+
+ private:
+  std::unique_ptr<sim::Process> inner_;
+  ByzantinePlan plan_;
+  RandomTape tape_;
+  /// Recently sent payloads, for stale-replay equivocation (fixed-capacity
+  /// ring so the hot path never grows).
+  std::vector<sim::MessageRef> history_;
+  size_t next_history_slot_ = 0;
+};
+
+/// Builds a deterministic random plan set: `count` distinct victims, each
+/// turning at a uniformly random clock in [1, max_start_clock], each with an
+/// independent tamper-tape seed derived from `seed`.
+std::vector<ByzantinePlan> random_byzantine_plans(uint64_t seed, int32_t n, int count,
+                                                  Tick max_start_clock);
+
+/// Applies the plans to a fleet in place: fleet[plan.victim] is replaced by a
+/// ByzantineProcess wrapping it. Victims must be distinct and in range.
+void wrap_byzantine(std::vector<std::unique_ptr<sim::Process>>& fleet,
+                    const std::vector<ByzantinePlan>& plans);
+
+}  // namespace rcommit::adversary

@@ -1,0 +1,161 @@
+#include "baselines/bftcommit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::baselines {
+
+namespace {
+
+uint8_t maybe_flip(RandomTape& tape, uint8_t bit) {
+  return tape.flip() != 0 ? (bit != 0 ? 0 : 1) : bit;
+}
+
+}  // namespace
+
+sim::MessageRef BftVote::corrupted(RandomTape& tape) const {
+  return sim::make_message<BftVote>(maybe_flip(tape, vote_));
+}
+
+sim::MessageRef BftPrePrepare::corrupted(RandomTape& tape) const {
+  return sim::make_message<BftPrePrepare>(view_, maybe_flip(tape, outcome_));
+}
+
+sim::MessageRef BftPrepare::corrupted(RandomTape& tape) const {
+  return sim::make_message<BftPrepare>(view_, maybe_flip(tape, outcome_));
+}
+
+sim::MessageRef BftCommitVote::corrupted(RandomTape& tape) const {
+  return sim::make_message<BftCommitVote>(view_, maybe_flip(tape, outcome_));
+}
+
+BftCommitProcess::BftCommitProcess(Options options) : options_(std::move(options)) {
+  const auto& p = options_.params;
+  RCOMMIT_CHECK(p.n >= 1);
+  RCOMMIT_CHECK(options_.initial_vote == 0 || options_.initial_vote == 1);
+  f_ = max_faulty(p.n);
+  if (options_.timeout == 0) options_.timeout = 6 * p.k;
+  votes_.assign(static_cast<size_t>(p.n), std::nullopt);
+}
+
+bool BftCommitProcess::all_votes_yes() const {
+  return all_votes_in() &&
+         std::all_of(votes_.begin(), votes_.end(),
+                     [](const std::optional<uint8_t>& v) { return *v == 1; });
+}
+
+// RCOMMIT_ANALYZE_ALLOW(A1): process boundary — protocol transitions are workload, not simulator machinery; bench_simperf gates their steady-state cost at runtime
+void BftCommitProcess::on_step(sim::StepContext& ctx,
+                               std::span<const sim::Envelope> delivered) {
+  if (!started_) {
+    started_ = true;
+    id_ = ctx.self();
+    ctx.broadcast(
+        sim::make_message<BftVote>(static_cast<uint8_t>(options_.initial_vote)));
+  }
+
+  for (const auto& env : delivered) {
+    if (const auto* m = sim::msg_cast<BftVote>(env.payload)) {
+      auto& slot = votes_[static_cast<size_t>(env.from)];
+      if (!slot.has_value()) {
+        // First registration wins; an equivocating voter's later copies are
+        // ignored (each honest replica keeps one view of every voter).
+        slot = m->vote() != 0 ? 1 : 0;
+        ++votes_in_;
+      }
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<BftPrePrepare>(env.payload)) {
+      // Only the view's primary may propose — Envelope.from is the
+      // simulator-enforced identity, the model's stand-in for a signature.
+      if (env.from == primary_of(m->view())) {
+        preprepare_.emplace(m->view(), m->outcome() != 0 ? 1 : 0);
+        maybe_echo(ctx, m->view());
+      }
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<BftPrepare>(env.payload)) {
+      const uint8_t o = m->outcome() != 0 ? 1 : 0;
+      auto& set = prepares_[{m->view(), o}];
+      set.insert(env.from);
+      if (static_cast<int32_t>(set.size()) >= quorum()) {
+        on_prepare_quorum(ctx, m->view(), o);
+      }
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<BftCommitVote>(env.payload)) {
+      const uint8_t o = m->outcome() != 0 ? 1 : 0;
+      auto& set = commit_votes_[{m->view(), o}];
+      set.insert(env.from);
+      if (static_cast<int32_t>(set.size()) >= quorum()) {
+        decide(o != 0 ? Decision::kCommit : Decision::kAbort);
+      }
+      continue;
+    }
+  }
+  if (decided()) return;
+
+  // Local view rotation: view v is entered at clock v * timeout. A decided
+  // replica stops rotating (halted); an undecided one keeps giving new
+  // primaries a chance — the liveness half of the protocol.
+  view_ = std::max<int64_t>(view_, ctx.clock() / options_.timeout);
+
+  maybe_propose(ctx);
+  // Re-check the echo condition for the current view each step: votes or a
+  // lock may have arrived after the proposal did, and a locked replica
+  // re-echoes its lock into every view even without a proposal — so a quorum
+  // of locked replicas can finish a view whose primary is silent or lying.
+  maybe_echo(ctx, view_);
+}
+
+void BftCommitProcess::maybe_propose(sim::StepContext& ctx) {
+  if (primary_of(view_) != id_ || proposed_views_.contains(view_)) return;
+  uint8_t outcome = 0;
+  if (locked_.has_value()) {
+    outcome = *locked_;
+  } else if (all_votes_in()) {
+    outcome = all_votes_yes() ? 1 : 0;
+  } else if (view_ == 0 && ctx.clock() < options_.timeout) {
+    return;  // view 0: give the votes their delivery window before aborting
+  }
+  // Missing votes past the window count as no — aborting is always safe.
+  proposed_views_.insert(view_);
+  ctx.broadcast(sim::make_message<BftPrePrepare>(view_, outcome));
+}
+
+void BftCommitProcess::maybe_echo(sim::StepContext& ctx, int64_t view) {
+  if (echoed_views_.contains(view)) return;
+  uint8_t outcome = 0;
+  if (locked_.has_value()) {
+    outcome = *locked_;
+  } else {
+    const auto it = preprepare_.find(view);
+    if (it == preprepare_.end()) return;
+    outcome = it->second;
+    // Commit needs evidence: every vote registered and yes. An honest
+    // no-vote reaches every honest replica unforged, so a lying primary
+    // cannot buy a 2f+1 commit-echo quorum. Abort needs none.
+    if (outcome == 1 && !all_votes_yes()) return;
+  }
+  echoed_views_.insert(view);
+  ctx.broadcast(sim::make_message<BftPrepare>(view, outcome));
+}
+
+void BftCommitProcess::on_prepare_quorum(sim::StepContext& ctx, int64_t view,
+                                         uint8_t outcome) {
+  // Sticky lock: the first prepare quorum fixes this replica's value forever.
+  // A quorum for the other value is ignored — never commit-voted — which is
+  // what makes two conflicting decisions impossible (see header).
+  if (!locked_.has_value()) locked_ = outcome;
+  if (*locked_ != outcome) return;
+  auto& sent = commit_votes_[{view, outcome}];
+  if (sent.contains(id_)) return;  // already commit-voted this (view, value)
+  sent.insert(id_);
+  ctx.broadcast(sim::make_message<BftCommitVote>(view, outcome));
+  if (static_cast<int32_t>(sent.size()) >= quorum()) {
+    decide(outcome != 0 ? Decision::kCommit : Decision::kAbort);
+  }
+}
+
+}  // namespace rcommit::baselines

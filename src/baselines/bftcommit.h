@@ -1,0 +1,165 @@
+// Byzantine fault tolerant commit baseline (after Zhao, "A Byzantine Fault
+// Tolerant Distributed Commit Protocol").
+//
+// Zhao's protocol runs the commit decision through a PBFT-style replicated
+// coordinator: participants register votes with every coordinator replica,
+// the primary proposes the outcome, and the replicas certify it with
+// prepare/commit quorums of 2f+1 out of n >= 3f+1 before anyone acts on it.
+// This implementation keeps that skeleton in the repository's symmetric
+// fleet model — every processor is both a participant and a coordinator
+// replica — and makes the simplifications the deterministic simulator
+// motivates (documented in docs/baselines.md):
+//
+//   * identity in place of signatures: the simulator's Envelope.from is
+//     unforgeable, so certificates are sender sets instead of signature sets,
+//   * view rotation by local timers: a replica in view v accepts proposals
+//     from primary v mod n; views advance on a fixed clock schedule rather
+//     than a view-change sub-protocol,
+//   * sticky locks in place of PBFT's view-change certificates: the first
+//     prepare quorum a replica observes locks its value permanently; locked
+//     replicas only ever echo or commit-vote their locked value. Two
+//     conflicting decisions would need disjoint sets of f+1 honest locked
+//     replicas — more than the 2f+1 honest processors available — so
+//     agreement among honest processors holds under any timing and up to
+//     f = (n-1)/3 traitors. (Liveness can suffer under a split lock; safety
+//     cannot. The swarm gates safety only.)
+//
+// A replica echoes a Commit proposal only with the full yes-vote evidence in
+// hand (all n votes registered, all yes), which is what confines a lying
+// primary or an equivocating voter to liveness damage: any honest no-vote
+// reaches every honest replica unforged, starving Commit of its 2f+1 echo
+// quorum. Abort needs no evidence — aborting is always safe.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace rcommit::baselines {
+
+/// A participant's vote, broadcast to every replica. 1 = yes/prepared.
+class BftVote final : public sim::MessageBase {
+ public:
+  explicit BftVote(uint8_t vote) : vote_(vote) {}
+  [[nodiscard]] uint8_t vote() const { return vote_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "BFT-VOTE(" + std::to_string(int(vote_)) + ")";
+  }
+  [[nodiscard]] sim::MessageRef corrupted(RandomTape& tape) const override;
+
+ private:
+  uint8_t vote_;
+};
+
+/// The view primary's outcome proposal. outcome: 1 = commit.
+class BftPrePrepare final : public sim::MessageBase {
+ public:
+  BftPrePrepare(int64_t view, uint8_t outcome) : view_(view), outcome_(outcome) {}
+  [[nodiscard]] int64_t view() const { return view_; }
+  [[nodiscard]] uint8_t outcome() const { return outcome_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "BFT-PREPREPARE(v=" + std::to_string(view_) + "," +
+           (outcome_ ? "commit" : "abort") + ")";
+  }
+  [[nodiscard]] sim::MessageRef corrupted(RandomTape& tape) const override;
+
+ private:
+  int64_t view_;
+  uint8_t outcome_;
+};
+
+/// A replica's echo of the proposal it accepts in a view.
+class BftPrepare final : public sim::MessageBase {
+ public:
+  BftPrepare(int64_t view, uint8_t outcome) : view_(view), outcome_(outcome) {}
+  [[nodiscard]] int64_t view() const { return view_; }
+  [[nodiscard]] uint8_t outcome() const { return outcome_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "BFT-PREPARE(v=" + std::to_string(view_) + "," +
+           (outcome_ ? "commit" : "abort") + ")";
+  }
+  [[nodiscard]] sim::MessageRef corrupted(RandomTape& tape) const override;
+
+ private:
+  int64_t view_;
+  uint8_t outcome_;
+};
+
+/// A replica's commit-phase vote, sent after observing a prepare quorum.
+class BftCommitVote final : public sim::MessageBase {
+ public:
+  BftCommitVote(int64_t view, uint8_t outcome) : view_(view), outcome_(outcome) {}
+  [[nodiscard]] int64_t view() const { return view_; }
+  [[nodiscard]] uint8_t outcome() const { return outcome_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "BFT-COMMITVOTE(v=" + std::to_string(view_) + "," +
+           (outcome_ ? "commit" : "abort") + ")";
+  }
+  [[nodiscard]] sim::MessageRef corrupted(RandomTape& tape) const override;
+
+ private:
+  int64_t view_;
+  uint8_t outcome_;
+};
+
+class BftCommitProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    int initial_vote = 1;
+    /// View length in own clock ticks (view v starts at v * timeout).
+    /// 0 = default to 6 * params.k — room for the four message delays of the
+    /// fast path before the first rotation.
+    Tick timeout = 0;
+  };
+
+  explicit BftCommitProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+  /// Byzantine resilience of this fleet size: f = (n-1)/3.
+  [[nodiscard]] static int32_t max_faulty(int32_t n) { return (n - 1) / 3; }
+
+ private:
+  [[nodiscard]] int32_t quorum() const { return 2 * f_ + 1; }
+  [[nodiscard]] ProcId primary_of(int64_t view) const {
+    return static_cast<ProcId>(view % options_.params.n);
+  }
+  [[nodiscard]] bool all_votes_yes() const;
+  [[nodiscard]] bool all_votes_in() const { return votes_in_ >= options_.params.n; }
+  void decide(Decision d) { if (!decision_.has_value()) decision_ = d; }
+
+  void maybe_propose(sim::StepContext& ctx);
+  void maybe_echo(sim::StepContext& ctx, int64_t view);
+  void on_prepare_quorum(sim::StepContext& ctx, int64_t view, uint8_t outcome);
+
+  Options options_;
+  int32_t f_ = 0;
+  ProcId id_ = kNoProc;
+  bool started_ = false;
+  std::optional<Decision> decision_;
+
+  // Participant state: first vote registered per sender.
+  std::vector<std::optional<uint8_t>> votes_;
+  int32_t votes_in_ = 0;
+
+  // Replica state. Ordered containers only: iteration order feeds decisions.
+  int64_t view_ = 0;                          ///< highest view entered
+  std::set<int64_t> proposed_views_;          ///< primary duty done (as primary)
+  std::set<int64_t> echoed_views_;            ///< one prepare per view
+  std::map<int64_t, uint8_t> preprepare_;     ///< first proposal seen per view
+  std::map<std::pair<int64_t, uint8_t>, std::set<ProcId>> prepares_;
+  std::map<std::pair<int64_t, uint8_t>, std::set<ProcId>> commit_votes_;
+  std::optional<uint8_t> locked_;             ///< sticky: first prepare quorum
+};
+
+}  // namespace rcommit::baselines

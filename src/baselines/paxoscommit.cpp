@@ -1,0 +1,257 @@
+#include "baselines/paxoscommit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rcommit::baselines {
+
+sim::MessageRef Pc2a::corrupted(RandomTape& tape) const {
+  // A Byzantine participant lies about its vote — possibly differently per
+  // recipient (the wrapper draws per send, so equivocation falls out).
+  const uint8_t flipped = value_ != 0 ? 0 : 1;
+  const uint8_t value = tape.flip() != 0 ? flipped : value_;
+  return sim::make_message<Pc2a>(ballot_, instance_, value);
+}
+
+sim::MessageRef PcOutcome::corrupted(RandomTape& tape) const {
+  const uint8_t flipped = commit_ != 0 ? 0 : 1;
+  return sim::make_message<PcOutcome>(tape.flip() != 0 ? flipped : commit_);
+}
+
+PaxosCommitProcess::PaxosCommitProcess(Options options) : options_(std::move(options)) {
+  const auto& p = options_.params;
+  RCOMMIT_CHECK(p.n >= 1);
+  RCOMMIT_CHECK(options_.initial_vote == 0 || options_.initial_vote == 1);
+  f_ = options_.f >= 0 ? options_.f : std::min(p.t, (p.n - 1) / 2);
+  RCOMMIT_CHECK_MSG(2 * f_ + 1 <= p.n,
+                    "paxos commit needs 2f+1 <= n acceptors (f=" << f_ << ", n=" << p.n
+                                                                 << ")");
+  if (options_.timeout == 0) options_.timeout = 4 * p.k;
+  const auto n = static_cast<size_t>(p.n);
+  accepted_ballot_.assign(n, -1);
+  accepted_value_.assign(n, 0);
+  chosen_.assign(n, 0xff);
+}
+
+// RCOMMIT_ANALYZE_ALLOW(A1): process boundary — protocol transitions are workload, not simulator machinery; bench_simperf gates their steady-state cost at runtime
+void PaxosCommitProcess::on_step(sim::StepContext& ctx,
+                                 std::span<const sim::Envelope> delivered) {
+  if (!started_) {
+    started_ = true;
+    id_ = ctx.self();
+    if (id_ == 0) {
+      // Ballot 0: the initial leader announces the protocol and collects 2b
+      // acceptances directly — its phase 1 is vacuous (no lower ballot can
+      // exist), so participants' votes arrive as phase-2a messages.
+      ctx.broadcast(sim::make_message<PcBegin>());
+      active_ballot_ = 0;
+      proposals_sent_ = true;  // ballot-0 proposals are the participants' own 2as
+      accepts_.assign(static_cast<size_t>(options_.params.n), {});
+      owned_rounds_started_ = 1;
+    }
+  }
+
+  for (const auto& env : delivered) {
+    if (sim::msg_cast<PcBegin>(env.payload) != nullptr) {
+      begin_seen_ = true;
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<Pc1a>(env.payload)) {
+      if (is_acceptor()) acceptor_on_1a(ctx, m->ballot());
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<Pc1b>(env.payload)) {
+      leader_on_1b(ctx, env.from, *m);
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<Pc2a>(env.payload)) {
+      if (is_acceptor()) acceptor_on_2a(ctx, m->ballot(), m->instance(), m->value());
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<Pc2b>(env.payload)) {
+      leader_on_2b(ctx, env.from, m->ballot(), m->instance(), m->value());
+      continue;
+    }
+    if (const auto* m = sim::msg_cast<PcOutcome>(env.payload)) {
+      decide(m->commit() ? Decision::kCommit : Decision::kAbort);
+      continue;
+    }
+  }
+
+  if (begin_seen_ && !sent_2a_) send_votes_as_2a(ctx);
+  maybe_start_recovery(ctx);
+}
+
+void PaxosCommitProcess::send_votes_as_2a(sim::StepContext& ctx) {
+  sent_2a_ = true;
+  const auto value = static_cast<uint8_t>(options_.initial_vote);
+  for (ProcId a = 0; a < acceptor_count(); ++a) {
+    if (a == id_) {
+      acceptor_on_2a(ctx, 0, id_, value);
+    } else {
+      ctx.send(a, sim::make_message<Pc2a>(0, id_, value));
+    }
+  }
+  if (options_.initial_vote == 0) {
+    // An Aborted participant can decide immediately: only ballot-0 proposals
+    // carry Prepared, and this instance's sole ballot-0 proposal is Aborted,
+    // so no ballot can ever choose Prepared for it — the outcome is Abort.
+    // It must ANNOUNCE, not just decide: deciding halts the process, and a
+    // silently-halted no-voter is indistinguishable from a crashed acceptor —
+    // with several of them a live quorum may not survive and the yes-voters
+    // block forever. Announcing is safe for the same reason deciding is: no
+    // ballot can ever choose Prepared for this instance, so no conflicting
+    // Commit announcement can exist. (Mirrors the 2PC no-voter's unilateral
+    // abort plus Gray–Lamport's early-abort notification.)
+    announce(ctx, false);
+  }
+}
+
+void PaxosCommitProcess::acceptor_on_1a(sim::StepContext& ctx, int64_t ballot) {
+  if (ballot < promised_) return;  // stale leader; ignore (no NACKs needed)
+  promised_ = ballot;
+  deliver_1b(ctx, leader_of(ballot), ballot);
+}
+
+void PaxosCommitProcess::acceptor_on_2a(sim::StepContext& ctx, int64_t ballot,
+                                        ProcId instance, uint8_t value) {
+  if (ballot < promised_) return;
+  promised_ = ballot;
+  const auto i = static_cast<size_t>(instance);
+  RCOMMIT_CHECK_MSG(i < accepted_ballot_.size(), "2a instance out of range");
+  if (ballot >= accepted_ballot_[i]) {
+    accepted_ballot_[i] = ballot;
+    accepted_value_[i] = value;
+  }
+  deliver_2b(ctx, ballot, instance, value);
+}
+
+void PaxosCommitProcess::deliver_1b(sim::StepContext& ctx, ProcId to, int64_t ballot) {
+  if (to == id_) {
+    const Pc1b reply(ballot, accepted_ballot_, accepted_value_);
+    leader_on_1b(ctx, id_, reply);
+  } else {
+    ctx.send(to, sim::make_message<Pc1b>(ballot, accepted_ballot_, accepted_value_));
+  }
+}
+
+void PaxosCommitProcess::deliver_2b(sim::StepContext& ctx, int64_t ballot,
+                                    ProcId instance, uint8_t value) {
+  const ProcId to = leader_of(ballot);
+  if (to == id_) {
+    leader_on_2b(ctx, id_, ballot, instance, value);
+  } else {
+    ctx.send(to, sim::make_message<Pc2b>(ballot, instance, value));
+  }
+}
+
+void PaxosCommitProcess::leader_on_1b(sim::StepContext& ctx, ProcId from,
+                                      const Pc1b& reply) {
+  if (reply.ballot() != active_ballot_ || proposals_sent_) return;
+  const auto n = static_cast<size_t>(options_.params.n);
+  RCOMMIT_CHECK_MSG(reply.accepted_ballot().size() == n &&
+                        reply.accepted_value().size() == n,
+                    "malformed 1b");
+  if (!phase1_replies_.insert(from).second) return;
+  for (size_t i = 0; i < n; ++i) {
+    if (reply.accepted_ballot()[i] > fold_ballot_[i]) {
+      fold_ballot_[i] = reply.accepted_ballot()[i];
+      fold_value_[i] = reply.accepted_value()[i];
+    }
+  }
+  if (static_cast<int32_t>(phase1_replies_.size()) >= f_ + 1) send_proposals(ctx);
+}
+
+void PaxosCommitProcess::send_proposals(sim::StepContext& ctx) {
+  proposals_sent_ = true;
+  const auto n = static_cast<size_t>(options_.params.n);
+  for (size_t i = 0; i < n; ++i) {
+    // The Paxos rule per instance: re-propose the highest accepted value the
+    // phase-1 quorum reported, else the instance is free and Aborted is the
+    // always-safe proposal (Gray–Lamport: a free instance means its
+    // participant never registered Prepared with a quorum, so aborting it
+    // cannot contradict an earlier outcome).
+    const uint8_t value = fold_ballot_[i] >= 0 ? fold_value_[i] : 0;
+    const auto instance = static_cast<ProcId>(i);
+    for (ProcId a = 0; a < acceptor_count(); ++a) {
+      if (a == id_) {
+        acceptor_on_2a(ctx, active_ballot_, instance, value);
+      } else {
+        ctx.send(a, sim::make_message<Pc2a>(active_ballot_, instance, value));
+      }
+    }
+  }
+}
+
+void PaxosCommitProcess::leader_on_2b(sim::StepContext& ctx, ProcId from,
+                                      int64_t ballot, ProcId instance, uint8_t value) {
+  if (ballot != active_ballot_) return;
+  const auto i = static_cast<size_t>(instance);
+  RCOMMIT_CHECK_MSG(i < accepts_.size(), "2b instance out of range");
+  accepts_[i].insert(from);
+  if (static_cast<int32_t>(accepts_[i].size()) >= f_ + 1) set_chosen(ctx, instance, value);
+}
+
+void PaxosCommitProcess::set_chosen(sim::StepContext& ctx, ProcId instance,
+                                    uint8_t value) {
+  const auto i = static_cast<size_t>(instance);
+  if (chosen_[i] != 0xff) return;
+  chosen_[i] = value;
+  if (value == 0) {
+    // One instance chosen Aborted decides the outcome; no need to wait for
+    // the rest (Gray–Lamport's early-abort observation; also keeps the F=0
+    // case's timing aligned with 2PC).
+    announce(ctx, false);
+    return;
+  }
+  const bool all_prepared =
+      std::all_of(chosen_.begin(), chosen_.end(), [](uint8_t v) { return v == 1; });
+  if (all_prepared) announce(ctx, true);
+}
+
+void PaxosCommitProcess::announce(sim::StepContext& ctx, bool commit) {
+  if (announced_) return;
+  announced_ = true;
+  ctx.broadcast(sim::make_message<PcOutcome>(commit ? 1 : 0));
+  decide(commit ? Decision::kCommit : Decision::kAbort);
+}
+
+void PaxosCommitProcess::start_recovery_ballot(sim::StepContext& ctx, int64_t ballot) {
+  active_ballot_ = ballot;
+  proposals_sent_ = false;
+  phase1_replies_.clear();
+  const auto n = static_cast<size_t>(options_.params.n);
+  fold_ballot_.assign(n, -1);
+  fold_value_.assign(n, 0);
+  accepts_.assign(n, {});
+  for (ProcId a = 0; a < acceptor_count(); ++a) {
+    if (a == id_) {
+      if (is_acceptor()) acceptor_on_1a(ctx, ballot);
+    } else {
+      ctx.send(a, sim::make_message<Pc1a>(ballot));
+    }
+  }
+}
+
+void PaxosCommitProcess::maybe_start_recovery(sim::StepContext& ctx) {
+  if (decided()) return;
+  // Processor p owns ballots p, p+n, p+2n, ...; ballot b may start once the
+  // clock reaches timeout * (1 + b) + b². The linear term staggers recovery
+  // leaders; the quadratic term is the backoff that makes the stagger GROW:
+  // with a constant inter-ballot gap, message delays longer than the gap
+  // pre-empt every ballot before it completes (dueling leaders, the classic
+  // Paxos livelock), whereas a gap that widens by 2b+1 per ballot eventually
+  // exceeds any bounded delay, leaving one leader unchallenged long enough to
+  // finish — the "nonblocking" in Paxos Commit, without randomized backoff
+  // (which a deterministic process has no coin for).
+  const int64_t n = options_.params.n;
+  const int64_t candidate = id_ + owned_rounds_started_ * n;
+  if (candidate == 0) return;  // ballot 0 is the fast path, started at init
+  if (ctx.clock() >= options_.timeout * (1 + candidate) + candidate * candidate) {
+    ++owned_rounds_started_;
+    start_recovery_ballot(ctx, candidate);
+  }
+}
+
+}  // namespace rcommit::baselines

@@ -1,0 +1,226 @@
+// Paxos Commit baseline (Gray & Lamport, "Consensus on Transaction Commit").
+//
+// The paper's most-cited successor: transaction commit as n simultaneous
+// Paxos consensus instances, one per participant, sharing a set of 2F+1
+// acceptors. Instance i chooses participant i's registered vote (Prepared /
+// Aborted); the global outcome is Commit iff every instance chooses
+// Prepared. Unlike 2PC the protocol has no single point of blocking: any
+// processor can become the leader of a higher ballot, and a majority
+// (F+1) of acceptors is enough to learn — or safely complete — every
+// instance. Safety holds under *any* timing and message lateness (it is a
+// Paxos safety argument, not a timeout argument), which puts Paxos Commit in
+// the same asynchronous-safe class as the paper's Protocol 2; timeouts only
+// drive liveness.
+//
+// Mapping onto this repository's model (all n processors play every role):
+//   * every processor is a participant (resource manager) with a vote,
+//   * processors 0..2F are the acceptors,
+//   * the leader of ballot b is processor b mod n; ballot 0 belongs to
+//     processor 0 and uses the standard "virtual phase 1" fast path (ballot 0
+//     is the lowest ballot, so its phase 1 is vacuous and participants send
+//     their votes as phase-2a messages directly),
+//   * on timeout, recovery leaders rotate: processor p starts its owned
+//     ballots p, p+n, p+2n, ... at staggered clock thresholds, runs phase 1
+//     against the acceptors, proposes the Paxos-mandated value per instance
+//     (the highest accepted value, else Aborted for a free instance), and
+//     broadcasts the outcome once every instance is chosen.
+//
+// The degenerate case F=0 (one acceptor, colocated with the ballot-0 leader)
+// reduces exactly to 2PC — same message pattern, same count, same decisions —
+// which tests/paxoscommit_test.cpp locks (the Gray–Lamport §4.1 observation).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/message.h"
+#include "sim/process.h"
+
+namespace rcommit::baselines {
+
+/// Ballot-0 leader's announcement that the commit protocol is running (the
+/// transaction manager's "prepare" stimulus; participants answer with their
+/// phase-2a vote).
+class PcBegin final : public sim::MessageBase {
+ public:
+  [[nodiscard]] std::string debug_string() const override { return "PC-BEGIN"; }
+};
+
+/// Phase 1a: a recovery leader asks the acceptors to join ballot `ballot`
+/// (covering all n instances at once, the Gray–Lamport batching).
+class Pc1a final : public sim::MessageBase {
+ public:
+  explicit Pc1a(int64_t ballot) : ballot_(ballot) {}
+  [[nodiscard]] int64_t ballot() const { return ballot_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "PC-1A(b=" + std::to_string(ballot_) + ")";
+  }
+
+ private:
+  int64_t ballot_;
+};
+
+/// Phase 1b: an acceptor's promise, reporting its accepted (ballot, value)
+/// per instance (-1 = the instance is free at this acceptor).
+class Pc1b final : public sim::MessageBase {
+ public:
+  Pc1b(int64_t ballot, std::vector<int64_t> accepted_ballot,
+       std::vector<uint8_t> accepted_value)
+      : ballot_(ballot),
+        accepted_ballot_(std::move(accepted_ballot)),
+        accepted_value_(std::move(accepted_value)) {}
+  [[nodiscard]] int64_t ballot() const { return ballot_; }
+  [[nodiscard]] const std::vector<int64_t>& accepted_ballot() const {
+    return accepted_ballot_;
+  }
+  [[nodiscard]] const std::vector<uint8_t>& accepted_value() const {
+    return accepted_value_;
+  }
+  [[nodiscard]] std::string debug_string() const override {
+    return "PC-1B(b=" + std::to_string(ballot_) + ")";
+  }
+
+ private:
+  int64_t ballot_;
+  std::vector<int64_t> accepted_ballot_;
+  std::vector<uint8_t> accepted_value_;
+};
+
+/// Phase 2a: a proposal for one instance — a participant's registered vote at
+/// ballot 0, or a recovery leader's Paxos-mandated value at higher ballots.
+/// value: 1 = Prepared, 0 = Aborted.
+class Pc2a final : public sim::MessageBase {
+ public:
+  Pc2a(int64_t ballot, ProcId instance, uint8_t value)
+      : ballot_(ballot), instance_(instance), value_(value) {}
+  [[nodiscard]] int64_t ballot() const { return ballot_; }
+  [[nodiscard]] ProcId instance() const { return instance_; }
+  [[nodiscard]] uint8_t value() const { return value_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "PC-2A(b=" + std::to_string(ballot_) + ",i=" + std::to_string(instance_) +
+           "," + (value_ ? "Prepared" : "Aborted") + ")";
+  }
+  [[nodiscard]] sim::MessageRef corrupted(RandomTape& tape) const override;
+
+ private:
+  int64_t ballot_;
+  ProcId instance_;
+  uint8_t value_;
+};
+
+/// Phase 2b: an acceptor's acceptance of one instance's proposal, sent to the
+/// ballot's leader.
+class Pc2b final : public sim::MessageBase {
+ public:
+  Pc2b(int64_t ballot, ProcId instance, uint8_t value)
+      : ballot_(ballot), instance_(instance), value_(value) {}
+  [[nodiscard]] int64_t ballot() const { return ballot_; }
+  [[nodiscard]] ProcId instance() const { return instance_; }
+  [[nodiscard]] uint8_t value() const { return value_; }
+  [[nodiscard]] std::string debug_string() const override {
+    return "PC-2B(b=" + std::to_string(ballot_) + ",i=" + std::to_string(instance_) +
+           "," + (value_ ? "Prepared" : "Aborted") + ")";
+  }
+
+ private:
+  int64_t ballot_;
+  ProcId instance_;
+  uint8_t value_;
+};
+
+/// The learned global outcome, broadcast by whichever leader first sees every
+/// instance chosen (or any instance chosen Aborted).
+class PcOutcome final : public sim::MessageBase {
+ public:
+  explicit PcOutcome(uint8_t commit) : commit_(commit) {}
+  [[nodiscard]] bool commit() const { return commit_ != 0; }
+  [[nodiscard]] std::string debug_string() const override {
+    return commit_ ? "PC-COMMIT" : "PC-ABORT";
+  }
+  [[nodiscard]] sim::MessageRef corrupted(RandomTape& tape) const override;
+
+ private:
+  uint8_t commit_;
+};
+
+class PaxosCommitProcess final : public sim::Process {
+ public:
+  struct Options {
+    SystemParams params;
+    int initial_vote = 1;
+    /// Number of acceptor faults tolerated: 2f+1 acceptors (processors
+    /// 0..2f). -1 = derive min(params.t, (n-1)/2), i.e. as fault-tolerant as
+    /// the fleet size permits. f = 0 is the 2PC degenerate case.
+    int32_t f = -1;
+    /// Clock threshold before the first recovery ballot may start; also the
+    /// per-ballot stagger unit. 0 = default to 4 * params.k.
+    Tick timeout = 0;
+  };
+
+  explicit PaxosCommitProcess(Options options);
+
+  void on_step(sim::StepContext& ctx, std::span<const sim::Envelope> delivered) override;
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+  [[nodiscard]] Decision decision() const override { return *decision_; }
+  [[nodiscard]] bool halted() const override { return decided(); }
+
+ private:
+  [[nodiscard]] int32_t acceptor_count() const { return 2 * f_ + 1; }
+  [[nodiscard]] bool is_acceptor() const { return id_ < acceptor_count(); }
+  [[nodiscard]] ProcId leader_of(int64_t ballot) const {
+    return static_cast<ProcId>(ballot % options_.params.n);
+  }
+  void decide(Decision d) { if (!decision_.has_value()) decision_ = d; }
+
+  // Role handlers. "deliver" helpers short-circuit self-addressed messages
+  // (leader colocated with an acceptor, an acceptor proposing to itself)
+  // into direct calls, so the F=0 message pattern matches 2PC exactly.
+  void send_votes_as_2a(sim::StepContext& ctx);
+  void acceptor_on_1a(sim::StepContext& ctx, int64_t ballot);
+  void acceptor_on_2a(sim::StepContext& ctx, int64_t ballot, ProcId instance,
+                      uint8_t value);
+  void leader_on_1b(sim::StepContext& ctx, ProcId from, const Pc1b& reply);
+  void leader_on_2b(sim::StepContext& ctx, ProcId from, int64_t ballot,
+                    ProcId instance, uint8_t value);
+  void deliver_1b(sim::StepContext& ctx, ProcId to, int64_t ballot);
+  void deliver_2b(sim::StepContext& ctx, int64_t ballot, ProcId instance,
+                  uint8_t value);
+  void start_recovery_ballot(sim::StepContext& ctx, int64_t ballot);
+  void maybe_start_recovery(sim::StepContext& ctx);
+  void send_proposals(sim::StepContext& ctx);
+  void set_chosen(sim::StepContext& ctx, ProcId instance, uint8_t value);
+  void announce(sim::StepContext& ctx, bool commit);
+
+  Options options_;
+  int32_t f_ = 0;
+  ProcId id_ = kNoProc;
+  bool started_ = false;
+  bool begin_seen_ = false;
+  bool sent_2a_ = false;
+  bool announced_ = false;
+  std::optional<Decision> decision_;
+
+  // Acceptor state (meaningful when id_ <= 2f).
+  int64_t promised_ = 0;
+  std::vector<int64_t> accepted_ballot_;  ///< per instance; -1 = free
+  std::vector<uint8_t> accepted_value_;
+
+  // Leader state for the currently active owned ballot (-1 = none).
+  int64_t active_ballot_ = -1;
+  bool proposals_sent_ = false;
+  std::set<ProcId> phase1_replies_;
+  std::vector<int64_t> fold_ballot_;  ///< highest accepted ballot seen in 1bs
+  std::vector<uint8_t> fold_value_;
+  std::vector<std::set<ProcId>> accepts_;  ///< 2b senders per instance
+
+  /// Chosen instance values learned across this processor's leaderships
+  /// (0xff = not yet chosen). Chosen-ness is monotone — Paxos guarantees a
+  /// later ballot re-chooses the same value — so this never resets.
+  std::vector<uint8_t> chosen_;
+  int64_t owned_rounds_started_ = 0;
+};
+
+}  // namespace rcommit::baselines

@@ -48,6 +48,38 @@ bool agreement_validity_holds(const sim::RunResult& result,
   return true;
 }
 
+bool agreement_holds_among(const sim::RunResult& result,
+                           const std::vector<bool>& honest) {
+  RCOMMIT_CHECK(honest.size() == result.decisions.size());
+  std::optional<Decision> seen;
+  for (size_t p = 0; p < result.decisions.size(); ++p) {
+    if (!honest[p]) continue;
+    const auto& d = result.decisions[p];
+    if (!d.has_value()) continue;
+    if (seen.has_value() && *seen != *d) return false;
+    seen = *d;
+  }
+  return true;
+}
+
+bool abort_validity_holds_among(const sim::RunResult& result,
+                                const std::vector<int>& votes,
+                                const std::vector<bool>& honest) {
+  RCOMMIT_CHECK(honest.size() == votes.size());
+  RCOMMIT_CHECK(honest.size() == result.decisions.size());
+  bool any_honest_abort = false;
+  for (size_t p = 0; p < votes.size(); ++p) {
+    if (honest[p] && votes[p] == 0) any_honest_abort = true;
+  }
+  if (!any_honest_abort) return true;
+  for (size_t p = 0; p < result.decisions.size(); ++p) {
+    if (!honest[p]) continue;
+    const auto& d = result.decisions[p];
+    if (d.has_value() && *d == Decision::kCommit) return false;
+  }
+  return true;
+}
+
 void check_commit_conditions(const sim::RunResult& result, const std::vector<int>& votes,
                              Tick k) {
   RCOMMIT_CHECK_MSG(agreement_holds(result), "agreement condition violated");

@@ -34,6 +34,16 @@ bool commit_validity_holds(const sim::RunResult& result, const std::vector<int>&
 /// decided v. Vacuously true for mixed inputs.
 bool agreement_validity_holds(const sim::RunResult& result, const std::vector<int>& inputs);
 
+/// Agreement / abort validity quantified only over the processors marked true
+/// in `honest`. The swarm's Byzantine cells use these: a Byzantine victim's
+/// decision and vote sit outside every guarantee a BFT protocol makes, so
+/// including them would flag spurious violations. With an all-true mask these
+/// coincide with the unfiltered predicates.
+bool agreement_holds_among(const sim::RunResult& result, const std::vector<bool>& honest);
+bool abort_validity_holds_among(const sim::RunResult& result,
+                                const std::vector<int>& votes,
+                                const std::vector<bool>& honest);
+
 /// All three commit conditions at once; CHECK-fails with a description on
 /// violation (used as a hard gate inside property tests).
 void check_commit_conditions(const sim::RunResult& result, const std::vector<int>& votes,

@@ -12,9 +12,15 @@
 #include <utility>
 
 #include "common/payload_pool.h"
+#include "common/rng.h"
 #include "common/types.h"
 
 namespace rcommit::sim {
+
+class MessageBase;
+
+/// Immutable shared handle to a payload.
+using MessageRef = std::shared_ptr<const MessageBase>;
 
 /// Base class of every message payload exchanged by protocol code.
 class MessageBase {
@@ -23,10 +29,21 @@ class MessageBase {
 
   /// Human-readable rendering for traces and test failure messages.
   [[nodiscard]] virtual std::string debug_string() const = 0;
+
+  /// Byzantine content-corruption hook (adversary/byzantine.h). Returns a
+  /// tampered copy of this payload with randomness drawn from `tape`, or
+  /// nullptr when the type does not model corruption (the default). The
+  /// content-oblivious boundary is preserved by the division of labour: the
+  /// Byzantine wrapper decides *when* to corrupt and forwards the result
+  /// blindly, while the payload type alone defines *what* a corrupted copy
+  /// contains. Implementations must be deterministic functions of
+  /// (payload, tape draws).
+  [[nodiscard]] virtual MessageRef corrupted(RandomTape& tape) const;
 };
 
-/// Immutable shared handle to a payload.
-using MessageRef = std::shared_ptr<const MessageBase>;
+inline MessageRef MessageBase::corrupted(RandomTape& /*tape*/) const {
+  return nullptr;
+}
 
 /// Constructs a payload of concrete type T in place. When the caller runs
 /// under a PayloadPoolScope (the simulator installs one when

@@ -51,10 +51,18 @@ uint64_t run_fingerprint(const CellConfig& config, const sim::RunResult& result,
   bytes.reserve(64 + 4 * result.decisions.size());
   put_u8(bytes, 0);  // salt slot, rewritten per pass below
   // Cell shape — not the seed (behavior twins across seeds must collide)
-  // and not the adversary kind (a mutated schedule has no kind).
+  // and not the adversary kind (a mutated schedule has no kind). Byzantine
+  // victim plans ARE included: they are fleet-side (derived from the config,
+  // not the schedule), so a mutated schedule still runs against the same
+  // traitors — runs with different traitor sets live in different regions of
+  // the behavior space and must not collide.
   put_u8(bytes, static_cast<uint8_t>(config.protocol));
   put_u32(bytes, static_cast<uint32_t>(config.n));
   put_u64(bytes, static_cast<uint64_t>(config.k));
+  for (const auto& plan : cell_byzantine_plans(config)) {
+    put_u32(bytes, static_cast<uint32_t>(plan.victim));
+    put_u8(bytes, log2_bucket(plan.from_clock));
+  }
 
   put_u8(bytes, static_cast<uint8_t>(result.status));
   for (size_t p = 0; p < result.decisions.size(); ++p) {

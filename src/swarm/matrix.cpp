@@ -10,6 +10,8 @@
 #include "adversary/partition.h"
 #include "adversary/stretch.h"
 #include "baselines/benor.h"
+#include "baselines/bftcommit.h"
+#include "baselines/paxoscommit.h"
 #include "baselines/q3pc.h"
 #include "baselines/twopc.h"
 #include "common/check.h"
@@ -26,6 +28,8 @@ const char* to_string(ProtocolKind p) {
     case ProtocolKind::kTwoPc: return "twopc";
     case ProtocolKind::kQ3pc: return "q3pc";
     case ProtocolKind::kBroken: return "broken";
+    case ProtocolKind::kPaxosCommit: return "paxoscommit";
+    case ProtocolKind::kBftCommit: return "bftcommit";
   }
   return "?";
 }
@@ -40,13 +44,15 @@ const char* to_string(AdversaryKind a) {
     case AdversaryKind::kStretch: return "stretch";
     case AdversaryKind::kAdaptive: return "adaptive";
     case AdversaryKind::kOmniscient: return "omniscient";
+    case AdversaryKind::kByzantine: return "byzantine";
   }
   return "?";
 }
 
 ProtocolKind parse_protocol_kind(const std::string& name) {
   for (auto p : {ProtocolKind::kCommit, ProtocolKind::kBenor, ProtocolKind::kTwoPc,
-                 ProtocolKind::kQ3pc, ProtocolKind::kBroken}) {
+                 ProtocolKind::kQ3pc, ProtocolKind::kBroken,
+                 ProtocolKind::kPaxosCommit, ProtocolKind::kBftCommit}) {
     if (name == to_string(p)) return p;
   }
   RCOMMIT_CHECK_MSG(false, "unknown protocol: " << name);
@@ -56,7 +62,7 @@ AdversaryKind parse_adversary_kind(const std::string& name) {
   for (auto a : {AdversaryKind::kOnTime, AdversaryKind::kRandom, AdversaryKind::kCrash,
                  AdversaryKind::kLateMsg, AdversaryKind::kPartition,
                  AdversaryKind::kStretch, AdversaryKind::kAdaptive,
-                 AdversaryKind::kOmniscient}) {
+                 AdversaryKind::kOmniscient, AdversaryKind::kByzantine}) {
     if (name == to_string(a)) return a;
   }
   RCOMMIT_CHECK_MSG(false, "unknown adversary: " << name);
@@ -71,13 +77,25 @@ bool cell_guarantees_safety(ProtocolKind protocol, AdversaryKind adversary) {
   switch (protocol) {
     case ProtocolKind::kCommit:
     case ProtocolKind::kBenor:
+      // Safe under any timing and any (≤ t) crash load — but defined in the
+      // crash-fault model only; a Byzantine traitor is outside their claims.
+      return adversary != AdversaryKind::kByzantine;
     case ProtocolKind::kBroken:
-      return true;  // safe under any timing and any (≤ t) crash load
+      return true;
     case ProtocolKind::kTwoPc:
     case ProtocolKind::kQ3pc:
       // The synchronous baselines are only guaranteed safe when the timing
       // assumptions hold and nothing fails (paper §1).
       return adversary == AdversaryKind::kOnTime;
+    case ProtocolKind::kPaxosCommit:
+      // A Paxos safety argument: any timing, any message lateness, any ≤ t
+      // crash load — but crash-fault model only, like Protocol 2.
+      return adversary != AdversaryKind::kByzantine;
+    case ProtocolKind::kBftCommit:
+      // Safe against everything the swarm can throw, including up to
+      // (n-1)/3 Byzantine traitors (the gate quantifies over honest
+      // processors in Byzantine cells, see runner.cpp).
+      return true;
   }
   return false;
 }
@@ -174,9 +192,21 @@ std::vector<int> cell_votes(const CellConfig& config) {
   return votes;
 }
 
+std::vector<adversary::ByzantinePlan> cell_byzantine_plans(const CellConfig& config) {
+  if (config.adversary != AdversaryKind::kByzantine) return {};
+  // Victim count capped at (n-1)/3 — the BFT resilience bound — so the one
+  // protocol that claims Byzantine safety is gated within its own claim.
+  const int32_t fmax = (config.n - 1) / 3;
+  if (fmax <= 0) return {};
+  RandomTape tape(config.seed ^ 0xb12a7ULL);
+  const int count = 1 + static_cast<int>(tape.next_below(static_cast<uint64_t>(fmax)));
+  return adversary::random_byzantine_plans(config.seed ^ 0xb12a7badULL, config.n,
+                                           count, /*max_start_clock=*/8 * config.k);
+}
+
 namespace {
 
-std::vector<std::unique_ptr<sim::Process>> make_fleet(
+std::vector<std::unique_ptr<sim::Process>> make_honest_fleet(
     const CellConfig& config, const std::vector<int>& votes,
     const std::shared_ptr<adversary::BroadcastSpy>& spy) {
   const SystemParams params{.n = config.n, .t = config.t, .k = config.k};
@@ -215,8 +245,39 @@ std::vector<std::unique_ptr<sim::Process>> make_fleet(
       return fleet;
     case ProtocolKind::kBroken:
       return make_broken_fleet(config.n);
+    case ProtocolKind::kPaxosCommit:
+      for (int32_t i = 0; i < config.n; ++i) {
+        baselines::PaxosCommitProcess::Options options;
+        options.params = params;
+        options.initial_vote = votes[static_cast<size_t>(i)];
+        fleet.push_back(std::make_unique<baselines::PaxosCommitProcess>(options));
+      }
+      return fleet;
+    case ProtocolKind::kBftCommit:
+      for (int32_t i = 0; i < config.n; ++i) {
+        baselines::BftCommitProcess::Options options;
+        options.params = params;
+        options.initial_vote = votes[static_cast<size_t>(i)];
+        fleet.push_back(std::make_unique<baselines::BftCommitProcess>(options));
+      }
+      return fleet;
   }
   RCOMMIT_CHECK(false);
+}
+
+std::vector<std::unique_ptr<sim::Process>> make_fleet(
+    const CellConfig& config, const std::vector<int>& votes,
+    const std::shared_ptr<adversary::BroadcastSpy>& spy) {
+  auto fleet = make_honest_fleet(config, votes, spy);
+  // Byzantine victims are fleet-side wrappers, not an Adversary subclass: the
+  // pattern-only adversary API cannot see (let alone rewrite) payloads, so
+  // content attacks have to happen where the content lives. Both the live and
+  // the replay fleet pass through here, so a recorded Byzantine schedule
+  // replays against the same traitors.
+  if (config.adversary == AdversaryKind::kByzantine) {
+    adversary::wrap_byzantine(fleet, cell_byzantine_plans(config));
+  }
+  return fleet;
 }
 
 std::unique_ptr<sim::Adversary> make_adversary(
@@ -285,6 +346,13 @@ std::unique_ptr<sim::Adversary> make_adversary(
     case AdversaryKind::kOmniscient:
       RCOMMIT_CHECK_MSG(spy != nullptr, "omniscient adversary requires a benor fleet");
       return std::make_unique<adversary::SplitVoteAdversary>(spy, config.t);
+    case AdversaryKind::kByzantine:
+      // Scheduling side only: a random fair schedule. The Byzantine content
+      // attacks live in the fleet wrappers (see make_fleet), keeping this
+      // adversary inside the pattern-only API like every other kind.
+      return adversary::make_random_adversary(
+          sub_seed + 3, 1 + static_cast<Tick>(tape.next_below(
+                                static_cast<uint64_t>(2 * config.k))));
   }
   RCOMMIT_CHECK(false);
 }

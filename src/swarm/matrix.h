@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/byzantine.h"
 #include "common/types.h"
 #include "sim/adversary.h"
 #include "sim/process.h"
@@ -28,6 +29,10 @@ enum class ProtocolKind {
   kBroken,  ///< deliberately unsound test-only variant (swarm/broken.h);
             ///< parsed but undocumented — exists to exercise the
             ///< violation→shrink→artifact pipeline end to end
+  // New kinds append after kBroken: enum values feed cell-seed mixing and
+  // run fingerprints, so renumbering would invalidate the committed corpora.
+  kPaxosCommit,  ///< Paxos Commit (baselines/paxoscommit.h, Gray–Lamport)
+  kBftCommit,    ///< Byzantine fault tolerant commit (baselines/bftcommit.h)
 };
 
 /// Which scheduling/fault strategy drives the run.
@@ -40,6 +45,11 @@ enum class AdversaryKind {
   kStretch,     ///< every message delayed uniformly past K (Theorem 17)
   kAdaptive,    ///< quorum-stalling biased delivery (hardest admissible)
   kOmniscient,  ///< Ben-Or split-vote worst case (benor fleets only)
+  // Appended after kOmniscient for the same fingerprint-stability reason as
+  // the protocol kinds.
+  kByzantine,  ///< random schedule + seed-derived Byzantine victim wrappers
+               ///< (adversary/byzantine.h): equivocation, stale replay,
+               ///< omission, content corruption — at most (n-1)/3 victims
 };
 
 [[nodiscard]] const char* to_string(ProtocolKind p);
@@ -101,6 +111,15 @@ struct MatrixSpec {
 
 /// The deterministic vote/input vector of a cell (derived from its seed).
 [[nodiscard]] std::vector<int> cell_votes(const CellConfig& config);
+
+/// The deterministic Byzantine victim plans of a cell: between 1 and
+/// (n-1)/3 distinct victims derived from the cell seed (empty when the
+/// fleet is too small to tolerate any traitor, and always empty for
+/// non-Byzantine cells). Shared by fleet construction, the safety gate's
+/// honest mask, and the coverage fingerprint, so all three agree on who the
+/// traitors are.
+[[nodiscard]] std::vector<adversary::ByzantinePlan> cell_byzantine_plans(
+    const CellConfig& config);
 
 /// Fleet + adversary for a live (recorded) run. Kept together because the
 /// omniscient adversary and its fleet share a BroadcastSpy.

@@ -48,6 +48,38 @@ std::string gate_violation(const CellConfig& config, const std::vector<int>& vot
       // would muddy the shrinker tests.
       if (!protocol::agreement_holds(result)) return "agreement violated";
       return "";
+    case ProtocolKind::kPaxosCommit:
+      // Same guarantees as Protocol 2 (crash-fault model, any timing); only
+      // gated on non-Byzantine cells, so the unfiltered predicates apply.
+      if (!protocol::agreement_holds(result)) return "agreement violated";
+      if (!protocol::abort_validity_holds(result, votes)) {
+        return "abort validity violated";
+      }
+      if (!protocol::commit_validity_holds(result, votes, config.k)) {
+        return "commit validity violated";
+      }
+      return "";
+    case ProtocolKind::kBftCommit: {
+      // Gated under every adversary including kByzantine, but the guarantees
+      // quantify over honest processors only: a traitor's decision and vote
+      // sit outside any claim a BFT protocol makes.
+      std::vector<bool> honest(static_cast<size_t>(config.n), true);
+      for (const auto& plan : cell_byzantine_plans(config)) {
+        honest[static_cast<size_t>(plan.victim)] = false;
+      }
+      if (!protocol::agreement_holds_among(result, honest)) {
+        return "agreement violated (honest)";
+      }
+      if (!protocol::abort_validity_holds_among(result, votes, honest)) {
+        return "abort validity violated (honest)";
+      }
+      const bool any_byz = std::any_of(honest.begin(), honest.end(),
+                                       [](bool h) { return !h; });
+      if (!any_byz && !protocol::commit_validity_holds(result, votes, config.k)) {
+        return "commit validity violated";
+      }
+      return "";
+    }
   }
   return "";
 }
@@ -60,11 +92,18 @@ int max_decision_stage(const CellConfig& config,
                        const std::vector<std::unique_ptr<sim::Process>>& fleet) {
   int max_stage = 0;
   for (const auto& proc : fleet) {
+    // Pointer casts, not reference casts: under the Byzantine adversary a
+    // victim's slot holds a ByzantineProcess wrapper, whose stage count
+    // sits outside every guarantee anyway — skip it.
     const protocol::AgreementCore* core = nullptr;
     if (config.protocol == ProtocolKind::kCommit) {
-      core = dynamic_cast<const protocol::CommitProcess&>(*proc).agreement_core();
+      if (const auto* p = dynamic_cast<const protocol::CommitProcess*>(proc.get())) {
+        core = p->agreement_core();
+      }
     } else if (config.protocol == ProtocolKind::kBenor) {
-      core = &dynamic_cast<const protocol::AgreementProcess&>(*proc).core();
+      if (const auto* p = dynamic_cast<const protocol::AgreementProcess*>(proc.get())) {
+        core = &p->core();
+      }
     }
     if (core != nullptr) max_stage = std::max(max_stage, core->decision_stage());
   }
@@ -84,6 +123,8 @@ bool gate_needs_trace(const CellConfig& config, const std::vector<int>& votes) {
     case ProtocolKind::kCommit:
     case ProtocolKind::kTwoPc:
     case ProtocolKind::kQ3pc:
+    case ProtocolKind::kPaxosCommit:
+    case ProtocolKind::kBftCommit:
       return std::all_of(votes.begin(), votes.end(), [](int v) { return v == 1; });
     case ProtocolKind::kBenor:
     case ProtocolKind::kBroken:

@@ -1,0 +1,207 @@
+// Tests for the Paxos Commit baseline: the F=0 ≡ 2PC reduction (Gray &
+// Lamport §4.1), nonblocking recovery from a dead ballot-0 leader, safety
+// under message lateness, and determinism of the whole construction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "adversary/basic.h"
+#include "adversary/crash.h"
+#include "adversary/latemsg.h"
+#include "baselines/paxoscommit.h"
+#include "baselines/twopc.h"
+#include "protocol/invariants.h"
+#include "sim/simulator.h"
+
+namespace rcommit::baselines {
+namespace {
+
+using sim::RunStatus;
+using sim::Simulator;
+
+std::vector<std::unique_ptr<sim::Process>> paxos_fleet(const std::vector<int>& votes,
+                                                       int32_t f = -1,
+                                                       Tick timeout = 0) {
+  const auto n = static_cast<int32_t>(votes.size());
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int vote : votes) {
+    PaxosCommitProcess::Options options;
+    options.params = params;
+    options.initial_vote = vote;
+    options.f = f;
+    options.timeout = timeout;
+    fleet.push_back(std::make_unique<PaxosCommitProcess>(options));
+  }
+  return fleet;
+}
+
+std::vector<std::unique_ptr<sim::Process>> twopc_fleet(const std::vector<int>& votes) {
+  const auto n = static_cast<int32_t>(votes.size());
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = 2};
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int vote : votes) {
+    TwoPcProcess::Options options;
+    options.params = params;
+    options.initial_vote = vote;
+    options.policy = TwoPcTimeoutPolicy::kPresumeAbort;
+    fleet.push_back(std::make_unique<TwoPcProcess>(options));
+  }
+  return fleet;
+}
+
+TEST(PaxosCommit, AllYesCommits) {
+  Simulator sim({.seed = 1}, paxos_fleet({1, 1, 1, 1, 1}),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kCommit);
+}
+
+TEST(PaxosCommit, OneNoAborts) {
+  Simulator sim({.seed = 2}, paxos_fleet({1, 1, 0, 1, 1}),
+                adversary::make_on_time_adversary());
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (const auto& d : result.decisions) EXPECT_EQ(*d, Decision::kAbort);
+}
+
+TEST(PaxosCommit, F0MatchesTwoPcDecisionsOnEveryVoteVector) {
+  // The Gray–Lamport degenerate case: one acceptor colocated with the
+  // ballot-0 leader. On the on-time failure-free path the decisions must
+  // match presume-abort 2PC on every vote vector of n=5.
+  for (int mask = 0; mask < 32; ++mask) {
+    std::vector<int> votes(5);
+    for (int bit = 0; bit < 5; ++bit) votes[static_cast<size_t>(bit)] = (mask >> bit) & 1;
+
+    Simulator paxos({.seed = 77}, paxos_fleet(votes, /*f=*/0),
+                    adversary::make_on_time_adversary());
+    const auto paxos_result = paxos.run();
+    Simulator twopc({.seed = 77}, twopc_fleet(votes),
+                    adversary::make_on_time_adversary());
+    const auto twopc_result = twopc.run();
+
+    ASSERT_EQ(paxos_result.status, RunStatus::kAllDecided) << "votes mask " << mask;
+    ASSERT_EQ(twopc_result.status, RunStatus::kAllDecided) << "votes mask " << mask;
+    for (size_t p = 0; p < votes.size(); ++p) {
+      EXPECT_EQ(*paxos_result.decisions[p], *twopc_result.decisions[p])
+          << "votes mask " << mask << " proc " << p;
+    }
+  }
+}
+
+TEST(PaxosCommit, F0MatchesTwoPcMessageCountOnTheCommitPath) {
+  // Same degenerate case, all-yes failure-free: the message pattern collapses
+  // to exactly 2PC's (begin ↔ vote-req, 2a votes ↔ yes votes, outcome ↔
+  // decision broadcast), so the counts are equal — the headline §4.1 claim.
+  for (int32_t n : {3, 5, 7}) {
+    const std::vector<int> votes(static_cast<size_t>(n), 1);
+    Simulator paxos({.seed = 5}, paxos_fleet(votes, /*f=*/0),
+                    adversary::make_on_time_adversary());
+    const auto paxos_result = paxos.run();
+    Simulator twopc({.seed = 5}, twopc_fleet(votes),
+                    adversary::make_on_time_adversary());
+    const auto twopc_result = twopc.run();
+    ASSERT_EQ(paxos_result.status, RunStatus::kAllDecided);
+    ASSERT_EQ(twopc_result.status, RunStatus::kAllDecided);
+    EXPECT_EQ(paxos_result.messages_sent, twopc_result.messages_sent) << "n " << n;
+  }
+}
+
+TEST(PaxosCommit, LeaderCrashBeforeBeginRecoversToAbort) {
+  // The ballot-0 leader dies before its begin broadcast reaches anyone: no
+  // instance ever sees a Prepared proposal, so the rotating recovery leaders
+  // find every instance free, propose Aborted, and everyone left aborts —
+  // where blocking 2PC would wait forever. This is the nonblocking claim.
+  adversary::CrashPlan plan{.victim = 0, .at_clock = 1,
+                            .suppress_sends_to = {1, 2, 3, 4}};
+  auto adv = std::make_unique<adversary::CrashAdversary>(
+      adversary::make_on_time_adversary(), std::vector<adversary::CrashPlan>{plan});
+  Simulator sim({.seed = 6, .max_events = 50'000}, paxos_fleet({1, 1, 1, 1, 1}),
+                std::move(adv));
+  const auto result = sim.run();
+  ASSERT_EQ(result.status, RunStatus::kAllDecided);
+  for (ProcId p = 1; p < 5; ++p) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(p)], Decision::kAbort)
+        << "proc " << p;
+  }
+}
+
+TEST(PaxosCommit, LeaderCrashMidBroadcastStaysConsistent) {
+  // Whatever mix of participants saw the begin (and registered Prepared with
+  // the surviving acceptors), the recovery leaders must keep the survivors
+  // unanimous.
+  for (int mask = 0; mask < 16; ++mask) {
+    adversary::CrashPlan plan;
+    plan.victim = 0;
+    plan.at_clock = 1;
+    for (int bit = 0; bit < 4; ++bit) {
+      if ((mask >> bit) & 1) plan.suppress_sends_to.push_back(1 + bit);
+    }
+    auto adv = std::make_unique<adversary::CrashAdversary>(
+        adversary::make_on_time_adversary(),
+        std::vector<adversary::CrashPlan>{plan});
+    Simulator sim({.seed = 7 + static_cast<uint64_t>(mask), .max_events = 50'000},
+                  paxos_fleet({1, 1, 1, 1, 1}), std::move(adv));
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "mask " << mask;
+    EXPECT_FALSE(result.has_conflicting_decisions()) << "mask " << mask;
+  }
+}
+
+TEST(PaxosCommit, LateOutcomeNeverSplitsDecisions) {
+  // The paper's C13 shape: outcome and vote messages held far past every
+  // timeout, so recovery leaders race the original ballot. Paxos Commit's
+  // safety is a quorum-intersection argument, not a timeout argument — the
+  // stragglers may be slow but never disagree.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    std::vector<adversary::LateRule> rules;
+    rules.push_back({.from = 0, .to = 1, .nth = 0, .extra_delay = 200});
+    rules.push_back({.from = 0, .to = 2, .nth = 1, .extra_delay = 200});
+    rules.push_back({.from = 3, .to = 0, .nth = 0, .extra_delay = 200});
+    auto adv = std::make_unique<adversary::LateMessageAdversary>(std::move(rules));
+    Simulator sim({.seed = 100 + seed, .max_events = 50'000},
+                  paxos_fleet({1, 1, 1, 1, 1}), std::move(adv));
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "seed " << seed;
+    EXPECT_FALSE(result.has_conflicting_decisions()) << "seed " << seed;
+  }
+}
+
+TEST(PaxosCommit, RandomSweepHoldsCommitInvariants) {
+  // Mixed votes, random fair schedules: agreement and abort validity must
+  // hold on every run (and every run must terminate — the quadratic recovery
+  // backoff guarantees some leader eventually runs unchallenged).
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    std::vector<int> votes(7);
+    RandomTape vote_tape(900 + seed);
+    for (auto& v : votes) v = vote_tape.flip();
+    Simulator sim({.seed = 300 + seed, .max_events = 100'000},
+                  paxos_fleet(votes),
+                  adversary::make_random_adversary(300 + seed, /*max_delay=*/6));
+    const auto result = sim.run();
+    ASSERT_EQ(result.status, RunStatus::kAllDecided) << "seed " << seed;
+    EXPECT_TRUE(protocol::agreement_holds(result)) << "seed " << seed;
+    EXPECT_TRUE(protocol::abort_validity_holds(result, votes)) << "seed " << seed;
+  }
+}
+
+TEST(PaxosCommit, SameSeedSameRun) {
+  const auto run_once = [] {
+    Simulator sim({.seed = 42}, paxos_fleet({1, 0, 1, 1, 0}),
+                  adversary::make_random_adversary(42, /*max_delay=*/4));
+    return sim.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t p = 0; p < a.decisions.size(); ++p) {
+    EXPECT_EQ(a.decisions[p], b.decisions[p]) << "proc " << p;
+  }
+}
+
+}  // namespace
+}  // namespace rcommit::baselines

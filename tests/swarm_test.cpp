@@ -24,13 +24,15 @@ namespace {
 TEST(Matrix, KindNamesRoundTrip) {
   for (const auto p : {ProtocolKind::kCommit, ProtocolKind::kBenor,
                        ProtocolKind::kTwoPc, ProtocolKind::kQ3pc,
-                       ProtocolKind::kBroken}) {
+                       ProtocolKind::kBroken, ProtocolKind::kPaxosCommit,
+                       ProtocolKind::kBftCommit}) {
     EXPECT_EQ(parse_protocol_kind(to_string(p)), p);
   }
   for (const auto a :
        {AdversaryKind::kOnTime, AdversaryKind::kRandom, AdversaryKind::kCrash,
         AdversaryKind::kLateMsg, AdversaryKind::kPartition, AdversaryKind::kStretch,
-        AdversaryKind::kAdaptive, AdversaryKind::kOmniscient}) {
+        AdversaryKind::kAdaptive, AdversaryKind::kOmniscient,
+        AdversaryKind::kByzantine}) {
     EXPECT_EQ(parse_adversary_kind(to_string(a)), a);
   }
   EXPECT_THROW((void)parse_protocol_kind("nonesuch"), CheckFailure);
@@ -58,6 +60,38 @@ TEST(Matrix, SafetyGateFollowsThePaper) {
   EXPECT_TRUE(cell_guarantees_safety(ProtocolKind::kTwoPc, AdversaryKind::kOnTime));
   EXPECT_FALSE(cell_guarantees_safety(ProtocolKind::kTwoPc, AdversaryKind::kLateMsg));
   EXPECT_FALSE(cell_guarantees_safety(ProtocolKind::kQ3pc, AdversaryKind::kPartition));
+  // Paxos Commit carries Protocol 2's crash-model guarantees; BFT commit is
+  // the only protocol whose claims extend to Byzantine traitors.
+  EXPECT_TRUE(
+      cell_guarantees_safety(ProtocolKind::kPaxosCommit, AdversaryKind::kAdaptive));
+  EXPECT_FALSE(
+      cell_guarantees_safety(ProtocolKind::kPaxosCommit, AdversaryKind::kByzantine));
+  EXPECT_FALSE(
+      cell_guarantees_safety(ProtocolKind::kCommit, AdversaryKind::kByzantine));
+  EXPECT_TRUE(
+      cell_guarantees_safety(ProtocolKind::kBftCommit, AdversaryKind::kByzantine));
+}
+
+TEST(Matrix, ByzantinePlansAreConfigDeterministic) {
+  CellConfig config;
+  config.protocol = ProtocolKind::kBftCommit;
+  config.adversary = AdversaryKind::kByzantine;
+  config.n = 7;
+  config.t = 3;
+  config.seed = 99;
+  const auto plans = cell_byzantine_plans(config);
+  ASSERT_FALSE(plans.empty());
+  EXPECT_LE(plans.size(), static_cast<size_t>((config.n - 1) / 3));
+  const auto again = cell_byzantine_plans(config);
+  ASSERT_EQ(again.size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    EXPECT_EQ(again[i].victim, plans[i].victim);
+    EXPECT_EQ(again[i].from_clock, plans[i].from_clock);
+    EXPECT_EQ(again[i].seed, plans[i].seed);
+  }
+  // Non-Byzantine cells have no traitors, whatever the protocol.
+  config.adversary = AdversaryKind::kCrash;
+  EXPECT_TRUE(cell_byzantine_plans(config).empty());
 }
 
 TEST(Matrix, CellConfigSerializeRoundTrips) {
@@ -203,12 +237,14 @@ TEST(Pool, ExceptionPropagatesToCaller) {
 
 MatrixSpec small_full_matrix() {
   MatrixSpec spec;
-  spec.protocols = {ProtocolKind::kCommit, ProtocolKind::kBenor, ProtocolKind::kTwoPc,
-                    ProtocolKind::kQ3pc};
+  spec.protocols = {ProtocolKind::kCommit,      ProtocolKind::kBenor,
+                    ProtocolKind::kTwoPc,       ProtocolKind::kQ3pc,
+                    ProtocolKind::kPaxosCommit, ProtocolKind::kBftCommit};
   spec.adversaries = {AdversaryKind::kOnTime,    AdversaryKind::kRandom,
                       AdversaryKind::kCrash,     AdversaryKind::kLateMsg,
                       AdversaryKind::kPartition, AdversaryKind::kStretch,
-                      AdversaryKind::kAdaptive,  AdversaryKind::kOmniscient};
+                      AdversaryKind::kAdaptive,  AdversaryKind::kOmniscient,
+                      AdversaryKind::kByzantine};
   spec.ns = {3, 5};
   spec.seeds_per_cell = 3;
   spec.base_seed = 20260806;

@@ -114,5 +114,42 @@ int main(int argc, char** argv) {
                  std::move(plans)));
   }
 
+  // 4. Paxos Commit with a dead ballot-0 leader: the transaction manager
+  //    crashes mid-begin-broadcast, leaving a mixed fleet of registered and
+  //    unregistered votes; the rotating recovery leaders must still drive
+  //    every survivor to one outcome (the nonblocking path 2PC lacks).
+  {
+    swarm::CellConfig config;
+    config.protocol = swarm::ProtocolKind::kPaxosCommit;
+    config.adversary = swarm::AdversaryKind::kCrash;
+    config.n = 5;
+    config.t = 2;
+    config.k = 2;
+    config.seed = 1004;
+    std::vector<adversary::CrashPlan> plans;
+    plans.push_back({.victim = 0, .at_clock = 1, .suppress_sends_to = {2, 4}});
+    generate(out, "paxoscommit_leadercrash", config,
+             std::make_unique<adversary::CrashAdversary>(
+                 adversary::make_random_adversary(config.seed + 1, 2),
+                 std::move(plans)));
+  }
+
+  // 5. BFT commit with live traitors: the cell's seed-derived Byzantine
+  //    victims (wrapped into the replay fleet by make_replay_fleet itself)
+  //    equivocate under a random schedule; the honest majority must still
+  //    converge. Locks both the protocol and the determinism of the
+  //    config-derived tampering across simulator changes.
+  {
+    swarm::CellConfig config;
+    config.protocol = swarm::ProtocolKind::kBftCommit;
+    config.adversary = swarm::AdversaryKind::kByzantine;
+    config.n = 7;
+    config.t = 3;
+    config.k = 2;
+    config.seed = 1005;
+    generate(out, "bftcommit_byzantine", config,
+             adversary::make_random_adversary(config.seed + 1, 3));
+  }
+
   return 0;
 }

@@ -7,9 +7,10 @@
 //               --n=3,5,7 --seeds=25 --threads=8 --artifacts=swarm-artifacts
 //
 // Matrix flags:
-//   --protocols    comma list: commit | benor | twopc | q3pc    (default all 4)
+//   --protocols    comma list: commit | benor | twopc | q3pc | paxoscommit
+//                  | bftcommit                                  (default all 6)
 //   --adversaries  comma list: ontime | random | crash | latemsg | partition
-//                  | stretch | adaptive | omniscient            (default all)
+//                  | stretch | adaptive | omniscient | byzantine (default all)
 //   --n            comma list of fleet sizes                    (default 3,5,7)
 //   --seeds        seeds per cell                               (default 10)
 //   --seed0        base seed the cell seeds derive from         (default 1)
@@ -167,13 +168,14 @@ int main(int argc, char** argv) try {
   }
 
   swarm::SwarmOptions options;
-  for (const auto& name :
-       split_list(flags.get_string("protocols", "commit,benor,twopc,q3pc"))) {
+  for (const auto& name : split_list(flags.get_string(
+           "protocols", "commit,benor,twopc,q3pc,paxoscommit,bftcommit"))) {
     options.matrix.protocols.push_back(swarm::parse_protocol_kind(name));
   }
   for (const auto& name : split_list(flags.get_string(
            "adversaries",
-           "ontime,random,crash,latemsg,partition,stretch,adaptive,omniscient"))) {
+           "ontime,random,crash,latemsg,partition,stretch,adaptive,omniscient,"
+           "byzantine"))) {
     options.matrix.adversaries.push_back(swarm::parse_adversary_kind(name));
   }
   for (const auto& n : split_list(flags.get_string("n", "3,5,7"))) {
