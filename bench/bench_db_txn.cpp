@@ -3,8 +3,9 @@
 // The paper's introduction motivates the commit problem with distributed
 // database transactions. This bench runs bursts of cross-shard transactions
 // through the WAL-backed sharded KV store with the commit decision made by
-// (a) the paper's Protocol 2, (b) 2PC, (c) 3PC — over a threaded network
-// with real delays — and reports throughput, abort rate, and atomicity
+// (a) the paper's Protocol 2, (b) 2PC, (c) 3PC, (d) quorum-based 3PC — over
+// a threaded network with real delays — and reports throughput, abort rate,
+// and atomicity
 // violations (a transaction visible on one shard but not another).
 #include <chrono>
 #include <filesystem>

@@ -55,12 +55,10 @@ bool KvStore::prepare(TxnId txn, const std::vector<KvWrite>& writes,
   RCOMMIT_CHECK_MSG(staged_.find(txn) == staged_.end(),
                     "transaction " << txn << " already staged");
   // Lock every key first; on any conflict, release and vote abort.
-  for (const auto& write : writes) {
-    if (!locks_.try_lock(write.key, txn)) {
-      locks_.unlock_all(txn);
-      return false;
-    }
-  }
+  std::vector<std::string> keys;
+  keys.reserve(writes.size());
+  for (const auto& write : writes) keys.push_back(write.key);
+  if (!locks_.try_lock_all(keys, txn)) return false;
   try {
     wal_->append({WalRecordType::kBegin, txn, "", ""});
     for (const auto& write : writes) {

@@ -74,6 +74,9 @@ class KvStore {
 
   [[nodiscard]] const WriteAheadLog& wal() const { return *wal_; }
 
+  /// The shard's lock table (read-only) — conflict counts, current holders.
+  [[nodiscard]] const LockManager& locks() const { return locks_; }
+
  private:
   struct Staged {
     std::vector<KvWrite> writes;

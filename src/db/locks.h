@@ -11,6 +11,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace rcommit::db {
 
@@ -23,6 +24,14 @@ class LockManager {
   /// transaction holds it (no-wait policy).
   bool try_lock(const std::string& key, TxnId txn);
 
+  /// All-or-nothing acquisition of every key in `writes` for `txn`: on the
+  /// first conflict, every lock taken by this call (and any the transaction
+  /// already held) is released and false is returned. This is the
+  /// deterministic abort-on-conflict primitive the multi-shot engine builds
+  /// on — which transaction loses depends only on arrival order at this
+  /// shard, never on timing races inside the acquisition itself.
+  bool try_lock_all(const std::vector<std::string>& keys, TxnId txn);
+
   /// Releases every lock held by `txn` (end of its strict-2PL lifetime).
   void unlock_all(TxnId txn);
 
@@ -32,9 +41,14 @@ class LockManager {
   /// Number of keys currently locked.
   [[nodiscard]] size_t locked_count() const { return holders_.size(); }
 
+  /// try_lock / try_lock_all requests refused because another transaction
+  /// held a key — the shard's conflict-abort pressure gauge.
+  [[nodiscard]] int64_t conflicts() const { return conflicts_; }
+
  private:
   std::unordered_map<std::string, TxnId> holders_;
   std::unordered_map<TxnId, std::unordered_set<std::string>> keys_of_;
+  int64_t conflicts_ = 0;
 };
 
 }  // namespace rcommit::db

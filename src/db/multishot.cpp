@@ -1,0 +1,284 @@
+#include "db/multishot.h"
+
+#include <thread>
+
+#include "adversary/basic.h"
+#include "common/check.h"
+#include "sim/simulator.h"
+#include "transport/node.h"
+
+namespace rcommit::db {
+
+namespace {
+
+/// Per-instance seed: the same (seed, txn) mix RecoveryManager uses for its
+/// in-doubt rerun, so a crashed instance and a live one derive their decision
+/// rounds from the same stream.
+uint64_t instance_seed(uint64_t seed, TxnId txn) {
+  return seed ^ (static_cast<uint64_t>(txn) * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+MultiShotDb::MultiShotDb(Options options) : options_(std::move(options)) {
+  RCOMMIT_CHECK(options_.shard_count >= 1);
+  RCOMMIT_CHECK_MSG(options_.shard_count <= (1 << (64 - kTxnSequenceBits - 1)),
+                    "shard count exceeds the txn-id origin field");
+  RCOMMIT_CHECK(!options_.data_dir.empty());
+  std::filesystem::create_directories(options_.data_dir);
+  engines_.reserve(static_cast<size_t>(options_.shard_count));
+  for (int32_t i = 0; i < options_.shard_count; ++i) {
+    auto engine = std::make_unique<ShardEngine>();
+    engine->store = std::make_unique<KvStore>(
+        options_.data_dir / ("shard-" + std::to_string(i) + ".wal"));
+    if (options_.wal_fault_hook != nullptr) {
+      engine->store->set_fault_hook(options_.wal_fault_hook);
+    }
+    engines_.push_back(std::move(engine));
+  }
+}
+
+TxnId MultiShotDb::allocate_txn_id(int32_t origin_shard) {
+  RCOMMIT_CHECK(origin_shard >= 0 && origin_shard < options_.shard_count);
+  // A crashed or aborted attempt burns its sequence number: ids are
+  // allocate-once, never reused, so recovery can treat every id it sees in a
+  // WAL as naming exactly one instance.
+  const int64_t sequence =
+      engines_[static_cast<size_t>(origin_shard)]->next_sequence.fetch_add(1);
+  return make_txn_id(origin_shard, sequence);
+}
+
+MultiShotDb::Instance MultiShotDb::prepare_phase(TxnId txn,
+                                                 const GeneratedTxn& writes) {
+  RCOMMIT_CHECK(!writes.empty());
+  Instance instance;
+  instance.txn = txn;
+  for (const auto& [shard_index, shard_writes] : writes) {
+    (void)shard_writes;
+    RCOMMIT_CHECK(shard_index >= 0 && shard_index < options_.shard_count);
+    instance.involved.push_back(shard_index);
+  }
+  // Prepare in ascending shard order, one shard lock at a time. The first
+  // abort vote (a lock conflict) short-circuits: the remaining shards never
+  // see the transaction, which recovery's rule 2 reads as "a listed
+  // participant never prepared", forcing abort — the same outcome the live
+  // path applies below.
+  instance.all_voted_commit = true;
+  for (const int32_t shard_index : instance.involved) {
+    auto& engine = *engines_[static_cast<size_t>(shard_index)];
+    MutexLock lock(engine.mu);
+    if (!engine.store->prepare(txn, writes.at(shard_index), instance.involved)) {
+      instance.all_voted_commit = false;
+      break;
+    }
+  }
+  return instance;
+}
+
+TxnOutcome MultiShotDb::decide_phase(const Instance& instance) {
+  RCOMMIT_CHECK(instance.all_voted_commit);
+  const auto n = static_cast<int32_t>(instance.involved.size());
+  if (n == 1) return {Decision::kCommit, true};
+
+  const uint64_t seed = instance_seed(options_.seed, instance.txn);
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  fleet.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    fleet.push_back(make_commit_participant(options_.backend, params,
+                                            /*vote=*/1, options_.k));
+  }
+
+  TxnOutcome outcome;
+  std::vector<std::optional<Decision>> decisions;
+  if (options_.decision_transport == DecisionTransport::kSimulator) {
+    sim::SimConfig config;
+    config.seed = seed;
+    config.max_events = options_.max_events;
+    config.record_trace = false;
+    sim::Simulator simulator(config, std::move(fleet),
+                             adversary::make_on_time_adversary());
+    const auto result = simulator.run();
+    decisions = result.decisions;
+  } else {
+    decisions = run_threaded_round(std::move(fleet), seed);
+  }
+
+  outcome.decided = true;
+  outcome.decision = Decision::kAbort;
+  for (const auto& d : decisions) {
+    if (!d.has_value()) outcome.decided = false;
+    if (d.has_value() && *d == Decision::kCommit) outcome.decision = Decision::kCommit;
+  }
+  return outcome;
+}
+
+std::vector<std::optional<Decision>> MultiShotDb::run_threaded_round(
+    std::vector<std::unique_ptr<sim::Process>> fleet, uint64_t seed) {
+  // Admission: each round spins up ~n+1 short-lived threads (node hosts plus
+  // the network's delivery thread). Running more rounds than cores turns
+  // pipelining into scheduler churn, so excess clients wait here — their
+  // instances are already prepared, keeping the pipeline full.
+  // Enough rounds in flight to cover their network-delay sleeps even on a
+  // small machine, few enough that node threads don't thrash the scheduler.
+  const int32_t cap =
+      options_.max_concurrent_rounds > 0
+          ? options_.max_concurrent_rounds
+          : std::max(8, static_cast<int32_t>(std::thread::hardware_concurrency()));
+  {
+    MutexLock lock(rounds_mu_);
+    while (active_rounds_ >= cap) {
+      rounds_cv_.wait_for(rounds_mu_, std::chrono::milliseconds(50));
+    }
+    ++active_rounds_;
+  }
+
+  const auto n = static_cast<int32_t>(fleet.size());
+  transport::InMemoryNetwork network(n, seed, options_.network);
+  const auto seeds = derive_seeds(seed ^ 0xf1ee7, n);
+  std::vector<std::unique_ptr<transport::NodeHost>> hosts;
+  hosts.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    transport::NodeHost::Options nopts;
+    nopts.id = i;
+    nopts.seed = seeds[static_cast<size_t>(i)];
+    // Nodes wake early on message arrival, so a coarser step period costs
+    // no happy-path latency — it only cuts idle-step CPU, which is what
+    // bounds aggregate throughput when many rounds share few cores.
+    nopts.step_period = std::chrono::microseconds(500);
+    hosts.push_back(std::make_unique<transport::NodeHost>(
+        nopts, std::move(fleet[static_cast<size_t>(i)]), network));
+  }
+  network.start();
+  for (auto& host : hosts) host->start();
+
+  // run_fleet polls at a 2ms quantum — fine for one-shot commits, but here
+  // it would put a floor under every instance's latency. Poll at the node
+  // hosts' own step granularity instead.
+  const auto deadline = std::chrono::steady_clock::now() + options_.txn_timeout;
+  bool all_decided = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    all_decided = true;
+    for (const auto& host : hosts) all_decided = all_decided && host->decided();
+    if (all_decided) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(250));
+  }
+
+  for (auto& host : hosts) host->request_stop();
+  for (auto& host : hosts) host->join();
+  network.stop();
+
+  std::vector<std::optional<Decision>> decisions;
+  decisions.reserve(static_cast<size_t>(n));
+  for (const auto& host : hosts) {
+    if (host->process().decided()) {
+      decisions.emplace_back(host->process().decision());
+    } else {
+      decisions.emplace_back(std::nullopt);
+    }
+  }
+
+  {
+    MutexLock lock(rounds_mu_);
+    --active_rounds_;
+  }
+  rounds_cv_.notify_one();
+  return decisions;
+}
+
+void MultiShotDb::apply_phase(const Instance& instance, const TxnOutcome& outcome) {
+  // An undecided instance stays in doubt: staged state and locks are
+  // retained on every prepared shard for RecoveryManager to resolve.
+  if (!outcome.decided) return;
+  for (const int32_t shard_index : instance.involved) {
+    auto& engine = *engines_[static_cast<size_t>(shard_index)];
+    MutexLock lock(engine.mu);
+    if (outcome.decision == Decision::kCommit) {
+      engine.store->commit(instance.txn);
+    } else {
+      // abort() is idempotent per shard and legal for shards whose prepare
+      // never ran (the short-circuited tail of a conflict abort).
+      engine.store->abort(instance.txn);
+    }
+  }
+}
+
+TxnOutcome MultiShotDb::execute(int32_t origin_shard, const GeneratedTxn& writes) {
+  const TxnId txn = allocate_txn_id(origin_shard);
+  const Instance instance = prepare_phase(txn, writes);
+  TxnOutcome outcome;
+  if (!instance.all_voted_commit) {
+    outcome = {Decision::kAbort, true};
+    conflict_aborts_.fetch_add(1);
+  } else {
+    outcome = decide_phase(instance);
+  }
+  apply_phase(instance, outcome);
+  if (!outcome.decided) {
+    in_doubt_.fetch_add(1);
+  } else if (outcome.decision == Decision::kCommit) {
+    committed_.fetch_add(1);
+  } else {
+    aborted_.fetch_add(1);
+  }
+  return outcome;
+}
+
+std::vector<TxnOutcome> MultiShotDb::execute_pipelined(
+    int32_t origin_shard, const std::vector<GeneratedTxn>& batch) {
+  // Phase A: stage + prepare every instance before deciding any. The WALs
+  // interleave the whole batch's BEGIN/WRITE/PREPARED records, so a crash
+  // anywhere in the pipeline leaves many instances in doubt per shard.
+  std::vector<Instance> instances;
+  instances.reserve(batch.size());
+  for (const auto& writes : batch) {
+    instances.push_back(prepare_phase(allocate_txn_id(origin_shard), writes));
+  }
+  // Phase B: decision rounds, in instance order.
+  std::vector<TxnOutcome> outcomes;
+  outcomes.reserve(batch.size());
+  for (const auto& instance : instances) {
+    if (!instance.all_voted_commit) {
+      outcomes.push_back({Decision::kAbort, true});
+      conflict_aborts_.fetch_add(1);
+    } else {
+      outcomes.push_back(decide_phase(instance));
+    }
+  }
+  // Phase C: apply, in instance order.
+  for (size_t i = 0; i < instances.size(); ++i) {
+    apply_phase(instances[i], outcomes[i]);
+    if (!outcomes[i].decided) {
+      in_doubt_.fetch_add(1);
+    } else if (outcomes[i].decision == Decision::kCommit) {
+      committed_.fetch_add(1);
+    } else {
+      aborted_.fetch_add(1);
+    }
+  }
+  return outcomes;
+}
+
+std::optional<std::string> MultiShotDb::get(int32_t shard,
+                                            const std::string& key) const {
+  RCOMMIT_CHECK(shard >= 0 && shard < options_.shard_count);
+  const auto& engine = *engines_[static_cast<size_t>(shard)];
+  MutexLock lock(engine.mu);
+  return engine.store->get(key);
+}
+
+KvStore& MultiShotDb::shard(int32_t index) {
+  RCOMMIT_CHECK(index >= 0 && index < options_.shard_count);
+  return *engines_[static_cast<size_t>(index)]->store;
+}
+
+MultiShotStats MultiShotDb::stats() const {
+  MultiShotStats stats;
+  stats.committed = committed_.load();
+  stats.aborted = aborted_.load();
+  stats.conflict_aborts = conflict_aborts_.load();
+  stats.in_doubt = in_doubt_.load();
+  return stats;
+}
+
+}  // namespace rcommit::db

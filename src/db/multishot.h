@@ -1,0 +1,193 @@
+// Multi-shot sharded transaction engine.
+//
+// The single-shot `DistributedDb` commits one transaction at a time: execute
+// blocks the whole database until the commit instance decides. This layer —
+// in the style of Chockler & Gotsman's *Multi-Shot Distributed Transaction
+// Commit* (PAPERS.md) — lets millions of transactions be in flight across
+// partitioned shards without head-of-line blocking:
+//
+//   * Transaction ids span a 64-bit space: the originating shard in the top
+//     bits, a shard-local sequence in the bottom 48. Ids are unique across
+//     shards with no coordination, and every WAL record a transaction writes
+//     is tagged with its instance id (the PR 4 participant-list / shard_ids
+//     encoding rides along unchanged in the PREPARED record).
+//   * Each shard runs a *pipeline* of commit instances keyed by that id:
+//     a shard engine prepares, decides, and applies different transactions
+//     independently, serialized only by the shard's own WAL appends and lock
+//     table — never by another transaction's commit round-trip.
+//   * Conflicts are arbitrated by the per-shard no-wait lock table
+//     (db/locks): the later arrival votes abort, deterministically, and no
+//     commit instance even starts for it.
+//
+// Two decision transports share the same instance semantics:
+//
+//   kSimulator        the commit protocol runs on the deterministic simulator
+//                     under the on-time adversary, seeded by (seed, txn id) —
+//                     the exact rerun RecoveryManager performs for an
+//                     in-doubt instance, so a crashed instance recovers to
+//                     the same decision a live one would have reached. This
+//                     makes single-driver pipelines pure functions of
+//                     (options, workload), which is what the multi-txn
+//                     crash-point torture sweep replays from.
+//   kThreadedNetwork  each instance runs over a fresh threaded in-memory
+//                     network with real delays (DistributedDb's transport) —
+//                     the configuration bench_db_multishot (E19) measures,
+//                     where pipelining is the entire throughput win.
+//
+// Thread model: execute() may be called from many client threads; each shard
+// engine guards its store with an annotated Mutex (lock order: ascending
+// shard index, one shard at a time — never two shard locks held at once).
+// execute_pipelined() is the deterministic single-driver form: it stages a
+// whole batch of instances before deciding any of them, which is how the
+// fault-injection tooling reaches many-in-doubt-transactions-per-shard WAL
+// states reproducibly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "db/kv.h"
+#include "db/txn.h"
+#include "db/workload.h"
+#include "transport/network.h"
+
+namespace rcommit::db {
+
+// --- the 64-bit transaction-id space -----------------------------------------
+
+/// Bits of the shard-local sequence; the top 64-48 = 16 bits carry the
+/// originating shard. ~2.8e14 transactions per shard before wraparound.
+inline constexpr int kTxnSequenceBits = 48;
+inline constexpr int64_t kTxnSequenceMask = (int64_t{1} << kTxnSequenceBits) - 1;
+
+/// Composes an instance id from (originating shard, shard-local sequence).
+/// Sequence 0 is reserved (it collides with legacy single-shot ids at origin
+/// 0); engines allocate from 1.
+[[nodiscard]] constexpr TxnId make_txn_id(int32_t origin_shard, int64_t sequence) {
+  return (static_cast<int64_t>(origin_shard) << kTxnSequenceBits) |
+         (sequence & kTxnSequenceMask);
+}
+
+/// The originating shard encoded in `txn`.
+[[nodiscard]] constexpr int32_t txn_origin(TxnId txn) {
+  return static_cast<int32_t>(txn >> kTxnSequenceBits);
+}
+
+/// The shard-local sequence number encoded in `txn`.
+[[nodiscard]] constexpr int64_t txn_sequence(TxnId txn) {
+  return txn & kTxnSequenceMask;
+}
+
+// --- the engine --------------------------------------------------------------
+
+/// How a commit instance's decision round is executed.
+enum class DecisionTransport {
+  kSimulator,        ///< deterministic simulator, on-time adversary
+  kThreadedNetwork,  ///< fresh threaded in-memory network per instance
+};
+
+/// Aggregate engine counters (monotonic; safe to read while running).
+struct MultiShotStats {
+  int64_t committed = 0;
+  int64_t aborted = 0;
+  int64_t conflict_aborts = 0;  ///< aborts decided by the lock table alone
+  int64_t in_doubt = 0;         ///< instances whose decision round timed out
+};
+
+class MultiShotDb {
+ public:
+  struct Options {
+    int32_t shard_count = 3;
+    std::filesystem::path data_dir;  ///< one WAL per shard lives here
+    CommitBackend backend = CommitBackend::kPaperProtocol;
+    DecisionTransport decision_transport = DecisionTransport::kSimulator;
+    uint64_t seed = 1;
+    transport::LinkPolicy network = {};  ///< kThreadedNetwork link timing
+    std::chrono::milliseconds txn_timeout{2000};
+    Tick k = 25;  ///< Protocol 2's K
+    /// Event budget for one kSimulator decision round.
+    int64_t max_events = 200'000;
+    /// Cap on simultaneous kThreadedNetwork decision rounds; 0 picks the
+    /// hardware concurrency. Each round runs ~3 short-lived threads, so an
+    /// uncapped 64-client fleet collapses into scheduler churn — admission
+    /// control keeps throughput scaling (see bench_db_multishot, E19).
+    int32_t max_concurrent_rounds = 0;
+    /// Optional WAL fault hook installed on every shard's log (non-owning).
+    /// Only meaningful with a single driver thread (execute_pipelined): the
+    /// injector's site numbering assumes sequential appends.
+    WalFaultHook* wal_fault_hook = nullptr;
+  };
+
+  explicit MultiShotDb(Options options);
+
+  /// Executes one transaction whose id originates at `origin_shard`.
+  /// Thread-safe: concurrent callers pipeline through the shard engines.
+  TxnOutcome execute(int32_t origin_shard, const GeneratedTxn& writes);
+
+  /// Deterministic pipelined batch from one driver thread: every
+  /// transaction in `batch` is staged and prepared (in order) before any
+  /// decision round runs, then all instances decide and apply in order.
+  /// WALs interleave the batch's records exactly as a crashed concurrent
+  /// run would — many in-doubt instances per shard — but reproducibly.
+  std::vector<TxnOutcome> execute_pipelined(int32_t origin_shard,
+                                            const std::vector<GeneratedTxn>& batch);
+
+  /// Reads one key from one shard (thread-safe).
+  [[nodiscard]] std::optional<std::string> get(int32_t shard,
+                                               const std::string& key) const;
+
+  /// Direct shard access for tests and recovery drivers. Unsynchronized —
+  /// callers must be quiescent (no execute in flight).
+  [[nodiscard]] KvStore& shard(int32_t index);
+  [[nodiscard]] int32_t shard_count() const { return options_.shard_count; }
+
+  [[nodiscard]] MultiShotStats stats() const;
+
+ private:
+  /// One transaction's staged state between the prepare and apply phases.
+  struct Instance {
+    TxnId txn = 0;
+    std::vector<int32_t> involved;  ///< ascending shard indices
+    bool all_voted_commit = false;
+  };
+
+  /// Allocates the next instance id originating at `origin_shard`.
+  TxnId allocate_txn_id(int32_t origin_shard);
+  /// Phase 1: lock + stage + durably prepare on every involved shard.
+  Instance prepare_phase(TxnId txn, const GeneratedTxn& writes);
+  /// Phase 2: one commit instance's decision round (all participants voted
+  /// commit; lock-table aborts never reach here).
+  TxnOutcome decide_phase(const Instance& instance);
+  /// One threaded decision round under the admission gate: fleet over a
+  /// fresh InMemoryNetwork, polled at fine granularity until every node
+  /// decides or txn_timeout expires.
+  std::vector<std::optional<Decision>> run_threaded_round(
+      std::vector<std::unique_ptr<sim::Process>> fleet, uint64_t seed);
+  /// Phase 3: apply the decision on every involved shard.
+  void apply_phase(const Instance& instance, const TxnOutcome& outcome);
+
+  struct ShardEngine {
+    mutable Mutex mu;
+    std::unique_ptr<KvStore> store;  ///< guarded by mu while threads run
+    std::atomic<int64_t> next_sequence{1};
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<ShardEngine>> engines_;
+  /// Admission gate for threaded decision rounds (kThreadedNetwork only).
+  mutable Mutex rounds_mu_;
+  CondVar rounds_cv_;
+  int32_t active_rounds_ GUARDED_BY(rounds_mu_) = 0;
+  std::atomic<int64_t> committed_{0};
+  std::atomic<int64_t> aborted_{0};
+  std::atomic<int64_t> conflict_aborts_{0};
+  std::atomic<int64_t> in_doubt_{0};
+};
+
+}  // namespace rcommit::db

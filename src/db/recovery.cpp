@@ -5,10 +5,16 @@
 
 #include "adversary/basic.h"
 #include "common/check.h"
-#include "protocol/commit.h"
+#include "db/txn.h"
 #include "sim/simulator.h"
 
 namespace rcommit::db {
+
+ShardTxnStatus BatchSurvey::status(int32_t shard, TxnId txn) const {
+  const auto& shard_statuses = statuses[static_cast<size_t>(shard)];
+  const auto it = shard_statuses.find(txn);
+  return it == shard_statuses.end() ? ShardTxnStatus::kUnknown : it->second;
+}
 
 RecoveryManager::RecoveryManager(std::vector<KvStore*> shards, Options options)
     : shards_(std::move(shards)), options_(std::move(options)) {
@@ -19,59 +25,72 @@ RecoveryManager::RecoveryManager(std::vector<KvStore*> shards, Options options)
       "shard_ids must be empty or parallel to the shards vector");
 }
 
-std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
-  std::vector<int32_t> ignored;
-  return survey_with_participants(txn, ignored);
-}
-
-std::map<int32_t, ShardTxnStatus> RecoveryManager::survey_with_participants(
-    TxnId txn, std::vector<int32_t>& participants) const {
-  std::map<int32_t, ShardTxnStatus> statuses;
-  std::set<int32_t> participant_set;
+BatchSurvey RecoveryManager::survey_all() const {
+  BatchSurvey survey;
+  survey.statuses.resize(shards_.size());
+  std::map<TxnId, std::set<int32_t>> participant_sets;
   for (size_t i = 0; i < shards_.size(); ++i) {
     // Replay the shard's WAL fresh; the live KvStore only retains staged
-    // state, but recovery needs the full outcome history.
+    // state, but recovery needs the full outcome history. ONE replay per
+    // shard covers every transaction — the multi-shot scan.
     WriteAheadLog wal(shards_[i]->wal().path());
-    ShardTxnStatus status = ShardTxnStatus::kUnknown;
+    auto& statuses = survey.statuses[i];
     for (const auto& record : wal.replay()) {
-      if (record.txn_id != txn) continue;
       switch (record.type) {
         case WalRecordType::kBegin:
-        case WalRecordType::kWrite:
-          if (status == ShardTxnStatus::kUnknown) status = ShardTxnStatus::kStagedOnly;
+        case WalRecordType::kWrite: {
+          auto [it, inserted] =
+              statuses.emplace(record.txn_id, ShardTxnStatus::kStagedOnly);
+          (void)it;
+          (void)inserted;
           break;
+        }
         case WalRecordType::kPrepared:
-          status = ShardTxnStatus::kPrepared;
+          statuses[record.txn_id] = ShardTxnStatus::kPrepared;
           for (int32_t id : decode_participant_list(record.value)) {
-            participant_set.insert(id);
+            participant_sets[record.txn_id].insert(id);
           }
           break;
         case WalRecordType::kCommit:
-          status = ShardTxnStatus::kCommitted;
+          statuses[record.txn_id] = ShardTxnStatus::kCommitted;
           break;
         case WalRecordType::kAbort:
-          status = ShardTxnStatus::kAborted;
+          statuses[record.txn_id] = ShardTxnStatus::kAborted;
           break;
         case WalRecordType::kSnapshot:
           break;  // checkpointed committed state; carries no per-txn status
       }
     }
-    statuses[static_cast<int32_t>(i)] = status;
   }
-  participants.assign(participant_set.begin(), participant_set.end());
+  for (const auto& [txn, ids] : participant_sets) {
+    survey.participants[txn].assign(ids.begin(), ids.end());
+  }
+  return survey;
+}
+
+std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
+  const BatchSurvey batch = survey_all();
+  std::map<int32_t, ShardTxnStatus> statuses;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    statuses[static_cast<int32_t>(i)] = batch.status(static_cast<int32_t>(i), txn);
+  }
   return statuses;
 }
 
-void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
-  std::vector<int32_t> intended;
-  const auto statuses = survey_with_participants(txn, intended);
+void RecoveryManager::resolve(TxnId txn, const BatchSurvey& survey,
+                              RecoveryReport& report) {
+  const auto participants_it = survey.participants.find(txn);
+  const std::vector<int32_t> intended =
+      participants_it == survey.participants.end() ? std::vector<int32_t>{}
+                                                   : participants_it->second;
 
   bool any_commit = false;
   bool any_abort = false;
   bool any_staged_only = false;
   std::vector<int32_t> prepared_shards;
-  for (const auto& [shard, status] : statuses) {
-    switch (status) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const auto shard = static_cast<int32_t>(i);
+    switch (survey.status(shard, txn)) {
       case ShardTxnStatus::kCommitted: any_commit = true; break;
       case ShardTxnStatus::kAborted: any_abort = true; break;
       case ShardTxnStatus::kStagedOnly: any_staged_only = true; break;
@@ -101,10 +120,12 @@ void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
                   ? -1
                   : static_cast<int32_t>(it - options_.shard_ids.begin());
     }
-    const auto status_it = statuses.find(index);
-    if (status_it == statuses.end() ||
-        status_it->second == ShardTxnStatus::kUnknown ||
-        status_it->second == ShardTxnStatus::kStagedOnly) {
+    const ShardTxnStatus status =
+        index >= 0 && index < static_cast<int32_t>(shards_.size())
+            ? survey.status(index, txn)
+            : ShardTxnStatus::kUnknown;
+    if (status == ShardTxnStatus::kUnknown ||
+        status == ShardTxnStatus::kStagedOnly) {
       missing_intended_participant = true;
     }
   }
@@ -120,7 +141,9 @@ void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
     // again among the prepared shards, all voting commit. The rerun happens
     // on the deterministic simulator under the on-time adversary (the
     // Theorem 9 commit-validity conditions), so the outcome — commit — is a
-    // pure function of the inputs, never of wall-clock timing.
+    // pure function of the inputs, never of wall-clock timing. Each instance
+    // reruns under its own (seed, txn) mix: resolving a whole pipeline of
+    // in-doubt instances replays one independent protocol run per instance.
     RCOMMIT_CHECK(!prepared_shards.empty());
     ++report.reran_protocol;
     if (prepared_shards.size() == 1) {
@@ -130,10 +153,8 @@ void RecoveryManager::resolve(TxnId txn, RecoveryReport& report) {
       const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
       std::vector<std::unique_ptr<sim::Process>> fleet;
       for (int32_t i = 0; i < n; ++i) {
-        protocol::CommitProcess::Options popts;
-        popts.params = params;
-        popts.initial_vote = 1;
-        fleet.push_back(std::make_unique<protocol::CommitProcess>(popts));
+        fleet.push_back(make_commit_participant(CommitBackend::kPaperProtocol,
+                                                params, /*vote=*/1, options_.k));
       }
       sim::SimConfig config;
       config.seed = options_.seed ^
@@ -171,7 +192,12 @@ RecoveryReport RecoveryManager::resolve_all() {
   for (const auto* shard : shards_) {
     for (TxnId txn : shard->in_doubt()) pending.insert(txn);
   }
-  for (TxnId txn : pending) resolve(txn, report);
+  if (pending.empty()) return report;
+  // One WAL scan per shard indexes every instance at once; each pending
+  // transaction is then resolved from the index. Resolving transaction A
+  // appends only A's outcome record, so the index stays exact for B, C, ...
+  const BatchSurvey survey = survey_all();
+  for (TxnId txn : pending) resolve(txn, survey, report);
   return report;
 }
 

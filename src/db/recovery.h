@@ -50,6 +50,23 @@ struct RecoveryReport {
   bool operator==(const RecoveryReport&) const = default;
 };
 
+/// Every transaction's per-shard status, built from ONE WAL replay per shard
+/// — the multi-shot recovery path. With millions of in-doubt instances per
+/// shard, the per-transaction survey (one replay per transaction per shard)
+/// is quadratic; this index is linear in total WAL bytes and each in-doubt
+/// instance is then resolved from the index with its own deterministic
+/// protocol rerun.
+struct BatchSurvey {
+  /// statuses[shard][txn]; transactions a shard never saw are absent
+  /// (ShardTxnStatus::kUnknown).
+  std::vector<std::map<TxnId, ShardTxnStatus>> statuses;
+  /// Union of recorded PREPARED participant lists, per transaction.
+  std::map<TxnId, std::vector<int32_t>> participants;
+
+  /// The status of `txn` on `shard` (kUnknown if unseen).
+  [[nodiscard]] ShardTxnStatus status(int32_t shard, TxnId txn) const;
+};
+
 class RecoveryManager {
  public:
   struct Options {
@@ -71,16 +88,19 @@ class RecoveryManager {
   /// in the constructor's `shards` vector.
   [[nodiscard]] std::map<int32_t, ShardTxnStatus> survey(TxnId txn) const;
 
-  /// Resolves every in-doubt transaction on every shard. Idempotent.
+  /// One WAL replay per shard, indexing every transaction at once.
+  [[nodiscard]] BatchSurvey survey_all() const;
+
+  /// Resolves every in-doubt transaction on every shard, in ascending
+  /// transaction-id order, from a single batch survey. Idempotent.
   RecoveryReport resolve_all();
 
  private:
-  /// Decides the fate of one in-doubt transaction and applies it.
-  void resolve(TxnId txn, RecoveryReport& report);
-
-  /// survey() plus the union of recorded participant lists for the txn.
-  [[nodiscard]] std::map<int32_t, ShardTxnStatus> survey_with_participants(
-      TxnId txn, std::vector<int32_t>& participants) const;
+  /// Decides the fate of one in-doubt transaction (against the pre-pass
+  /// index) and applies it. Appending an outcome record for one transaction
+  /// never changes another's indexed status, so the index stays valid
+  /// across the whole resolution pass.
+  void resolve(TxnId txn, const BatchSurvey& survey, RecoveryReport& report);
 
   std::vector<KvStore*> shards_;
   Options options_;

@@ -23,11 +23,10 @@ DistributedDb::DistributedDb(Options options) : options_(std::move(options)) {
   }
 }
 
-std::unique_ptr<sim::Process> DistributedDb::make_participant(int32_t index, int32_t n,
-                                                              int vote) const {
-  (void)index;
-  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
-  switch (options_.backend) {
+std::unique_ptr<sim::Process> make_commit_participant(CommitBackend backend,
+                                                      const SystemParams& params,
+                                                      int vote, Tick k) {
+  switch (backend) {
     case CommitBackend::kPaperProtocol: {
       protocol::CommitProcess::Options popts;
       popts.params = params;
@@ -39,26 +38,33 @@ std::unique_ptr<sim::Process> DistributedDb::make_participant(int32_t index, int
       popts.params = params;
       popts.initial_vote = vote;
       popts.policy = baselines::TwoPcTimeoutPolicy::kPresumeAbort;
-      popts.timeout = 8 * options_.k;
+      popts.timeout = 8 * k;
       return std::make_unique<baselines::TwoPcProcess>(popts);
     }
     case CommitBackend::kThreePc: {
       baselines::ThreePcProcess::Options popts;
       popts.params = params;
       popts.initial_vote = vote;
-      popts.timeout = 8 * options_.k;
+      popts.timeout = 8 * k;
       return std::make_unique<baselines::ThreePcProcess>(popts);
     }
     case CommitBackend::kQ3pc: {
       baselines::Q3pcProcess::Options popts;
       popts.params = params;
       popts.initial_vote = vote;
-      popts.timeout = 8 * options_.k;
+      popts.timeout = 8 * k;
       return std::make_unique<baselines::Q3pcProcess>(popts);
     }
   }
   RCOMMIT_CHECK_MSG(false, "unknown commit backend");
   return nullptr;
+}
+
+std::unique_ptr<sim::Process> DistributedDb::make_participant(int32_t index, int32_t n,
+                                                              int vote) const {
+  (void)index;
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
+  return make_commit_participant(options_.backend, params, vote, options_.k);
 }
 
 TxnOutcome DistributedDb::execute(

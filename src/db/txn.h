@@ -34,6 +34,13 @@ struct TxnOutcome {
   bool decided = true;  ///< false if the commit protocol timed out undecided
 };
 
+/// Builds one commit-protocol participant with the given initial vote.
+/// Shared by DistributedDb's per-transaction fleets and MultiShotDb's
+/// pipelined commit instances; baselines derive their timeout as 8K.
+std::unique_ptr<sim::Process> make_commit_participant(CommitBackend backend,
+                                                      const SystemParams& params,
+                                                      int vote, Tick k);
+
 class DistributedDb {
  public:
   struct Options {

@@ -158,6 +158,8 @@ TEST(LintScoping, SameCodeJudgedByPath) {
   EXPECT_FALSE(lint_content("src/sim/x.cpp", code).empty());
   EXPECT_TRUE(lint_content("src/swarm/x.cpp", code).empty());
   EXPECT_TRUE(lint_content("src/db/rpc.cpp", code).empty());
+  EXPECT_TRUE(lint_content("src/db/multishot.cpp", code).empty());
+  EXPECT_FALSE(lint_content("src/db/kv.cpp", code).empty());
   // Component matching works on absolute paths too.
   EXPECT_FALSE(lint_content("/ci/checkout/src/sim/x.cpp", code).empty());
 }

@@ -1,0 +1,159 @@
+// Crash-at-every-WAL-append torture over the multi-shot engine: a 3-shard ×
+// 8-in-flight pipelined workload is crashed at every reachable WAL site with
+// every fault kind, and batch recovery must restore a state equivalent to
+// the committed-prefix reference — cross-shard atomicity included ("at all
+// processors or at no processor").
+//
+// The tier-1 run sweeps one seed; configuring with -DRCOMMIT_LONG_TESTS=ON
+// adds a seed matrix over larger pipelines (CI's swarm-smoke job). Two
+// committed corpus entries under tests/corpus_multishot/ replay in tier-1.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "faultinject/multitorture.h"
+
+namespace rcommit::faultinject {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MultiShotTortureFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;
+    dir_ = fs::temp_directory_path() /
+           ("rcommit_multishot_torture_test_" + std::to_string(::getpid()) +
+            "_" + std::to_string(counter++));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  fs::path dir_;
+};
+
+void expect_clean_sweep(const SweepResult& result) {
+  EXPECT_GT(result.sites, 0);
+  EXPECT_EQ(result.crash_points, result.sites * 5);  // five WAL fault kinds
+  for (const auto& failure : result.failures) {
+    ADD_FAILURE() << "recovery not equivalent under plan:\n"
+                  << failure.plan.serialize() << "result:\n"
+                  << failure.result.serialize();
+  }
+}
+
+TEST_F(MultiShotTortureFixture, CrashAtEveryAppendRecoversEquivalently) {
+  MultiTortureOptions options;  // 3 shards x 3 batches x 8 in flight
+  options.scratch_dir = dir_;
+  expect_clean_sweep(run_multi_wal_sweep(options, {.threads = 2}));
+}
+
+TEST_F(MultiShotTortureFixture, CrashPointIsReproducibleFromSeedAndSite) {
+  MultiTortureOptions first = {.seed = 7, .scratch_dir = dir_ / "a"};
+  MultiTortureOptions second = {.seed = 7, .scratch_dir = dir_ / "b"};
+  // Site 30 lands mid-pipeline: several instances of the in-flight batch are
+  // prepared but undecided when the crash fires.
+  const FaultPlan plan = FaultPlan::wal_fault_at(30, FaultKind::kCrashAfter, 0);
+  const auto baseline = run_multi_crash_point(first, plan);
+  EXPECT_EQ(baseline, run_multi_crash_point(second, plan));
+  EXPECT_TRUE(baseline.crashed);
+  EXPECT_TRUE(baseline.ok()) << baseline.serialize();
+  // A mid-pipeline crash leaves multiple in-doubt instances; batch recovery
+  // resolved them all (in-doubt => resolved commit + abort counts are the
+  // leftovers recovery had to decide, hot instance included).
+  EXPECT_GT(baseline.report.resolved_commit + baseline.report.resolved_abort, 1);
+}
+
+TEST_F(MultiShotTortureFixture, EnumerationIsStable) {
+  MultiTortureOptions options;
+  options.scratch_dir = dir_;
+  const auto first = enumerate_multi_sites(options);
+  const auto second = enumerate_multi_sites(options);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].site, second[i].site);
+    EXPECT_EQ(first[i].wal_name, second[i].wal_name);
+    EXPECT_EQ(first[i].record_type, second[i].record_type);
+    EXPECT_EQ(first[i].frame_size, second[i].frame_size);
+  }
+}
+
+TEST_F(MultiShotTortureFixture, OptionsRoundTripThroughDisk) {
+  MultiTortureOptions options;
+  options.seed = 99;
+  options.batches = 5;
+  options.batch_size = 11;
+  options.fanout = 3;
+  const auto back = MultiTortureOptions::deserialize(options.serialize());
+  EXPECT_EQ(back.serialize(), options.serialize());
+}
+
+TEST_F(MultiShotTortureFixture, ArtifactRoundTripsAndIsDetected) {
+  const fs::path artifact_dir = dir_ / "artifact";
+  MultiTortureOptions options;
+  options.seed = 21;
+  FaultPlan plan = FaultPlan::wal_fault_at(4, FaultKind::kPartialFlush);
+  CrashPointResult expected;
+  expected.crashed = true;
+  expected.crash_site = 4;
+  expected.sites_seen = 5;
+  expected.digest = 0xdeadbeef;
+  write_multi_fault_artifact(artifact_dir, {options, plan, expected});
+  EXPECT_TRUE(is_multishot_artifact(artifact_dir));
+  const MultiFaultArtifact back = load_multi_fault_artifact(artifact_dir);
+  EXPECT_EQ(back.options.serialize(), options.serialize());
+  EXPECT_EQ(back.plan, plan);
+  EXPECT_EQ(back.expected, expected);
+}
+
+TEST_F(MultiShotTortureFixture, SerialArtifactIsNotDetectedAsMultishot) {
+  const fs::path artifact_dir = dir_ / "serial-artifact";
+  TortureOptions options;
+  write_fault_artifact(artifact_dir,
+                       {options, FaultPlan::none(), CrashPointResult{}});
+  EXPECT_FALSE(is_multishot_artifact(artifact_dir));
+}
+
+TEST_F(MultiShotTortureFixture, CorpusEntriesReplayIdentically) {
+  const fs::path corpus(RCOMMIT_MULTISHOT_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(corpus)) << corpus;
+  int replayed = 0;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (!entry.is_directory()) continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    ASSERT_TRUE(is_multishot_artifact(entry.path()));
+    const MultiFaultArtifact artifact = load_multi_fault_artifact(entry.path());
+    MultiTortureOptions options = artifact.options;
+    options.scratch_dir = dir_ / ("corpus-" + entry.path().filename().string());
+    const CrashPointResult result = run_multi_crash_point(options, artifact.plan);
+    EXPECT_EQ(result, artifact.expected)
+        << "expected:\n"
+        << artifact.expected.serialize() << "got:\n"
+        << result.serialize();
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 2) << "multishot corpus at " << corpus
+                         << " must hold at least two committed entries";
+}
+
+#ifdef RCOMMIT_LONG_TESTS
+TEST_F(MultiShotTortureFixture, SeedMatrixSweep) {
+  // The long-test matrix: more seeds, deeper pipelines, full fan-out.
+  for (const uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    MultiTortureOptions options;
+    options.seed = seed;
+    options.batches = 4;
+    options.batch_size = 10;
+    options.fanout = 3;
+    options.scratch_dir = dir_ / ("seed-" + std::to_string(seed));
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_clean_sweep(run_multi_wal_sweep(options, {.threads = 4}));
+  }
+}
+#endif  // RCOMMIT_LONG_TESTS
+
+}  // namespace
+}  // namespace rcommit::faultinject

@@ -10,6 +10,11 @@
 // Workload knobs (--seed --shards --txns --fanout --keys) feed TortureOptions;
 // a sweep failure is reproducible from (seed, site) alone — see
 // docs/fault-injection.md for the repro recipe CI prints.
+//
+// --multishot switches every mode onto the pipelined MultiShotDb workload
+// (MultiTortureOptions: --batches/--batch-size replace --txns), where a crash
+// leaves many transactions in doubt per shard. --artifact auto-detects the
+// schema from config.txt, so saved multi-shot artifacts replay either way.
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -17,6 +22,7 @@
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "faultinject/multitorture.h"
 #include "faultinject/torture.h"
 
 namespace {
@@ -40,6 +46,9 @@ const std::vector<FlagDoc> kDocs = {
     {"txns", "N", "workload transactions (default 4)"},
     {"fanout", "N", "shards per transaction (default 2)"},
     {"keys", "N", "keys per shard (default 4)"},
+    {"multishot", "", "pipelined MultiShotDb workload (many txns in doubt)"},
+    {"batches", "N", "--multishot: pipelined batches (default 3)"},
+    {"batch-size", "N", "--multishot: in-flight txns per batch (default 8)"},
     {"threads", "N", "sweep parallelism (default 1)"},
     {"max-sites", "N", "cap swept sites; -1 = all (default)"},
     {"artifacts", "dir", "where --sweep writes shrunk failure artifacts"},
@@ -51,8 +60,7 @@ void print_result(const CrashPointResult& result) {
   std::cout << result.serialize();
 }
 
-int run_enumerate(const TortureOptions& options) {
-  const auto sites = enumerate_sites(options);
+void print_sites(const std::vector<SiteInfo>& sites) {
   std::cout << "# site  wal  record_type  frame_size\n";
   for (const auto& site : sites) {
     std::cout << site.site << "  " << site.wal_name << "  "
@@ -60,6 +68,10 @@ int run_enumerate(const TortureOptions& options) {
               << "\n";
   }
   std::cout << sites.size() << " reachable WAL sites\n";
+}
+
+int run_enumerate(const TortureOptions& options) {
+  print_sites(enumerate_sites(options));
   return 0;
 }
 
@@ -110,7 +122,69 @@ int run_replay(const TortureOptions& options, int64_t site,
   return result.ok() ? 0 : 1;
 }
 
+int run_multi_enumerate(const MultiTortureOptions& options) {
+  print_sites(enumerate_multi_sites(options));
+  return 0;
+}
+
+int run_multi_sweep(const MultiTortureOptions& options, const SweepOptions& sweep,
+                    const std::string& artifacts_dir) {
+  const auto result = run_multi_wal_sweep(options, sweep);
+  std::cout << "sites=" << result.sites << " crash_points=" << result.crash_points
+            << " failures=" << result.failures.size() << "\n";
+  int index = 0;
+  for (const auto& failure : result.failures) {
+    std::cout << "\nFAIL plan:\n" << failure.plan.serialize() << "result:\n";
+    print_result(failure.result);
+    if (!artifacts_dir.empty()) {
+      MultiTortureOptions clean = options;
+      clean.scratch_dir.clear();
+      const fs::path dir =
+          fs::path(artifacts_dir) / ("multifault-" + std::to_string(index++));
+      write_multi_fault_artifact(dir, {clean, failure.plan, failure.result});
+      std::cout << "artifact: " << dir.string() << "\n";
+      std::cout << "reproduce: faultkit --multishot --artifact=" << dir.string()
+                << "\n";
+    }
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int run_multi_replay(const MultiTortureOptions& options, int64_t site,
+                     const std::string& kind_name, uint64_t arg,
+                     const std::string& save_dir) {
+  const FaultKind kind = parse_fault_kind(kind_name);
+  RCOMMIT_CHECK_MSG(is_wal_kind(kind), "--replay takes a WAL fault kind");
+  const FaultPlan plan = FaultPlan::wal_fault_at(site, kind, arg);
+  const auto result = run_multi_crash_point(options, plan);
+  print_result(result);
+  if (!save_dir.empty()) {
+    MultiTortureOptions clean = options;
+    clean.scratch_dir.clear();
+    write_multi_fault_artifact(save_dir, {clean, plan, result});
+    std::cout << "artifact: " << save_dir << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}
+
+int run_multi_artifact(const fs::path& dir, const fs::path& scratch) {
+  const MultiFaultArtifact artifact = load_multi_fault_artifact(dir);
+  MultiTortureOptions options = artifact.options;
+  options.scratch_dir = scratch;
+  const CrashPointResult result = run_multi_crash_point(options, artifact.plan);
+  if (result == artifact.expected) {
+    std::cout << "replay matches " << (dir / "report.txt").string() << "\n";
+    print_result(result);
+    return result.ok() ? 0 : 1;
+  }
+  std::cout << "REPLAY MISMATCH\nexpected:\n"
+            << artifact.expected.serialize() << "got:\n";
+  print_result(result);
+  return 1;
+}
+
 int run_artifact(const fs::path& dir, const fs::path& scratch) {
+  if (is_multishot_artifact(dir)) return run_multi_artifact(dir, scratch);
   const FaultArtifact artifact = load_fault_artifact(dir);
   TortureOptions options = artifact.options;
   options.scratch_dir = scratch;
@@ -145,6 +219,16 @@ int main(int argc, char** argv) {
   options.scratch_dir = flags.get_string(
       "dir", (fs::temp_directory_path() / "faultkit-scratch").string());
 
+  const bool multishot = flags.get_bool("multishot", false);
+  MultiTortureOptions multi_options;
+  multi_options.seed = options.seed;
+  multi_options.shard_count = options.shard_count;
+  multi_options.fanout = options.fanout;
+  multi_options.keys_per_shard = options.keys_per_shard;
+  multi_options.batches = static_cast<int32_t>(flags.get_int("batches", 3));
+  multi_options.batch_size = static_cast<int32_t>(flags.get_int("batch-size", 8));
+  multi_options.scratch_dir = options.scratch_dir;
+
   const bool enumerate = flags.get_bool("enumerate", false);
   const bool sweep = flags.get_bool("sweep", false);
   const bool replay = flags.get_bool("replay", false);
@@ -171,12 +255,16 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (enumerate) {
-    exit_code = run_enumerate(options);
+    exit_code = multishot ? run_multi_enumerate(multi_options)
+                          : run_enumerate(options);
   } else if (sweep) {
-    exit_code = run_sweep(options, sweep_options, artifacts_dir);
+    exit_code = multishot ? run_multi_sweep(multi_options, sweep_options, artifacts_dir)
+                          : run_sweep(options, sweep_options, artifacts_dir);
   } else if (replay) {
-    exit_code = run_replay(options, site, kind, arg, save_dir);
+    exit_code = multishot ? run_multi_replay(multi_options, site, kind, arg, save_dir)
+                          : run_replay(options, site, kind, arg, save_dir);
   } else {
+    // --artifact auto-detects the config schema; --multishot is implied.
     exit_code = run_artifact(artifact, options.scratch_dir);
   }
   std::filesystem::remove_all(options.scratch_dir);

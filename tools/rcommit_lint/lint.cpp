@@ -283,9 +283,11 @@ bool in_deterministic_core(const PathInfo& p) {
 
 bool threading_layer(const PathInfo& p) {
   if (p.under("src", "swarm")) return true;
-  // src/db/rpc is the one db component allowed to own threads: it hosts the
-  // real RPC server loop.
-  return p.under("src", "db") && p.filename.rfind("rpc.", 0) == 0;
+  // Two db components are allowed to own threads: rpc hosts the real RPC
+  // server loop, and multishot pipelines commit instances across real client
+  // threads (its decision rounds run over the threaded transport).
+  return p.under("src", "db") && (p.filename.rfind("rpc.", 0) == 0 ||
+                                  p.filename.rfind("multishot.", 0) == 0);
 }
 
 // The simulator's per-event hot path: the files whose code runs once per
@@ -380,7 +382,8 @@ void rule_r1(const PathInfo& p, const Toks& t, const std::string& path,
 }
 
 // R2 — threads, mutexes, and atomics live only in src/swarm (the worker
-// pool) and src/db/rpc (the real server loop). The simulator itself is
+// pool), src/db/rpc (the real server loop), and src/db/multishot (the
+// pipelined engine driven by real client threads). The simulator itself is
 // single-threaded by design: that is what makes every schedule recordable.
 // The repo's annotated wrappers (common/thread_annotations.h: Mutex,
 // MutexLock, CondVar) are locks all the same and are banned identically —
@@ -416,8 +419,9 @@ void rule_r2(const PathInfo& p, const Toks& t, const std::string& path,
       if (kThreadIdents.count(s) > 0 || s.rfind("atomic", 0) == 0) {
         diag(out, path, t[i + 2].line, "R2",
              "std::" + s +
-                 " outside src/swarm and src/db/rpc — the simulator is "
-                 "single-threaded so every schedule stays recordable");
+                 " outside src/swarm, src/db/rpc, and src/db/multishot — "
+                 "the simulator is single-threaded so every schedule stays "
+                 "recordable");
       }
     } else if (t[i].kind == Kind::kPunct && t[i].text == "#" &&
                text_at(t, i + 1) == "include" && i + 2 < t.size() &&
@@ -425,14 +429,15 @@ void rule_r2(const PathInfo& p, const Toks& t, const std::string& path,
                kThreadHeaders.count(t[i + 2].text) > 0) {
       diag(out, path, t[i + 2].line, "R2",
            "#include <" + t[i + 2].text +
-               "> outside src/swarm and src/db/rpc");
+               "> outside src/swarm, src/db/rpc, and src/db/multishot");
     } else if (t[i].kind == Kind::kPunct && t[i].text == "#" &&
                text_at(t, i + 1) == "include" && i + 2 < t.size() &&
                t[i + 2].kind == Kind::kStr &&
                t[i + 2].text == "common/thread_annotations.h") {
       diag(out, path, t[i + 2].line, "R2",
-           "#include \"common/thread_annotations.h\" outside src/swarm and "
-           "src/db/rpc — the annotated Mutex is still a mutex");
+           "#include \"common/thread_annotations.h\" outside src/swarm, "
+           "src/db/rpc, and src/db/multishot — the annotated Mutex is still "
+           "a mutex");
     } else if (t[i].kind == Kind::kIdent &&
                kWrapperIdents.count(t[i].text) > 0 &&
                text_at(t, i + 1) != "::") {
@@ -440,8 +445,9 @@ void rule_r2(const PathInfo& p, const Toks& t, const std::string& path,
       // `Mutex::...` so prose-ish uses in scope resolution do not double-fire.
       diag(out, path, t[i].line, "R2",
            t[i].text +
-               " (common/thread_annotations.h) outside src/swarm and "
-               "src/db/rpc — the annotated wrapper is still a lock");
+               " (common/thread_annotations.h) outside src/swarm, "
+               "src/db/rpc, and src/db/multishot — the annotated wrapper is "
+               "still a lock");
     }
   }
 }
@@ -636,7 +642,7 @@ const std::vector<RuleInfo>& rule_registry() {
        "examples); real-time layers are covered by rcommit_analyze A2 taint "
        "tracking instead"},
       {"R2", "threads/mutexes/atomics confined to the concurrent layers",
-       "everywhere except src/swarm and src/db/rpc"},
+       "everywhere except src/swarm, src/db/rpc, and src/db/multishot"},
       {"R3", "no iteration over unordered containers in decision paths",
        "src/protocol, src/sim, src/adversary, src/baselines"},
       {"R4", "layering: core never includes swarm/db/transport; adversaries "
