@@ -74,8 +74,10 @@ double run_serial(int txns, uint64_t seed) {
 
 struct CellResult {
   db::MultiShotStats stats;
+  db::WalStats wal;
   int64_t atomicity_violations = 0;
   double committed_per_sec = 0.0;
+  Samples latency_us;  ///< wall-clock per execute() call, all clients merged
 };
 
 /// One sweep cell: `clients` threads issue cross-shard transactions through
@@ -98,15 +100,22 @@ CellResult run_cell(int32_t shards, int clients, int txns_per_client,
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> fleet;
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
   fleet.reserve(static_cast<size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     fleet.emplace_back([&, c] {
+      auto& mine = latencies[static_cast<size_t>(c)];
+      mine.reserve(static_cast<size_t>(txns_per_client));
       for (int i = 0; i < txns_per_client; ++i) {
         const int32_t a = static_cast<int32_t>(c % shards);
         const int32_t b = static_cast<int32_t>((a + 1 + i % (shards - 1)) % shards);
         const std::string key =
             "c" + std::to_string(c) + ":k" + std::to_string(i);
+        const auto txn_start = std::chrono::steady_clock::now();
         (void)database.execute(a, {{a, {{key, "x"}}}, {b, {{key, "x"}}}});
+        mine.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - txn_start)
+                           .count());
       }
     });
   }
@@ -117,6 +126,10 @@ CellResult run_cell(int32_t shards, int clients, int txns_per_client,
 
   CellResult cell;
   cell.stats = database.stats();
+  cell.wal = database.wal_stats();
+  for (const auto& mine : latencies) {
+    for (const double sample : mine) cell.latency_us.add(sample);
+  }
   cell.committed_per_sec = static_cast<double>(cell.stats.committed) / elapsed;
   // Quiescent read-back: a committed transaction's key is on both shards or
   // neither — a one-sided install is an atomicity violation.
@@ -151,10 +164,14 @@ void body(bench::Context& ctx) {
   ctx.scalar("serial_txn_per_sec", serial_tps, "txn/s");
 
   Table table({"shards", "clients", "committed", "conflict aborts", "in doubt",
-               "atomicity violations", "txn/sec", "vs serial"});
+               "atomicity violations", "txn/sec", "vs serial", "p50 us",
+               "p99 us", "wal rec/flush"});
   int64_t total_violations = 0;
   int64_t total_in_doubt = 0;
   double best_speedup_64 = 0.0;
+  double p50_at_64 = 0.0;
+  double p99_at_64 = 0.0;
+  double rec_per_flush = 0.0;
   for (const int32_t shards : {3, 5}) {
     for (const int clients : {1, 8, 64}) {
       const auto cell = run_cell(shards, clients, txns_per_client,
@@ -167,15 +184,29 @@ void body(bench::Context& ctx) {
                  Table::num(cell.stats.in_doubt),
                  Table::num(cell.atomicity_violations),
                  Table::num(cell.committed_per_sec, 1),
-                 Table::num(speedup, 2) + "x"});
+                 Table::num(speedup, 2) + "x",
+                 Table::num(cell.latency_us.percentile(0.50), 0),
+                 Table::num(cell.latency_us.percentile(0.99), 0),
+                 Table::num(cell.wal.records_per_flush(), 2)});
       total_violations += cell.atomicity_violations;
       total_in_doubt += cell.stats.in_doubt;
-      if (clients >= 64) best_speedup_64 = std::max(best_speedup_64, speedup);
+      rec_per_flush = cell.wal.records_per_flush();
+      if (clients >= 64) {
+        best_speedup_64 = std::max(best_speedup_64, speedup);
+        p50_at_64 = cell.latency_us.percentile(0.50);
+        p99_at_64 = cell.latency_us.percentile(0.99);
+      }
     }
   }
   ctx.table("multishot_sweep", table);
   ctx.scalar("speedup_at_64_clients", best_speedup_64, "x");
   ctx.scalar("atomicity_violations", static_cast<double>(total_violations));
+  // Ungated observability: wall-clock commit latency at the deepest cell and
+  // the WAL amortization factor (1.0 here — E19 runs the ungrouped engine;
+  // E20 owns the grouped claims).
+  ctx.scalar("commit_latency_p50_us_64c", p50_at_64, "us");
+  ctx.scalar("commit_latency_p99_us_64c", p99_at_64, "us");
+  ctx.scalar("wal_records_per_flush", rec_per_flush);
 
   ctx.claim({"multishot_5x_serial",
              "pipelined commit instances overlap network latency: >=5x the "

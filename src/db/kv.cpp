@@ -32,6 +32,8 @@ KvStore::KvStore(const std::filesystem::path& wal_path)
       case WalRecordType::kSnapshot:
         data_[record.key] = record.value;
         break;
+      case WalRecordType::kBatchSeal:
+        break;  // a recovery hint for RecoveryManager; carries no shard state
     }
   }
   // Unprepared leftovers died before voting: they can only abort.
@@ -119,8 +121,32 @@ void KvStore::set_fault_hook(WalFaultHook* hook) {
   wal_->set_fault_hook(hook);
 }
 
+void KvStore::wal_begin_group(const WalGroupLimits& limits) {
+  group_limits_ = limits;  // remembered so checkpoint() can re-enter group mode
+  wal_->begin_group(limits);
+}
+
+void KvStore::wal_commit_group() { wal_->commit_group(); }
+
+void KvStore::wal_end_group() { wal_->end_group(); }
+
+bool KvStore::wal_group_open() const { return wal_->group_open(); }
+
+const WalStats& KvStore::wal_stats() const { return wal_->stats(); }
+
+void KvStore::seal_batch(int64_t batch_id, const std::vector<TxnId>& members) {
+  wal_->append({WalRecordType::kBatchSeal, batch_id, "", encode_txn_list(members)});
+}
+
 void KvStore::checkpoint() {
   namespace fs = std::filesystem;
+  // A pending commit group holds records that never reached the file and the
+  // rewrite below reads only memory — flush it first, and re-enter group
+  // mode on the fresh log so the owner's flush points keep working. Seals
+  // are dropped by the rewrite: their batches are resolved, or their members
+  // re-surface per transaction (the hint costs nothing to lose).
+  const bool group_was_open = wal_->group_open();
+  if (group_was_open) wal_->commit_group();
   const fs::path live_path = wal_->path();
   const fs::path tmp_path = live_path.string() + ".compact";
   fs::remove(tmp_path);
@@ -148,6 +174,7 @@ void KvStore::checkpoint() {
   fs::rename(tmp_path, live_path);
   wal_ = std::make_unique<WriteAheadLog>(live_path);
   wal_->set_fault_hook(fault_hook_);
+  if (group_was_open) wal_->begin_group(group_limits_);
 }
 
 }  // namespace rcommit::db

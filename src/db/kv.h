@@ -72,6 +72,26 @@ class KvStore {
   /// replacement. Non-owning.
   void set_fault_hook(WalFaultHook* hook);
 
+  // --- group commit ----------------------------------------------------------
+  // Passthrough to the WAL's group mode (wal.h): between wal_begin_group and
+  // wal_end_group, appends coalesce and hit the disk with one flush per
+  // group. The owner picks the flush points — e.g. MultiShotDb flushes at
+  // its pipeline phase boundaries so PREPARED records are durable before any
+  // decision round and outcomes are durable before the caller observes them.
+
+  void wal_begin_group(const WalGroupLimits& limits = {});
+  void wal_commit_group();
+  void wal_end_group();
+  [[nodiscard]] bool wal_group_open() const;
+  [[nodiscard]] const WalStats& wal_stats() const;
+
+  /// Appends a kBatchSeal record: one decision round (seeded by `batch_id`)
+  /// decided all of `members`. Recovery uses it to rerun one protocol round
+  /// per batch instead of one per member; replay ignores it entirely, and
+  /// checkpoint() drops seals (their batches are resolved or will re-surface
+  /// per transaction — the hint costs nothing to lose).
+  void seal_batch(int64_t batch_id, const std::vector<TxnId>& members);
+
   [[nodiscard]] const WriteAheadLog& wal() const { return *wal_; }
 
   /// The shard's lock table (read-only) — conflict counts, current holders.
@@ -87,6 +107,7 @@ class KvStore {
   void apply(const Staged& staged);
 
   std::unique_ptr<WriteAheadLog> wal_;
+  WalGroupLimits group_limits_;  ///< last wal_begin_group limits (checkpoint)
   LockManager locks_;
   std::map<std::string, std::string> data_;
   std::map<TxnId, Staged> staged_;

@@ -1,5 +1,7 @@
 #include "db/multishot.h"
 
+#include <algorithm>
+#include <set>
 #include <thread>
 
 #include "adversary/basic.h"
@@ -13,7 +15,9 @@ namespace {
 
 /// Per-instance seed: the same (seed, txn) mix RecoveryManager uses for its
 /// in-doubt rerun, so a crashed instance and a live one derive their decision
-/// rounds from the same stream.
+/// rounds from the same stream. A decision batch mixes its batch id — the
+/// first member's txn id — through the same function, so a sealed batch's
+/// recovery rerun and its live round also share a stream.
 uint64_t instance_seed(uint64_t seed, TxnId txn) {
   return seed ^ (static_cast<uint64_t>(txn) * 0x9e3779b97f4a7c15ULL);
 }
@@ -67,6 +71,7 @@ MultiShotDb::Instance MultiShotDb::prepare_phase(TxnId txn,
   for (const int32_t shard_index : instance.involved) {
     auto& engine = *engines_[static_cast<size_t>(shard_index)];
     MutexLock lock(engine.mu);
+    ensure_group_open(engine);
     if (!engine.store->prepare(txn, writes.at(shard_index), instance.involved)) {
       instance.all_voted_commit = false;
       break;
@@ -75,12 +80,48 @@ MultiShotDb::Instance MultiShotDb::prepare_phase(TxnId txn,
   return instance;
 }
 
+void MultiShotDb::ensure_group_open(ShardEngine& engine) {
+  if (!options_.group_commit || engine.group_open) return;
+  engine.store->wal_begin_group(options_.group_limits);
+  engine.group_open = true;
+}
+
+void MultiShotDb::flush_groups(const std::vector<int32_t>& shards) {
+  if (!options_.group_commit) return;
+  for (const int32_t shard_index : shards) {
+    auto& engine = *engines_[static_cast<size_t>(shard_index)];
+    MutexLock lock(engine.mu);
+    if (engine.group_open) engine.store->wal_commit_group();
+  }
+}
+
+void MultiShotDb::seal_shards(const std::vector<int32_t>& shards, TxnId batch_id,
+                              const std::vector<TxnId>& members) {
+  for (const int32_t shard_index : shards) {
+    auto& engine = *engines_[static_cast<size_t>(shard_index)];
+    MutexLock lock(engine.mu);
+    engine.store->seal_batch(batch_id, members);
+  }
+}
+
+void MultiShotDb::flush_wals() {
+  std::vector<int32_t> all;
+  all.reserve(static_cast<size_t>(options_.shard_count));
+  for (int32_t i = 0; i < options_.shard_count; ++i) all.push_back(i);
+  flush_groups(all);
+}
+
 TxnOutcome MultiShotDb::decide_phase(const Instance& instance) {
   RCOMMIT_CHECK(instance.all_voted_commit);
-  const auto n = static_cast<int32_t>(instance.involved.size());
+  return run_union_round(instance.involved, instance.txn);
+}
+
+TxnOutcome MultiShotDb::run_union_round(const std::vector<int32_t>& shards,
+                                        TxnId batch_id) {
+  const auto n = static_cast<int32_t>(shards.size());
   if (n == 1) return {Decision::kCommit, true};
 
-  const uint64_t seed = instance_seed(options_.seed, instance.txn);
+  const uint64_t seed = instance_seed(options_.seed, batch_id);
   const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
   std::vector<std::unique_ptr<sim::Process>> fleet;
   fleet.reserve(static_cast<size_t>(n));
@@ -210,10 +251,21 @@ TxnOutcome MultiShotDb::execute(int32_t origin_shard, const GeneratedTxn& writes
   if (!instance.all_voted_commit) {
     outcome = {Decision::kAbort, true};
     conflict_aborts_.fetch_add(1);
+    apply_phase(instance, outcome);
+    // A conflict abort's kAbort records may sit buffered under group mode;
+    // the next leader or outcome flush on those shards carries them. An
+    // unflushed abort is safe: nothing can resurrect it as a commit.
+  } else if (options_.decision_batch > 1 && instance.involved.size() > 1) {
+    // Batched decide: a leader folds up to decision_batch prepared
+    // instances into ONE protocol round. The round decides, applies, and
+    // flushes before the waiter is released, so the outcome this caller
+    // observes is durable.
+    outcome = decide_batched(instance);
   } else {
     outcome = decide_phase(instance);
+    apply_phase(instance, outcome);
+    if (outcome.decided) flush_groups(instance.involved);
   }
-  apply_phase(instance, outcome);
   if (!outcome.decided) {
     in_doubt_.fetch_add(1);
   } else if (outcome.decision == Decision::kCommit) {
@@ -222,6 +274,92 @@ TxnOutcome MultiShotDb::execute(int32_t origin_shard, const GeneratedTxn& writes
     aborted_.fetch_add(1);
   }
   return outcome;
+}
+
+TxnOutcome MultiShotDb::decide_batched(const Instance& instance) {
+  DecideWaiter self;
+  self.instance = &instance;
+  {
+    MutexLock lock(decide_mu_);
+    // The batched path is threaded-only, where no fault hook is installed.
+    // RCOMMIT_ANALYZE_ALLOW(A3): scheduling bookkeeping, not durable state
+    decide_queue_.push_back(&self);
+  }
+  decide_cv_.notify_all();
+
+  while (true) {
+    std::vector<DecideWaiter*> members;
+    {
+      MutexLock lock(decide_mu_);
+      if (self.done) return self.outcome;
+      if (decide_leader_active_ || decide_queue_.empty()) {
+        // Someone else is draining (possibly with us in their batch), or we
+        // were drained and our round is in flight — wait for a publish.
+        decide_cv_.wait_for(decide_mu_, std::chrono::milliseconds(1));
+        continue;
+      }
+      // Become the leader: give the batch a short window to fill, then
+      // drain whatever queued.
+      // RCOMMIT_ANALYZE_ALLOW(A3): scheduling bookkeeping, not durable state
+      decide_leader_active_ = true;
+      const auto deadline =
+          std::chrono::steady_clock::now() + options_.batch_collect_window;
+      while (static_cast<int32_t>(decide_queue_.size()) < options_.decision_batch &&
+             std::chrono::steady_clock::now() < deadline) {
+        decide_cv_.wait_for(decide_mu_, options_.batch_collect_window);
+      }
+      const auto take = std::min(decide_queue_.size(),
+                                 static_cast<size_t>(options_.decision_batch));
+      members.assign(decide_queue_.begin(),
+                     decide_queue_.begin() + static_cast<ptrdiff_t>(take));
+      // RCOMMIT_ANALYZE_ALLOW(A3): scheduling bookkeeping, not durable state
+      decide_queue_.erase(decide_queue_.begin(),
+                          decide_queue_.begin() + static_cast<ptrdiff_t>(take));
+      // Leadership ends BEFORE the round runs: the next leader forms its
+      // batch while ours is deciding, so batching multiplies per-round
+      // throughput instead of serializing rounds behind one leader.
+      // RCOMMIT_ANALYZE_ALLOW(A3): scheduling bookkeeping, not durable state
+      decide_leader_active_ = false;
+    }
+    decide_cv_.notify_all();
+    run_batch_round(members);
+    // If we drained ourselves, the loop exits via self.done; otherwise our
+    // instance is still queued (or in another leader's flight) — keep going.
+  }
+}
+
+void MultiShotDb::run_batch_round(const std::vector<DecideWaiter*>& members) {
+  RCOMMIT_CHECK(!members.empty());
+  std::set<int32_t> shard_set;
+  std::vector<TxnId> ids;
+  ids.reserve(members.size());
+  for (const auto* member : members) {
+    shard_set.insert(member->instance->involved.begin(),
+                     member->instance->involved.end());
+    ids.push_back(member->instance->txn);
+  }
+  const std::vector<int32_t> shards(shard_set.begin(), shard_set.end());
+  const TxnId batch_id = ids.front();
+
+  // Durability order: every member's PREPARED must be on disk before the
+  // round — the same reason the pipelined path flushes at its Phase A
+  // boundary. The seal rides unflushed; it is a recovery hint only.
+  flush_groups(shards);
+  if (members.size() > 1) seal_shards(shards, batch_id, ids);
+
+  const TxnOutcome outcome = run_union_round(shards, batch_id);
+  for (const auto* member : members) apply_phase(*member->instance, outcome);
+  // Outcomes must be durable before any waiter observes them.
+  if (outcome.decided) flush_groups(shards);
+
+  {
+    MutexLock lock(decide_mu_);
+    for (auto* member : members) {
+      member->outcome = outcome;
+      member->done = true;
+    }
+  }
+  decide_cv_.notify_all();
 }
 
 std::vector<TxnOutcome> MultiShotDb::execute_pipelined(
@@ -234,17 +372,53 @@ std::vector<TxnOutcome> MultiShotDb::execute_pipelined(
   for (const auto& writes : batch) {
     instances.push_back(prepare_phase(allocate_txn_id(origin_shard), writes));
   }
-  // Phase B: decision rounds, in instance order.
-  std::vector<TxnOutcome> outcomes;
-  outcomes.reserve(batch.size());
-  for (const auto& instance : instances) {
-    if (!instance.all_voted_commit) {
-      outcomes.push_back({Decision::kAbort, true});
-      conflict_aborts_.fetch_add(1);
-    } else {
-      outcomes.push_back(decide_phase(instance));
+  // Group-commit boundary: every PREPARED must be durable before any
+  // decision round runs. A crash after a round but before the prepare flush
+  // would otherwise let recovery's rule 1 (an outcome record elsewhere)
+  // collide with rule 2 (this shard never prepared) — an atomicity hole.
+  flush_wals();
+
+  // Phase B: decision rounds, in instance order. With decision_batch > 1,
+  // consecutive instances fold their vote vector into one round: the
+  // lock-table no-voters split off as immediate aborts, and the remaining
+  // unanimous-yes members decide in a single union round sealed under the
+  // batch id (the first yes-member's txn id). Seals stay buffered — they
+  // are recovery hints, flushed with the Phase C outcomes.
+  const auto chunk = static_cast<size_t>(std::max(1, options_.decision_batch));
+  std::vector<TxnOutcome> outcomes(instances.size());
+  for (size_t base = 0; base < instances.size(); base += chunk) {
+    const size_t end = std::min(instances.size(), base + chunk);
+    std::vector<size_t> yes;
+    for (size_t i = base; i < end; ++i) {
+      if (instances[i].all_voted_commit) {
+        yes.push_back(i);
+      } else {
+        outcomes[i] = {Decision::kAbort, true};
+        conflict_aborts_.fetch_add(1);
+      }
     }
+    if (yes.empty()) continue;
+    if (yes.size() == 1) {
+      // A singleton decides exactly like the unbatched path (same seed mix,
+      // no seal) — decision_batch == 1 therefore reproduces PR 9 rounds
+      // decision for decision.
+      outcomes[yes.front()] = decide_phase(instances[yes.front()]);
+      continue;
+    }
+    std::set<int32_t> shard_set;
+    std::vector<TxnId> ids;
+    ids.reserve(yes.size());
+    for (const size_t i : yes) {
+      shard_set.insert(instances[i].involved.begin(), instances[i].involved.end());
+      ids.push_back(instances[i].txn);
+    }
+    const std::vector<int32_t> shards(shard_set.begin(), shard_set.end());
+    const TxnId batch_id = ids.front();
+    seal_shards(shards, batch_id, ids);
+    const TxnOutcome outcome = run_union_round(shards, batch_id);
+    for (const size_t i : yes) outcomes[i] = outcome;
   }
+
   // Phase C: apply, in instance order.
   for (size_t i = 0; i < instances.size(); ++i) {
     apply_phase(instances[i], outcomes[i]);
@@ -256,6 +430,9 @@ std::vector<TxnOutcome> MultiShotDb::execute_pipelined(
       aborted_.fetch_add(1);
     }
   }
+  // Group-commit boundary: outcomes (and the seals buffered since Phase B)
+  // become durable before the driver observes them.
+  flush_wals();
   return outcomes;
 }
 
@@ -279,6 +456,18 @@ MultiShotStats MultiShotDb::stats() const {
   stats.conflict_aborts = conflict_aborts_.load();
   stats.in_doubt = in_doubt_.load();
   return stats;
+}
+
+WalStats MultiShotDb::wal_stats() const {
+  WalStats total;
+  for (const auto& engine : engines_) {
+    MutexLock lock(engine->mu);
+    const WalStats& shard = engine->store->wal_stats();
+    total.records_appended += shard.records_appended;
+    total.flushes += shard.flushes;
+    total.bytes_written += shard.bytes_written;
+  }
+  return total;
 }
 
 }  // namespace rcommit::db

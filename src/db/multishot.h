@@ -34,6 +34,23 @@
 //                     the configuration bench_db_multishot (E19) measures,
 //                     where pipelining is the entire throughput win.
 //
+// Two per-transaction costs are amortizable across batches (PROTOCOL.md
+// §multi-shot):
+//
+//   group_commit     each shard's WAL appends coalesce into commit groups
+//                    with one flush (and one fault-injection site) per
+//                    group; the engine flushes at its phase boundaries so
+//                    durability ordering — prepares before rounds, outcomes
+//                    before observation — is preserved.
+//   decision_batch   one Protocol 2 round decides a whole batch of prepared
+//                    transactions (unanimous-yes fast path; mixed batches
+//                    split, with lock-table no-voters aborting immediately).
+//                    The batch id seeds the round and is sealed into each
+//                    shard's WAL (kBatchSeal) so RecoveryManager reruns one
+//                    round per crashed batch too.
+//
+// Both default off: the defaults reproduce the PR 9 engine byte for byte.
+//
 // Thread model: execute() may be called from many client threads; each shard
 // engine guards its store with an annotated Mutex (lock order: ascending
 // shard index, one shard at a time — never two shard locks held at once).
@@ -45,6 +62,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <optional>
@@ -122,6 +140,28 @@ class MultiShotDb {
     /// Only meaningful with a single driver thread (execute_pipelined): the
     /// injector's site numbering assumes sequential appends.
     WalFaultHook* wal_fault_hook = nullptr;
+    /// Group-commit WAL: each shard's appends coalesce into commit groups
+    /// with ONE flush (and one fault-hook site) per group. The pipelined
+    /// path flushes at its phase boundaries (prepares durable before any
+    /// decision round, outcomes durable before returning); the threaded
+    /// path flushes at the batched-decide leader's round boundaries. Off
+    /// reproduces the PR 9 per-append flushing byte for byte.
+    bool group_commit = false;
+    /// Deterministic group auto-flush bounds (group_commit only).
+    WalGroupLimits group_limits = {};
+    /// Prepared transactions decided per Protocol 2 round. 1 = one round
+    /// per transaction (the ungrouped baseline). >1 folds a batch's vote
+    /// vector into one decision round over the union of involved shards:
+    /// unanimous-yes batches take the fast path (one round decides all),
+    /// mixed batches split — lock-table no-voters abort immediately and the
+    /// yes-voters retry as their own unanimous round. The batch id (the
+    /// first member's txn id) seeds the round and is sealed into each
+    /// shard's WAL so recovery reruns one round per batch too.
+    int32_t decision_batch = 1;
+    /// How long a threaded batched-decide leader waits for the batch to
+    /// fill before running the round with whatever queued (wall-clock;
+    /// kThreadedNetwork only — the pipelined path batches by position).
+    std::chrono::microseconds batch_collect_window{1000};
   };
 
   explicit MultiShotDb(Options options);
@@ -149,12 +189,31 @@ class MultiShotDb {
 
   [[nodiscard]] MultiShotStats stats() const;
 
+  /// Aggregate WAL counters across every shard (thread-safe). With group
+  /// commit on, records_per_flush() is the measured amortization factor.
+  [[nodiscard]] WalStats wal_stats() const;
+
+  /// Flushes every shard's pending commit group (no-op when group_commit is
+  /// off or nothing is pending). The engine never flushes from a destructor
+  /// — that would model a dead process writing — so callers that reopen the
+  /// WALs from disk after a clean shutdown flush here first.
+  void flush_wals();
+
  private:
   /// One transaction's staged state between the prepare and apply phases.
   struct Instance {
     TxnId txn = 0;
     std::vector<int32_t> involved;  ///< ascending shard indices
     bool all_voted_commit = false;
+  };
+
+  /// One waiting client in the threaded batched-decide queue. Stack-owned
+  /// by its execute() call; a leader fills `outcome` and flips `done` under
+  /// decide_mu_.
+  struct DecideWaiter {
+    const Instance* instance = nullptr;
+    TxnOutcome outcome;
+    bool done = false;
   };
 
   /// Allocates the next instance id originating at `origin_shard`.
@@ -164,6 +223,18 @@ class MultiShotDb {
   /// Phase 2: one commit instance's decision round (all participants voted
   /// commit; lock-table aborts never reach here).
   TxnOutcome decide_phase(const Instance& instance);
+  /// One decision round over `shards` (ascending), seeded by mixing
+  /// `batch_id` into the engine seed — the shared core of decide_phase and
+  /// the batched paths.
+  TxnOutcome run_union_round(const std::vector<int32_t>& shards, TxnId batch_id);
+  /// Threaded batched decide: queue the instance, let a leader fold up to
+  /// decision_batch waiters into one round, return the decided-and-applied
+  /// outcome. Leadership ends before the round runs, so batched rounds stay
+  /// concurrent under the admission gate.
+  TxnOutcome decide_batched(const Instance& instance);
+  /// Runs one leader-drained batch: flush prepares, seal, one union round,
+  /// apply + flush outcomes, publish to the waiters.
+  void run_batch_round(const std::vector<DecideWaiter*>& members);
   /// One threaded decision round under the admission gate: fleet over a
   /// fresh InMemoryNetwork, polled at fine granularity until every node
   /// decides or txn_timeout expires.
@@ -171,12 +242,24 @@ class MultiShotDb {
       std::vector<std::unique_ptr<sim::Process>> fleet, uint64_t seed);
   /// Phase 3: apply the decision on every involved shard.
   void apply_phase(const Instance& instance, const TxnOutcome& outcome);
+  /// Appends the batch seal to every shard in `shards` (buffered under
+  /// group mode — a seal is a hint and never costs its own flush).
+  void seal_shards(const std::vector<int32_t>& shards, TxnId batch_id,
+                   const std::vector<TxnId>& members);
+  /// Flushes the listed shards' pending commit groups (group_commit only).
+  void flush_groups(const std::vector<int32_t>& shards);
 
   struct ShardEngine {
     mutable Mutex mu;
     std::unique_ptr<KvStore> store;  ///< guarded by mu while threads run
+    bool group_open = false;         ///< guarded by mu, like the store
     std::atomic<int64_t> next_sequence{1};
   };
+
+  /// Opens the shard's commit group if group_commit is on and it isn't yet
+  /// (engine.mu must be held). Groups open lazily and stay open; flushes
+  /// happen at the phase/round boundaries above.
+  void ensure_group_open(ShardEngine& engine);
 
   Options options_;
   std::vector<std::unique_ptr<ShardEngine>> engines_;
@@ -184,6 +267,11 @@ class MultiShotDb {
   mutable Mutex rounds_mu_;
   CondVar rounds_cv_;
   int32_t active_rounds_ GUARDED_BY(rounds_mu_) = 0;
+  /// Threaded batched-decide queue (decision_batch > 1 only).
+  mutable Mutex decide_mu_;
+  CondVar decide_cv_;
+  std::deque<DecideWaiter*> decide_queue_ GUARDED_BY(decide_mu_);
+  bool decide_leader_active_ GUARDED_BY(decide_mu_) = false;
   std::atomic<int64_t> committed_{0};
   std::atomic<int64_t> aborted_{0};
   std::atomic<int64_t> conflict_aborts_{0};

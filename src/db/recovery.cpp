@@ -29,6 +29,7 @@ BatchSurvey RecoveryManager::survey_all() const {
   BatchSurvey survey;
   survey.statuses.resize(shards_.size());
   std::map<TxnId, std::set<int32_t>> participant_sets;
+  std::map<int64_t, std::set<TxnId>> seal_sets;
   for (size_t i = 0; i < shards_.size(); ++i) {
     // Replay the shard's WAL fresh; the live KvStore only retains staged
     // state, but recovery needs the full outcome history. ONE replay per
@@ -59,11 +60,21 @@ BatchSurvey RecoveryManager::survey_all() const {
           break;
         case WalRecordType::kSnapshot:
           break;  // checkpointed committed state; carries no per-txn status
+        case WalRecordType::kBatchSeal:
+          // The same seal is appended to every shard its batch touched; a
+          // torn group can leave it on a strict subset, so merge.
+          for (TxnId member : decode_txn_list(record.value)) {
+            seal_sets[record.txn_id].insert(member);
+          }
+          break;
       }
     }
   }
   for (const auto& [txn, ids] : participant_sets) {
     survey.participants[txn].assign(ids.begin(), ids.end());
+  }
+  for (const auto& [batch, members] : seal_sets) {
+    survey.batches[batch].assign(members.begin(), members.end());
   }
   return survey;
 }
@@ -77,8 +88,8 @@ std::map<int32_t, ShardTxnStatus> RecoveryManager::survey(TxnId txn) const {
   return statuses;
 }
 
-void RecoveryManager::resolve(TxnId txn, const BatchSurvey& survey,
-                              RecoveryReport& report) {
+RecoveryManager::Resolution RecoveryManager::classify(
+    TxnId txn, const BatchSurvey& survey) const {
   const auto participants_it = survey.participants.find(txn);
   const std::vector<int32_t> intended =
       participants_it == survey.participants.end() ? std::vector<int32_t>{}
@@ -130,47 +141,58 @@ void RecoveryManager::resolve(TxnId txn, const BatchSurvey& survey,
     }
   }
 
-  Decision decision;
+  Resolution resolution;
+  resolution.prepared_shards = std::move(prepared_shards);
   if (any_commit) {
-    decision = Decision::kCommit;
+    resolution.decision = Decision::kCommit;
   } else if (any_abort || any_staged_only || missing_intended_participant) {
     // Rule 2: an un-prepared participant can never have enabled a commit.
-    decision = Decision::kAbort;
+    resolution.decision = Decision::kAbort;
   } else {
-    // Rule 3: everyone prepared, nobody decided — run the commit protocol
-    // again among the prepared shards, all voting commit. The rerun happens
-    // on the deterministic simulator under the on-time adversary (the
-    // Theorem 9 commit-validity conditions), so the outcome — commit — is a
-    // pure function of the inputs, never of wall-clock timing. Each instance
-    // reruns under its own (seed, txn) mix: resolving a whole pipeline of
-    // in-doubt instances replays one independent protocol run per instance.
-    RCOMMIT_CHECK(!prepared_shards.empty());
-    ++report.reran_protocol;
-    if (prepared_shards.size() == 1) {
-      decision = Decision::kCommit;  // a lone prepared shard may commit
-    } else {
-      const auto n = static_cast<int32_t>(prepared_shards.size());
-      const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
-      std::vector<std::unique_ptr<sim::Process>> fleet;
-      for (int32_t i = 0; i < n; ++i) {
-        fleet.push_back(make_commit_participant(CommitBackend::kPaperProtocol,
-                                                params, /*vote=*/1, options_.k));
-      }
-      sim::SimConfig config;
-      config.seed = options_.seed ^
-                    (static_cast<uint64_t>(txn) * 0x9e3779b97f4a7c15ULL);
-      config.max_events = options_.max_events;
-      config.record_trace = false;
-      sim::Simulator simulator(config, std::move(fleet),
-                               adversary::make_on_time_adversary());
-      const auto result = simulator.run();
-      decision = Decision::kAbort;
-      for (const auto& d : result.decisions) {
-        if (d.has_value() && *d == Decision::kCommit) decision = Decision::kCommit;
-      }
-    }
+    // Rule 3: everyone prepared, nobody decided — the caller reruns the
+    // commit protocol among the prepared shards, all voting commit.
+    RCOMMIT_CHECK(!resolution.prepared_shards.empty());
+    resolution.needs_rerun = true;
   }
+  return resolution;
+}
 
+Decision RecoveryManager::rerun_decision(
+    int64_t mix_id, const std::vector<int32_t>& prepared_shards) const {
+  // The rerun happens on the deterministic simulator under the on-time
+  // adversary (the Theorem 9 commit-validity conditions), so the outcome —
+  // commit — is a pure function of the inputs, never of wall-clock timing.
+  // An unsealed instance reruns under its own (seed, txn) mix; a sealed
+  // batch reruns ONCE under the (seed, batch id) mix, deciding every member
+  // — the same one-round-per-batch shape the live engine used.
+  if (prepared_shards.size() == 1) {
+    return Decision::kCommit;  // a lone prepared shard may commit
+  }
+  const auto n = static_cast<int32_t>(prepared_shards.size());
+  const SystemParams params{.n = n, .t = (n - 1) / 2, .k = options_.k};
+  std::vector<std::unique_ptr<sim::Process>> fleet;
+  for (int32_t i = 0; i < n; ++i) {
+    fleet.push_back(make_commit_participant(CommitBackend::kPaperProtocol,
+                                            params, /*vote=*/1, options_.k));
+  }
+  sim::SimConfig config;
+  config.seed =
+      options_.seed ^ (static_cast<uint64_t>(mix_id) * 0x9e3779b97f4a7c15ULL);
+  config.max_events = options_.max_events;
+  config.record_trace = false;
+  sim::Simulator simulator(config, std::move(fleet),
+                           adversary::make_on_time_adversary());
+  const auto result = simulator.run();
+  Decision decision = Decision::kAbort;
+  for (const auto& d : result.decisions) {
+    if (d.has_value() && *d == Decision::kCommit) decision = Decision::kCommit;
+  }
+  return decision;
+}
+
+void RecoveryManager::apply_decision(TxnId txn, Decision decision,
+                                     const std::vector<int32_t>& prepared_shards,
+                                     RecoveryReport& report) {
   // Apply to every shard still holding the transaction in doubt.
   for (int32_t shard : prepared_shards) {
     auto& store = *shards_[static_cast<size_t>(shard)];
@@ -197,7 +219,58 @@ RecoveryReport RecoveryManager::resolve_all() {
   // transaction is then resolved from the index. Resolving transaction A
   // appends only A's outcome record, so the index stays exact for B, C, ...
   const BatchSurvey survey = survey_all();
-  for (TxnId txn : pending) resolve(txn, survey, report);
+
+  // Classify everything first: rule-3 members of the same recorded seal
+  // share ONE protocol rerun (seeded by the batch id) instead of one each.
+  std::map<TxnId, Resolution> resolutions;
+  for (TxnId txn : pending) resolutions.emplace(txn, classify(txn, survey));
+  std::map<TxnId, int64_t> seal_of;
+  for (const auto& [batch, members] : survey.batches) {
+    for (TxnId member : members) seal_of[member] = batch;
+  }
+
+  // Apply in ascending transaction-id order, exactly as the unsealed path
+  // always has; a sealed batch's rerun fires lazily at its first pending
+  // rule-3 member and the decision is reused for the rest.
+  std::map<int64_t, Decision> batch_decisions;
+  for (TxnId txn : pending) {
+    const Resolution& resolution = resolutions.at(txn);
+    Decision decision = resolution.decision;
+    if (resolution.needs_rerun) {
+      const auto seal_it = seal_of.find(txn);
+      if (seal_it == seal_of.end()) {
+        ++report.reran_protocol;
+        decision = rerun_decision(txn, resolution.prepared_shards);
+      } else {
+        auto cached = batch_decisions.find(seal_it->second);
+        if (cached == batch_decisions.end()) {
+          // One rerun for the whole batch, over the union of its pending
+          // rule-3 members' prepared shards — the same participant set the
+          // live batched round ran over, minus members already settled by
+          // rules 1 and 2 (whose recorded outcomes stand on their own).
+          std::set<int32_t> union_shards;
+          for (const auto& [member, member_resolution] : resolutions) {
+            if (seal_of.count(member) == 0 ||
+                seal_of.at(member) != seal_it->second) {
+              continue;
+            }
+            if (!member_resolution.needs_rerun) continue;
+            union_shards.insert(member_resolution.prepared_shards.begin(),
+                                member_resolution.prepared_shards.end());
+          }
+          ++report.reran_protocol;
+          cached = batch_decisions
+                       .emplace(seal_it->second,
+                                rerun_decision(seal_it->second,
+                                               {union_shards.begin(),
+                                                union_shards.end()}))
+                       .first;
+        }
+        decision = cached->second;
+      }
+    }
+    apply_decision(txn, decision, resolution.prepared_shards, report);
+  }
   return report;
 }
 

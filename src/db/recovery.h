@@ -62,6 +62,14 @@ struct BatchSurvey {
   std::vector<std::map<TxnId, ShardTxnStatus>> statuses;
   /// Union of recorded PREPARED participant lists, per transaction.
   std::map<TxnId, std::vector<int32_t>> participants;
+  /// Decision-batch seals (kBatchSeal): batch id -> member instance ids,
+  /// merged across shards. Members of the same seal were decided by ONE
+  /// protocol round seeded from the batch id, so resolve_all reruns one
+  /// round per surviving seal instead of one per in-doubt member. A lost
+  /// seal is harmless: the members fall back to per-transaction reruns,
+  /// which reach the same decisions (commit-validity under the on-time
+  /// adversary — the equivalence the multi-txn torture suite checks).
+  std::map<int64_t, std::vector<TxnId>> batches;
 
   /// The status of `txn` on `shard` (kUnknown if unseen).
   [[nodiscard]] ShardTxnStatus status(int32_t shard, TxnId txn) const;
@@ -96,11 +104,28 @@ class RecoveryManager {
   RecoveryReport resolve_all();
 
  private:
-  /// Decides the fate of one in-doubt transaction (against the pre-pass
-  /// index) and applies it. Appending an outcome record for one transaction
-  /// never changes another's indexed status, so the index stays valid
-  /// across the whole resolution pass.
-  void resolve(TxnId txn, const BatchSurvey& survey, RecoveryReport& report);
+  /// One transaction's classification against the pre-pass index: either a
+  /// settled decision (rules 1 and 2) or "needs a protocol rerun" (rule 3)
+  /// with the prepared shards that would run it.
+  struct Resolution {
+    Decision decision = Decision::kAbort;
+    bool needs_rerun = false;
+    std::vector<int32_t> prepared_shards;
+  };
+
+  /// Rules 1 and 2 against the index; flags rule-3 transactions for a rerun.
+  [[nodiscard]] Resolution classify(TxnId txn, const BatchSurvey& survey) const;
+  /// The rule-3 deterministic protocol rerun among `prepared_shards`, seeded
+  /// by mixing `mix_id` (the transaction id, or the batch id for a sealed
+  /// batch) into the recovery seed.
+  [[nodiscard]] Decision rerun_decision(
+      int64_t mix_id, const std::vector<int32_t>& prepared_shards) const;
+  /// Applies a decision to every shard still holding `txn` in doubt.
+  /// Appending an outcome record for one transaction never changes
+  /// another's indexed status, so the index stays valid across the pass.
+  void apply_decision(TxnId txn, Decision decision,
+                      const std::vector<int32_t>& prepared_shards,
+                      RecoveryReport& report);
 
   std::vector<KvStore*> shards_;
   Options options_;

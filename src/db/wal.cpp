@@ -25,7 +25,7 @@ WalRecord decode_record(std::span<const uint8_t> body) {
   // CRC said it was intact. Reject it instead: replay stops here and trusts
   // nothing after (same policy as a CRC mismatch).
   if (raw_type < static_cast<uint8_t>(WalRecordType::kBegin) ||
-      raw_type > static_cast<uint8_t>(WalRecordType::kSnapshot)) {
+      raw_type > static_cast<uint8_t>(WalRecordType::kBatchSeal)) {
     throw CodecError("unknown WAL record type " + std::to_string(raw_type));
   }
   record.type = static_cast<WalRecordType>(raw_type);
@@ -98,6 +98,33 @@ std::vector<int32_t> decode_participant_list(const std::string& text) {
   return ids;
 }
 
+std::string encode_txn_list(const std::vector<int64_t>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+std::vector<int64_t> decode_txn_list(const std::string& text) {
+  std::vector<int64_t> ids;
+  if (text.empty()) return ids;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string part =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    RCOMMIT_CHECK_MSG(!part.empty() &&
+                          part.find_first_not_of("0123456789") == std::string::npos,
+                      "malformed txn list: '" << text << "'");
+    ids.push_back(std::stoll(part));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return ids;
+}
+
 WriteAheadLog::WriteAheadLog(std::filesystem::path path) : path_(std::move(path)) {
   // Replay stops at the first torn/corrupt frame and trusts nothing after it
   // — so anything appended after such a frame would be unreachable forever.
@@ -127,44 +154,92 @@ void WriteAheadLog::append(const WalRecord& record) {
   frame.insert(frame.end(), frame_head.begin(), frame_head.end());
   frame.insert(frame.end(), body.begin(), body.end());
 
-  WalAppendFault fault;
-  if (fault_hook_ != nullptr) {
-    fault = fault_hook_->on_append(path_, std::span<const uint8_t>(frame));
+  if (group_open_) {
+    pending_.insert(pending_.end(), frame.begin(), frame.end());
+    ++pending_records_;
+    ++stats_.records_appended;
+    // Deterministic auto-flush: the boundary depends only on the append
+    // sequence, never on timing, so injection sites stay enumerable.
+    if (pending_records_ >= limits_.max_records ||
+        pending_.size() >= limits_.max_bytes) {
+      flush_pending();
+    }
+    return;
   }
 
-  const auto write_bytes = [this](std::span<const uint8_t> bytes) {
-    out_.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
+  write_frame(std::span<const uint8_t>(frame));
+  ++stats_.records_appended;
+}
+
+void WriteAheadLog::write_frame(std::span<const uint8_t> bytes) {
+  WalAppendFault fault;
+  if (fault_hook_ != nullptr) {
+    fault = fault_hook_->on_append(path_, bytes);
+  }
+
+  const auto write_bytes = [this](std::span<const uint8_t> span) {
+    out_.write(reinterpret_cast<const char*>(span.data()),
+               static_cast<std::streamsize>(span.size()));
     out_.flush();
+    ++stats_.flushes;
+    stats_.bytes_written += static_cast<int64_t>(span.size());
     RCOMMIT_CHECK_MSG(out_.good(), "WAL append failed at " << path_.string());
   };
 
   switch (fault.kind) {
     case WalAppendFault::Kind::kClean:
-      write_bytes(frame);
+      write_bytes(bytes);
       break;
     case WalAppendFault::Kind::kCrashBefore:
       throw CrashInjected(fault.site,
                           "injected crash before WAL append at " + path_.string());
     case WalAppendFault::Kind::kTorn: {
-      RCOMMIT_CHECK_MSG(fault.keep_bytes < frame.size(),
+      RCOMMIT_CHECK_MSG(fault.keep_bytes < bytes.size(),
                         "torn write must keep fewer than frame bytes");
-      write_bytes(std::span<const uint8_t>(frame.data(), fault.keep_bytes));
+      write_bytes(bytes.subspan(0, fault.keep_bytes));
       throw CrashInjected(fault.site, "injected torn write (" +
                                           std::to_string(fault.keep_bytes) + "/" +
-                                          std::to_string(frame.size()) +
+                                          std::to_string(bytes.size()) +
                                           " bytes) at " + path_.string());
     }
     case WalAppendFault::Kind::kDuplicate:
-      write_bytes(frame);
-      write_bytes(frame);
+      write_bytes(bytes);
+      write_bytes(bytes);
       break;
     case WalAppendFault::Kind::kCrashAfter:
-      write_bytes(frame);
+      write_bytes(bytes);
       throw CrashInjected(fault.site,
                           "injected crash after WAL append at " + path_.string());
   }
-  ++records_appended_;
+}
+
+void WriteAheadLog::begin_group(const WalGroupLimits& limits) {
+  RCOMMIT_CHECK_MSG(!group_open_, "begin_group with a group already open");
+  RCOMMIT_CHECK(limits.max_records > 0 && limits.max_bytes > 0);
+  limits_ = limits;
+  group_open_ = true;
+}
+
+void WriteAheadLog::commit_group() {
+  RCOMMIT_CHECK_MSG(group_open_, "commit_group without an open group");
+  flush_pending();
+}
+
+void WriteAheadLog::end_group() {
+  RCOMMIT_CHECK_MSG(group_open_, "end_group without an open group");
+  flush_pending();
+  group_open_ = false;
+}
+
+void WriteAheadLog::flush_pending() {
+  if (pending_.empty()) return;
+  // Take the buffer before executing the hook's disposition: a crash verdict
+  // unwinds out of write_frame, and the crashed group's bytes must be gone —
+  // a later flush replaying them would model a dead process writing.
+  const std::vector<uint8_t> group = std::move(pending_);
+  pending_.clear();
+  pending_records_ = 0;
+  write_frame(std::span<const uint8_t>(group));
 }
 
 std::vector<WalRecord> WriteAheadLog::replay() const {

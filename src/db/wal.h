@@ -27,12 +27,18 @@
 namespace rcommit::db {
 
 enum class WalRecordType : uint8_t {
-  kBegin = 1,     ///< transaction started on this shard
-  kWrite = 2,     ///< staged write (key, value)
-  kPrepared = 3,  ///< shard voted commit; writes are staged durably
-  kCommit = 4,    ///< outcome: install the staged writes
-  kAbort = 5,     ///< outcome: discard the staged writes
-  kSnapshot = 6,  ///< checkpointed committed state (key, value), txn_id = 0
+  kBegin = 1,      ///< transaction started on this shard
+  kWrite = 2,      ///< staged write (key, value)
+  kPrepared = 3,   ///< shard voted commit; writes are staged durably
+  kCommit = 4,     ///< outcome: install the staged writes
+  kAbort = 5,      ///< outcome: discard the staged writes
+  kSnapshot = 6,   ///< checkpointed committed state (key, value), txn_id = 0
+  kBatchSeal = 7,  ///< decision-batch membership: txn_id = batch id, value =
+                   ///< member instance ids. A recovery *hint* — it lets
+                   ///< RecoveryManager rerun one protocol round per batch
+                   ///< instead of one per member; losing it costs only reruns,
+                   ///< never correctness, so seals ride in the next group
+                   ///< flush without a flush of their own.
 };
 
 struct WalRecord {
@@ -95,15 +101,71 @@ class WalFaultHook {
 /// parse failure here is a logic bug, not corruption).
 [[nodiscard]] std::vector<int32_t> decode_participant_list(const std::string& text);
 
+/// Encodes a kBatchSeal member list (64-bit instance ids, comma-separated
+/// decimal) into the record's value field. Same format family as the
+/// participant list, widened to the multi-shot txn-id space.
+[[nodiscard]] std::string encode_txn_list(const std::vector<int64_t>& ids);
+/// Inverse of encode_txn_list; "" decodes to the empty list.
+[[nodiscard]] std::vector<int64_t> decode_txn_list(const std::string& text);
+
+/// Monotonic WAL counters. `records_appended` counts logical appends
+/// (buffered appends included); `flushes` counts physical write+flush calls,
+/// so records_appended / flushes is the group-commit amortization factor the
+/// benchmarks report.
+struct WalStats {
+  int64_t records_appended = 0;
+  int64_t flushes = 0;
+  int64_t bytes_written = 0;
+
+  [[nodiscard]] double records_per_flush() const {
+    return flushes == 0 ? 0.0
+                        : static_cast<double>(records_appended) /
+                              static_cast<double>(flushes);
+  }
+};
+
+/// Group-commit bounds. A group auto-flushes when either limit is reached,
+/// so flush boundaries are a pure function of the append sequence — which
+/// keeps fault-injection sites enumerable and replayable under group mode.
+struct WalGroupLimits {
+  int64_t max_records = 256;
+  size_t max_bytes = 256 * 1024;
+};
+
 class WriteAheadLog {
  public:
   /// Opens (creating if absent) the log at `path` for appending.
   explicit WriteAheadLog(std::filesystem::path path);
 
-  /// Appends one record, framed and checksummed, and flushes it. If a fault
-  /// hook is installed, its verdict for this site is executed (which may
-  /// throw CrashInjected).
+  /// Appends one record, framed and checksummed. Outside group mode the
+  /// frame is written and flushed immediately, with the installed fault
+  /// hook's verdict for this site executed (which may throw CrashInjected).
+  /// Inside group mode the frame is buffered; it reaches the file — and the
+  /// fault hook — at the next group flush.
   void append(const WalRecord& record);
+
+  // --- group commit ----------------------------------------------------------
+  //
+  // Between begin_group() and end_group(), appends coalesce into one pending
+  // byte run that hits the file with ONE physical flush — and ONE fault-hook
+  // consult, whose frame is the whole group. The serial fault kinds map onto
+  // the group-boundary crash sites directly: kCrashBefore loses the entire
+  // buffered group (a crash between the last batched append and the group
+  // flush), kTorn tears mid-group (frames past the tear are lost, the WAL
+  // ctor truncates the ragged tail), kDuplicate doubles the whole group
+  // (replay is idempotent record by record). A crash disposition drops the
+  // pending buffer before unwinding: the crashed group is gone, exactly as a
+  // real power cut would leave it. Destruction with a pending group likewise
+  // drops it unflushed — owners flush at their commit points, never from a
+  // destructor (a destructor flush would model a dead process writing).
+
+  /// Enters group mode. Must not already be in group mode.
+  void begin_group(const WalGroupLimits& limits = {});
+  /// Flushes the pending group (no-op when empty) and stays in group mode.
+  void commit_group();
+  /// Flushes the pending group and leaves group mode.
+  void end_group();
+  [[nodiscard]] bool group_open() const { return group_open_; }
 
   /// Reads every intact record from the start of the log. Stops (without
   /// throwing) at the first torn or corrupt frame — everything before it is
@@ -116,13 +178,26 @@ class WriteAheadLog {
   void set_fault_hook(WalFaultHook* hook) { fault_hook_ = hook; }
 
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
-  [[nodiscard]] int64_t records_appended() const { return records_appended_; }
+  [[nodiscard]] int64_t records_appended() const {
+    return stats_.records_appended;
+  }
+  [[nodiscard]] const WalStats& stats() const { return stats_; }
 
  private:
+  /// Writes `bytes` (one frame, or a whole pending group) through the fault
+  /// hook and flushes. May throw CrashInjected per the hook's verdict.
+  void write_frame(std::span<const uint8_t> bytes);
+  /// Flushes the pending group buffer, if any.
+  void flush_pending();
+
   std::filesystem::path path_;
   std::ofstream out_;
-  int64_t records_appended_ = 0;
+  WalStats stats_;
   WalFaultHook* fault_hook_ = nullptr;
+  bool group_open_ = false;
+  WalGroupLimits limits_;
+  std::vector<uint8_t> pending_;  ///< concatenated frames awaiting the flush
+  int64_t pending_records_ = 0;
 };
 
 }  // namespace rcommit::db

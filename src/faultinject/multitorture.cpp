@@ -67,6 +67,8 @@ std::map<db::TxnId, TxnRef> run_multi_workload(
   mopts.k = options.k;
   mopts.max_events = options.max_events;
   mopts.wal_fault_hook = &injector;
+  mopts.group_commit = options.group_commit;
+  mopts.decision_batch = options.decision_batch;
   try {
     db::MultiShotDb database(mopts);
     // A pre-held in-doubt instance on shard 0: it keeps the "hot" key locked
@@ -137,6 +139,8 @@ std::string MultiTortureOptions::serialize() const {
       << "batch_size=" << batch_size << "\n"
       << "fanout=" << fanout << "\n"
       << "keys_per_shard=" << keys_per_shard << "\n"
+      << "group_commit=" << (group_commit ? 1 : 0) << "\n"
+      << "decision_batch=" << decision_batch << "\n"
       << "seed=" << seed << "\n"
       << "k=" << k << "\n"
       << "max_events=" << max_events << "\n";
@@ -158,6 +162,10 @@ MultiTortureOptions MultiTortureOptions::deserialize(const std::string& text) {
     else if (key == "batch_size") options.batch_size = static_cast<int32_t>(std::stol(value));
     else if (key == "fanout") options.fanout = static_cast<int32_t>(std::stol(value));
     else if (key == "keys_per_shard") options.keys_per_shard = static_cast<int32_t>(std::stol(value));
+    // Absent keys keep their defaults (off), which is how corpus entries
+    // written before the group-commit knobs replay unchanged.
+    else if (key == "group_commit") options.group_commit = std::stol(value) != 0;
+    else if (key == "decision_batch") options.decision_batch = static_cast<int32_t>(std::stol(value));
     else if (key == "seed") options.seed = std::stoull(value);
     else if (key == "k") options.k = std::stoll(value);
     else if (key == "max_events") options.max_events = std::stoll(value);

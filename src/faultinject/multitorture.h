@@ -40,6 +40,15 @@ struct MultiTortureOptions {
   int32_t batch_size = 8;      ///< in-flight instances per batch
   int32_t fanout = 2;          ///< shards per transaction
   int32_t keys_per_shard = 4;  ///< small pool => real lock conflicts
+  /// Group-commit WAL mode: appends coalesce per shard and injection sites
+  /// move to the group-flush boundaries (crash-before = the whole buffered
+  /// group lost between the last batched append and its flush, torn = a
+  /// mid-group torn tail). Off keeps the PR 9 per-append site space —
+  /// committed corpus entries predate the knob and replay identically.
+  bool group_commit = false;
+  /// Prepared instances decided per protocol round (kBatchSeal recovery
+  /// batches appear in the WALs when > 1).
+  int32_t decision_batch = 1;
   uint64_t seed = 1;
   /// Scratch directory for the WALs; wiped and recreated per run.
   std::filesystem::path scratch_dir;

@@ -111,6 +111,179 @@ TEST(Wal, CorruptRecordStopsReplay) {
   }
 }
 
+// --- WAL group commit ------------------------------------------------------------
+
+/// Records every on_append consult and executes a scripted disposition for
+/// the Nth physical write (kClean for all others).
+class CountingHook : public WalFaultHook {
+ public:
+  WalAppendFault on_append(const std::filesystem::path&,
+                           std::span<const uint8_t> frame) override {
+    frame_sizes.push_back(frame.size());
+    WalAppendFault fault;
+    if (static_cast<int64_t>(frame_sizes.size()) - 1 == fault_at) {
+      fault = scripted;
+      fault.site = fault_at;
+    }
+    return fault;
+  }
+
+  std::vector<size_t> frame_sizes;
+  int64_t fault_at = -1;  ///< 0-based physical-write index to fire at
+  WalAppendFault scripted;
+};
+
+TEST(WalGroup, CoalescesAppendsIntoOneFlush) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "group.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.begin_group();
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    wal.append({WalRecordType::kWrite, 1, "k", "v"});
+    wal.append({WalRecordType::kPrepared, 1, "", ""});
+    EXPECT_EQ(wal.stats().flushes, 0);  // still buffered
+    wal.commit_group();
+    EXPECT_EQ(wal.stats().records_appended, 3);
+    EXPECT_EQ(wal.stats().flushes, 1);
+    EXPECT_DOUBLE_EQ(wal.stats().records_per_flush(), 3.0);
+    wal.end_group();
+    EXPECT_EQ(wal.stats().flushes, 1);  // empty pending: end_group is a no-op
+  }
+  WriteAheadLog wal(wal_path);
+  ASSERT_EQ(wal.replay().size(), 3u);
+}
+
+TEST(WalGroup, AutoFlushBoundaryIsDeterministic) {
+  TempDir dir;
+  WriteAheadLog wal(dir.path() / "auto.wal");
+  WalGroupLimits limits;
+  limits.max_records = 2;
+  wal.begin_group(limits);
+  for (int i = 0; i < 5; ++i) {
+    wal.append({WalRecordType::kWrite, 1, "k" + std::to_string(i), "v"});
+  }
+  EXPECT_EQ(wal.stats().flushes, 2);  // auto-flushed after records 2 and 4
+  wal.end_group();
+  EXPECT_EQ(wal.stats().flushes, 3);  // the trailing single record
+  ASSERT_EQ(wal.replay().size(), 5u);
+}
+
+TEST(WalGroup, HookConsultedOncePerGroupWithWholeGroupFrame) {
+  TempDir dir;
+  WriteAheadLog wal(dir.path() / "hook.wal");
+  CountingHook hook;
+  wal.set_fault_hook(&hook);
+  wal.append({WalRecordType::kBegin, 1, "", ""});  // ungrouped: one consult
+  ASSERT_EQ(hook.frame_sizes.size(), 1u);
+  const size_t single = hook.frame_sizes[0];
+
+  wal.begin_group();
+  wal.append({WalRecordType::kBegin, 2, "", ""});
+  wal.append({WalRecordType::kBegin, 3, "", ""});
+  ASSERT_EQ(hook.frame_sizes.size(), 1u);  // nothing consulted while buffered
+  wal.commit_group();
+  ASSERT_EQ(hook.frame_sizes.size(), 2u);
+  // The hook saw the concatenation of both frames, not two separate frames.
+  EXPECT_EQ(hook.frame_sizes[1], 2 * single);
+}
+
+TEST(WalGroup, CrashBeforeLosesWholeBufferedGroup) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "crash.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.begin_group();
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    wal.commit_group();  // group 1 reaches the file
+
+    CountingHook hook;
+    hook.fault_at = 0;  // first physical write this hook sees
+    hook.scripted.kind = WalAppendFault::Kind::kCrashBefore;
+    wal.set_fault_hook(&hook);
+    wal.append({WalRecordType::kWrite, 2, "k", "v"});
+    wal.append({WalRecordType::kPrepared, 2, "", ""});
+    EXPECT_THROW(wal.commit_group(), CrashInjected);
+    // The crashed group's bytes are gone: a later flush must not resurrect
+    // them (that would model a dead process writing).
+    wal.set_fault_hook(nullptr);
+    wal.commit_group();
+    EXPECT_EQ(wal.stats().flushes, 1);  // only group 1 ever hit the file
+  }
+  WriteAheadLog wal(wal_path);
+  const auto records = wal.replay();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].txn_id, 1);
+}
+
+TEST(WalGroup, TornGroupTailIsTruncatedOnReopen) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "torn_group.wal";
+  size_t single_frame = 0;
+  {
+    WriteAheadLog wal(wal_path);
+    CountingHook probe;
+    wal.set_fault_hook(&probe);
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    single_frame = probe.frame_sizes[0];
+
+    CountingHook hook;
+    hook.fault_at = 0;
+    hook.scripted.kind = WalAppendFault::Kind::kTorn;
+    // Keep the first frame of the group plus half of the second: replay must
+    // recover exactly one record and the ctor must truncate the ragged tail.
+    hook.scripted.keep_bytes = single_frame + single_frame / 2;
+    wal.set_fault_hook(&hook);
+    wal.begin_group();
+    wal.append({WalRecordType::kBegin, 2, "", ""});
+    wal.append({WalRecordType::kBegin, 3, "", ""});
+    EXPECT_THROW(wal.commit_group(), CrashInjected);
+  }
+  WriteAheadLog wal(wal_path);
+  const auto records = wal.replay();
+  ASSERT_EQ(records.size(), 2u);  // txn 1, then the intact prefix of the group
+  EXPECT_EQ(records[1].txn_id, 2);
+  // The ctor truncated the torn half-frame, so appends land on a clean tail.
+  wal.append({WalRecordType::kBegin, 4, "", ""});
+  ASSERT_EQ(wal.replay().size(), 3u);
+  EXPECT_EQ(wal.replay()[2].txn_id, 4);
+}
+
+TEST(WalGroup, DestructionDropsPendingGroupUnflushed) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "drop.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.begin_group();
+    wal.append({WalRecordType::kBegin, 1, "", ""});
+    // No commit_group: the owner "crashed" with the group buffered.
+  }
+  WriteAheadLog wal(wal_path);
+  EXPECT_TRUE(wal.replay().empty());
+}
+
+TEST(WalGroup, TxnListRoundTrip) {
+  const std::vector<int64_t> ids = {7, 40000000001, 3};
+  EXPECT_EQ(decode_txn_list(encode_txn_list(ids)), ids);
+  EXPECT_TRUE(decode_txn_list("").empty());
+  EXPECT_EQ(encode_txn_list({}), "");
+}
+
+TEST(WalGroup, BatchSealRecordRoundTrips) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "seal.wal";
+  {
+    WriteAheadLog wal(wal_path);
+    wal.append({WalRecordType::kBatchSeal, 42, "", encode_txn_list({42, 43})});
+  }
+  WriteAheadLog wal(wal_path);
+  const auto records = wal.replay();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kBatchSeal);
+  EXPECT_EQ(records[0].txn_id, 42);
+  EXPECT_EQ(decode_txn_list(records[0].value), (std::vector<int64_t>{42, 43}));
+}
+
 // --- locks -----------------------------------------------------------------------
 
 TEST(Locks, ExclusiveAcquisition) {
@@ -239,6 +412,58 @@ TEST(Kv, UnpreparedLeftoversDroppedOnRecovery) {
   EXPECT_TRUE(recovered.in_doubt().empty());
   EXPECT_EQ(recovered.get("z"), std::nullopt);
   EXPECT_TRUE(recovered.prepare(6, {{"z", "1"}}));  // keys unlocked
+}
+
+TEST(Kv, GroupModeCoalescesTxnAppendsAndRecovers) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  {
+    KvStore store(wal_path);
+    store.wal_begin_group();
+    ASSERT_TRUE(store.prepare(1, {{"a", "1"}}));
+    store.commit(1);
+    ASSERT_TRUE(store.prepare(2, {{"b", "2"}}));
+    store.commit(2);
+    EXPECT_EQ(store.wal_stats().flushes, 0);  // all buffered
+    store.wal_commit_group();
+    EXPECT_EQ(store.wal_stats().flushes, 1);
+    EXPECT_GT(store.wal_stats().records_per_flush(), 5.0);
+  }
+  KvStore recovered(wal_path);
+  EXPECT_EQ(recovered.get("a"), "1");
+  EXPECT_EQ(recovered.get("b"), "2");
+  EXPECT_TRUE(recovered.in_doubt().empty());
+}
+
+TEST(Kv, BatchSealIsInvisibleToRecovery) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  {
+    KvStore store(wal_path);
+    ASSERT_TRUE(store.prepare(1, {{"a", "1"}}));
+    store.seal_batch(1, {1, 2});
+    store.commit(1);
+  }
+  KvStore recovered(wal_path);
+  EXPECT_EQ(recovered.get("a"), "1");
+  EXPECT_TRUE(recovered.in_doubt().empty());
+}
+
+TEST(Kv, CheckpointFlushesAndReopensGroup) {
+  TempDir dir;
+  const auto wal_path = dir.path() / "kv.wal";
+  KvStore store(wal_path);
+  store.wal_begin_group();
+  ASSERT_TRUE(store.prepare(1, {{"a", "1"}}));
+  store.commit(1);
+  store.checkpoint();  // must flush the pending group, not drop it
+  EXPECT_TRUE(store.wal_group_open());  // and group mode survives
+  ASSERT_TRUE(store.prepare(2, {{"b", "2"}}));
+  store.commit(2);
+  store.wal_commit_group();
+  KvStore recovered(wal_path);
+  EXPECT_EQ(recovered.get("a"), "1");
+  EXPECT_EQ(recovered.get("b"), "2");
 }
 
 // --- checkpoint / compaction -------------------------------------------------------

@@ -9,6 +9,7 @@
 // committed corpus entries under tests/corpus_multishot/ replay in tier-1.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "faultinject/multitorture.h"
@@ -65,6 +66,81 @@ TEST_F(MultiShotTortureFixture, CrashPointIsReproducibleFromSeedAndSite) {
   // resolved them all (in-doubt => resolved commit + abort counts are the
   // leftovers recovery had to decide, hot instance included).
   EXPECT_GT(baseline.report.resolved_commit + baseline.report.resolved_abort, 1);
+}
+
+// --- group-commit + decision-batching site space -----------------------------------
+
+TEST_F(MultiShotTortureFixture, GroupCommitSweepRecoversEquivalently) {
+  // Group mode moves every injection site to a group-flush boundary: a
+  // crash-before verdict drops a whole buffered group (many records at once),
+  // torn verdicts tear mid-group. The equivalence oracle is unchanged — the
+  // recovered state must still match the committed-prefix reference.
+  MultiTortureOptions options;
+  options.group_commit = true;
+  options.decision_batch = 4;
+  options.scratch_dir = dir_;
+  expect_clean_sweep(run_multi_wal_sweep(options, {.threads = 2}));
+}
+
+TEST_F(MultiShotTortureFixture, GroupCommitShrinksAndMovesSiteSpace) {
+  MultiTortureOptions plain;
+  plain.scratch_dir = dir_ / "plain";
+  MultiTortureOptions grouped = plain;
+  grouped.group_commit = true;
+  grouped.decision_batch = 4;
+  grouped.scratch_dir = dir_ / "grouped";
+  const auto plain_sites = enumerate_multi_sites(plain);
+  const auto grouped_sites = enumerate_multi_sites(grouped);
+  // Coalescing strictly shrinks the per-append site space down to the
+  // boundary flushes; each grouped frame is bigger than any single append.
+  ASSERT_GT(grouped_sites.size(), 0u);
+  EXPECT_LT(grouped_sites.size(), plain_sites.size());
+  size_t max_plain = 0;
+  size_t max_grouped = 0;
+  for (const auto& site : plain_sites) {
+    max_plain = std::max(max_plain, static_cast<size_t>(site.frame_size));
+  }
+  for (const auto& site : grouped_sites) {
+    max_grouped = std::max(max_grouped, static_cast<size_t>(site.frame_size));
+  }
+  EXPECT_GT(max_grouped, max_plain);
+}
+
+TEST_F(MultiShotTortureFixture, GroupBoundaryCrashIsReproducible) {
+  MultiTortureOptions first = {.seed = 7, .scratch_dir = dir_ / "a"};
+  first.group_commit = true;
+  first.decision_batch = 4;
+  MultiTortureOptions second = first;
+  second.scratch_dir = dir_ / "b";
+  // Site 3 is a mid-pipeline group flush: crash-before loses the whole
+  // buffered group — every staged append since the previous boundary.
+  const FaultPlan plan = FaultPlan::wal_fault_at(3, FaultKind::kCrashBefore, 0);
+  const auto baseline = run_multi_crash_point(first, plan);
+  EXPECT_EQ(baseline, run_multi_crash_point(second, plan));
+  EXPECT_TRUE(baseline.crashed);
+  EXPECT_TRUE(baseline.ok()) << baseline.serialize();
+}
+
+TEST_F(MultiShotTortureFixture, GroupOptionsRoundTripAndDefaultsAreLegacy) {
+  MultiTortureOptions options;
+  options.group_commit = true;
+  options.decision_batch = 8;
+  const auto back = MultiTortureOptions::deserialize(options.serialize());
+  EXPECT_EQ(back.serialize(), options.serialize());
+  EXPECT_TRUE(back.group_commit);
+  EXPECT_EQ(back.decision_batch, 8);
+  // A config written before the knobs existed deserializes to them off —
+  // which is how the committed corpus entries keep replaying identically.
+  std::string legacy;
+  for (const auto& line : {std::string("shard_count=3"), std::string("batches=3"),
+                           std::string("batch_size=8"), std::string("fanout=2"),
+                           std::string("keys_per_shard=4"), std::string("seed=1"),
+                           std::string("k=25"), std::string("max_events=200000")}) {
+    legacy += line + "\n";
+  }
+  const auto old = MultiTortureOptions::deserialize(legacy);
+  EXPECT_FALSE(old.group_commit);
+  EXPECT_EQ(old.decision_batch, 1);
 }
 
 TEST_F(MultiShotTortureFixture, EnumerationIsStable) {
@@ -135,8 +211,9 @@ TEST_F(MultiShotTortureFixture, CorpusEntriesReplayIdentically) {
         << result.serialize();
     ++replayed;
   }
-  EXPECT_GE(replayed, 2) << "multishot corpus at " << corpus
-                         << " must hold at least two committed entries";
+  EXPECT_GE(replayed, 4) << "multishot corpus at " << corpus
+                         << " must hold at least four committed entries "
+                            "(two serial-era, two group-commit)";
 }
 
 #ifdef RCOMMIT_LONG_TESTS
@@ -149,6 +226,22 @@ TEST_F(MultiShotTortureFixture, SeedMatrixSweep) {
     options.batch_size = 10;
     options.fanout = 3;
     options.scratch_dir = dir_ / ("seed-" + std::to_string(seed));
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_clean_sweep(run_multi_wal_sweep(options, {.threads = 4}));
+  }
+}
+TEST_F(MultiShotTortureFixture, GroupCommitSeedMatrixSweep) {
+  // The grouped site space under the same seed matrix: fewer sites per run
+  // (boundary flushes only), each crash dropping far more buffered state.
+  for (const uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    MultiTortureOptions options;
+    options.seed = seed;
+    options.batches = 4;
+    options.batch_size = 10;
+    options.fanout = 3;
+    options.group_commit = true;
+    options.decision_batch = 5;
+    options.scratch_dir = dir_ / ("gseed-" + std::to_string(seed));
     SCOPED_TRACE("seed " + std::to_string(seed));
     expect_clean_sweep(run_multi_wal_sweep(options, {.threads = 4}));
   }

@@ -289,6 +289,123 @@ TEST_F(RecoveryFixture, ShardIdMappingResolvesParticipantLists) {
   EXPECT_EQ(shard5.get("a"), std::nullopt);
 }
 
+// --- sealed decision batches -------------------------------------------------------
+
+TEST_F(RecoveryFixture, SealedBatchRerunsProtocolOnceForAllMembers) {
+  // Two rule-3 transactions sealed into one decision batch: recovery must run
+  // ONE protocol rerun (seeded by the batch id) and give both members its
+  // decision — mirroring the single live round the seal records.
+  {
+    KvStore shard0(wal_path(0));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard0.prepare(40, {{"a", "A"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(40, {{"c", "C"}}, {0, 1}));
+    ASSERT_TRUE(shard0.prepare(41, {{"b", "B"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(41, {{"d", "D"}}, {0, 1}));
+    shard0.seal_batch(40, {40, 41});
+    shard1.seal_batch(40, {40, 41});
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {.seed = 11});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 1);  // one round for two members
+  EXPECT_EQ(report.resolved_commit, 2);  // on-time all-yes rerun commits
+  EXPECT_EQ(shard0.get("a"), "A");
+  EXPECT_EQ(shard1.get("d"), "D");
+  EXPECT_TRUE(shard0.in_doubt().empty());
+  EXPECT_TRUE(shard1.in_doubt().empty());
+}
+
+TEST_F(RecoveryFixture, SealedBatchWithRecordedOutcomeMixesRules) {
+  // Member 51 already has a recorded commit (rule 1); member 50 is rule 3.
+  // The recorded outcome stands on its own — only 50 joins the batch rerun.
+  {
+    KvStore shard0(wal_path(0));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard0.prepare(50, {{"a", "A"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(50, {{"b", "B"}}, {0, 1}));
+    ASSERT_TRUE(shard0.prepare(51, {{"c", "C"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(51, {{"d", "D"}}, {0, 1}));
+    shard0.seal_batch(50, {50, 51});
+    shard1.seal_batch(50, {50, 51});
+    shard0.commit(51);  // outcome reached shard 0 before the crash
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {.seed = 11});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 1);
+  EXPECT_EQ(report.resolved_commit, 2);  // 50 via rerun, 51 via adoption
+  EXPECT_EQ(shard1.get("d"), "D");
+  EXPECT_TRUE(shard0.in_doubt().empty());
+  EXPECT_TRUE(shard1.in_doubt().empty());
+}
+
+TEST_F(RecoveryFixture, SealedBatchMemberFailingRuleTwoAbortsAlone) {
+  // Member 60 names shard 1 as a participant but shard 1 never prepared it:
+  // rule 2 aborts 60 without a rerun. Member 61 is rule 3 and still gets the
+  // batch's single rerun.
+  {
+    KvStore shard0(wal_path(0));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard0.prepare(60, {{"a", "A"}}, {0, 1}));
+    // shard 1 crashed before preparing 60 — no trace at all.
+    ASSERT_TRUE(shard0.prepare(61, {{"b", "B"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(61, {{"c", "C"}}, {0, 1}));
+    shard0.seal_batch(60, {60, 61});
+    shard1.seal_batch(60, {60, 61});
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {.seed = 11});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 1);  // only 61 needed the round
+  EXPECT_EQ(report.resolved_abort, 1);   // 60, by rule 2
+  EXPECT_EQ(report.resolved_commit, 1);  // 61, by the rerun
+  EXPECT_EQ(shard0.get("a"), std::nullopt);
+  EXPECT_EQ(shard1.get("c"), "C");
+}
+
+TEST_F(RecoveryFixture, UnsealedRuleThreeTransactionsStillRerunPerTxn) {
+  // Without seals the PR 9 behaviour is untouched: each rule-3 transaction
+  // reruns its own round.
+  {
+    KvStore shard0(wal_path(0));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard0.prepare(70, {{"a", "A"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(70, {{"b", "B"}}, {0, 1}));
+    ASSERT_TRUE(shard0.prepare(71, {{"c", "C"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(71, {{"d", "D"}}, {0, 1}));
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {.seed = 11});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 2);
+  EXPECT_EQ(report.resolved_commit, 2);
+}
+
+TEST_F(RecoveryFixture, SealOnSubsetOfShardsStillBatches) {
+  // A torn group can leave the seal on only one shard's WAL. The survey
+  // merges seals across shards, so one surviving copy is enough to batch.
+  {
+    KvStore shard0(wal_path(0));
+    KvStore shard1(wal_path(1));
+    ASSERT_TRUE(shard0.prepare(80, {{"a", "A"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(80, {{"b", "B"}}, {0, 1}));
+    ASSERT_TRUE(shard0.prepare(81, {{"c", "C"}}, {0, 1}));
+    ASSERT_TRUE(shard1.prepare(81, {{"d", "D"}}, {0, 1}));
+    shard0.seal_batch(80, {80, 81});  // shard 1's copy was torn away
+  }
+  KvStore shard0(wal_path(0));
+  KvStore shard1(wal_path(1));
+  RecoveryManager recovery({&shard0, &shard1}, {.seed = 11});
+  const auto report = recovery.resolve_all();
+  EXPECT_EQ(report.reran_protocol, 1);
+  EXPECT_EQ(report.resolved_commit, 2);
+}
+
 TEST_F(RecoveryFixture, SurveyReportsPerShardStatus) {
   {
     KvStore shard0(wal_path(0));

@@ -49,6 +49,10 @@ const std::vector<FlagDoc> kDocs = {
     {"multishot", "", "pipelined MultiShotDb workload (many txns in doubt)"},
     {"batches", "N", "--multishot: pipelined batches (default 3)"},
     {"batch-size", "N", "--multishot: in-flight txns per batch (default 8)"},
+    {"group-commit", "", "--multishot: group-commit WAL mode (sites move to "
+                         "group-flush boundaries)"},
+    {"decision-batch", "N",
+     "--multishot: prepared txns decided per protocol round (default 1)"},
     {"threads", "N", "sweep parallelism (default 1)"},
     {"max-sites", "N", "cap swept sites; -1 = all (default)"},
     {"artifacts", "dir", "where --sweep writes shrunk failure artifacts"},
@@ -227,6 +231,9 @@ int main(int argc, char** argv) {
   multi_options.keys_per_shard = options.keys_per_shard;
   multi_options.batches = static_cast<int32_t>(flags.get_int("batches", 3));
   multi_options.batch_size = static_cast<int32_t>(flags.get_int("batch-size", 8));
+  multi_options.group_commit = flags.get_bool("group-commit", false);
+  multi_options.decision_batch =
+      static_cast<int32_t>(flags.get_int("decision-batch", 1));
   multi_options.scratch_dir = options.scratch_dir;
 
   const bool enumerate = flags.get_bool("enumerate", false);
